@@ -1,0 +1,47 @@
+//! # mbist-area — structural area estimation for MBIST controllers
+//!
+//! Reproduces the paper's evaluation methodology: every controller
+//! architecture elaborates into a structural inventory
+//! ([`Structure`](mbist_rtl::Structure)); a [`Technology`] model maps
+//! primitives to 2-input-NAND gate equivalents and µm² (CMOS5S-like
+//! 0.35 µm); hardwired controllers are *synthesized* — their exported
+//! transition tables run through the two-level minimizer in
+//! [`mbist_logic`] ([`synthesize`]).
+//!
+//! [`table1`], [`table2`] and [`table3`] regenerate the paper's three
+//! tables; [`observations`] computes the §3 closing observations;
+//! [`storage_cell_sweep`] reproduces the storage-dominance argument.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbist_area::{table1, Technology};
+//!
+//! let t = table1(&Technology::cmos5s());
+//! assert_eq!(t.cell("Microcode-Based", "Flex."), Some("HIGH"));
+//! println!("{t}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod report;
+mod sensitivity;
+mod sharing;
+mod synth;
+mod tables;
+mod tech;
+
+pub use model::{
+    baseline_algorithms, hardwired_design, microcode_design, progfsm_design, DesignPoint,
+    SupportLevel, MICROCODE_DESIGN_CAPACITY, PROGFSM_DESIGN_CAPACITY,
+};
+pub use report::Table;
+pub use sensitivity::{storage_cell_sweep, SensitivityPoint};
+pub use sharing::{
+    collar_structure, crossover_memory_count, sharing_analysis, SharingAnalysis, SocMemory,
+};
+pub use synth::{synthesize, synthesized_structure, SynthesizedFsm};
+pub use tables::{design_points, observations, table1, table2, table3, Observations};
+pub use tech::{AreaEstimate, Technology};

@@ -1,0 +1,281 @@
+//! The evaluated architecture design points.
+//!
+//! The paper compares fixed *designs*, not per-algorithm instances of the
+//! programmable controllers: one microcode-based unit sized to hold the
+//! March C/A family including retention variants, one programmable
+//! FSM-based unit, and one hardwired unit per algorithm.
+
+use mbist_core::hardwired::{HardwiredCaps, HardwiredFsm};
+use mbist_core::microcode::{compile as mc_compile, MicrocodeConfig, MicrocodeController};
+use mbist_core::progfsm::{compile as fsm_compile, ProgFsmConfig, ProgFsmController};
+use mbist_core::{BistController, Flexibility};
+use mbist_march::{library, MarchTest};
+use mbist_rtl::{CellStyle, Structure};
+
+use crate::tech::{AreaEstimate, Technology};
+
+/// Storage capacity of the microcode design point, in instructions. Sized
+/// for the symmetric March C / March A family with retention variants
+/// (largest member: March A+ at 17 instructions) plus margin.
+pub const MICROCODE_DESIGN_CAPACITY: usize = 20;
+
+/// Circular-buffer capacity of the programmable FSM design point
+/// (largest expressible program: March C+ at 10 instructions).
+pub const PROGFSM_DESIGN_CAPACITY: usize = 12;
+
+/// One evaluated controller design.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Row label, e.g. `"Microcode-Based"`.
+    pub name: String,
+    /// Programmability class.
+    pub flexibility: Flexibility,
+    /// Elaborated controller structure.
+    pub structure: Structure,
+    /// Evaluated area.
+    pub area: AreaEstimate,
+}
+
+/// What kind of memory the BIST design supports — the paper's Table 1
+/// (bit-oriented, single-port) versus Table 2 (word-oriented, multiport)
+/// configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportLevel {
+    /// Bit-oriented, single-port.
+    BitOriented,
+    /// Word-oriented (data-background loop, wider datapath).
+    WordOriented,
+    /// Multiport (port loop) in addition to word-oriented support.
+    Multiport,
+}
+
+impl SupportLevel {
+    /// All levels in report order.
+    pub const ALL: [SupportLevel; 3] =
+        [SupportLevel::BitOriented, SupportLevel::WordOriented, SupportLevel::Multiport];
+
+    /// Hardwired loop capabilities for this level.
+    #[must_use]
+    pub fn caps(self) -> HardwiredCaps {
+        match self {
+            SupportLevel::BitOriented => HardwiredCaps::default(),
+            SupportLevel::WordOriented => {
+                HardwiredCaps { background_loop: true, port_loop: false }
+            }
+            SupportLevel::Multiport => {
+                HardwiredCaps { background_loop: true, port_loop: true }
+            }
+        }
+    }
+
+    /// Report label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SupportLevel::BitOriented => "Bit-Oriented",
+            SupportLevel::WordOriented => "Word-Oriented",
+            SupportLevel::Multiport => "Multiport",
+        }
+    }
+}
+
+/// Elaborates the microcode-based design point.
+///
+/// `style` selects the storage-cell implementation:
+/// [`CellStyle::FullScan`] is the baseline of Tables 1-2,
+/// [`CellStyle::ScanOnly`] the redesigned controller of Table 3.
+#[must_use]
+pub fn microcode_design(tech: &Technology, style: CellStyle, level: SupportLevel) -> DesignPoint {
+    let config = MicrocodeConfig {
+        capacity: MICROCODE_DESIGN_CAPACITY,
+        cell_style: style,
+        ..MicrocodeConfig::default()
+    };
+    // The representative program does not change the elaborated hardware —
+    // only capacity and style do.
+    let program = mc_compile(&library::march_c()).expect("march C compiles");
+    let ctrl = MicrocodeController::new("march-c", &program, config)
+        .expect("design capacity fits march C");
+    let mut structure = ctrl.structure();
+    add_support_overhead(&mut structure, level);
+    let area = tech.area_of(&structure);
+    let name = match style {
+        CellStyle::ScanOnly => "Microcode-Based (scan-only)".to_string(),
+        _ => "Microcode-Based".to_string(),
+    };
+    DesignPoint { name, flexibility: Flexibility::High, structure, area }
+}
+
+/// Elaborates the programmable FSM-based design point.
+#[must_use]
+pub fn progfsm_design(tech: &Technology, level: SupportLevel) -> DesignPoint {
+    let config = ProgFsmConfig {
+        capacity: PROGFSM_DESIGN_CAPACITY,
+        ..ProgFsmConfig::default()
+    };
+    let program = fsm_compile(&library::march_c()).expect("march C compiles");
+    let ctrl = ProgFsmController::new("march-c", &program, config)
+        .expect("design capacity fits march C");
+    let mut structure = ctrl.structure();
+    add_support_overhead(&mut structure, level);
+    let area = tech.area_of(&structure);
+    DesignPoint {
+        name: "Prog. FSM-Based".to_string(),
+        flexibility: Flexibility::Medium,
+        structure,
+        area,
+    }
+}
+
+/// Elaborates (synthesizes) a hardwired design point for one algorithm.
+#[must_use]
+pub fn hardwired_design(tech: &Technology, test: &MarchTest, level: SupportLevel) -> DesignPoint {
+    let fsm = HardwiredFsm::new(test, level.caps());
+    let mut structure = crate::synth::synthesized_structure(&fsm);
+    add_support_overhead(&mut structure, level);
+    let area = tech.area_of(&structure);
+    DesignPoint {
+        name: display_name(test.name()),
+        flexibility: Flexibility::Low,
+        structure,
+        area,
+    }
+}
+
+/// Controller-side support logic shared by all architectures when the
+/// memory is word-oriented / multiport: background-loop condition logic
+/// and port-loop condition logic (the datapath growth — wider comparator,
+/// port counter — is identical across architectures and excluded, exactly
+/// as the paper isolates controller "internal area").
+fn add_support_overhead(structure: &mut Structure, level: SupportLevel) {
+    use mbist_rtl::Primitive;
+    match level {
+        SupportLevel::BitOriented => {}
+        SupportLevel::WordOriented => {
+            structure.push_child(
+                Structure::leaf("bg_loop_support")
+                    .with(Primitive::Dff, 3)
+                    .with(Primitive::Nand2, 14)
+                    .with(Primitive::Inv, 4),
+            );
+        }
+        SupportLevel::Multiport => {
+            structure.push_child(
+                Structure::leaf("bg_loop_support")
+                    .with(Primitive::Dff, 3)
+                    .with(Primitive::Nand2, 14)
+                    .with(Primitive::Inv, 4),
+            );
+            structure.push_child(
+                Structure::leaf("port_loop_support")
+                    .with(Primitive::Dff, 2)
+                    .with(Primitive::Nand2, 10)
+                    .with(Primitive::Inv, 3),
+            );
+        }
+    }
+}
+
+fn display_name(name: &str) -> String {
+    match name {
+        "march-c" => "March C".to_string(),
+        "march-c+" => "March C+".to_string(),
+        "march-c++" => "March C++".to_string(),
+        "march-a" => "March A".to_string(),
+        "march-a+" => "March A+".to_string(),
+        "march-a++" => "March A++".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// The hardwired baseline set of the paper's §3.
+#[must_use]
+pub fn baseline_algorithms() -> Vec<MarchTest> {
+    vec![
+        library::march_c(),
+        library::march_c_plus(),
+        library::march_c_plus_plus(),
+        library::march_a(),
+        library::march_a_plus(),
+        library::march_a_plus_plus(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microcode_scan_only_redesign_cuts_area_by_half_or_more() {
+        let t = Technology::cmos5s();
+        let full = microcode_design(&t, CellStyle::FullScan, SupportLevel::BitOriented);
+        let adj = microcode_design(&t, CellStyle::ScanOnly, SupportLevel::BitOriented);
+        let reduction = 1.0 - adj.area.ge / full.area.ge;
+        assert!(
+            (0.4..=0.7).contains(&reduction),
+            "paper reports ~60% reduction, got {:.0}%",
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn adjusted_microcode_beats_prog_fsm() {
+        let t = Technology::cmos5s();
+        let adj = microcode_design(&t, CellStyle::ScanOnly, SupportLevel::BitOriented);
+        let fsm = progfsm_design(&t, SupportLevel::BitOriented);
+        assert!(
+            adj.area.ge < fsm.area.ge,
+            "adjusted microcode ({:.0} GE) must undercut prog FSM ({:.0} GE)",
+            adj.area.ge,
+            fsm.area.ge
+        );
+    }
+
+    #[test]
+    fn hardwired_grows_with_algorithm_enhancement() {
+        let t = Technology::cmos5s();
+        let level = SupportLevel::BitOriented;
+        let c = hardwired_design(&t, &library::march_c(), level).area.ge;
+        let cp = hardwired_design(&t, &library::march_c_plus(), level).area.ge;
+        let cpp = hardwired_design(&t, &library::march_c_plus_plus(), level).area.ge;
+        assert!(c < cp && cp < cpp, "{c:.0} < {cp:.0} < {cpp:.0}");
+    }
+
+    #[test]
+    fn hardwired_is_always_cheapest() {
+        let t = Technology::cmos5s();
+        let level = SupportLevel::BitOriented;
+        let adj = microcode_design(&t, CellStyle::ScanOnly, level).area.ge;
+        for test in baseline_algorithms() {
+            let hw = hardwired_design(&t, &test, level).area.ge;
+            assert!(hw < adj, "{}: {hw:.0} should be below {adj:.0}", test.name());
+        }
+    }
+
+    #[test]
+    fn support_levels_increase_area_monotonically() {
+        let t = Technology::cmos5s();
+        let areas: Vec<f64> = SupportLevel::ALL
+            .iter()
+            .map(|&l| microcode_design(&t, CellStyle::FullScan, l).area.ge)
+            .collect();
+        assert!(areas[0] < areas[1] && areas[1] < areas[2]);
+    }
+
+    #[test]
+    fn flexibility_labels_match_architectures() {
+        let t = Technology::cmos5s();
+        assert_eq!(
+            microcode_design(&t, CellStyle::FullScan, SupportLevel::BitOriented).flexibility,
+            Flexibility::High
+        );
+        assert_eq!(
+            progfsm_design(&t, SupportLevel::BitOriented).flexibility,
+            Flexibility::Medium
+        );
+        assert_eq!(
+            hardwired_design(&t, &library::march_c(), SupportLevel::BitOriented).flexibility,
+            Flexibility::Low
+        );
+    }
+}

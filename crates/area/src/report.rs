@@ -1,0 +1,114 @@
+//! Plain-text table rendering for the regenerated paper tables.
+
+use std::fmt;
+
+/// A rendered report table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Self { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row/header length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Looks up a cell by row label (first column) and header name.
+    #[must_use]
+    pub fn cell(&self, row_label: &str, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        let row = self.rows.iter().find(|r| r[0] == row_label)?;
+        Some(&row[col])
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>| {
+            for w in &widths {
+                write!(f, "+{}", "-".repeat(w + 2))?;
+            }
+            writeln!(f, "+")
+        };
+        line(f)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "| {:<width$} ", h, width = widths[i])?;
+        }
+        writeln!(f, "|")?;
+        line(f)?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                write!(f, "| {:<width$} ", cell, width = widths[i])?;
+            }
+            writeln!(f, "|")?;
+        }
+        line(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "Table X",
+            vec!["Method".into(), "Flex.".into(), "GE".into()],
+        );
+        t.push_row(vec!["Microcode".into(), "HIGH".into(), "960".into()]);
+        t.push_row(vec!["March C".into(), "LOW".into(), "120".into()]);
+        t
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell("Microcode", "GE"), Some("960"));
+        assert_eq!(t.cell("March C", "Flex."), Some("LOW"));
+        assert_eq!(t.cell("nope", "GE"), None);
+        assert_eq!(t.cell("March C", "nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn short_row_panics() {
+        sample().push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = sample().to_string();
+        assert!(text.contains("Table X"));
+        assert!(text.contains("| Microcode |"));
+        assert!(text.contains("| March C   |"));
+        // every data line has the same length
+        let lines: Vec<&str> =
+            text.lines().filter(|l| l.starts_with('|') || l.starts_with('+')).collect();
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len));
+    }
+}

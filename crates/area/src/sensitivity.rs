@@ -1,0 +1,82 @@
+//! Sensitivity of the programmable-controller area to the storage-cell
+//! area factor — the paper's observation that "any reduction in the area
+//! of the storage units … has the largest effect on the area of
+//! programmable memory BIST units".
+
+use mbist_rtl::{CellStyle, Primitive};
+
+use crate::model::{microcode_design, SupportLevel};
+use crate::tech::Technology;
+
+/// One point of the sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityPoint {
+    /// Storage-cell weight in gate equivalents.
+    pub cell_ge: f64,
+    /// Resulting controller area in gate equivalents.
+    pub controller_ge: f64,
+    /// Fraction of the controller occupied by the storage unit.
+    pub storage_fraction: f64,
+}
+
+/// Sweeps the scan-only storage-cell weight from `lo` to `hi` GE in
+/// `steps` points and reports the microcode controller area at each.
+///
+/// # Panics
+///
+/// Panics if `steps < 2` or the range is not increasing.
+#[must_use]
+pub fn storage_cell_sweep(
+    tech: &Technology,
+    lo: f64,
+    hi: f64,
+    steps: usize,
+) -> Vec<SensitivityPoint> {
+    assert!(steps >= 2, "need at least two sweep points");
+    assert!(lo < hi && lo > 0.0, "range must be increasing and positive");
+    (0..steps)
+        .map(|i| {
+            let cell_ge = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+            let t = tech.with_weight(Primitive::ScanOnlyCell, cell_ge);
+            let design = microcode_design(&t, CellStyle::ScanOnly, SupportLevel::BitOriented);
+            SensitivityPoint {
+                cell_ge,
+                controller_ge: design.area.ge,
+                storage_fraction: design.area.of(Primitive::ScanOnlyCell) / design.area.ge,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_is_monotone_in_cell_weight() {
+        let pts = storage_cell_sweep(&Technology::cmos5s(), 1.0, 8.0, 8);
+        for w in pts.windows(2) {
+            assert!(w[0].controller_ge < w[1].controller_ge);
+        }
+    }
+
+    #[test]
+    fn storage_dominates_at_full_scan_weight() {
+        let pts = storage_cell_sweep(&Technology::cmos5s(), 1.0, 7.33, 2);
+        let at_full = pts.last().unwrap();
+        assert!(
+            at_full.storage_fraction > 0.5,
+            "storage should dominate the unadjusted controller ({:.2})",
+            at_full.storage_fraction
+        );
+        // … which is exactly why the storage redesign has the largest
+        // effect: the fraction falls substantially at scan-only weight.
+        assert!(pts[0].storage_fraction < at_full.storage_fraction);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_sweep_panics() {
+        let _ = storage_cell_sweep(&Technology::cmos5s(), 1.0, 2.0, 1);
+    }
+}

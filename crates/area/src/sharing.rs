@@ -1,0 +1,192 @@
+//! SoC-level controller sharing analysis.
+//!
+//! The paper's introduction argues that programmable BIST "could be used
+//! to test memories in different stages of their fabrication and
+//! therefore result in lower overall memory test logic overhead". This
+//! module quantifies that: one programmable controller shared across `N`
+//! embedded memories (each memory pays only a small access collar) versus
+//! one hardwired controller per memory. With enough memories — or with
+//! per-stage algorithm requirements that would force *several* hardwired
+//! controllers per memory — the shared programmable unit wins.
+
+use mbist_march::MarchTest;
+use mbist_mem::MemGeometry;
+use mbist_rtl::{CellStyle, Primitive, Structure};
+
+use crate::model::{hardwired_design, microcode_design, SupportLevel};
+use crate::tech::Technology;
+
+/// One embedded memory on the SoC and its test requirement.
+#[derive(Debug, Clone)]
+pub struct SocMemory {
+    /// Instance name.
+    pub name: String,
+    /// Organization.
+    pub geometry: MemGeometry,
+    /// Algorithms required over the product lifecycle (wafer sort, final
+    /// test, burn-in, in-field) — a hardwired strategy needs the union.
+    pub algorithms: Vec<MarchTest>,
+}
+
+/// The access collar a shared controller needs at each memory: address /
+/// data / control muxing between the functional path and the BIST bus.
+#[must_use]
+pub fn collar_structure(geometry: &MemGeometry) -> Structure {
+    let aw = u32::from(geometry.addr_bits());
+    let w = u32::from(geometry.width());
+    Structure::leaf("bist_collar")
+        .with(Primitive::Mux2, aw + 2 * w + 3)
+        .with(Primitive::Nand2, 6)
+        .with(Primitive::Inv, 2)
+}
+
+/// Totals for the three integration strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharingAnalysis {
+    /// Gate equivalents: one shared (scan-only) microcode controller plus
+    /// a collar per memory.
+    pub shared_programmable_ge: f64,
+    /// Gate equivalents: one hardwired controller per memory per required
+    /// algorithm.
+    pub dedicated_hardwired_ge: f64,
+    /// Gate equivalents: one (scan-only) microcode controller per memory.
+    pub dedicated_programmable_ge: f64,
+    /// Number of memories analyzed.
+    pub memory_count: usize,
+}
+
+impl SharingAnalysis {
+    /// Whether sharing beats the dedicated hardwired strategy.
+    #[must_use]
+    pub fn sharing_wins(&self) -> bool {
+        self.shared_programmable_ge < self.dedicated_hardwired_ge
+    }
+}
+
+/// Analyzes the three strategies for a set of SoC memories.
+#[must_use]
+pub fn sharing_analysis(tech: &Technology, memories: &[SocMemory]) -> SharingAnalysis {
+    let level = SupportLevel::Multiport; // the shared unit must support all
+    let controller = microcode_design(tech, CellStyle::ScanOnly, level).area.ge;
+
+    let mut collars = 0.0;
+    let mut hardwired = 0.0;
+    for m in memories {
+        collars += tech.area_of(&collar_structure(&m.geometry)).ge;
+        let mem_level = if m.geometry.ports() > 1 {
+            SupportLevel::Multiport
+        } else if m.geometry.width() > 1 {
+            SupportLevel::WordOriented
+        } else {
+            SupportLevel::BitOriented
+        };
+        for alg in &m.algorithms {
+            hardwired += hardwired_design(tech, alg, mem_level).area.ge;
+        }
+    }
+
+    SharingAnalysis {
+        shared_programmable_ge: controller + collars,
+        dedicated_hardwired_ge: hardwired,
+        dedicated_programmable_ge: controller * memories.len() as f64 + collars,
+        memory_count: memories.len(),
+    }
+}
+
+/// The smallest number of identical memories at which the shared
+/// programmable strategy undercuts dedicated hardwired controllers, or
+/// `None` if it never does within `max_n`.
+#[must_use]
+pub fn crossover_memory_count(
+    tech: &Technology,
+    template: &SocMemory,
+    max_n: usize,
+) -> Option<usize> {
+    for n in 1..=max_n {
+        let memories: Vec<SocMemory> = (0..n)
+            .map(|i| SocMemory {
+                name: format!("{}_{i}", template.name),
+                geometry: template.geometry,
+                algorithms: template.algorithms.clone(),
+            })
+            .collect();
+        if sharing_analysis(tech, &memories).sharing_wins() {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::library;
+
+    fn lifecycle_memory(name: &str, geometry: MemGeometry) -> SocMemory {
+        SocMemory {
+            name: name.into(),
+            geometry,
+            // wafer sort, final test (retention), burn-in screen
+            algorithms: vec![
+                library::march_c(),
+                library::march_c_plus(),
+                library::march_c_plus_plus(),
+            ],
+        }
+    }
+
+    #[test]
+    fn collar_is_small_compared_to_any_controller() {
+        let tech = Technology::cmos5s();
+        let collar = tech.area_of(&collar_structure(&MemGeometry::word_oriented(1024, 8)));
+        let hw = hardwired_design(&tech, &library::march_c(), SupportLevel::BitOriented);
+        assert!(collar.ge < hw.area.ge, "{:.0} vs {:.0}", collar.ge, hw.area.ge);
+    }
+
+    #[test]
+    fn sharing_crosses_over_with_lifecycle_algorithms() {
+        let tech = Technology::cmos5s();
+        let template = lifecycle_memory("sram", MemGeometry::word_oriented(1024, 8));
+        let crossover = crossover_memory_count(&tech, &template, 32)
+            .expect("sharing must win eventually");
+        assert!(
+            crossover <= 4,
+            "with three lifecycle algorithms per memory, crossover at {crossover}"
+        );
+        // below the crossover, hardwired wins
+        if crossover > 1 {
+            let below: Vec<SocMemory> = (0..crossover - 1)
+                .map(|i| lifecycle_memory(&format!("m{i}"), template.geometry))
+                .collect();
+            assert!(!sharing_analysis(&tech, &below).sharing_wins());
+        }
+    }
+
+    #[test]
+    fn single_algorithm_single_memory_favors_hardwired() {
+        let tech = Technology::cmos5s();
+        let memories = [SocMemory {
+            name: "only".into(),
+            geometry: MemGeometry::bit_oriented(256),
+            algorithms: vec![library::march_c()],
+        }];
+        let a = sharing_analysis(&tech, &memories);
+        assert!(!a.sharing_wins(), "one memory, one algorithm: hardwired is cheapest");
+    }
+
+    #[test]
+    fn shared_strategy_scales_sublinearly() {
+        let tech = Technology::cmos5s();
+        let mk = |n: usize| -> Vec<SocMemory> {
+            (0..n)
+                .map(|i| lifecycle_memory(&format!("m{i}"), MemGeometry::word_oriented(512, 8)))
+                .collect()
+        };
+        let a4 = sharing_analysis(&tech, &mk(4));
+        let a16 = sharing_analysis(&tech, &mk(16));
+        let shared_growth = a16.shared_programmable_ge / a4.shared_programmable_ge;
+        let hardwired_growth = a16.dedicated_hardwired_ge / a4.dedicated_hardwired_ge;
+        assert!(shared_growth < hardwired_growth);
+        assert!((hardwired_growth - 4.0).abs() < 0.01, "hardwired scales linearly");
+    }
+}

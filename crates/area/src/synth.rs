@@ -1,0 +1,161 @@
+//! Logic synthesis of hardwired controllers.
+//!
+//! A [`HardwiredFsm`] exports its full state transition table; this module
+//! turns every next-state and output bit into an incompletely-specified
+//! truth table over `{state bits, status inputs}` (unused state codes are
+//! don't-cares), minimizes each with the two-level minimizer, and counts
+//! the shared-PLA gate cost — the closest tractable analogue of the
+//! paper's ASIC synthesis flow.
+
+use mbist_core::hardwired::HardwiredFsm;
+use mbist_logic::{estimate_multi_output, minimize, Cover, Spec, TruthTable};
+use mbist_rtl::{Primitive, Structure};
+
+/// The synthesized combinational network of a hardwired controller.
+#[derive(Debug, Clone)]
+pub struct SynthesizedFsm {
+    /// State-register width.
+    pub state_bits: u32,
+    /// Status inputs observed.
+    pub status_inputs: u32,
+    /// Minimized covers: next-state bits first, then output bits.
+    pub covers: Vec<Cover>,
+    /// Distinct product terms after PLA-style sharing.
+    pub product_terms: usize,
+    /// NAND2 gates of the shared network.
+    pub nand2: u32,
+    /// Inverters of the shared network.
+    pub inv: u32,
+}
+
+/// Synthesizes the next-state and output logic of a hardwired controller.
+///
+/// # Panics
+///
+/// Panics if the controller is too large for the minimizer (more than 16
+/// combined state/status bits — far beyond any march controller in the
+/// paper's evaluation).
+#[must_use]
+pub fn synthesize(fsm: &HardwiredFsm) -> SynthesizedFsm {
+    let table = fsm.transition_table();
+    let state_bits = fsm.state_bits();
+    let status_inputs = fsm.input_count() as u32;
+    let total_inputs = (state_bits + status_inputs) as u8;
+    assert!(total_inputs <= 16, "controller too large for two-level synthesis");
+
+    let next_bits = state_bits as usize;
+    let out_bits = table.first().map_or(0, |r| r.outputs.len());
+
+    let mut covers = Vec::with_capacity(next_bits + out_bits);
+    for bit in 0..next_bits + out_bits {
+        let mut tt = TruthTable::from_fn(total_inputs, |_| Spec::Dc);
+        for row in &table {
+            let minterm = row.state as u64 | (u64::from(row.inputs) << state_bits);
+            let on = if bit < next_bits {
+                (row.next >> bit) & 1 == 1
+            } else {
+                row.outputs[bit - next_bits]
+            };
+            tt.set(minterm, if on { Spec::On } else { Spec::Off });
+        }
+        covers.push(minimize(&tt).expect("input count checked above"));
+    }
+
+    let est = estimate_multi_output(&covers);
+    SynthesizedFsm {
+        state_bits,
+        status_inputs,
+        product_terms: est.distinct_terms,
+        nand2: est.gates.nand2,
+        inv: est.gates.inv,
+        covers,
+    }
+}
+
+/// The full structural inventory of a synthesized hardwired controller:
+/// state register plus minimized combinational network.
+#[must_use]
+pub fn synthesized_structure(fsm: &HardwiredFsm) -> Structure {
+    let synth = synthesize(fsm);
+    Structure::named("hardwired_controller")
+        .with_child(
+            Structure::leaf("state_register").with(Primitive::Dff, synth.state_bits),
+        )
+        .with_child(
+            Structure::leaf("next_state_and_output_logic")
+                .with(Primitive::Nand2, synth.nand2)
+                .with(Primitive::Inv, synth.inv),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_core::hardwired::HardwiredCaps;
+    use mbist_march::library;
+
+    #[test]
+    fn synthesized_covers_reproduce_the_table() {
+        let fsm = HardwiredFsm::new(&library::mats_plus(), HardwiredCaps::default());
+        let synth = synthesize(&fsm);
+        let state_bits = synth.state_bits;
+        for row in fsm.transition_table() {
+            let m = row.state as u64 | (u64::from(row.inputs) << state_bits);
+            for bit in 0..state_bits as usize {
+                let want = (row.next >> bit) & 1 == 1;
+                assert_eq!(
+                    synth.covers[bit].evaluate(m),
+                    want,
+                    "next-state bit {bit} wrong at state {} inputs {}",
+                    row.state,
+                    row.inputs
+                );
+            }
+            for (k, &want) in row.outputs.iter().enumerate() {
+                assert_eq!(
+                    synth.covers[state_bits as usize + k].evaluate(m),
+                    want,
+                    "output {k} wrong at state {} inputs {}",
+                    row.state,
+                    row.inputs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_algorithms_need_more_logic() {
+        let caps = HardwiredCaps::default();
+        let small = synthesize(&HardwiredFsm::new(&library::mats_plus(), caps));
+        let big = synthesize(&HardwiredFsm::new(&library::march_a(), caps));
+        assert!(
+            big.nand2 > small.nand2,
+            "march A ({}) should need more gates than MATS+ ({})",
+            big.nand2,
+            small.nand2
+        );
+    }
+
+    #[test]
+    fn caps_add_inputs_and_logic() {
+        let plain = synthesize(&HardwiredFsm::new(
+            &library::march_c(),
+            HardwiredCaps::default(),
+        ));
+        let full = synthesize(&HardwiredFsm::new(
+            &library::march_c(),
+            HardwiredCaps { background_loop: true, port_loop: true },
+        ));
+        assert_eq!(plain.status_inputs, 1);
+        assert_eq!(full.status_inputs, 3);
+        assert!(full.nand2 >= plain.nand2);
+    }
+
+    #[test]
+    fn structure_contains_register_and_logic() {
+        let fsm = HardwiredFsm::new(&library::march_c(), HardwiredCaps::default());
+        let s = synthesized_structure(&fsm);
+        assert_eq!(s.count(Primitive::Dff), fsm.state_bits());
+        assert!(s.count(Primitive::Nand2) > 0);
+    }
+}

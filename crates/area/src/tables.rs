@@ -1,0 +1,217 @@
+//! Regeneration of the paper's Tables 1-3.
+
+use mbist_rtl::CellStyle;
+
+use crate::model::{
+    baseline_algorithms, hardwired_design, microcode_design, progfsm_design, DesignPoint,
+    SupportLevel,
+};
+use crate::report::Table;
+use crate::tech::Technology;
+
+fn fmt_ge(ge: f64) -> String {
+    format!("{ge:.0}")
+}
+
+fn fmt_um2(um2: f64) -> String {
+    format!("{um2:.0}")
+}
+
+/// The design points of Table 1/2 rows, in paper order.
+#[must_use]
+pub fn design_points(tech: &Technology, level: SupportLevel) -> Vec<DesignPoint> {
+    let mut rows = vec![
+        microcode_design(tech, CellStyle::FullScan, level),
+        progfsm_design(tech, level),
+    ];
+    for test in baseline_algorithms() {
+        rows.push(hardwired_design(tech, &test, level));
+    }
+    rows
+}
+
+/// **Table 1** — size of the memory BIST methodology for bit-oriented,
+/// single-port memories: flexibility, internal area (2-input NAND gate
+/// equivalents) and size in µm².
+#[must_use]
+pub fn table1(tech: &Technology) -> Table {
+    let mut t = Table::new(
+        "Table 1. Size of the Memory BIST Methodology For Bit-Oriented and \
+         Single-port Memories",
+        vec!["Method".into(), "Flex.".into(), "Int. Area (GE)".into(), "Size um^2".into()],
+    );
+    for p in design_points(tech, SupportLevel::BitOriented) {
+        t.push_row(vec![
+            p.name.clone(),
+            p.flexibility.to_string(),
+            fmt_ge(p.area.ge),
+            fmt_um2(p.area.um2),
+        ]);
+    }
+    t
+}
+
+/// **Table 2** — size for word-oriented and multiport memories: internal
+/// area and µm² under each support level.
+#[must_use]
+pub fn table2(tech: &Technology) -> Table {
+    let mut t = Table::new(
+        "Table 2. Size of the Memory BIST Methodology For Word-Oriented and \
+         Multiport Memories",
+        vec![
+            "Method".into(),
+            "Word Int.A. (GE)".into(),
+            "Word Size um^2".into(),
+            "Multiport Int.A. (GE)".into(),
+            "Multiport Size um^2".into(),
+        ],
+    );
+    let word = design_points(tech, SupportLevel::WordOriented);
+    let multi = design_points(tech, SupportLevel::Multiport);
+    for (w, m) in word.iter().zip(multi.iter()) {
+        assert_eq!(w.name, m.name);
+        t.push_row(vec![
+            w.name.clone(),
+            fmt_ge(w.area.ge),
+            fmt_um2(w.area.um2),
+            fmt_ge(m.area.ge),
+            fmt_um2(m.area.um2),
+        ]);
+    }
+    t
+}
+
+/// **Table 3** — adjusted size of the microcode-based controller with the
+/// storage unit redesigned in scan-only cells, per support level, with the
+/// reduction against the full-scan baseline.
+#[must_use]
+pub fn table3(tech: &Technology) -> Table {
+    let mut t = Table::new(
+        "Table 3. Adjusted Size of Microcode-Based Controller (scan-only storage cells)",
+        vec![
+            "Method".into(),
+            "Adj. Int. Area (GE)".into(),
+            "Adj. Size um^2".into(),
+            "Reduction".into(),
+        ],
+    );
+    for level in SupportLevel::ALL {
+        let full = microcode_design(tech, CellStyle::FullScan, level);
+        let adj = microcode_design(tech, CellStyle::ScanOnly, level);
+        let reduction = 1.0 - adj.area.ge / full.area.ge;
+        t.push_row(vec![
+            level.label().to_string(),
+            fmt_ge(adj.area.ge),
+            fmt_um2(adj.area.um2),
+            format!("{:.0}%", reduction * 100.0),
+        ]);
+    }
+    t
+}
+
+/// The paper's §3 closing observations, computed from the model so the
+/// experiment harness can assert them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observations {
+    /// Fractional area reduction of the scan-only redesign (paper: ~60%).
+    pub scan_only_reduction: f64,
+    /// Adjusted microcode area / programmable FSM area (paper: < 1).
+    pub microcode_vs_progfsm: f64,
+    /// Hardwired March C++ area / hardwired March C area (paper: > 1, the
+    /// cost of enhancing the fault model).
+    pub enhancement_growth: f64,
+    /// (adjusted microcode − March C++) / (adjusted microcode − March C):
+    /// below 1 means the programmable-versus-hardwired gap narrows as the
+    /// hardwired unit is enhanced (paper's final observation).
+    pub gap_narrowing: f64,
+}
+
+/// Computes the observations at the bit-oriented design point.
+#[must_use]
+pub fn observations(tech: &Technology) -> Observations {
+    let level = SupportLevel::BitOriented;
+    let full = microcode_design(tech, CellStyle::FullScan, level).area.ge;
+    let adj = microcode_design(tech, CellStyle::ScanOnly, level).area.ge;
+    let fsm = progfsm_design(tech, level).area.ge;
+    let algorithms = baseline_algorithms();
+    let c = hardwired_design(tech, &algorithms[0], level).area.ge;
+    let cpp = hardwired_design(tech, &algorithms[2], level).area.ge;
+    Observations {
+        scan_only_reduction: 1.0 - adj / full,
+        microcode_vs_progfsm: adj / fsm,
+        enhancement_growth: cpp / c,
+        gap_narrowing: (adj - cpp) / (adj - c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eight_rows_with_flexibility_column() {
+        let t = table1(&Technology::cmos5s());
+        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.cell("Microcode-Based", "Flex."), Some("HIGH"));
+        assert_eq!(t.cell("Prog. FSM-Based", "Flex."), Some("MEDIUM"));
+        for row in ["March C", "March C+", "March C++", "March A", "March A+", "March A++"]
+        {
+            assert_eq!(t.cell(row, "Flex."), Some("LOW"), "{row}");
+        }
+    }
+
+    #[test]
+    fn table2_areas_exceed_table1() {
+        let tech = Technology::cmos5s();
+        let t1 = table1(&tech);
+        let t2 = table2(&tech);
+        for row in ["Microcode-Based", "Prog. FSM-Based", "March C", "March A++"] {
+            let base: f64 = t1.cell(row, "Int. Area (GE)").unwrap().parse().unwrap();
+            let word: f64 = t2.cell(row, "Word Int.A. (GE)").unwrap().parse().unwrap();
+            let multi: f64 =
+                t2.cell(row, "Multiport Int.A. (GE)").unwrap().parse().unwrap();
+            assert!(base < word && word < multi, "{row}: {base} < {word} < {multi}");
+        }
+    }
+
+    #[test]
+    fn table3_reduction_is_in_the_paper_band() {
+        let t = table3(&Technology::cmos5s());
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            let pct: f64 = row[3].trim_end_matches('%').parse().unwrap();
+            assert!((40.0..=70.0).contains(&pct), "reduction {pct}% out of band");
+        }
+    }
+
+    #[test]
+    fn observations_match_paper_shape() {
+        let obs = observations(&Technology::cmos5s());
+        assert!(
+            (0.4..=0.7).contains(&obs.scan_only_reduction),
+            "storage redesign reduction {:.2}",
+            obs.scan_only_reduction
+        );
+        assert!(
+            obs.microcode_vs_progfsm < 1.0,
+            "adjusted microcode must undercut prog FSM ({:.2})",
+            obs.microcode_vs_progfsm
+        );
+        assert!(obs.enhancement_growth > 1.0);
+        assert!(
+            obs.gap_narrowing < 1.0,
+            "gap must narrow as the hardwired unit is enhanced ({:.2})",
+            obs.gap_narrowing
+        );
+    }
+
+    #[test]
+    fn tables_render_to_text() {
+        let tech = Technology::cmos5s();
+        for t in [table1(&tech), table2(&tech), table3(&tech)] {
+            let s = t.to_string();
+            assert!(s.contains('|'));
+            assert!(s.lines().count() > 5);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Technology model: mapping structural primitives to gate equivalents and
+//! silicon area.
+//!
+//! The paper reports "internal area" in 2-input NAND gates and physical
+//! size in µm² for IBM CMOS5S (0.35 µm). That library is proprietary, so
+//! this model uses representative public-domain figures for a 0.35 µm
+//! standard-cell process; the *relative* weights are what matters for
+//! reproducing the paper's comparisons, and they preserve the paper's two
+//! stated cell facts: scan-only storage cells are 4-5× smaller than
+//! full-scan registers, and a NAND2 is the area unit.
+
+use std::collections::BTreeMap;
+
+use mbist_rtl::{Primitive, Structure};
+
+/// A standard-cell technology: NAND2 area plus per-primitive
+/// gate-equivalent weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    name: String,
+    nand2_um2: f64,
+    weights: BTreeMap<Primitive, f64>,
+}
+
+impl Technology {
+    /// A CMOS5S-like 0.35 µm model.
+    ///
+    /// Weights (gate equivalents): NAND2 1.0, INV 0.67, XOR2 2.33,
+    /// MUX2 1.67, DFF 5.67, scan DFF 7.33, scan-only cell 1.67
+    /// (≈ 4.4× smaller than a scan DFF, inside the paper's 4-5× band),
+    /// SRAM bit 0.4. NAND2 = 49 µm².
+    #[must_use]
+    pub fn cmos5s() -> Self {
+        let mut weights = BTreeMap::new();
+        weights.insert(Primitive::Nand2, 1.0);
+        weights.insert(Primitive::Inv, 0.67);
+        weights.insert(Primitive::Xor2, 2.33);
+        weights.insert(Primitive::Mux2, 1.67);
+        weights.insert(Primitive::Dff, 5.67);
+        weights.insert(Primitive::ScanDff, 7.33);
+        weights.insert(Primitive::ScanOnlyCell, 1.67);
+        weights.insert(Primitive::SramBit, 0.4);
+        Self { name: "cmos5s-like 0.35um".into(), nand2_um2: 49.0, weights }
+    }
+
+    /// The model's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Area of one NAND2 in µm².
+    #[must_use]
+    pub fn nand2_um2(&self) -> f64 {
+        self.nand2_um2
+    }
+
+    /// Gate-equivalent weight of a primitive.
+    #[must_use]
+    pub fn weight(&self, prim: Primitive) -> f64 {
+        self.weights.get(&prim).copied().unwrap_or(1.0)
+    }
+
+    /// Returns a copy with one weight overridden (used by the sensitivity
+    /// study on the storage-cell area factor).
+    #[must_use]
+    pub fn with_weight(&self, prim: Primitive, weight: f64) -> Self {
+        let mut t = self.clone();
+        t.weights.insert(prim, weight);
+        t.name = format!("{} ({prim}={weight})", self.name);
+        t
+    }
+
+    /// Evaluates a structure into an area estimate.
+    #[must_use]
+    pub fn area_of(&self, structure: &Structure) -> AreaEstimate {
+        let mut ge = 0.0;
+        let mut breakdown = BTreeMap::new();
+        for (prim, count) in structure.totals() {
+            let contribution = self.weight(prim) * f64::from(count);
+            ge += contribution;
+            breakdown.insert(prim, contribution);
+        }
+        AreaEstimate { ge, um2: ge * self.nand2_um2, breakdown }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::cmos5s()
+    }
+}
+
+/// An evaluated area: gate equivalents (2-input NAND units, the paper's
+/// "internal area") and µm².
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaEstimate {
+    /// Total gate equivalents.
+    pub ge: f64,
+    /// Physical area in µm².
+    pub um2: f64,
+    /// Per-primitive GE contributions.
+    pub breakdown: BTreeMap<Primitive, f64>,
+}
+
+impl AreaEstimate {
+    /// GE contribution of one primitive kind.
+    #[must_use]
+    pub fn of(&self, prim: Primitive) -> f64 {
+        self.breakdown.get(&prim).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_only_cells_are_4_to_5_times_smaller() {
+        let t = Technology::cmos5s();
+        let ratio = t.weight(Primitive::ScanDff) / t.weight(Primitive::ScanOnlyCell);
+        assert!((4.0..=5.0).contains(&ratio), "ratio {ratio} outside the paper's band");
+    }
+
+    #[test]
+    fn area_sums_weighted_primitives() {
+        let t = Technology::cmos5s();
+        let s = Structure::leaf("x")
+            .with(Primitive::Nand2, 10)
+            .with(Primitive::Dff, 2);
+        let a = t.area_of(&s);
+        assert_eq!(a.ge, 10.0 + 2.0 * 5.67);
+        assert_eq!(a.um2, a.ge * 49.0);
+        assert_eq!(a.of(Primitive::Nand2), 10.0);
+    }
+
+    #[test]
+    fn with_weight_overrides_one_primitive() {
+        let t = Technology::cmos5s().with_weight(Primitive::ScanOnlyCell, 3.0);
+        assert_eq!(t.weight(Primitive::ScanOnlyCell), 3.0);
+        assert_eq!(t.weight(Primitive::Nand2), 1.0);
+    }
+
+    #[test]
+    fn empty_structure_is_zero_area() {
+        let a = Technology::cmos5s().area_of(&Structure::leaf("empty"));
+        assert_eq!(a.ge, 0.0);
+        assert_eq!(a.um2, 0.0);
+    }
+}

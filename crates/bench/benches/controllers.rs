@@ -1,0 +1,47 @@
+//! Cycle-accurate simulation throughput of the three controller
+//! architectures running March C against a 1K×1 memory — the harness
+//! behind the overhead comparison and the fig. 1/4 traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbist_core::{
+    hardwired::HardwiredBist, microcode::MicrocodeBist, progfsm::ProgFsmBist,
+};
+use mbist_march::library;
+use mbist_mem::{MemGeometry, MemoryArray};
+use std::hint::black_box;
+
+fn bench_controllers(c: &mut Criterion) {
+    let g = MemGeometry::bit_oriented(1024);
+    let test = library::march_c();
+    let mut group = c.benchmark_group("controllers_march_c_1k");
+    group.sample_size(20);
+
+    group.bench_function("microcode", |b| {
+        let mut unit = MicrocodeBist::for_test(&test, &g).unwrap();
+        b.iter(|| {
+            let mut mem = MemoryArray::new(g);
+            black_box(unit.run(&mut mem))
+        })
+    });
+    group.bench_function("programmable_fsm", |b| {
+        let mut unit = ProgFsmBist::for_test(&test, &g).unwrap();
+        b.iter(|| {
+            let mut mem = MemoryArray::new(g);
+            black_box(unit.run(&mut mem))
+        })
+    });
+    group.bench_function("hardwired", |b| {
+        let mut unit = HardwiredBist::for_test(&test, &g);
+        b.iter(|| {
+            let mut mem = MemoryArray::new(g);
+            black_box(unit.run(&mut mem))
+        })
+    });
+    group.bench_function("reference_expansion", |b| {
+        b.iter(|| black_box(mbist_march::expand(&test, &g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Serial fault-simulation throughput — the harness behind the Ext-1
+//! coverage matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbist_march::{evaluate_coverage, library, CoverageOptions};
+use mbist_mem::{FaultClass, MemGeometry};
+use std::hint::black_box;
+
+fn bench_coverage(c: &mut Criterion) {
+    let g = MemGeometry::bit_oriented(64);
+    let mut group = c.benchmark_group("coverage_64x1");
+    group.sample_size(10);
+
+    for class in [FaultClass::StuckAt, FaultClass::CouplingIdempotent] {
+        group.bench_function(format!("march_c_{}", class.label()), |b| {
+            let opts = CoverageOptions {
+                classes: vec![class],
+                max_faults_per_class: Some(64),
+                ..CoverageOptions::default()
+            };
+            b.iter(|| black_box(evaluate_coverage(&library::march_c(), &g, &opts)))
+        });
+    }
+    group.bench_function("march_a_all_classes_sampled", |b| {
+        let opts = CoverageOptions {
+            max_faults_per_class: Some(32),
+            ..CoverageOptions::default()
+        };
+        b.iter(|| black_box(evaluate_coverage(&library::march_a(), &g, &opts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Two-level minimization throughput on real hardwired-controller
+//! transition tables — the synthesis step behind every hardwired row of
+//! Tables 1-2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbist_area::synthesize;
+use mbist_core::hardwired::{HardwiredCaps, HardwiredFsm};
+use mbist_march::library;
+use std::hint::black_box;
+
+fn bench_logic_min(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fsm_synthesis");
+    group.sample_size(10);
+
+    for (name, test) in [
+        ("march_c", library::march_c()),
+        ("march_a", library::march_a()),
+        ("march_c_pp", library::march_c_plus_plus()),
+    ] {
+        group.bench_function(name, |b| {
+            let fsm = HardwiredFsm::new(&test, HardwiredCaps::default());
+            b.iter(|| black_box(synthesize(&fsm)))
+        });
+    }
+    group.bench_function("march_a_pp_multiport", |b| {
+        let fsm = HardwiredFsm::new(
+            &library::march_a_plus_plus(),
+            HardwiredCaps { background_loop: true, port_loop: true },
+        );
+        b.iter(|| black_box(synthesize(&fsm)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_logic_min);
+criterion_main!(benches);

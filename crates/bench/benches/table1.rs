@@ -1,0 +1,20 @@
+//! Criterion bench behind Table 1: elaboration + synthesis time for every
+//! design point of the bit-oriented, single-port comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbist_area::{design_points, table1, SupportLevel, Technology};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let tech = Technology::cmos5s();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("design_points_bit_oriented", |b| {
+        b.iter(|| black_box(design_points(&tech, SupportLevel::BitOriented)))
+    });
+    group.bench_function("full_table1", |b| b.iter(|| black_box(table1(&tech))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

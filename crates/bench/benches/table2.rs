@@ -1,0 +1,23 @@
+//! Criterion bench behind Table 2: word-oriented and multiport design
+//! points (larger FSM input spaces for the synthesized baselines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbist_area::{design_points, table2, SupportLevel, Technology};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let tech = Technology::cmos5s();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("design_points_word", |b| {
+        b.iter(|| black_box(design_points(&tech, SupportLevel::WordOriented)))
+    });
+    group.bench_function("design_points_multiport", |b| {
+        b.iter(|| black_box(design_points(&tech, SupportLevel::Multiport)))
+    });
+    group.bench_function("full_table2", |b| b.iter(|| black_box(table2(&tech))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

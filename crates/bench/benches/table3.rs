@@ -1,0 +1,30 @@
+//! Criterion bench behind Table 3: scan-only adjusted microcode controller
+//! elaboration and the storage-cell sensitivity sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbist_area::{microcode_design, storage_cell_sweep, table3, SupportLevel, Technology};
+use mbist_rtl::CellStyle;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let tech = Technology::cmos5s();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("adjusted_microcode_elaboration", |b| {
+        b.iter(|| {
+            black_box(microcode_design(
+                &tech,
+                CellStyle::ScanOnly,
+                SupportLevel::BitOriented,
+            ))
+        })
+    });
+    group.bench_function("storage_cell_sweep_8pt", |b| {
+        b.iter(|| black_box(storage_cell_sweep(&tech, 1.0, 8.0, 8)))
+    });
+    group.bench_function("full_table3", |b| b.iter(|| black_box(table3(&tech))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

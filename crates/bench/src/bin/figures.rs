@@ -1,0 +1,349 @@
+//! Regenerates the paper's figures and the extension studies.
+//!
+//! Usage: `figures [fig1|fig2|fig4|fig5|coverage|overhead|loadtime|transparent|all]`
+//!
+//! - `fig1`: microcode controller datapath trace (Fig. 1 in action),
+//! - `fig2`: the 9-instruction March C microcode program (Fig. 2),
+//! - `fig4`: lower/upper programmable-FSM state walk (Fig. 4),
+//! - `fig5`: the 8-instruction March C FSM program (Fig. 5),
+//! - `coverage`: per-algorithm fault-coverage matrix (extension Ext-1),
+//! - `overhead`: controller cycle overhead comparison (extension),
+//! - `loadtime`: scan-load time of the programmable architectures,
+//! - `transparent`: content-preserving in-field test demo (Ext-4).
+
+use mbist_bench::run_all_architectures;
+use mbist_core::{
+    microcode::{self, MicrocodeBist},
+    progfsm::{self, ProgFsmBist},
+};
+use mbist_march::{
+    evaluate_coverage, library, run_transparent, CoverageOptions, MarchTest,
+};
+use mbist_mem::{FaultClass, MemGeometry, MemoryArray, PortId};
+use mbist_rtl::Trace;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let run_all = arg == "all";
+    if run_all || arg == "fig1" {
+        fig1();
+    }
+    if run_all || arg == "fig2" {
+        fig2();
+    }
+    if run_all || arg == "fig4" {
+        fig4();
+    }
+    if run_all || arg == "fig5" {
+        fig5();
+    }
+    if run_all || arg == "coverage" {
+        coverage();
+    }
+    if run_all || arg == "overhead" {
+        overhead();
+    }
+    if run_all || arg == "loadtime" {
+        loadtime();
+    }
+    if run_all || arg == "transparent" {
+        transparent();
+    }
+    if run_all || arg == "sharing" {
+        sharing();
+    }
+    if run_all || arg == "online" {
+        online();
+    }
+    if run_all || arg == "synth" {
+        synth();
+    }
+}
+
+/// Extension — march-test synthesis for a target fault mix.
+fn synth() {
+    use mbist_march::{synthesize_march, SynthesisOptions};
+    println!("== Extension: march-test synthesis for target fault mixes ==");
+    let mixes: [(&str, Vec<FaultClass>); 3] = [
+        ("saf-only", vec![FaultClass::StuckAt]),
+        (
+            "static",
+            vec![FaultClass::StuckAt, FaultClass::Transition, FaultClass::AddressDecoder],
+        ),
+        (
+            "coupling",
+            vec![
+                FaultClass::StuckAt,
+                FaultClass::Transition,
+                FaultClass::CouplingInversion,
+                FaultClass::CouplingIdempotent,
+            ],
+        ),
+    ];
+    for (label, classes) in mixes {
+        let options = SynthesisOptions { classes, ..SynthesisOptions::default() };
+        let result = synthesize_march(label, &options);
+        println!(
+            "{label:<10} {:>2}n  coverage {:>3}/{:<3}  ({} evaluations)\n           {}",
+            result.test.ops_per_cell(),
+            result.detected,
+            result.total,
+            result.evaluations,
+            result.test
+        );
+    }
+    println!();
+}
+
+/// Extension — SoC controller-sharing crossover (the paper's "lower
+/// overall memory test logic overhead" claim).
+fn sharing() {
+    use mbist_area::{crossover_memory_count, sharing_analysis, SocMemory, Technology};
+    println!("== Extension: shared programmable controller vs dedicated hardwired ==");
+    let tech = Technology::cmos5s();
+    let lifecycle = vec![
+        library::march_c(),
+        library::march_c_plus(),
+        library::march_c_plus_plus(),
+    ];
+    let template = SocMemory {
+        name: "sram".into(),
+        geometry: MemGeometry::word_oriented(1024, 8),
+        algorithms: lifecycle,
+    };
+    println!(
+        "{:>4} {:>22} {:>22} {:>22}",
+        "N", "shared prog (GE)", "dedicated hw (GE)", "dedicated prog (GE)"
+    );
+    for n in [1usize, 2, 4, 8, 16] {
+        let memories: Vec<SocMemory> = (0..n)
+            .map(|i| SocMemory {
+                name: format!("sram{i}"),
+                geometry: template.geometry,
+                algorithms: template.algorithms.clone(),
+            })
+            .collect();
+        let a = sharing_analysis(&tech, &memories);
+        println!(
+            "{:>4} {:>22.0} {:>22.0} {:>22.0}",
+            n, a.shared_programmable_ge, a.dedicated_hardwired_ge,
+            a.dedicated_programmable_ge
+        );
+    }
+    match crossover_memory_count(&tech, &template, 32) {
+        Some(n) => println!(
+            "crossover: sharing wins from {n} memories (3 lifecycle algorithms each)\n"
+        ),
+        None => println!("no crossover within 32 memories\n"),
+    }
+}
+
+/// Extension — periodic on-line transparent testing and detection latency.
+fn online() {
+    use mbist_core::online::{run_periodic, OnlineConfig};
+    use mbist_mem::{CellId, FaultKind};
+    println!("== Extension: periodic on-line transparent testing (32x8) ==");
+    let g = MemGeometry::word_oriented(32, 8);
+    for (label, inject) in [
+        ("healthy part, 8 rounds", None),
+        (
+            "SAF appears at round 3",
+            Some((3usize, FaultKind::StuckAt { cell: CellId::new(9, 4), value: true })),
+        ),
+        (
+            "TF appears at round 2",
+            Some((2usize, FaultKind::Transition { cell: CellId::new(20, 1), rising: false })),
+        ),
+    ] {
+        let mut mem = MemoryArray::new(g);
+        mem.randomize(7);
+        let report = run_periodic(&mut mem, &library::march_c(), 8, &OnlineConfig::default(), inject);
+        println!(
+            "{label:<26} rounds={} detected_at={:?} content_upsets={} test_cycles={}",
+            report.rounds_run, report.detection_round, report.content_upsets,
+            report.test_cycles
+        );
+    }
+    println!();
+}
+
+/// Fig. 1 — the microcode controller driving the datapath, as a signal
+/// trace over a tiny memory.
+fn fig1() {
+    println!("== Fig. 1: microcode-based BIST controller, March C on a 4x1 memory ==");
+    let g = MemGeometry::bit_oriented(4);
+    let mut unit = MicrocodeBist::for_test(&library::march_c(), &g)
+        .expect("march C compiles");
+    let mut mem = MemoryArray::new(g);
+    let mut trace = Trace::new();
+    let report = unit.run_traced(&mut mem, &mut trace);
+    println!("{}", trace.render(1, report.cycles));
+    println!(
+        "cycles: {} (bus {}, flow overhead {})\n",
+        report.cycles,
+        report.bus_cycles,
+        report.overhead_cycles()
+    );
+}
+
+/// Fig. 2 — the microcode instruction definition exercised by the March C
+/// program.
+fn fig2() {
+    println!("== Fig. 2: March C microcode program (9 instructions) ==");
+    let program = microcode::compile(&library::march_c()).expect("march C compiles");
+    print!("{}", microcode::disassemble(&program));
+    println!(
+        "instructions: {} for the 10n March C — symmetric halves folded by \
+         `repeat(order)` through the reference register\n",
+        program.len()
+    );
+}
+
+/// Fig. 4 — the 7-state lower FSM walking Idle→Reset→RW→Done per
+/// component, with path A/B loop-backs.
+fn fig4() {
+    println!("== Fig. 4: programmable FSM lower/upper controller walk ==");
+    let g = MemGeometry::bit_oriented(2);
+    let mut unit =
+        ProgFsmBist::for_test(&library::mats_plus(), &g).expect("MATS+ compiles");
+    let mut mem = MemoryArray::new(g);
+    let mut trace = Trace::new();
+    let report = unit.run_traced(&mut mem, &mut trace);
+    println!("{}", trace.render(1, report.cycles));
+    println!(
+        "cycles: {} (bus {}, Idle/Reset/Done handshake overhead {})\n",
+        report.cycles,
+        report.bus_cycles,
+        report.overhead_cycles()
+    );
+}
+
+/// Fig. 5 — the FSM-based instruction definition exercised by March C.
+fn fig5() {
+    println!("== Fig. 5: March C programmable-FSM program (8 instructions) ==");
+    let program = progfsm::compile(&library::march_c()).expect("march C compiles");
+    for (i, inst) in program.iter().enumerate() {
+        println!("{i:>3}: {inst}");
+    }
+    println!();
+}
+
+/// Ext-1 — fault-coverage matrix across the algorithm library.
+fn coverage() {
+    println!("== Ext-1: fault coverage by serial fault simulation (64x1 memory) ==");
+    let g = MemGeometry::bit_oriented(64);
+    let classes = [
+        FaultClass::StuckAt,
+        FaultClass::Transition,
+        FaultClass::AddressDecoder,
+        FaultClass::CouplingInversion,
+        FaultClass::CouplingIdempotent,
+        FaultClass::CouplingState,
+        FaultClass::StuckOpen,
+        FaultClass::Retention,
+        FaultClass::PullOpen,
+        FaultClass::NpsfStatic,
+        FaultClass::NpsfActive,
+    ];
+    print!("{:<12}", "algorithm");
+    for c in classes {
+        print!("{:>7}", c.label());
+    }
+    println!();
+    for t in library::all() {
+        let report = evaluate_coverage(
+            &t,
+            &g,
+            &CoverageOptions {
+                classes: classes.to_vec(),
+                max_faults_per_class: Some(128),
+                ..CoverageOptions::default()
+            },
+        );
+        print!("{:<12}", t.name());
+        for row in &report.rows {
+            print!("{:>6.0}%", row.ratio() * 100.0);
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Extension — cycle overhead of each controller architecture.
+fn overhead() {
+    println!("== Extension: controller cycle overhead, March C on 1Kx1 ==");
+    let g = MemGeometry::bit_oriented(1024);
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>12}",
+        "architecture", "cycles", "bus", "overhead", "overhead/op"
+    );
+    for (arch, report) in run_all_architectures(&library::march_c(), &g) {
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>11.4}%",
+            arch,
+            report.cycles,
+            report.bus_cycles,
+            report.overhead_cycles(),
+            report.overhead_cycles() as f64 / report.bus_cycles as f64 * 100.0
+        );
+    }
+    println!();
+}
+
+/// Extension — scan-load time of the programmable architectures (the
+/// single-load property the paper contrasts against the multi-load patent
+/// \[3\] scheme).
+fn loadtime() {
+    println!("== Extension: program load cost ==");
+    let g = MemGeometry::bit_oriented(1024);
+    for t in [library::march_c(), library::march_a(), library::march_c_plus()] {
+        let unit = MicrocodeBist::for_test(&t, &g).expect("compiles");
+        let scan_bits = unit.controller().scan_cycles();
+        let prog = unit.controller().program().len();
+        println!(
+            "microcode  {:<10} {:>2} instructions, one scan load of {:>4} clocks",
+            t.name(),
+            prog,
+            scan_bits
+        );
+    }
+    for t in [library::march_c(), library::march_a()] {
+        let unit = ProgFsmBist::for_test(&t, &g).expect("compiles");
+        let prog = unit.controller().program().len();
+        println!(
+            "prog-fsm   {:<10} {:>2} instructions, one parallel load",
+            t.name(),
+            prog
+        );
+    }
+    println!();
+}
+
+/// Ext-4 — transparent (content-preserving) testing for in-field use.
+fn transparent() {
+    println!("== Ext-4: transparent March C on a 16x4 memory with live content ==");
+    let g = MemGeometry::word_oriented(16, 4);
+    let mut mem = MemoryArray::new(g);
+    mem.randomize(2024);
+    let before: Vec<u64> = (0..16).map(|a| mem.peek(a).value()).collect();
+    let out = run_transparent(&mut mem, &library::march_c(), PortId(0));
+    let after: Vec<u64> = (0..16).map(|a| mem.peek(a).value()).collect();
+    println!("content before: {before:x?}");
+    println!("content after : {after:x?}");
+    println!(
+        "passed: {}, content preserved: {}\n",
+        out.report.passed(),
+        out.content_preserved
+    );
+    let _ = check_transparent_compat(&library::mats());
+}
+
+fn check_transparent_compat(t: &MarchTest) -> bool {
+    let ok = mbist_march::is_transparent_compatible(t);
+    println!(
+        "{} is {}transparent-compatible",
+        t.name(),
+        if ok { "" } else { "NOT " }
+    );
+    ok
+}

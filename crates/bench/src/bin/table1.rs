@@ -1,0 +1,30 @@
+//! Regenerates the paper's **Table 1**: size of the memory BIST
+//! methodology for bit-oriented, single-port memories.
+
+use mbist_area::{observations, table1, Technology};
+
+fn main() {
+    let tech = Technology::cmos5s();
+    println!("{}", table1(&tech));
+    let obs = observations(&tech);
+    println!("Observations (paper §3):");
+    println!(
+        "  - scan-only storage redesign reduces the microcode controller by {:.0}%",
+        obs.scan_only_reduction * 100.0
+    );
+    println!(
+        "  - adjusted microcode / programmable FSM area ratio: {:.2} (< 1: microcode \
+         gives more flexibility at less overhead)",
+        obs.microcode_vs_progfsm
+    );
+    println!(
+        "  - hardwired March C++ / March C area ratio: {:.2} (> 1: enhancing the fault \
+         model grows the non-programmable unit)",
+        obs.enhancement_growth
+    );
+    println!(
+        "  - programmable-vs-hardwired gap factor at March C++: {:.2} (< 1: the gap \
+         narrows as the hardwired unit is enhanced)",
+        obs.gap_narrowing
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's **Table 2**: size of the memory BIST
+//! methodology for word-oriented and multiport memories.
+
+use mbist_area::{table2, Technology};
+
+fn main() {
+    let tech = Technology::cmos5s();
+    println!("{}", table2(&tech));
+    println!(
+        "Note: controller internal area only; the shared datapath (address\n\
+         generator, comparator) grows identically for every architecture and\n\
+         is excluded, as in the paper's controller-size comparison."
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's **Table 3**: adjusted size of the
+//! microcode-based controller with scan-only storage cells, plus the
+//! storage-cell sensitivity sweep behind the paper's observation that
+//! storage-unit area reductions have the largest effect.
+
+use mbist_area::{storage_cell_sweep, table3, Technology};
+
+fn main() {
+    let tech = Technology::cmos5s();
+    println!("{}", table3(&tech));
+
+    println!("Storage-cell area sensitivity (microcode controller, bit-oriented):");
+    println!("{:>12} {:>16} {:>18}", "cell GE", "controller GE", "storage fraction");
+    for p in storage_cell_sweep(&tech, 1.0, 8.0, 8) {
+        println!(
+            "{:>12.2} {:>16.0} {:>17.0}%",
+            p.cell_ge,
+            p.controller_ge,
+            p.storage_fraction * 100.0
+        );
+    }
+}

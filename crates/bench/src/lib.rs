@@ -1,0 +1,78 @@
+//! Shared helpers for the MBIST benchmark harness: the binaries that
+//! regenerate the paper's tables and figures, and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mbist_core::{
+    hardwired::HardwiredBist, microcode::MicrocodeBist, progfsm::ProgFsmBist,
+    BistController, SessionReport,
+};
+use mbist_march::MarchTest;
+use mbist_mem::{MemGeometry, MemoryArray};
+
+/// The memory geometry of the paper's Table 1 configuration (a 1K×1
+/// bit-oriented, single-port embedded array).
+#[must_use]
+pub fn table1_geometry() -> MemGeometry {
+    MemGeometry::bit_oriented(1024)
+}
+
+/// Word-oriented configuration used for Table 2 (1K×8).
+#[must_use]
+pub fn word_geometry() -> MemGeometry {
+    MemGeometry::word_oriented(1024, 8)
+}
+
+/// Multiport configuration used for Table 2 (1K×8, 2 ports).
+#[must_use]
+pub fn multiport_geometry() -> MemGeometry {
+    MemGeometry::new(1024, 8, 2)
+}
+
+/// Runs `test` on a fault-free memory through every architecture that can
+/// express it, returning (architecture, session report) pairs.
+#[must_use]
+pub fn run_all_architectures(
+    test: &MarchTest,
+    geometry: &MemGeometry,
+) -> Vec<(&'static str, SessionReport)> {
+    let mut out = Vec::new();
+    if let Ok(mut unit) = MicrocodeBist::for_test(test, geometry) {
+        let mut mem = MemoryArray::new(*geometry);
+        out.push((unit.controller().architecture(), unit.run(&mut mem)));
+    }
+    if let Ok(mut unit) = ProgFsmBist::for_test(test, geometry) {
+        let mut mem = MemoryArray::new(*geometry);
+        out.push((unit.controller().architecture(), unit.run(&mut mem)));
+    }
+    let mut unit = HardwiredBist::for_test(test, geometry);
+    let mut mem = MemoryArray::new(*geometry);
+    out.push((unit.controller().architecture(), unit.run(&mut mem)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::library;
+
+    #[test]
+    fn all_architectures_run_march_c_cleanly() {
+        let g = MemGeometry::bit_oriented(64);
+        let results = run_all_architectures(&library::march_c(), &g);
+        assert_eq!(results.len(), 3);
+        for (arch, report) in &results {
+            assert!(report.passed(), "{arch} failed a fault-free memory");
+            assert_eq!(report.bus_cycles, 640, "{arch}");
+        }
+    }
+
+    #[test]
+    fn inexpressible_tests_skip_progfsm() {
+        let g = MemGeometry::bit_oriented(8);
+        let results = run_all_architectures(&library::march_b(), &g);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|(a, _)| *a != "programmable-fsm"));
+    }
+}

@@ -1,0 +1,492 @@
+//! # mbist-cli — command-line front end
+//!
+//! The command surface, testable as a library (`main.rs` is a thin shim):
+//!
+//! ```text
+//! mbist algorithms
+//! mbist show <algorithm>
+//! mbist compile <algorithm> [--arch microcode|progfsm]
+//! mbist run <algorithm> --words N [--width W] [--ports P]
+//!           [--arch microcode|progfsm|hardwired] [--fault KIND@ADDR[.BIT]]
+//! mbist coverage <algorithm> --words N [--max-faults K]
+//! mbist area [--table 1|2|3]
+//! mbist rtl <algorithm> [--capacity Z] [--words N] [--width W]
+//! ```
+//!
+//! `<algorithm>` is a library name (`march-c`, `mats+`, …) or inline march
+//! notation such as `"m(w0); u(r0,w1); d(r1,w0)"`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use mbist_area::{table1, table2, table3, Technology};
+use mbist_core::{
+    hardwired::HardwiredBist, microcode, microcode::MicrocodeBist, progfsm,
+    progfsm::ProgFsmBist,
+};
+use mbist_march::{evaluate_coverage, library, CoverageOptions, MarchTest};
+use mbist_mem::{CellId, FaultKind, MemGeometry, MemoryArray};
+
+/// A user-facing CLI error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError(message.into())
+}
+
+/// Executes a CLI invocation (without the leading program name), returning
+/// the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-readable message on any misuse or
+/// failure.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help" | "--help" | "-h") => Ok(usage()),
+        Some("algorithms") => Ok(cmd_algorithms()),
+        Some("show") => cmd_show(&collect(it)),
+        Some("compile") => cmd_compile(&collect(it)),
+        Some("run") => cmd_run(&collect(it)),
+        Some("coverage") => cmd_coverage(&collect(it)),
+        Some("area") => cmd_area(&collect(it)),
+        Some("rtl") => cmd_rtl(&collect(it)),
+        Some("synth") => cmd_synth(&collect(it)),
+        Some(other) => Err(err(format!("unknown command `{other}`; try `mbist help`"))),
+    }
+}
+
+fn collect<'a>(it: impl Iterator<Item = &'a str>) -> Vec<&'a str> {
+    it.collect()
+}
+
+fn usage() -> String {
+    "\
+mbist — programmable memory built-in self test (DATE 1999 reproduction)
+
+commands:
+  algorithms                          list the march algorithm library
+  show <algorithm>                    print an algorithm in march notation
+  compile <algorithm> [--arch A]      compile to microcode (default) or progfsm
+  run <algorithm> --words N [opts]    run a BIST session on a simulated memory
+      [--width W] [--ports P] [--arch microcode|progfsm|hardwired]
+      [--fault KIND@ADDR[.BIT]]       KIND: sa0 sa1 tf-up tf-down sof drf puf
+  coverage <algorithm> --words N      per-fault-class coverage (serial fault sim)
+      [--max-faults K]
+  area [--table 1|2|3]                regenerate the paper's tables
+  rtl <algorithm> [--capacity Z]      emit Verilog for the microcode BIST unit
+      [--words N] [--width W]
+  synth --classes C1,C2,..            synthesize a minimal march test for a
+      [--max-elements N]              fault mix (saf tf af cfin cfid cfst)
+
+<algorithm> is a library name (march-c, mats+, ...) or inline notation like
+\"m(w0); u(r0,w1); d(r1,w0)\".
+"
+    .to_string()
+}
+
+fn resolve_test(spec: &str) -> Result<MarchTest, CliError> {
+    if let Some(t) = library::by_name(spec) {
+        return Ok(t);
+    }
+    if spec.contains('(') {
+        return MarchTest::parse("custom", spec).map_err(|e| err(e.to_string()));
+    }
+    Err(err(format!(
+        "unknown algorithm `{spec}` (see `mbist algorithms`, or pass march notation)"
+    )))
+}
+
+fn flag_value<'a>(args: &[&'a str], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1).copied())
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[&str],
+    name: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| err(format!("invalid value `{v}` for {name}"))),
+    }
+}
+
+fn geometry_from(args: &[&str]) -> Result<MemGeometry, CliError> {
+    let words: u64 = match flag_value(args, "--words") {
+        Some(v) => v.parse().map_err(|_| err(format!("invalid --words `{v}`")))?,
+        None => return Err(err("--words N is required")),
+    };
+    let width: u8 = parse_flag(args, "--width", 1)?;
+    let ports: u8 = parse_flag(args, "--ports", 1)?;
+    if words == 0 || width == 0 || width > 64 || ports == 0 {
+        return Err(err("geometry out of range (words ≥ 1, 1 ≤ width ≤ 64, ports ≥ 1)"));
+    }
+    Ok(MemGeometry::new(words, width, ports))
+}
+
+fn cmd_algorithms() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:>6} {:>9} {:>8}", "name", "ops/n", "elements", "pauses");
+    for t in library::all() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>9} {:>8}",
+            t.name(),
+            t.ops_per_cell(),
+            t.element_count(),
+            t.pause_count()
+        );
+    }
+    out
+}
+
+fn cmd_show(args: &[&str]) -> Result<String, CliError> {
+    let spec = args.first().ok_or_else(|| err("usage: mbist show <algorithm>"))?;
+    let t = resolve_test(spec)?;
+    Ok(format!("{t}\n"))
+}
+
+fn cmd_compile(args: &[&str]) -> Result<String, CliError> {
+    let spec = args.first().ok_or_else(|| err("usage: mbist compile <algorithm>"))?;
+    let t = resolve_test(spec)?;
+    match flag_value(args, "--arch").unwrap_or("microcode") {
+        "microcode" => {
+            let program = microcode::compile(&t).map_err(|e| err(e.to_string()))?;
+            Ok(format!(
+                "; {} → {} microinstructions\n{}",
+                t,
+                program.len(),
+                microcode::disassemble(&program)
+            ))
+        }
+        "progfsm" => {
+            let program = progfsm::compile(&t).map_err(|e| err(e.to_string()))?;
+            let mut out = format!("; {} → {} component instructions\n", t, program.len());
+            for (i, inst) in program.iter().enumerate() {
+                let _ = writeln!(out, "{i:>3}: {inst}");
+            }
+            Ok(out)
+        }
+        other => Err(err(format!("unknown --arch `{other}` (microcode|progfsm)"))),
+    }
+}
+
+fn parse_fault(spec: &str, geometry: &MemGeometry) -> Result<FaultKind, CliError> {
+    let (kind, loc) = spec
+        .split_once('@')
+        .ok_or_else(|| err(format!("fault `{spec}` must look like sa0@ADDR[.BIT]")))?;
+    let (addr_s, bit_s) = match loc.split_once('.') {
+        Some((a, b)) => (a, b),
+        None => (loc, "0"),
+    };
+    let parse_u64 = |s: &str| -> Result<u64, CliError> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).map_err(|_| err(format!("invalid address `{s}`")))
+        } else {
+            s.parse().map_err(|_| err(format!("invalid address `{s}`")))
+        }
+    };
+    let cell = CellId::new(
+        parse_u64(addr_s)?,
+        bit_s.parse().map_err(|_| err(format!("invalid bit `{bit_s}`")))?,
+    );
+    let fault = match kind {
+        "sa0" => FaultKind::StuckAt { cell, value: false },
+        "sa1" => FaultKind::StuckAt { cell, value: true },
+        "tf-up" => FaultKind::Transition { cell, rising: true },
+        "tf-down" => FaultKind::Transition { cell, rising: false },
+        "sof" => FaultKind::StuckOpen { cell },
+        "drf" => FaultKind::Retention { cell, decays_to: true, retention_ns: 50_000.0 },
+        "puf" => FaultKind::PullOpen { cell, good_reads: 2, decays_to: false },
+        other => return Err(err(format!("unknown fault kind `{other}`"))),
+    };
+    if !fault.is_valid_for(geometry) {
+        return Err(err(format!("fault `{spec}` does not fit the geometry")));
+    }
+    Ok(fault)
+}
+
+fn cmd_run(args: &[&str]) -> Result<String, CliError> {
+    let spec = args.first().ok_or_else(|| err("usage: mbist run <algorithm> --words N"))?;
+    let t = resolve_test(spec)?;
+    let geometry = geometry_from(args)?;
+    let mut mem = MemoryArray::new(geometry);
+    for (i, a) in args.iter().enumerate() {
+        if *a == "--fault" {
+            let spec = args.get(i + 1).ok_or_else(|| err("--fault needs a value"))?;
+            let fault = parse_fault(spec, &geometry)?;
+            mem.inject(fault).map_err(|e| err(e.to_string()))?;
+        }
+    }
+
+    let arch = flag_value(args, "--arch").unwrap_or("microcode");
+    let report = match arch {
+        "microcode" => MicrocodeBist::for_test(&t, &geometry)
+            .map_err(|e| err(e.to_string()))?
+            .run(&mut mem),
+        "progfsm" => ProgFsmBist::for_test(&t, &geometry)
+            .map_err(|e| err(e.to_string()))?
+            .run(&mut mem),
+        "hardwired" => HardwiredBist::for_test(&t, &geometry).run(&mut mem),
+        other => {
+            return Err(err(format!(
+                "unknown --arch `{other}` (microcode|progfsm|hardwired)"
+            )))
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} `{}` on {}: {}",
+        report.architecture,
+        report.algorithm,
+        geometry,
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+    let _ = writeln!(
+        out,
+        "cycles {} (bus {}, overhead {}), pause {:.1} us",
+        report.cycles,
+        report.bus_cycles,
+        report.overhead_cycles(),
+        report.pause_ns / 1000.0
+    );
+    if !report.passed() {
+        let _ = writeln!(out, "miscompares: {}", report.fail_log.len());
+        for (cycle, m) in report.fail_log.entries().iter().take(8) {
+            let _ = writeln!(out, "  cycle {cycle:>8}: {m}");
+        }
+        let bitmap = report.fail_log.bitmap(geometry);
+        let _ = writeln!(out, "signature: {:?}", bitmap.signature());
+        let _ = write!(out, "{bitmap}");
+    }
+    Ok(out)
+}
+
+fn cmd_coverage(args: &[&str]) -> Result<String, CliError> {
+    let spec =
+        args.first().ok_or_else(|| err("usage: mbist coverage <algorithm> --words N"))?;
+    let t = resolve_test(spec)?;
+    let geometry = geometry_from(args)?;
+    let max: usize = parse_flag(args, "--max-faults", 256)?;
+    let report = evaluate_coverage(
+        &t,
+        &geometry,
+        &CoverageOptions { max_faults_per_class: Some(max), ..CoverageOptions::default() },
+    );
+    Ok(report.to_string())
+}
+
+fn cmd_area(args: &[&str]) -> Result<String, CliError> {
+    let tech = Technology::cmos5s();
+    match flag_value(args, "--table") {
+        None => Ok(format!("{}\n{}\n{}", table1(&tech), table2(&tech), table3(&tech))),
+        Some("1") => Ok(table1(&tech).to_string()),
+        Some("2") => Ok(table2(&tech).to_string()),
+        Some("3") => Ok(table3(&tech).to_string()),
+        Some(other) => Err(err(format!("unknown table `{other}` (1|2|3)"))),
+    }
+}
+
+fn cmd_rtl(args: &[&str]) -> Result<String, CliError> {
+    let spec = args.first().ok_or_else(|| err("usage: mbist rtl <algorithm>"))?;
+    let t = resolve_test(spec)?;
+    let program = microcode::compile(&t).map_err(|e| err(e.to_string()))?;
+    let z: usize = parse_flag(args, "--capacity", program.len().max(16))?;
+    let words: u64 = parse_flag(args, "--words", 1024)?;
+    let width: u8 = parse_flag(args, "--width", 8)?;
+    let geometry = MemGeometry::word_oriented(words, width);
+
+    let ctrl = mbist_hdl::emit_microcode(z, "mbist_microcode_ctrl");
+    let dp = mbist_hdl::emit_datapath(&geometry, "mbist_datapath");
+    let top = mbist_hdl::emit_top(&geometry, "mbist_top");
+    for m in [&ctrl, &dp, &top] {
+        let issues = mbist_hdl::lint(m);
+        if !issues.is_empty() {
+            return Err(err(format!("generated RTL failed lint: {}", issues[0])));
+        }
+    }
+    let tb = mbist_hdl::emit_testbench(&t, &geometry, z, "mbist_top")
+        .map_err(|e| err(e.to_string()))?;
+    Ok(format!("{}\n{}\n{}\n{}", ctrl.emit(), dp.emit(), top.emit(), tb))
+}
+
+fn cmd_synth(args: &[&str]) -> Result<String, CliError> {
+    use mbist_march::{synthesize_march, SynthesisOptions};
+    use mbist_mem::FaultClass;
+    let spec = flag_value(args, "--classes")
+        .ok_or_else(|| err("usage: mbist synth --classes saf,tf,af"))?;
+    let mut classes = Vec::new();
+    for name in spec.split(',') {
+        classes.push(match name.trim() {
+            "saf" => FaultClass::StuckAt,
+            "tf" => FaultClass::Transition,
+            "af" => FaultClass::AddressDecoder,
+            "cfin" => FaultClass::CouplingInversion,
+            "cfid" => FaultClass::CouplingIdempotent,
+            "cfst" => FaultClass::CouplingState,
+            other => return Err(err(format!("unknown fault class `{other}`"))),
+        });
+    }
+    let max_elements: usize = parse_flag(args, "--max-elements", 8)?;
+    let options = SynthesisOptions { classes, max_elements, ..SynthesisOptions::default() };
+    let result = synthesize_march("synthesized", &options);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", result.test);
+    let _ = writeln!(
+        out,
+        "complexity {}n, coverage {}/{} on the search geometry, {} evaluations",
+        result.test.ops_per_cell(),
+        result.detected,
+        result.total,
+        result.evaluations
+    );
+    if !result.is_complete() {
+        let _ = writeln!(out, "warning: coverage incomplete; raise --max-elements");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        run(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
+            .unwrap_or_else(|e| panic!("{args:?} failed: {e}"))
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        run(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
+            .expect_err("command should fail")
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_ok(&["help"]).contains("commands:"));
+        assert!(run_ok(&[]).contains("mbist"));
+        assert!(run_err(&["frob"]).to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn algorithms_lists_the_library() {
+        let out = run_ok(&["algorithms"]);
+        assert!(out.contains("march-c"));
+        assert!(out.contains("march-ss"));
+    }
+
+    #[test]
+    fn show_prints_notation() {
+        let out = run_ok(&["show", "march-c"]);
+        assert!(out.contains("⇕(w0)"));
+        assert!(run_err(&["show", "nope"]).to_string().contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn compile_both_architectures() {
+        let out = run_ok(&["compile", "march-c"]);
+        assert!(out.contains("repeat(order)"));
+        let out = run_ok(&["compile", "march-c", "--arch", "progfsm"]);
+        assert!(out.contains("SM1"));
+        let e = run_err(&["compile", "march-b", "--arch", "progfsm"]);
+        assert!(e.to_string().contains("not expressible"));
+    }
+
+    #[test]
+    fn compile_inline_notation() {
+        let out = run_ok(&["compile", "m(w0); u(r0,w1); d(r1,w0)"]);
+        assert!(out.contains("custom"));
+    }
+
+    #[test]
+    fn run_pass_and_fail() {
+        let out = run_ok(&["run", "march-c", "--words", "32"]);
+        assert!(out.contains("PASS"));
+        let out = run_ok(&[
+            "run", "march-c", "--words", "32", "--fault", "sa1@0x5",
+        ]);
+        assert!(out.contains("FAIL"));
+        assert!(out.contains("SingleCell"));
+    }
+
+    #[test]
+    fn run_architecture_selection() {
+        for arch in ["microcode", "progfsm", "hardwired"] {
+            let out = run_ok(&["run", "mats+", "--words", "16", "--arch", arch]);
+            assert!(out.contains("PASS"), "{arch}: {out}");
+        }
+    }
+
+    #[test]
+    fn run_word_oriented_fault_with_bit() {
+        let out = run_ok(&[
+            "run", "march-c", "--words", "16", "--width", "8", "--fault", "tf-up@3.6",
+        ]);
+        assert!(out.contains("FAIL"));
+    }
+
+    #[test]
+    fn run_rejects_bad_inputs() {
+        assert!(run_err(&["run", "march-c"]).to_string().contains("--words"));
+        assert!(run_err(&["run", "march-c", "--words", "8", "--fault", "zz@1"])
+            .to_string()
+            .contains("unknown fault kind"));
+        assert!(run_err(&["run", "march-c", "--words", "8", "--fault", "sa1@99"])
+            .to_string()
+            .contains("does not fit"));
+    }
+
+    #[test]
+    fn coverage_reports_classes() {
+        let out = run_ok(&["coverage", "mats+", "--words", "16", "--max-faults", "32"]);
+        assert!(out.contains("SAF"));
+        assert!(out.contains("%"));
+    }
+
+    #[test]
+    fn area_tables() {
+        assert!(run_ok(&["area", "--table", "1"]).contains("Microcode-Based"));
+        assert!(run_ok(&["area", "--table", "3"]).contains("Adjusted"));
+        let all = run_ok(&["area"]);
+        assert!(all.contains("Table 1") && all.contains("Table 3"));
+        assert!(run_err(&["area", "--table", "9"]).to_string().contains("unknown table"));
+    }
+
+    #[test]
+    fn synth_produces_a_complete_test() {
+        let out = run_ok(&["synth", "--classes", "saf,tf"]);
+        assert!(out.contains("synthesized:"));
+        assert!(out.contains("coverage"));
+        assert!(!out.contains("warning"));
+        assert!(run_err(&["synth", "--classes", "zzz"])
+            .to_string()
+            .contains("unknown fault class"));
+        assert!(run_err(&["synth"]).to_string().contains("--classes"));
+    }
+
+    #[test]
+    fn rtl_emits_all_modules_and_testbench() {
+        let out = run_ok(&["rtl", "march-c", "--words", "64", "--width", "4"]);
+        assert!(out.contains("module mbist_microcode_ctrl"));
+        assert!(out.contains("module mbist_datapath"));
+        assert!(out.contains("module mbist_top"));
+        assert!(out.contains("module tb;"));
+        assert!(out.contains("MBIST_PASS"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `mbist` command-line binary (thin shim over [`mbist_cli::run`]).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mbist_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The controller abstraction shared by all three architectures.
+
+use std::fmt;
+
+use mbist_rtl::Structure;
+
+use crate::datapath::BistDatapath;
+use crate::signals::ControlSignals;
+
+/// How much a controller architecture can change without a hardware
+/// re-spin — the paper's Table 1 "Flex." column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Flexibility {
+    /// Hardwired: any algorithm change requires re-design and
+    /// re-implementation.
+    Low,
+    /// Programmable within a fixed menu of march components (the
+    /// programmable FSM-based architecture).
+    Medium,
+    /// Freely microprogrammable: arbitrary operation sequences, loop
+    /// structures and polarities (the microcode-based architecture).
+    High,
+}
+
+impl fmt::Display for Flexibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Flexibility::Low => "LOW",
+            Flexibility::Medium => "MEDIUM",
+            Flexibility::High => "HIGH",
+        })
+    }
+}
+
+/// A cycle-accurate memory BIST controller.
+///
+/// Each call to [`BistController::step`] models one clock edge: the
+/// controller observes the datapath status lines and asserts one
+/// [`ControlSignals`] bundle. The BIST unit applies the bundle to the
+/// datapath and the memory under test.
+pub trait BistController {
+    /// Architecture name for reports (e.g. `"microcode"`).
+    fn architecture(&self) -> &'static str;
+
+    /// Name of the loaded test algorithm.
+    fn algorithm(&self) -> &str;
+
+    /// The architecture's programmability class.
+    fn flexibility(&self) -> Flexibility;
+
+    /// Returns the controller to its reset state (instruction counter to
+    /// the first instruction, reference/branch registers cleared).
+    fn reset(&mut self);
+
+    /// Whether the controller has asserted `Test End`.
+    fn is_done(&self) -> bool;
+
+    /// Executes one clock cycle.
+    fn step(&mut self, datapath: &BistDatapath) -> ControlSignals;
+
+    /// Structural inventory of the controller (excluding the shared
+    /// datapath) for area estimation.
+    fn structure(&self) -> Structure;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexibility_orders_low_to_high() {
+        assert!(Flexibility::Low < Flexibility::Medium);
+        assert!(Flexibility::Medium < Flexibility::High);
+    }
+
+    #[test]
+    fn flexibility_displays_match_paper_table() {
+        assert_eq!(Flexibility::High.to_string(), "HIGH");
+        assert_eq!(Flexibility::Medium.to_string(), "MEDIUM");
+        assert_eq!(Flexibility::Low.to_string(), "LOW");
+    }
+}

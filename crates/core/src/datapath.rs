@@ -1,0 +1,336 @@
+//! The shared BIST datapath: address generator, data-background generator,
+//! port counter and comparator.
+//!
+//! Every controller architecture drives the *same* datapath — exactly as in
+//! the paper, where the controller is swapped while address generation,
+//! data generation and compare logic are common components of the memory
+//! BIST unit. Keeping the datapath shared guarantees the area comparison
+//! isolates the controller (the paper's "internal area") and the
+//! operation-stream equivalence proofs compare controllers only.
+
+use mbist_mem::{MemGeometry, PortId};
+use mbist_rtl::{Bits, Direction, Primitive, Structure, UpDownCounter};
+
+use crate::signals::{ControlSignals, StatusSignals};
+
+/// The datapath state of a memory BIST unit.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::BistDatapath;
+/// use mbist_march::standard_backgrounds;
+/// use mbist_mem::MemGeometry;
+///
+/// let g = MemGeometry::word_oriented(256, 8);
+/// let dp = BistDatapath::new(g, standard_backgrounds(8));
+/// assert_eq!(dp.background().value(), 0);
+/// assert!(!dp.last_background());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BistDatapath {
+    geometry: MemGeometry,
+    addr: UpDownCounter,
+    /// Reset requested: the counter re-loads at the next access, using that
+    /// access's direction (models the load mux on the order line).
+    addr_pending_reset: bool,
+    backgrounds: Vec<Bits>,
+    bg_index: usize,
+    port: u8,
+}
+
+impl BistDatapath {
+    /// Creates a datapath for `geometry` looping over `backgrounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backgrounds` is empty or any background width differs
+    /// from the word width.
+    #[must_use]
+    pub fn new(geometry: MemGeometry, backgrounds: Vec<Bits>) -> Self {
+        assert!(!backgrounds.is_empty(), "at least one data background required");
+        for bg in &backgrounds {
+            assert_eq!(bg.width(), geometry.width(), "background width mismatch");
+        }
+        Self {
+            geometry,
+            addr: UpDownCounter::new(geometry.addr_bits(), geometry.last_addr()),
+            addr_pending_reset: true,
+            backgrounds,
+            bg_index: 0,
+            port: 0,
+        }
+    }
+
+    /// The memory geometry this datapath addresses.
+    #[must_use]
+    pub fn geometry(&self) -> MemGeometry {
+        self.geometry
+    }
+
+    /// Current word address for an access in direction `dir` (materializes
+    /// a pending reset).
+    #[must_use]
+    pub fn addr_for(&self, dir: Direction) -> u64 {
+        if self.addr_pending_reset {
+            match dir {
+                Direction::Up => 0,
+                Direction::Down => self.geometry.last_addr(),
+            }
+        } else {
+            self.addr.value().value()
+        }
+    }
+
+    /// Current data background.
+    #[must_use]
+    pub fn background(&self) -> Bits {
+        self.backgrounds[self.bg_index]
+    }
+
+    /// All configured backgrounds.
+    #[must_use]
+    pub fn backgrounds(&self) -> &[Bits] {
+        &self.backgrounds
+    }
+
+    /// Current port.
+    #[must_use]
+    pub fn port(&self) -> PortId {
+        PortId(self.port)
+    }
+
+    /// Whether the address generator sits on the final address of a sweep
+    /// in `dir`.
+    #[must_use]
+    pub fn last_address(&self, dir: Direction) -> bool {
+        if self.addr_pending_reset {
+            self.geometry.words() == 1
+        } else {
+            self.addr.at_terminal(dir)
+        }
+    }
+
+    /// Whether the background generator sits on the final background.
+    #[must_use]
+    pub fn last_background(&self) -> bool {
+        self.bg_index + 1 == self.backgrounds.len()
+    }
+
+    /// Whether the port counter sits on the final port.
+    #[must_use]
+    pub fn last_port(&self) -> bool {
+        self.port + 1 == self.geometry.ports()
+    }
+
+    /// The status lines for a controller executing in direction `dir`.
+    #[must_use]
+    pub fn status(&self, dir: Direction) -> StatusSignals {
+        StatusSignals {
+            last_address: self.last_address(dir),
+            last_background: self.last_background(),
+            last_port: self.last_port(),
+        }
+    }
+
+    /// The word written for relative data `invert` under the current
+    /// background.
+    #[must_use]
+    pub fn data_word(&self, invert: bool) -> Bits {
+        if invert {
+            !self.background()
+        } else {
+            self.background()
+        }
+    }
+
+    /// Applies one cycle's control signals to the sequential state (the
+    /// access itself is driven by the BIST unit).
+    pub fn apply(&mut self, signals: &ControlSignals) {
+        if signals.has_access() {
+            // Materialize a pending reset for this access's direction.
+            if self.addr_pending_reset {
+                self.addr.load_start(signals.addr_order);
+                self.addr_pending_reset = false;
+            }
+            if signals.addr_inc {
+                self.addr.step(signals.addr_order);
+            }
+        }
+        if signals.addr_reset {
+            self.addr_pending_reset = true;
+        }
+        if signals.bg_reset {
+            self.bg_index = 0;
+        } else if signals.bg_inc && !self.last_background() {
+            self.bg_index += 1;
+        }
+        if signals.port_reset {
+            self.port = 0;
+        } else if signals.port_inc && !self.last_port() {
+            self.port += 1;
+        }
+    }
+
+    /// Returns the datapath to its power-on state.
+    pub fn reset(&mut self) {
+        self.addr_pending_reset = true;
+        self.addr.load_start(Direction::Up);
+        self.bg_index = 0;
+        self.port = 0;
+    }
+
+    /// Structural inventory of the datapath for area estimation: address
+    /// up/down counter, background generator, port counter, write-data XOR
+    /// mask and read comparator.
+    #[must_use]
+    pub fn structure(&self) -> Structure {
+        let w = u32::from(self.geometry.width());
+        let bg_count = self.backgrounds.len() as u32;
+        let mut s = Structure::named("datapath")
+            .with_child(self.addr.structure("addr_gen"));
+        // Background generator: an index counter plus a small pattern
+        // decoder per background per bit.
+        let bg_bits = (usize::BITS - (self.backgrounds.len() - 1).leading_zeros()).max(1);
+        let mut bg = Structure::leaf("bg_gen")
+            .with(Primitive::Dff, bg_bits)
+            .with(Primitive::Nand2, bg_count.saturating_sub(1) * w / 2 + w);
+        bg.add(Primitive::Xor2, w); // data-invert mask
+        s.push_child(bg);
+        // Port counter (absent on single-port units).
+        if self.geometry.ports() > 1 {
+            let pbits = (u8::BITS - (self.geometry.ports() - 1).leading_zeros()).max(1);
+            s.push_child(
+                Structure::leaf("port_ctr")
+                    .with(Primitive::Dff, pbits)
+                    .with(Primitive::Nand2, pbits),
+            );
+        }
+        // Comparator: per-bit XOR + AND-reduce, plus expected-data mask.
+        s.push_child(
+            Structure::leaf("comparator")
+                .with(Primitive::Xor2, 2 * w)
+                .with(Primitive::Nand2, w.saturating_sub(1) + 1),
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::standard_backgrounds;
+
+    fn dp(words: u64, width: u8, ports: u8) -> BistDatapath {
+        let g = MemGeometry::new(words, width, ports);
+        BistDatapath::new(g, standard_backgrounds(width))
+    }
+
+    fn access(order: Direction, inc: bool) -> ControlSignals {
+        ControlSignals {
+            read_en: true,
+            addr_order: order,
+            addr_inc: inc,
+            ..ControlSignals::idle()
+        }
+    }
+
+    #[test]
+    fn pending_reset_materializes_per_direction() {
+        let d = dp(8, 1, 1);
+        assert_eq!(d.addr_for(Direction::Up), 0);
+        assert_eq!(d.addr_for(Direction::Down), 7);
+    }
+
+    #[test]
+    fn sweep_up_then_reset_then_down() {
+        let mut d = dp(4, 1, 1);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.push(d.addr_for(Direction::Up));
+            d.apply(&access(Direction::Up, true));
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        d.apply(&ControlSignals { addr_reset: true, ..ControlSignals::idle() });
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.push(d.addr_for(Direction::Down));
+            d.apply(&access(Direction::Down, true));
+        }
+        assert_eq!(seen, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn last_address_tracks_direction() {
+        let mut d = dp(2, 1, 1);
+        assert!(!d.last_address(Direction::Up));
+        d.apply(&access(Direction::Up, true));
+        assert!(d.last_address(Direction::Up));
+        assert!(!d.last_address(Direction::Down));
+    }
+
+    #[test]
+    fn single_word_memory_is_always_last() {
+        let d = dp(1, 1, 1);
+        assert!(d.last_address(Direction::Up));
+        assert!(d.last_address(Direction::Down));
+    }
+
+    #[test]
+    fn background_loop_saturates_and_resets() {
+        let mut d = dp(4, 4, 1); // 3 backgrounds for width 4
+        assert_eq!(d.background().value(), 0);
+        d.apply(&ControlSignals { bg_inc: true, ..ControlSignals::idle() });
+        assert_eq!(d.background().value(), 0b1010);
+        d.apply(&ControlSignals { bg_inc: true, ..ControlSignals::idle() });
+        assert!(d.last_background());
+        // saturates at the last background
+        d.apply(&ControlSignals { bg_inc: true, ..ControlSignals::idle() });
+        assert!(d.last_background());
+        d.apply(&ControlSignals { bg_reset: true, ..ControlSignals::idle() });
+        assert_eq!(d.background().value(), 0);
+    }
+
+    #[test]
+    fn port_counter_advances() {
+        let mut d = dp(4, 1, 3);
+        assert_eq!(d.port(), PortId(0));
+        d.apply(&ControlSignals { port_inc: true, ..ControlSignals::idle() });
+        assert_eq!(d.port(), PortId(1));
+        assert!(!d.last_port());
+        d.apply(&ControlSignals { port_inc: true, ..ControlSignals::idle() });
+        assert!(d.last_port());
+    }
+
+    #[test]
+    fn data_word_xors_background() {
+        let mut d = dp(4, 4, 1);
+        d.apply(&ControlSignals { bg_inc: true, ..ControlSignals::idle() });
+        assert_eq!(d.data_word(false).value(), 0b1010);
+        assert_eq!(d.data_word(true).value(), 0b0101);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut d = dp(4, 4, 2);
+        d.apply(&access(Direction::Up, true));
+        d.apply(&ControlSignals {
+            bg_inc: true,
+            port_inc: true,
+            ..ControlSignals::idle()
+        });
+        d.reset();
+        assert_eq!(d.addr_for(Direction::Up), 0);
+        assert_eq!(d.background().value(), 0);
+        assert_eq!(d.port(), PortId(0));
+    }
+
+    #[test]
+    fn structure_scales_with_ports() {
+        let single = dp(256, 8, 1).structure();
+        let multi = dp(256, 8, 2).structure();
+        assert!(multi.count(Primitive::Dff) > single.count(Primitive::Dff));
+        assert!(single.find("port_ctr").is_none());
+        assert!(multi.find("port_ctr").is_some());
+    }
+}

@@ -1,0 +1,256 @@
+//! Diagnostics: fail logging and failure-bitmap reconstruction.
+//!
+//! The paper motivates programmable BIST partly by diagnostics cost: the
+//! same controller that screens parts in production can, in the lab,
+//! re-run targeted algorithms and log every miscompare. This module
+//! captures that flow: a [`FailLog`] records (cycle, port, address,
+//! syndrome) tuples; a [`FailBitmap`] folds them into per-cell fail counts
+//! and classifies the spatial signature.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mbist_mem::{CellId, MemGeometry, Miscompare};
+
+/// An ordered log of miscompares with the controller cycle they occurred on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailLog {
+    entries: Vec<(u64, Miscompare)>,
+}
+
+impl FailLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a miscompare observed at `cycle`.
+    pub fn record(&mut self, cycle: u64, miscompare: Miscompare) {
+        self.entries.push((cycle, miscompare));
+    }
+
+    /// Whether the log is empty (the memory passed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of logged miscompares.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The logged entries in occurrence order.
+    #[must_use]
+    pub fn entries(&self) -> &[(u64, Miscompare)] {
+        &self.entries
+    }
+
+    /// Iterates over the miscompares only.
+    pub fn miscompares(&self) -> impl Iterator<Item = &Miscompare> {
+        self.entries.iter().map(|(_, m)| m)
+    }
+
+    /// Folds the log into a per-cell failure bitmap.
+    #[must_use]
+    pub fn bitmap(&self, geometry: MemGeometry) -> FailBitmap {
+        let mut counts: BTreeMap<CellId, usize> = BTreeMap::new();
+        for (_, m) in &self.entries {
+            let syndrome = m.syndrome();
+            for bit in 0..geometry.width() {
+                if syndrome.bit(bit) {
+                    *counts.entry(CellId::new(m.addr, bit)).or_insert(0) += 1;
+                }
+            }
+        }
+        FailBitmap { geometry, counts }
+    }
+}
+
+/// Per-cell failure counts reconstructed from a fail log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailBitmap {
+    geometry: MemGeometry,
+    counts: BTreeMap<CellId, usize>,
+}
+
+/// The spatial signature of a failure bitmap — the first question a
+/// product engineer asks of a new fallout bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailSignature {
+    /// No failing cells.
+    Clean,
+    /// Exactly one failing cell (classic single-cell defect: SAF/TF/SOF).
+    SingleCell,
+    /// Two failing cells (typical coupling-fault pair).
+    CellPair,
+    /// All failing cells share one word (word-line or word-local defect).
+    SingleWord,
+    /// All failing cells share one bit position (bit-line/column defect).
+    SingleColumn,
+    /// Anything else.
+    Scattered,
+}
+
+impl FailBitmap {
+    /// Failing cells and their fail counts.
+    #[must_use]
+    pub fn cells(&self) -> &BTreeMap<CellId, usize> {
+        &self.counts
+    }
+
+    /// Number of distinct failing cells.
+    #[must_use]
+    pub fn failing_cell_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Classifies the spatial signature.
+    #[must_use]
+    pub fn signature(&self) -> FailSignature {
+        match self.counts.len() {
+            0 => FailSignature::Clean,
+            1 => FailSignature::SingleCell,
+            2 => FailSignature::CellPair,
+            _ => {
+                let mut words: Vec<u64> = self.counts.keys().map(|c| c.word).collect();
+                words.dedup();
+                if words.len() == 1 {
+                    return FailSignature::SingleWord;
+                }
+                let mut bits: Vec<u8> = self.counts.keys().map(|c| c.bit).collect();
+                bits.sort_unstable();
+                bits.dedup();
+                if bits.len() == 1 {
+                    FailSignature::SingleColumn
+                } else {
+                    FailSignature::Scattered
+                }
+            }
+        }
+    }
+
+    /// Renders an ASCII bitmap (rows = words with failures, columns = bit
+    /// positions; `#` marks a failing cell).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let width = self.geometry.width();
+        let mut current: Option<u64> = None;
+        let mut row = vec![b'.'; width as usize];
+        let flush = |out: &mut String, word: u64, row: &mut Vec<u8>| {
+            let _ = writeln!(
+                out,
+                "{word:>8x}  {}",
+                std::str::from_utf8(row).expect("ascii row")
+            );
+            row.fill(b'.');
+        };
+        for cell in self.counts.keys() {
+            if current != Some(cell.word) {
+                if let Some(w) = current {
+                    flush(&mut out, w, &mut row);
+                }
+                current = Some(cell.word);
+            }
+            row[cell.bit as usize] = b'#';
+        }
+        if let Some(w) = current {
+            flush(&mut out, w, &mut row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for FailBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_mem::PortId;
+    use mbist_rtl::Bits;
+
+    fn mis(addr: u64, expected: u64, observed: u64, width: u8) -> Miscompare {
+        Miscompare {
+            port: PortId(0),
+            addr,
+            expected: Bits::new(width, expected),
+            observed: Bits::new(width, observed),
+        }
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let log = FailLog::new();
+        assert!(log.is_empty());
+        let bm = log.bitmap(MemGeometry::word_oriented(8, 4));
+        assert_eq!(bm.signature(), FailSignature::Clean);
+        assert_eq!(bm.failing_cell_count(), 0);
+    }
+
+    #[test]
+    fn single_cell_signature() {
+        let mut log = FailLog::new();
+        log.record(3, mis(5, 0b0000, 0b0100, 4));
+        log.record(9, mis(5, 0b1111, 0b1011, 4));
+        let bm = log.bitmap(MemGeometry::word_oriented(8, 4));
+        assert_eq!(bm.failing_cell_count(), 1);
+        assert_eq!(bm.signature(), FailSignature::SingleCell);
+        assert_eq!(bm.cells()[&CellId::new(5, 2)], 2);
+    }
+
+    #[test]
+    fn pair_signature() {
+        let mut log = FailLog::new();
+        log.record(1, mis(2, 0, 1, 1));
+        log.record(2, mis(6, 0, 1, 1));
+        let bm = log.bitmap(MemGeometry::bit_oriented(8));
+        assert_eq!(bm.signature(), FailSignature::CellPair);
+    }
+
+    #[test]
+    fn column_signature() {
+        let mut log = FailLog::new();
+        for addr in [1u64, 3, 5] {
+            log.record(addr, mis(addr, 0b0000, 0b1000, 4));
+        }
+        let bm = log.bitmap(MemGeometry::word_oriented(8, 4));
+        assert_eq!(bm.signature(), FailSignature::SingleColumn);
+    }
+
+    #[test]
+    fn word_signature() {
+        let mut log = FailLog::new();
+        log.record(1, mis(3, 0b0000, 0b0111, 4));
+        let bm = log.bitmap(MemGeometry::word_oriented(8, 4));
+        assert_eq!(bm.failing_cell_count(), 3);
+        assert_eq!(bm.signature(), FailSignature::SingleWord);
+    }
+
+    #[test]
+    fn scattered_signature() {
+        let mut log = FailLog::new();
+        log.record(1, mis(0, 0b00, 0b01, 2));
+        log.record(2, mis(1, 0b00, 0b10, 2));
+        log.record(3, mis(2, 0b00, 0b01, 2));
+        let bm = log.bitmap(MemGeometry::word_oriented(8, 2));
+        assert_eq!(bm.signature(), FailSignature::Scattered);
+    }
+
+    #[test]
+    fn render_marks_failing_bits() {
+        let mut log = FailLog::new();
+        log.record(1, mis(3, 0b0000, 0b0101, 4));
+        let bm = log.bitmap(MemGeometry::word_oriented(8, 4));
+        let text = bm.render();
+        assert!(text.contains('3'));
+        assert!(text.contains("#.#."));
+    }
+}

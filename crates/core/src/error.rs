@@ -1,0 +1,69 @@
+//! Error types for the BIST core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by BIST program compilation and instruction decoding.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A raw instruction word could not be decoded.
+    Decode {
+        /// Description of the malformed field.
+        message: String,
+    },
+    /// The march test cannot be expressed on the target architecture.
+    NotExpressible {
+        /// Architecture that rejected the test.
+        architecture: &'static str,
+        /// What could not be expressed.
+        message: String,
+    },
+    /// The program does not fit the controller's storage unit.
+    ProgramTooLarge {
+        /// Instructions required.
+        required: usize,
+        /// Storage capacity in instructions.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Decode { message } => write!(f, "invalid instruction word: {message}"),
+            CoreError::NotExpressible { architecture, message } => {
+                write!(f, "not expressible on the {architecture} architecture: {message}")
+            }
+            CoreError::ProgramTooLarge { required, capacity } => write!(
+                f,
+                "program needs {required} instructions but the storage unit holds {capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+    }
+
+    #[test]
+    fn display_is_specific() {
+        let e = CoreError::ProgramTooLarge { required: 12, capacity: 9 };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains('9'));
+        let e = CoreError::NotExpressible {
+            architecture: "programmable-fsm",
+            message: "element ⇑(r0,r0,r0,w1) matches no march component".into(),
+        };
+        assert!(e.to_string().contains("programmable-fsm"));
+    }
+}

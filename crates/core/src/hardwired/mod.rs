@@ -1,0 +1,56 @@
+//! Hardwired (non-programmable) BIST baselines (paper §3).
+
+mod fsm;
+
+pub use fsm::{FsmTransition, HardwiredCaps, HardwiredFsm, OUTPUT_NAMES};
+
+use mbist_march::{standard_backgrounds, MarchTest};
+use mbist_mem::MemGeometry;
+
+use crate::datapath::BistDatapath;
+use crate::unit::BistUnit;
+
+/// Convenience constructors for hardwired BIST units.
+#[derive(Debug, Clone, Copy)]
+pub struct HardwiredBist;
+
+impl HardwiredBist {
+    /// Hardwires `test` for `geometry`, enabling the background loop for
+    /// word-oriented memories and the port loop for multiport memories —
+    /// the paper's Table 2 "modified to support" configurations.
+    #[must_use]
+    pub fn for_test(test: &MarchTest, geometry: &MemGeometry) -> BistUnit<HardwiredFsm> {
+        let caps = HardwiredCaps {
+            background_loop: geometry.width() > 1,
+            port_loop: geometry.ports() > 1,
+        };
+        let controller = HardwiredFsm::new(test, caps);
+        let datapath =
+            BistDatapath::new(*geometry, standard_backgrounds(geometry.width()));
+        BistUnit::new(controller, datapath)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::library;
+    use mbist_mem::MemGeometry;
+
+    #[test]
+    fn caps_follow_geometry() {
+        let bit = HardwiredBist::for_test(
+            &library::march_c(),
+            &MemGeometry::bit_oriented(8),
+        );
+        assert!(!bit.controller().caps().background_loop);
+        assert!(!bit.controller().caps().port_loop);
+
+        let word = HardwiredBist::for_test(
+            &library::march_c(),
+            &MemGeometry::new(8, 8, 2),
+        );
+        assert!(word.controller().caps().background_loop);
+        assert!(word.controller().caps().port_loop);
+    }
+}

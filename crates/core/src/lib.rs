@@ -1,0 +1,76 @@
+//! # mbist-core — programmable memory BIST architectures
+//!
+//! The paper's contribution, in executable form
+//! (*On Programmable Memory Built-In Self Test Architectures*, Zarrineh &
+//! Upadhyaya, DATE 1999):
+//!
+//! - [`microcode`]: the microcode-based controller (Fig. 1-2) — a Z×10
+//!   scan-loadable storage unit, instruction counter, branch register,
+//!   reference register and instruction decoder, with a compiler that
+//!   exploits the `Repeat` mechanism to encode symmetric march algorithms
+//!   (March C in 9 instructions). Flexibility: **HIGH**.
+//! - [`progfsm`]: the programmable FSM-based controller (Fig. 3-5) — a
+//!   parameter-driven 7-state lower FSM realizing the SM0…SM7 march
+//!   components and an upper circular parameter buffer. Flexibility:
+//!   **MEDIUM** (elements outside the component menu are rejected).
+//! - [`hardwired`]: non-programmable baselines — direct FSM realizations
+//!   of any march algorithm, with exported transition tables for logic
+//!   synthesis. Flexibility: **LOW**.
+//!
+//! All three drive the same shared [`BistDatapath`] (address generator,
+//! background generator, port counter, comparator) inside a [`BistUnit`],
+//! and all three provably emit the *identical* operation stream as the
+//! reference expansion in [`mbist_march`] — the workspace's central
+//! equivalence property.
+//!
+//! # Examples
+//!
+//! Run March C from all three architectures against the same faulty
+//! memory:
+//!
+//! ```
+//! use mbist_core::{hardwired::HardwiredBist, microcode::MicrocodeBist,
+//!                  progfsm::ProgFsmBist};
+//! use mbist_march::library;
+//! use mbist_mem::{CellId, FaultKind, MemGeometry, MemoryArray};
+//!
+//! let g = MemGeometry::bit_oriented(32);
+//! let fault = FaultKind::StuckAt { cell: CellId::bit_oriented(7), value: true };
+//! let test = library::march_c();
+//!
+//! let mut micro = MicrocodeBist::for_test(&test, &g)?;
+//! let mut fsm = ProgFsmBist::for_test(&test, &g)?;
+//! let mut hard = HardwiredBist::for_test(&test, &g);
+//!
+//! for report in [
+//!     micro.run(&mut MemoryArray::with_fault(g, fault).unwrap()),
+//!     fsm.run(&mut MemoryArray::with_fault(g, fault).unwrap()),
+//!     hard.run(&mut MemoryArray::with_fault(g, fault).unwrap()),
+//! ] {
+//!     assert!(!report.passed());
+//!     assert!(report.fail_log.miscompares().all(|m| m.addr == 7));
+//! }
+//! # Ok::<(), mbist_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod datapath;
+mod diag;
+mod error;
+pub mod hardwired;
+pub mod microcode;
+pub mod online;
+pub mod progfsm;
+pub mod repair;
+mod signals;
+mod unit;
+
+pub use controller::{BistController, Flexibility};
+pub use datapath::BistDatapath;
+pub use diag::{FailBitmap, FailLog, FailSignature};
+pub use error::CoreError;
+pub use signals::{ControlSignals, StatusSignals};
+pub use unit::{BistUnit, SessionReport};

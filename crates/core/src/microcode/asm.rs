@@ -1,0 +1,203 @@
+//! A tiny assembler / disassembler for microcode programs.
+//!
+//! The text format is one instruction per line; `#` starts a comment.
+//! Tokens (whitespace-separated, any order except the leading op):
+//!
+//! | token | meaning |
+//! |-------|---------|
+//! | `r0` / `r1`      | read expecting background / complement |
+//! | `w0` / `w1`      | write background / complement |
+//! | `nop`            | no memory access |
+//! | `down`           | down address order |
+//! | `inc`            | step the address generator |
+//! | `bginc`          | advance the background generator |
+//! | `loop`           | end-of-element loop ([`FlowOp::LoopElem`]) |
+//! | `repeat(m,…)`    | symmetric repeat; mask of `order`, `data`, `cmp` |
+//! | `loopbg`         | background loop |
+//! | `loopport`       | port loop |
+//! | `hold`           | retention pause |
+//! | `save`           | save branch register |
+//! | `end`            | terminate |
+//!
+//! The format round-trips with [`Microinstruction`]'s `Display`, so a
+//! program can be dumped, edited in the field and re-loaded — the
+//! paper's whole point.
+
+use crate::error::CoreError;
+use crate::microcode::isa::{FlowOp, Microinstruction};
+
+/// Assembles program text into microinstructions.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Decode`] naming the offending line and token.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::microcode::{assemble, compile};
+/// use mbist_march::library;
+///
+/// let text = "
+///     w0 inc loop
+///     r0
+///     w1 inc loop
+///     r1
+///     w0 inc loop
+///     repeat(order)
+///     r0 inc loop
+///     bginc loopbg
+///     loopport
+/// ";
+/// let program = assemble(text)?;
+/// assert_eq!(program, compile(&library::march_c())?);
+/// # Ok::<(), mbist_core::CoreError>(())
+/// ```
+pub fn assemble(text: &str) -> Result<Vec<Microinstruction>, CoreError> {
+    let mut program = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        program.push(assemble_line(line).map_err(|message| CoreError::Decode {
+            message: format!("line {}: {message}", lineno + 1),
+        })?);
+    }
+    if program.is_empty() {
+        return Err(CoreError::Decode { message: "program has no instructions".into() });
+    }
+    Ok(program)
+}
+
+fn assemble_line(line: &str) -> Result<Microinstruction, String> {
+    let mut inst = Microinstruction::nop();
+    let mut flow_set = false;
+    for token in line.split_whitespace() {
+        match token {
+            "r0" | "r1" | "w0" | "w1" => {
+                if inst.has_access() {
+                    return Err(format!("duplicate memory op `{token}`"));
+                }
+                let invert = token.ends_with('1');
+                if token.starts_with('r') {
+                    inst.read = true;
+                    inst.cmp_invert = invert;
+                } else {
+                    inst.write = true;
+                    inst.data_invert = invert;
+                }
+            }
+            "nop" | "next" => {}
+            "down" => inst.addr_down = true,
+            "inc" => inst.addr_inc = true,
+            "bginc" => inst.bg_inc = true,
+            "loop" => set_flow(&mut inst, &mut flow_set, FlowOp::LoopElem)?,
+            "loopbg" => set_flow(&mut inst, &mut flow_set, FlowOp::LoopBg)?,
+            "loopport" => set_flow(&mut inst, &mut flow_set, FlowOp::LoopPort)?,
+            "hold" => set_flow(&mut inst, &mut flow_set, FlowOp::Hold)?,
+            "save" => set_flow(&mut inst, &mut flow_set, FlowOp::SaveAddr)?,
+            "end" => set_flow(&mut inst, &mut flow_set, FlowOp::Terminate)?,
+            t if t.starts_with("repeat(") && t.ends_with(')') => {
+                set_flow(&mut inst, &mut flow_set, FlowOp::Repeat)?;
+                for field in t["repeat(".len()..t.len() - 1].split(',') {
+                    match field.trim() {
+                        "" => {}
+                        "order" => inst.addr_down = true,
+                        "data" => inst.data_invert = true,
+                        "cmp" => inst.cmp_invert = true,
+                        other => return Err(format!("unknown repeat field `{other}`")),
+                    }
+                }
+            }
+            other => return Err(format!("unknown token `{other}`")),
+        }
+    }
+    Ok(inst)
+}
+
+fn set_flow(
+    inst: &mut Microinstruction,
+    flow_set: &mut bool,
+    flow: FlowOp,
+) -> Result<(), String> {
+    if *flow_set {
+        return Err(format!("duplicate flow op `{}`", flow.mnemonic()));
+    }
+    inst.flow = flow;
+    *flow_set = true;
+    Ok(())
+}
+
+/// Disassembles a program into the assembler text format.
+#[must_use]
+pub fn disassemble(program: &[Microinstruction]) -> String {
+    let mut out = String::new();
+    for (i, inst) in program.iter().enumerate() {
+        out.push_str(&format!("{i:>3}: {inst}\n"));
+    }
+    out
+}
+
+/// Disassembles without addresses, producing re-assemblable text.
+#[must_use]
+pub fn to_source(program: &[Microinstruction]) -> String {
+    program.iter().map(|i| format!("{i}\n")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microcode::compile;
+    use mbist_march::library;
+
+    #[test]
+    fn roundtrip_all_library_programs() {
+        for t in library::all() {
+            let program = compile(&t).unwrap();
+            let text = to_source(&program);
+            let reassembled = assemble(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", t.name()));
+            assert_eq!(reassembled, program, "roundtrip failed for {}", t.name());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = assemble("# header\n\n  w0 inc loop  # init\nend\n").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p[0].write);
+        assert_eq!(p[1].flow, FlowOp::Terminate);
+    }
+
+    #[test]
+    fn rejects_unknown_tokens_with_line_numbers() {
+        let err = assemble("w0 inc loop\nfrobnicate\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"));
+        assert!(msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_duplicate_ops_and_flows() {
+        assert!(assemble("r0 w1").is_err());
+        assert!(assemble("loop end").is_err());
+        assert!(assemble("").is_err());
+    }
+
+    #[test]
+    fn repeat_fields_parse() {
+        let p = assemble("repeat(order,data,cmp)").unwrap();
+        assert!(p[0].addr_down && p[0].data_invert && p[0].cmp_invert);
+        assert_eq!(p[0].flow, FlowOp::Repeat);
+        assert!(assemble("repeat(banana)").is_err());
+    }
+
+    #[test]
+    fn disassemble_includes_addresses() {
+        let program = compile(&library::march_c()).unwrap();
+        let text = disassemble(&program);
+        assert!(text.contains("  0: w0 inc loop"));
+        assert!(text.contains("repeat(order)"));
+    }
+}

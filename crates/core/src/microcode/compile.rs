@@ -1,0 +1,226 @@
+//! Compiling march tests into microcode programs.
+//!
+//! The compiler exploits the architecture's `Repeat` mechanism: when
+//! [`MarchTest::symmetric_split`] finds that the test is an initialization
+//! instruction followed by two complement-related halves, only the first
+//! half is emitted plus a single `Repeat` instruction carrying the
+//! complement mask — producing the paper's 9-instruction March C.
+//! Non-symmetric tests (March B, the `++` variants) are emitted unrolled;
+//! the architecture still expresses them, just in more storage — exactly
+//! the flexibility-versus-size trade the paper quantifies.
+
+use mbist_march::{MarchElement, MarchItem, MarchTest};
+
+use crate::error::CoreError;
+use crate::microcode::isa::{FlowOp, Microinstruction};
+
+/// Compiles a march test into a microcode program (without loading it).
+///
+/// # Errors
+///
+/// Returns [`CoreError::NotExpressible`] if the test uses pauses of
+/// different durations (the architecture has a single scan-loadable pause
+/// register).
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::microcode::compile;
+/// use mbist_march::library;
+///
+/// assert_eq!(compile(&library::march_c())?.len(), 9);
+/// assert_eq!(compile(&library::march_a())?.len(), 11);
+/// // March B is not symmetric: fully unrolled
+/// assert_eq!(compile(&library::march_b())?.len(), 19);
+/// # Ok::<(), mbist_core::CoreError>(())
+/// ```
+pub fn compile(test: &MarchTest) -> Result<Vec<Microinstruction>, CoreError> {
+    let _ = pause_duration(test)?; // validate pause uniformity up front
+    let items = test.items();
+    let mut prog = Vec::new();
+
+    let split = test.symmetric_split().filter(|s| {
+        // `Repeat` branches to instruction 1, so the prefix must compile to
+        // exactly one instruction: a single write-only op.
+        s.prefix_len == 1
+            && items[0]
+                .as_element()
+                .is_some_and(|e| e.ops().len() == 1)
+    });
+
+    match split {
+        Some(split) => {
+            compile_items(&items[..1], &mut prog);
+            compile_items(&items[1..1 + split.half_len], &mut prog);
+            prog.push(Microinstruction {
+                addr_down: split.mask.order,
+                data_invert: split.mask.data,
+                cmp_invert: split.mask.compare,
+                flow: FlowOp::Repeat,
+                ..Microinstruction::nop()
+            });
+            compile_items(&items[1 + 2 * split.half_len..], &mut prog);
+        }
+        None => compile_items(items, &mut prog),
+    }
+
+    prog.push(Microinstruction {
+        bg_inc: true,
+        flow: FlowOp::LoopBg,
+        ..Microinstruction::nop()
+    });
+    prog.push(Microinstruction { flow: FlowOp::LoopPort, ..Microinstruction::nop() });
+    Ok(prog)
+}
+
+/// The (single) pause duration used by the test's `Hold` instructions.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NotExpressible`] if the test mixes pause
+/// durations.
+pub fn pause_duration(test: &MarchTest) -> Result<Option<f64>, CoreError> {
+    let mut duration: Option<f64> = None;
+    for item in test.items() {
+        if let MarchItem::Pause { ns } = item {
+            match duration {
+                None => duration = Some(*ns),
+                Some(d) if d == *ns => {}
+                Some(d) => {
+                    return Err(CoreError::NotExpressible {
+                        architecture: "microcode",
+                        message: format!(
+                            "mixed pause durations {d}ns and {ns}ns exceed the single \
+                             pause register"
+                        ),
+                    })
+                }
+            }
+        }
+    }
+    Ok(duration)
+}
+
+fn compile_items(items: &[MarchItem], prog: &mut Vec<Microinstruction>) {
+    for item in items {
+        match item {
+            MarchItem::Pause { .. } => {
+                prog.push(Microinstruction { flow: FlowOp::Hold, ..Microinstruction::nop() });
+            }
+            MarchItem::Element(e) => compile_element(e, prog),
+        }
+    }
+}
+
+fn compile_element(e: &MarchElement, prog: &mut Vec<Microinstruction>) {
+    let down = e.order() == mbist_march::AddressOrder::Down;
+    let last = e.ops().len() - 1;
+    for (k, op) in e.ops().iter().enumerate() {
+        prog.push(Microinstruction {
+            read: op.is_read(),
+            write: op.is_write(),
+            cmp_invert: op.is_read() && op.data(),
+            data_invert: op.is_write() && op.data(),
+            addr_down: down,
+            addr_inc: k == last,
+            flow: if k == last { FlowOp::LoopElem } else { FlowOp::Next },
+            ..Microinstruction::nop()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::library;
+
+    #[test]
+    fn march_c_compiles_to_nine_instructions_as_in_fig_2() {
+        let p = compile(&library::march_c()).unwrap();
+        assert_eq!(p.len(), 9);
+        // Instruction 5 (0-indexed) is the Repeat with order-only mask.
+        let rep = p[5];
+        assert_eq!(rep.flow, FlowOp::Repeat);
+        assert!(rep.addr_down);
+        assert!(!rep.data_invert);
+        assert!(!rep.cmp_invert);
+        // Last two instructions support word-oriented and multiport
+        // memories, as the paper notes.
+        assert_eq!(p[7].flow, FlowOp::LoopBg);
+        assert_eq!(p[8].flow, FlowOp::LoopPort);
+    }
+
+    #[test]
+    fn march_a_repeat_uses_full_complement_mask() {
+        let p = compile(&library::march_a()).unwrap();
+        // 1 init + 7 half ops (4+3) + repeat + 2 loops = 11
+        assert_eq!(p.len(), 11);
+        let rep = p[8];
+        assert_eq!(rep.flow, FlowOp::Repeat);
+        assert!(rep.addr_down && rep.data_invert && rep.cmp_invert);
+    }
+
+    #[test]
+    fn non_symmetric_march_b_unrolls() {
+        let p = compile(&library::march_b()).unwrap();
+        // 17 ops + LoopBg + LoopPort, no Repeat
+        assert_eq!(p.len(), 19);
+        assert!(p.iter().all(|i| i.flow != FlowOp::Repeat));
+    }
+
+    #[test]
+    fn retention_variant_emits_holds() {
+        let p = compile(&library::march_c_plus()).unwrap();
+        let holds = p.iter().filter(|i| i.flow == FlowOp::Hold).count();
+        assert_eq!(holds, 2);
+        assert_eq!(
+            pause_duration(&library::march_c_plus()).unwrap(),
+            Some(library::DEFAULT_RETENTION_PAUSE_NS)
+        );
+    }
+
+    #[test]
+    fn mixed_pause_durations_are_rejected() {
+        let t = MarchTest::parse(
+            "mixed",
+            "m(w0); pause(1ms); m(r0,w1,r1); pause(2ms); m(r1)",
+        )
+        .unwrap();
+        assert!(matches!(
+            compile(&t),
+            Err(CoreError::NotExpressible { architecture: "microcode", .. })
+        ));
+    }
+
+    #[test]
+    fn mats_plus_is_symmetric_and_compresses() {
+        // m(w0); u(r0,w1); d(r1,w0): the down half is the full complement
+        // of the up half → init + 2 ops + repeat + 2 loops.
+        let p = compile(&library::mats_plus()).unwrap();
+        assert_eq!(p.len(), 6);
+        assert!(p[0].addr_inc && p[0].flow == FlowOp::LoopElem);
+        assert!(!p[1].addr_inc && p[1].flow == FlowOp::Next);
+        assert!(p[2].addr_inc && p[2].flow == FlowOp::LoopElem);
+        let rep = p[3];
+        assert_eq!(rep.flow, FlowOp::Repeat);
+        assert!(rep.addr_down && rep.data_invert && rep.cmp_invert);
+    }
+
+    #[test]
+    fn element_encoding_sets_inc_on_last_op_only() {
+        // March Y is symmetric too; check the element encoding on the
+        // unrolled March B instead.
+        let p = compile(&library::march_b()).unwrap();
+        // first element m(w0) → instruction 0
+        assert!(p[0].write && p[0].addr_inc && p[0].flow == FlowOp::LoopElem);
+        // second element ⇑(r0,w1,r1,w0,r0,w1) → instructions 1..7
+        for (k, inst) in p.iter().enumerate().take(6).skip(1) {
+            assert_eq!(inst.flow, FlowOp::Next, "mid-element op {k}");
+            assert!(!inst.addr_inc);
+        }
+        assert_eq!(p[6].flow, FlowOp::LoopElem);
+        assert!(p[6].addr_inc);
+    }
+
+    use mbist_march::MarchTest;
+}

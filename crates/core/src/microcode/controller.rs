@@ -1,0 +1,454 @@
+//! The microcode-based memory BIST controller (paper Fig. 1).
+//!
+//! Components, exactly as in the figure: the Z×10 *storage unit*, the
+//! `log2(Z)+1`-bit *instruction counter*, the *instruction selector* (a
+//! Z×10:10 mux), the *branch register*, the *instruction decoder* and the
+//! 4-bit *reference register* (repeat bit + auxiliary address order, data
+//! and compare polarities).
+
+use mbist_rtl::{CellStyle, Direction, Primitive, Structure};
+
+use crate::controller::{BistController, Flexibility};
+use crate::datapath::BistDatapath;
+use crate::error::CoreError;
+use crate::microcode::isa::{FlowOp, Microinstruction, INSTRUCTION_BITS};
+use crate::microcode::storage::StorageUnit;
+use crate::signals::ControlSignals;
+
+/// Configuration of a microcode-based controller instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicrocodeConfig {
+    /// Storage-unit capacity in instructions (the paper's `Z`).
+    pub capacity: usize,
+    /// Pause duration of the `Hold` instruction, in nanoseconds (a
+    /// scan-loadable pause register in hardware).
+    pub pause_ns: f64,
+    /// Storage-cell style — [`CellStyle::FullScan`] for the baseline
+    /// controller of Table 1, [`CellStyle::ScanOnly`] for the redesigned
+    /// controller of Table 3.
+    pub cell_style: CellStyle,
+}
+
+impl Default for MicrocodeConfig {
+    fn default() -> Self {
+        Self { capacity: 16, pause_ns: 100_000.0, cell_style: CellStyle::FullScan }
+    }
+}
+
+/// The 4-bit reference register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct ReferenceRegister {
+    repeat: bool,
+    aux_order: bool,
+    aux_data: bool,
+    aux_cmp: bool,
+}
+
+/// The microcode-based memory BIST controller.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::microcode::{compile, MicrocodeConfig, MicrocodeController};
+/// use mbist_core::BistController;
+/// use mbist_march::library;
+///
+/// let program = compile(&library::march_c())?;
+/// assert_eq!(program.len(), 9); // the paper's 9-instruction March C
+/// let ctrl = MicrocodeController::new(
+///     "march-c",
+///     &program,
+///     MicrocodeConfig::default(),
+/// )?;
+/// assert_eq!(ctrl.algorithm(), "march-c");
+/// # Ok::<(), mbist_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MicrocodeController {
+    algorithm: String,
+    config: MicrocodeConfig,
+    storage: StorageUnit,
+    /// Decoded view of the storage unit (refreshed on every load).
+    program: Vec<Microinstruction>,
+    /// Instruction counter.
+    pc: usize,
+    /// Branch register: first instruction of the current march element
+    /// (maintained by the Save-Current-Address automation).
+    branch_reg: usize,
+    reference: ReferenceRegister,
+    done: bool,
+}
+
+impl MicrocodeController {
+    /// Builds a controller and scan-loads `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProgramTooLarge`] if the program exceeds
+    /// `config.capacity`, or [`CoreError::Decode`] if it contains an
+    /// undecodable word.
+    pub fn new(
+        algorithm: impl Into<String>,
+        program: &[Microinstruction],
+        config: MicrocodeConfig,
+    ) -> Result<Self, CoreError> {
+        let mut storage = StorageUnit::new(config.capacity, config.cell_style);
+        storage.load(program)?;
+        let decoded = storage.program()?;
+        Ok(Self {
+            algorithm: algorithm.into(),
+            config,
+            storage,
+            program: decoded,
+            pc: 0,
+            branch_reg: 0,
+            reference: ReferenceRegister::default(),
+            done: false,
+        })
+    }
+
+    /// Scan-loads a new program *without any hardware change* — the
+    /// defining capability of the architecture. Returns the scan clocks
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// See [`MicrocodeController::new`].
+    pub fn load_program(
+        &mut self,
+        algorithm: impl Into<String>,
+        program: &[Microinstruction],
+    ) -> Result<u64, CoreError> {
+        let cycles = self.storage.load(program)?;
+        self.program = self.storage.program()?;
+        self.algorithm = algorithm.into();
+        self.reset();
+        Ok(cycles)
+    }
+
+    /// The loaded program (decoded view of the storage unit).
+    #[must_use]
+    pub fn program(&self) -> &[Microinstruction] {
+        &self.program
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MicrocodeConfig {
+        &self.config
+    }
+
+    /// Total scan clocks spent on program loads.
+    #[must_use]
+    pub fn scan_cycles(&self) -> u64 {
+        self.storage.scan_cycles()
+    }
+
+    /// Current instruction counter value (for traces and tests).
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Sets the instruction counter and the branch register (a control
+    /// transfer to the start of a new march element).
+    fn goto(&mut self, target: usize) {
+        self.pc = target;
+        self.branch_reg = target;
+    }
+}
+
+impl BistController for MicrocodeController {
+    fn architecture(&self) -> &'static str {
+        "microcode"
+    }
+
+    fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    fn flexibility(&self) -> Flexibility {
+        Flexibility::High
+    }
+
+    fn reset(&mut self) {
+        self.pc = 0;
+        self.branch_reg = 0;
+        self.reference = ReferenceRegister::default();
+        self.done = false;
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn step(&mut self, datapath: &BistDatapath) -> ControlSignals {
+        if self.done || self.pc >= self.program.len() {
+            // Exhausting the instruction addresses sets the instruction
+            // counter's end bit (paper: "the last bit of the instruction
+            // counter specifies the end of the test").
+            self.done = true;
+            return ControlSignals { done: true, ..ControlSignals::idle() };
+        }
+        let inst = self.program[self.pc];
+        let down = inst.addr_down ^ self.reference.aux_order;
+        let dir = if down { Direction::Down } else { Direction::Up };
+        let status = datapath.status(dir);
+
+        let mut sig = ControlSignals { addr_order: dir, ..ControlSignals::idle() };
+        if inst.read {
+            sig.read_en = true;
+            sig.compare_en = true;
+            sig.compare_invert = inst.cmp_invert ^ self.reference.aux_cmp;
+        } else if inst.write {
+            sig.write_en = true;
+            sig.data_invert = inst.data_invert ^ self.reference.aux_data;
+        }
+
+        match inst.flow {
+            FlowOp::Next => {
+                sig.addr_inc = inst.addr_inc;
+                self.pc += 1;
+            }
+            FlowOp::LoopElem => {
+                if status.last_address {
+                    sig.addr_reset = true;
+                    self.goto(self.pc + 1);
+                } else {
+                    sig.addr_inc = inst.addr_inc;
+                    self.pc = self.branch_reg;
+                }
+            }
+            FlowOp::Repeat => {
+                if self.reference.repeat {
+                    // Second execution: a no-operation that clears the
+                    // reference register.
+                    self.reference = ReferenceRegister::default();
+                    self.goto(self.pc + 1);
+                } else {
+                    self.reference = ReferenceRegister {
+                        repeat: true,
+                        aux_order: inst.addr_down,
+                        aux_data: inst.data_invert,
+                        aux_cmp: inst.cmp_invert,
+                    };
+                    self.goto(1);
+                }
+            }
+            FlowOp::LoopBg => {
+                if status.last_background {
+                    sig.bg_reset = true;
+                    self.goto(self.pc + 1);
+                } else {
+                    sig.bg_inc = true;
+                    self.goto(0);
+                }
+            }
+            FlowOp::LoopPort => {
+                if status.last_port {
+                    sig.done = true;
+                    self.done = true;
+                } else {
+                    sig.port_inc = true;
+                    self.goto(0);
+                }
+            }
+            FlowOp::Hold => {
+                sig.pause_ns = Some(self.config.pause_ns);
+                self.goto(self.pc + 1);
+            }
+            FlowOp::SaveAddr => {
+                self.branch_reg = self.pc + 1;
+                self.pc += 1;
+            }
+            FlowOp::Terminate => {
+                sig.done = true;
+                self.done = true;
+            }
+        }
+        sig
+    }
+
+    fn structure(&self) -> Structure {
+        let z = self.config.capacity as u32;
+        let pc_bits = (usize::BITS - (self.config.capacity - 1).leading_zeros()).max(1) + 1;
+        let br_bits = pc_bits - 1;
+        let width = u32::from(INSTRUCTION_BITS);
+        Structure::named("microcode_controller")
+            .with_child(self.storage.structure())
+            .with_child(
+                Structure::leaf("instruction_counter")
+                    .with(Primitive::Dff, pc_bits)
+                    .with(Primitive::Xor2, pc_bits)
+                    .with(Primitive::Nand2, pc_bits)
+                    .with(Primitive::Mux2, pc_bits),
+            )
+            .with_child(
+                // Z×10:10 selector as a mux tree.
+                Structure::leaf("instruction_selector")
+                    .with(Primitive::Mux2, width * z.saturating_sub(1)),
+            )
+            .with_child(
+                Structure::leaf("branch_register").with(Primitive::Dff, br_bits),
+            )
+            .with_child(
+                Structure::leaf("reference_register")
+                    .with(Primitive::Dff, 4)
+                    .with(Primitive::Xor2, 3),
+            )
+            .with_child(
+                // Fixed flow-control decode logic (3-bit field, condition
+                // selection, counter steering).
+                Structure::leaf("instruction_decoder")
+                    .with(Primitive::Nand2, 42)
+                    .with(Primitive::Inv, 12),
+            )
+            .with_child(
+                // Pause timer for the Hold instruction.
+                Structure::leaf("pause_timer")
+                    .with(Primitive::Dff, 20)
+                    .with(Primitive::Nand2, 24),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microcode::compile;
+    use crate::unit::BistUnit;
+    use mbist_march::{expand, library, standard_backgrounds};
+    use mbist_mem::{MemGeometry, MemoryArray};
+
+    fn unit_for(
+        test: &mbist_march::MarchTest,
+        g: MemGeometry,
+    ) -> BistUnit<MicrocodeController> {
+        let program = compile(test).unwrap();
+        let config = MicrocodeConfig {
+            capacity: program.len().max(16),
+            ..MicrocodeConfig::default()
+        };
+        let ctrl = MicrocodeController::new(test.name(), &program, config).unwrap();
+        let dp = crate::datapath::BistDatapath::new(g, standard_backgrounds(g.width()));
+        BistUnit::new(ctrl, dp)
+    }
+
+    #[test]
+    fn march_c_stream_matches_reference() {
+        let g = MemGeometry::bit_oriented(4);
+        let mut unit = unit_for(&library::march_c(), g);
+        let steps = unit.emit_steps();
+        let reference = expand(&library::march_c(), &g);
+        assert_eq!(steps, reference);
+    }
+
+    #[test]
+    fn march_a_stream_matches_reference_full_complement() {
+        let g = MemGeometry::bit_oriented(4);
+        let mut unit = unit_for(&library::march_a(), g);
+        assert_eq!(unit.emit_steps(), expand(&library::march_a(), &g));
+    }
+
+    #[test]
+    fn flow_overhead_is_small() {
+        let g = MemGeometry::bit_oriented(16);
+        let mut unit = unit_for(&library::march_c(), g);
+        let mut mem = MemoryArray::new(g);
+        let report = unit.run(&mut mem);
+        assert_eq!(report.bus_cycles, 160);
+        // overhead: 2 × Repeat + LoopBg + LoopPort
+        assert_eq!(report.overhead_cycles(), 4);
+    }
+
+    #[test]
+    fn reload_changes_algorithm_without_hardware_change() {
+        let g = MemGeometry::bit_oriented(8);
+        let mut unit = unit_for(&library::march_c(), g);
+        let mut mem = MemoryArray::new(g);
+        assert!(unit.run(&mut mem).passed());
+
+        // Hot-load MATS+ into the same hardware.
+        let p2 = compile(&library::mats_plus()).unwrap();
+        // (fields on the unit are private; rebuild the controller in place)
+        let steps_before = unit.controller().scan_cycles();
+        let mut ctrl = unit.controller().clone();
+        ctrl.load_program("mats+", &p2).unwrap();
+        assert!(ctrl.scan_cycles() > steps_before);
+        let dp = crate::datapath::BistDatapath::new(g, standard_backgrounds(1));
+        let mut unit2 = BistUnit::new(ctrl, dp);
+        assert_eq!(unit2.emit_steps(), expand(&library::mats_plus(), &g));
+    }
+
+    #[test]
+    fn done_after_terminate_stays_done() {
+        let prog = vec![Microinstruction {
+            flow: FlowOp::Terminate,
+            ..Microinstruction::nop()
+        }];
+        let mut ctrl =
+            MicrocodeController::new("end", &prog, MicrocodeConfig::default()).unwrap();
+        let dp = crate::datapath::BistDatapath::new(
+            MemGeometry::bit_oriented(2),
+            standard_backgrounds(1),
+        );
+        let s = ctrl.step(&dp);
+        assert!(s.done);
+        assert!(ctrl.is_done());
+        let s2 = ctrl.step(&dp);
+        assert!(s2.done);
+    }
+
+    #[test]
+    fn falling_off_the_program_terminates() {
+        let prog = vec![Microinstruction { read: true, ..Microinstruction::nop() }];
+        let mut ctrl =
+            MicrocodeController::new("fall", &prog, MicrocodeConfig::default()).unwrap();
+        let dp = crate::datapath::BistDatapath::new(
+            MemGeometry::bit_oriented(2),
+            standard_backgrounds(1),
+        );
+        let _ = ctrl.step(&dp);
+        let s = ctrl.step(&dp);
+        assert!(s.done, "instruction-address exhaustion ends the test");
+    }
+
+    #[test]
+    fn structure_has_the_figure_1_components() {
+        let ctrl = MicrocodeController::new(
+            "x",
+            &compile(&library::march_c()).unwrap(),
+            MicrocodeConfig::default(),
+        )
+        .unwrap();
+        let s = ctrl.structure();
+        for name in [
+            "storage_unit",
+            "instruction_counter",
+            "instruction_selector",
+            "branch_register",
+            "reference_register",
+            "instruction_decoder",
+        ] {
+            assert!(s.find(name).is_some(), "missing {name}");
+        }
+        assert_eq!(s.find("reference_register").unwrap().count(Primitive::Dff), 4);
+    }
+
+    #[test]
+    fn scan_only_style_changes_storage_primitive() {
+        let config = MicrocodeConfig {
+            cell_style: CellStyle::ScanOnly,
+            ..MicrocodeConfig::default()
+        };
+        let ctrl = MicrocodeController::new(
+            "x",
+            &compile(&library::march_c()).unwrap(),
+            config,
+        )
+        .unwrap();
+        let s = ctrl.structure();
+        assert_eq!(s.count(Primitive::ScanOnlyCell), 160);
+        assert_eq!(s.find("storage_unit").unwrap().count(Primitive::ScanDff), 0);
+    }
+}

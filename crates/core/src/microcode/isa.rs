@@ -1,0 +1,343 @@
+//! The microcode instruction set (paper Fig. 2).
+//!
+//! Each microinstruction is 10 bits wide:
+//!
+//! | bits | field | meaning |
+//! |------|-------|---------|
+//! | 9    | `addr_inc`   | step the address generator after this access |
+//! | 8    | `addr_down`  | down address order (XORed with the reference register's auxiliary order) |
+//! | 7    | `data_invert`| write the complemented background (XORed with auxiliary data) |
+//! | 6    | `bg_inc`     | advance the data-background generator (asserted by `LoopBg`) |
+//! | 5    | `cmp_invert` | expect the complemented background on reads (XORed with auxiliary compare) |
+//! | 4    | `write`      | write enable |
+//! | 3    | `read`       | read enable (reads are always compared) |
+//! | 2..0 | `flow`       | flow-control field, see [`FlowOp`] |
+//!
+//! The `Repeat` instruction reuses the `addr_down` / `data_invert` /
+//! `cmp_invert` fields as the auxiliary polarities loaded into the
+//! reference register — the mechanism that encodes a symmetric march
+//! algorithm's second half for free.
+//!
+//! ### Concretization notes
+//!
+//! The paper's figure text is partially garbled in the surviving copy; the
+//! flow semantics implemented here are the self-consistent reconstruction:
+//! the *branch register* always tracks the first instruction of the march
+//! element currently executing (the paper's "Save Address Condition"
+//! automation with the last-address condition), `Repeat` branches to
+//! instruction 1 (the paper's `Reset to 1` line in Fig. 1 — symmetric
+//! algorithms place their repeatable block right after the single
+//! initialization instruction), and `LoopBg`/`LoopPort` branch to
+//! instruction 0 (`Reset to 0`).
+
+use std::fmt;
+
+use mbist_rtl::Bits;
+
+use crate::error::CoreError;
+
+/// Width of a microinstruction in bits.
+pub const INSTRUCTION_BITS: u8 = 10;
+
+/// The 3-bit flow-control field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FlowOp {
+    /// Fall through to the next instruction (mid-element operation).
+    #[default]
+    Next = 0,
+    /// End of a march element: branch to the branch register while
+    /// `Last Address` is de-asserted; otherwise reset the address
+    /// generator and fall through.
+    LoopElem = 1,
+    /// Symmetric repeat: on first execution latch this instruction's
+    /// polarity fields into the reference register and branch to
+    /// instruction 1; on second execution clear the reference register and
+    /// fall through (a no-operation, as the paper describes).
+    Repeat = 2,
+    /// Background loop: advance the data background and branch to
+    /// instruction 0 while `Last Data` is de-asserted; otherwise reset the
+    /// background generator and fall through.
+    LoopBg = 3,
+    /// Port loop: advance the port and branch to instruction 0 while
+    /// `Last Port` is de-asserted; otherwise terminate the test.
+    LoopPort = 4,
+    /// Conditional hold: idle for the pause-register duration
+    /// (data-retention pause), then fall through.
+    Hold = 5,
+    /// Save the next instruction's address into the branch register
+    /// (explicit override of the automatic element tracking).
+    SaveAddr = 6,
+    /// Unconditional terminate.
+    Terminate = 7,
+}
+
+impl FlowOp {
+    /// Decodes the 3-bit field.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> FlowOp {
+        match bits & 0b111 {
+            0 => FlowOp::Next,
+            1 => FlowOp::LoopElem,
+            2 => FlowOp::Repeat,
+            3 => FlowOp::LoopBg,
+            4 => FlowOp::LoopPort,
+            5 => FlowOp::Hold,
+            6 => FlowOp::SaveAddr,
+            _ => FlowOp::Terminate,
+        }
+    }
+
+    /// Mnemonic used by the assembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FlowOp::Next => "next",
+            FlowOp::LoopElem => "loop",
+            FlowOp::Repeat => "repeat",
+            FlowOp::LoopBg => "loopbg",
+            FlowOp::LoopPort => "loopport",
+            FlowOp::Hold => "hold",
+            FlowOp::SaveAddr => "save",
+            FlowOp::Terminate => "end",
+        }
+    }
+}
+
+impl fmt::Display for FlowOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One decoded 10-bit microinstruction.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::microcode::{FlowOp, Microinstruction};
+///
+/// // `w1 inc loop` — write the complemented background, step the address,
+/// // loop the element.
+/// let inst = Microinstruction {
+///     write: true,
+///     data_invert: true,
+///     addr_inc: true,
+///     flow: FlowOp::LoopElem,
+///     ..Microinstruction::nop()
+/// };
+/// let word = inst.encode();
+/// assert_eq!(Microinstruction::decode(word)?, inst);
+/// # Ok::<(), mbist_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Microinstruction {
+    /// Step the address generator after this access.
+    pub addr_inc: bool,
+    /// Down address order (before the reference-register XOR).
+    pub addr_down: bool,
+    /// Write the complemented background (before the XOR).
+    pub data_invert: bool,
+    /// Advance the background generator.
+    pub bg_inc: bool,
+    /// Expect the complemented background (before the XOR).
+    pub cmp_invert: bool,
+    /// Write enable.
+    pub write: bool,
+    /// Read enable.
+    pub read: bool,
+    /// Flow-control field.
+    pub flow: FlowOp,
+}
+
+impl Microinstruction {
+    /// An instruction with every field clear (`nop next`).
+    #[must_use]
+    pub fn nop() -> Self {
+        Self::default()
+    }
+
+    /// Encodes into a 10-bit word.
+    #[must_use]
+    pub fn encode(&self) -> Bits {
+        let mut v = self.flow as u64;
+        if self.read {
+            v |= 1 << 3;
+        }
+        if self.write {
+            v |= 1 << 4;
+        }
+        if self.cmp_invert {
+            v |= 1 << 5;
+        }
+        if self.bg_inc {
+            v |= 1 << 6;
+        }
+        if self.data_invert {
+            v |= 1 << 7;
+        }
+        if self.addr_down {
+            v |= 1 << 8;
+        }
+        if self.addr_inc {
+            v |= 1 << 9;
+        }
+        Bits::new(INSTRUCTION_BITS, v)
+    }
+
+    /// Decodes a 10-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] if the word is not 10 bits wide or
+    /// asserts both `read` and `write`.
+    pub fn decode(word: Bits) -> Result<Self, CoreError> {
+        if word.width() != INSTRUCTION_BITS {
+            return Err(CoreError::Decode {
+                message: format!(
+                    "expected a {INSTRUCTION_BITS}-bit word, got {} bits",
+                    word.width()
+                ),
+            });
+        }
+        let inst = Self {
+            flow: FlowOp::from_bits((word.value() & 0b111) as u8),
+            read: word.bit(3),
+            write: word.bit(4),
+            cmp_invert: word.bit(5),
+            bg_inc: word.bit(6),
+            data_invert: word.bit(7),
+            addr_down: word.bit(8),
+            addr_inc: word.bit(9),
+        };
+        if inst.read && inst.write {
+            return Err(CoreError::Decode {
+                message: "read and write enables both asserted".into(),
+            });
+        }
+        Ok(inst)
+    }
+
+    /// Whether the instruction drives a memory access.
+    #[must_use]
+    pub fn has_access(&self) -> bool {
+        self.read || self.write
+    }
+}
+
+impl fmt::Display for Microinstruction {
+    /// Renders in assembler syntax (see the `microcode::asm` module).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.read {
+            parts.push(format!("r{}", u8::from(self.cmp_invert)));
+        } else if self.write {
+            parts.push(format!("w{}", u8::from(self.data_invert)));
+        }
+        if self.flow == FlowOp::Repeat {
+            let mut aux = Vec::new();
+            if self.addr_down {
+                aux.push("order");
+            }
+            if self.data_invert {
+                aux.push("data");
+            }
+            if self.cmp_invert {
+                aux.push("cmp");
+            }
+            parts.push(format!("repeat({})", aux.join(",")));
+            return f.write_str(&parts.join(" "));
+        }
+        if self.addr_down {
+            parts.push("down".into());
+        }
+        if self.addr_inc {
+            parts.push("inc".into());
+        }
+        if self.bg_inc {
+            parts.push("bginc".into());
+        }
+        if self.flow != FlowOp::Next {
+            parts.push(self.flow.mnemonic().into());
+        }
+        if parts.is_empty() {
+            parts.push("nop".into());
+        }
+        f.write_str(&parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_all_flow_ops() {
+        for flow_bits in 0..8u8 {
+            let inst = Microinstruction {
+                addr_inc: flow_bits % 2 == 0,
+                addr_down: flow_bits % 3 == 0,
+                data_invert: true,
+                bg_inc: false,
+                cmp_invert: flow_bits > 4,
+                write: true,
+                read: false,
+                flow: FlowOp::from_bits(flow_bits),
+            };
+            assert_eq!(Microinstruction::decode(inst.encode()).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_width() {
+        assert!(Microinstruction::decode(Bits::new(8, 0)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_read_write_conflict() {
+        let word = Bits::new(10, (1 << 3) | (1 << 4));
+        let err = Microinstruction::decode(word).unwrap_err();
+        assert!(err.to_string().contains("both"));
+    }
+
+    #[test]
+    fn nop_encodes_to_zero() {
+        assert!(Microinstruction::nop().encode().is_zero());
+    }
+
+    #[test]
+    fn flow_from_bits_masks() {
+        assert_eq!(FlowOp::from_bits(0b1010), FlowOp::Repeat);
+        assert_eq!(FlowOp::from_bits(7), FlowOp::Terminate);
+    }
+
+    #[test]
+    fn display_shows_mnemonics() {
+        let inst = Microinstruction {
+            write: true,
+            data_invert: true,
+            addr_inc: true,
+            flow: FlowOp::LoopElem,
+            ..Microinstruction::nop()
+        };
+        assert_eq!(inst.to_string(), "w1 inc loop");
+        let rep = Microinstruction {
+            addr_down: true,
+            flow: FlowOp::Repeat,
+            ..Microinstruction::nop()
+        };
+        assert_eq!(rep.to_string(), "repeat(order)");
+        assert_eq!(Microinstruction::nop().to_string(), "nop");
+    }
+
+    #[test]
+    fn exhaustive_decode_never_panics() {
+        let mut ok = 0;
+        for v in 0..1024u64 {
+            if Microinstruction::decode(Bits::new(10, v)).is_ok() {
+                ok += 1;
+            }
+        }
+        // 1/4 of encodings assert both read and write
+        assert_eq!(ok, 768);
+    }
+}

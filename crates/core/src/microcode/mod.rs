@@ -1,0 +1,112 @@
+//! The microcode-based memory BIST architecture (paper §2.1).
+//!
+//! - [`Microinstruction`] / [`FlowOp`]: the 10-bit ISA of Fig. 2,
+//! - [`StorageUnit`]: the Z×10 scan-loadable microcode store,
+//! - [`MicrocodeController`]: the cycle-accurate controller of Fig. 1,
+//! - [`compile`]: march notation → microcode (with `Repeat` compression of
+//!   symmetric algorithms),
+//! - [`assemble`] / [`disassemble`]: the field-update text format,
+//! - [`MicrocodeBist`]: one-call construction of a complete BIST unit.
+
+mod asm;
+mod compile;
+mod controller;
+mod isa;
+mod storage;
+
+pub use asm::{assemble, disassemble, to_source};
+pub use compile::{compile, pause_duration};
+pub use controller::{MicrocodeConfig, MicrocodeController};
+pub use isa::{FlowOp, Microinstruction, INSTRUCTION_BITS};
+pub use storage::StorageUnit;
+
+use mbist_march::{standard_backgrounds, MarchTest};
+use mbist_mem::MemGeometry;
+
+use crate::datapath::BistDatapath;
+use crate::error::CoreError;
+use crate::unit::BistUnit;
+
+/// Convenience constructors for microcode-based BIST units.
+#[derive(Debug, Clone, Copy)]
+pub struct MicrocodeBist;
+
+impl MicrocodeBist {
+    /// Compiles `test`, sizes a controller for it and wires up the shared
+    /// datapath for `geometry` (standard backgrounds, all ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors (e.g. mixed pause durations).
+    pub fn for_test(
+        test: &MarchTest,
+        geometry: &MemGeometry,
+    ) -> Result<BistUnit<MicrocodeController>, CoreError> {
+        Self::for_test_with(test, geometry, MicrocodeConfig::default())
+    }
+
+    /// Like [`MicrocodeBist::for_test`] with an explicit base
+    /// configuration. The capacity is grown to fit the program; the pause
+    /// register is loaded from the test's pause duration when it has one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn for_test_with(
+        test: &MarchTest,
+        geometry: &MemGeometry,
+        config: MicrocodeConfig,
+    ) -> Result<BistUnit<MicrocodeController>, CoreError> {
+        let program = compile(test)?;
+        let mut config = config;
+        config.capacity = config.capacity.max(program.len());
+        if let Some(ns) = pause_duration(test)? {
+            config.pause_ns = ns;
+        }
+        let controller = MicrocodeController::new(test.name(), &program, config)?;
+        let datapath =
+            BistDatapath::new(*geometry, standard_backgrounds(geometry.width()));
+        Ok(BistUnit::new(controller, datapath))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::{expand, library};
+
+    #[test]
+    fn for_test_sizes_capacity_to_program() {
+        let g = MemGeometry::bit_oriented(8);
+        // March C++ unrolls: needs more than the default 16 slots.
+        let unit = MicrocodeBist::for_test(&library::march_c_plus_plus(), &g).unwrap();
+        assert!(unit.controller().config().capacity >= unit.controller().program().len());
+    }
+
+    #[test]
+    fn for_test_loads_pause_register() {
+        let g = MemGeometry::bit_oriented(8);
+        let unit = MicrocodeBist::for_test(&library::march_c_plus(), &g).unwrap();
+        assert_eq!(
+            unit.controller().config().pause_ns,
+            library::DEFAULT_RETENTION_PAUSE_NS
+        );
+    }
+
+    #[test]
+    fn every_library_algorithm_matches_reference_on_every_geometry() {
+        let geometries = [
+            MemGeometry::bit_oriented(4),
+            MemGeometry::word_oriented(4, 4),
+            MemGeometry::new(4, 2, 2),
+        ];
+        for t in library::all() {
+            for g in geometries {
+                let mut unit = MicrocodeBist::for_test(&t, &g).unwrap();
+                let steps = unit.emit_steps();
+                let reference = expand(&t, &g);
+                assert_eq!(steps, reference, "{} on {}", t.name(), g);
+            }
+        }
+    }
+}

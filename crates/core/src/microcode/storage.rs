@@ -1,0 +1,199 @@
+//! The microcode storage unit: a Z×10 scan-loadable buffer.
+//!
+//! The storage unit never changes during a test and is written only
+//! through the scan path, which is what lets the paper replace its
+//! full-scan registers with 4-5× smaller *scan-only* cells (Table 3). The
+//! scan load is modeled cycle-accurately: loading a Z-instruction store
+//! costs exactly `Z × 10` scan clocks.
+
+use mbist_rtl::{Bits, CellStyle, ScanChain, Structure};
+
+use crate::error::CoreError;
+use crate::microcode::isa::{Microinstruction, INSTRUCTION_BITS};
+
+/// The storage unit of the microcode-based controller.
+#[derive(Debug, Clone)]
+pub struct StorageUnit {
+    capacity: usize,
+    chain: ScanChain,
+}
+
+impl StorageUnit {
+    /// Creates a zeroed storage unit holding `capacity` instructions with
+    /// the given storage-cell style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, style: CellStyle) -> Self {
+        assert!(capacity > 0, "storage unit needs at least one instruction slot");
+        Self {
+            capacity,
+            chain: ScanChain::with_style(capacity * usize::from(INSTRUCTION_BITS), style),
+        }
+    }
+
+    /// Number of instruction slots (the paper's `Z`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The storage-cell style (for area accounting).
+    #[must_use]
+    pub fn style(&self) -> CellStyle {
+        self.chain.style()
+    }
+
+    /// Total scan clocks spent loading this unit since construction.
+    #[must_use]
+    pub fn scan_cycles(&self) -> u64 {
+        self.chain.shifts()
+    }
+
+    /// Serially loads a program through the scan path, padding unused slots
+    /// with zero words. Costs `capacity × 10` scan clocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProgramTooLarge`] if the program exceeds the
+    /// capacity.
+    pub fn load(&mut self, program: &[Microinstruction]) -> Result<u64, CoreError> {
+        if program.len() > self.capacity {
+            return Err(CoreError::ProgramTooLarge {
+                required: program.len(),
+                capacity: self.capacity,
+            });
+        }
+        // Build the full bit image: instruction i occupies cells
+        // [i*10, i*10+10), LSB first. Serial loading places the FIRST bit
+        // shifted in at the DEEPEST cell, so shift the image in reverse.
+        let mut image = vec![false; self.capacity * usize::from(INSTRUCTION_BITS)];
+        for (i, inst) in program.iter().enumerate() {
+            let word = inst.encode();
+            for b in 0..INSTRUCTION_BITS {
+                image[i * usize::from(INSTRUCTION_BITS) + usize::from(b)] = word.bit(b);
+            }
+        }
+        let before = self.chain.shifts();
+        let pattern: Vec<bool> = image.iter().rev().copied().collect();
+        self.chain.load_serial(&pattern);
+        Ok(self.chain.shifts() - before)
+    }
+
+    /// Decodes instruction slot `index` from the stored bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] if the stored word is malformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn instruction(&self, index: usize) -> Result<Microinstruction, CoreError> {
+        assert!(index < self.capacity, "instruction index out of range");
+        let base = index * usize::from(INSTRUCTION_BITS);
+        let bits = Bits::from_bits_lsb_first(
+            (0..usize::from(INSTRUCTION_BITS)).map(|b| self.chain.cell(base + b)),
+        );
+        Microinstruction::decode(bits)
+    }
+
+    /// Decodes the entire stored program (trailing all-zero slots are
+    /// `nop next` instructions and are trimmed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] if any stored word is malformed.
+    pub fn program(&self) -> Result<Vec<Microinstruction>, CoreError> {
+        let mut out = Vec::with_capacity(self.capacity);
+        for i in 0..self.capacity {
+            out.push(self.instruction(i)?);
+        }
+        while out.last() == Some(&Microinstruction::nop()) {
+            out.pop();
+        }
+        Ok(out)
+    }
+
+    /// Structural inventory for area estimation: the Z×10 cell array.
+    #[must_use]
+    pub fn structure(&self) -> Structure {
+        self.chain.structure("storage_unit")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microcode::isa::FlowOp;
+
+    fn sample_program() -> Vec<Microinstruction> {
+        vec![
+            Microinstruction {
+                write: true,
+                addr_inc: true,
+                flow: FlowOp::LoopElem,
+                ..Microinstruction::nop()
+            },
+            Microinstruction { read: true, ..Microinstruction::nop() },
+            Microinstruction {
+                write: true,
+                data_invert: true,
+                addr_inc: true,
+                flow: FlowOp::LoopElem,
+                ..Microinstruction::nop()
+            },
+            Microinstruction { flow: FlowOp::Terminate, ..Microinstruction::nop() },
+        ]
+    }
+
+    #[test]
+    fn load_and_readback_roundtrip() {
+        let mut s = StorageUnit::new(8, CellStyle::ScanOnly);
+        let prog = sample_program();
+        let cycles = s.load(&prog).unwrap();
+        assert_eq!(cycles, 8 * 10, "full-chain scan load costs capacity × width");
+        assert_eq!(s.program().unwrap(), prog);
+    }
+
+    #[test]
+    fn per_slot_decode_matches() {
+        let mut s = StorageUnit::new(4, CellStyle::ScanOnly);
+        let prog = sample_program();
+        s.load(&prog).unwrap();
+        for (i, inst) in prog.iter().enumerate() {
+            assert_eq!(s.instruction(i).unwrap(), *inst);
+        }
+    }
+
+    #[test]
+    fn oversized_program_is_rejected() {
+        let mut s = StorageUnit::new(2, CellStyle::ScanOnly);
+        let err = s.load(&sample_program()).unwrap_err();
+        assert!(matches!(err, CoreError::ProgramTooLarge { required: 4, capacity: 2 }));
+    }
+
+    #[test]
+    fn reload_replaces_previous_program() {
+        let mut s = StorageUnit::new(4, CellStyle::FullScan);
+        s.load(&sample_program()).unwrap();
+        let short = vec![Microinstruction {
+            flow: FlowOp::Terminate,
+            ..Microinstruction::nop()
+        }];
+        s.load(&short).unwrap();
+        assert_eq!(s.program().unwrap(), short);
+        assert_eq!(s.scan_cycles(), 2 * 4 * 10);
+    }
+
+    #[test]
+    fn structure_counts_cells_by_style() {
+        use mbist_rtl::Primitive;
+        let scan_only = StorageUnit::new(9, CellStyle::ScanOnly);
+        assert_eq!(scan_only.structure().count(Primitive::ScanOnlyCell), 90);
+        let full = StorageUnit::new(9, CellStyle::FullScan);
+        assert_eq!(full.structure().count(Primitive::ScanDff), 90);
+    }
+}

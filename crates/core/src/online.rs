@@ -1,0 +1,208 @@
+//! Periodic on-line (in-field) memory testing.
+//!
+//! The paper's conclusion points out that a programmable controller whose
+//! overhead is already justified can expand from manufacturing test and
+//! diagnostics to *on-line* testing per Nicolaidis \[7\]. This module
+//! simulates that deployment: application workload bursts alternate with
+//! transparent (content-preserving) test rounds, and the figure of merit
+//! is the detection latency — how many rounds pass between a field defect
+//! appearing and the BIST flagging it.
+
+use mbist_march::{run_transparent, transparent, MarchTest};
+use mbist_mem::{FaultKind, MemGeometry, MemoryArray, PortId};
+use mbist_rtl::Bits;
+
+/// Configuration of a periodic on-line test deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Application accesses simulated between test rounds.
+    pub workload_ops_per_round: usize,
+    /// Seed of the deterministic workload generator.
+    pub seed: u64,
+    /// Port used by both the workload and the BIST.
+    pub port: PortId,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self { workload_ops_per_round: 256, seed: 0x5eed, port: PortId(0) }
+    }
+}
+
+/// Outcome of an on-line testing session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// Test rounds executed.
+    pub rounds_run: usize,
+    /// Round (0-based) whose test first failed, if any.
+    pub detection_round: Option<usize>,
+    /// Rounds whose transparent test failed to restore content — must stay
+    /// zero while the memory is healthy.
+    pub content_upsets: usize,
+    /// Total BIST bus cycles spent across all rounds.
+    pub test_cycles: u64,
+}
+
+impl OnlineReport {
+    /// Detection latency in rounds from `injected_at`, if detected.
+    #[must_use]
+    pub fn latency_from(&self, injected_at: usize) -> Option<usize> {
+        self.detection_round.map(|d| d.saturating_sub(injected_at))
+    }
+}
+
+/// Runs `rounds` alternating workload-burst / transparent-test rounds on
+/// `mem`, optionally injecting `fault` right before the workload of round
+/// `inject.0`.
+///
+/// # Panics
+///
+/// Panics if `test` is not transparent-compatible (see
+/// [`transparent::is_transparent_compatible`]) or the fault does not fit
+/// the geometry.
+#[must_use]
+pub fn run_periodic(
+    mem: &mut MemoryArray,
+    test: &MarchTest,
+    rounds: usize,
+    config: &OnlineConfig,
+    inject: Option<(usize, FaultKind)>,
+) -> OnlineReport {
+    assert!(
+        transparent::is_transparent_compatible(test),
+        "{} cannot run transparently",
+        test.name()
+    );
+    let geometry = mem.geometry();
+    let mut rng = config.seed;
+    let mut report = OnlineReport {
+        rounds_run: 0,
+        detection_round: None,
+        content_upsets: 0,
+        test_cycles: 0,
+    };
+
+    for round in 0..rounds {
+        if let Some((at, fault)) = inject {
+            if at == round {
+                mem.inject(fault).expect("injected fault fits the geometry");
+            }
+        }
+        workload_burst(mem, &geometry, config, &mut rng);
+
+        let outcome = run_transparent(mem, test, config.port);
+        report.rounds_run += 1;
+        report.test_cycles += outcome.report.bus_cycles;
+        if !outcome.content_preserved {
+            report.content_upsets += 1;
+        }
+        if !outcome.report.passed() {
+            report.detection_round = Some(round);
+            break;
+        }
+    }
+    report
+}
+
+/// Deterministic application traffic: a mix of writes and (unchecked)
+/// reads over random addresses.
+fn workload_burst(
+    mem: &mut MemoryArray,
+    geometry: &MemGeometry,
+    config: &OnlineConfig,
+    rng: &mut u64,
+) {
+    for _ in 0..config.workload_ops_per_round {
+        let r = splitmix(rng);
+        let addr = r % geometry.words();
+        let data = Bits::new(geometry.width(), r >> 13);
+        if r & 0x3 != 0 {
+            mem.write(config.port, addr, data);
+        } else {
+            let _ = mem.read(config.port, addr);
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::library;
+    use mbist_mem::CellId;
+
+    #[test]
+    fn healthy_memory_survives_many_rounds() {
+        let g = MemGeometry::word_oriented(32, 8);
+        let mut mem = MemoryArray::new(g);
+        mem.randomize(1);
+        let report =
+            run_periodic(&mut mem, &library::march_c(), 8, &OnlineConfig::default(), None);
+        assert_eq!(report.rounds_run, 8);
+        assert_eq!(report.detection_round, None);
+        assert_eq!(report.content_upsets, 0);
+        assert_eq!(report.test_cycles, 8 * 9 * 32);
+    }
+
+    #[test]
+    fn field_defect_is_caught_at_the_next_round() {
+        let g = MemGeometry::word_oriented(32, 8);
+        let mut mem = MemoryArray::new(g);
+        let fault = FaultKind::StuckAt { cell: CellId::new(11, 2), value: true };
+        let report = run_periodic(
+            &mut mem,
+            &library::march_c(),
+            16,
+            &OnlineConfig::default(),
+            Some((5, fault)),
+        );
+        assert_eq!(report.detection_round, Some(5), "caught on the injection round");
+        assert_eq!(report.latency_from(5), Some(0));
+        assert_eq!(report.rounds_run, 6, "session stops at detection");
+    }
+
+    #[test]
+    fn workload_between_rounds_does_not_false_alarm() {
+        // The workload rewrites content arbitrarily; each round's
+        // prediction pass must absorb that.
+        let g = MemGeometry::bit_oriented(64);
+        let mut mem = MemoryArray::new(g);
+        let config = OnlineConfig { workload_ops_per_round: 1024, ..OnlineConfig::default() };
+        let report = run_periodic(&mut mem, &library::march_x(), 4, &config, None);
+        assert_eq!(report.detection_round, None);
+    }
+
+    #[test]
+    fn transition_fault_needs_the_right_workload_state() {
+        // A TF↑ is only caught once the cell should hold 1; latency can be
+        // nonzero but detection must eventually happen because the
+        // transparent march writes both polarities relative to content.
+        let g = MemGeometry::bit_oriented(32);
+        let mut mem = MemoryArray::new(g);
+        let fault = FaultKind::Transition { cell: CellId::bit_oriented(7), rising: true };
+        let report = run_periodic(
+            &mut mem,
+            &library::march_c(),
+            10,
+            &OnlineConfig::default(),
+            Some((2, fault)),
+        );
+        let round = report.detection_round.expect("TF must be caught");
+        assert!(round >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run transparently")]
+    fn non_transparent_algorithm_is_rejected() {
+        let g = MemGeometry::bit_oriented(8);
+        let mut mem = MemoryArray::new(g);
+        let _ = run_periodic(&mut mem, &library::mats(), 1, &OnlineConfig::default(), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Compiling march tests onto the programmable FSM-based architecture.
+//!
+//! Each march element must match one of the SM0…SM7 components (Eq. 2);
+//! elements outside the menu make the test inexpressible — the concrete
+//! flexibility boundary between this architecture (MEDIUM) and the
+//! microcode-based one (HIGH).
+
+use mbist_march::{MarchItem, MarchTest};
+
+use crate::error::CoreError;
+use crate::progfsm::components::SmComponent;
+use crate::progfsm::isa::{FsmInstruction, FsmOp};
+
+/// Compiles a march test into an upper-controller program.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NotExpressible`] if an element matches no march
+/// component, a pause is not followed by an element, or pause durations
+/// are mixed.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::progfsm::compile;
+/// use mbist_march::library;
+///
+/// assert_eq!(compile(&library::march_c())?.len(), 8);   // Fig. 5
+/// assert!(compile(&library::march_b()).is_err());        // 6-op element
+/// assert!(compile(&library::march_c_plus_plus()).is_err()); // triple reads
+/// # Ok::<(), mbist_core::CoreError>(())
+/// ```
+pub fn compile(test: &MarchTest) -> Result<Vec<FsmInstruction>, CoreError> {
+    let mut out = Vec::new();
+    let mut pending_hold = false;
+    let mut pause: Option<f64> = None;
+
+    for item in test.items() {
+        match item {
+            MarchItem::Pause { ns } => {
+                match pause {
+                    None => pause = Some(*ns),
+                    Some(d) if d == *ns => {}
+                    Some(d) => {
+                        return Err(CoreError::NotExpressible {
+                            architecture: "programmable-fsm",
+                            message: format!(
+                                "mixed pause durations {d}ns and {ns}ns exceed the \
+                                 single hold timer"
+                            ),
+                        })
+                    }
+                }
+                pending_hold = true;
+            }
+            MarchItem::Element(e) => {
+                let (sm, d) = SmComponent::matching(e.ops()).ok_or_else(|| {
+                    CoreError::NotExpressible {
+                        architecture: "programmable-fsm",
+                        message: format!("element {e} matches no march test component"),
+                    }
+                })?;
+                out.push(FsmInstruction {
+                    hold: std::mem::take(&mut pending_hold),
+                    down: e.order() == mbist_march::AddressOrder::Down,
+                    invert: d,
+                    cmp_invert: false,
+                    kind: FsmOp::Component(sm),
+                });
+            }
+        }
+    }
+    if pending_hold {
+        return Err(CoreError::NotExpressible {
+            architecture: "programmable-fsm",
+            message: "trailing pause has no following element to hold".into(),
+        });
+    }
+    out.push(FsmInstruction { kind: FsmOp::LoopBg, ..FsmInstruction::nop() });
+    out.push(FsmInstruction { kind: FsmOp::LoopPort, ..FsmInstruction::nop() });
+    Ok(out)
+}
+
+/// The (single) pause duration used by the test's hold bits.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NotExpressible`] if the test mixes pause durations.
+pub fn pause_duration(test: &MarchTest) -> Result<Option<f64>, CoreError> {
+    let mut duration: Option<f64> = None;
+    for item in test.items() {
+        if let MarchItem::Pause { ns } = item {
+            match duration {
+                None => duration = Some(*ns),
+                Some(d) if d == *ns => {}
+                Some(d) => {
+                    return Err(CoreError::NotExpressible {
+                        architecture: "programmable-fsm",
+                        message: format!("mixed pause durations {d}ns and {ns}ns"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::library;
+
+    #[test]
+    fn march_c_is_fig_5() {
+        let p = compile(&library::march_c()).unwrap();
+        assert_eq!(p.len(), 8);
+        // SM0 up d0; SM1 up d0; SM1 up d1; SM1 down d0; SM1 down d1; SM5 up d0
+        let kinds: Vec<String> = p.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "SM0 up d=0",
+                "SM1 up d=0",
+                "SM1 up d=1",
+                "SM1 down d=0",
+                "SM1 down d=1",
+                "SM5 up d=0",
+                "loopbg",
+                "loopport",
+            ]
+        );
+    }
+
+    #[test]
+    fn retention_tail_sets_hold_bits() {
+        let p = compile(&library::march_c_plus()).unwrap();
+        // …; hold SM7 up d=0; hold SM5 up d=1; loops
+        let holds: Vec<usize> = p
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.hold)
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(holds.len(), 2);
+        assert!(p[holds[0]].to_string().contains("SM7"));
+        assert!(p[holds[1]].to_string().contains("SM5"));
+    }
+
+    #[test]
+    fn expressible_library_subset() {
+        let expressible = ["mats", "mats+", "march-x", "march-y", "march-c", "march-c+",
+            "pmovi", "march-u", "march-lr", "march-a", "march-a+"];
+        let inexpressible = ["march-b", "march-c++", "march-a++", "march-ss", "march-g"];
+        for t in library::all() {
+            let result = compile(&t);
+            if expressible.contains(&t.name()) {
+                assert!(result.is_ok(), "{} should compile", t.name());
+            } else {
+                assert!(inexpressible.contains(&t.name()), "unclassified {}", t.name());
+                assert!(result.is_err(), "{} should be rejected", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn error_names_offending_element() {
+        let err = compile(&library::march_b()).unwrap_err();
+        assert!(err.to_string().contains("matches no march test component"));
+    }
+
+    #[test]
+    fn trailing_pause_rejected() {
+        let t = mbist_march::MarchTest::parse("t", "m(w0); m(r0); pause(1ms)").unwrap();
+        // a trailing pause is representable in notation but not on this
+        // architecture
+        let err = compile(&t).unwrap_err();
+        assert!(err.to_string().contains("trailing pause"));
+    }
+}

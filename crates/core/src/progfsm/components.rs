@@ -1,0 +1,174 @@
+//! The eight canonical march test components SM0…SM7 (paper Eq. 2).
+//!
+//! Most march algorithms decompose into elements drawn from this menu,
+//! each parameterized by address order and data value `d`. The lower-level
+//! FSM realizes exactly these components — which is why the architecture's
+//! flexibility is MEDIUM: an element outside the menu (March B's 6-op
+//! element, the `++` variants' triple-read elements) cannot be expressed.
+
+use std::fmt;
+
+use mbist_march::MarchOp;
+
+/// A march test component: a per-cell operation pattern parameterized by
+/// the data value `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmComponent {
+    /// SM0 = `(w d)` — initialization.
+    Sm0,
+    /// SM1 = `(r d, w d̄)` — the March C workhorse.
+    Sm1,
+    /// SM2 = `(r d, w d̄, r d̄, w d)` — read-verify-restore.
+    Sm2,
+    /// SM3 = `(r d, w d̄, w d)` — March A's 3-op element.
+    Sm3,
+    /// SM4 = `(r d, r d, r d)` — triple read.
+    Sm4,
+    /// SM5 = `(r d)` — verification sweep.
+    Sm5,
+    /// SM6 = `(r d, w d̄, w d, w d̄)` — March A's 4-op element.
+    Sm6,
+    /// SM7 = `(r d, w d̄, r d̄)` — the data-retention element.
+    Sm7,
+}
+
+impl SmComponent {
+    /// All components in mode order.
+    pub const ALL: [SmComponent; 8] = [
+        SmComponent::Sm0,
+        SmComponent::Sm1,
+        SmComponent::Sm2,
+        SmComponent::Sm3,
+        SmComponent::Sm4,
+        SmComponent::Sm5,
+        SmComponent::Sm6,
+        SmComponent::Sm7,
+    ];
+
+    /// The 3-bit mode encoding.
+    #[must_use]
+    pub fn mode(self) -> u8 {
+        match self {
+            SmComponent::Sm0 => 0,
+            SmComponent::Sm1 => 1,
+            SmComponent::Sm2 => 2,
+            SmComponent::Sm3 => 3,
+            SmComponent::Sm4 => 4,
+            SmComponent::Sm5 => 5,
+            SmComponent::Sm6 => 6,
+            SmComponent::Sm7 => 7,
+        }
+    }
+
+    /// Decodes a 3-bit mode.
+    #[must_use]
+    pub fn from_mode(mode: u8) -> SmComponent {
+        Self::ALL[usize::from(mode & 0b111)]
+    }
+
+    /// The per-cell operation pattern for data value `d`.
+    #[must_use]
+    pub fn ops(self, d: bool) -> Vec<MarchOp> {
+        use MarchOp::{Read, Write};
+        match self {
+            SmComponent::Sm0 => vec![Write(d)],
+            SmComponent::Sm1 => vec![Read(d), Write(!d)],
+            SmComponent::Sm2 => vec![Read(d), Write(!d), Read(!d), Write(d)],
+            SmComponent::Sm3 => vec![Read(d), Write(!d), Write(d)],
+            SmComponent::Sm4 => vec![Read(d), Read(d), Read(d)],
+            SmComponent::Sm5 => vec![Read(d)],
+            SmComponent::Sm6 => vec![Read(d), Write(!d), Write(d), Write(!d)],
+            SmComponent::Sm7 => vec![Read(d), Write(!d), Read(!d)],
+        }
+    }
+
+    /// Finds the component and data value realizing an operation pattern.
+    #[must_use]
+    pub fn matching(ops: &[MarchOp]) -> Option<(SmComponent, bool)> {
+        for sm in SmComponent::ALL {
+            for d in [false, true] {
+                if sm.ops(d) == ops {
+                    return Some((sm, d));
+                }
+            }
+        }
+        None
+    }
+
+    /// Longest pattern length across all components (bounds the RW states
+    /// of the lower FSM).
+    pub const MAX_OPS: usize = 4;
+}
+
+impl fmt::Display for SmComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SM{}", self.mode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::library;
+
+    #[test]
+    fn mode_roundtrip() {
+        for sm in SmComponent::ALL {
+            assert_eq!(SmComponent::from_mode(sm.mode()), sm);
+        }
+    }
+
+    #[test]
+    fn no_component_exceeds_the_rw_states() {
+        for sm in SmComponent::ALL {
+            assert!(sm.ops(false).len() <= SmComponent::MAX_OPS, "{sm} too long");
+            assert!(!sm.ops(true).is_empty());
+        }
+    }
+
+    #[test]
+    fn matching_recovers_component_and_polarity() {
+        for sm in SmComponent::ALL {
+            for d in [false, true] {
+                let (found, fd) = SmComponent::matching(&sm.ops(d)).unwrap();
+                assert_eq!((found, fd), (sm, d), "ambiguous match for {sm}/{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn march_c_elements_all_match() {
+        for e in library::march_c().elements() {
+            assert!(
+                SmComponent::matching(e.ops()).is_some(),
+                "element {e} should match a component"
+            );
+        }
+    }
+
+    #[test]
+    fn march_a_uses_sm6_and_sm3() {
+        let a = library::march_a();
+        let elements: Vec<_> = a.elements().skip(1).collect();
+        let (sm, d) = SmComponent::matching(elements[0].ops()).unwrap();
+        assert_eq!((sm, d), (SmComponent::Sm6, false));
+        let (sm, d) = SmComponent::matching(elements[1].ops()).unwrap();
+        assert_eq!((sm, d), (SmComponent::Sm3, true));
+    }
+
+    #[test]
+    fn march_b_long_element_matches_nothing() {
+        let b = library::march_b();
+        let long = b.elements().nth(1).unwrap();
+        assert_eq!(long.ops().len(), 6);
+        assert!(SmComponent::matching(long.ops()).is_none());
+    }
+
+    #[test]
+    fn triple_read_write_element_matches_nothing() {
+        use mbist_march::MarchOp::{Read, Write};
+        // March C++ style element (r0,r0,r0,w1)
+        let ops = [Read(false), Read(false), Read(false), Write(true)];
+        assert!(SmComponent::matching(&ops).is_none());
+    }
+}

@@ -1,0 +1,402 @@
+//! The programmable FSM-based memory BIST controller (paper Fig. 3-4).
+//!
+//! Two levels: a parameter-driven 7-state *lower* FSM
+//! (`Idle → Reset → RW1..RW4 → Done`, Fig. 4a) realizes one march test
+//! component per activation; an *upper* 2-dimensional circular buffer
+//! (Fig. 4b) feeds it one 8-bit parameter word per component, with path A
+//! (background loop-back) and path B (port increment) realized by the
+//! special instructions.
+
+use mbist_march::MarchOp;
+use mbist_rtl::{Direction, Primitive, Structure};
+
+use crate::controller::{BistController, Flexibility};
+use crate::datapath::BistDatapath;
+use crate::error::CoreError;
+use crate::progfsm::isa::{FsmInstruction, FsmOp, FSM_INSTRUCTION_BITS};
+use crate::signals::ControlSignals;
+
+/// Configuration of a programmable FSM-based controller instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgFsmConfig {
+    /// Circular-buffer capacity in instructions.
+    pub capacity: usize,
+    /// Pause duration of the hold bit, in nanoseconds.
+    pub pause_ns: f64,
+}
+
+impl Default for ProgFsmConfig {
+    fn default() -> Self {
+        Self { capacity: 12, pause_ns: 100_000.0 }
+    }
+}
+
+/// The lower-level FSM's state (paper Fig. 4a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LowerState {
+    /// Waiting for the upper controller.
+    Idle,
+    /// Resetting the address generator and datapath for a new component.
+    Reset,
+    /// Performing operation `k` of the component on the current cell.
+    Rw(u8),
+    /// Component complete; handshake back to the upper controller.
+    Done,
+}
+
+/// The programmable FSM-based memory BIST controller.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::progfsm::{compile, ProgFsmConfig, ProgFsmController};
+/// use mbist_core::BistController;
+/// use mbist_march::library;
+///
+/// let program = compile(&library::march_c())?;
+/// assert_eq!(program.len(), 8); // 6 components + path A/B rows (Fig. 5)
+/// let ctrl = ProgFsmController::new("march-c", &program, ProgFsmConfig::default())?;
+/// assert_eq!(ctrl.algorithm(), "march-c");
+/// # Ok::<(), mbist_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgFsmController {
+    algorithm: String,
+    config: ProgFsmConfig,
+    buffer: Vec<FsmInstruction>,
+    index: usize,
+    state: LowerState,
+    /// Resolved operation pattern of the active component.
+    ops: Vec<MarchOp>,
+    dir: Direction,
+    cmp_invert: bool,
+    done: bool,
+}
+
+impl ProgFsmController {
+    /// Builds a controller and loads `program` into the circular buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProgramTooLarge`] if the program exceeds the
+    /// buffer capacity.
+    pub fn new(
+        algorithm: impl Into<String>,
+        program: &[FsmInstruction],
+        config: ProgFsmConfig,
+    ) -> Result<Self, CoreError> {
+        if program.len() > config.capacity {
+            return Err(CoreError::ProgramTooLarge {
+                required: program.len(),
+                capacity: config.capacity,
+            });
+        }
+        Ok(Self {
+            algorithm: algorithm.into(),
+            config,
+            buffer: program.to_vec(),
+            index: 0,
+            state: LowerState::Idle,
+            ops: Vec::new(),
+            dir: Direction::Up,
+            cmp_invert: false,
+            done: false,
+        })
+    }
+
+    /// Loads a new program with zero hardware change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProgramTooLarge`] if it does not fit.
+    pub fn load_program(
+        &mut self,
+        algorithm: impl Into<String>,
+        program: &[FsmInstruction],
+    ) -> Result<(), CoreError> {
+        if program.len() > self.config.capacity {
+            return Err(CoreError::ProgramTooLarge {
+                required: program.len(),
+                capacity: self.config.capacity,
+            });
+        }
+        self.buffer = program.to_vec();
+        self.algorithm = algorithm.into();
+        self.reset();
+        Ok(())
+    }
+
+    /// The loaded program.
+    #[must_use]
+    pub fn program(&self) -> &[FsmInstruction] {
+        &self.buffer
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ProgFsmConfig {
+        &self.config
+    }
+
+    /// The lower FSM's current state (for traces and tests).
+    #[must_use]
+    pub fn lower_state(&self) -> LowerState {
+        self.state
+    }
+}
+
+impl BistController for ProgFsmController {
+    fn architecture(&self) -> &'static str {
+        "programmable-fsm"
+    }
+
+    fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    fn flexibility(&self) -> Flexibility {
+        Flexibility::Medium
+    }
+
+    fn reset(&mut self) {
+        self.index = 0;
+        self.state = LowerState::Idle;
+        self.ops.clear();
+        self.dir = Direction::Up;
+        self.cmp_invert = false;
+        self.done = false;
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn step(&mut self, datapath: &BistDatapath) -> ControlSignals {
+        if self.done {
+            return ControlSignals { done: true, ..ControlSignals::idle() };
+        }
+        match self.state {
+            LowerState::Idle => {
+                if self.index >= self.buffer.len() {
+                    self.done = true;
+                    return ControlSignals { done: true, ..ControlSignals::idle() };
+                }
+                let inst = self.buffer[self.index];
+                let mut sig = ControlSignals::idle();
+                match inst.kind {
+                    FsmOp::Component(sm) => {
+                        self.ops = sm.ops(inst.invert);
+                        self.dir =
+                            if inst.down { Direction::Down } else { Direction::Up };
+                        self.cmp_invert = inst.cmp_invert;
+                        if inst.hold {
+                            sig.pause_ns = Some(self.config.pause_ns);
+                        }
+                        self.state = LowerState::Reset;
+                    }
+                    FsmOp::LoopBg => {
+                        // Path A: repeat the algorithm for the next
+                        // background; otherwise fall through to path B.
+                        if datapath.last_background() {
+                            sig.bg_reset = true;
+                            self.index = (self.index + 1) % self.buffer.len();
+                        } else {
+                            sig.bg_inc = true;
+                            self.index = 0;
+                        }
+                    }
+                    FsmOp::LoopPort => {
+                        if datapath.last_port() {
+                            sig.done = true;
+                            self.done = true;
+                        } else {
+                            sig.port_inc = true;
+                            self.index = 0;
+                        }
+                    }
+                    FsmOp::End => {
+                        sig.done = true;
+                        self.done = true;
+                    }
+                }
+                sig
+            }
+            LowerState::Reset => {
+                self.state = LowerState::Rw(0);
+                ControlSignals {
+                    addr_reset: true,
+                    addr_order: self.dir,
+                    ..ControlSignals::idle()
+                }
+            }
+            LowerState::Rw(k) => {
+                let op = self.ops[usize::from(k)];
+                let mut sig = ControlSignals { addr_order: self.dir, ..ControlSignals::idle() };
+                match op {
+                    MarchOp::Read(d) => {
+                        sig.read_en = true;
+                        sig.compare_en = true;
+                        sig.compare_invert = d ^ self.cmp_invert;
+                    }
+                    MarchOp::Write(d) => {
+                        sig.write_en = true;
+                        sig.data_invert = d;
+                    }
+                }
+                let last_op = usize::from(k) + 1 == self.ops.len();
+                if last_op {
+                    if datapath.status(self.dir).last_address {
+                        self.state = LowerState::Done;
+                    } else {
+                        sig.addr_inc = true;
+                        self.state = LowerState::Rw(0);
+                    }
+                } else {
+                    self.state = LowerState::Rw(k + 1);
+                }
+                sig
+            }
+            LowerState::Done => {
+                self.state = LowerState::Idle;
+                self.index = (self.index + 1) % self.buffer.len();
+                ControlSignals::idle()
+            }
+        }
+    }
+
+    fn structure(&self) -> Structure {
+        let z = self.config.capacity as u32;
+        let width = u32::from(FSM_INSTRUCTION_BITS);
+        let idx_bits = (usize::BITS - (self.config.capacity - 1).leading_zeros()).max(1);
+        Structure::named("progfsm_controller")
+            .with_child(
+                // The circular buffer shifts at the functional rate, so its
+                // cells are full-scan registers (the paper's rationale for
+                // why this storage cannot use slow scan-only cells).
+                Structure::leaf("circular_buffer").with(Primitive::ScanDff, z * width),
+            )
+            .with_child(
+                Structure::leaf("buffer_index")
+                    .with(Primitive::Dff, idx_bits)
+                    .with(Primitive::Nand2, 2 * idx_bits)
+                    .with(Primitive::Mux2, idx_bits),
+            )
+            .with_child(
+                // 7-state lower FSM: 3-bit state register plus the
+                // parameter-driven next-state/output network and the
+                // component pattern decode (mode → op sequence).
+                Structure::leaf("lower_fsm")
+                    .with(Primitive::Dff, 3 + 2) // state + op counter
+                    .with(Primitive::Nand2, 96)
+                    .with(Primitive::Inv, 20)
+                    .with(Primitive::Xor2, 4),
+            )
+            .with_child(
+                Structure::leaf("pause_timer")
+                    .with(Primitive::Dff, 20)
+                    .with(Primitive::Nand2, 24),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progfsm::compile;
+    use crate::unit::BistUnit;
+    use mbist_march::{expand, library, standard_backgrounds};
+    use mbist_mem::{MemGeometry, MemoryArray};
+
+    fn unit_for(
+        test: &mbist_march::MarchTest,
+        g: MemGeometry,
+    ) -> BistUnit<ProgFsmController> {
+        let program = compile(test).unwrap();
+        let config = ProgFsmConfig {
+            capacity: program.len().max(12),
+            ..ProgFsmConfig::default()
+        };
+        let ctrl = ProgFsmController::new(test.name(), &program, config).unwrap();
+        let dp = crate::datapath::BistDatapath::new(g, standard_backgrounds(g.width()));
+        BistUnit::new(ctrl, dp)
+    }
+
+    #[test]
+    fn march_c_stream_matches_reference() {
+        let g = MemGeometry::bit_oriented(4);
+        let mut unit = unit_for(&library::march_c(), g);
+        assert_eq!(unit.emit_steps(), expand(&library::march_c(), &g));
+    }
+
+    #[test]
+    fn march_a_and_y_match_reference() {
+        let g = MemGeometry::bit_oriented(5);
+        for t in [library::march_a(), library::march_y()] {
+            let mut unit = unit_for(&t, g);
+            assert_eq!(unit.emit_steps(), expand(&t, &g), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn retention_variant_emits_pauses_before_components() {
+        let g = MemGeometry::bit_oriented(3);
+        let mut unit = unit_for(&library::march_c_plus(), g);
+        assert_eq!(unit.emit_steps(), expand(&library::march_c_plus(), &g));
+    }
+
+    #[test]
+    fn word_oriented_and_multiport_loops_match() {
+        let g = MemGeometry::new(3, 4, 2);
+        let mut unit = unit_for(&library::march_c(), g);
+        assert_eq!(unit.emit_steps(), expand(&library::march_c(), &g));
+    }
+
+    #[test]
+    fn overhead_is_three_cycles_per_component_activation() {
+        let g = MemGeometry::bit_oriented(16);
+        let mut unit = unit_for(&library::march_c(), g);
+        let mut mem = MemoryArray::new(g);
+        let report = unit.run(&mut mem);
+        assert_eq!(report.bus_cycles, 160);
+        // 6 components × (Idle + Reset + Done) + LoopBg + LoopPort
+        assert_eq!(report.overhead_cycles(), 6 * 3 + 2);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn program_reload_switches_algorithm() {
+        let g = MemGeometry::bit_oriented(4);
+        let mut unit = unit_for(&library::march_c(), g);
+        let _ = unit.emit_steps();
+        let mut ctrl = unit.controller().clone();
+        ctrl.load_program("mats+", &compile(&library::mats_plus()).unwrap()).unwrap();
+        let dp = crate::datapath::BistDatapath::new(g, standard_backgrounds(1));
+        let mut unit2 = BistUnit::new(ctrl, dp);
+        assert_eq!(unit2.emit_steps(), expand(&library::mats_plus(), &g));
+    }
+
+    #[test]
+    fn oversized_program_rejected() {
+        let program = compile(&library::march_c()).unwrap();
+        let err = ProgFsmController::new(
+            "x",
+            &program,
+            ProgFsmConfig { capacity: 4, ..ProgFsmConfig::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::ProgramTooLarge { .. }));
+    }
+
+    #[test]
+    fn structure_models_full_rate_buffer_cells() {
+        let ctrl = ProgFsmController::new(
+            "x",
+            &compile(&library::march_c()).unwrap(),
+            ProgFsmConfig::default(),
+        )
+        .unwrap();
+        let s = ctrl.structure();
+        assert_eq!(s.find("circular_buffer").unwrap().count(Primitive::ScanDff), 96);
+        assert_eq!(s.count(Primitive::ScanOnlyCell), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The upper-controller instruction format (paper Fig. 5).
+//!
+//! Each instruction of the 2-dimensional circular buffer is 8 bits:
+//!
+//! | bits | field | meaning |
+//! |------|-------|---------|
+//! | 7    | `hold`       | pause (retention hold) before running the component |
+//! | 6    | `down`       | reference address order: down |
+//! | 5    | `invert`     | reference data value `d` is the complemented background |
+//! | 4    | `cmp_invert` | extra compare-polarity XOR (reference compare value) |
+//! | 3    | `special`    | 0 = march component, 1 = loop/terminate row |
+//! | 2..0 | `mode`       | component SM0…SM7, or special op |
+//!
+//! Special rows (`special = 1`) are the paper's `xxx`-prefixed entries at
+//! the bottom of Fig. 5: background loop-back (path A), port increment
+//! loop-back (path B) and unconditional test end.
+
+use std::fmt;
+
+use mbist_rtl::Bits;
+
+use crate::error::CoreError;
+use crate::progfsm::components::SmComponent;
+
+/// Width of an upper-controller instruction in bits.
+pub const FSM_INSTRUCTION_BITS: u8 = 8;
+
+/// What an upper-controller instruction does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsmOp {
+    /// Run a march test component through the lower FSM.
+    Component(SmComponent),
+    /// Path A: repeat the whole algorithm for the next data background.
+    LoopBg,
+    /// Path B: repeat the whole algorithm on the next port; terminate
+    /// after the last port.
+    LoopPort,
+    /// Unconditional test end.
+    End,
+}
+
+/// One 8-bit upper-controller instruction.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::progfsm::{FsmInstruction, FsmOp, SmComponent};
+///
+/// let inst = FsmInstruction {
+///     down: true,
+///     invert: true,
+///     kind: FsmOp::Component(SmComponent::Sm1),
+///     ..FsmInstruction::nop()
+/// };
+/// assert_eq!(FsmInstruction::decode(inst.encode())?, inst);
+/// # Ok::<(), mbist_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FsmInstruction {
+    /// Pause before running (retention hold).
+    pub hold: bool,
+    /// Down address order.
+    pub down: bool,
+    /// Data value `d` is the complemented background.
+    pub invert: bool,
+    /// Additional compare-polarity inversion.
+    pub cmp_invert: bool,
+    /// The operation.
+    pub kind: FsmOp,
+}
+
+impl FsmInstruction {
+    /// A do-nothing placeholder (`SM0` with all fields clear — callers use
+    /// struct update syntax on it).
+    #[must_use]
+    pub fn nop() -> Self {
+        Self {
+            hold: false,
+            down: false,
+            invert: false,
+            cmp_invert: false,
+            kind: FsmOp::Component(SmComponent::Sm0),
+        }
+    }
+
+    /// Encodes into an 8-bit word.
+    #[must_use]
+    pub fn encode(&self) -> Bits {
+        let (special, mode) = match self.kind {
+            FsmOp::Component(sm) => (false, sm.mode()),
+            FsmOp::LoopBg => (true, 0),
+            FsmOp::LoopPort => (true, 1),
+            FsmOp::End => (true, 7),
+        };
+        let mut v = u64::from(mode);
+        if special {
+            v |= 1 << 3;
+        }
+        if self.cmp_invert {
+            v |= 1 << 4;
+        }
+        if self.invert {
+            v |= 1 << 5;
+        }
+        if self.down {
+            v |= 1 << 6;
+        }
+        if self.hold {
+            v |= 1 << 7;
+        }
+        Bits::new(FSM_INSTRUCTION_BITS, v)
+    }
+
+    /// Decodes an 8-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] for wrong widths or undefined special
+    /// modes.
+    pub fn decode(word: Bits) -> Result<Self, CoreError> {
+        if word.width() != FSM_INSTRUCTION_BITS {
+            return Err(CoreError::Decode {
+                message: format!(
+                    "expected an {FSM_INSTRUCTION_BITS}-bit word, got {} bits",
+                    word.width()
+                ),
+            });
+        }
+        let mode = (word.value() & 0b111) as u8;
+        let kind = if word.bit(3) {
+            match mode {
+                0 => FsmOp::LoopBg,
+                1 => FsmOp::LoopPort,
+                7 => FsmOp::End,
+                other => {
+                    return Err(CoreError::Decode {
+                        message: format!("undefined special mode {other}"),
+                    })
+                }
+            }
+        } else {
+            FsmOp::Component(SmComponent::from_mode(mode))
+        };
+        Ok(Self {
+            hold: word.bit(7),
+            down: word.bit(6),
+            invert: word.bit(5),
+            cmp_invert: word.bit(4),
+            kind,
+        })
+    }
+}
+
+impl fmt::Display for FsmInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.hold {
+            parts.push("hold".into());
+        }
+        match self.kind {
+            FsmOp::Component(sm) => {
+                parts.push(sm.to_string());
+                parts.push(if self.down { "down".into() } else { "up".into() });
+                parts.push(format!("d={}", u8::from(self.invert)));
+                if self.cmp_invert {
+                    parts.push("cmp1".into());
+                }
+            }
+            FsmOp::LoopBg => parts.push("loopbg".into()),
+            FsmOp::LoopPort => parts.push("loopport".into()),
+            FsmOp::End => parts.push("end".into()),
+        }
+        f.write_str(&parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_components_and_specials() {
+        let mut insts = Vec::new();
+        for sm in SmComponent::ALL {
+            for (hold, down, invert) in
+                [(false, false, false), (true, true, true), (false, true, false)]
+            {
+                insts.push(FsmInstruction {
+                    hold,
+                    down,
+                    invert,
+                    cmp_invert: false,
+                    kind: FsmOp::Component(sm),
+                });
+            }
+        }
+        for kind in [FsmOp::LoopBg, FsmOp::LoopPort, FsmOp::End] {
+            insts.push(FsmInstruction { kind, ..FsmInstruction::nop() });
+        }
+        for inst in insts {
+            assert_eq!(FsmInstruction::decode(inst.encode()).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn undefined_special_mode_rejected() {
+        let word = Bits::new(8, 0b0000_1010); // special, mode 2
+        assert!(FsmInstruction::decode(word).is_err());
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        assert!(FsmInstruction::decode(Bits::new(10, 0)).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = FsmInstruction {
+            hold: true,
+            down: true,
+            invert: true,
+            kind: FsmOp::Component(SmComponent::Sm7),
+            ..FsmInstruction::nop()
+        };
+        assert_eq!(i.to_string(), "hold SM7 down d=1");
+        let l = FsmInstruction { kind: FsmOp::LoopPort, ..FsmInstruction::nop() };
+        assert_eq!(l.to_string(), "loopport");
+    }
+}

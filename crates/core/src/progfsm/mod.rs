@@ -1,0 +1,110 @@
+//! The programmable FSM-based memory BIST architecture (paper §2.2).
+//!
+//! - [`SmComponent`]: the eight march test components of Eq. 2,
+//! - [`FsmInstruction`] / [`FsmOp`]: the 8-bit upper-controller word of
+//!   Fig. 5,
+//! - [`ProgFsmController`]: the two-level controller of Fig. 3-4,
+//! - [`compile`]: march notation → component program,
+//! - [`ProgFsmBist`]: one-call construction of a complete BIST unit.
+
+mod compile;
+mod components;
+mod controller;
+mod isa;
+
+pub use compile::{compile, pause_duration};
+pub use components::SmComponent;
+pub use controller::{LowerState, ProgFsmConfig, ProgFsmController};
+pub use isa::{FsmInstruction, FsmOp, FSM_INSTRUCTION_BITS};
+
+use mbist_march::{standard_backgrounds, MarchTest};
+use mbist_mem::MemGeometry;
+
+use crate::datapath::BistDatapath;
+use crate::error::CoreError;
+use crate::unit::BistUnit;
+
+/// Convenience constructors for programmable FSM-based BIST units.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgFsmBist;
+
+impl ProgFsmBist {
+    /// Compiles `test`, sizes a controller for it and wires up the shared
+    /// datapath for `geometry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotExpressible`] if the test uses elements
+    /// outside the SM0…SM7 menu.
+    pub fn for_test(
+        test: &MarchTest,
+        geometry: &MemGeometry,
+    ) -> Result<BistUnit<ProgFsmController>, CoreError> {
+        Self::for_test_with(test, geometry, ProgFsmConfig::default())
+    }
+
+    /// Like [`ProgFsmBist::for_test`] with an explicit base configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgFsmBist::for_test`].
+    pub fn for_test_with(
+        test: &MarchTest,
+        geometry: &MemGeometry,
+        config: ProgFsmConfig,
+    ) -> Result<BistUnit<ProgFsmController>, CoreError> {
+        let program = compile(test)?;
+        let mut config = config;
+        config.capacity = config.capacity.max(program.len());
+        if let Some(ns) = pause_duration(test)? {
+            config.pause_ns = ns;
+        }
+        let controller = ProgFsmController::new(test.name(), &program, config)?;
+        let datapath =
+            BistDatapath::new(*geometry, standard_backgrounds(geometry.width()));
+        Ok(BistUnit::new(controller, datapath))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::{expand, library};
+
+    #[test]
+    fn expressible_algorithms_match_reference_everywhere() {
+        let geometries = [
+            MemGeometry::bit_oriented(4),
+            MemGeometry::word_oriented(4, 4),
+            MemGeometry::new(4, 2, 2),
+        ];
+        for t in library::all() {
+            for g in geometries {
+                match ProgFsmBist::for_test(&t, &g) {
+                    Ok(mut unit) => {
+                        assert_eq!(unit.emit_steps(), expand(&t, &g), "{} on {}", t.name(), g);
+                    }
+                    Err(CoreError::NotExpressible { .. }) => {
+                        assert!(
+                            ["march-b", "march-c++", "march-a++", "march-ss", "march-g"]
+                                .contains(&t.name()),
+                            "{} unexpectedly inexpressible",
+                            t.name()
+                        );
+                    }
+                    Err(other) => panic!("{}: {other}", t.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pause_register_loaded_from_test() {
+        let g = MemGeometry::bit_oriented(4);
+        let unit = ProgFsmBist::for_test(&library::march_a_plus(), &g).unwrap();
+        assert_eq!(
+            unit.controller().config().pause_ns,
+            library::DEFAULT_RETENTION_PAUSE_NS
+        );
+    }
+}

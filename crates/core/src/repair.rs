@@ -1,0 +1,298 @@
+//! Redundancy analysis: from failure bitmap to repair solution.
+//!
+//! Embedded memories ship with spare rows and columns; the BIST fail log
+//! is the input to *redundancy allocation* — deciding which spares replace
+//! which failing rows/columns. This module implements the classical
+//! two-phase algorithm: **must-repair** analysis (a row with more failing
+//! columns than there are spare columns can only be fixed by a spare row,
+//! and vice versa), then a **greedy most-fails-first** cover for the
+//! remainder. Optimal spare allocation is NP-complete; must-repair +
+//! greedy is the standard production heuristic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mbist_mem::CellId;
+
+use crate::diag::FailBitmap;
+
+/// The spare resources available on the memory macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Redundancy {
+    /// Spare rows (replace a whole word address).
+    pub spare_rows: u32,
+    /// Spare columns (replace a bit position across all words).
+    pub spare_cols: u32,
+}
+
+/// A computed repair solution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepairSolution {
+    /// Word addresses replaced by spare rows.
+    pub row_repairs: Vec<u64>,
+    /// Bit positions replaced by spare columns.
+    pub col_repairs: Vec<u8>,
+    /// Failing cells not covered by any allocated spare (empty = repaired).
+    pub uncovered: Vec<CellId>,
+}
+
+impl RepairSolution {
+    /// Whether every failing cell is covered.
+    #[must_use]
+    pub fn is_repaired(&self) -> bool {
+        self.uncovered.is_empty()
+    }
+
+    /// Spares consumed.
+    #[must_use]
+    pub fn spares_used(&self) -> (usize, usize) {
+        (self.row_repairs.len(), self.col_repairs.len())
+    }
+
+    /// Whether `cell` is covered by the allocated spares.
+    #[must_use]
+    pub fn covers(&self, cell: CellId) -> bool {
+        self.row_repairs.contains(&cell.word) || self.col_repairs.contains(&cell.bit)
+    }
+}
+
+/// Allocates spares for a failure bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::{FailLog, repair::{allocate_repair, Redundancy}};
+/// use mbist_mem::{MemGeometry, Miscompare, PortId};
+/// use mbist_rtl::Bits;
+///
+/// let mut log = FailLog::new();
+/// log.record(1, Miscompare {
+///     port: PortId(0), addr: 5,
+///     expected: Bits::new(4, 0), observed: Bits::new(4, 0b0100),
+/// });
+/// let bitmap = log.bitmap(MemGeometry::word_oriented(16, 4));
+/// let solution = allocate_repair(&bitmap, Redundancy { spare_rows: 1, spare_cols: 1 });
+/// assert!(solution.is_repaired());
+/// ```
+#[must_use]
+pub fn allocate_repair(bitmap: &FailBitmap, redundancy: Redundancy) -> RepairSolution {
+    // Failing cells grouped by row and by column.
+    let mut rows: BTreeMap<u64, BTreeSet<u8>> = BTreeMap::new();
+    let mut cols: BTreeMap<u8, BTreeSet<u64>> = BTreeMap::new();
+    for cell in bitmap.cells().keys() {
+        rows.entry(cell.word).or_default().insert(cell.bit);
+        cols.entry(cell.bit).or_default().insert(cell.word);
+    }
+
+    let mut row_repairs: BTreeSet<u64> = BTreeSet::new();
+    let mut col_repairs: BTreeSet<u8> = BTreeSet::new();
+
+    // Phase 1: must-repair, iterated to fixpoint.
+    loop {
+        let mut changed = false;
+        let cols_left = redundancy.spare_cols as usize - col_repairs.len();
+        for (&row, bits) in &rows {
+            if row_repairs.contains(&row) {
+                continue;
+            }
+            let live = bits.iter().filter(|b| !col_repairs.contains(b)).count();
+            if live > cols_left && row_repairs.len() < redundancy.spare_rows as usize {
+                row_repairs.insert(row);
+                changed = true;
+            }
+        }
+        let rows_left = redundancy.spare_rows as usize - row_repairs.len();
+        for (&col, words) in &cols {
+            if col_repairs.contains(&col) {
+                continue;
+            }
+            let live = words.iter().filter(|w| !row_repairs.contains(w)).count();
+            if live > rows_left && col_repairs.len() < redundancy.spare_cols as usize {
+                col_repairs.insert(col);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 2: greedy cover of the remaining fails.
+    loop {
+        let uncovered: Vec<CellId> = bitmap
+            .cells()
+            .keys()
+            .filter(|c| !row_repairs.contains(&c.word) && !col_repairs.contains(&c.bit))
+            .copied()
+            .collect();
+        if uncovered.is_empty() {
+            break;
+        }
+        // Candidate scores: fails covered by repairing each row / column.
+        let mut best_row: Option<(u64, usize)> = None;
+        if row_repairs.len() < redundancy.spare_rows as usize {
+            let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+            for c in &uncovered {
+                *counts.entry(c.word).or_insert(0) += 1;
+            }
+            best_row = counts.into_iter().max_by_key(|&(w, n)| (n, std::cmp::Reverse(w)));
+        }
+        let mut best_col: Option<(u8, usize)> = None;
+        if col_repairs.len() < redundancy.spare_cols as usize {
+            let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+            for c in &uncovered {
+                *counts.entry(c.bit).or_insert(0) += 1;
+            }
+            best_col = counts.into_iter().max_by_key(|&(b, n)| (n, std::cmp::Reverse(b)));
+        }
+        match (best_row, best_col) {
+            (Some((w, rn)), Some((b, cn))) => {
+                // Ties go to the row spare (rows are usually cheaper).
+                if rn >= cn {
+                    row_repairs.insert(w);
+                } else {
+                    col_repairs.insert(b);
+                }
+            }
+            (Some((w, _)), None) => {
+                row_repairs.insert(w);
+            }
+            (None, Some((b, _))) => {
+                col_repairs.insert(b);
+            }
+            (None, None) => break, // out of spares
+        }
+    }
+
+    let uncovered: Vec<CellId> = bitmap
+        .cells()
+        .keys()
+        .filter(|c| !row_repairs.contains(&c.word) && !col_repairs.contains(&c.bit))
+        .copied()
+        .collect();
+    RepairSolution {
+        row_repairs: row_repairs.into_iter().collect(),
+        col_repairs: col_repairs.into_iter().collect(),
+        uncovered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::FailLog;
+    use mbist_mem::{MemGeometry, Miscompare, PortId};
+    use mbist_rtl::Bits;
+
+    fn bitmap_of(cells: &[(u64, u8)], width: u8) -> FailBitmap {
+        let mut log = FailLog::new();
+        for &(word, bit) in cells {
+            log.record(
+                0,
+                Miscompare {
+                    port: PortId(0),
+                    addr: word,
+                    expected: Bits::zero(width),
+                    observed: Bits::zero(width).with_bit(bit, true),
+                },
+            );
+        }
+        log.bitmap(MemGeometry::word_oriented(64, width))
+    }
+
+    #[test]
+    fn clean_bitmap_needs_no_spares() {
+        let s = allocate_repair(&bitmap_of(&[], 8), Redundancy::default());
+        assert!(s.is_repaired());
+        assert_eq!(s.spares_used(), (0, 0));
+    }
+
+    #[test]
+    fn single_cell_uses_one_spare() {
+        let s = allocate_repair(
+            &bitmap_of(&[(5, 3)], 8),
+            Redundancy { spare_rows: 1, spare_cols: 1 },
+        );
+        assert!(s.is_repaired());
+        let (r, c) = s.spares_used();
+        assert_eq!(r + c, 1);
+    }
+
+    #[test]
+    fn row_defect_takes_a_row_spare() {
+        // 4 fails across one word: with 1 spare col that row is
+        // must-repair.
+        let s = allocate_repair(
+            &bitmap_of(&[(9, 0), (9, 2), (9, 5), (9, 7)], 8),
+            Redundancy { spare_rows: 1, spare_cols: 1 },
+        );
+        assert!(s.is_repaired());
+        assert_eq!(s.row_repairs, vec![9]);
+        assert!(s.col_repairs.is_empty());
+    }
+
+    #[test]
+    fn column_defect_takes_a_column_spare() {
+        let s = allocate_repair(
+            &bitmap_of(&[(1, 6), (13, 6), (40, 6), (62, 6)], 8),
+            Redundancy { spare_rows: 1, spare_cols: 1 },
+        );
+        assert!(s.is_repaired());
+        assert_eq!(s.col_repairs, vec![6]);
+        assert!(s.row_repairs.is_empty());
+    }
+
+    #[test]
+    fn cross_pattern_uses_both_spares() {
+        // A row of fails and a column of fails crossing at (9,6).
+        let s = allocate_repair(
+            &bitmap_of(&[(9, 0), (9, 3), (9, 6), (2, 6), (20, 6), (33, 6)], 8),
+            Redundancy { spare_rows: 1, spare_cols: 1 },
+        );
+        assert!(s.is_repaired());
+        assert_eq!(s.row_repairs, vec![9]);
+        assert_eq!(s.col_repairs, vec![6]);
+    }
+
+    #[test]
+    fn unrepairable_reports_uncovered_cells() {
+        // Three scattered cells, one spare total.
+        let s = allocate_repair(
+            &bitmap_of(&[(1, 1), (20, 4), (40, 7)], 8),
+            Redundancy { spare_rows: 1, spare_cols: 0 },
+        );
+        assert!(!s.is_repaired());
+        assert_eq!(s.uncovered.len(), 2);
+    }
+
+    #[test]
+    fn greedy_prefers_the_larger_cover() {
+        // Word 5 has 3 fails, word 9 has 1: with one spare row, word 5
+        // must be chosen.
+        let s = allocate_repair(
+            &bitmap_of(&[(5, 0), (5, 1), (5, 2), (9, 4)], 8),
+            Redundancy { spare_rows: 1, spare_cols: 1 },
+        );
+        assert!(s.is_repaired());
+        assert_eq!(s.row_repairs, vec![5]);
+        assert_eq!(s.col_repairs, vec![4]);
+    }
+
+    #[test]
+    fn covers_reflects_allocation() {
+        let s = allocate_repair(
+            &bitmap_of(&[(5, 3)], 8),
+            Redundancy { spare_rows: 1, spare_cols: 0 },
+        );
+        assert!(s.covers(CellId::new(5, 0)), "whole row covered");
+        assert!(!s.covers(CellId::new(6, 3)));
+    }
+
+    #[test]
+    fn deterministic_allocation() {
+        let cells = [(3u64, 1u8), (3, 5), (17, 1), (29, 2), (29, 5), (29, 6)];
+        let r = Redundancy { spare_rows: 2, spare_cols: 2 };
+        let a = allocate_repair(&bitmap_of(&cells, 8), r);
+        let b = allocate_repair(&bitmap_of(&cells, 8), r);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,90 @@
+//! The control interface between a BIST controller and the shared datapath.
+//!
+//! A controller — microcode-based, programmable-FSM-based or hardwired —
+//! asserts a [`ControlSignals`] bundle every clock cycle (the paper's
+//! "controlling signals for the memory array and other components of the
+//! memory BIST unit"). The datapath executes them in a fixed order:
+//! perform the memory operation, then step/reset the address generator,
+//! then the background generator, then the port counter.
+
+use mbist_rtl::Direction;
+
+/// One cycle's worth of controller outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ControlSignals {
+    /// Drive a read this cycle.
+    pub read_en: bool,
+    /// Drive a write this cycle.
+    pub write_en: bool,
+    /// Written data is the complemented background.
+    pub data_invert: bool,
+    /// Check the read against the expected value.
+    pub compare_en: bool,
+    /// Expected read data is the complemented background.
+    pub compare_invert: bool,
+    /// Address sweep direction for this cycle's access.
+    pub addr_order: Direction,
+    /// Step the address generator (in `addr_order`) after the access.
+    pub addr_inc: bool,
+    /// Re-load the address generator at the start of the next access's
+    /// sweep (the load value is selected by that access's direction).
+    pub addr_reset: bool,
+    /// Advance the data-background generator.
+    pub bg_inc: bool,
+    /// Reset the data-background generator to the first background.
+    pub bg_reset: bool,
+    /// Advance to the next port.
+    pub port_inc: bool,
+    /// Reset the port counter to port 0.
+    pub port_reset: bool,
+    /// Idle for this long (data-retention pause) before the next cycle.
+    pub pause_ns: Option<f64>,
+    /// Test is complete; the unit stops clocking the controller.
+    pub done: bool,
+}
+
+impl ControlSignals {
+    /// An idle cycle (no bus op, no datapath change).
+    #[must_use]
+    pub fn idle() -> Self {
+        Self::default()
+    }
+
+    /// Whether this cycle drives a memory access.
+    #[must_use]
+    pub fn has_access(&self) -> bool {
+        self.read_en || self.write_en
+    }
+}
+
+/// Status lines fed back from the datapath to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatusSignals {
+    /// Address generator sits on the final address of the current sweep.
+    pub last_address: bool,
+    /// Background generator sits on the final background.
+    pub last_background: bool,
+    /// Port counter sits on the final port.
+    pub last_port: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_has_no_access() {
+        let s = ControlSignals::idle();
+        assert!(!s.has_access());
+        assert!(!s.done);
+        assert!(s.pause_ns.is_none());
+    }
+
+    #[test]
+    fn access_detection() {
+        let r = ControlSignals { read_en: true, ..ControlSignals::idle() };
+        assert!(r.has_access());
+        let w = ControlSignals { write_en: true, ..ControlSignals::idle() };
+        assert!(w.has_access());
+    }
+}

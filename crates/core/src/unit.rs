@@ -1,0 +1,251 @@
+//! The memory BIST unit: controller + datapath + comparator + fail log.
+
+use mbist_mem::{BusCycle, MemoryArray, Miscompare, TestStep};
+use mbist_rtl::{Bits, Structure, Trace};
+
+use crate::controller::BistController;
+use crate::datapath::BistDatapath;
+use crate::diag::FailLog;
+
+/// Safety valve: a controller that has not finished after this many cycles
+/// per memory cell (per background, per port) is considered hung.
+const MAX_CYCLES_PER_OP: u64 = 64;
+
+/// Outcome of a BIST session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Controller architecture.
+    pub architecture: &'static str,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Total controller clock cycles (including flow-control overhead).
+    pub cycles: u64,
+    /// Memory accesses driven.
+    pub bus_cycles: u64,
+    /// Total pause time in nanoseconds.
+    pub pause_ns: f64,
+    /// Every miscompare, in occurrence order.
+    pub fail_log: FailLog,
+}
+
+impl SessionReport {
+    /// Whether the memory passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.fail_log.is_empty()
+    }
+
+    /// Controller overhead: cycles that did not drive a memory access.
+    #[must_use]
+    pub fn overhead_cycles(&self) -> u64 {
+        self.cycles - self.bus_cycles
+    }
+}
+
+/// A complete memory BIST unit wrapping a controller and the shared
+/// datapath.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::{microcode::MicrocodeBist, BistUnit};
+/// use mbist_march::library;
+/// use mbist_mem::{MemGeometry, MemoryArray};
+///
+/// let g = MemGeometry::bit_oriented(64);
+/// let mut unit = MicrocodeBist::for_test(&library::march_c(), &g)?;
+/// let mut mem = MemoryArray::new(g);
+/// let report = unit.run(&mut mem);
+/// assert!(report.passed());
+/// assert_eq!(report.bus_cycles, 10 * 64);
+/// # Ok::<(), mbist_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct BistUnit<C> {
+    controller: C,
+    datapath: BistDatapath,
+}
+
+impl<C: BistController> BistUnit<C> {
+    /// Assembles a unit from a controller and datapath.
+    #[must_use]
+    pub fn new(controller: C, datapath: BistDatapath) -> Self {
+        Self { controller, datapath }
+    }
+
+    /// The controller.
+    #[must_use]
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+
+    /// The datapath.
+    #[must_use]
+    pub fn datapath(&self) -> &BistDatapath {
+        &self.datapath
+    }
+
+    /// Runs a full session against `mem`, returning the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller exceeds the hang safety valve — that would
+    /// be a controller model bug, not a memory fault.
+    pub fn run(&mut self, mem: &mut MemoryArray) -> SessionReport {
+        self.run_inner(Some(mem), None)
+    }
+
+    /// Runs a full session while recording architectural signals into
+    /// `trace` (instruction counter / FSM state / address / done).
+    ///
+    /// # Panics
+    ///
+    /// See [`BistUnit::run`].
+    pub fn run_traced(&mut self, mem: &mut MemoryArray, trace: &mut Trace) -> SessionReport {
+        self.run_inner(Some(mem), Some(trace))
+    }
+
+    /// Dry-runs the controller with no memory attached, emitting the
+    /// operation stream it *would* drive — the stream compared against
+    /// [`mbist_march::expand`] in the equivalence proofs.
+    ///
+    /// # Panics
+    ///
+    /// See [`BistUnit::run`].
+    pub fn emit_steps(&mut self) -> Vec<TestStep> {
+        let mut steps = Vec::new();
+        self.session(None, None, Some(&mut steps));
+        steps
+    }
+
+    fn run_inner(
+        &mut self,
+        mem: Option<&mut MemoryArray>,
+        trace: Option<&mut Trace>,
+    ) -> SessionReport {
+        self.session(mem, trace, None)
+    }
+
+    fn session(
+        &mut self,
+        mut mem: Option<&mut MemoryArray>,
+        mut trace: Option<&mut Trace>,
+        mut steps_out: Option<&mut Vec<TestStep>>,
+    ) -> SessionReport {
+        self.controller.reset();
+        self.datapath.reset();
+
+        let g = self.datapath.geometry();
+        let max_cycles = MAX_CYCLES_PER_OP
+            * g.words().max(1)
+            * self.datapath.backgrounds().len() as u64
+            * u64::from(g.ports())
+            + 1024;
+
+        let mut fail_log = FailLog::new();
+        let mut cycles: u64 = 0;
+        let mut bus_cycles: u64 = 0;
+        let mut pause_ns: f64 = 0.0;
+
+        let trace_ids = trace.as_deref_mut().map(|t| {
+            (
+                t.declare("addr", g.addr_bits()),
+                t.declare("read", 1),
+                t.declare("write", 1),
+                t.declare("done", 1),
+            )
+        });
+
+        while !self.controller.is_done() {
+            assert!(
+                cycles < max_cycles,
+                "{} controller hung after {cycles} cycles running {}",
+                self.controller.architecture(),
+                self.controller.algorithm()
+            );
+            let signals = self.controller.step(&self.datapath);
+            cycles += 1;
+
+            if signals.has_access() {
+                let addr = self.datapath.addr_for(signals.addr_order);
+                let port = self.datapath.port();
+                bus_cycles += 1;
+                if signals.write_en {
+                    let data = self.datapath.data_word(signals.data_invert);
+                    if let Some(m) = mem.as_deref_mut() {
+                        m.write(port, addr, data);
+                    }
+                    if let Some(out) = steps_out.as_deref_mut() {
+                        out.push(TestStep::Bus(BusCycle::write(port, addr, data)));
+                    }
+                } else {
+                    let expected: Option<Bits> = signals
+                        .compare_en
+                        .then(|| self.datapath.data_word(signals.compare_invert));
+                    if let Some(m) = mem.as_deref_mut() {
+                        let observed = m.read(port, addr);
+                        if let Some(exp) = expected {
+                            if observed != exp {
+                                fail_log.record(
+                                    cycles,
+                                    Miscompare { port, addr, expected: exp, observed },
+                                );
+                            }
+                        }
+                    }
+                    if let Some(out) = steps_out.as_deref_mut() {
+                        out.push(TestStep::Bus(match expected {
+                            Some(exp) => BusCycle::read(port, addr, exp),
+                            None => BusCycle::read_unchecked(port, addr),
+                        }));
+                    }
+                }
+                if let (Some(t), Some((addr_id, r_id, w_id, _))) =
+                    (trace.as_deref_mut(), trace_ids)
+                {
+                    t.record(cycles, addr_id, Bits::new(g.addr_bits(), addr));
+                    t.record(cycles, r_id, Bits::bit1(signals.read_en));
+                    t.record(cycles, w_id, Bits::bit1(signals.write_en));
+                }
+            } else if let (Some(t), Some((_, r_id, w_id, _))) =
+                (trace.as_deref_mut(), trace_ids)
+            {
+                t.record(cycles, r_id, Bits::bit1(false));
+                t.record(cycles, w_id, Bits::bit1(false));
+            }
+
+            if let Some(ns) = signals.pause_ns {
+                pause_ns += ns;
+                if let Some(m) = mem.as_deref_mut() {
+                    m.pause(ns);
+                }
+                if let Some(out) = steps_out.as_deref_mut() {
+                    out.push(TestStep::Pause { ns });
+                }
+            }
+
+            self.datapath.apply(&signals);
+
+            if let (Some(t), Some((_, _, _, done_id))) = (trace.as_deref_mut(), trace_ids) {
+                t.record(cycles, done_id, Bits::bit1(signals.done));
+            }
+        }
+
+        SessionReport {
+            architecture: self.controller.architecture(),
+            algorithm: self.controller.algorithm().to_string(),
+            cycles,
+            bus_cycles,
+            pause_ns,
+            fail_log,
+        }
+    }
+
+    /// Structural inventory of the whole unit (controller + datapath).
+    #[must_use]
+    pub fn structure(&self) -> Structure {
+        Structure::named(format!("{}_bist_unit", self.controller.architecture()))
+            .with_child(self.controller.structure())
+            .with_child(self.datapath.structure())
+    }
+}

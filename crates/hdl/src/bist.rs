@@ -1,0 +1,277 @@
+//! Verilog emission for the shared BIST datapath and the top-level unit.
+
+use mbist_march::standard_backgrounds;
+use mbist_mem::MemGeometry;
+
+use crate::module::{Module, NetKind, PortDir};
+
+fn clog2(n: u64) -> u32 {
+    (u64::BITS - (n.max(1) - 1).leading_zeros()).max(1)
+}
+
+/// Emits the shared datapath (address generator, background generator,
+/// port counter, last-X status) for a memory geometry.
+#[must_use]
+pub fn emit_datapath(geometry: &MemGeometry, module_name: &str) -> Module {
+    let aw = u32::from(geometry.addr_bits());
+    let w = u32::from(geometry.width());
+    let backgrounds = standard_backgrounds(geometry.width());
+    let bgw = clog2(backgrounds.len() as u64);
+    let pw = clog2(u64::from(geometry.ports()));
+    let last = geometry.last_addr();
+
+    let mut m = Module::new(module_name);
+    m.port(PortDir::Input, 1, "clk");
+    m.port(PortDir::Input, 1, "rst_n");
+    m.port(PortDir::Input, 1, "order_down");
+    m.port(PortDir::Input, 1, "access");
+    m.port(PortDir::Input, 1, "addr_inc");
+    m.port(PortDir::Input, 1, "addr_reset");
+    m.port(PortDir::Input, 1, "bg_inc");
+    m.port(PortDir::Input, 1, "bg_reset");
+    m.port(PortDir::Input, 1, "port_inc");
+    m.port(PortDir::Output, aw, "addr");
+    m.port(PortDir::Output, w, "bg_word");
+    m.port(PortDir::Output, pw, "port_sel");
+    m.port(PortDir::Output, 1, "last_address");
+    m.port(PortDir::Output, 1, "last_background");
+    m.port(PortDir::Output, 1, "last_port");
+
+    m.localparam("LAST_ADDR", format!("{aw}'d{last}"));
+    m.localparam("LAST_BG", format!("{bgw}'d{}", backgrounds.len() - 1));
+    m.localparam("LAST_PORT", format!("{pw}'d{}", geometry.ports() - 1));
+
+    m.net(NetKind::Reg, aw, "addr_q");
+    m.net(NetKind::Reg, 1, "pending_reset");
+    m.net(NetKind::Reg, bgw, "bg_idx");
+    m.net(NetKind::Reg, pw, "port_q");
+    m.net(NetKind::Wire, aw, "start_addr");
+
+    m.comment("pending reset materializes at the next access, per direction");
+    m.assign("start_addr", format!("order_down ? LAST_ADDR : {aw}'d0"));
+    m.assign("addr", "pending_reset ? start_addr : addr_q");
+    m.assign(
+        "last_address",
+        if geometry.words() == 1 {
+            "1'b1".to_string()
+        } else {
+            format!(
+                "pending_reset ? 1'b0 : (order_down ? (addr_q == {aw}'d0) : (addr_q == LAST_ADDR))"
+            )
+        },
+    );
+    m.assign("last_background", "bg_idx == LAST_BG");
+    m.assign("last_port", "port_q == LAST_PORT");
+    m.assign("port_sel", "port_q");
+
+    // Background pattern decode.
+    let mut bg_expr = format!("{w}'d{}", backgrounds[0].value());
+    for (i, bg) in backgrounds.iter().enumerate().skip(1).rev() {
+        bg_expr =
+            format!("(bg_idx == {bgw}'d{i}) ? {w}'d{} : ({bg_expr})", bg.value());
+    }
+    m.assign("bg_word", bg_expr);
+
+    m.always(
+        "clk",
+        Some("rst_n".into()),
+        vec![
+            "if (!rst_n) begin".into(),
+            format!("    addr_q <= {aw}'d0;"),
+            "    pending_reset <= 1'b1;".into(),
+            format!("    bg_idx <= {bgw}'d0;"),
+            format!("    port_q <= {pw}'d0;"),
+            "end else begin".into(),
+            "    if (access) begin".into(),
+            "        if (pending_reset) begin".into(),
+            "            pending_reset <= 1'b0;".into(),
+            format!(
+                "            addr_q <= addr_inc ? (order_down ? start_addr - {aw}'d1 : start_addr + {aw}'d1) : start_addr;"
+            ),
+            "        end else if (addr_inc) begin".into(),
+            format!(
+                "            addr_q <= order_down ? addr_q - {aw}'d1 : addr_q + {aw}'d1;"
+            ),
+            "        end".into(),
+            "    end".into(),
+            "    if (addr_reset) pending_reset <= 1'b1;".into(),
+            format!("    if (bg_reset) bg_idx <= {bgw}'d0;"),
+            "    else if (bg_inc && bg_idx != LAST_BG) bg_idx <= bg_idx + 1'b1;".into(),
+            format!("    if (port_inc && port_q != LAST_PORT) port_q <= port_q + {pw}'d1;"),
+            "end".into(),
+        ],
+    );
+    m
+}
+
+/// Emits the top-level BIST unit: microcode controller + datapath +
+/// comparator, with a synchronous single-port-at-a-time memory interface.
+#[must_use]
+pub fn emit_top(geometry: &MemGeometry, module_name: &str) -> Module {
+    let aw = u32::from(geometry.addr_bits());
+    let w = u32::from(geometry.width());
+    let pw = clog2(u64::from(geometry.ports()));
+
+    let mut m = Module::new(module_name);
+    m.port(PortDir::Input, 1, "clk");
+    m.port(PortDir::Input, 1, "rst_n");
+    m.port(PortDir::Input, 1, "scan_en");
+    m.port(PortDir::Input, 1, "scan_in");
+    m.port(PortDir::Output, 1, "scan_out");
+    m.port(PortDir::Output, aw, "mem_addr");
+    m.port(PortDir::Output, w, "mem_wdata");
+    m.port(PortDir::Output, 1, "mem_we");
+    m.port(PortDir::Output, 1, "mem_re");
+    m.port(PortDir::Output, pw, "mem_port");
+    m.port(PortDir::Input, w, "mem_rdata");
+    m.port(PortDir::Output, 1, "fail");
+    m.port(PortDir::Output, 1, "failed_sticky");
+    m.port(PortDir::Output, 1, "pause_req");
+    m.port(PortDir::Output, 1, "test_done");
+
+    for sig in [
+        "read_en",
+        "write_en",
+        "data_invert",
+        "compare_invert",
+        "order_down",
+        "addr_inc",
+        "addr_reset",
+        "bg_inc",
+        "bg_reset",
+        "port_inc",
+        "last_address",
+        "last_background",
+        "last_port",
+        "access",
+    ] {
+        m.net(NetKind::Wire, 1, sig);
+    }
+    m.net(NetKind::Wire, w, "bg_word");
+    m.net(NetKind::Wire, w, "expected");
+    m.net(NetKind::Reg, 1, "failed_q");
+
+    m.instance(
+        "mbist_microcode_ctrl",
+        "u_ctrl",
+        vec![
+            ("clk".into(), "clk".into()),
+            ("rst_n".into(), "rst_n".into()),
+            ("scan_en".into(), "scan_en".into()),
+            ("scan_in".into(), "scan_in".into()),
+            ("scan_out".into(), "scan_out".into()),
+            ("last_address".into(), "last_address".into()),
+            ("last_background".into(), "last_background".into()),
+            ("last_port".into(), "last_port".into()),
+            ("read_en".into(), "read_en".into()),
+            ("write_en".into(), "write_en".into()),
+            ("data_invert".into(), "data_invert".into()),
+            ("compare_invert".into(), "compare_invert".into()),
+            ("order_down".into(), "order_down".into()),
+            ("addr_inc".into(), "addr_inc".into()),
+            ("addr_reset".into(), "addr_reset".into()),
+            ("bg_inc".into(), "bg_inc".into()),
+            ("bg_reset".into(), "bg_reset".into()),
+            ("port_inc".into(), "port_inc".into()),
+            ("pause_req".into(), "pause_req".into()),
+            ("done".into(), "test_done".into()),
+        ],
+    );
+    m.instance(
+        "mbist_datapath",
+        "u_dp",
+        vec![
+            ("clk".into(), "clk".into()),
+            ("rst_n".into(), "rst_n".into()),
+            ("order_down".into(), "order_down".into()),
+            ("access".into(), "access".into()),
+            ("addr_inc".into(), "addr_inc".into()),
+            ("addr_reset".into(), "addr_reset".into()),
+            ("bg_inc".into(), "bg_inc".into()),
+            ("bg_reset".into(), "bg_reset".into()),
+            ("port_inc".into(), "port_inc".into()),
+            ("addr".into(), "mem_addr".into()),
+            ("bg_word".into(), "bg_word".into()),
+            ("port_sel".into(), "mem_port".into()),
+            ("last_address".into(), "last_address".into()),
+            ("last_background".into(), "last_background".into()),
+            ("last_port".into(), "last_port".into()),
+        ],
+    );
+
+    let invert_mask = |sig: &str| {
+        if w == 1 {
+            format!("bg_word ^ {sig}")
+        } else {
+            format!("bg_word ^ {{{w}{{{sig}}}}}")
+        }
+    };
+    m.assign("access", "read_en | write_en");
+    m.assign("mem_we", "write_en");
+    m.assign("mem_re", "read_en");
+    m.assign("mem_wdata", invert_mask("data_invert"));
+    m.assign("expected", invert_mask("compare_invert"));
+    m.assign("fail", "read_en & (mem_rdata != expected)");
+    m.assign("failed_sticky", "failed_q");
+    m.always(
+        "clk",
+        Some("rst_n".into()),
+        vec![
+            "if (!rst_n) failed_q <= 1'b0;".into(),
+            "else if (fail) failed_q <= 1'b1;".into(),
+        ],
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::assert_clean;
+
+    #[test]
+    fn datapath_lints_clean_for_varied_geometries() {
+        for g in [
+            MemGeometry::bit_oriented(16),
+            MemGeometry::bit_oriented(1),
+            MemGeometry::word_oriented(64, 8),
+            MemGeometry::new(32, 4, 2),
+        ] {
+            let m = emit_datapath(&g, "mbist_datapath");
+            assert_clean(&m);
+        }
+    }
+
+    #[test]
+    fn datapath_encodes_backgrounds() {
+        let m = emit_datapath(&MemGeometry::word_oriented(16, 4), "dp");
+        let text = m.emit();
+        assert!(text.contains("4'd10"), "checkerboard background 1010 present");
+        assert!(text.contains("4'd12"), "double stripe 1100 present");
+    }
+
+    #[test]
+    fn top_lints_clean_and_wires_everything() {
+        let g = MemGeometry::word_oriented(64, 8);
+        let m = emit_top(&g, "mbist_top");
+        assert_clean(&m);
+        let text = m.emit();
+        assert!(text.contains("mbist_microcode_ctrl u_ctrl"));
+        assert!(text.contains("mbist_datapath u_dp"));
+        assert!(text.contains(".done(test_done)"));
+        assert!(text.contains("bg_word ^ {8{data_invert}}"));
+    }
+
+    #[test]
+    fn bit_oriented_top_avoids_replication() {
+        let g = MemGeometry::bit_oriented(8);
+        let text = emit_top(&g, "t").emit();
+        assert!(text.contains("bg_word ^ data_invert"));
+    }
+
+    #[test]
+    fn single_word_memory_has_constant_last_address() {
+        let m = emit_datapath(&MemGeometry::bit_oriented(1), "dp");
+        assert!(m.emit().contains("assign last_address = 1'b1;"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Rendering minimized covers as Verilog boolean expressions.
+
+use mbist_logic::Cover;
+
+/// Renders a sum-of-products cover as a Verilog expression over the given
+/// input signal names (`inputs[i]` names cover input bit `i`).
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the cover's input count.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_hdl::cover_to_verilog;
+/// use mbist_logic::{Cover, Cube};
+///
+/// let f = Cover::from_cubes(3, vec![
+///     Cube::parse("-11").unwrap(),
+///     Cube::parse("0--").unwrap(),
+/// ]);
+/// let v = cover_to_verilog(&f, &["a", "b", "c"]);
+/// assert_eq!(v, "(a & b) | (~c)");
+/// ```
+#[must_use]
+pub fn cover_to_verilog(cover: &Cover, inputs: &[&str]) -> String {
+    assert_eq!(
+        inputs.len(),
+        usize::from(cover.inputs()),
+        "input name count must match cover inputs"
+    );
+    if cover.is_empty() {
+        return "1'b0".to_string();
+    }
+    let terms: Vec<String> = cover
+        .cubes()
+        .iter()
+        .map(|cube| {
+            let literals: Vec<String> = (0..cube.inputs())
+                .filter_map(|i| {
+                    cube.literal(i).map(|pos| {
+                        if pos {
+                            inputs[usize::from(i)].to_string()
+                        } else {
+                            format!("~{}", inputs[usize::from(i)])
+                        }
+                    })
+                })
+                .collect();
+            if literals.is_empty() {
+                "1'b1".to_string()
+            } else {
+                format!("({})", literals.join(" & "))
+            }
+        })
+        .collect();
+    terms.join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_logic::{minimize, Cube, TruthTable};
+
+    #[test]
+    fn empty_cover_is_constant_zero() {
+        assert_eq!(cover_to_verilog(&Cover::new(2), &["a", "b"]), "1'b0");
+    }
+
+    #[test]
+    fn tautology_is_constant_one() {
+        let f = Cover::from_cubes(2, vec![Cube::universe(2)]);
+        assert_eq!(cover_to_verilog(&f, &["a", "b"]), "1'b1");
+    }
+
+    #[test]
+    fn expression_evaluates_like_the_cover() {
+        // Evaluate the emitted expression with a tiny interpreter and
+        // compare against the cover on all minterms.
+        let tt = TruthTable::from_fn(4, |m| (m % 5 == 1 || m > 11).into());
+        let f = minimize(&tt).unwrap();
+        let names = ["i0", "i1", "i2", "i3"];
+        let expr = cover_to_verilog(&f, &names);
+        for m in 0..16u64 {
+            let got = eval(&expr, &names, m);
+            assert_eq!(got, f.evaluate(m), "mismatch at minterm {m} in `{expr}`");
+        }
+    }
+
+    /// Minimal evaluator for the emitted `(a & ~b) | (c)` subset.
+    fn eval(expr: &str, names: &[&str; 4], minterm: u64) -> bool {
+        if expr == "1'b0" {
+            return false;
+        }
+        expr.split('|').any(|term| {
+            let term = term.trim().trim_start_matches('(').trim_end_matches(')');
+            if term == "1'b1" {
+                return true;
+            }
+            term.split('&').all(|lit| {
+                let lit = lit.trim();
+                let (neg, name) = match lit.strip_prefix('~') {
+                    Some(rest) => (true, rest),
+                    None => (false, lit),
+                };
+                let idx = names.iter().position(|n| *n == name).expect("known input");
+                let value = (minterm >> idx) & 1 == 1;
+                value != neg
+            })
+        })
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn wrong_name_count_panics() {
+        let _ = cover_to_verilog(&Cover::new(3), &["a"]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Verilog emission for hardwired march controllers.
+//!
+//! The flow mirrors a 1990s ASIC methodology: the behavioral
+//! [`HardwiredFsm`] exports its transition table, the two-level minimizer
+//! produces covers for every next-state and output bit, and this module
+//! renders those covers as a flat `assign` network around a state
+//! register — a synthesized netlist in readable form.
+
+use mbist_area::synthesize;
+use mbist_core::hardwired::{HardwiredCaps, HardwiredFsm, OUTPUT_NAMES};
+use mbist_march::MarchTest;
+
+use crate::expr::cover_to_verilog;
+use crate::module::{Module, NetKind, PortDir};
+
+/// Emits a hardwired controller module for `test`.
+///
+/// Ports: `clk`, `rst_n`, the status inputs implied by `caps`
+/// (`last_address`, optionally `last_background` / `last_port`) and the
+/// twelve control outputs of [`OUTPUT_NAMES`].
+#[must_use]
+pub fn emit_hardwired(test: &MarchTest, caps: HardwiredCaps, module_name: &str) -> Module {
+    let fsm = HardwiredFsm::new(test, caps);
+    let synth = synthesize(&fsm);
+    let state_bits = synth.state_bits;
+
+    let mut m = Module::new(module_name);
+    m.port(PortDir::Input, 1, "clk");
+    m.port(PortDir::Input, 1, "rst_n");
+    m.port(PortDir::Input, 1, "last_address");
+    if caps.background_loop {
+        m.port(PortDir::Input, 1, "last_background");
+    }
+    if caps.port_loop {
+        m.port(PortDir::Input, 1, "last_port");
+    }
+    for name in OUTPUT_NAMES {
+        m.port(PortDir::Output, 1, name);
+    }
+    m.net(NetKind::Reg, state_bits, "state");
+    m.net(NetKind::Wire, state_bits, "state_next");
+    m.localparam("RESET_STATE", format!("{state_bits}'d1"));
+
+    // Cover input names: state bits then status inputs, matching the
+    // synthesis minterm layout.
+    let mut owned_names: Vec<String> =
+        (0..state_bits).map(|i| format!("state[{i}]")).collect();
+    owned_names.push("last_address".to_string());
+    if caps.background_loop {
+        owned_names.push("last_background".to_string());
+    }
+    if caps.port_loop {
+        owned_names.push("last_port".to_string());
+    }
+    let names: Vec<&str> = owned_names.iter().map(String::as_str).collect();
+
+    m.comment(format!(
+        "synthesized from {}: {} states, {} product terms",
+        test.name(),
+        fsm.state_count(),
+        synth.product_terms
+    ));
+    for (bit, cover) in synth.covers.iter().take(state_bits as usize).enumerate() {
+        m.assign(format!("state_next[{bit}]"), cover_to_verilog(cover, &names));
+    }
+    for (k, name) in OUTPUT_NAMES.iter().enumerate() {
+        let cover = &synth.covers[state_bits as usize + k];
+        m.assign(*name, cover_to_verilog(cover, &names));
+    }
+    m.always(
+        "clk",
+        Some("rst_n".into()),
+        vec![
+            "if (!rst_n) state <= RESET_STATE;".into(),
+            "else state <= state_next;".into(),
+        ],
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::assert_clean;
+    use mbist_march::library;
+
+    #[test]
+    fn march_c_controller_lints_clean() {
+        let m = emit_hardwired(
+            &library::march_c(),
+            HardwiredCaps::default(),
+            "march_c_ctrl",
+        );
+        assert_clean(&m);
+        let text = m.emit();
+        assert!(text.contains("module march_c_ctrl"));
+        assert!(text.contains("state_next"));
+        assert!(text.contains("read_en"));
+        assert!(text.contains("endmodule"));
+    }
+
+    #[test]
+    fn caps_add_status_ports() {
+        let plain = emit_hardwired(&library::march_c(), HardwiredCaps::default(), "a");
+        assert!(!plain.emit().contains("last_background"));
+        let full = emit_hardwired(
+            &library::march_c(),
+            HardwiredCaps { background_loop: true, port_loop: true },
+            "b",
+        );
+        assert_clean(&full);
+        let text = full.emit();
+        assert!(text.contains("last_background"));
+        assert!(text.contains("last_port"));
+    }
+
+    #[test]
+    fn every_library_algorithm_emits_clean_rtl() {
+        for t in library::all() {
+            let name = format!(
+                "hw_{}",
+                t.name().replace(['-', '+'], "_")
+            );
+            let m = emit_hardwired(&t, HardwiredCaps::default(), &name);
+            assert_clean(&m);
+        }
+    }
+
+    #[test]
+    fn reset_state_is_the_first_op_state() {
+        let m = emit_hardwired(&library::mats(), HardwiredCaps::default(), "x");
+        assert!(m.emit().contains("RESET_STATE = 4'd1")
+            || m.emit().contains("RESET_STATE = 3'd1"));
+    }
+}

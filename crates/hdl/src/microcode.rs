@@ -1,0 +1,225 @@
+//! Verilog emission for the microcode-based controller (paper Fig. 1).
+//!
+//! The generated module is parameterized in Rust (capacity `Z`) and
+//! contains the same architectural registers as the model: the Z×10 scan
+//! chain storage, the `log2(Z)+1`-bit instruction counter, the branch
+//! register and the 4-bit reference register. The program is loaded at
+//! runtime through `scan_en`/`scan_in`, exactly like the model's
+//! [`StorageUnit`](mbist_core::microcode::StorageUnit).
+
+use crate::module::{Module, NetKind, PortDir};
+
+/// Control outputs of the generated controller, in port order.
+pub const CTRL_OUTPUTS: [&str; 12] = [
+    "read_en",
+    "write_en",
+    "data_invert",
+    "compare_invert",
+    "order_down",
+    "addr_inc",
+    "addr_reset",
+    "bg_inc",
+    "bg_reset",
+    "port_inc",
+    "pause_req",
+    "done",
+];
+
+fn clog2(n: u64) -> u32 {
+    (u64::BITS - (n.max(1) - 1).leading_zeros()).max(1)
+}
+
+/// Emits the microcode controller with a storage capacity of `z`
+/// instructions.
+///
+/// # Panics
+///
+/// Panics if `z < 2`.
+#[must_use]
+pub fn emit_microcode(z: usize, module_name: &str) -> Module {
+    assert!(z >= 2, "storage must hold at least two instructions");
+    let z = z as u64;
+    let chain_bits = (z * 10) as u32;
+    let pcw = clog2(z) + 1; // extra MSB marks exhaustion (paper: test end)
+    let brw = clog2(z);
+
+    let mut m = Module::new(module_name);
+    m.port(PortDir::Input, 1, "clk");
+    m.port(PortDir::Input, 1, "rst_n");
+    m.port(PortDir::Input, 1, "scan_en");
+    m.port(PortDir::Input, 1, "scan_in");
+    m.port(PortDir::Output, 1, "scan_out");
+    m.port(PortDir::Input, 1, "last_address");
+    m.port(PortDir::Input, 1, "last_background");
+    m.port(PortDir::Input, 1, "last_port");
+    for name in CTRL_OUTPUTS {
+        m.port(PortDir::Output, 1, name);
+    }
+
+    m.localparam("Z", format!("{pcw}'d{z}"));
+    for (name, code) in [
+        ("FLOW_NEXT", 0u8),
+        ("FLOW_LOOPELEM", 1),
+        ("FLOW_REPEAT", 2),
+        ("FLOW_LOOPBG", 3),
+        ("FLOW_LOOPPORT", 4),
+        ("FLOW_HOLD", 5),
+        ("FLOW_SAVE", 6),
+        ("FLOW_TERM", 7),
+    ] {
+        m.localparam(name, format!("3'd{code}"));
+    }
+
+    m.net(NetKind::Reg, chain_bits, "chain");
+    m.net(NetKind::Reg, pcw, "pc");
+    m.net(NetKind::Reg, brw, "branch_reg");
+    m.net(NetKind::Reg, 1, "repeat_bit");
+    m.net(NetKind::Reg, 1, "aux_order");
+    m.net(NetKind::Reg, 1, "aux_data");
+    m.net(NetKind::Reg, 1, "aux_cmp");
+    m.net(NetKind::Reg, 1, "done_r");
+    m.net(NetKind::Wire, 10, "inst");
+    m.net(NetKind::Wire, 3, "flow");
+    m.net(NetKind::Wire, 1, "active");
+
+    m.comment("instruction selector: Z x 10 : 10 (paper Fig. 1)");
+    m.assign("inst", "chain[pc*10 +: 10]");
+    m.assign("flow", "inst[2:0]");
+    m.assign("active", "!done_r && !scan_en && (pc < Z)");
+    m.assign("scan_out", format!("chain[{}]", chain_bits - 1));
+
+    m.comment("control outputs (reference-register XOR on the polarities)");
+    m.assign("read_en", "active & inst[3]");
+    m.assign("write_en", "active & inst[4]");
+    m.assign("data_invert", "inst[7] ^ aux_data");
+    m.assign("compare_invert", "inst[5] ^ aux_cmp");
+    m.assign("order_down", "inst[8] ^ aux_order");
+    m.assign(
+        "addr_inc",
+        "active & inst[9] & ((flow == FLOW_NEXT) | ((flow == FLOW_LOOPELEM) & !last_address))",
+    );
+    m.assign("addr_reset", "active & (flow == FLOW_LOOPELEM) & last_address");
+    m.assign("bg_inc", "active & (flow == FLOW_LOOPBG) & !last_background");
+    m.assign("bg_reset", "active & (flow == FLOW_LOOPBG) & last_background");
+    m.assign("port_inc", "active & (flow == FLOW_LOOPPORT) & !last_port");
+    m.assign("pause_req", "active & (flow == FLOW_HOLD)");
+    m.assign(
+        "done",
+        "done_r | (active & ((flow == FLOW_TERM) | ((flow == FLOW_LOOPPORT) & last_port)))",
+    );
+
+    let flow_case = vec![
+        "if (!rst_n) begin".to_string(),
+        format!("    pc <= {pcw}'d0;"),
+        format!("    branch_reg <= {brw}'d0;"),
+        "    repeat_bit <= 1'b0;".to_string(),
+        "    aux_order <= 1'b0;".to_string(),
+        "    aux_data <= 1'b0;".to_string(),
+        "    aux_cmp <= 1'b0;".to_string(),
+        "    done_r <= 1'b0;".to_string(),
+        "end else if (scan_en) begin".to_string(),
+        format!("    chain <= {{chain[{}:0], scan_in}};", chain_bits - 2),
+        format!("    pc <= {pcw}'d0;"),
+        "end else if (!done_r) begin".to_string(),
+        "    if (pc >= Z) done_r <= 1'b1;".to_string(),
+        "    else case (flow)".to_string(),
+        format!("        FLOW_NEXT: pc <= pc + {pcw}'d1;"),
+        "        FLOW_LOOPELEM:".to_string(),
+        "            if (last_address) begin".to_string(),
+        format!("                pc <= pc + {pcw}'d1;"),
+        format!("                branch_reg <= pc[{}:0] + {brw}'d1;", brw - 1),
+        "            end else begin".to_string(),
+        "                pc <= {1'b0, branch_reg};".to_string(),
+        "            end".to_string(),
+        "        FLOW_REPEAT:".to_string(),
+        "            if (repeat_bit) begin".to_string(),
+        "                repeat_bit <= 1'b0;".to_string(),
+        "                aux_order <= 1'b0;".to_string(),
+        "                aux_data <= 1'b0;".to_string(),
+        "                aux_cmp <= 1'b0;".to_string(),
+        format!("                pc <= pc + {pcw}'d1;"),
+        format!("                branch_reg <= pc[{}:0] + {brw}'d1;", brw - 1),
+        "            end else begin".to_string(),
+        "                repeat_bit <= 1'b1;".to_string(),
+        "                aux_order <= inst[8];".to_string(),
+        "                aux_data <= inst[7];".to_string(),
+        "                aux_cmp <= inst[5];".to_string(),
+        format!("                pc <= {pcw}'d1;"),
+        format!("                branch_reg <= {brw}'d1;"),
+        "            end".to_string(),
+        "        FLOW_LOOPBG:".to_string(),
+        "            if (last_background) begin".to_string(),
+        format!("                pc <= pc + {pcw}'d1;"),
+        format!("                branch_reg <= pc[{}:0] + {brw}'d1;", brw - 1),
+        "            end else begin".to_string(),
+        format!("                pc <= {pcw}'d0;"),
+        format!("                branch_reg <= {brw}'d0;"),
+        "            end".to_string(),
+        "        FLOW_LOOPPORT:".to_string(),
+        "            if (last_port) done_r <= 1'b1;".to_string(),
+        "            else begin".to_string(),
+        format!("                pc <= {pcw}'d0;"),
+        format!("                branch_reg <= {brw}'d0;"),
+        "            end".to_string(),
+        "        FLOW_HOLD: begin".to_string(),
+        format!("            pc <= pc + {pcw}'d1;"),
+        format!("            branch_reg <= pc[{}:0] + {brw}'d1;", brw - 1),
+        "        end".to_string(),
+        "        FLOW_SAVE: begin".to_string(),
+        format!("            pc <= pc + {pcw}'d1;"),
+        format!("            branch_reg <= pc[{}:0] + {brw}'d1;", brw - 1),
+        "        end".to_string(),
+        "        default: done_r <= 1'b1;".to_string(),
+        "    endcase".to_string(),
+        "end".to_string(),
+    ];
+    m.always("clk", Some("rst_n".into()), flow_case);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::assert_clean;
+
+    #[test]
+    fn generated_controller_lints_clean() {
+        for z in [2usize, 9, 16, 20, 32] {
+            let m = emit_microcode(z, "mbist_microcode_ctrl");
+            assert_clean(&m);
+        }
+    }
+
+    #[test]
+    fn module_contains_the_architectural_registers() {
+        let m = emit_microcode(20, "ctrl");
+        let text = m.emit();
+        assert!(text.contains("reg  [199:0] chain;"));
+        assert!(text.contains("reg  [ 5:0] pc;"));
+        assert!(text.contains("reg  [ 4:0] branch_reg;"));
+        assert!(text.contains("repeat_bit"));
+        assert!(text.contains("chain[pc*10 +: 10]"));
+    }
+
+    #[test]
+    fn scan_path_is_present() {
+        let text = emit_microcode(8, "ctrl").emit();
+        assert!(text.contains("scan_in"));
+        assert!(text.contains("scan_out"));
+        assert!(text.contains("chain <= {chain[78:0], scan_in};"));
+    }
+
+    #[test]
+    fn exhaustion_guard_uses_the_extra_counter_bit() {
+        let text = emit_microcode(16, "ctrl").emit();
+        // Z=16 needs clog2=4, pc is 5 bits
+        assert!(text.contains("localparam Z = 5'd16;"));
+        assert!(text.contains("if (pc >= Z) done_r <= 1'b1;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn degenerate_capacity_panics() {
+        let _ = emit_microcode(1, "ctrl");
+    }
+}

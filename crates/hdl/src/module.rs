@@ -1,0 +1,353 @@
+//! A small structured builder for Verilog-2001 modules.
+//!
+//! Expressions and statement bodies are carried as strings (this is an
+//! emitter, not a full IR), but ports, nets and hierarchy are structured —
+//! which is what lets [`crate::lint`] verify that every identifier used in
+//! a generated module is declared.
+
+use std::fmt;
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// `input`
+    Input,
+    /// `output` (driven by `assign`)
+    Output,
+    /// `output reg` (driven procedurally)
+    OutputReg,
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Direction.
+    pub dir: PortDir,
+    /// Width in bits (1 = scalar).
+    pub width: u32,
+    /// Port name.
+    pub name: String,
+}
+
+/// Kind of an internal net declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+}
+
+/// An internal net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Wire or reg.
+    pub kind: NetKind,
+    /// Width in bits.
+    pub width: u32,
+    /// Optional unpacked array depth (memory).
+    pub depth: Option<u64>,
+    /// Net name.
+    pub name: String,
+}
+
+/// A localparam constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalParam {
+    /// Name (conventionally SCREAMING_SNAKE).
+    pub name: String,
+    /// Value expression.
+    pub value: String,
+}
+
+/// One module item in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `assign <lhs> = <rhs>;`
+    Assign {
+        /// Left-hand side (a declared net or output).
+        lhs: String,
+        /// Right-hand expression.
+        rhs: String,
+    },
+    /// `always @(posedge <clock> [or negedge <arst_n>]) begin … end`
+    Always {
+        /// Clock signal name.
+        clock: String,
+        /// Optional active-low async reset signal.
+        reset_n: Option<String>,
+        /// Statement lines (without trailing newline), already indented
+        /// relative to the block.
+        body: Vec<String>,
+    },
+    /// A `// comment` line.
+    Comment(String),
+    /// A module instantiation with named port connections.
+    Instance {
+        /// Module being instantiated.
+        module: String,
+        /// Instance name.
+        instance: String,
+        /// `(port, signal)` connection pairs.
+        connections: Vec<(String, String)>,
+    },
+}
+
+/// A Verilog-2001 module under construction.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_hdl::{Module, NetKind, PortDir};
+///
+/// let mut m = Module::new("blinker");
+/// m.port(PortDir::Input, 1, "clk");
+/// m.port(PortDir::Output, 1, "led");
+/// m.net(NetKind::Reg, 1, "state");
+/// m.always("clk", None, vec!["state <= ~state;".into()]);
+/// m.assign("led", "state");
+/// let text = m.emit();
+/// assert!(text.contains("module blinker"));
+/// assert!(text.contains("endmodule"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    name: String,
+    ports: Vec<Port>,
+    params: Vec<LocalParam>,
+    nets: Vec<Net>,
+    items: Vec<Item>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ports: Vec::new(),
+            params: Vec::new(),
+            nets: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// The module name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a port.
+    pub fn port(&mut self, dir: PortDir, width: u32, name: impl Into<String>) {
+        self.ports.push(Port { dir, width, name: name.into() });
+    }
+
+    /// Declares an internal net.
+    pub fn net(&mut self, kind: NetKind, width: u32, name: impl Into<String>) {
+        self.nets.push(Net { kind, width, depth: None, name: name.into() });
+    }
+
+    /// Declares an unpacked array (memory) reg.
+    pub fn memory(&mut self, width: u32, depth: u64, name: impl Into<String>) {
+        self.nets.push(Net { kind: NetKind::Reg, width, depth: Some(depth), name: name.into() });
+    }
+
+    /// Declares a localparam.
+    pub fn localparam(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.params.push(LocalParam { name: name.into(), value: value.into() });
+    }
+
+    /// Adds a continuous assignment.
+    pub fn assign(&mut self, lhs: impl Into<String>, rhs: impl Into<String>) {
+        self.items.push(Item::Assign { lhs: lhs.into(), rhs: rhs.into() });
+    }
+
+    /// Adds a clocked always block.
+    pub fn always(&mut self, clock: impl Into<String>, reset_n: Option<String>, body: Vec<String>) {
+        self.items.push(Item::Always { clock: clock.into(), reset_n, body });
+    }
+
+    /// Adds a comment line.
+    pub fn comment(&mut self, text: impl Into<String>) {
+        self.items.push(Item::Comment(text.into()));
+    }
+
+    /// Adds a module instantiation with named connections.
+    pub fn instance(
+        &mut self,
+        module: impl Into<String>,
+        instance: impl Into<String>,
+        connections: Vec<(String, String)>,
+    ) {
+        self.items.push(Item::Instance {
+            module: module.into(),
+            instance: instance.into(),
+            connections,
+        });
+    }
+
+    /// The declared ports.
+    #[must_use]
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// The declared nets.
+    #[must_use]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The declared localparams.
+    #[must_use]
+    pub fn params(&self) -> &[LocalParam] {
+        &self.params
+    }
+
+    /// The body items.
+    #[must_use]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Renders the module as Verilog-2001 source.
+    #[must_use]
+    pub fn emit(&self) -> String {
+        use fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "module {} (", self.name);
+        for (i, p) in self.ports.iter().enumerate() {
+            let dir = match p.dir {
+                PortDir::Input => "input ",
+                PortDir::Output => "output",
+                PortDir::OutputReg => "output reg",
+            };
+            let range = range_of(p.width);
+            let comma = if i + 1 < self.ports.len() { "," } else { "" };
+            let _ = writeln!(s, "    {dir} {range}{}{comma}", p.name);
+        }
+        let _ = writeln!(s, ");");
+        for lp in &self.params {
+            let _ = writeln!(s, "    localparam {} = {};", lp.name, lp.value);
+        }
+        for n in &self.nets {
+            let kind = match n.kind {
+                NetKind::Wire => "wire",
+                NetKind::Reg => "reg ",
+            };
+            let range = range_of(n.width);
+            match n.depth {
+                Some(d) => {
+                    let _ = writeln!(s, "    {kind} {range}{} [0:{}];", n.name, d - 1);
+                }
+                None => {
+                    let _ = writeln!(s, "    {kind} {range}{};", n.name);
+                }
+            }
+        }
+        let _ = writeln!(s);
+        for item in &self.items {
+            match item {
+                Item::Comment(c) => {
+                    let _ = writeln!(s, "    // {c}");
+                }
+                Item::Assign { lhs, rhs } => {
+                    let _ = writeln!(s, "    assign {lhs} = {rhs};");
+                }
+                Item::Always { clock, reset_n, body } => {
+                    match reset_n {
+                        Some(r) => {
+                            let _ = writeln!(
+                                s,
+                                "    always @(posedge {clock} or negedge {r}) begin"
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(s, "    always @(posedge {clock}) begin");
+                        }
+                    }
+                    for line in body {
+                        let _ = writeln!(s, "        {line}");
+                    }
+                    let _ = writeln!(s, "    end");
+                }
+                Item::Instance { module, instance, connections } => {
+                    let _ = writeln!(s, "    {module} {instance} (");
+                    for (i, (port, signal)) in connections.iter().enumerate() {
+                        let comma = if i + 1 < connections.len() { "," } else { "" };
+                        let _ = writeln!(s, "        .{port}({signal}){comma}");
+                    }
+                    let _ = writeln!(s, "    );");
+                }
+            }
+        }
+        let _ = writeln!(s, "endmodule");
+        s
+    }
+}
+
+fn range_of(width: u32) -> String {
+    if width <= 1 {
+        "       ".to_string()
+    } else {
+        format!("[{:>2}:0] ", width - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Module {
+        let mut m = Module::new("ctr");
+        m.port(PortDir::Input, 1, "clk");
+        m.port(PortDir::Input, 1, "rst_n");
+        m.port(PortDir::Output, 4, "count");
+        m.net(NetKind::Reg, 4, "q");
+        m.localparam("MAX", "4'd15");
+        m.always(
+            "clk",
+            Some("rst_n".into()),
+            vec![
+                "if (!rst_n) q <= 4'd0;".into(),
+                "else q <= q + 4'd1;".into(),
+            ],
+        );
+        m.assign("count", "q");
+        m
+    }
+
+    #[test]
+    fn emits_header_ports_and_footer() {
+        let text = sample().emit();
+        assert!(text.starts_with("module ctr (\n"));
+        assert!(text.contains("input         clk,"));
+        assert!(text.contains("output [ 3:0] count"));
+        assert!(text.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn emits_reset_always_block() {
+        let text = sample().emit();
+        assert!(text.contains("always @(posedge clk or negedge rst_n) begin"));
+        assert!(text.contains("if (!rst_n) q <= 4'd0;"));
+    }
+
+    #[test]
+    fn emits_localparams_and_memories() {
+        let mut m = sample();
+        m.memory(10, 32, "storage");
+        let text = m.emit();
+        assert!(text.contains("localparam MAX = 4'd15;"));
+        assert!(text.contains("reg  [ 9:0] storage [0:31];"));
+    }
+
+    #[test]
+    fn last_port_has_no_comma() {
+        let text = sample().emit();
+        let port_lines: Vec<&str> =
+            text.lines().take_while(|l| !l.starts_with(");")).collect();
+        assert!(port_lines.last().unwrap().trim_end().ends_with("count"));
+    }
+}

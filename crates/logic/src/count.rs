@@ -1,0 +1,189 @@
+//! Gate-count estimation for two-level covers.
+//!
+//! The paper reports "internal area" in units of 2-input NAND gates. This
+//! module maps a minimized sum-of-products onto a NAND-NAND implementation
+//! and counts 2-input gates, using the standard decompositions:
+//!
+//! - a `k`-input AND tree costs `k - 1` two-input gates,
+//! - an `m`-term OR tree costs `m - 1` two-input gates,
+//! - complemented literals need one inverter per *distinct* complemented
+//!   input (input inverters are shared across product terms, as a
+//!   synthesizer would),
+//! - in NAND-NAND form the AND/OR gates are NAND2s; the tree decomposition
+//!   adds one inverter per internal tree level joint, which we fold into a
+//!   conservative `inv ≈ nand2 / 2` term.
+//!
+//! Multi-output blocks (a PLA-style decoder, FSM next-state logic) share
+//! identical product terms across outputs via [`MultiOutputEstimate`].
+
+use std::collections::BTreeSet;
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Two-input-gate estimate for a logic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateEstimate {
+    /// 2-input NAND gates.
+    pub nand2: u32,
+    /// Inverters.
+    pub inv: u32,
+}
+
+impl GateEstimate {
+    /// Combines two estimates.
+    #[must_use]
+    pub fn plus(self, other: GateEstimate) -> GateEstimate {
+        GateEstimate { nand2: self.nand2 + other.nand2, inv: self.inv + other.inv }
+    }
+
+    /// Expresses the estimate in NAND2-gate equivalents (an inverter is
+    /// counted as half a NAND2, matching typical standard-cell areas).
+    #[must_use]
+    pub fn nand2_equivalents(self) -> f64 {
+        f64::from(self.nand2) + f64::from(self.inv) * 0.5
+    }
+}
+
+/// Estimates the NAND-NAND gate cost of a single-output cover.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_logic::{estimate_gates, Cover, Cube};
+///
+/// // f = a·b + c̄  (3 inputs)
+/// let f = Cover::from_cubes(3, vec![
+///     Cube::parse("-11").unwrap(),
+///     Cube::parse("0--").unwrap(),
+/// ]);
+/// let g = estimate_gates(&f);
+/// assert!(g.nand2 >= 2); // one AND2 + one OR2
+/// assert!(g.inv >= 1);   // at least the c̄ input inverter
+/// ```
+#[must_use]
+pub fn estimate_gates(cover: &Cover) -> GateEstimate {
+    estimate_shared(std::slice::from_ref(cover))
+}
+
+/// PLA-style multi-output estimate: identical product terms are built once
+/// and fanned out to every output OR plane.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MultiOutputEstimate {
+    /// Distinct product terms across all outputs.
+    pub distinct_terms: usize,
+    /// Total gate estimate.
+    pub gates: GateEstimate,
+}
+
+/// Estimates the shared NAND-NAND gate cost of a multi-output block.
+#[must_use]
+pub fn estimate_multi_output(outputs: &[Cover]) -> MultiOutputEstimate {
+    let gates = estimate_shared(outputs);
+    let mut terms: BTreeSet<Cube> = BTreeSet::new();
+    for c in outputs {
+        terms.extend(c.cubes().iter().copied());
+    }
+    MultiOutputEstimate { distinct_terms: terms.len(), gates }
+}
+
+fn estimate_shared(outputs: &[Cover]) -> GateEstimate {
+    let mut terms: BTreeSet<Cube> = BTreeSet::new();
+    let mut complemented: BTreeSet<(u8, u8)> = BTreeSet::new(); // (space id, input)
+    let mut nand2 = 0u32;
+
+    for (space, cover) in outputs.iter().enumerate() {
+        for cube in cover.cubes() {
+            terms.insert(*cube);
+            for i in 0..cube.inputs() {
+                if cube.literal(i) == Some(false) {
+                    complemented.insert((space as u8, i));
+                }
+            }
+        }
+        // OR plane per output.
+        let m = cover.cube_count() as u32;
+        if m > 1 {
+            nand2 += m - 1;
+        }
+    }
+
+    // AND plane: shared across outputs.
+    for t in &terms {
+        let k = t.literals();
+        if k > 1 {
+            nand2 += k - 1;
+        }
+    }
+
+    // Input inverters plus tree-joint inverters (~half the tree gates).
+    let inv = complemented.len() as u32 + nand2 / 2;
+    GateEstimate { nand2, inv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(inputs: u8, cubes: &[&str]) -> Cover {
+        Cover::from_cubes(inputs, cubes.iter().map(|s| Cube::parse(s).unwrap()).collect())
+    }
+
+    #[test]
+    fn empty_cover_costs_nothing() {
+        let g = estimate_gates(&Cover::new(4));
+        assert_eq!(g, GateEstimate::default());
+        assert_eq!(g.nand2_equivalents(), 0.0);
+    }
+
+    #[test]
+    fn single_positive_literal_is_free_wiring() {
+        let g = estimate_gates(&cover(3, &["--1"]));
+        assert_eq!(g.nand2, 0);
+        assert_eq!(g.inv, 0);
+    }
+
+    #[test]
+    fn and_tree_grows_with_literals() {
+        let two = estimate_gates(&cover(4, &["--11"]));
+        let four = estimate_gates(&cover(4, &["1111"]));
+        assert_eq!(two.nand2, 1);
+        assert_eq!(four.nand2, 3);
+    }
+
+    #[test]
+    fn or_plane_grows_with_terms() {
+        let one = estimate_gates(&cover(4, &["--11"]));
+        let three = estimate_gates(&cover(4, &["--11", "11--", "1--1"]));
+        assert!(three.nand2 > one.nand2);
+        // 3 AND2s + 2 OR-tree gates
+        assert_eq!(three.nand2, 5);
+    }
+
+    #[test]
+    fn complemented_inputs_need_inverters() {
+        let g = estimate_gates(&cover(3, &["00-"]));
+        assert_eq!(g.inv, 2 + g.nand2 / 2);
+    }
+
+    #[test]
+    fn shared_terms_counted_once() {
+        let a = cover(4, &["11--", "--11"]);
+        let b = cover(4, &["11--", "1--1"]);
+        let multi = estimate_multi_output(&[a.clone(), b.clone()]);
+        assert_eq!(multi.distinct_terms, 3, "11-- shared between outputs");
+        let separate = estimate_gates(&a).plus(estimate_gates(&b));
+        assert!(
+            multi.gates.nand2 < separate.nand2,
+            "sharing must save gates: {} vs {}",
+            multi.gates.nand2,
+            separate.nand2
+        );
+    }
+
+    #[test]
+    fn nand2_equivalents_weighting() {
+        let g = GateEstimate { nand2: 4, inv: 2 };
+        assert_eq!(g.nand2_equivalents(), 5.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Sum-of-products covers.
+
+use std::fmt;
+
+use crate::cube::Cube;
+
+/// A sum-of-products cover: the OR of a set of [`Cube`]s over a fixed
+/// number of inputs.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_logic::{Cover, Cube};
+///
+/// let mut f = Cover::new(3);
+/// f.push(Cube::parse("1--").unwrap());
+/// f.push(Cube::parse("-11").unwrap());
+/// assert!(f.evaluate(0b100));
+/// assert!(f.evaluate(0b011));
+/// assert!(!f.evaluate(0b010));
+/// assert_eq!(f.cube_count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Cover {
+    inputs: u8,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// Creates an empty cover (constant false) over `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(inputs: u8) -> Self {
+        assert!((1..=64).contains(&inputs), "cover inputs must be 1..=64");
+        Self { inputs, cubes: Vec::new() }
+    }
+
+    /// Builds a cover from cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube has a different input count.
+    #[must_use]
+    pub fn from_cubes(inputs: u8, cubes: Vec<Cube>) -> Self {
+        for c in &cubes {
+            assert_eq!(c.inputs(), inputs, "cube input count mismatch");
+        }
+        Self { inputs, cubes }
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn inputs(&self) -> u8 {
+        self.inputs
+    }
+
+    /// Adds a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube's input count differs.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.inputs(), self.inputs, "cube input count mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// The cubes of the cover.
+    #[must_use]
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of product terms.
+    #[must_use]
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total literal count over all product terms — the classic two-level
+    /// cost function.
+    #[must_use]
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(Cube::literals).sum()
+    }
+
+    /// Evaluates the cover on a minterm.
+    #[must_use]
+    pub fn evaluate(&self, minterm: u64) -> bool {
+        self.cubes.iter().any(|c| c.contains(minterm))
+    }
+
+    /// Whether the cover contains no cubes (constant false).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Removes cubes that are single-cube-covered by another cube in the
+    /// cover (simple containment sweep, not full irredundancy).
+    pub fn remove_contained(&mut self) {
+        let cubes = std::mem::take(&mut self.cubes);
+        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+        // Larger cubes first so containment checks see the big ones early.
+        let mut sorted = cubes;
+        sorted.sort_by_key(|c| c.literals());
+        for c in sorted {
+            if !kept.iter().any(|k| k.covers(&c)) {
+                kept.push(c);
+            }
+        }
+        self.cubes = kept;
+    }
+
+    /// Checks functional equivalence against another cover by exhaustive
+    /// simulation. Intended for verification of small functions
+    /// (cost `2^inputs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input counts differ or exceed 24.
+    #[must_use]
+    pub fn equivalent(&self, other: &Cover) -> bool {
+        assert_eq!(self.inputs, other.inputs, "input count mismatch");
+        assert!(self.inputs <= 24, "exhaustive equivalence limited to 24 inputs");
+        (0..(1u64 << self.inputs)).all(|m| self.evaluate(m) == other.evaluate(m))
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover<{}>[{}]", self.inputs, self)
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return f.write_str("0");
+        }
+        let parts: Vec<String> = self.cubes.iter().map(Cube::to_string).collect();
+        f.write_str(&parts.join(" + "))
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    /// Collects cubes into a cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty (the input count would be unknown)
+    /// or the cubes disagree on input count.
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let inputs = cubes
+            .first()
+            .map(Cube::inputs)
+            .expect("cannot collect an empty iterator into a Cover: input count unknown");
+        Cover::from_cubes(inputs, cubes)
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        for c in iter {
+            self.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(inputs: u8, cubes: &[&str]) -> Cover {
+        Cover::from_cubes(
+            inputs,
+            cubes.iter().map(|s| Cube::parse(s).unwrap()).collect(),
+        )
+    }
+
+    #[test]
+    fn empty_cover_is_false() {
+        let f = Cover::new(3);
+        for m in 0..8 {
+            assert!(!f.evaluate(m));
+        }
+        assert!(f.is_empty());
+        assert_eq!(f.to_string(), "0");
+    }
+
+    #[test]
+    fn literal_count_sums_terms() {
+        let f = cover(4, &["1--0", "01--"]);
+        assert_eq!(f.literal_count(), 4);
+        assert_eq!(f.cube_count(), 2);
+    }
+
+    #[test]
+    fn remove_contained_drops_redundant_cubes() {
+        let mut f = cover(3, &["1--", "110", "10-"]);
+        f.remove_contained();
+        assert_eq!(f.cube_count(), 1);
+        assert_eq!(f.cubes()[0].to_string(), "1--");
+    }
+
+    #[test]
+    fn remove_contained_preserves_function() {
+        let mut f = cover(4, &["1--0", "1100", "-01-", "0010"]);
+        let orig = f.clone();
+        f.remove_contained();
+        assert!(f.equivalent(&orig));
+    }
+
+    #[test]
+    fn equivalence_detects_difference() {
+        let a = cover(3, &["1--"]);
+        let b = cover(3, &["1--", "-11"]);
+        assert!(!a.equivalent(&b));
+        assert!(a.equivalent(&a));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let f: Cover = ["10-", "01-"]
+            .iter()
+            .map(|s| Cube::parse(s).unwrap())
+            .collect();
+        assert_eq!(f.inputs(), 3);
+        assert_eq!(f.cube_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input count mismatch")]
+    fn mixed_width_push_panics() {
+        let mut f = Cover::new(3);
+        f.push(Cube::parse("10").unwrap());
+    }
+}

@@ -1,0 +1,300 @@
+//! Cubes (product terms) over up to 64 binary inputs.
+
+use std::fmt;
+
+/// A product term over `n` inputs, where each input is `0`, `1` or don't-care.
+///
+/// Representation: `care` has a 1 for every specified input; `value` holds
+/// the required polarity of the specified inputs (bits outside `care` are 0).
+///
+/// # Examples
+///
+/// ```
+/// use mbist_logic::Cube;
+///
+/// // x1·x̄0 over 3 inputs  (input 2 is don't-care)
+/// let c = Cube::parse("-10").unwrap();
+/// assert!(c.contains(0b010));
+/// assert!(c.contains(0b110));
+/// assert!(!c.contains(0b011));
+/// assert_eq!(c.literals(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    inputs: u8,
+    care: u64,
+    value: u64,
+}
+
+impl Cube {
+    /// The universal cube (tautology: no literal specified) over `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is 0 or greater than 64.
+    #[must_use]
+    pub fn universe(inputs: u8) -> Self {
+        assert!((1..=64).contains(&inputs), "cube inputs must be 1..=64");
+        Self { inputs, care: 0, value: 0 }
+    }
+
+    /// A fully-specified cube (a single minterm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is 0 or greater than 64.
+    #[must_use]
+    pub fn minterm(inputs: u8, minterm: u64) -> Self {
+        let mut c = Self::universe(inputs);
+        c.care = mask(inputs);
+        c.value = minterm & c.care;
+        c
+    }
+
+    /// Parses the PLA-style notation, MSB (highest input index) first:
+    /// `'0'`, `'1'` or `'-'` per input.
+    ///
+    /// Returns `None` on invalid characters or unsupported lengths.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let n = s.len();
+        if n == 0 || n > 64 {
+            return None;
+        }
+        let mut care = 0u64;
+        let mut value = 0u64;
+        for (i, ch) in s.chars().enumerate() {
+            let bit = n - 1 - i; // MSB first
+            match ch {
+                '0' => care |= 1 << bit,
+                '1' => {
+                    care |= 1 << bit;
+                    value |= 1 << bit;
+                }
+                '-' => {}
+                _ => return None,
+            }
+        }
+        Some(Self { inputs: n as u8, care, value })
+    }
+
+    /// Number of inputs of the space this cube lives in.
+    #[must_use]
+    pub fn inputs(&self) -> u8 {
+        self.inputs
+    }
+
+    /// Number of specified literals.
+    #[must_use]
+    pub fn literals(&self) -> u32 {
+        self.care.count_ones()
+    }
+
+    /// Whether the cube contains the given minterm.
+    #[must_use]
+    pub fn contains(&self, minterm: u64) -> bool {
+        (minterm & self.care) == self.value
+    }
+
+    /// Whether `self` covers every minterm of `other` (i.e. `other ⊆ self`).
+    #[must_use]
+    pub fn covers(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.inputs, other.inputs);
+        // self's specified literals must be specified identically in other
+        (self.care & !other.care) == 0 && (other.value & self.care) == self.value
+    }
+
+    /// Whether the two cubes share at least one minterm.
+    #[must_use]
+    pub fn intersects(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.inputs, other.inputs);
+        let common = self.care & other.care;
+        (self.value & common) == (other.value & common)
+    }
+
+    /// Attempts the Quine–McCluskey adjacency merge: if the cubes specify
+    /// the same literals and differ in exactly one of them, returns the
+    /// merged cube with that literal removed.
+    #[must_use]
+    pub fn merge_adjacent(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.inputs, other.inputs);
+        if self.care != other.care {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() != 1 {
+            return None;
+        }
+        Some(Cube { inputs: self.inputs, care: self.care & !diff, value: self.value & !diff })
+    }
+
+    /// Returns a copy with input `index` made don't-care.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= inputs`.
+    #[must_use]
+    pub fn without_literal(&self, index: u8) -> Cube {
+        assert!(index < self.inputs, "literal index out of range");
+        let m = !(1u64 << index);
+        Cube { inputs: self.inputs, care: self.care & m, value: self.value & m }
+    }
+
+    /// The state of input `index`: `Some(true)` = positive literal,
+    /// `Some(false)` = negative literal, `None` = don't-care.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= inputs`.
+    #[must_use]
+    pub fn literal(&self, index: u8) -> Option<bool> {
+        assert!(index < self.inputs, "literal index out of range");
+        if self.care & (1 << index) == 0 {
+            None
+        } else {
+            Some(self.value & (1 << index) != 0)
+        }
+    }
+
+    /// Number of minterms the cube contains.
+    #[must_use]
+    pub fn size(&self) -> u128 {
+        1u128 << (u32::from(self.inputs) - self.literals())
+    }
+
+    /// Iterates over all minterms of this cube. Intended for small cubes in
+    /// tests; cost is `2^(inputs - literals)`.
+    pub fn minterms(&self) -> impl Iterator<Item = u64> + '_ {
+        let free: Vec<u8> = (0..self.inputs).filter(|&i| self.care & (1 << i) == 0).collect();
+        let count = 1u64 << free.len();
+        let base = self.value;
+        (0..count).map(move |combo| {
+            let mut m = base;
+            for (j, &bit) in free.iter().enumerate() {
+                if combo & (1 << j) != 0 {
+                    m |= 1 << bit;
+                }
+            }
+            m
+        })
+    }
+}
+
+fn mask(inputs: u8) -> u64 {
+    if inputs >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << inputs) - 1
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({self})")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.inputs).rev() {
+            let ch = match self.literal(i) {
+                None => '-',
+                Some(true) => '1',
+                Some(false) => '0',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["-10", "111", "0-0", "----", "1"] {
+            let c = Cube::parse(s).unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+        assert!(Cube::parse("21-").is_none());
+        assert!(Cube::parse("").is_none());
+    }
+
+    #[test]
+    fn minterm_is_fully_specified() {
+        let c = Cube::minterm(4, 0b1010);
+        assert_eq!(c.literals(), 4);
+        assert!(c.contains(0b1010));
+        assert!(!c.contains(0b1011));
+        assert_eq!(c.size(), 1);
+    }
+
+    #[test]
+    fn universe_contains_everything() {
+        let u = Cube::universe(5);
+        for m in 0..32 {
+            assert!(u.contains(m));
+        }
+        assert_eq!(u.size(), 32);
+    }
+
+    #[test]
+    fn covers_is_subset_relation() {
+        let big = Cube::parse("1--").unwrap();
+        let small = Cube::parse("1-0").unwrap();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.covers(&big));
+    }
+
+    #[test]
+    fn intersects_detects_shared_minterms() {
+        let a = Cube::parse("1-0").unwrap();
+        let b = Cube::parse("-10").unwrap();
+        assert!(a.intersects(&b)); // 110
+        let c = Cube::parse("0--").unwrap();
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn merge_requires_distance_one_same_care() {
+        let a = Cube::parse("101").unwrap();
+        let b = Cube::parse("100").unwrap();
+        let m = a.merge_adjacent(&b).unwrap();
+        assert_eq!(m.to_string(), "10-");
+        // different care sets: no merge
+        let c = Cube::parse("10-").unwrap();
+        assert!(a.merge_adjacent(&c).is_none());
+        // distance 2: no merge
+        let d = Cube::parse("110").unwrap();
+        assert!(a.merge_adjacent(&d).is_none());
+    }
+
+    #[test]
+    fn merged_cube_covers_both_parents() {
+        let a = Cube::parse("0110").unwrap();
+        let b = Cube::parse("0100").unwrap();
+        let m = a.merge_adjacent(&b).unwrap();
+        assert!(m.covers(&a));
+        assert!(m.covers(&b));
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn minterms_enumerates_cube() {
+        let c = Cube::parse("1-0-").unwrap();
+        let mut ms: Vec<u64> = c.minterms().collect();
+        ms.sort_unstable();
+        assert_eq!(ms, vec![0b1000, 0b1001, 0b1100, 0b1101]);
+    }
+
+    #[test]
+    fn without_literal_widens() {
+        let c = Cube::parse("110").unwrap();
+        let w = c.without_literal(2);
+        assert_eq!(w.to_string(), "-10");
+        assert!(w.covers(&c));
+    }
+}

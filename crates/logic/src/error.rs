@@ -1,0 +1,49 @@
+//! Error types for the logic crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by logic-minimization entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// The function has too many inputs for the requested algorithm.
+    TooManyInputs {
+        /// Requested input count.
+        inputs: u8,
+        /// Maximum supported by the algorithm.
+        max: u8,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::TooManyInputs { inputs, max } => {
+                write!(f, "function has {inputs} inputs, supported range is 1..={max}")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = LogicError::TooManyInputs { inputs: 30, max: 20 };
+        let s = e.to_string();
+        assert!(s.contains("30"));
+        assert!(s.contains("20"));
+        assert_eq!(s, s.trim());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<LogicError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! # mbist-logic — two-level logic minimization and gate estimation
+//!
+//! A small, deterministic logic-synthesis substrate used by the MBIST area
+//! model. Hardwired march-test controllers are elaborated into state
+//! transition tables; every next-state/output bit becomes a [`TruthTable`],
+//! is minimized by [`minimize`] (Quine–McCluskey primes + greedy covering),
+//! and the resulting [`Cover`]s are costed in 2-input-NAND equivalents by
+//! [`estimate_gates`] / [`estimate_multi_output`] — the same unit the paper
+//! uses for "internal area".
+//!
+//! # Examples
+//!
+//! ```
+//! use mbist_logic::{estimate_gates, minimize, TruthTable};
+//!
+//! // Next-state bit of a tiny FSM: on = Σm(2,3,6), 3 inputs.
+//! let tt = TruthTable::from_fn(3, |m| matches!(m, 2 | 3 | 6).into());
+//! let cover = minimize(&tt)?;
+//! assert!(tt.is_implemented_by(&cover));
+//! let gates = estimate_gates(&cover);
+//! assert!(gates.nand2_equivalents() > 0.0);
+//! # Ok::<(), mbist_logic::LogicError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod count;
+mod cover;
+mod cube;
+mod error;
+mod minimize;
+mod truth;
+
+pub use count::{estimate_gates, estimate_multi_output, GateEstimate, MultiOutputEstimate};
+pub use cover::Cover;
+pub use cube::Cube;
+pub use error::LogicError;
+pub use minimize::{minimize, prime_implicants, MAX_MINIMIZE_INPUTS};
+pub use truth::{Spec, TruthTable};

@@ -1,0 +1,306 @@
+//! Two-level minimization: Quine–McCluskey prime generation followed by a
+//! greedy (essential-first) cover selection.
+//!
+//! This is the workhorse behind the area model's FSM next-state logic
+//! estimates: each hardwired march controller is elaborated into a state
+//! transition table, every next-state/output bit is minimized here, and the
+//! resulting covers are costed in NAND2 equivalents.
+//!
+//! The implementation is exact in prime generation and heuristic (greedy)
+//! in covering — like espresso, it does not guarantee a minimum cover, but
+//! it is deterministic and produces irredundant covers that are more than
+//! adequate for relative area comparisons.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::error::LogicError;
+use crate::truth::{Spec, TruthTable};
+
+/// Maximum inputs accepted by [`minimize`] (dense Quine–McCluskey).
+pub const MAX_MINIMIZE_INPUTS: u8 = 16;
+
+/// Minimizes an incompletely-specified function into an irredundant
+/// sum-of-products cover.
+///
+/// Don't-cares are used to enlarge primes but never need to be covered.
+///
+/// # Errors
+///
+/// Returns [`LogicError::TooManyInputs`] if the table has more than
+/// [`MAX_MINIMIZE_INPUTS`] inputs.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_logic::{minimize, Spec, TruthTable};
+///
+/// // f = majority of 3 inputs
+/// let tt = TruthTable::from_fn(3, |m| (m.count_ones() >= 2).into());
+/// let f = minimize(&tt)?;
+/// assert_eq!(f.cube_count(), 3);       // ab + bc + ac
+/// assert_eq!(f.literal_count(), 6);
+/// assert!(tt.is_implemented_by(&f));
+/// # Ok::<(), mbist_logic::LogicError>(())
+/// ```
+pub fn minimize(tt: &TruthTable) -> Result<Cover, LogicError> {
+    if tt.inputs() > MAX_MINIMIZE_INPUTS {
+        return Err(LogicError::TooManyInputs {
+            inputs: tt.inputs(),
+            max: MAX_MINIMIZE_INPUTS,
+        });
+    }
+    let primes = prime_implicants(tt);
+    Ok(select_cover(tt, &primes))
+}
+
+/// Generates all prime implicants of `on ∪ dc` by iterated adjacency
+/// merging (Quine–McCluskey).
+#[must_use]
+pub fn prime_implicants(tt: &TruthTable) -> Vec<Cube> {
+    let n = tt.inputs();
+    let mut current: HashSet<Cube> = (0..(1u64 << n))
+        .filter(|&m| tt.spec(m) != Spec::Off)
+        .map(|m| Cube::minterm(n, m))
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+
+    while !current.is_empty() {
+        // Group by (care set, ones count) — only cubes in adjacent ones-count
+        // groups with identical care sets can merge.
+        let mut groups: HashMap<(u64, u32), Vec<Cube>> = HashMap::new();
+        for &c in &current {
+            let ones = ones_of(&c);
+            groups.entry((care_of(&c), ones)).or_default().push(c);
+        }
+        let mut merged: HashSet<Cube> = HashSet::new();
+        let mut next: HashSet<Cube> = HashSet::new();
+        for (&(care, ones), cubes) in &groups {
+            if let Some(uppers) = groups.get(&(care, ones + 1)) {
+                for a in cubes {
+                    for b in uppers {
+                        if let Some(m) = a.merge_adjacent(b) {
+                            merged.insert(*a);
+                            merged.insert(*b);
+                            next.insert(m);
+                        }
+                    }
+                }
+            }
+        }
+        for c in &current {
+            if !merged.contains(c) {
+                primes.push(*c);
+            }
+        }
+        current = next;
+    }
+    primes.sort_unstable();
+    primes
+}
+
+/// Selects an irredundant cover of the on-set from a set of primes:
+/// essential primes first, then greedy largest-coverage selection, then a
+/// redundancy-removal sweep.
+#[must_use]
+fn select_cover(tt: &TruthTable, primes: &[Cube]) -> Cover {
+    let n = tt.inputs();
+    let on: Vec<u64> = tt.on_set().collect();
+    if on.is_empty() {
+        return Cover::new(n);
+    }
+
+    // Which primes cover each on-set minterm.
+    let mut covering: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (pi, p) in primes.iter().enumerate() {
+        for &m in &on {
+            if p.contains(m) {
+                covering.entry(m).or_default().push(pi);
+            }
+        }
+    }
+
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut uncovered: HashSet<u64> = on.iter().copied().collect();
+
+    // Essential primes.
+    for &m in &on {
+        let cands = &covering[&m];
+        if cands.len() == 1 {
+            let pi = cands[0];
+            if !chosen.contains(&pi) {
+                chosen.push(pi);
+                uncovered.retain(|&u| !primes[pi].contains(u));
+            }
+        }
+    }
+
+    // Greedy completion: most uncovered minterms, then fewest literals,
+    // then cube order (deterministic).
+    while !uncovered.is_empty() {
+        let best = (0..primes.len())
+            .filter(|pi| !chosen.contains(pi))
+            .max_by_key(|&pi| {
+                let gain = uncovered.iter().filter(|&&m| primes[pi].contains(m)).count();
+                (gain, std::cmp::Reverse(primes[pi].literals()), std::cmp::Reverse(pi))
+            })
+            .expect("primes cover the on-set by construction");
+        let gain = uncovered.iter().filter(|&&m| primes[best].contains(m)).count();
+        assert!(gain > 0, "greedy step must make progress");
+        chosen.push(best);
+        uncovered.retain(|&u| !primes[best].contains(u));
+    }
+
+    // Redundancy sweep: drop any chosen prime whose on-set minterms are all
+    // covered by the other chosen primes.
+    let mut keep: Vec<usize> = chosen.clone();
+    let mut i = 0;
+    while i < keep.len() {
+        let candidate = keep[i];
+        let others: Vec<usize> =
+            keep.iter().copied().filter(|&k| k != candidate).collect();
+        let redundant = on
+            .iter()
+            .filter(|&&m| primes[candidate].contains(m))
+            .all(|&m| others.iter().any(|&o| primes[o].contains(m)));
+        if redundant {
+            keep.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+
+    Cover::from_cubes(n, keep.into_iter().map(|pi| primes[pi]).collect())
+}
+
+fn care_of(c: &Cube) -> u64 {
+    let mut care = 0u64;
+    for i in 0..c.inputs() {
+        if c.literal(i).is_some() {
+            care |= 1 << i;
+        }
+    }
+    care
+}
+
+fn ones_of(c: &Cube) -> u32 {
+    (0..c.inputs()).filter(|&i| c.literal(i) == Some(true)).count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_false_minimizes_to_empty() {
+        let tt = TruthTable::new(4).unwrap();
+        let f = minimize(&tt).unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn constant_true_minimizes_to_universe() {
+        let tt = TruthTable::from_fn(4, |_| Spec::On);
+        let f = minimize(&tt).unwrap();
+        assert_eq!(f.cube_count(), 1);
+        assert_eq!(f.literal_count(), 0);
+        assert!(tt.is_implemented_by(&f));
+    }
+
+    #[test]
+    fn classic_qm_example() {
+        // f(a,b,c,d) = Σm(4,8,10,11,12,15) + d(9,14) — the textbook example,
+        // minimum cover has 4 terms.
+        let on = [4u64, 8, 10, 11, 12, 15];
+        let dc = [9u64, 14];
+        let mut tt = TruthTable::new(4).unwrap();
+        for &m in &on {
+            tt.set(m, Spec::On);
+        }
+        for &m in &dc {
+            tt.set(m, Spec::Dc);
+        }
+        let f = minimize(&tt).unwrap();
+        assert!(tt.is_implemented_by(&f));
+        assert!(f.cube_count() <= 4, "got {} cubes: {f}", f.cube_count());
+    }
+
+    #[test]
+    fn xor_has_no_merging() {
+        let tt = TruthTable::from_fn(3, |m| (m.count_ones() % 2 == 1).into());
+        let f = minimize(&tt).unwrap();
+        assert_eq!(f.cube_count(), 4, "3-input parity needs all 4 minterm cubes");
+        assert!(tt.is_implemented_by(&f));
+    }
+
+    #[test]
+    fn dont_cares_shrink_the_cover() {
+        // BCD "greater than 4" with 10..15 as don't-cares: collapses to
+        // a + b·(c + d) style small cover.
+        let mut tt = TruthTable::new(4).unwrap();
+        for m in 0..16u64 {
+            if m > 9 {
+                tt.set(m, Spec::Dc);
+            } else if m > 4 {
+                tt.set(m, Spec::On);
+            }
+        }
+        let f = minimize(&tt).unwrap();
+        assert!(tt.is_implemented_by(&f));
+        let strict = TruthTable::from_fn(4, |m| (m > 4 && m <= 9).into());
+        let g = minimize(&strict).unwrap();
+        assert!(
+            f.literal_count() < g.literal_count(),
+            "dc version {} should beat strict {}",
+            f.literal_count(),
+            g.literal_count()
+        );
+    }
+
+    #[test]
+    fn primes_cover_all_on_minterms() {
+        let tt = TruthTable::from_fn(5, |m| (m % 7 == 0).into());
+        let primes = prime_implicants(&tt);
+        for m in tt.on_set() {
+            assert!(primes.iter().any(|p| p.contains(m)));
+        }
+    }
+
+    #[test]
+    fn minimized_cover_is_irredundant() {
+        let tt = TruthTable::from_fn(5, |m| (m % 3 == 0 || m > 27).into());
+        let f = minimize(&tt).unwrap();
+        assert!(tt.is_implemented_by(&f));
+        // Removing any cube must break the implementation.
+        for skip in 0..f.cube_count() {
+            let reduced = Cover::from_cubes(
+                f.inputs(),
+                f.cubes()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, c)| *c)
+                    .collect(),
+            );
+            assert!(
+                !tt.is_implemented_by(&reduced),
+                "cube {skip} of {f} is redundant"
+            );
+        }
+    }
+
+    #[test]
+    fn too_many_inputs_errors() {
+        let tt = TruthTable::from_fn(17, |_| Spec::Off);
+        assert!(matches!(minimize(&tt), Err(LogicError::TooManyInputs { .. })));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let tt = TruthTable::from_fn(6, |m| ((m * 37) % 5 < 2).into());
+        let a = minimize(&tt).unwrap();
+        let b = minimize(&tt).unwrap();
+        assert_eq!(a.cubes(), b.cubes());
+    }
+}

@@ -1,0 +1,198 @@
+//! Incompletely-specified single-output truth tables.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::error::LogicError;
+
+/// The specification of one minterm in an incompletely-specified function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Spec {
+    /// Output must be 0.
+    #[default]
+    Off,
+    /// Output must be 1.
+    On,
+    /// Output is unspecified (don't-care).
+    Dc,
+}
+
+/// A single-output truth table with don't-cares, dense over `2^inputs`
+/// minterms.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_logic::{Spec, TruthTable};
+///
+/// // XOR of two inputs
+/// let tt = TruthTable::from_fn(2, |m| (m.count_ones() % 2 == 1).into());
+/// assert_eq!(tt.spec(0b01), Spec::On);
+/// assert_eq!(tt.spec(0b11), Spec::Off);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    inputs: u8,
+    spec: Vec<Spec>,
+}
+
+impl From<bool> for Spec {
+    fn from(b: bool) -> Self {
+        if b {
+            Spec::On
+        } else {
+            Spec::Off
+        }
+    }
+}
+
+impl TruthTable {
+    /// Maximum supported input count (dense table of `2^20` entries).
+    pub const MAX_INPUTS: u8 = 20;
+
+    /// Creates an all-`Off` table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyInputs`] when `inputs` is 0 or exceeds
+    /// [`TruthTable::MAX_INPUTS`].
+    pub fn new(inputs: u8) -> Result<Self, LogicError> {
+        if inputs == 0 || inputs > Self::MAX_INPUTS {
+            return Err(LogicError::TooManyInputs { inputs, max: Self::MAX_INPUTS });
+        }
+        Ok(Self { inputs, spec: vec![Spec::Off; 1 << inputs] })
+    }
+
+    /// Builds a table by evaluating `f` on every minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is out of the supported range (use
+    /// [`TruthTable::new`] + [`TruthTable::set`] for a fallible path).
+    #[must_use]
+    pub fn from_fn<F: FnMut(u64) -> Spec>(inputs: u8, mut f: F) -> Self {
+        let mut tt = Self::new(inputs).expect("inputs within supported range");
+        for m in 0..(1u64 << inputs) {
+            tt.spec[m as usize] = f(m);
+        }
+        tt
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn inputs(&self) -> u8 {
+        self.inputs
+    }
+
+    /// Specification of a minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minterm >= 2^inputs`.
+    #[must_use]
+    pub fn spec(&self, minterm: u64) -> Spec {
+        self.spec[usize::try_from(minterm).expect("minterm fits usize")]
+    }
+
+    /// Sets the specification of a minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minterm >= 2^inputs`.
+    pub fn set(&mut self, minterm: u64, spec: Spec) {
+        self.spec[usize::try_from(minterm).expect("minterm fits usize")] = spec;
+    }
+
+    /// Minterms whose output must be 1.
+    pub fn on_set(&self) -> impl Iterator<Item = u64> + '_ {
+        self.spec
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == Spec::On)
+            .map(|(m, _)| m as u64)
+    }
+
+    /// Minterms whose output is unspecified.
+    pub fn dc_set(&self) -> impl Iterator<Item = u64> + '_ {
+        self.spec
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == Spec::Dc)
+            .map(|(m, _)| m as u64)
+    }
+
+    /// Number of `On` minterms.
+    #[must_use]
+    pub fn on_count(&self) -> usize {
+        self.spec.iter().filter(|&&s| s == Spec::On).count()
+    }
+
+    /// Whether `cover` is a correct implementation: true on every `On`
+    /// minterm, false on every `Off` minterm (don't-cares are free).
+    #[must_use]
+    pub fn is_implemented_by(&self, cover: &Cover) -> bool {
+        assert_eq!(cover.inputs(), self.inputs, "input count mismatch");
+        (0..(1u64 << self.inputs)).all(|m| match self.spec(m) {
+            Spec::On => cover.evaluate(m),
+            Spec::Off => !cover.evaluate(m),
+            Spec::Dc => true,
+        })
+    }
+
+    /// The trivial canonical cover: one minterm cube per `On` entry.
+    #[must_use]
+    pub fn canonical_cover(&self) -> Cover {
+        Cover::from_cubes(
+            self.inputs,
+            self.on_set().map(|m| Cube::minterm(self.inputs, m)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_evaluates_all_minterms() {
+        let tt = TruthTable::from_fn(3, |m| (m >= 4).into());
+        assert_eq!(tt.on_count(), 4);
+        assert_eq!(tt.spec(0), Spec::Off);
+        assert_eq!(tt.spec(7), Spec::On);
+    }
+
+    #[test]
+    fn dc_entries_are_free() {
+        let mut tt = TruthTable::new(2).unwrap();
+        tt.set(0, Spec::On);
+        tt.set(3, Spec::Dc);
+        let just_zero = Cover::from_cubes(2, vec![Cube::minterm(2, 0)]);
+        assert!(tt.is_implemented_by(&just_zero));
+        let with_three =
+            Cover::from_cubes(2, vec![Cube::minterm(2, 0), Cube::minterm(2, 3)]);
+        assert!(tt.is_implemented_by(&with_three));
+        let wrong = Cover::from_cubes(2, vec![Cube::minterm(2, 1)]);
+        assert!(!tt.is_implemented_by(&wrong));
+    }
+
+    #[test]
+    fn canonical_cover_implements_table() {
+        let tt = TruthTable::from_fn(4, |m| (m % 3 == 0).into());
+        assert!(tt.is_implemented_by(&tt.canonical_cover()));
+    }
+
+    #[test]
+    fn too_many_inputs_is_an_error() {
+        assert!(TruthTable::new(21).is_err());
+        assert!(TruthTable::new(0).is_err());
+        assert!(TruthTable::new(20).is_ok());
+    }
+
+    #[test]
+    fn on_and_dc_sets_enumerate() {
+        let mut tt = TruthTable::new(2).unwrap();
+        tt.set(1, Spec::On);
+        tt.set(2, Spec::Dc);
+        assert_eq!(tt.on_set().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(tt.dc_set().collect::<Vec<_>>(), vec![2]);
+    }
+}

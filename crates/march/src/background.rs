@@ -1,0 +1,112 @@
+//! Data backgrounds for word-oriented memories.
+//!
+//! A bit-oriented march test writes `0`/`1`; a word-oriented memory needs a
+//! set of *background patterns* such that every pair of bits within a word
+//! is exercised in both equal and opposite polarities. The standard set has
+//! `⌈log2(w)⌉ + 1` patterns: the solid background plus one alternating
+//! pattern per bit-position period (checkerboard, double stripe, …). Both
+//! programmable controllers in the paper loop the entire algorithm once per
+//! background.
+
+use mbist_rtl::Bits;
+
+/// The standard background set for a word width.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_march::standard_backgrounds;
+///
+/// let bgs = standard_backgrounds(8);
+/// assert_eq!(bgs.len(), 4);
+/// assert_eq!(bgs[0].value(), 0b0000_0000); // solid
+/// assert_eq!(bgs[1].value(), 0b1010_1010); // checkerboard
+/// assert_eq!(bgs[2].value(), 0b1100_1100); // double stripe
+/// assert_eq!(bgs[3].value(), 0b1111_0000); // half stripe
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 64.
+#[must_use]
+pub fn standard_backgrounds(width: u8) -> Vec<Bits> {
+    assert!((1..=64).contains(&width), "word width must be 1..=64");
+    let mut out = vec![Bits::zero(width)];
+    let mut period = 0u8;
+    while (1u8 << period) < width {
+        let mut v = 0u64;
+        for bit in 0..width {
+            if (bit >> period) & 1 == 1 {
+                v |= 1 << bit;
+            }
+        }
+        out.push(Bits::new(width, v));
+        period += 1;
+    }
+    out
+}
+
+/// Number of standard backgrounds for a width (`⌈log2(w)⌉ + 1`).
+#[must_use]
+pub fn standard_background_count(width: u8) -> usize {
+    standard_backgrounds(width).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_oriented_has_single_background() {
+        let bgs = standard_backgrounds(1);
+        assert_eq!(bgs.len(), 1);
+        assert!(bgs[0].is_zero());
+    }
+
+    #[test]
+    fn counts_scale_logarithmically() {
+        assert_eq!(standard_background_count(1), 1);
+        assert_eq!(standard_background_count(2), 2);
+        assert_eq!(standard_background_count(4), 3);
+        assert_eq!(standard_background_count(8), 4);
+        assert_eq!(standard_background_count(16), 5);
+        assert_eq!(standard_background_count(32), 6);
+        assert_eq!(standard_background_count(64), 7);
+    }
+
+    #[test]
+    fn non_power_of_two_widths_work() {
+        let bgs = standard_backgrounds(5);
+        assert_eq!(bgs.len(), 4); // solid + periods 1,2,4
+        for bg in &bgs {
+            assert_eq!(bg.width(), 5);
+        }
+    }
+
+    #[test]
+    fn every_bit_pair_distinguished() {
+        // For any two distinct bit positions, some background assigns them
+        // opposite values — the property that lets coupling faults within a
+        // word be detected.
+        let width = 8u8;
+        let bgs = standard_backgrounds(width);
+        for i in 0..width {
+            for j in 0..width {
+                if i == j {
+                    continue;
+                }
+                assert!(
+                    bgs.iter().any(|bg| bg.bit(i) != bg.bit(j)),
+                    "bits {i} and {j} never separated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backgrounds_are_distinct() {
+        let bgs = standard_backgrounds(16);
+        let set: std::collections::HashSet<u64> = bgs.iter().map(Bits::value).collect();
+        assert_eq!(set.len(), bgs.len());
+    }
+}

@@ -1,0 +1,288 @@
+//! Fault-coverage evaluation by serial fault simulation.
+
+use std::fmt;
+
+use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
+
+use crate::expand::{expand_with, ExpandOptions};
+use crate::runner::run_steps;
+use crate::test::MarchTest;
+
+/// Coverage of one fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassCoverage {
+    /// The fault class.
+    pub class: FaultClass,
+    /// Faults detected.
+    pub detected: usize,
+    /// Faults simulated.
+    pub total: usize,
+}
+
+impl ClassCoverage {
+    /// Detection ratio in `0.0..=1.0` (1.0 for an empty universe).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+
+    /// Whether every simulated fault was detected.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.detected == self.total
+    }
+}
+
+/// Options for coverage evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageOptions {
+    /// Fault classes to simulate.
+    pub classes: Vec<FaultClass>,
+    /// Universe-generation parameters.
+    pub spec: UniverseSpec,
+    /// Deterministic subsampling cap per class (stride sampling), to keep
+    /// quadratic universes tractable on large memories.
+    pub max_faults_per_class: Option<usize>,
+    /// Expansion options (backgrounds, ports).
+    pub expand: Option<ExpandOptions>,
+}
+
+impl Default for CoverageOptions {
+    fn default() -> Self {
+        Self {
+            classes: FaultClass::ALL.to_vec(),
+            spec: UniverseSpec::default(),
+            max_faults_per_class: Some(512),
+            expand: None,
+        }
+    }
+}
+
+/// A per-class coverage report for one test and geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Name of the evaluated march test.
+    pub test: String,
+    /// Geometry evaluated on.
+    pub geometry: MemGeometry,
+    /// Per-class rows, in [`FaultClass::ALL`] order restricted to the
+    /// requested classes.
+    pub rows: Vec<ClassCoverage>,
+}
+
+impl CoverageReport {
+    /// The row for a class, if it was evaluated.
+    #[must_use]
+    pub fn row(&self, class: FaultClass) -> Option<&ClassCoverage> {
+        self.rows.iter().find(|r| r.class == class)
+    }
+
+    /// Overall detection ratio across all simulated faults.
+    #[must_use]
+    pub fn overall_ratio(&self) -> f64 {
+        let total: usize = self.rows.iter().map(|r| r.total).sum();
+        let detected: usize = self.rows.iter().map(|r| r.detected).sum();
+        if total == 0 {
+            1.0
+        } else {
+            detected as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} on {}:", self.test, self.geometry)?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<5} {:>5}/{:<5} ({:>5.1}%)",
+                r.class.label(),
+                r.detected,
+                r.total,
+                r.ratio() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates the fault coverage of `test` on `geometry` by serial fault
+/// simulation: one fresh array per fault, detected iff any checked read
+/// miscompares.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_march::{evaluate_coverage, library, CoverageOptions};
+/// use mbist_mem::{FaultClass, MemGeometry};
+///
+/// let report = evaluate_coverage(
+///     &library::march_c(),
+///     &MemGeometry::bit_oriented(16),
+///     &CoverageOptions {
+///         classes: vec![FaultClass::StuckAt, FaultClass::Transition],
+///         ..CoverageOptions::default()
+///     },
+/// );
+/// assert!(report.row(FaultClass::StuckAt).unwrap().is_complete());
+/// assert!(report.row(FaultClass::Transition).unwrap().is_complete());
+/// ```
+#[must_use]
+pub fn evaluate_coverage(
+    test: &MarchTest,
+    geometry: &MemGeometry,
+    options: &CoverageOptions,
+) -> CoverageReport {
+    let expand_opts = options
+        .expand
+        .clone()
+        .unwrap_or_else(|| ExpandOptions::for_geometry(geometry));
+    let steps = expand_with(test, geometry, &expand_opts);
+
+    let mut rows = Vec::new();
+    for &class in &options.classes {
+        let mut universe = class_universe(geometry, class, &options.spec);
+        if let Some(max) = options.max_faults_per_class {
+            universe = stride_sample(universe, max);
+        }
+        let total = universe.len();
+        let mut detected = 0;
+        for fault in universe {
+            let mut mem = MemoryArray::with_fault(*geometry, fault)
+                .expect("generated universes fit the geometry");
+            if !run_steps(&mut mem, &steps).passed() {
+                detected += 1;
+            }
+        }
+        rows.push(ClassCoverage { class, detected, total });
+    }
+    CoverageReport { test: test.name().to_string(), geometry: *geometry, rows }
+}
+
+/// Deterministic stride subsampling preserving order and endpoints.
+fn stride_sample<T>(items: Vec<T>, max: usize) -> Vec<T> {
+    if items.len() <= max || max == 0 {
+        return items;
+    }
+    let len = items.len();
+    let mut out = Vec::with_capacity(max);
+    for (i, item) in items.into_iter().enumerate() {
+        // keep item i iff it starts a new bucket of size len/max
+        if (i * max / len != (i + 1) * max / len || i == len - 1 && out.len() < max)
+            && out.len() < max {
+                out.push(item);
+            }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn stride_sampling_bounds_and_determinism() {
+        let items: Vec<u32> = (0..100).collect();
+        let s = stride_sample(items.clone(), 10);
+        assert_eq!(s.len(), 10);
+        let s2 = stride_sample(items.clone(), 10);
+        assert_eq!(s, s2);
+        let all = stride_sample(items.clone(), 200);
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn march_c_covers_the_classic_classes() {
+        let g = MemGeometry::bit_oriented(16);
+        let report = evaluate_coverage(
+            &library::march_c(),
+            &g,
+            &CoverageOptions {
+                classes: vec![
+                    FaultClass::StuckAt,
+                    FaultClass::Transition,
+                    FaultClass::AddressDecoder,
+                    FaultClass::CouplingInversion,
+                    FaultClass::CouplingIdempotent,
+                ],
+                max_faults_per_class: None,
+                ..CoverageOptions::default()
+            },
+        );
+        for row in &report.rows {
+            assert!(
+                row.is_complete(),
+                "march C should fully cover {}: {}/{}",
+                row.class,
+                row.detected,
+                row.total
+            );
+        }
+    }
+
+    #[test]
+    fn mats_plus_misses_coupling() {
+        let g = MemGeometry::bit_oriented(16);
+        let report = evaluate_coverage(
+            &library::mats_plus(),
+            &g,
+            &CoverageOptions {
+                classes: vec![FaultClass::CouplingIdempotent],
+                max_faults_per_class: None,
+                ..CoverageOptions::default()
+            },
+        );
+        let row = report.row(FaultClass::CouplingIdempotent).unwrap();
+        assert!(!row.is_complete(), "MATS+ must miss some CFid");
+        assert!(row.detected > 0, "but not all of them");
+    }
+
+    #[test]
+    fn retention_column_separates_plus_variants() {
+        let g = MemGeometry::bit_oriented(8);
+        let opts = CoverageOptions {
+            classes: vec![FaultClass::Retention],
+            max_faults_per_class: None,
+            ..CoverageOptions::default()
+        };
+        let c = evaluate_coverage(&library::march_c(), &g, &opts);
+        let cp = evaluate_coverage(&library::march_c_plus(), &g, &opts);
+        assert_eq!(c.row(FaultClass::Retention).unwrap().detected, 0);
+        assert!(cp.row(FaultClass::Retention).unwrap().is_complete());
+    }
+
+    #[test]
+    fn report_display_lists_rows() {
+        let g = MemGeometry::bit_oriented(4);
+        let r = evaluate_coverage(
+            &library::mats(),
+            &g,
+            &CoverageOptions {
+                classes: vec![FaultClass::StuckAt],
+                ..CoverageOptions::default()
+            },
+        );
+        let s = r.to_string();
+        assert!(s.contains("SAF"));
+        assert!(s.contains("mats"));
+    }
+
+    #[test]
+    fn overall_ratio_aggregates() {
+        let r = CoverageReport {
+            test: "t".into(),
+            geometry: MemGeometry::bit_oriented(4),
+            rows: vec![
+                ClassCoverage { class: FaultClass::StuckAt, detected: 8, total: 8 },
+                ClassCoverage { class: FaultClass::Retention, detected: 0, total: 8 },
+            ],
+        };
+        assert_eq!(r.overall_ratio(), 0.5);
+    }
+}

@@ -1,0 +1,309 @@
+//! March elements and test items.
+
+use std::fmt;
+
+use mbist_rtl::Direction;
+
+use crate::op::MarchOp;
+
+/// The address order of a march element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressOrder {
+    /// ⇑ — traverse addresses 0 to n−1.
+    Up,
+    /// ⇓ — traverse addresses n−1 to 0.
+    Down,
+    /// ⇕ — either order is acceptable (realized as up).
+    #[default]
+    Any,
+}
+
+impl AddressOrder {
+    /// The complemented order (`Any` stays `Any`).
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        match self {
+            AddressOrder::Up => AddressOrder::Down,
+            AddressOrder::Down => AddressOrder::Up,
+            AddressOrder::Any => AddressOrder::Any,
+        }
+    }
+
+    /// The concrete sweep direction used when the element executes
+    /// (`Any` is realized as up, the convention every controller in this
+    /// workspace shares so their operation streams stay comparable).
+    #[must_use]
+    pub fn direction(self) -> Direction {
+        match self {
+            AddressOrder::Up | AddressOrder::Any => Direction::Up,
+            AddressOrder::Down => Direction::Down,
+        }
+    }
+
+    /// The notation glyph.
+    #[must_use]
+    pub fn glyph(self) -> &'static str {
+        match self {
+            AddressOrder::Up => "⇑",
+            AddressOrder::Down => "⇓",
+            AddressOrder::Any => "⇕",
+        }
+    }
+}
+
+impl fmt::Display for AddressOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.glyph())
+    }
+}
+
+/// One march element: an address order and a sequence of operations applied
+/// to every cell before moving to the next address.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_march::{AddressOrder, MarchElement, MarchOp};
+///
+/// let e = MarchElement::new(
+///     AddressOrder::Up,
+///     vec![MarchOp::Read(false), MarchOp::Write(true)],
+/// );
+/// assert_eq!(e.to_string(), "⇑(r0,w1)");
+/// assert_eq!(e.ops().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MarchElement {
+    order: AddressOrder,
+    ops: Vec<MarchOp>,
+}
+
+impl MarchElement {
+    /// Creates an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty — an element must perform at least one
+    /// operation.
+    #[must_use]
+    pub fn new(order: AddressOrder, ops: Vec<MarchOp>) -> Self {
+        assert!(!ops.is_empty(), "march element must contain at least one operation");
+        Self { order, ops }
+    }
+
+    /// The address order.
+    #[must_use]
+    pub fn order(&self) -> AddressOrder {
+        self.order
+    }
+
+    /// The per-cell operation sequence.
+    #[must_use]
+    pub fn ops(&self) -> &[MarchOp] {
+        &self.ops
+    }
+
+    /// Whether the element only writes (an initialization element).
+    #[must_use]
+    pub fn is_write_only(&self) -> bool {
+        self.ops.iter().all(MarchOp::is_write)
+    }
+
+    /// Applies a complement mask: optionally reverse the order, complement
+    /// write data and/or complement read (compare) data.
+    #[must_use]
+    pub fn complemented(&self, mask: ComplementMask) -> MarchElement {
+        let order = if mask.order { self.order.reversed() } else { self.order };
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                MarchOp::Write(_) if mask.data => op.complemented(),
+                MarchOp::Read(_) if mask.compare => op.complemented(),
+                _ => *op,
+            })
+            .collect();
+        MarchElement { order, ops }
+    }
+}
+
+impl fmt::Display for MarchElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ops: Vec<String> = self.ops.iter().map(MarchOp::to_string).collect();
+        write!(f, "{}({})", self.order, ops.join(","))
+    }
+}
+
+/// Which polarities a symmetric repeat complements — the three auxiliary
+/// bits of the paper's microcode *reference register*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ComplementMask {
+    /// Complement the address order.
+    pub order: bool,
+    /// Complement written data.
+    pub data: bool,
+    /// Complement expected (compare) data.
+    pub compare: bool,
+}
+
+impl ComplementMask {
+    /// All non-trivial masks, most common first.
+    pub const CANDIDATES: [ComplementMask; 7] = [
+        ComplementMask { order: true, data: false, compare: false },
+        ComplementMask { order: true, data: true, compare: true },
+        ComplementMask { order: false, data: true, compare: true },
+        ComplementMask { order: true, data: true, compare: false },
+        ComplementMask { order: true, data: false, compare: true },
+        ComplementMask { order: false, data: true, compare: false },
+        ComplementMask { order: false, data: false, compare: true },
+    ];
+
+    /// Whether the mask complements nothing.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        !self.order && !self.data && !self.compare
+    }
+}
+
+impl fmt::Display for ComplementMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.order {
+            parts.push("order");
+        }
+        if self.data {
+            parts.push("data");
+        }
+        if self.compare {
+            parts.push("compare");
+        }
+        if parts.is_empty() {
+            f.write_str("none")
+        } else {
+            f.write_str(&parts.join("+"))
+        }
+    }
+}
+
+/// An item of a march test: a march element or an idle pause (for
+/// data-retention detection).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarchItem {
+    /// A march element.
+    Element(MarchElement),
+    /// An idle pause of the given duration.
+    Pause {
+        /// Pause duration in nanoseconds.
+        ns: f64,
+    },
+}
+
+impl MarchItem {
+    /// The element, if this item is one.
+    #[must_use]
+    pub fn as_element(&self) -> Option<&MarchElement> {
+        match self {
+            MarchItem::Element(e) => Some(e),
+            MarchItem::Pause { .. } => None,
+        }
+    }
+
+    /// Applies a complement mask (pauses are unaffected).
+    #[must_use]
+    pub fn complemented(&self, mask: ComplementMask) -> MarchItem {
+        match self {
+            MarchItem::Element(e) => MarchItem::Element(e.complemented(mask)),
+            MarchItem::Pause { ns } => MarchItem::Pause { ns: *ns },
+        }
+    }
+}
+
+impl From<MarchElement> for MarchItem {
+    fn from(e: MarchElement) -> Self {
+        MarchItem::Element(e)
+    }
+}
+
+impl fmt::Display for MarchItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarchItem::Element(e) => e.fmt(f),
+            MarchItem::Pause { ns } => {
+                if *ns >= 1e6 {
+                    write!(f, "pause({}ms)", ns / 1e6)
+                } else if *ns >= 1e3 {
+                    write!(f, "pause({}us)", ns / 1e3)
+                } else {
+                    write!(f, "pause({ns}ns)")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elem(order: AddressOrder, ops: &[MarchOp]) -> MarchElement {
+        MarchElement::new(order, ops.to_vec())
+    }
+
+    #[test]
+    fn orders_reverse() {
+        assert_eq!(AddressOrder::Up.reversed(), AddressOrder::Down);
+        assert_eq!(AddressOrder::Down.reversed(), AddressOrder::Up);
+        assert_eq!(AddressOrder::Any.reversed(), AddressOrder::Any);
+        assert_eq!(AddressOrder::Any.direction(), Direction::Up);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_element_panics() {
+        let _ = MarchElement::new(AddressOrder::Up, vec![]);
+    }
+
+    #[test]
+    fn write_only_detection() {
+        assert!(elem(AddressOrder::Any, &[MarchOp::Write(false)]).is_write_only());
+        assert!(!elem(AddressOrder::Up, &[MarchOp::Read(false), MarchOp::Write(true)])
+            .is_write_only());
+    }
+
+    #[test]
+    fn complement_masks_apply_independently() {
+        let e = elem(AddressOrder::Up, &[MarchOp::Read(false), MarchOp::Write(true)]);
+        let order_only =
+            e.complemented(ComplementMask { order: true, data: false, compare: false });
+        assert_eq!(order_only.to_string(), "⇓(r0,w1)");
+        let full = e.complemented(ComplementMask { order: true, data: true, compare: true });
+        assert_eq!(full.to_string(), "⇓(r1,w0)");
+        let data_only =
+            e.complemented(ComplementMask { order: false, data: true, compare: false });
+        assert_eq!(data_only.to_string(), "⇑(r0,w0)");
+    }
+
+    #[test]
+    fn mask_display() {
+        assert_eq!(ComplementMask::default().to_string(), "none");
+        assert_eq!(
+            ComplementMask { order: true, data: true, compare: true }.to_string(),
+            "order+data+compare"
+        );
+    }
+
+    #[test]
+    fn pause_display_scales_units() {
+        assert_eq!(MarchItem::Pause { ns: 500.0 }.to_string(), "pause(500ns)");
+        assert_eq!(MarchItem::Pause { ns: 2_000.0 }.to_string(), "pause(2us)");
+        assert_eq!(MarchItem::Pause { ns: 3e6 }.to_string(), "pause(3ms)");
+    }
+
+    #[test]
+    fn item_conversions() {
+        let e = elem(AddressOrder::Up, &[MarchOp::Read(true)]);
+        let item: MarchItem = e.clone().into();
+        assert_eq!(item.as_element(), Some(&e));
+        assert!(MarchItem::Pause { ns: 1.0 }.as_element().is_none());
+    }
+}

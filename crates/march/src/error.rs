@@ -1,0 +1,42 @@
+//! Error types for the march crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by march-test parsing and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MarchError {
+    /// March notation could not be parsed.
+    Parse {
+        /// Human-readable description of the offending token.
+        message: String,
+    },
+}
+
+impl fmt::Display for MarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarchError::Parse { message } => write!(f, "invalid march notation: {message}"),
+        }
+    }
+}
+
+impl Error for MarchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<MarchError>();
+    }
+
+    #[test]
+    fn display_includes_message() {
+        let e = MarchError::Parse { message: "bad token `x`".into() };
+        assert!(e.to_string().contains("bad token `x`"));
+    }
+}

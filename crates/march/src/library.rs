@@ -1,0 +1,308 @@
+//! The catalogue of classical march test algorithms.
+//!
+//! All definitions follow van de Goor, *Testing Semiconductor Memories*
+//! (the paper's reference \[10\]). `march_c` is the six-element form the
+//! paper gives in Eq. 1 (elsewhere called March C−; the redundant middle
+//! `⇕(r0)` of the original March C adds no coverage). The `+` and `++`
+//! variants are the paper's §3 extensions: `+` appends the data-retention
+//! tail, `++` additionally reads every cell three times to excite
+//! disconnected pull-up/pull-down devices.
+
+use crate::test::MarchTest;
+
+/// Default data-retention pause used by the `+`/`++` variants (100 µs —
+/// long enough to exceed the default DRF retention in the simulator).
+pub const DEFAULT_RETENTION_PAUSE_NS: f64 = 100_000.0;
+
+fn parse(name: &str, notation: &str) -> MarchTest {
+    MarchTest::parse(name, notation).expect("library algorithm notation is valid")
+}
+
+/// MATS: `⇕(w0); ⇕(r0,w1); ⇕(r1)` — 4n, stuck-at faults only.
+#[must_use]
+pub fn mats() -> MarchTest {
+    parse("mats", "m(w0); m(r0,w1); m(r1)")
+}
+
+/// MATS+: `⇕(w0); ⇑(r0,w1); ⇓(r1,w0)` — 5n, SAF + AF.
+#[must_use]
+pub fn mats_plus() -> MarchTest {
+    parse("mats+", "m(w0); u(r0,w1); d(r1,w0)")
+}
+
+/// March X: `⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)` — 6n, adds CFin.
+#[must_use]
+pub fn march_x() -> MarchTest {
+    parse("march-x", "m(w0); u(r0,w1); d(r1,w0); m(r0)")
+}
+
+/// March Y: `⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)` — 8n, adds linked TF.
+#[must_use]
+pub fn march_y() -> MarchTest {
+    parse("march-y", "m(w0); u(r0,w1,r1); d(r1,w0,r0); m(r0)")
+}
+
+/// March C (paper Eq. 1):
+/// `⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)` — 10n,
+/// SAF + TF + AF + unlinked CF.
+#[must_use]
+pub fn march_c() -> MarchTest {
+    parse("march-c", "m(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); m(r0)")
+}
+
+/// March C+ — March C with the data-retention tail (paper §3).
+#[must_use]
+pub fn march_c_plus() -> MarchTest {
+    march_c().with_retention("march-c+", DEFAULT_RETENTION_PAUSE_NS)
+}
+
+/// March C++ — March C+ with every read performed three times (paper §3).
+#[must_use]
+pub fn march_c_plus_plus() -> MarchTest {
+    march_c()
+        .with_multi_reads("tmp", 3)
+        .with_retention("tmp", DEFAULT_RETENTION_PAUSE_NS)
+        .with_multi_reads_tail_fix()
+        .renamed("march-c++")
+}
+
+/// March A:
+/// `⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)` —
+/// 15n, adds linked CFin coverage.
+#[must_use]
+pub fn march_a() -> MarchTest {
+    parse(
+        "march-a",
+        "m(w0); u(r0,w1,w0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0)",
+    )
+}
+
+/// March A+ — March A with the data-retention tail (paper §3).
+#[must_use]
+pub fn march_a_plus() -> MarchTest {
+    march_a().with_retention("march-a+", DEFAULT_RETENTION_PAUSE_NS)
+}
+
+/// March A++ — March A+ with triple reads (paper §3).
+#[must_use]
+pub fn march_a_plus_plus() -> MarchTest {
+    march_a()
+        .with_multi_reads("tmp", 3)
+        .with_retention("tmp", DEFAULT_RETENTION_PAUSE_NS)
+        .with_multi_reads_tail_fix()
+        .renamed("march-a++")
+}
+
+/// March B:
+/// `⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)` —
+/// 17n, adds linked CFid coverage. Not symmetric — the paper's example of a
+/// test the `Repeat` mechanism cannot compress.
+#[must_use]
+pub fn march_b() -> MarchTest {
+    parse(
+        "march-b",
+        "m(w0); u(r0,w1,r1,w0,r0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0)",
+    )
+}
+
+impl MarchTest {
+    /// The `++` variants triple the reads of the *base* algorithm and of the
+    /// retention tail's first element, but the final verification read of
+    /// the tail is conventionally also tripled; re-apply the multi-read
+    /// transform to any element appended after a pause. (Internal helper
+    /// for the library's `++` constructors.)
+    #[must_use]
+    fn with_multi_reads_tail_fix(&self) -> MarchTest {
+        let mut after_pause = false;
+        let items = self
+            .items()
+            .iter()
+            .map(|item| match item {
+                crate::element::MarchItem::Pause { ns } => {
+                    after_pause = true;
+                    crate::element::MarchItem::Pause { ns: *ns }
+                }
+                crate::element::MarchItem::Element(e) => {
+                    if after_pause {
+                        let ops = e
+                            .ops()
+                            .iter()
+                            .flat_map(|op| {
+                                let n = if op.is_read() { 3 } else { 1 };
+                                std::iter::repeat_n(*op, n)
+                            })
+                            .collect();
+                        crate::element::MarchElement::new(e.order(), ops).into()
+                    } else {
+                        e.clone().into()
+                    }
+                }
+            })
+            .collect();
+        MarchTest::new(self.name(), items)
+    }
+}
+
+/// PMOVI:
+/// `⇓(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0); ⇓(r0,w1,r1); ⇓(r1,w0,r0)` — 13n,
+/// every read directly verifies the preceding write (DELTA-class test).
+#[must_use]
+pub fn pmovi() -> MarchTest {
+    parse("pmovi", "d(w0); u(r0,w1,r1); u(r1,w0,r0); d(r0,w1,r1); d(r1,w0,r0)")
+}
+
+/// March U:
+/// `⇕(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1); ⇓(r1,w0)` —
+/// 13n, unlinked + some linked fault coverage.
+#[must_use]
+pub fn march_u() -> MarchTest {
+    parse(
+        "march-u",
+        "m(w0); u(r0,w1,r1,w0); u(r0,w1); d(r1,w0,r0,w1); d(r1,w0)",
+    )
+}
+
+/// March LR:
+/// `⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); ⇑(r0)` —
+/// 14n, targets realistic linked faults.
+#[must_use]
+pub fn march_lr() -> MarchTest {
+    parse(
+        "march-lr",
+        "m(w0); d(r0,w1); u(r1,w0,r0,w1); u(r1,w0); u(r0,w1,r1,w0); u(r0)",
+    )
+}
+
+/// March SS:
+/// `⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0); ⇓(r0,r0,w0,r0,w1);
+/// ⇓(r1,r1,w1,r1,w0); ⇕(r0)` — 22n, all static simple faults.
+#[must_use]
+pub fn march_ss() -> MarchTest {
+    parse(
+        "march-ss",
+        "m(w0); u(r0,r0,w0,r0,w1); u(r1,r1,w1,r1,w0); d(r0,r0,w0,r0,w1); \
+         d(r1,r1,w1,r1,w0); m(r0)",
+    )
+}
+
+/// March G — March B plus the data-retention elements:
+/// `⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0);
+/// pause; ⇕(r0,w1,r1); pause; ⇕(r1,w0,r0)` — 23n + 2 pauses.
+#[must_use]
+pub fn march_g() -> MarchTest {
+    parse(
+        "march-g",
+        "m(w0); u(r0,w1,r1,w0,r0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0); \
+         pause(100us); m(r0,w1,r1); pause(100us); m(r1,w0,r0)",
+    )
+}
+
+/// Every algorithm in the library, in increasing complexity order.
+#[must_use]
+pub fn all() -> Vec<MarchTest> {
+    vec![
+        mats(),
+        mats_plus(),
+        march_x(),
+        march_y(),
+        march_c(),
+        march_c_plus(),
+        march_c_plus_plus(),
+        pmovi(),
+        march_u(),
+        march_lr(),
+        march_a(),
+        march_a_plus(),
+        march_a_plus_plus(),
+        march_b(),
+        march_ss(),
+        march_g(),
+    ]
+}
+
+/// Looks an algorithm up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<MarchTest> {
+    all().into_iter().find(|t| t.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexities_match_the_literature() {
+        assert_eq!(mats().ops_per_cell(), 4);
+        assert_eq!(mats_plus().ops_per_cell(), 5);
+        assert_eq!(march_x().ops_per_cell(), 6);
+        assert_eq!(march_y().ops_per_cell(), 8);
+        assert_eq!(march_c().ops_per_cell(), 10);
+        assert_eq!(pmovi().ops_per_cell(), 13);
+        assert_eq!(march_u().ops_per_cell(), 13);
+        assert_eq!(march_lr().ops_per_cell(), 14);
+        assert_eq!(march_a().ops_per_cell(), 15);
+        assert_eq!(march_b().ops_per_cell(), 17);
+        assert_eq!(march_ss().ops_per_cell(), 22);
+        assert_eq!(march_g().ops_per_cell(), 23);
+    }
+
+    #[test]
+    fn new_symmetries_are_detected() {
+        // PMOVI and March SS fold with the order-only mask, March U with
+        // the full mask; March LR and March G have no symmetric structure.
+        assert!(pmovi().symmetric_split().is_some());
+        assert!(march_ss().symmetric_split().is_some());
+        let u = march_u().symmetric_split().expect("march U is symmetric");
+        assert!(u.mask.order && u.mask.data && u.mask.compare);
+        assert!(march_lr().symmetric_split().is_none());
+        assert!(march_g().symmetric_split().is_none());
+    }
+
+    #[test]
+    fn march_g_carries_retention_pauses() {
+        assert_eq!(march_g().pause_count(), 2);
+    }
+
+    #[test]
+    fn plus_variants_add_retention_tail() {
+        let cp = march_c_plus();
+        assert_eq!(cp.pause_count(), 2);
+        assert_eq!(cp.ops_per_cell(), 14);
+        let ap = march_a_plus();
+        assert_eq!(ap.pause_count(), 2);
+        assert_eq!(ap.ops_per_cell(), 19);
+    }
+
+    #[test]
+    fn plus_plus_variants_triple_all_reads() {
+        let cpp = march_c_plus_plus();
+        // base: 5r→15r + 5w = 20; tail: (r,w,r)→(3r,w,3r)=7 and (r)→3r = 10
+        assert_eq!(cpp.ops_per_cell(), 30);
+        assert_eq!(cpp.pause_count(), 2);
+        let app = march_a_plus_plus();
+        // base: 4r→12 + 11w = 23; tail 10
+        assert_eq!(app.ops_per_cell(), 33);
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let names: std::collections::HashSet<String> =
+            all().iter().map(|t| t.name().to_string()).collect();
+        assert_eq!(names.len(), all().len());
+        assert!(by_name("march-c").is_some());
+        assert!(by_name("march-c++").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_algorithm_initializes_before_reading() {
+        for t in all() {
+            let first = t.elements().next().unwrap();
+            assert!(
+                first.is_write_only(),
+                "{} must start with an initialization element",
+                t.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Classical non-march test procedures: Walking 1/0 and GALPAT.
+//!
+//! These O(n²) procedures address a *base* cell and its complement set
+//! individually — a structure no march test (and therefore no march-based
+//! BIST controller, including the paper's microcode architecture) can
+//! express. They exist here for two reasons: they quantify what the
+//! march-structured architectures give up (the NPSF/AF coverage gap), and
+//! they exercise the memory simulator with realistic ping-pong access
+//! patterns.
+
+use mbist_mem::{BusCycle, MemGeometry, MemoryArray, PortId, TestStep};
+use mbist_rtl::Bits;
+
+use crate::coverage::{ClassCoverage, CoverageOptions, CoverageReport};
+use crate::runner::run_steps;
+
+fn w(g: &MemGeometry, addr: u64, value: bool) -> TestStep {
+    TestStep::Bus(BusCycle::write(PortId(0), addr, Bits::splat(g.width(), value)))
+}
+
+fn r(g: &MemGeometry, addr: u64, value: bool) -> TestStep {
+    TestStep::Bus(BusCycle::read(PortId(0), addr, Bits::splat(g.width(), value)))
+}
+
+/// Walking 1 (or walking 0 with `value = false`): initialize to the
+/// complement, then for each base cell write the value, read every other
+/// cell, read the base, and restore. Complexity `n² + 3n`.
+#[must_use]
+pub fn walking(geometry: &MemGeometry, value: bool) -> Vec<TestStep> {
+    let n = geometry.words();
+    let mut steps = Vec::new();
+    for a in 0..n {
+        steps.push(w(geometry, a, !value));
+    }
+    for base in 0..n {
+        steps.push(w(geometry, base, value));
+        for other in 0..n {
+            if other != base {
+                steps.push(r(geometry, other, !value));
+            }
+        }
+        steps.push(r(geometry, base, value));
+        steps.push(w(geometry, base, !value));
+    }
+    steps
+}
+
+/// GALPAT (galloping pattern): like walking, but every read of another
+/// cell ping-pongs back to the base cell. Complexity `2n² + 2n`.
+#[must_use]
+pub fn galpat(geometry: &MemGeometry, value: bool) -> Vec<TestStep> {
+    let n = geometry.words();
+    let mut steps = Vec::new();
+    for a in 0..n {
+        steps.push(w(geometry, a, !value));
+    }
+    for base in 0..n {
+        steps.push(w(geometry, base, value));
+        for other in 0..n {
+            if other != base {
+                steps.push(r(geometry, other, !value));
+                steps.push(r(geometry, base, value));
+            }
+        }
+        steps.push(w(geometry, base, !value));
+    }
+    steps
+}
+
+/// Evaluates the fault coverage of an arbitrary test stream by serial
+/// fault simulation (the stream analogue of
+/// [`evaluate_coverage`](crate::evaluate_coverage)).
+#[must_use]
+pub fn evaluate_stream_coverage(
+    name: &str,
+    steps: &[TestStep],
+    geometry: &MemGeometry,
+    options: &CoverageOptions,
+) -> CoverageReport {
+    let mut rows = Vec::new();
+    for &class in &options.classes {
+        let mut universe = mbist_mem::class_universe(geometry, class, &options.spec);
+        if let Some(max) = options.max_faults_per_class {
+            if universe.len() > max {
+                let len = universe.len();
+                universe = universe
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| i * max / len != (i + 1) * max / len)
+                    .map(|(_, f)| f)
+                    .take(max)
+                    .collect();
+            }
+        }
+        let total = universe.len();
+        let mut detected = 0;
+        for fault in universe {
+            let mut mem = MemoryArray::with_fault(*geometry, fault)
+                .expect("generated universes fit the geometry");
+            if !run_steps(&mut mem, steps).passed() {
+                detected += 1;
+            }
+        }
+        rows.push(ClassCoverage { class, detected, total });
+    }
+    CoverageReport { test: name.to_string(), geometry: *geometry, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use mbist_mem::{CellId, FaultClass, FaultKind};
+
+    #[test]
+    fn stream_lengths_match_the_literature() {
+        let g = MemGeometry::bit_oriented(8);
+        // per base: set + (n-1) reads + base read + restore
+        assert_eq!(walking(&g, true).len(), 8 + 8 * (1 + 7 + 1 + 1));
+        // per base: set + 2(n-1) ping-pong reads + restore
+        assert_eq!(galpat(&g, true).len(), 8 + 8 * (1 + 2 * 7 + 1));
+    }
+
+    #[test]
+    fn fault_free_memory_passes_both() {
+        let g = MemGeometry::bit_oriented(16);
+        for steps in [walking(&g, true), walking(&g, false), galpat(&g, true)] {
+            let mut mem = MemoryArray::new(g);
+            assert!(run_steps(&mut mem, &steps).passed());
+        }
+    }
+
+    #[test]
+    fn galpat_detects_classic_faults() {
+        let g = MemGeometry::bit_oriented(16);
+        let faults = [
+            FaultKind::StuckAt { cell: CellId::bit_oriented(5), value: false },
+            FaultKind::Transition { cell: CellId::bit_oriented(9), rising: true },
+            FaultKind::AddressMap { from: 3, to: 12 },
+            FaultKind::CouplingInversion {
+                aggressor: CellId::bit_oriented(2),
+                victim: CellId::bit_oriented(11),
+                rising: true,
+            },
+        ];
+        let steps = galpat(&g, true);
+        for fault in faults {
+            let mut mem = MemoryArray::with_fault(g, fault).unwrap();
+            assert!(!run_steps(&mut mem, &steps).passed(), "{fault} missed");
+        }
+    }
+
+    #[test]
+    fn galpat_beats_march_c_on_npsf() {
+        let g = MemGeometry::bit_oriented(64);
+        let options = CoverageOptions {
+            classes: vec![FaultClass::NpsfActive],
+            max_faults_per_class: Some(96),
+            ..CoverageOptions::default()
+        };
+        let march = crate::coverage::evaluate_coverage(&library::march_c(), &g, &options);
+        let combined: Vec<TestStep> = galpat(&g, true)
+            .into_iter()
+            .chain(galpat(&g, false))
+            .collect();
+        let gal = evaluate_stream_coverage("galpat", &combined, &g, &options);
+        let m = march.rows[0].detected;
+        let gp = gal.rows[0].detected;
+        assert!(
+            gp > m,
+            "GALPAT should beat march C on active NPSF: {gp} vs {m} of {}",
+            march.rows[0].total
+        );
+    }
+
+    #[test]
+    fn walking_detects_stuck_open_fully() {
+        // Every base read follows a read of a different value — exactly the
+        // consecutive-read structure SOF needs.
+        let g = MemGeometry::bit_oriented(16);
+        let steps = walking(&g, true);
+        for word in 0..16 {
+            let mut mem = MemoryArray::with_fault(
+                g,
+                FaultKind::StuckOpen { cell: CellId::bit_oriented(word) },
+            )
+            .unwrap();
+            assert!(!run_steps(&mut mem, &steps).passed(), "SOF at {word} missed");
+        }
+    }
+}

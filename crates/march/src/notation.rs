@@ -1,0 +1,197 @@
+//! Textual march notation.
+//!
+//! The grammar accepted by [`MarchTest::parse`] follows van de Goor's
+//! notation with ASCII-friendly aliases:
+//!
+//! ```text
+//! test    := item (";" item)*
+//! item    := element | pause
+//! element := order "(" op ("," op)* ")"
+//! order   := "u" | "d" | "m" | "⇑" | "⇓" | "⇕"
+//! op      := "r0" | "r1" | "w0" | "w1"
+//! pause   := "pause(" number ("ns"|"us"|"ms"|"s") ")"
+//! ```
+//!
+//! Whitespace is insignificant. This is the program format used by the
+//! field-update example: a new test algorithm arrives as text, is parsed,
+//! compiled and scan-loaded into a programmable controller with zero
+//! hardware change.
+
+use crate::element::{AddressOrder, MarchElement, MarchItem};
+use crate::error::MarchError;
+use crate::op::MarchOp;
+use crate::test::MarchTest;
+
+impl MarchTest {
+    /// Parses march notation into a test named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarchError::Parse`] describing the first offending token.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbist_march::MarchTest;
+    ///
+    /// let t = MarchTest::parse("mats+", "m(w0); u(r0,w1); d(r1,w0)")?;
+    /// assert_eq!(t.element_count(), 3);
+    /// assert_eq!(t.to_string(), "mats+: ⇕(w0); ⇑(r0,w1); ⇓(r1,w0)");
+    /// # Ok::<(), mbist_march::MarchError>(())
+    /// ```
+    pub fn parse(name: impl Into<String>, notation: &str) -> Result<MarchTest, MarchError> {
+        let mut items = Vec::new();
+        for raw in notation.split(';') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_item(part)?);
+        }
+        if !items.iter().any(|i| i.as_element().is_some()) {
+            return Err(MarchError::Parse {
+                message: "march test must contain at least one element".into(),
+            });
+        }
+        Ok(MarchTest::new(name, items))
+    }
+}
+
+fn parse_item(part: &str) -> Result<MarchItem, MarchError> {
+    let open = part.find('(').ok_or_else(|| MarchError::Parse {
+        message: format!("expected `(` in march item `{part}`"),
+    })?;
+    if !part.ends_with(')') {
+        return Err(MarchError::Parse {
+            message: format!("expected closing `)` in march item `{part}`"),
+        });
+    }
+    let head = part[..open].trim();
+    let body = &part[open + 1..part.len() - 1];
+
+    if head.eq_ignore_ascii_case("pause") {
+        return parse_pause(body.trim());
+    }
+
+    let order = match head {
+        "u" | "U" | "⇑" | "^" => AddressOrder::Up,
+        "d" | "D" | "⇓" | "v" => AddressOrder::Down,
+        "m" | "M" | "⇕" | "b" => AddressOrder::Any,
+        other => {
+            return Err(MarchError::Parse {
+                message: format!(
+                    "unknown address order `{other}` (expected u/d/m or ⇑/⇓/⇕)"
+                ),
+            })
+        }
+    };
+    let ops: Result<Vec<MarchOp>, MarchError> = body
+        .split([',', ' '])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::parse)
+        .collect();
+    let ops = ops?;
+    if ops.is_empty() {
+        return Err(MarchError::Parse {
+            message: format!("march element `{part}` has no operations"),
+        });
+    }
+    Ok(MarchElement::new(order, ops).into())
+}
+
+fn parse_pause(body: &str) -> Result<MarchItem, MarchError> {
+    let (number, unit, scale) = if let Some(n) = body.strip_suffix("ns") {
+        (n, "ns", 1.0)
+    } else if let Some(n) = body.strip_suffix("us") {
+        (n, "us", 1e3)
+    } else if let Some(n) = body.strip_suffix("ms") {
+        (n, "ms", 1e6)
+    } else if let Some(n) = body.strip_suffix('s') {
+        (n, "s", 1e9)
+    } else {
+        return Err(MarchError::Parse {
+            message: format!("pause `{body}` needs a unit: ns, us, ms or s"),
+        });
+    };
+    let value: f64 = number.trim().parse().map_err(|_| MarchError::Parse {
+        message: format!("invalid pause duration `{number}` ({unit})"),
+    })?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(MarchError::Parse {
+            message: format!("pause duration must be non-negative, got `{body}`"),
+        });
+    }
+    Ok(MarchItem::Pause { ns: value * scale })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ascii_and_unicode_orders() {
+        let a = MarchTest::parse("t", "u(r0,w1); d(r1,w0); m(r0)").unwrap();
+        let b = MarchTest::parse("t", "⇑(r0,w1); ⇓(r1,w0); ⇕(r0)").unwrap();
+        assert_eq!(a.items(), b.items());
+    }
+
+    #[test]
+    fn space_separated_ops_accepted() {
+        let t = MarchTest::parse("t", "u(r0 w1 r1)").unwrap();
+        assert_eq!(t.ops_per_cell(), 3);
+    }
+
+    #[test]
+    fn parses_pauses_with_units() {
+        let t = MarchTest::parse("t", "m(w0); pause(100ms); m(r0)").unwrap();
+        match &t.items()[1] {
+            MarchItem::Pause { ns } => assert_eq!(*ns, 1e8),
+            other => panic!("expected pause, got {other}"),
+        }
+        let t = MarchTest::parse("t", "m(w0); pause(5us); m(r0)").unwrap();
+        match &t.items()[1] {
+            MarchItem::Pause { ns } => assert_eq!(*ns, 5_000.0),
+            other => panic!("expected pause, got {other}"),
+        }
+    }
+
+    #[test]
+    fn roundtrips_library_tests() {
+        for t in crate::library::all() {
+            let text: String = t
+                .items()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ");
+            let reparsed = MarchTest::parse(t.name(), &text).unwrap();
+            assert_eq!(reparsed.items(), t.items(), "roundtrip failed for {}", t.name());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "x(r0)",
+            "u(r0",
+            "u()",
+            "u(q0)",
+            "pause(10)",
+            "pause(xyzns)",
+            "pause(-5ms); m(r0)",
+            "pause(1ms)",
+            "",
+        ] {
+            assert!(MarchTest::parse("bad", bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let err = MarchTest::parse("t", "q(r0)").unwrap_err();
+        assert!(err.to_string().contains("address order"));
+        let err = MarchTest::parse("t", "u(z9)").unwrap_err();
+        assert!(err.to_string().contains("z9"));
+    }
+}

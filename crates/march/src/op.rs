@@ -1,0 +1,108 @@
+//! March operations.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::MarchError;
+
+/// One memory operation of a march element, with its data value expressed
+/// *relative to the data background*: `false` means the background pattern
+/// (`d`), `true` means its complement (`d̄`). For a bit-oriented memory with
+/// the all-zero background these are literally 0 and 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarchOp {
+    /// Write the (possibly complemented) background.
+    Write(bool),
+    /// Read and compare against the (possibly complemented) background.
+    Read(bool),
+}
+
+impl MarchOp {
+    /// The relative data value (background = `false`, complement = `true`).
+    #[must_use]
+    pub fn data(&self) -> bool {
+        match *self {
+            MarchOp::Write(d) | MarchOp::Read(d) => d,
+        }
+    }
+
+    /// Whether this is a read.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self, MarchOp::Read(_))
+    }
+
+    /// Whether this is a write.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self, MarchOp::Write(_))
+    }
+
+    /// The same operation with complemented data.
+    #[must_use]
+    pub fn complemented(&self) -> MarchOp {
+        match *self {
+            MarchOp::Write(d) => MarchOp::Write(!d),
+            MarchOp::Read(d) => MarchOp::Read(!d),
+        }
+    }
+}
+
+impl fmt::Display for MarchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MarchOp::Write(d) => write!(f, "w{}", u8::from(d)),
+            MarchOp::Read(d) => write!(f, "r{}", u8::from(d)),
+        }
+    }
+}
+
+impl FromStr for MarchOp {
+    type Err = MarchError;
+
+    fn from_str(s: &str) -> Result<Self, MarchError> {
+        match s.trim() {
+            "w0" => Ok(MarchOp::Write(false)),
+            "w1" => Ok(MarchOp::Write(true)),
+            "r0" => Ok(MarchOp::Read(false)),
+            "r1" => Ok(MarchOp::Read(true)),
+            other => Err(MarchError::Parse {
+                message: format!("unknown march operation `{other}` (expected r0/r1/w0/w1)"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["r0", "r1", "w0", "w1"] {
+            let op: MarchOp = s.parse().unwrap();
+            assert_eq!(op.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("x0".parse::<MarchOp>().is_err());
+        assert!("w2".parse::<MarchOp>().is_err());
+        assert!("".parse::<MarchOp>().is_err());
+    }
+
+    #[test]
+    fn complement_flips_data_not_kind() {
+        assert_eq!(MarchOp::Write(false).complemented(), MarchOp::Write(true));
+        assert_eq!(MarchOp::Read(true).complemented(), MarchOp::Read(false));
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(MarchOp::Read(false).is_read());
+        assert!(MarchOp::Write(true).is_write());
+        assert!(MarchOp::Write(true).data());
+        assert!(!MarchOp::Read(false).data());
+    }
+}

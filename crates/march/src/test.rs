@@ -1,0 +1,301 @@
+//! March tests: named sequences of march items with structural transforms.
+
+use std::fmt;
+
+use crate::element::{AddressOrder, ComplementMask, MarchElement, MarchItem};
+use crate::op::MarchOp;
+
+/// A complete march test algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_march::MarchTest;
+///
+/// let c = MarchTest::parse("march-c", "m(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); m(r0)")?;
+/// assert_eq!(c.ops_per_cell(), 10);
+/// assert_eq!(c.element_count(), 6);
+/// # Ok::<(), mbist_march::MarchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarchTest {
+    name: String,
+    items: Vec<MarchItem>,
+}
+
+impl MarchTest {
+    /// Creates a test from items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` contains no march element.
+    #[must_use]
+    pub fn new(name: impl Into<String>, items: Vec<MarchItem>) -> Self {
+        assert!(
+            items.iter().any(|i| i.as_element().is_some()),
+            "march test must contain at least one element"
+        );
+        Self { name: name.into(), items }
+    }
+
+    /// Convenience constructor from elements only.
+    #[must_use]
+    pub fn from_elements(name: impl Into<String>, elements: Vec<MarchElement>) -> Self {
+        Self::new(name, elements.into_iter().map(MarchItem::from).collect())
+    }
+
+    /// The test name, e.g. `"march-c"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The test items in execution order.
+    #[must_use]
+    pub fn items(&self) -> &[MarchItem] {
+        &self.items
+    }
+
+    /// Iterates over the march elements (skipping pauses).
+    pub fn elements(&self) -> impl Iterator<Item = &MarchElement> {
+        self.items.iter().filter_map(MarchItem::as_element)
+    }
+
+    /// Number of march elements.
+    #[must_use]
+    pub fn element_count(&self) -> usize {
+        self.elements().count()
+    }
+
+    /// Number of pauses.
+    #[must_use]
+    pub fn pause_count(&self) -> usize {
+        self.items.iter().filter(|i| i.as_element().is_none()).count()
+    }
+
+    /// Total operations applied to each cell — the classical complexity
+    /// figure (`10` for a `10n` algorithm).
+    #[must_use]
+    pub fn ops_per_cell(&self) -> usize {
+        self.elements().map(|e| e.ops().len()).sum()
+    }
+
+    /// The relative data value every cell holds after the test completes,
+    /// i.e. the data of the last write operation. `None` if the test never
+    /// writes.
+    #[must_use]
+    pub fn final_value(&self) -> Option<bool> {
+        let mut last = None;
+        for e in self.elements() {
+            for op in e.ops() {
+                if op.is_write() {
+                    last = Some(op.data());
+                }
+            }
+        }
+        last
+    }
+
+    /// Returns a renamed copy.
+    #[must_use]
+    pub fn renamed(&self, name: impl Into<String>) -> MarchTest {
+        MarchTest { name: name.into(), items: self.items.clone() }
+    }
+
+    /// Appends the data-retention extension the paper uses for March C+ /
+    /// March A+: `pause; ⇕(r d, w d̄, r d̄); pause; ⇕(r d̄)` where `d` is the
+    /// test's final cell value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test never writes (no defined final value).
+    #[must_use]
+    pub fn with_retention(&self, name: impl Into<String>, pause_ns: f64) -> MarchTest {
+        let d = self.final_value().expect("retention extension needs a final write value");
+        let mut items = self.items.clone();
+        items.push(MarchItem::Pause { ns: pause_ns });
+        items.push(
+            MarchElement::new(
+                AddressOrder::Any,
+                vec![MarchOp::Read(d), MarchOp::Write(!d), MarchOp::Read(!d)],
+            )
+            .into(),
+        );
+        items.push(MarchItem::Pause { ns: pause_ns });
+        items.push(MarchElement::new(AddressOrder::Any, vec![MarchOp::Read(!d)]).into());
+        MarchTest { name: name.into(), items }
+    }
+
+    /// Replaces every read by `reads` consecutive reads — the paper's
+    /// March C++ / A++ transform that excites disconnected pull-up/down
+    /// devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads` is zero.
+    #[must_use]
+    pub fn with_multi_reads(&self, name: impl Into<String>, reads: usize) -> MarchTest {
+        assert!(reads >= 1, "read multiplier must be at least 1");
+        let items = self
+            .items
+            .iter()
+            .map(|item| match item {
+                MarchItem::Element(e) => {
+                    let ops = e
+                        .ops()
+                        .iter()
+                        .flat_map(|op| {
+                            let n = if op.is_read() { reads } else { 1 };
+                            std::iter::repeat_n(*op, n)
+                        })
+                        .collect();
+                    MarchElement::new(e.order(), ops).into()
+                }
+                MarchItem::Pause { ns } => MarchItem::Pause { ns: *ns },
+            })
+            .collect();
+        MarchTest { name: name.into(), items }
+    }
+
+    /// Detects the symmetric structure exploited by the microcode
+    /// controller's `Repeat` instruction: a prefix of initialization
+    /// (write-only) elements, a block of `half_len` items that — after
+    /// applying some [`ComplementMask`] — equals the following
+    /// `half_len` items, and a tail.
+    ///
+    /// Returns the split with the largest half, or `None` if the test has
+    /// no such structure.
+    #[must_use]
+    pub fn symmetric_split(&self) -> Option<SymmetricSplit> {
+        let items = &self.items;
+        let prefix = items
+            .iter()
+            .take_while(|i| i.as_element().is_some_and(MarchElement::is_write_only))
+            .count();
+        let remaining = items.len() - prefix;
+        for half_len in (1..=remaining / 2).rev() {
+            for mask in ComplementMask::CANDIDATES {
+                let matches = (0..half_len).all(|j| {
+                    items[prefix + j].complemented(mask) == items[prefix + half_len + j]
+                });
+                if matches {
+                    return Some(SymmetricSplit {
+                        prefix_len: prefix,
+                        half_len,
+                        mask,
+                        tail_len: remaining - 2 * half_len,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for MarchTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.items.iter().map(MarchItem::to_string).collect();
+        write!(f, "{}: {}", self.name, parts.join("; "))
+    }
+}
+
+/// The symmetric structure of a march test (see
+/// [`MarchTest::symmetric_split`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymmetricSplit {
+    /// Leading write-only initialization items.
+    pub prefix_len: usize,
+    /// Items in each symmetric half.
+    pub half_len: usize,
+    /// The complement mask mapping the first half onto the second.
+    pub mask: ComplementMask,
+    /// Items after the second half.
+    pub tail_len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn ops_per_cell_counts_operations() {
+        let c = library::march_c();
+        assert_eq!(c.ops_per_cell(), 10);
+        let a = library::march_a();
+        assert_eq!(a.ops_per_cell(), 15);
+    }
+
+    #[test]
+    fn final_value_tracks_last_write() {
+        assert_eq!(library::march_c().final_value(), Some(false));
+        let t = MarchTest::parse("t", "m(w1)").unwrap();
+        assert_eq!(t.final_value(), Some(true));
+        let reads = MarchTest::parse("r", "m(r0)").unwrap();
+        assert_eq!(reads.final_value(), None);
+    }
+
+    #[test]
+    fn retention_extension_appends_expected_items() {
+        let cp = library::march_c().with_retention("march-c+", 1e6);
+        assert_eq!(cp.pause_count(), 2);
+        assert_eq!(cp.ops_per_cell(), 10 + 4);
+        let items = cp.items();
+        let last = items.last().unwrap().as_element().unwrap();
+        assert_eq!(last.ops(), &[MarchOp::Read(true)]);
+    }
+
+    #[test]
+    fn multi_read_transform_triples_reads_only() {
+        let cpp = library::march_c().with_multi_reads("march-c++", 3);
+        // March C has 5 reads and 5 writes per cell → 15 + 5
+        assert_eq!(cpp.ops_per_cell(), 20);
+        assert_eq!(cpp.element_count(), library::march_c().element_count());
+    }
+
+    #[test]
+    fn march_c_is_order_symmetric() {
+        let split = library::march_c().symmetric_split().expect("march C is symmetric");
+        assert_eq!(split.prefix_len, 1);
+        assert_eq!(split.half_len, 2);
+        assert_eq!(split.tail_len, 1);
+        assert_eq!(split.mask, ComplementMask { order: true, data: false, compare: false });
+    }
+
+    #[test]
+    fn march_a_is_fully_symmetric() {
+        let split = library::march_a().symmetric_split().expect("march A is symmetric");
+        assert_eq!(split.prefix_len, 1);
+        assert_eq!(split.half_len, 2);
+        assert_eq!(split.tail_len, 0);
+        assert_eq!(split.mask, ComplementMask { order: true, data: true, compare: true });
+    }
+
+    #[test]
+    fn march_b_is_not_symmetric() {
+        assert!(library::march_b().symmetric_split().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn pause_only_test_panics() {
+        let _ = MarchTest::new("empty", vec![MarchItem::Pause { ns: 1.0 }]);
+    }
+
+    #[test]
+    fn display_uses_notation() {
+        let c = library::march_c();
+        let s = c.to_string();
+        assert!(s.starts_with("march-c:"));
+        assert!(s.contains("⇕(w0)"));
+        assert!(s.contains("⇓(r1,w0)"));
+    }
+
+    #[test]
+    fn renamed_keeps_items() {
+        let c = library::march_c();
+        let r = c.renamed("other");
+        assert_eq!(r.name(), "other");
+        assert_eq!(r.items(), c.items());
+    }
+}

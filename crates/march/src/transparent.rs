@@ -1,0 +1,270 @@
+//! Transparent (content-preserving) march testing.
+//!
+//! The paper's conclusion points at Nicolaidis' transparent BIST \[7\] as the
+//! natural beneficiary of a programmable controller: periodic in-field
+//! testing must restore the memory content it found. The transparent
+//! transform of a march test:
+//!
+//! 1. drops the leading initialization (write-only) elements — the existing
+//!    content *is* the initialization,
+//! 2. reinterprets every relative data value `d` as `cᵢ ⊕ d`, where `cᵢ` is
+//!    the content of cell `i` observed in a *prediction pass* before the
+//!    test proper,
+//! 3. requires the remaining op sequence to leave every cell with an even
+//!    number of inversions so the content is restored.
+//!
+//! With the March C body (`⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)`)
+//! each cell is inverted four times — content-preserving.
+
+use mbist_mem::{BusCycle, MemGeometry, MemoryArray, Miscompare, PortId};
+use mbist_rtl::Bits;
+
+use crate::element::MarchItem;
+use crate::runner::RunReport;
+use crate::test::MarchTest;
+
+/// The outcome of a transparent test session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransparentOutcome {
+    /// Result of the transparent test pass.
+    pub report: RunReport,
+    /// Whether the memory content after the test equals the content the
+    /// prediction pass observed.
+    pub content_preserved: bool,
+}
+
+/// Whether `test` is expressible transparently: after removing the leading
+/// write-only elements, every cell must see an even number of write
+/// inversions (each `w d̄`-after-`d` flips the cell once; the march
+/// structure applies the same flip count to every cell).
+#[must_use]
+pub fn is_transparent_compatible(test: &MarchTest) -> bool {
+    let body: Vec<_> = body_items(test).collect();
+    if body.is_empty() {
+        return false;
+    }
+    // Count per-cell write inversions: each write stores d or d̄; the cell
+    // value toggles whenever consecutive writes differ. Track relative
+    // value through the whole body: it must end where it started.
+    let mut value = false; // relative content: c ⊕ 0 at body entry
+    for item in &body {
+        if let MarchItem::Element(e) = item {
+            for op in e.ops() {
+                if op.is_write() {
+                    value = op.data();
+                }
+            }
+        }
+    }
+    !value
+}
+
+/// Runs a transparent march session against `mem` through `port`:
+/// prediction pass (read every cell), transparent test pass, content check.
+///
+/// Reads during the test expect `cᵢ ⊕ d`; writes store `cᵢ ⊕ d`. A fault
+/// that corrupts content or read paths shows up as a miscompare exactly as
+/// in a conventional session, but a fault-free memory keeps its content.
+///
+/// # Panics
+///
+/// Panics if the test is not transparent-compatible
+/// (see [`is_transparent_compatible`]).
+#[must_use]
+pub fn run_transparent(
+    mem: &mut MemoryArray,
+    test: &MarchTest,
+    port: PortId,
+) -> TransparentOutcome {
+    assert!(
+        is_transparent_compatible(test),
+        "{} is not content-preserving; cannot run transparently",
+        test.name()
+    );
+    let geometry = mem.geometry();
+
+    // Prediction pass: observe current content through the functional port.
+    let content: Vec<Bits> =
+        (0..geometry.words()).map(|a| mem.read(port, a)).collect();
+
+    // Test pass.
+    let mut report = RunReport::default();
+    for item in body_items(test) {
+        match item {
+            MarchItem::Pause { ns } => {
+                mem.pause(*ns);
+                report.pause_ns += ns;
+            }
+            MarchItem::Element(e) => {
+                let n = geometry.words();
+                let addrs: Box<dyn Iterator<Item = u64>> = match e.order().direction() {
+                    mbist_rtl::Direction::Up => Box::new(0..n),
+                    mbist_rtl::Direction::Down => Box::new((0..n).rev()),
+                };
+                for addr in addrs {
+                    for op in e.ops() {
+                        let base = content[usize::try_from(addr).expect("addr fits")];
+                        let word = if op.data() { !base } else { base };
+                        report.bus_cycles += 1;
+                        if op.is_write() {
+                            report.writes += 1;
+                            mem.write(port, addr, word);
+                        } else {
+                            report.reads += 1;
+                            let observed = mem.read(port, addr);
+                            if observed != word {
+                                report.miscompares.push(Miscompare {
+                                    port,
+                                    addr,
+                                    expected: word,
+                                    observed,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Content check (backdoor: the guarantee is about the stored state).
+    let content_preserved =
+        (0..geometry.words()).all(|a| mem.peek(a) == content[a as usize]);
+
+    TransparentOutcome { report, content_preserved }
+}
+
+/// Builds the transparent bus-cycle stream without executing it, given a
+/// content snapshot — useful for inspecting or cross-checking the
+/// transform.
+#[must_use]
+pub fn transparent_steps(
+    test: &MarchTest,
+    geometry: &MemGeometry,
+    content: &[Bits],
+    port: PortId,
+) -> Vec<mbist_mem::TestStep> {
+    assert_eq!(content.len() as u64, geometry.words(), "content snapshot length mismatch");
+    let mut steps = Vec::new();
+    for item in body_items(test) {
+        match item {
+            MarchItem::Pause { ns } => steps.push(mbist_mem::TestStep::Pause { ns: *ns }),
+            MarchItem::Element(e) => {
+                let n = geometry.words();
+                let addrs: Box<dyn Iterator<Item = u64>> = match e.order().direction() {
+                    mbist_rtl::Direction::Up => Box::new(0..n),
+                    mbist_rtl::Direction::Down => Box::new((0..n).rev()),
+                };
+                for addr in addrs {
+                    for op in e.ops() {
+                        let base = content[usize::try_from(addr).expect("addr fits")];
+                        let word = if op.data() { !base } else { base };
+                        steps.push(mbist_mem::TestStep::Bus(if op.is_write() {
+                            BusCycle::write(port, addr, word)
+                        } else {
+                            BusCycle::read(port, addr, word)
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    steps
+}
+
+fn body_items(test: &MarchTest) -> impl Iterator<Item = &MarchItem> {
+    test.items().iter().skip_while(|i| {
+        i.as_element()
+            .is_some_and(crate::element::MarchElement::is_write_only)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use mbist_mem::{CellId, FaultKind};
+
+    const P: PortId = PortId(0);
+
+    #[test]
+    fn march_c_is_transparent_compatible() {
+        assert!(is_transparent_compatible(&library::march_c()));
+        assert!(is_transparent_compatible(&library::march_x()));
+        assert!(is_transparent_compatible(&library::march_y()));
+    }
+
+    #[test]
+    fn mats_plus_is_not_content_preserving() {
+        // body (r0,w1)(r1,w0) preserves... MATS+ body: ⇑(r0,w1); ⇓(r1,w0)
+        // ends at 0 = preserved. MATS body: (r0,w1);(r1): ends at 1 — not.
+        assert!(!is_transparent_compatible(&library::mats()));
+        assert!(is_transparent_compatible(&library::mats_plus()));
+    }
+
+    #[test]
+    fn fault_free_transparent_run_preserves_content() {
+        let g = MemGeometry::word_oriented(16, 4);
+        let mut mem = MemoryArray::new(g);
+        mem.randomize(7);
+        let before: Vec<Bits> = (0..16).map(|a| mem.peek(a)).collect();
+        let out = run_transparent(&mut mem, &library::march_c(), P);
+        assert!(out.report.passed());
+        assert!(out.content_preserved);
+        for (a, b) in before.iter().enumerate() {
+            assert_eq!(mem.peek(a as u64), *b);
+        }
+    }
+
+    #[test]
+    fn transparent_run_detects_stuck_at() {
+        let g = MemGeometry::bit_oriented(16);
+        let mut mem = MemoryArray::with_fault(
+            g,
+            FaultKind::StuckAt { cell: CellId::bit_oriented(9), value: true },
+        )
+        .unwrap();
+        mem.randomize(3);
+        let out = run_transparent(&mut mem, &library::march_c(), P);
+        assert!(!out.report.passed());
+        assert!(out.report.miscompares.iter().all(|m| m.addr == 9));
+    }
+
+    #[test]
+    fn transparent_run_detects_coupling() {
+        let g = MemGeometry::bit_oriented(16);
+        let mut mem = MemoryArray::with_fault(
+            g,
+            FaultKind::CouplingInversion {
+                aggressor: CellId::bit_oriented(4),
+                victim: CellId::bit_oriented(11),
+                rising: true,
+            },
+        )
+        .unwrap();
+        let out = run_transparent(&mut mem, &library::march_c(), P);
+        assert!(!out.report.passed());
+    }
+
+    #[test]
+    #[should_panic(expected = "not content-preserving")]
+    fn incompatible_test_panics() {
+        let g = MemGeometry::bit_oriented(4);
+        let mut mem = MemoryArray::new(g);
+        let _ = run_transparent(&mut mem, &library::mats(), P);
+    }
+
+    #[test]
+    fn steps_match_run_behavior() {
+        let g = MemGeometry::bit_oriented(8);
+        let mut mem = MemoryArray::new(g);
+        mem.randomize(11);
+        let content: Vec<Bits> = (0..8).map(|a| mem.peek(a)).collect();
+        let steps = transparent_steps(&library::march_c(), &g, &content, P);
+        let report = crate::runner::run_steps(&mut mem, &steps);
+        assert!(report.passed());
+        for (a, c) in content.iter().enumerate() {
+            assert_eq!(mem.peek(a as u64), *c);
+        }
+    }
+}

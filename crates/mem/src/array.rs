@@ -1,0 +1,906 @@
+//! The fault-injectable memory array.
+
+use mbist_rtl::Bits;
+
+use crate::error::MemError;
+use crate::faults::{FaultId, FaultKind};
+use crate::geometry::{CellId, MemGeometry, PortId};
+
+/// Default simulated time per access, matching the default 100 MHz
+/// [`Clock`](mbist_rtl::Clock).
+pub const DEFAULT_CYCLE_NS: f64 = 10.0;
+
+#[derive(Debug, Clone, Default)]
+struct FaultState {
+    /// Consecutive reads of the cell since its last write (PullOpen).
+    consecutive_reads: u8,
+    /// Simulated time of the last write to the cell (Retention).
+    last_write_ns: f64,
+}
+
+#[derive(Debug, Clone)]
+struct FaultEntry {
+    kind: FaultKind,
+    state: FaultState,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SenseLatch {
+    value: u64,
+    valid: bool,
+}
+
+/// A simulated embedded memory with injectable functional faults.
+///
+/// The array models the *behavior* a BIST unit observes through the bus:
+/// fault effects are applied on the read and write paths exactly as the
+/// corresponding defect mechanisms would manifest (see
+/// [`FaultKind`] for the catalogue). A fault-free array behaves as an ideal
+/// RAM.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_mem::{CellId, FaultKind, MemGeometry, MemoryArray, PortId};
+/// use mbist_rtl::Bits;
+///
+/// let mut mem = MemoryArray::new(MemGeometry::bit_oriented(16));
+/// mem.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(5), value: false })?;
+/// let p = PortId(0);
+/// mem.write(p, 5, Bits::bit1(true));
+/// assert_eq!(mem.read(p, 5).value(), 0, "stuck-at-0 cell ignores the write");
+/// # Ok::<(), mbist_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryArray {
+    geometry: MemGeometry,
+    words: Vec<u64>,
+    faults: Vec<FaultEntry>,
+    sense: Vec<SenseLatch>,
+    now_ns: f64,
+    cycle_ns: f64,
+    accesses: u64,
+}
+
+impl MemoryArray {
+    /// Creates a fault-free, zero-initialized array.
+    #[must_use]
+    pub fn new(geometry: MemGeometry) -> Self {
+        Self {
+            geometry,
+            words: vec![0; usize::try_from(geometry.words()).expect("words fit usize")],
+            faults: Vec::new(),
+            sense: vec![SenseLatch::default(); usize::from(geometry.ports())],
+            now_ns: 0.0,
+            cycle_ns: DEFAULT_CYCLE_NS,
+            accesses: 0,
+        }
+    }
+
+    /// Creates an array with a single injected fault — the common shape for
+    /// serial fault simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidFault`] if the fault does not fit the
+    /// geometry.
+    pub fn with_fault(geometry: MemGeometry, fault: FaultKind) -> Result<Self, MemError> {
+        let mut mem = Self::new(geometry);
+        mem.inject(fault)?;
+        Ok(mem)
+    }
+
+    /// The memory organization.
+    #[must_use]
+    pub fn geometry(&self) -> MemGeometry {
+        self.geometry
+    }
+
+    /// Simulated time in nanoseconds.
+    #[must_use]
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Number of read/write accesses performed.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Sets the simulated time consumed per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is not positive and finite.
+    pub fn set_cycle_ns(&mut self, ns: f64) {
+        assert!(ns.is_finite() && ns > 0.0, "cycle time must be positive");
+        self.cycle_ns = ns;
+    }
+
+    /// Injects a fault, returning its handle.
+    ///
+    /// Injecting a stuck-at fault immediately clamps the stored value, as
+    /// the physical defect would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidFault`] if the fault references cells or
+    /// addresses outside the geometry, or aggressor == victim.
+    pub fn inject(&mut self, kind: FaultKind) -> Result<FaultId, MemError> {
+        if !kind.is_valid_for(&self.geometry) {
+            return Err(MemError::InvalidFault { fault: format!("{kind}") });
+        }
+        if let FaultKind::StuckAt { cell, value } = kind {
+            self.set_raw(cell, value);
+        }
+        let state = FaultState { last_write_ns: self.now_ns, ..FaultState::default() };
+        self.faults.push(FaultEntry { kind, state });
+        Ok(FaultId(self.faults.len() - 1))
+    }
+
+    /// The kinds of all injected faults, in injection order.
+    #[must_use]
+    pub fn fault_kinds(&self) -> Vec<FaultKind> {
+        self.faults.iter().map(|f| f.kind).collect()
+    }
+
+    /// Removes every injected fault (stored values keep whatever state the
+    /// faults left behind).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Idles for `ns` nanoseconds — the data-retention pause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or non-finite.
+    pub fn pause(&mut self, ns: f64) {
+        assert!(ns.is_finite() && ns >= 0.0, "pause must be non-negative");
+        self.now_ns += ns;
+    }
+
+    /// Writes `data` through `port` at word address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port, address or data width is out of range for the
+    /// geometry — a BIST controller never produces such accesses, so they
+    /// indicate a harness bug.
+    pub fn write(&mut self, port: PortId, addr: u64, data: Bits) {
+        self.validate_access(port, addr);
+        assert_eq!(data.width(), self.geometry.width(), "write data width mismatch");
+        self.advance();
+        let (targets, _) = self.resolve(addr);
+        for word in targets {
+            self.write_word(word, data);
+        }
+    }
+
+    /// Writes one physical word in two phases: first every bit is stored
+    /// (stuck-open suppression, transition faults, stuck-at clamping),
+    /// then coupling faults triggered by the actual stored transitions are
+    /// applied. A victim inside the *same* word is disturbed only if its
+    /// own value held during the write (its write driver was not actively
+    /// transitioning it) — the classical sensitization condition for
+    /// intra-word coupling; victims in other words are always disturbed.
+    fn write_word(&mut self, word: u64, data: Bits) {
+        let width = self.geometry.width();
+        let mut old = vec![false; usize::from(width)];
+        let mut new = vec![false; usize::from(width)];
+        for bit in 0..width {
+            let cell = CellId::new(word, bit);
+            old[usize::from(bit)] = self.raw_bit(cell);
+            self.store_cell_base(cell, data.bit(bit));
+            new[usize::from(bit)] = self.raw_bit(cell);
+        }
+        // Phase 2: coupling effects from actual aggressor transitions.
+        let mut effects: Vec<(CellId, Effect)> = Vec::new();
+        for bit in 0..width {
+            let o = old[usize::from(bit)];
+            let n = new[usize::from(bit)];
+            if o == n {
+                continue;
+            }
+            let rising = n;
+            let aggressor = CellId::new(word, bit);
+            for f in &self.faults {
+                match f.kind {
+                    FaultKind::CouplingInversion { aggressor: a, victim, rising: r }
+                        if a == aggressor && r == rising
+                        && self.victim_sensitized(victim, word, &old, &new) => {
+                            effects.push((victim, Effect::Invert));
+                        }
+                    FaultKind::CouplingIdempotent {
+                        aggressor: a,
+                        victim,
+                        rising: r,
+                        forced,
+                    } if a == aggressor && r == rising
+                        && self.victim_sensitized(victim, word, &old, &new) => {
+                            effects.push((victim, Effect::Force(forced)));
+                        }
+                    FaultKind::NpsfActive { base, trigger, rising: r, others }
+                        if trigger == aggressor && r == rising
+                        && others.iter().all(|(c, v)| self.raw_bit(*c) == *v)
+                            && self.victim_sensitized(base, word, &old, &new)
+                        => {
+                            effects.push((base, Effect::Invert));
+                        }
+                    _ => {}
+                }
+            }
+        }
+        for (victim, effect) in effects {
+            let v = match effect {
+                Effect::Invert => !self.raw_bit(victim),
+                Effect::Force(b) => b,
+            };
+            self.store_victim(victim, v);
+        }
+    }
+
+    /// Whether a coupling effect reaches `victim` given the word just
+    /// written (see [`MemoryArray::write_word`]).
+    fn victim_sensitized(&self, victim: CellId, word: u64, old: &[bool], new: &[bool]) -> bool {
+        if victim.word != word {
+            return true;
+        }
+        let i = usize::from(victim.bit);
+        old[i] == new[i]
+    }
+
+    /// Reads through `port` at word address `addr`, applying every active
+    /// fault effect on the read path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port or address is out of range for the geometry.
+    pub fn read(&mut self, port: PortId, addr: u64) -> Bits {
+        self.validate_access(port, addr);
+        self.advance();
+        let (targets, wired_and) = self.resolve(addr);
+        let width = self.geometry.width();
+        let mut combined: Option<u64> = None;
+        for word in targets {
+            let mut v = 0u64;
+            for bit in 0..width {
+                if self.observed_bit(port, CellId::new(word, bit)) {
+                    v |= 1 << bit;
+                }
+            }
+            combined = Some(match combined {
+                None => v,
+                Some(prev) => {
+                    if wired_and {
+                        prev & v
+                    } else {
+                        prev | v
+                    }
+                }
+            });
+        }
+        let value = combined.expect("resolve returns at least one word");
+        let latch = &mut self.sense[usize::from(port.0)];
+        latch.value = value;
+        latch.valid = true;
+        Bits::new(width, value)
+    }
+
+    /// Backdoor read of the stored word, bypassing the read path (no fault
+    /// effects except what is physically stored, no time advance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[must_use]
+    pub fn peek(&self, addr: u64) -> Bits {
+        assert!(self.geometry.contains_addr(addr), "peek address out of range");
+        Bits::new(self.geometry.width(), self.words[addr as usize])
+    }
+
+    /// Backdoor write of the stored word (no fault effects, no time
+    /// advance). Useful for setting up test preconditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range or the width mismatches.
+    pub fn poke(&mut self, addr: u64, data: Bits) {
+        assert!(self.geometry.contains_addr(addr), "poke address out of range");
+        assert_eq!(data.width(), self.geometry.width(), "poke data width mismatch");
+        self.words[addr as usize] = data.value();
+    }
+
+    /// Fills every word with `data` via the backdoor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width mismatches.
+    pub fn fill(&mut self, data: Bits) {
+        assert_eq!(data.width(), self.geometry.width(), "fill data width mismatch");
+        self.words.fill(data.value());
+    }
+
+    /// Deterministically randomizes all stored words from `seed`
+    /// (xorshift64*), modeling unknown power-up state.
+    pub fn randomize(&mut self, seed: u64) {
+        let mut s = seed;
+        let mask = if self.geometry.width() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.geometry.width()) - 1
+        };
+        for w in &mut self.words {
+            // splitmix64
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = (z ^ (z >> 31)) & mask;
+        }
+    }
+
+    // ----- internal machinery -------------------------------------------
+
+    fn validate_access(&self, port: PortId, addr: u64) {
+        assert!(
+            usize::from(port.0) < self.sense.len(),
+            "port {port} out of range for {} ports",
+            self.geometry.ports()
+        );
+        assert!(
+            self.geometry.contains_addr(addr),
+            "address {addr:#x} out of range for {} words",
+            self.geometry.words()
+        );
+    }
+
+    fn advance(&mut self) {
+        self.now_ns += self.cycle_ns;
+        self.accesses += 1;
+    }
+
+    /// Applies address-decoder faults: at most one remap, then any
+    /// multi-access expansions. Returns the physical word set and the read
+    /// combination polarity.
+    fn resolve(&self, addr: u64) -> (Vec<u64>, bool) {
+        let mut a = addr;
+        for f in &self.faults {
+            if let FaultKind::AddressMap { from, to } = f.kind {
+                if from == a {
+                    a = to;
+                    break;
+                }
+            }
+        }
+        let mut out = vec![a];
+        let mut wired_and = true;
+        for f in &self.faults {
+            if let FaultKind::AddressMulti { addr: m, extra, wired_and: wa } = f.kind {
+                if m == a {
+                    out.push(extra);
+                    wired_and = wa;
+                }
+            }
+        }
+        (out, wired_and)
+    }
+
+    fn raw_bit(&self, cell: CellId) -> bool {
+        (self.words[cell.word as usize] >> cell.bit) & 1 == 1
+    }
+
+    fn set_raw(&mut self, cell: CellId, value: bool) {
+        let w = &mut self.words[cell.word as usize];
+        if value {
+            *w |= 1 << cell.bit;
+        } else {
+            *w &= !(1 << cell.bit);
+        }
+    }
+
+    /// Phase-1 functional write of one cell: stuck-open suppression,
+    /// transition faults, stuck-at clamping and fault-state bookkeeping
+    /// (coupling is triggered in [`MemoryArray::write_word`]'s phase 2).
+    fn store_cell_base(&mut self, cell: CellId, new: bool) {
+        // SOF: the cell is disconnected — the write is lost entirely.
+        if self
+            .faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::StuckOpen { cell: c } if c == cell))
+        {
+            return;
+        }
+
+        let old = self.raw_bit(cell);
+        let mut val = new;
+        for f in &self.faults {
+            if let FaultKind::Transition { cell: c, rising } = f.kind {
+                if c == cell {
+                    if rising && !old && new {
+                        val = false;
+                    }
+                    if !rising && old && !new {
+                        val = true;
+                    }
+                }
+            }
+        }
+        for f in &self.faults {
+            if let FaultKind::StuckAt { cell: c, value } = f.kind {
+                if c == cell {
+                    val = value;
+                }
+            }
+        }
+        self.set_raw(cell, val);
+        self.touch_written(cell);
+    }
+
+    /// Stores a coupling-induced value on a victim: stuck-at clamp applies,
+    /// but no transition faults and no further coupling cascade (the
+    /// standard single-level CF simulation model).
+    fn store_victim(&mut self, cell: CellId, value: bool) {
+        let mut val = value;
+        for f in &self.faults {
+            if let FaultKind::StuckAt { cell: c, value: v } = f.kind {
+                if c == cell {
+                    val = v;
+                }
+            }
+        }
+        self.set_raw(cell, val);
+        self.touch_written(cell);
+    }
+
+    fn touch_written(&mut self, cell: CellId) {
+        let now = self.now_ns;
+        for f in &mut self.faults {
+            match f.kind {
+                FaultKind::Retention { cell: c, .. } if c == cell => {
+                    f.state.last_write_ns = now;
+                }
+                FaultKind::PullOpen { cell: c, .. } if c == cell => {
+                    f.state.consecutive_reads = 0;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Full functional read of one cell.
+    fn observed_bit(&mut self, port: PortId, cell: CellId) -> bool {
+        // SOF dominates: nothing is driven, the sense amp keeps its value.
+        if self
+            .faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::StuckOpen { cell: c } if c == cell))
+        {
+            let latch = &self.sense[usize::from(port.0)];
+            return latch.valid && (latch.value >> cell.bit) & 1 == 1;
+        }
+
+        // Retention decay is applied lazily at observation time.
+        let now = self.now_ns;
+        let mut decay: Option<bool> = None;
+        for f in &mut self.faults {
+            if let FaultKind::Retention { cell: c, decays_to, retention_ns } = f.kind {
+                if c == cell && now - f.state.last_write_ns > retention_ns {
+                    decay = Some(decays_to);
+                }
+            }
+        }
+        if let Some(v) = decay {
+            self.store_victim(cell, v);
+        }
+
+        let mut v = self.raw_bit(cell);
+
+        // Disconnected pull-up/down: repeated reads drain the node.
+        let mut drained: Option<bool> = None;
+        for f in &mut self.faults {
+            if let FaultKind::PullOpen { cell: c, good_reads, decays_to } = f.kind {
+                if c == cell {
+                    f.state.consecutive_reads = f.state.consecutive_reads.saturating_add(1);
+                    if f.state.consecutive_reads > good_reads {
+                        drained = Some(decays_to);
+                    }
+                }
+            }
+        }
+        if let Some(d) = drained {
+            v = d;
+            self.store_victim(cell, d);
+        }
+
+        // State coupling masks the read while the aggressor holds `when`.
+        let mut masked: Option<bool> = None;
+        for f in &self.faults {
+            if let FaultKind::CouplingState { aggressor, victim, when, forced } = f.kind {
+                if victim == cell && self.raw_bit(aggressor) == when {
+                    masked = Some(forced);
+                }
+            }
+        }
+        if let Some(m) = masked {
+            v = m;
+        }
+
+        // Static NPSF masks the read while the whole neighborhood pattern
+        // is present.
+        let mut npsf: Option<bool> = None;
+        for f in &self.faults {
+            if let FaultKind::NpsfStatic { base, neighborhood, forced } = f.kind {
+                if base == cell && neighborhood.iter().all(|(c, val)| self.raw_bit(*c) == *val)
+                {
+                    npsf = Some(forced);
+                }
+            }
+        }
+        if let Some(m) = npsf {
+            v = m;
+        }
+
+        // Stuck-at clamps last (raw storage is already clamped, but CFst
+        // masking above could in principle disagree).
+        for f in &self.faults {
+            if let FaultKind::StuckAt { cell: c, value } = f.kind {
+                if c == cell {
+                    v = value;
+                }
+            }
+        }
+        v
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Effect {
+    Invert,
+    Force(bool),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: PortId = PortId(0);
+
+    fn bit_mem(words: u64) -> MemoryArray {
+        MemoryArray::new(MemGeometry::bit_oriented(words))
+    }
+
+    fn one() -> Bits {
+        Bits::bit1(true)
+    }
+
+    fn zero() -> Bits {
+        Bits::bit1(false)
+    }
+
+    #[test]
+    fn fault_free_memory_is_ideal() {
+        let mut m = bit_mem(8);
+        for a in 0..8 {
+            m.write(P, a, if a % 2 == 0 { one() } else { zero() });
+        }
+        for a in 0..8 {
+            assert_eq!(m.read(P, a).value(), u64::from(a % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn stuck_at_clamps_on_injection_and_write() {
+        let mut m = bit_mem(4);
+        m.poke(2, one());
+        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(2), value: false })
+            .unwrap();
+        assert_eq!(m.peek(2).value(), 0, "injection clamps stored value");
+        m.write(P, 2, one());
+        assert_eq!(m.read(P, 2).value(), 0);
+    }
+
+    #[test]
+    fn transition_fault_blocks_one_direction_only() {
+        let mut m = bit_mem(4);
+        m.inject(FaultKind::Transition { cell: CellId::bit_oriented(1), rising: true })
+            .unwrap();
+        m.write(P, 1, one());
+        assert_eq!(m.read(P, 1).value(), 0, "0→1 blocked");
+        m.poke(1, one());
+        m.write(P, 1, zero());
+        assert_eq!(m.read(P, 1).value(), 0, "1→0 still works");
+        m.write(P, 1, one());
+        assert_eq!(m.read(P, 1).value(), 0, "and 0→1 blocked again");
+    }
+
+    #[test]
+    fn falling_transition_fault() {
+        let mut m = bit_mem(4);
+        m.inject(FaultKind::Transition { cell: CellId::bit_oriented(1), rising: false })
+            .unwrap();
+        m.write(P, 1, one());
+        assert_eq!(m.read(P, 1).value(), 1);
+        m.write(P, 1, zero());
+        assert_eq!(m.read(P, 1).value(), 1, "1→0 blocked");
+    }
+
+    #[test]
+    fn coupling_inversion_fires_on_matching_transition() {
+        let mut m = bit_mem(8);
+        m.inject(FaultKind::CouplingInversion {
+            aggressor: CellId::bit_oriented(3),
+            victim: CellId::bit_oriented(5),
+            rising: true,
+        })
+        .unwrap();
+        m.write(P, 5, zero());
+        m.write(P, 3, one()); // rising aggressor transition → victim inverts
+        assert_eq!(m.read(P, 5).value(), 1);
+        m.write(P, 3, zero()); // falling: no effect
+        assert_eq!(m.read(P, 5).value(), 1);
+        m.write(P, 3, one()); // rising again → inverts back
+        assert_eq!(m.read(P, 5).value(), 0);
+    }
+
+    #[test]
+    fn coupling_inversion_needs_actual_transition() {
+        let mut m = bit_mem(8);
+        m.inject(FaultKind::CouplingInversion {
+            aggressor: CellId::bit_oriented(3),
+            victim: CellId::bit_oriented(5),
+            rising: true,
+        })
+        .unwrap();
+        m.poke(3, one());
+        m.write(P, 5, zero());
+        m.write(P, 3, one()); // 1→1: no transition, no effect
+        assert_eq!(m.read(P, 5).value(), 0);
+    }
+
+    #[test]
+    fn coupling_idempotent_forces_value() {
+        let mut m = bit_mem(8);
+        m.inject(FaultKind::CouplingIdempotent {
+            aggressor: CellId::bit_oriented(0),
+            victim: CellId::bit_oriented(7),
+            rising: false,
+            forced: true,
+        })
+        .unwrap();
+        m.poke(0, one());
+        m.write(P, 7, zero());
+        m.write(P, 0, zero()); // falling transition forces victim to 1
+        assert_eq!(m.read(P, 7).value(), 1);
+        // forcing again when already 1 changes nothing
+        m.poke(0, one());
+        m.write(P, 0, zero());
+        assert_eq!(m.read(P, 7).value(), 1);
+    }
+
+    #[test]
+    fn coupling_state_masks_reads_while_active() {
+        let mut m = bit_mem(8);
+        m.inject(FaultKind::CouplingState {
+            aggressor: CellId::bit_oriented(2),
+            victim: CellId::bit_oriented(6),
+            when: true,
+            forced: false,
+        })
+        .unwrap();
+        m.write(P, 6, one());
+        m.write(P, 2, one()); // activate
+        assert_eq!(m.read(P, 6).value(), 0, "masked while aggressor=1");
+        m.write(P, 2, zero()); // deactivate
+        assert_eq!(m.read(P, 6).value(), 1, "stored value was preserved");
+    }
+
+    #[test]
+    fn address_map_redirects_both_reads_and_writes() {
+        let mut m = bit_mem(8);
+        m.inject(FaultKind::AddressMap { from: 1, to: 4 }).unwrap();
+        m.write(P, 1, one()); // really writes word 4
+        assert_eq!(m.peek(4).value(), 1);
+        assert_eq!(m.peek(1).value(), 0);
+        assert_eq!(m.read(P, 1).value(), 1, "read of 1 observes word 4");
+        m.poke(4, zero());
+        assert_eq!(m.read(P, 1).value(), 0);
+    }
+
+    #[test]
+    fn address_multi_write_hits_both_and_read_combines() {
+        let mut m = bit_mem(8);
+        m.inject(FaultKind::AddressMulti { addr: 2, extra: 6, wired_and: true }).unwrap();
+        m.write(P, 2, one());
+        assert_eq!(m.peek(2).value(), 1);
+        assert_eq!(m.peek(6).value(), 1);
+        m.poke(6, zero());
+        assert_eq!(m.read(P, 2).value(), 0, "wired-AND of 1 and 0");
+        let mut m2 = bit_mem(8);
+        m2.inject(FaultKind::AddressMulti { addr: 2, extra: 6, wired_and: false }).unwrap();
+        m2.poke(2, zero());
+        m2.poke(6, one());
+        assert_eq!(m2.read(P, 2).value(), 1, "wired-OR of 0 and 1");
+    }
+
+    #[test]
+    fn stuck_open_returns_previous_sense_value() {
+        let mut m = bit_mem(8);
+        m.inject(FaultKind::StuckOpen { cell: CellId::bit_oriented(3) }).unwrap();
+        m.write(P, 3, one()); // lost
+        assert_eq!(m.peek(3).value(), 0);
+        m.write(P, 2, one());
+        let _ = m.read(P, 2); // sense now holds 1
+        assert_eq!(m.read(P, 3).value(), 1, "sense amp repeats previous read");
+        m.write(P, 4, zero());
+        let _ = m.read(P, 4); // sense now holds 0
+        assert_eq!(m.read(P, 3).value(), 0);
+    }
+
+    #[test]
+    fn retention_decays_only_after_pause() {
+        let mut m = bit_mem(4);
+        m.inject(FaultKind::Retention {
+            cell: CellId::bit_oriented(1),
+            decays_to: false,
+            retention_ns: 1_000.0,
+        })
+        .unwrap();
+        m.write(P, 1, one());
+        assert_eq!(m.read(P, 1).value(), 1, "no decay without pause");
+        m.pause(2_000.0);
+        assert_eq!(m.read(P, 1).value(), 0, "decayed after exceeding retention");
+        // rewriting refreshes the cell
+        m.write(P, 1, one());
+        assert_eq!(m.read(P, 1).value(), 1);
+    }
+
+    #[test]
+    fn pull_open_decays_after_good_reads() {
+        let mut m = bit_mem(4);
+        m.inject(FaultKind::PullOpen {
+            cell: CellId::bit_oriented(2),
+            good_reads: 2,
+            decays_to: false,
+        })
+        .unwrap();
+        m.write(P, 2, one());
+        assert_eq!(m.read(P, 2).value(), 1, "read 1 ok");
+        assert_eq!(m.read(P, 2).value(), 1, "read 2 ok");
+        assert_eq!(m.read(P, 2).value(), 0, "read 3 drained");
+        // write resets the drain counter
+        m.write(P, 2, one());
+        assert_eq!(m.read(P, 2).value(), 1);
+    }
+
+    #[test]
+    fn static_npsf_masks_reads_only_under_the_full_pattern() {
+        // 16 words, 4 columns: base 5 with neighborhood [1, 4, 6, 9].
+        let mut m = bit_mem(16);
+        let nb = |w: u64| CellId::bit_oriented(w);
+        m.inject(FaultKind::NpsfStatic {
+            base: nb(5),
+            neighborhood: [(nb(1), true), (nb(4), true), (nb(6), false), (nb(9), true)],
+            forced: false,
+        })
+        .unwrap();
+        m.write(P, 5, one());
+        // Partial pattern: no effect.
+        m.write(P, 1, one());
+        m.write(P, 4, one());
+        m.write(P, 9, one());
+        m.write(P, 6, one()); // pattern requires 6 == 0
+        assert_eq!(m.read(P, 5).value(), 1);
+        // Complete the pattern.
+        m.write(P, 6, zero());
+        assert_eq!(m.read(P, 5).value(), 0, "masked while pattern present");
+        // Break it again; the stored value was never corrupted.
+        m.write(P, 1, zero());
+        assert_eq!(m.read(P, 5).value(), 1);
+    }
+
+    #[test]
+    fn active_npsf_flips_base_on_trigger_transition() {
+        let mut m = bit_mem(16);
+        let nb = |w: u64| CellId::bit_oriented(w);
+        m.inject(FaultKind::NpsfActive {
+            base: nb(5),
+            trigger: nb(6),
+            rising: true,
+            others: [(nb(1), false), (nb(4), false), (nb(9), false)],
+        })
+        .unwrap();
+        m.write(P, 5, one());
+        // others are all 0 (power-on); rising trigger fires the fault
+        m.write(P, 6, one());
+        assert_eq!(m.read(P, 5).value(), 0, "base flipped");
+        // wrong deleted-neighborhood pattern: no effect
+        m.write(P, 5, one());
+        m.write(P, 1, one());
+        m.write(P, 6, zero());
+        m.write(P, 6, one());
+        assert_eq!(m.read(P, 5).value(), 1);
+    }
+
+    #[test]
+    fn word_oriented_faults_hit_single_bits() {
+        let mut m = MemoryArray::new(MemGeometry::word_oriented(4, 8));
+        m.inject(FaultKind::StuckAt { cell: CellId::new(1, 3), value: true }).unwrap();
+        m.write(P, 1, Bits::zero(8));
+        assert_eq!(m.read(P, 1).value(), 0b0000_1000);
+    }
+
+    #[test]
+    fn invalid_fault_is_rejected() {
+        let mut m = bit_mem(4);
+        let err = m
+            .inject(FaultKind::StuckAt { cell: CellId::bit_oriented(9), value: true })
+            .unwrap_err();
+        assert!(err.to_string().contains("SAF1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "address")]
+    fn out_of_range_access_panics() {
+        let mut m = bit_mem(4);
+        m.write(P, 4, one());
+    }
+
+    #[test]
+    #[should_panic(expected = "port")]
+    fn out_of_range_port_panics() {
+        let mut m = bit_mem(4);
+        let _ = m.read(PortId(1), 0);
+    }
+
+    #[test]
+    fn randomize_is_deterministic_and_masked() {
+        let mut a = MemoryArray::new(MemGeometry::word_oriented(32, 5));
+        let mut b = MemoryArray::new(MemGeometry::word_oriented(32, 5));
+        a.randomize(42);
+        b.randomize(42);
+        for addr in 0..32 {
+            assert_eq!(a.peek(addr), b.peek(addr));
+            assert!(a.peek(addr).value() < 32);
+        }
+        let mut c = MemoryArray::new(MemGeometry::word_oriented(32, 5));
+        c.randomize(43);
+        assert!((0..32).any(|addr| a.peek(addr) != c.peek(addr)));
+    }
+
+    #[test]
+    fn time_and_access_accounting() {
+        let mut m = bit_mem(4);
+        m.set_cycle_ns(5.0);
+        m.write(P, 0, one());
+        let _ = m.read(P, 0);
+        m.pause(100.0);
+        assert_eq!(m.accesses(), 2);
+        assert_eq!(m.now_ns(), 110.0);
+    }
+
+    #[test]
+    fn clear_faults_restores_ideal_behavior() {
+        let mut m = bit_mem(4);
+        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(0), value: true }).unwrap();
+        m.clear_faults();
+        m.write(P, 0, zero());
+        assert_eq!(m.read(P, 0).value(), 0);
+        assert!(m.fault_kinds().is_empty());
+    }
+
+    #[test]
+    fn multiport_sense_latches_are_independent() {
+        let mut m = MemoryArray::new(MemGeometry::new(8, 1, 2));
+        m.inject(FaultKind::StuckOpen { cell: CellId::bit_oriented(3) }).unwrap();
+        let p0 = PortId(0);
+        let p1 = PortId(1);
+        m.write(p0, 1, one());
+        let _ = m.read(p0, 1); // port 0 sense = 1
+        m.write(p1, 2, zero());
+        let _ = m.read(p1, 2); // port 1 sense = 0
+        assert_eq!(m.read(p0, 3).value(), 1);
+        assert_eq!(m.read(p1, 3).value(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for the memory crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by memory-array operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The fault does not fit the array geometry (cell or address out of
+    /// range, or aggressor equals victim).
+    InvalidFault {
+        /// Description of the offending fault.
+        fault: String,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::InvalidFault { fault } => {
+                write!(f, "fault {fault} does not fit the memory geometry")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<MemError>();
+    }
+
+    #[test]
+    fn display_names_the_fault() {
+        let e = MemError::InvalidFault { fault: "SAF1 c[9.0]".into() };
+        assert!(e.to_string().contains("SAF1 c[9.0]"));
+    }
+}

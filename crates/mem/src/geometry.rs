@@ -1,0 +1,244 @@
+//! Memory organization descriptors.
+
+use std::fmt;
+
+/// Identifier of one access port of a (possibly multiport) memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PortId(pub u8);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a single storage cell: word address plus bit position.
+///
+/// For a bit-oriented memory, `bit` is always 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CellId {
+    /// Word address of the cell.
+    pub word: u64,
+    /// Bit position within the word (0 = LSB).
+    pub bit: u8,
+}
+
+impl CellId {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(word: u64, bit: u8) -> Self {
+        Self { word, bit }
+    }
+
+    /// Cell of a bit-oriented memory (bit 0).
+    #[must_use]
+    pub fn bit_oriented(word: u64) -> Self {
+        Self { word, bit: 0 }
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c[{}.{}]", self.word, self.bit)
+    }
+}
+
+/// The organization of a memory under test.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_mem::MemGeometry;
+///
+/// let g = MemGeometry::word_oriented(1024, 8);
+/// assert_eq!(g.words(), 1024);
+/// assert_eq!(g.width(), 8);
+/// assert_eq!(g.addr_bits(), 10);
+/// assert_eq!(g.cell_count(), 8192);
+/// assert!(!g.is_bit_oriented());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemGeometry {
+    words: u64,
+    width: u8,
+    ports: u8,
+}
+
+impl MemGeometry {
+    /// A bit-oriented (1 bit per word), single-port memory of `words` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    #[must_use]
+    pub fn bit_oriented(words: u64) -> Self {
+        Self::new(words, 1, 1)
+    }
+
+    /// A word-oriented, single-port memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `width > 64`.
+    #[must_use]
+    pub fn word_oriented(words: u64, width: u8) -> Self {
+        Self::new(words, width, 1)
+    }
+
+    /// Fully general constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`, `width == 0`, `width > 64` or `ports == 0`.
+    #[must_use]
+    pub fn new(words: u64, width: u8, ports: u8) -> Self {
+        assert!(words > 0, "memory must have at least one word");
+        assert!((1..=64).contains(&width), "word width must be 1..=64 bits");
+        assert!(ports >= 1, "memory must have at least one port");
+        Self { words, width, ports }
+    }
+
+    /// Returns a copy with a different port count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    #[must_use]
+    pub fn with_ports(self, ports: u8) -> Self {
+        Self::new(self.words, self.width, ports)
+    }
+
+    /// Number of word addresses.
+    #[must_use]
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Bits per word.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Number of access ports.
+    #[must_use]
+    pub fn ports(&self) -> u8 {
+        self.ports
+    }
+
+    /// Whether the memory is bit-oriented (1-bit words).
+    #[must_use]
+    pub fn is_bit_oriented(&self) -> bool {
+        self.width == 1
+    }
+
+    /// Total number of storage cells (`words × width`).
+    #[must_use]
+    pub fn cell_count(&self) -> u64 {
+        self.words * u64::from(self.width)
+    }
+
+    /// Number of address bits (`⌈log2(words)⌉`, at least 1).
+    #[must_use]
+    pub fn addr_bits(&self) -> u8 {
+        let mut bits = 64 - (self.words - 1).leading_zeros() as u8;
+        if bits == 0 {
+            bits = 1;
+        }
+        bits
+    }
+
+    /// The highest valid word address.
+    #[must_use]
+    pub fn last_addr(&self) -> u64 {
+        self.words - 1
+    }
+
+    /// Whether `addr` is a valid word address.
+    #[must_use]
+    pub fn contains_addr(&self, addr: u64) -> bool {
+        addr < self.words
+    }
+
+    /// Whether `cell` names a real cell in this geometry.
+    #[must_use]
+    pub fn contains_cell(&self, cell: CellId) -> bool {
+        cell.word < self.words && cell.bit < self.width
+    }
+
+    /// Iterates over all cells, word-major then bit.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        let width = self.width;
+        (0..self.words)
+            .flat_map(move |w| (0..width).map(move |b| CellId::new(w, b)))
+    }
+
+    /// Iterates over the ports.
+    pub fn port_ids(&self) -> impl Iterator<Item = PortId> {
+        (0..self.ports).map(PortId)
+    }
+}
+
+impl fmt::Display for MemGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.words, self.width)?;
+        if self.ports > 1 {
+            write!(f, " ({}-port)", self.ports)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_bits_rounds_up() {
+        assert_eq!(MemGeometry::bit_oriented(1).addr_bits(), 1);
+        assert_eq!(MemGeometry::bit_oriented(2).addr_bits(), 1);
+        assert_eq!(MemGeometry::bit_oriented(3).addr_bits(), 2);
+        assert_eq!(MemGeometry::bit_oriented(1024).addr_bits(), 10);
+        assert_eq!(MemGeometry::bit_oriented(1025).addr_bits(), 11);
+    }
+
+    #[test]
+    fn cell_count_multiplies_dimensions() {
+        let g = MemGeometry::new(256, 16, 2);
+        assert_eq!(g.cell_count(), 4096);
+        assert_eq!(g.ports(), 2);
+    }
+
+    #[test]
+    fn cells_iterator_is_exhaustive_and_valid() {
+        let g = MemGeometry::word_oriented(4, 3);
+        let cells: Vec<CellId> = g.cells().collect();
+        assert_eq!(cells.len(), 12);
+        assert!(cells.iter().all(|&c| g.contains_cell(c)));
+        assert_eq!(cells[0], CellId::new(0, 0));
+        assert_eq!(*cells.last().unwrap(), CellId::new(3, 2));
+    }
+
+    #[test]
+    fn contains_checks() {
+        let g = MemGeometry::word_oriented(8, 4);
+        assert!(g.contains_addr(7));
+        assert!(!g.contains_addr(8));
+        assert!(g.contains_cell(CellId::new(7, 3)));
+        assert!(!g.contains_cell(CellId::new(7, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_words_panics() {
+        let _ = MemGeometry::bit_oriented(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MemGeometry::bit_oriented(1024).to_string(), "1024x1");
+        assert_eq!(MemGeometry::new(64, 8, 2).to_string(), "64x8 (2-port)");
+        assert_eq!(CellId::new(3, 1).to_string(), "c[3.1]");
+        assert_eq!(PortId(2).to_string(), "p2");
+    }
+}

@@ -1,0 +1,182 @@
+//! The memory bus protocol between a BIST unit and the array under test.
+
+use std::fmt;
+
+use mbist_rtl::Bits;
+
+use crate::geometry::PortId;
+
+/// A single-cycle memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Write `data` to the addressed word.
+    Write(Bits),
+    /// Read the addressed word.
+    Read,
+}
+
+impl Operation {
+    /// Whether this is a write.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Operation::Write(_))
+    }
+
+    /// Whether this is a read.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Operation::Read)
+    }
+}
+
+/// One bus cycle issued by a BIST controller: port, word address, operation
+/// and — for reads — the value the response analyzer expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BusCycle {
+    /// Access port used this cycle.
+    pub port: PortId,
+    /// Word address.
+    pub addr: u64,
+    /// Operation performed.
+    pub op: Operation,
+    /// Expected read data (`None` for writes).
+    pub expected: Option<Bits>,
+}
+
+impl BusCycle {
+    /// A write cycle.
+    #[must_use]
+    pub fn write(port: PortId, addr: u64, data: Bits) -> Self {
+        Self { port, addr, op: Operation::Write(data), expected: None }
+    }
+
+    /// A read cycle with an expected value for the comparator.
+    #[must_use]
+    pub fn read(port: PortId, addr: u64, expected: Bits) -> Self {
+        Self { port, addr, op: Operation::Read, expected: Some(expected) }
+    }
+
+    /// A read cycle whose result is not checked (diagnosis / scrub reads).
+    #[must_use]
+    pub fn read_unchecked(port: PortId, addr: u64) -> Self {
+        Self { port, addr, op: Operation::Read, expected: None }
+    }
+}
+
+impl fmt::Display for BusCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Operation::Write(d) => write!(f, "{} w{:x}@{:#x}", self.port, d.value(), self.addr),
+            Operation::Read => match self.expected {
+                Some(e) => write!(f, "{} r{:x}@{:#x}", self.port, e.value(), self.addr),
+                None => write!(f, "{} r?@{:#x}", self.port, self.addr),
+            },
+        }
+    }
+}
+
+/// A step of an expanded memory test: either a bus cycle or an idle pause
+/// (used by data-retention tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TestStep {
+    /// Drive one bus cycle.
+    Bus(BusCycle),
+    /// Idle for the given simulated time (clock to the array kept alive,
+    /// no accesses), letting defective cells leak.
+    Pause {
+        /// Pause duration in nanoseconds.
+        ns: f64,
+    },
+}
+
+impl TestStep {
+    /// The bus cycle, if this step is one.
+    #[must_use]
+    pub fn as_bus(&self) -> Option<&BusCycle> {
+        match self {
+            TestStep::Bus(c) => Some(c),
+            TestStep::Pause { .. } => None,
+        }
+    }
+}
+
+impl From<BusCycle> for TestStep {
+    fn from(c: BusCycle) -> Self {
+        TestStep::Bus(c)
+    }
+}
+
+/// The outcome of one checked read: what was expected vs. observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Miscompare {
+    /// The failing bus cycle's port.
+    pub port: PortId,
+    /// The failing word address.
+    pub addr: u64,
+    /// Expected read data.
+    pub expected: Bits,
+    /// Observed read data.
+    pub observed: Bits,
+}
+
+impl Miscompare {
+    /// Bit positions that differ (XOR syndrome).
+    #[must_use]
+    pub fn syndrome(&self) -> Bits {
+        self.expected ^ self.observed
+    }
+}
+
+impl fmt::Display for Miscompare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} addr {:#x}: expected {} observed {}",
+            self.port, self.addr, self.expected, self.observed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expectations() {
+        let w = BusCycle::write(PortId(0), 3, Bits::bit1(true));
+        assert!(w.op.is_write());
+        assert!(w.expected.is_none());
+        let r = BusCycle::read(PortId(1), 7, Bits::bit1(false));
+        assert!(r.op.is_read());
+        assert_eq!(r.expected.unwrap().value(), 0);
+        let u = BusCycle::read_unchecked(PortId(0), 1);
+        assert!(u.expected.is_none());
+    }
+
+    #[test]
+    fn syndrome_is_xor() {
+        let m = Miscompare {
+            port: PortId(0),
+            addr: 0,
+            expected: Bits::new(4, 0b1010),
+            observed: Bits::new(4, 0b0011),
+        };
+        assert_eq!(m.syndrome().value(), 0b1001);
+    }
+
+    #[test]
+    fn display_forms() {
+        let w = BusCycle::write(PortId(0), 16, Bits::new(4, 0xA));
+        assert_eq!(w.to_string(), "p0 wa@0x10");
+        let r = BusCycle::read(PortId(2), 5, Bits::new(1, 1));
+        assert!(r.to_string().contains("r1@0x5"));
+    }
+
+    #[test]
+    fn step_conversions() {
+        let c = BusCycle::read_unchecked(PortId(0), 0);
+        let s: TestStep = c.into();
+        assert_eq!(s.as_bus(), Some(&c));
+        assert!(TestStep::Pause { ns: 1.0 }.as_bus().is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Address scrambling between logical and physical address spaces.
+//!
+//! Real memory arrays lay out addresses topologically: the physically
+//! adjacent neighbor of logical address `a` is usually *not* `a ± 1`.
+//! March tests reason about logical addresses; coupling faults live between
+//! physically adjacent cells. A [`Scrambler`] captures the mapping so fault
+//! universes can be generated between *physical* neighbors and then
+//! expressed back in logical addresses.
+
+use crate::geometry::MemGeometry;
+
+/// A bijective logical↔physical word-address mapping.
+pub trait Scrambler {
+    /// Maps a logical address to its physical row/column address.
+    fn to_physical(&self, logical: u64) -> u64;
+
+    /// Maps a physical address back to the logical address.
+    fn to_logical(&self, physical: u64) -> u64;
+}
+
+/// The identity mapping (no scrambling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdentityScrambler;
+
+impl Scrambler for IdentityScrambler {
+    fn to_physical(&self, logical: u64) -> u64 {
+        logical
+    }
+
+    fn to_logical(&self, physical: u64) -> u64 {
+        physical
+    }
+}
+
+/// XOR-mask scrambling: `physical = logical ^ mask`, its own inverse —
+/// the most common decoder topology perturbation.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_mem::{MemGeometry, Scrambler, XorScrambler};
+///
+/// let s = XorScrambler::new(MemGeometry::bit_oriented(16), 0b0101).unwrap();
+/// let p = s.to_physical(3);
+/// assert_eq!(s.to_logical(p), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorScrambler {
+    mask: u64,
+}
+
+impl XorScrambler {
+    /// Creates a scrambler for the geometry.
+    ///
+    /// Returns `None` if the mask would map any address out of range (the
+    /// word count must be a power of two covering the mask).
+    #[must_use]
+    pub fn new(geometry: MemGeometry, mask: u64) -> Option<Self> {
+        let words = geometry.words();
+        if !words.is_power_of_two() || mask >= words {
+            return None;
+        }
+        Some(Self { mask })
+    }
+
+    /// The XOR mask.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+}
+
+impl Scrambler for XorScrambler {
+    fn to_physical(&self, logical: u64) -> u64 {
+        logical ^ self.mask
+    }
+
+    fn to_logical(&self, physical: u64) -> u64 {
+        physical ^ self.mask
+    }
+}
+
+/// Bit-reversal scrambling over the address field — models folded decoder
+/// layouts where high-order address bits select nearby columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitReverseScrambler {
+    bits: u8,
+}
+
+impl BitReverseScrambler {
+    /// Creates a scrambler for the geometry.
+    ///
+    /// Returns `None` unless the word count is a power of two.
+    #[must_use]
+    pub fn new(geometry: MemGeometry) -> Option<Self> {
+        if !geometry.words().is_power_of_two() {
+            return None;
+        }
+        Some(Self { bits: geometry.addr_bits() })
+    }
+
+    fn rev(&self, a: u64) -> u64 {
+        let mut out = 0u64;
+        for i in 0..self.bits {
+            if a & (1 << i) != 0 {
+                out |= 1 << (self.bits - 1 - i);
+            }
+        }
+        out
+    }
+}
+
+impl Scrambler for BitReverseScrambler {
+    fn to_physical(&self, logical: u64) -> u64 {
+        self.rev(logical)
+    }
+
+    fn to_logical(&self, physical: u64) -> u64 {
+        self.rev(physical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let s = IdentityScrambler;
+        for a in 0..32 {
+            assert_eq!(s.to_physical(a), a);
+            assert_eq!(s.to_logical(a), a);
+        }
+    }
+
+    #[test]
+    fn xor_is_bijective_and_involutive() {
+        let g = MemGeometry::bit_oriented(32);
+        let s = XorScrambler::new(g, 0b10110).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..32 {
+            let p = s.to_physical(a);
+            assert!(p < 32);
+            assert!(seen.insert(p), "mapping must be injective");
+            assert_eq!(s.to_logical(p), a);
+        }
+    }
+
+    #[test]
+    fn xor_rejects_bad_masks() {
+        assert!(XorScrambler::new(MemGeometry::bit_oriented(32), 32).is_none());
+        assert!(XorScrambler::new(MemGeometry::bit_oriented(10), 1).is_none());
+    }
+
+    #[test]
+    fn bit_reverse_roundtrips() {
+        let g = MemGeometry::bit_oriented(64);
+        let s = BitReverseScrambler::new(g).unwrap();
+        for a in 0..64 {
+            assert_eq!(s.to_logical(s.to_physical(a)), a);
+        }
+        assert_eq!(s.to_physical(1), 32);
+    }
+
+    #[test]
+    fn bit_reverse_rejects_non_power_of_two() {
+        assert!(BitReverseScrambler::new(MemGeometry::bit_oriented(24)).is_none());
+    }
+}

@@ -1,0 +1,354 @@
+//! Fault-universe generation for coverage evaluation.
+//!
+//! Serial fault simulation needs an explicit fault list. For the classical
+//! models the natural universes are:
+//!
+//! - SAF/TF/SOF/DRF/PUF: two (or one) faults per cell — linear, generated
+//!   exhaustively;
+//! - coupling faults: quadratic in principle; generated here between
+//!   *neighboring* cells (configurable word-distance window plus adjacent
+//!   bits within a word), matching the physical-adjacency assumption used
+//!   in memory test practice;
+//! - address-decoder faults: one remap/multi-access per address per address
+//!   bit (`n·log n`), modeling single-bit decoder defects.
+
+use crate::faults::{FaultClass, FaultKind};
+use crate::geometry::{CellId, MemGeometry};
+
+/// Parameters for fault-universe generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniverseSpec {
+    /// Word-distance window for coupling-fault pairs (`1` = adjacent words).
+    pub coupling_window: u64,
+    /// Retention time assumed for DRF faults, in nanoseconds.
+    pub retention_ns: f64,
+    /// Reads survived by a disconnected pull-up/down before decaying.
+    pub pull_open_good_reads: u8,
+}
+
+impl Default for UniverseSpec {
+    fn default() -> Self {
+        Self { coupling_window: 1, retention_ns: 50_000.0, pull_open_good_reads: 2 }
+    }
+}
+
+/// Generates the fault universe for one fault class.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_mem::{class_universe, FaultClass, MemGeometry, UniverseSpec};
+///
+/// let g = MemGeometry::bit_oriented(16);
+/// let safs = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+/// assert_eq!(safs.len(), 32); // SA0 and SA1 per cell
+/// ```
+#[must_use]
+pub fn class_universe(
+    g: &MemGeometry,
+    class: FaultClass,
+    spec: &UniverseSpec,
+) -> Vec<FaultKind> {
+    match class {
+        FaultClass::StuckAt => g
+            .cells()
+            .flat_map(|cell| {
+                [FaultKind::StuckAt { cell, value: false }, FaultKind::StuckAt { cell, value: true }]
+            })
+            .collect(),
+        FaultClass::Transition => g
+            .cells()
+            .flat_map(|cell| {
+                [
+                    FaultKind::Transition { cell, rising: true },
+                    FaultKind::Transition { cell, rising: false },
+                ]
+            })
+            .collect(),
+        FaultClass::CouplingInversion => coupling_pairs(g, spec)
+            .into_iter()
+            .flat_map(|(aggressor, victim)| {
+                [
+                    FaultKind::CouplingInversion { aggressor, victim, rising: true },
+                    FaultKind::CouplingInversion { aggressor, victim, rising: false },
+                ]
+            })
+            .collect(),
+        FaultClass::CouplingIdempotent => coupling_pairs(g, spec)
+            .into_iter()
+            .flat_map(|(aggressor, victim)| {
+                [
+                    FaultKind::CouplingIdempotent { aggressor, victim, rising: true, forced: true },
+                    FaultKind::CouplingIdempotent { aggressor, victim, rising: true, forced: false },
+                    FaultKind::CouplingIdempotent { aggressor, victim, rising: false, forced: true },
+                    FaultKind::CouplingIdempotent {
+                        aggressor,
+                        victim,
+                        rising: false,
+                        forced: false,
+                    },
+                ]
+            })
+            .collect(),
+        FaultClass::CouplingState => coupling_pairs(g, spec)
+            .into_iter()
+            .flat_map(|(aggressor, victim)| {
+                [
+                    FaultKind::CouplingState { aggressor, victim, when: true, forced: true },
+                    FaultKind::CouplingState { aggressor, victim, when: true, forced: false },
+                    FaultKind::CouplingState { aggressor, victim, when: false, forced: true },
+                    FaultKind::CouplingState { aggressor, victim, when: false, forced: false },
+                ]
+            })
+            .collect(),
+        FaultClass::AddressDecoder => {
+            let mut out = Vec::new();
+            for from in 0..g.words() {
+                for bit in 0..g.addr_bits() {
+                    let to = from ^ (1u64 << bit);
+                    if g.contains_addr(to) {
+                        out.push(FaultKind::AddressMap { from, to });
+                        if from < to {
+                            out.push(FaultKind::AddressMulti {
+                                addr: from,
+                                extra: to,
+                                wired_and: true,
+                            });
+                            out.push(FaultKind::AddressMulti {
+                                addr: from,
+                                extra: to,
+                                wired_and: false,
+                            });
+                        }
+                    }
+                }
+            }
+            out
+        }
+        FaultClass::StuckOpen => {
+            g.cells().map(|cell| FaultKind::StuckOpen { cell }).collect()
+        }
+        FaultClass::Retention => g
+            .cells()
+            .flat_map(|cell| {
+                [
+                    FaultKind::Retention {
+                        cell,
+                        decays_to: false,
+                        retention_ns: spec.retention_ns,
+                    },
+                    FaultKind::Retention {
+                        cell,
+                        decays_to: true,
+                        retention_ns: spec.retention_ns,
+                    },
+                ]
+            })
+            .collect(),
+        FaultClass::PullOpen => g
+            .cells()
+            .flat_map(|cell| {
+                [
+                    FaultKind::PullOpen {
+                        cell,
+                        good_reads: spec.pull_open_good_reads,
+                        decays_to: false,
+                    },
+                    FaultKind::PullOpen {
+                        cell,
+                        good_reads: spec.pull_open_good_reads,
+                        decays_to: true,
+                    },
+                ]
+            })
+            .collect(),
+        FaultClass::NpsfStatic => {
+            let cols = topology_cols(g);
+            let mut out = Vec::new();
+            for cell in g.cells() {
+                let Some(nb) = neighborhood(g, cell.word, cols) else { continue };
+                for pattern in 0..16u8 {
+                    let neighborhood = [
+                        (CellId::new(nb[0], cell.bit), pattern & 1 != 0),
+                        (CellId::new(nb[1], cell.bit), pattern & 2 != 0),
+                        (CellId::new(nb[2], cell.bit), pattern & 4 != 0),
+                        (CellId::new(nb[3], cell.bit), pattern & 8 != 0),
+                    ];
+                    for forced in [false, true] {
+                        out.push(FaultKind::NpsfStatic { base: cell, neighborhood, forced });
+                    }
+                }
+            }
+            out
+        }
+        FaultClass::NpsfActive => {
+            let cols = topology_cols(g);
+            let mut out = Vec::new();
+            for cell in g.cells() {
+                let Some(nb) = neighborhood(g, cell.word, cols) else { continue };
+                for trig in 0..4usize {
+                    let rest: Vec<u64> = (0..4).filter(|&k| k != trig).map(|k| nb[k]).collect();
+                    for rising in [false, true] {
+                        for pattern in 0..8u8 {
+                            let others = [
+                                (CellId::new(rest[0], cell.bit), pattern & 1 != 0),
+                                (CellId::new(rest[1], cell.bit), pattern & 2 != 0),
+                                (CellId::new(rest[2], cell.bit), pattern & 4 != 0),
+                            ];
+                            out.push(FaultKind::NpsfActive {
+                                base: cell,
+                                trigger: CellId::new(nb[trig], cell.bit),
+                                rising,
+                                others,
+                            });
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The row width assumed for NPSF neighborhoods: words are laid out in
+/// rows of `2^⌈addr_bits/2⌉` columns (a square-ish array, the common
+/// embedded-SRAM aspect).
+#[must_use]
+pub fn topology_cols(g: &MemGeometry) -> u64 {
+    1u64 << g.addr_bits().div_ceil(2)
+}
+
+/// The type-1 (von Neumann) neighborhood of a word — `[north, west, east,
+/// south]` — or `None` for edge words whose neighborhood is incomplete.
+#[must_use]
+pub fn neighborhood(g: &MemGeometry, word: u64, cols: u64) -> Option<[u64; 4]> {
+    let row = word / cols;
+    let col = word % cols;
+    if row == 0 || col == 0 || col + 1 >= cols {
+        return None;
+    }
+    let north = word - cols;
+    let south = word + cols;
+    let west = word - 1;
+    let east = word + 1;
+    if !g.contains_addr(south) {
+        return None;
+    }
+    Some([north, west, east, south])
+}
+
+/// Ordered (aggressor, victim) cell pairs within the coupling window:
+/// cells in words at distance `1..=window`, plus bit-adjacent cells inside
+/// the same word.
+#[must_use]
+pub fn coupling_pairs(g: &MemGeometry, spec: &UniverseSpec) -> Vec<(CellId, CellId)> {
+    let mut out = Vec::new();
+    for w in 0..g.words() {
+        for b in 0..g.width() {
+            let cell = CellId::new(w, b);
+            // Same bit position in neighboring words, both directions.
+            for d in 1..=spec.coupling_window {
+                if w >= d {
+                    out.push((cell, CellId::new(w - d, b)));
+                }
+                if w + d < g.words() {
+                    out.push((cell, CellId::new(w + d, b)));
+                }
+            }
+            // Adjacent bit within the same word.
+            if b + 1 < g.width() {
+                out.push((cell, CellId::new(w, b + 1)));
+                out.push((CellId::new(w, b + 1), cell));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_universes_have_expected_sizes() {
+        let g = MemGeometry::bit_oriented(8);
+        let spec = UniverseSpec::default();
+        assert_eq!(class_universe(&g, FaultClass::StuckAt, &spec).len(), 16);
+        assert_eq!(class_universe(&g, FaultClass::Transition, &spec).len(), 16);
+        assert_eq!(class_universe(&g, FaultClass::StuckOpen, &spec).len(), 8);
+        assert_eq!(class_universe(&g, FaultClass::Retention, &spec).len(), 16);
+        assert_eq!(class_universe(&g, FaultClass::PullOpen, &spec).len(), 16);
+    }
+
+    #[test]
+    fn coupling_pairs_are_within_window_and_valid() {
+        let g = MemGeometry::bit_oriented(8);
+        let spec = UniverseSpec { coupling_window: 2, ..UniverseSpec::default() };
+        let pairs = coupling_pairs(&g, &spec);
+        assert!(!pairs.is_empty());
+        for (a, v) in &pairs {
+            assert_ne!(a, v);
+            assert!(g.contains_cell(*a) && g.contains_cell(*v));
+            assert!(a.word.abs_diff(v.word) <= 2);
+        }
+    }
+
+    #[test]
+    fn word_oriented_pairs_include_bit_neighbors() {
+        let g = MemGeometry::word_oriented(2, 4);
+        let spec = UniverseSpec::default();
+        let pairs = coupling_pairs(&g, &spec);
+        assert!(pairs
+            .iter()
+            .any(|(a, v)| a.word == v.word && a.bit.abs_diff(v.bit) == 1));
+    }
+
+    #[test]
+    fn every_generated_fault_is_valid() {
+        let g = MemGeometry::word_oriented(16, 4);
+        let spec = UniverseSpec::default();
+        for class in FaultClass::ALL {
+            for f in class_universe(&g, class, &spec) {
+                assert!(f.is_valid_for(&g), "invalid generated fault {f}");
+                assert_eq!(f.class(), class);
+            }
+        }
+    }
+
+    #[test]
+    fn npsf_universes_cover_interior_cells_only() {
+        // 16 words → 4 columns, interior = rows 1..2 × cols 1..2 minus the
+        // bottom edge check: words 5, 6, 9, 10 (with south in range).
+        let g = MemGeometry::bit_oriented(16);
+        let spec = UniverseSpec::default();
+        let cols = topology_cols(&g);
+        assert_eq!(cols, 4);
+        let interior: Vec<u64> =
+            (0..16).filter(|&w| neighborhood(&g, w, cols).is_some()).collect();
+        assert_eq!(interior, vec![5, 6, 9, 10]);
+        let stat = class_universe(&g, FaultClass::NpsfStatic, &spec);
+        assert_eq!(stat.len(), interior.len() * 16 * 2);
+        let act = class_universe(&g, FaultClass::NpsfActive, &spec);
+        assert_eq!(act.len(), interior.len() * 4 * 2 * 8);
+    }
+
+    #[test]
+    fn neighborhoods_are_distinct_and_adjacent() {
+        let g = MemGeometry::bit_oriented(64);
+        let cols = topology_cols(&g);
+        assert_eq!(cols, 8);
+        let nb = neighborhood(&g, 27, cols).unwrap();
+        assert_eq!(nb, [19, 26, 28, 35]);
+        assert!(neighborhood(&g, 0, cols).is_none(), "corner has no neighborhood");
+        assert!(neighborhood(&g, 7, cols).is_none(), "edge has no neighborhood");
+    }
+
+    #[test]
+    fn decoder_universe_scales_n_log_n() {
+        let g = MemGeometry::bit_oriented(16);
+        let spec = UniverseSpec::default();
+        let afs = class_universe(&g, FaultClass::AddressDecoder, &spec);
+        // 16 addresses × 4 bits remaps + 32 ordered-pair multi variants
+        assert_eq!(afs.len(), 16 * 4 + 2 * 32);
+    }
+}

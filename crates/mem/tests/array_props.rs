@@ -1,0 +1,140 @@
+//! Property tests for the memory array's fault semantics.
+
+use proptest::prelude::*;
+
+use mbist_mem::{
+    class_universe, CellId, FaultClass, FaultKind, MemGeometry, MemoryArray, PortId,
+    UniverseSpec,
+};
+use mbist_rtl::Bits;
+
+const P: PortId = PortId(0);
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
+    prop::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..120)
+}
+
+proptest! {
+    #[test]
+    fn stuck_at_cell_always_reads_its_value(
+        ops in arb_ops(),
+        cell_word in 0u64..16,
+        value in any::<bool>(),
+    ) {
+        let g = MemGeometry::bit_oriented(16);
+        let mut mem = MemoryArray::with_fault(
+            g,
+            FaultKind::StuckAt { cell: CellId::bit_oriented(cell_word), value },
+        ).unwrap();
+        for (addr, data, is_write) in ops {
+            let addr = addr % 16;
+            if is_write {
+                mem.write(P, addr, Bits::bit1(data & 1 == 1));
+            } else {
+                let observed = mem.read(P, addr);
+                if addr == cell_word {
+                    prop_assert_eq!(observed.value() == 1, value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrelated_cells_are_never_disturbed_by_single_cell_faults(
+        ops in arb_ops(),
+        fault_idx in 0usize..10,
+    ) {
+        // Any single-cell fault must behave like an ideal RAM on every
+        // other address.
+        let g = MemGeometry::bit_oriented(16);
+        let spec = UniverseSpec::default();
+        let universe = class_universe(&g, FaultClass::StuckAt, &spec);
+        let fault = universe[fault_idx % universe.len()];
+        let FaultKind::StuckAt { cell, .. } = fault else { unreachable!() };
+
+        let mut mem = MemoryArray::with_fault(g, fault).unwrap();
+        let mut golden = [false; 16];
+        for (addr, data, is_write) in ops {
+            let addr = addr % 16;
+            let bit = data & 1 == 1;
+            if is_write {
+                mem.write(P, addr, Bits::bit1(bit));
+                golden[addr as usize] = bit;
+            } else {
+                let observed = mem.read(P, addr).value() == 1;
+                if addr != cell.word {
+                    prop_assert_eq!(observed, golden[addr as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_universe_fault_injects_and_simulates_without_panic(
+        class_idx in 0usize..FaultClass::ALL.len(),
+        ops in arb_ops(),
+    ) {
+        let g = MemGeometry::word_oriented(16, 4);
+        let spec = UniverseSpec::default();
+        let class = FaultClass::ALL[class_idx];
+        let universe = class_universe(&g, class, &spec);
+        if universe.is_empty() {
+            return Ok(());
+        }
+        let fault = universe[ops.len() % universe.len()];
+        let mut mem = MemoryArray::with_fault(g, fault).unwrap();
+        for (addr, data, is_write) in ops {
+            let addr = addr % 16;
+            if is_write {
+                mem.write(P, addr, Bits::new(4, data));
+            } else {
+                let _ = mem.read(P, addr);
+            }
+        }
+        mem.pause(1e6);
+        let _ = mem.read(P, 0);
+    }
+
+    #[test]
+    fn coupling_is_quiescent_without_aggressor_transitions(
+        victim_writes in prop::collection::vec(any::<bool>(), 1..30),
+    ) {
+        // Writing only the victim (and never the aggressor) must behave
+        // ideally: coupling needs an aggressor transition.
+        let g = MemGeometry::bit_oriented(8);
+        let mut mem = MemoryArray::with_fault(
+            g,
+            FaultKind::CouplingInversion {
+                aggressor: CellId::bit_oriented(2),
+                victim: CellId::bit_oriented(5),
+                rising: true,
+            },
+        ).unwrap();
+        for b in victim_writes {
+            mem.write(P, 5, Bits::bit1(b));
+            prop_assert_eq!(mem.read(P, 5).value() == 1, b);
+        }
+    }
+
+    #[test]
+    fn pause_never_affects_a_fault_free_memory(
+        ops in arb_ops(),
+        pause_ns in 0.0f64..1e9,
+    ) {
+        let g = MemGeometry::word_oriented(8, 8);
+        let mut mem = MemoryArray::new(g);
+        let mut golden = [0u64; 8];
+        for (addr, data, is_write) in ops {
+            let addr = addr % 8;
+            if is_write {
+                let d = Bits::new(8, data);
+                mem.write(P, addr, d);
+                golden[addr as usize] = d.value();
+            }
+        }
+        mem.pause(pause_ns);
+        for addr in 0..8 {
+            prop_assert_eq!(mem.read(P, addr).value(), golden[addr as usize]);
+        }
+    }
+}

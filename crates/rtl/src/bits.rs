@@ -1,0 +1,447 @@
+//! Fixed-width bit vectors up to 64 bits.
+//!
+//! [`Bits`] is the value type carried on every simulated bus, register and
+//! memory word in this workspace. A `Bits` knows its width, masks all
+//! operations to that width, and panics (in debug builds, checked paths in
+//! release) when two operands of different widths are mixed — the moral
+//! equivalent of an elaboration-time width-mismatch error in an HDL.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A fixed-width bit vector with 1..=64 bits.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_rtl::Bits;
+///
+/// let a = Bits::new(8, 0b1010_0001);
+/// assert_eq!(a.width(), 8);
+/// assert_eq!(a.bit(0), true);
+/// assert_eq!(a.bit(1), false);
+/// assert_eq!((!a).value(), 0b0101_1110);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bits {
+    width: u8,
+    value: u64,
+}
+
+impl Bits {
+    /// Maximum supported width in bits.
+    pub const MAX_WIDTH: u8 = 64;
+
+    /// Creates a bit vector of `width` bits holding `value`.
+    ///
+    /// Bits of `value` above `width` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`Bits::MAX_WIDTH`].
+    #[must_use]
+    pub fn new(width: u8, value: u64) -> Self {
+        assert!(
+            (1..=Self::MAX_WIDTH).contains(&width),
+            "bit vector width must be in 1..=64, got {width}"
+        );
+        Self {
+            width,
+            value: value & Self::mask(width),
+        }
+    }
+
+    /// Creates an all-zero bit vector of `width` bits.
+    #[must_use]
+    pub fn zero(width: u8) -> Self {
+        Self::new(width, 0)
+    }
+
+    /// Creates an all-ones bit vector of `width` bits.
+    #[must_use]
+    pub fn ones(width: u8) -> Self {
+        Self::new(width, u64::MAX)
+    }
+
+    /// Creates a single-bit vector from a boolean.
+    #[must_use]
+    pub fn bit1(value: bool) -> Self {
+        Self::new(1, u64::from(value))
+    }
+
+    /// Returns a `width`-bit vector that repeats `bit` in every position
+    /// (replication, like Verilog `{W{b}}`).
+    #[must_use]
+    pub fn splat(width: u8, bit: bool) -> Self {
+        if bit {
+            Self::ones(width)
+        } else {
+            Self::zero(width)
+        }
+    }
+
+    /// The value mask for a given width.
+    #[must_use]
+    fn mask(width: u8) -> u64 {
+        if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// The width in bits.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The raw value (always masked to the width).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Reads bit `index` (LSB is index 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    #[must_use]
+    pub fn bit(&self, index: u8) -> bool {
+        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        (self.value >> index) & 1 == 1
+    }
+
+    /// Returns a copy with bit `index` set to `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    #[must_use]
+    pub fn with_bit(&self, index: u8, bit: bool) -> Self {
+        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        let mut v = self.value;
+        if bit {
+            v |= 1 << index;
+        } else {
+            v &= !(1 << index);
+        }
+        Self::new(self.width, v)
+    }
+
+    /// Extracts bits `lo..lo + width` as a new vector (LSB-first slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds the vector width or `width` is zero.
+    #[must_use]
+    pub fn slice(&self, lo: u8, width: u8) -> Self {
+        assert!(
+            width >= 1 && lo + width <= self.width,
+            "slice [{lo} +: {width}] out of width {}",
+            self.width
+        );
+        Self::new(width, self.value >> lo)
+    }
+
+    /// Concatenates `self` (high part) with `low` (low part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`Bits::MAX_WIDTH`].
+    #[must_use]
+    pub fn concat(&self, low: Bits) -> Self {
+        let w = self.width + low.width;
+        assert!(w <= Self::MAX_WIDTH, "concatenated width {w} exceeds 64");
+        Self::new(w, (self.value << low.width) | low.value)
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.value.count_ones()
+    }
+
+    /// Even parity over all bits (`true` if an odd number of bits are set).
+    #[must_use]
+    pub fn parity(&self) -> bool {
+        self.count_ones() % 2 == 1
+    }
+
+    /// Whether all bits are zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.value == 0
+    }
+
+    /// Whether all bits are one.
+    #[must_use]
+    pub fn is_ones(&self) -> bool {
+        self.value == Self::mask(self.width)
+    }
+
+    /// Wrapping increment; returns the new value and a carry-out flag.
+    #[must_use]
+    pub fn wrapping_inc(&self) -> (Self, bool) {
+        let carry = self.is_ones();
+        (Self::new(self.width, self.value.wrapping_add(1)), carry)
+    }
+
+    /// Wrapping decrement; returns the new value and a borrow-out flag.
+    #[must_use]
+    pub fn wrapping_dec(&self) -> (Self, bool) {
+        let borrow = self.is_zero();
+        (Self::new(self.width, self.value.wrapping_sub(1)), borrow)
+    }
+
+    /// Iterates over bits LSB-first.
+    pub fn iter(&self) -> Iter {
+        Iter { bits: *self, next: 0 }
+    }
+
+    /// Builds a bit vector from an LSB-first iterator of bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields zero or more than 64 bits.
+    #[must_use]
+    pub fn from_bits_lsb_first<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut value = 0u64;
+        let mut width = 0u8;
+        for (i, b) in bits.into_iter().enumerate() {
+            assert!(i < 64, "more than 64 bits supplied");
+            if b {
+                value |= 1 << i;
+            }
+            width = (i + 1) as u8;
+        }
+        Self::new(width, value)
+    }
+
+    fn check_width(&self, other: &Bits, op: &str) {
+        assert!(
+            self.width == other.width,
+            "width mismatch in {op}: {} vs {}",
+            self.width,
+            other.width
+        );
+    }
+}
+
+/// LSB-first iterator over the bits of a [`Bits`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    bits: Bits,
+    next: u8,
+}
+
+impl Iterator for Iter {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.next >= self.bits.width() {
+            None
+        } else {
+            let b = self.bits.bit(self.next);
+            self.next += 1;
+            Some(b)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.bits.width() - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl BitAnd for Bits {
+    type Output = Bits;
+
+    fn bitand(self, rhs: Bits) -> Bits {
+        self.check_width(&rhs, "and");
+        Bits::new(self.width, self.value & rhs.value)
+    }
+}
+
+impl BitOr for Bits {
+    type Output = Bits;
+
+    fn bitor(self, rhs: Bits) -> Bits {
+        self.check_width(&rhs, "or");
+        Bits::new(self.width, self.value | rhs.value)
+    }
+}
+
+impl BitXor for Bits {
+    type Output = Bits;
+
+    fn bitxor(self, rhs: Bits) -> Bits {
+        self.check_width(&rhs, "xor");
+        Bits::new(self.width, self.value ^ rhs.value)
+    }
+}
+
+impl Not for Bits {
+    type Output = Bits;
+
+    fn not(self) -> Bits {
+        Bits::new(self.width, !self.value)
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits<{}>({:#b})", self.width, self.value)
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.value, f)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::UpperHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::Octal for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.value, f)
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(b: bool) -> Self {
+        Bits::bit1(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_masks_value() {
+        let b = Bits::new(4, 0xFF);
+        assert_eq!(b.value(), 0xF);
+        assert_eq!(b.width(), 4);
+    }
+
+    #[test]
+    fn full_width_is_supported() {
+        let b = Bits::new(64, u64::MAX);
+        assert!(b.is_ones());
+        assert_eq!(b.count_ones(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn zero_width_panics() {
+        let _ = Bits::new(0, 0);
+    }
+
+    #[test]
+    fn bit_access_and_update() {
+        let b = Bits::zero(8).with_bit(3, true).with_bit(7, true);
+        assert!(b.bit(3));
+        assert!(b.bit(7));
+        assert!(!b.bit(0));
+        assert_eq!(b.value(), 0b1000_1000);
+        assert!(!b.with_bit(3, false).bit(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of width")]
+    fn bit_out_of_range_panics() {
+        let _ = Bits::zero(4).bit(4);
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip() {
+        let b = Bits::new(10, 0b10_1100_1011);
+        let hi = b.slice(5, 5);
+        let lo = b.slice(0, 5);
+        assert_eq!(hi.concat(lo), b);
+    }
+
+    #[test]
+    fn increments_report_carry() {
+        let (v, carry) = Bits::new(3, 0b111).wrapping_inc();
+        assert!(carry);
+        assert!(v.is_zero());
+        let (v, carry) = Bits::new(3, 0b110).wrapping_inc();
+        assert!(!carry);
+        assert_eq!(v.value(), 0b111);
+    }
+
+    #[test]
+    fn decrements_report_borrow() {
+        let (v, borrow) = Bits::zero(3).wrapping_dec();
+        assert!(borrow);
+        assert!(v.is_ones());
+    }
+
+    #[test]
+    fn logic_ops_mask_to_width() {
+        let a = Bits::new(4, 0b1100);
+        let b = Bits::new(4, 0b1010);
+        assert_eq!((a & b).value(), 0b1000);
+        assert_eq!((a | b).value(), 0b1110);
+        assert_eq!((a ^ b).value(), 0b0110);
+        assert_eq!((!a).value(), 0b0011);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mixed_width_xor_panics() {
+        let _ = Bits::new(4, 0) ^ Bits::new(5, 0);
+    }
+
+    #[test]
+    fn parity_counts_set_bits() {
+        assert!(Bits::new(8, 0b0000_0001).parity());
+        assert!(!Bits::new(8, 0b0000_0011).parity());
+        assert!(Bits::new(8, 0b0111_0000).parity());
+    }
+
+    #[test]
+    fn iter_lsb_first_roundtrip() {
+        let b = Bits::new(6, 0b101101);
+        let collected: Vec<bool> = b.iter().collect();
+        assert_eq!(collected.len(), 6);
+        assert_eq!(Bits::from_bits_lsb_first(collected), b);
+    }
+
+    #[test]
+    fn display_is_msb_first_binary() {
+        assert_eq!(Bits::new(6, 0b101101).to_string(), "101101");
+        assert_eq!(Bits::new(4, 0b0011).to_string(), "0011");
+    }
+
+    #[test]
+    fn splat_replicates() {
+        assert!(Bits::splat(7, true).is_ones());
+        assert!(Bits::splat(7, false).is_zero());
+    }
+}

@@ -1,0 +1,288 @@
+//! Counter primitives used by BIST address generators and instruction
+//! counters.
+
+use crate::bits::Bits;
+use crate::clock::Clocked;
+use crate::structure::{Primitive, Structure};
+
+/// Counting direction of an up/down counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// Count from 0 toward the terminal value.
+    #[default]
+    Up,
+    /// Count from the terminal value toward 0.
+    Down,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        match self {
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+        }
+    }
+}
+
+/// A loadable binary up/down counter with a programmable terminal count.
+///
+/// This models the BIST *address generator*: an n-bit counter that sweeps
+/// `0..=last` in up order or `last..=0` in down order and raises a
+/// `terminal` flag on the final count of the current direction. The flag is
+/// what the paper calls the `Last Address` status signal.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_rtl::{Direction, UpDownCounter};
+///
+/// let mut ctr = UpDownCounter::new(4, 9); // counts 0..=9
+/// ctr.load_start(Direction::Up);
+/// assert_eq!(ctr.value().value(), 0);
+/// for _ in 0..9 {
+///     assert!(!ctr.at_terminal(Direction::Up) || ctr.value().value() == 9);
+///     ctr.step(Direction::Up);
+/// }
+/// assert_eq!(ctr.value().value(), 9);
+/// assert!(ctr.at_terminal(Direction::Up));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpDownCounter {
+    width: u8,
+    last: u64,
+    value: Bits,
+}
+
+impl UpDownCounter {
+    /// Creates a counter of `width` bits that sweeps `0..=last`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last` does not fit in `width` bits.
+    #[must_use]
+    pub fn new(width: u8, last: u64) -> Self {
+        let probe = Bits::new(width, last);
+        assert!(
+            probe.value() == last,
+            "terminal count {last} does not fit in {width} bits"
+        );
+        Self { width, last, value: Bits::zero(width) }
+    }
+
+    /// Counter width in bits.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The inclusive terminal count (`n - 1` for an `n`-address memory).
+    #[must_use]
+    pub fn last(&self) -> u64 {
+        self.last
+    }
+
+    /// Current count value.
+    #[must_use]
+    pub fn value(&self) -> Bits {
+        self.value
+    }
+
+    /// Loads the starting value for a sweep in `dir`:
+    /// `0` for up, `last` for down.
+    pub fn load_start(&mut self, dir: Direction) {
+        self.value = match dir {
+            Direction::Up => Bits::zero(self.width),
+            Direction::Down => Bits::new(self.width, self.last),
+        };
+    }
+
+    /// Whether the counter sits on the final count of a sweep in `dir`.
+    #[must_use]
+    pub fn at_terminal(&self, dir: Direction) -> bool {
+        match dir {
+            Direction::Up => self.value.value() == self.last,
+            Direction::Down => self.value.is_zero(),
+        }
+    }
+
+    /// Steps one position in `dir`, saturating at the terminal count.
+    ///
+    /// Returns `true` if the counter was already at the terminal count (the
+    /// step was suppressed) — the hardware equivalent of the carry chain
+    /// freezing the counter while `Last Address` is asserted.
+    pub fn step(&mut self, dir: Direction) -> bool {
+        if self.at_terminal(dir) {
+            return true;
+        }
+        self.value = match dir {
+            Direction::Up => self.value.wrapping_inc().0,
+            Direction::Down => self.value.wrapping_dec().0,
+        };
+        false
+    }
+
+    /// Structural inventory for area estimation: an n-bit loadable up/down
+    /// counter plus the terminal-count comparator.
+    #[must_use]
+    pub fn structure(&self, name: &str) -> Structure {
+        let n = u32::from(self.width);
+        Structure::leaf(name)
+            .with(Primitive::Dff, n)
+            // half-adder + direction mux per bit
+            .with(Primitive::Xor2, n)
+            .with(Primitive::Mux2, n)
+            .with(Primitive::Nand2, 2 * n)
+            // terminal-count comparator against `last` and against zero
+            .with(Primitive::Xor2, n)
+            .with(Primitive::Nand2, n)
+    }
+}
+
+impl Clocked for UpDownCounter {
+    fn reset(&mut self) {
+        self.value = Bits::zero(self.width);
+    }
+}
+
+/// A simple wrapping binary counter with carry-out, modeling e.g. the
+/// microcode *instruction counter* (`log2(Z)+1` bits, the extra MSB marking
+/// test end by address exhaustion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryCounter {
+    value: Bits,
+}
+
+impl BinaryCounter {
+    /// Creates a zeroed counter of `width` bits.
+    #[must_use]
+    pub fn new(width: u8) -> Self {
+        Self { value: Bits::zero(width) }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> Bits {
+        self.value
+    }
+
+    /// Increments, returning the carry-out.
+    pub fn increment(&mut self) -> bool {
+        let (v, carry) = self.value.wrapping_inc();
+        self.value = v;
+        carry
+    }
+
+    /// Loads an arbitrary value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value.width()` differs from the counter width.
+    pub fn load(&mut self, value: Bits) {
+        assert_eq!(value.width(), self.value.width(), "counter load width mismatch");
+        self.value = value;
+    }
+
+    /// Structural inventory for area estimation.
+    #[must_use]
+    pub fn structure(&self, name: &str) -> Structure {
+        let n = u32::from(self.value.width());
+        Structure::leaf(name)
+            .with(Primitive::Dff, n)
+            .with(Primitive::Xor2, n)
+            .with(Primitive::Nand2, n)
+            .with(Primitive::Mux2, n) // load path
+    }
+}
+
+impl Clocked for BinaryCounter {
+    fn reset(&mut self) {
+        self.value = Bits::zero(self.value.width());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_sweep_covers_every_value_once() {
+        let mut c = UpDownCounter::new(3, 5);
+        c.load_start(Direction::Up);
+        let mut seen = vec![c.value().value()];
+        while !c.at_terminal(Direction::Up) {
+            c.step(Direction::Up);
+            seen.push(c.value().value());
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn down_sweep_is_reverse_of_up() {
+        let mut c = UpDownCounter::new(3, 5);
+        c.load_start(Direction::Down);
+        let mut seen = vec![c.value().value()];
+        while !c.at_terminal(Direction::Down) {
+            c.step(Direction::Down);
+            seen.push(c.value().value());
+        }
+        assert_eq!(seen, vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn step_saturates_at_terminal() {
+        let mut c = UpDownCounter::new(2, 3);
+        c.load_start(Direction::Up);
+        for _ in 0..3 {
+            assert!(!c.step(Direction::Up));
+        }
+        assert!(c.step(Direction::Up), "step at terminal must be suppressed");
+        assert_eq!(c.value().value(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_terminal_panics() {
+        let _ = UpDownCounter::new(2, 4);
+    }
+
+    #[test]
+    fn non_power_of_two_range() {
+        // 10 addresses in a 4-bit counter: the terminal comparator, not the
+        // carry chain, must end the sweep.
+        let mut c = UpDownCounter::new(4, 9);
+        c.load_start(Direction::Up);
+        let mut n = 1;
+        while !c.at_terminal(Direction::Up) {
+            c.step(Direction::Up);
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn binary_counter_carries() {
+        let mut c = BinaryCounter::new(2);
+        assert!(!c.increment());
+        assert!(!c.increment());
+        assert!(!c.increment());
+        assert!(c.increment(), "wrap from 3 to 0 must carry");
+        assert!(c.value().is_zero());
+    }
+
+    #[test]
+    fn binary_counter_load_and_reset() {
+        let mut c = BinaryCounter::new(4);
+        c.load(Bits::new(4, 0xA));
+        assert_eq!(c.value().value(), 0xA);
+        c.reset();
+        assert!(c.value().is_zero());
+    }
+
+    #[test]
+    fn reversed_direction() {
+        assert_eq!(Direction::Up.reversed(), Direction::Down);
+        assert_eq!(Direction::Down.reversed(), Direction::Up);
+    }
+}

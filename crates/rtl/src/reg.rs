@@ -1,0 +1,304 @@
+//! Register and scan-chain primitives.
+
+use crate::bits::Bits;
+use crate::clock::Clocked;
+use crate::structure::{Primitive, Structure};
+
+/// The physical style of a storage cell, which determines its area and the
+/// paths by which it can be written.
+///
+/// The paper's key optimization (§3, Table 3) replaces the microcode storage
+/// unit's full-scan registers with IBM ASIC *scan-only* cells that are 4-5×
+/// smaller and run at 1/8-1/6 of the functional clock — acceptable because
+/// the microcode store is written only through the scan path and never
+/// changes during a test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CellStyle {
+    /// Mux-D full-scan flip-flop: functional D input plus scan path.
+    #[default]
+    FullScan,
+    /// Scan-only shift-register latch: loadable exclusively via the scan
+    /// path; no functional write port.
+    ScanOnly,
+    /// Plain (non-scan) flip-flop.
+    Plain,
+}
+
+impl CellStyle {
+    fn primitive(self) -> Primitive {
+        match self {
+            CellStyle::FullScan => Primitive::ScanDff,
+            CellStyle::ScanOnly => Primitive::ScanOnlyCell,
+            CellStyle::Plain => Primitive::Dff,
+        }
+    }
+}
+
+/// A bank of flip-flops holding a [`Bits`] value.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_rtl::{Bits, Register};
+///
+/// let mut r = Register::new(4);
+/// r.load(Bits::new(4, 0b1001));
+/// assert_eq!(r.q().value(), 0b1001);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Register {
+    q: Bits,
+    style: CellStyle,
+}
+
+impl Register {
+    /// Creates a zeroed register of `width` bits with plain flip-flops.
+    #[must_use]
+    pub fn new(width: u8) -> Self {
+        Self { q: Bits::zero(width), style: CellStyle::Plain }
+    }
+
+    /// Creates a zeroed register with the given cell style.
+    #[must_use]
+    pub fn with_style(width: u8, style: CellStyle) -> Self {
+        Self { q: Bits::zero(width), style }
+    }
+
+    /// Register width in bits.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.q.width()
+    }
+
+    /// Current output value.
+    #[must_use]
+    pub fn q(&self) -> Bits {
+        self.q
+    }
+
+    /// Cell style used for area accounting.
+    #[must_use]
+    pub fn style(&self) -> CellStyle {
+        self.style
+    }
+
+    /// Loads a new value through the functional path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the register width, or if the
+    /// register is built from [`CellStyle::ScanOnly`] cells (those have no
+    /// functional write port — use a [`ScanChain`]).
+    pub fn load(&mut self, value: Bits) {
+        assert!(
+            self.style != CellStyle::ScanOnly,
+            "scan-only register has no functional load path"
+        );
+        assert_eq!(value.width(), self.q.width(), "register load width mismatch");
+        self.q = value;
+    }
+
+    /// Structural inventory for area estimation.
+    #[must_use]
+    pub fn structure(&self, name: &str) -> Structure {
+        Structure::leaf(name).with(self.style.primitive(), u32::from(self.q.width()))
+    }
+}
+
+impl Clocked for Register {
+    fn reset(&mut self) {
+        self.q = Bits::zero(self.q.width());
+    }
+}
+
+/// A serial scan chain threading an arbitrary number of storage cells.
+///
+/// Loading is cycle-accurate: one bit enters per [`ScanChain::shift_in`]
+/// call, so loading a Z×Y microcode store costs exactly `Z*Y` scan clocks —
+/// the figure of merit when comparing against multi-load architectures such
+/// as the patent \[3\] scheme the paper criticizes.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_rtl::ScanChain;
+///
+/// let mut chain = ScanChain::new(8);
+/// for b in [true, false, true, true, false, false, true, false] {
+///     chain.shift_in(b);
+/// }
+/// assert_eq!(chain.shifts(), 8);
+/// assert_eq!(chain.cell(7), true); // first bit shifted in ends up deepest
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanChain {
+    cells: Vec<bool>,
+    shifts: u64,
+    style: CellStyle,
+}
+
+impl ScanChain {
+    /// Creates a chain of `len` scan-only cells, all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self::with_style(len, CellStyle::ScanOnly)
+    }
+
+    /// Creates a chain with an explicit cell style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn with_style(len: usize, style: CellStyle) -> Self {
+        assert!(len > 0, "scan chain must have at least one cell");
+        Self { cells: vec![false; len], shifts: 0, style }
+    }
+
+    /// Number of cells in the chain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the chain is empty (never true: construction requires ≥ 1).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total shift clocks applied since reset.
+    #[must_use]
+    pub fn shifts(&self) -> u64 {
+        self.shifts
+    }
+
+    /// Cell style used for area accounting.
+    #[must_use]
+    pub fn style(&self) -> CellStyle {
+        self.style
+    }
+
+    /// Shifts one bit in at position 0, pushing everything one cell deeper;
+    /// returns the bit that falls off the far end (scan-out).
+    pub fn shift_in(&mut self, bit: bool) -> bool {
+        self.shifts += 1;
+        let out = *self.cells.last().expect("chain is non-empty");
+        for i in (1..self.cells.len()).rev() {
+            self.cells[i] = self.cells[i - 1];
+        }
+        self.cells[0] = bit;
+        out
+    }
+
+    /// Loads an entire bit pattern MSB-of-chain-first, costing
+    /// `pattern.len()` scan clocks.
+    ///
+    /// After the load, `pattern[0]` sits in the *deepest* cell
+    /// (`len - 1`) — i.e. patterns are supplied in the order they enter the
+    /// scan-in pin.
+    pub fn load_serial(&mut self, pattern: &[bool]) {
+        for &b in pattern {
+            self.shift_in(b);
+        }
+    }
+
+    /// Reads cell `index` (0 is the scan-in end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn cell(&self, index: usize) -> bool {
+        self.cells[index]
+    }
+
+    /// Borrow of all cells, index 0 first.
+    #[must_use]
+    pub fn cells(&self) -> &[bool] {
+        &self.cells
+    }
+
+    /// Structural inventory for area estimation.
+    #[must_use]
+    pub fn structure(&self, name: &str) -> Structure {
+        Structure::leaf(name).with(self.style.primitive(), self.cells.len() as u32)
+    }
+}
+
+impl Clocked for ScanChain {
+    fn reset(&mut self) {
+        self.cells.fill(false);
+        self.shifts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_load_and_reset() {
+        let mut r = Register::new(6);
+        r.load(Bits::new(6, 0b110101));
+        assert_eq!(r.q().value(), 0b110101);
+        r.reset();
+        assert!(r.q().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "no functional load path")]
+    fn scan_only_register_rejects_functional_load() {
+        let mut r = Register::with_style(4, CellStyle::ScanOnly);
+        r.load(Bits::new(4, 1));
+    }
+
+    #[test]
+    fn register_structure_uses_style_primitive() {
+        let r = Register::with_style(5, CellStyle::FullScan);
+        assert_eq!(r.structure("r").count(Primitive::ScanDff), 5);
+        let p = Register::new(5);
+        assert_eq!(p.structure("p").count(Primitive::Dff), 5);
+    }
+
+    #[test]
+    fn chain_shifts_fifo_order() {
+        let mut c = ScanChain::new(3);
+        c.shift_in(true);
+        c.shift_in(false);
+        c.shift_in(true);
+        assert_eq!(c.cells(), &[true, false, true]);
+        // next shift pushes the first bit out the far end
+        let out = c.shift_in(false);
+        assert!(out);
+        assert_eq!(c.cells(), &[false, true, false]);
+    }
+
+    #[test]
+    fn serial_load_costs_len_clocks() {
+        let mut c = ScanChain::new(5);
+        c.load_serial(&[true, true, false, false, true]);
+        assert_eq!(c.shifts(), 5);
+        // first supplied bit is deepest
+        assert!(c.cell(4));
+    }
+
+    #[test]
+    fn reset_clears_cells_and_count() {
+        let mut c = ScanChain::new(4);
+        c.load_serial(&[true; 4]);
+        c.reset();
+        assert_eq!(c.cells(), &[false; 4]);
+        assert_eq!(c.shifts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_chain_panics() {
+        let _ = ScanChain::new(0);
+    }
+}

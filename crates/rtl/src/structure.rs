@@ -1,0 +1,268 @@
+//! Structural netlist inventories.
+//!
+//! Every architectural model in this workspace can *elaborate* itself into a
+//! [`Structure`]: a named tree of primitive counts (flip-flops, NAND gates,
+//! muxes, …). The area crate later maps a `Structure` onto a technology
+//! model to obtain NAND2-equivalents and µm², reproducing the paper's
+//! Tables 1-3. Keeping elaboration next to the behavioral model guarantees
+//! the area numbers always describe the same hardware that is simulated.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Standard-cell-level primitives recognized by the area model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Primitive {
+    /// 2-input NAND gate — the unit of "internal area" in the paper
+    /// (2×2-input NAND gates).
+    Nand2,
+    /// 2-input XOR gate.
+    Xor2,
+    /// 2-input inverting multiplexer modeled as a 2:1 mux.
+    Mux2,
+    /// Inverter.
+    Inv,
+    /// Plain D flip-flop (no scan).
+    Dff,
+    /// Full-scan D flip-flop (mux-D scan register).
+    ScanDff,
+    /// Scan-only storage cell: shift-register latch reachable *only* through
+    /// the scan path. The paper reports these as 4-5× smaller than full-scan
+    /// registers and usable at 1/8-1/6 of the functional clock rate.
+    ScanOnlyCell,
+    /// One bit of embedded SRAM (used by the \[9\]-style 32×40 SRAM
+    /// comparison point).
+    SramBit,
+}
+
+impl Primitive {
+    /// All primitive kinds, in display order.
+    pub const ALL: [Primitive; 8] = [
+        Primitive::Nand2,
+        Primitive::Xor2,
+        Primitive::Mux2,
+        Primitive::Inv,
+        Primitive::Dff,
+        Primitive::ScanDff,
+        Primitive::ScanOnlyCell,
+        Primitive::SramBit,
+    ];
+
+    /// Short lowercase mnemonic used in reports.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Primitive::Nand2 => "nand2",
+            Primitive::Xor2 => "xor2",
+            Primitive::Mux2 => "mux2",
+            Primitive::Inv => "inv",
+            Primitive::Dff => "dff",
+            Primitive::ScanDff => "sdff",
+            Primitive::ScanOnlyCell => "socell",
+            Primitive::SramBit => "srambit",
+        }
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A named tree of primitive counts describing elaborated hardware.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_rtl::{Primitive, Structure};
+///
+/// let ctrl = Structure::named("controller")
+///     .with_child(Structure::leaf("pc").with(Primitive::Dff, 4))
+///     .with_child(Structure::leaf("decode").with(Primitive::Nand2, 12));
+/// assert_eq!(ctrl.count(Primitive::Dff), 4);
+/// assert_eq!(ctrl.count(Primitive::Nand2), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Structure {
+    name: String,
+    prims: BTreeMap<Primitive, u32>,
+    children: Vec<Structure>,
+}
+
+impl Structure {
+    /// Creates an empty structure with the given instance name.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        Self { name: name.into(), prims: BTreeMap::new(), children: Vec::new() }
+    }
+
+    /// Alias of [`Structure::named`] emphasizing a leaf (no children yet).
+    #[must_use]
+    pub fn leaf(name: impl Into<String>) -> Self {
+        Self::named(name)
+    }
+
+    /// Adds `count` instances of `prim` (builder style).
+    #[must_use]
+    pub fn with(mut self, prim: Primitive, count: u32) -> Self {
+        self.add(prim, count);
+        self
+    }
+
+    /// Adds `count` instances of `prim`.
+    pub fn add(&mut self, prim: Primitive, count: u32) {
+        if count > 0 {
+            *self.prims.entry(prim).or_insert(0) += count;
+        }
+    }
+
+    /// Appends a child structure (builder style).
+    #[must_use]
+    pub fn with_child(mut self, child: Structure) -> Self {
+        self.push_child(child);
+        self
+    }
+
+    /// Appends a child structure.
+    pub fn push_child(&mut self, child: Structure) {
+        self.children.push(child);
+    }
+
+    /// Instance name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Direct children.
+    #[must_use]
+    pub fn children(&self) -> &[Structure] {
+        &self.children
+    }
+
+    /// Primitives declared directly on this node (excluding children).
+    #[must_use]
+    pub fn local_counts(&self) -> &BTreeMap<Primitive, u32> {
+        &self.prims
+    }
+
+    /// Total count of `prim` in this node and all descendants.
+    #[must_use]
+    pub fn count(&self, prim: Primitive) -> u32 {
+        self.prims.get(&prim).copied().unwrap_or(0)
+            + self.children.iter().map(|c| c.count(prim)).sum::<u32>()
+    }
+
+    /// Flattened totals over the whole tree.
+    #[must_use]
+    pub fn totals(&self) -> BTreeMap<Primitive, u32> {
+        let mut out = BTreeMap::new();
+        self.accumulate(&mut out);
+        out
+    }
+
+    fn accumulate(&self, out: &mut BTreeMap<Primitive, u32>) {
+        for (&p, &n) in &self.prims {
+            *out.entry(p).or_insert(0) += n;
+        }
+        for c in &self.children {
+            c.accumulate(out);
+        }
+    }
+
+    /// Finds a descendant (or self) by instance name, depth-first.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&Structure> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Renders an indented text tree of the hierarchy with local counts.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s, 0);
+        s
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use fmt::Write;
+        let indent = "  ".repeat(depth);
+        let _ = write!(out, "{indent}{}", self.name);
+        if !self.prims.is_empty() {
+            let parts: Vec<String> =
+                self.prims.iter().map(|(p, n)| format!("{p}×{n}")).collect();
+            let _ = write!(out, "  [{}]", parts.join(" "));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Structure {
+        Structure::named("top")
+            .with(Primitive::Nand2, 3)
+            .with_child(
+                Structure::leaf("a").with(Primitive::Dff, 8).with(Primitive::Nand2, 4),
+            )
+            .with_child(
+                Structure::named("b")
+                    .with_child(Structure::leaf("b0").with(Primitive::Xor2, 2)),
+            )
+    }
+
+    #[test]
+    fn counts_recurse() {
+        let s = sample();
+        assert_eq!(s.count(Primitive::Nand2), 7);
+        assert_eq!(s.count(Primitive::Dff), 8);
+        assert_eq!(s.count(Primitive::Xor2), 2);
+        assert_eq!(s.count(Primitive::SramBit), 0);
+    }
+
+    #[test]
+    fn totals_match_counts() {
+        let s = sample();
+        let t = s.totals();
+        for p in Primitive::ALL {
+            assert_eq!(t.get(&p).copied().unwrap_or(0), s.count(p));
+        }
+    }
+
+    #[test]
+    fn zero_count_is_not_recorded() {
+        let s = Structure::leaf("x").with(Primitive::Inv, 0);
+        assert!(s.local_counts().is_empty());
+    }
+
+    #[test]
+    fn find_locates_nested_child() {
+        let s = sample();
+        assert!(s.find("b0").is_some());
+        assert!(s.find("top").is_some());
+        assert!(s.find("nope").is_none());
+    }
+
+    #[test]
+    fn render_shows_hierarchy() {
+        let text = sample().render();
+        assert!(text.contains("top"));
+        assert!(text.contains("  a  [nand2×4 dff×8]"));
+        assert!(text.contains("    b0"));
+    }
+}

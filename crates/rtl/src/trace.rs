@@ -1,0 +1,235 @@
+//! Signal tracing for simulated designs.
+//!
+//! A [`Trace`] records the value of named signals at each clock cycle.
+//! Controllers in this workspace emit their architectural state (instruction
+//! counter, FSM state, address, …) into a trace, which can then be rendered
+//! as a text waveform or dumped as a VCD file (see [`crate::vcd`]).
+
+use std::collections::BTreeMap;
+
+use crate::bits::Bits;
+
+/// Identifier of a signal within a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) usize);
+
+/// Declaration of a traced signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalDecl {
+    /// Hierarchical signal name, e.g. `"ctrl.pc"`.
+    pub name: String,
+    /// Width in bits.
+    pub width: u8,
+}
+
+/// A recorded value-change log for a set of signals.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_rtl::{Bits, Trace};
+///
+/// let mut t = Trace::new();
+/// let pc = t.declare("pc", 4);
+/// t.record(0, pc, Bits::new(4, 0));
+/// t.record(1, pc, Bits::new(4, 1));
+/// assert_eq!(t.value_at(pc, 1).unwrap().value(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    decls: Vec<SignalDecl>,
+    // per signal: (cycle, value) change list in nondecreasing cycle order
+    changes: Vec<Vec<(u64, Bits)>>,
+    last_cycle: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a signal, returning its id.
+    pub fn declare(&mut self, name: impl Into<String>, width: u8) -> SignalId {
+        self.decls.push(SignalDecl { name: name.into(), width });
+        self.changes.push(Vec::new());
+        SignalId(self.decls.len() - 1)
+    }
+
+    /// The declared signals, in declaration order.
+    #[must_use]
+    pub fn signals(&self) -> &[SignalDecl] {
+        &self.decls
+    }
+
+    /// Records `value` for `signal` at `cycle`. Only actual changes are
+    /// stored; recording the same value twice is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value width differs from the declared width, or if
+    /// `cycle` moves backwards for this signal.
+    pub fn record(&mut self, cycle: u64, signal: SignalId, value: Bits) {
+        let decl = &self.decls[signal.0];
+        assert_eq!(value.width(), decl.width, "trace width mismatch for {}", decl.name);
+        let log = &mut self.changes[signal.0];
+        if let Some(&(last_cycle, last_val)) = log.last() {
+            assert!(cycle >= last_cycle, "trace must be recorded in cycle order");
+            if last_val == value {
+                self.last_cycle = self.last_cycle.max(cycle);
+                return;
+            }
+            if last_cycle == cycle {
+                log.pop();
+            }
+        }
+        log.push((cycle, value));
+        self.last_cycle = self.last_cycle.max(cycle);
+    }
+
+    /// Value of `signal` at `cycle` (the most recent change at or before
+    /// `cycle`), or `None` if nothing was recorded yet.
+    #[must_use]
+    pub fn value_at(&self, signal: SignalId, cycle: u64) -> Option<Bits> {
+        let log = &self.changes[signal.0];
+        match log.binary_search_by_key(&cycle, |&(c, _)| c) {
+            Ok(i) => Some(log[i].1),
+            Err(0) => None,
+            Err(i) => Some(log[i - 1].1),
+        }
+    }
+
+    /// The raw change list for a signal.
+    #[must_use]
+    pub fn changes(&self, signal: SignalId) -> &[(u64, Bits)] {
+        &self.changes[signal.0]
+    }
+
+    /// Highest cycle seen in any record call.
+    #[must_use]
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
+    }
+
+    /// Renders a compact text listing: one line per cycle in
+    /// `lo..=hi`, one column per signal.
+    #[must_use]
+    pub fn render(&self, lo: u64, hi: u64) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(out, "{:>8}", "cycle");
+        for d in &self.decls {
+            let _ = write!(out, "  {:>width$}", d.name, width = d.name.len().max(d.width as usize));
+        }
+        out.push('\n');
+        for cycle in lo..=hi.min(self.last_cycle) {
+            let _ = write!(out, "{cycle:>8}");
+            for (i, d) in self.decls.iter().enumerate() {
+                let col = d.name.len().max(d.width as usize);
+                match self.value_at(SignalId(i), cycle) {
+                    Some(v) => {
+                        let _ = write!(out, "  {:>col$}", v.to_string());
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>col$}", "x");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Groups every signal's changes by cycle — convenient for diffing two
+    /// traces in tests.
+    #[must_use]
+    pub fn events(&self) -> BTreeMap<u64, Vec<(String, Bits)>> {
+        let mut out: BTreeMap<u64, Vec<(String, Bits)>> = BTreeMap::new();
+        for (i, log) in self.changes.iter().enumerate() {
+            for &(c, v) in log {
+                out.entry(c).or_default().push((self.decls[i].name.clone(), v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_at_interpolates_between_changes() {
+        let mut t = Trace::new();
+        let s = t.declare("s", 2);
+        t.record(0, s, Bits::new(2, 1));
+        t.record(5, s, Bits::new(2, 2));
+        assert_eq!(t.value_at(s, 0).unwrap().value(), 1);
+        assert_eq!(t.value_at(s, 3).unwrap().value(), 1);
+        assert_eq!(t.value_at(s, 5).unwrap().value(), 2);
+        assert_eq!(t.value_at(s, 9).unwrap().value(), 2);
+    }
+
+    #[test]
+    fn no_value_before_first_record() {
+        let mut t = Trace::new();
+        let s = t.declare("s", 1);
+        t.record(4, s, Bits::bit1(true));
+        assert!(t.value_at(s, 3).is_none());
+    }
+
+    #[test]
+    fn duplicate_values_are_coalesced() {
+        let mut t = Trace::new();
+        let s = t.declare("s", 1);
+        t.record(0, s, Bits::bit1(false));
+        t.record(1, s, Bits::bit1(false));
+        t.record(2, s, Bits::bit1(true));
+        assert_eq!(t.changes(s).len(), 2);
+    }
+
+    #[test]
+    fn same_cycle_rerecord_overwrites() {
+        let mut t = Trace::new();
+        let s = t.declare("s", 4);
+        t.record(0, s, Bits::new(4, 1));
+        t.record(0, s, Bits::new(4, 7));
+        assert_eq!(t.changes(s).len(), 1);
+        assert_eq!(t.value_at(s, 0).unwrap().value(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle order")]
+    fn backwards_cycle_panics() {
+        let mut t = Trace::new();
+        let s = t.declare("s", 1);
+        t.record(5, s, Bits::bit1(true));
+        t.record(4, s, Bits::bit1(false));
+    }
+
+    #[test]
+    fn render_contains_headers_and_values() {
+        let mut t = Trace::new();
+        let a = t.declare("addr", 3);
+        t.record(0, a, Bits::new(3, 5));
+        t.record(1, a, Bits::new(3, 6));
+        let text = t.render(0, 1);
+        assert!(text.contains("addr"));
+        assert!(text.contains("101"));
+        assert!(text.contains("110"));
+    }
+
+    #[test]
+    fn events_group_by_cycle() {
+        let mut t = Trace::new();
+        let a = t.declare("a", 1);
+        let b = t.declare("b", 1);
+        t.record(0, a, Bits::bit1(true));
+        t.record(0, b, Bits::bit1(false));
+        t.record(2, b, Bits::bit1(true));
+        let ev = t.events();
+        assert_eq!(ev[&0].len(), 2);
+        assert_eq!(ev[&2].len(), 1);
+    }
+}

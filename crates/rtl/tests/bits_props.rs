@@ -1,0 +1,102 @@
+//! Property tests for the bit-vector and counter primitives.
+
+use proptest::prelude::*;
+
+use mbist_rtl::{Bits, Direction, ScanChain, UpDownCounter};
+
+fn arb_bits() -> impl Strategy<Value = Bits> {
+    (1u8..=64, any::<u64>()).prop_map(|(w, v)| Bits::new(w, v))
+}
+
+proptest! {
+    #[test]
+    fn value_is_always_masked(b in arb_bits()) {
+        if b.width() < 64 {
+            prop_assert!(b.value() < (1u64 << b.width()));
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity(b in arb_bits()) {
+        prop_assert_eq!(!!b, b);
+    }
+
+    #[test]
+    fn xor_self_is_zero_and_with_zero_is_identity(b in arb_bits()) {
+        prop_assert!((b ^ b).is_zero());
+        prop_assert_eq!(b ^ Bits::zero(b.width()), b);
+    }
+
+    #[test]
+    fn iter_roundtrip(b in arb_bits()) {
+        let bits: Vec<bool> = b.iter().collect();
+        prop_assert_eq!(Bits::from_bits_lsb_first(bits), b);
+    }
+
+    #[test]
+    fn inc_then_dec_is_identity(b in arb_bits()) {
+        let (inc, _) = b.wrapping_inc();
+        let (back, _) = inc.wrapping_dec();
+        prop_assert_eq!(back, b);
+    }
+
+    #[test]
+    fn with_bit_sets_exactly_one_position(b in arb_bits(), idx in 0u8..64, v in any::<bool>()) {
+        let idx = idx % b.width();
+        let updated = b.with_bit(idx, v);
+        prop_assert_eq!(updated.bit(idx), v);
+        for i in 0..b.width() {
+            if i != idx {
+                prop_assert_eq!(updated.bit(i), b.bit(i));
+            }
+        }
+    }
+
+    #[test]
+    fn counter_up_sweep_visits_each_address_once(last in 0u64..200) {
+        let width = (64 - last.leading_zeros()).max(1) as u8;
+        let mut c = UpDownCounter::new(width, last);
+        c.load_start(Direction::Up);
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            prop_assert!(seen.insert(c.value().value()));
+            if c.at_terminal(Direction::Up) {
+                break;
+            }
+            c.step(Direction::Up);
+        }
+        prop_assert_eq!(seen.len() as u64, last + 1);
+    }
+
+    #[test]
+    fn down_sweep_is_reverse_of_up(last in 0u64..100) {
+        let width = (64 - last.leading_zeros()).max(1) as u8;
+        let sweep = |dir: Direction| {
+            let mut c = UpDownCounter::new(width, last);
+            c.load_start(dir);
+            let mut out = vec![c.value().value()];
+            while !c.at_terminal(dir) {
+                c.step(dir);
+                out.push(c.value().value());
+            }
+            out
+        };
+        let mut down = sweep(Direction::Down);
+        down.reverse();
+        prop_assert_eq!(sweep(Direction::Up), down);
+    }
+
+    #[test]
+    fn scan_chain_contents_equal_last_n_bits_shifted(bits in prop::collection::vec(any::<bool>(), 1..80)) {
+        let len = 16usize;
+        let mut chain = ScanChain::new(len);
+        for &b in &bits {
+            chain.shift_in(b);
+        }
+        // cell i holds the bit shifted in i steps ago (or the zero fill)
+        for i in 0..len {
+            let expected = if i < bits.len() { bits[bits.len() - 1 - i] } else { false };
+            prop_assert_eq!(chain.cell(i), expected, "cell {}", i);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Diagnosis: use the programmable BIST as a lab instrument — capture a
+//! fail log, fold it into a bitmap, classify the spatial signature, and
+//! dump a waveform of the failing session.
+//!
+//! Run with `cargo run --example diagnosis` (writes `diagnosis.vcd`).
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use mbist::core::microcode::MicrocodeBist;
+use mbist::core::repair::{allocate_repair, Redundancy};
+use mbist::march::library;
+use mbist::mem::{CellId, FaultKind, MemGeometry, MemoryArray};
+use mbist::rtl::{vcd, Trace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A word-oriented part back from the field: 64×8.
+    let geometry = MemGeometry::word_oriented(64, 8);
+
+    // The defect: a word-line-local short — modeled as idempotent coupling
+    // between two bits of word 0x21 plus a stuck-at in the same word.
+    let mut mem = MemoryArray::new(geometry);
+    mem.inject(FaultKind::StuckAt { cell: CellId::new(0x21, 3), value: true })?;
+    mem.inject(FaultKind::CouplingIdempotent {
+        aggressor: CellId::new(0x21, 5),
+        victim: CellId::new(0x21, 6),
+        rising: true,
+        forced: true,
+    })?;
+
+    // Run March C with full tracing.
+    let mut unit = MicrocodeBist::for_test(&library::march_c(), &geometry)?;
+    let mut trace = Trace::new();
+    let report = unit.run_traced(&mut mem, &mut trace);
+
+    println!(
+        "session: {} cycles, {} miscompares logged",
+        report.cycles,
+        report.fail_log.len()
+    );
+    for (cycle, m) in report.fail_log.entries().iter().take(5) {
+        println!("  cycle {cycle:>6}: {m}  syndrome {}", m.syndrome());
+    }
+    if report.fail_log.len() > 5 {
+        println!("  … {} more", report.fail_log.len() - 5);
+    }
+
+    // Fold the log into a failure bitmap and classify it.
+    let bitmap = report.fail_log.bitmap(geometry);
+    println!("\nfailure bitmap ({} failing cells):", bitmap.failing_cell_count());
+    print!("{bitmap}");
+    println!("signature: {:?}", bitmap.signature());
+
+    // Redundancy allocation: can the on-macro spares fix this part?
+    let solution = allocate_repair(&bitmap, Redundancy { spare_rows: 1, spare_cols: 1 });
+    if solution.is_repaired() {
+        println!(
+            "\nrepairable: spare rows -> {:x?}, spare columns -> {:?}",
+            solution.row_repairs, solution.col_repairs
+        );
+    } else {
+        println!("\nNOT repairable: {} cells uncovered", solution.uncovered.len());
+    }
+
+    // Dump the traced session for a waveform viewer.
+    let file = File::create("diagnosis.vcd")?;
+    vcd::write(BufWriter::new(file), "mbist", &trace)?;
+    println!("\nwaveform written to diagnosis.vcd (open with GTKWave)");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Field update: change the test algorithm of a deployed BIST controller
+//! with zero hardware change.
+//!
+//! A product engineer discovers escapes caused by a fault mechanism the
+//! production algorithm misses. With a hardwired controller this is a
+//! silicon re-spin; with the paper's programmable architectures it is a
+//! text file: parse the new march notation, compile, scan-load.
+//!
+//! Run with `cargo run --example field_update`.
+
+use mbist::core::microcode::{self, MicrocodeConfig, MicrocodeController};
+use mbist::core::{BistDatapath, BistUnit};
+use mbist::march::{library, standard_backgrounds, MarchTest};
+use mbist::mem::{CellId, FaultKind, MemGeometry, MemoryArray};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = MemGeometry::bit_oriented(512);
+
+    // The deployed design: a microcode controller with a 32-instruction
+    // store, shipped running March C.
+    let config = MicrocodeConfig { capacity: 32, ..MicrocodeConfig::default() };
+    let march_c = library::march_c();
+    let mut controller =
+        MicrocodeController::new(march_c.name(), &microcode::compile(&march_c)?, config)?;
+    println!(
+        "shipped program: {} ({} instructions, {} scan clocks to load)",
+        march_c,
+        controller.program().len(),
+        controller.scan_cycles()
+    );
+
+    // An escape shows up: a cell with a disconnected pull-up passes March C
+    // (its first read after a write is still good) but fails in the field.
+    let pull_open = FaultKind::PullOpen {
+        cell: CellId::bit_oriented(137),
+        good_reads: 2,
+        decays_to: false,
+    };
+    let mut escape = MemoryArray::with_fault(geometry, pull_open)?;
+    let dp = BistDatapath::new(geometry, standard_backgrounds(1));
+    let mut unit = BistUnit::new(controller.clone(), dp);
+    let report = unit.run(&mut escape);
+    println!("March C on the escape part: passed = {} (the escape!)", report.passed());
+
+    // The fix arrives as march notation in a field-update bulletin — the
+    // triple-read transform that excites disconnected pull-ups.
+    let bulletin = "m(w0); \
+                    u(r0,r0,r0,w1); u(r1,r1,r1,w0); \
+                    d(r0,r0,r0,w1); d(r1,r1,r1,w0); \
+                    m(r0,r0,r0)";
+    let updated = MarchTest::parse("march-c-triple", bulletin)?;
+    let program = microcode::compile(&updated)?;
+    let scan_clocks = controller.load_program(updated.name(), &program)?;
+    println!(
+        "\nfield update `{}` loaded: {} instructions, one scan load of {} clocks",
+        updated.name(),
+        program.len(),
+        scan_clocks
+    );
+
+    // Same silicon, new algorithm: the escape is now caught.
+    let mut escape = MemoryArray::with_fault(geometry, pull_open)?;
+    let dp = BistDatapath::new(geometry, standard_backgrounds(1));
+    let mut unit = BistUnit::new(controller, dp);
+    let report = unit.run(&mut escape);
+    println!(
+        "updated algorithm on the escape part: passed = {}, {} miscompares at addr {:#x}",
+        report.passed(),
+        report.fail_log.len(),
+        report.fail_log.miscompares().next().map_or(0, |m| m.addr)
+    );
+    assert!(!report.passed(), "the update must catch the escape");
+
+    // The same update is NOT expressible on the programmable FSM-based
+    // architecture — its elements are outside the SM0..SM7 menu. This is
+    // the paper's flexibility ordering, live:
+    match mbist::core::progfsm::compile(&updated) {
+        Err(e) => println!("\nprogrammable-FSM architecture rejects it: {e}"),
+        Ok(_) => unreachable!("triple reads are outside the component menu"),
+    }
+    Ok(())
+}

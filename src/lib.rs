@@ -1,0 +1,50 @@
+//! # mbist — programmable memory built-in self-test
+//!
+//! A workspace-level facade re-exporting the MBIST crates, reproducing
+//! *On Programmable Memory Built-In Self Test Architectures*
+//! (Zarrineh & Upadhyaya, DATE 1999):
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`rtl`]   | `mbist-rtl`   | bit vectors, counters, scan chains, structures, VCD |
+//! | [`logic`] | `mbist-logic` | two-level minimization, gate estimation |
+//! | [`mem`]   | `mbist-mem`   | fault-injectable memory simulator |
+//! | [`march`] | `mbist-march` | march algorithms, expansion, coverage |
+//! | [`core`]  | `mbist-core`  | the three BIST controller architectures |
+//! | [`area`]  | `mbist-area`  | technology model, synthesis, Tables 1-3 |
+//! | [`hdl`]   | `mbist-hdl`   | Verilog emission and structural linting |
+//!
+//! # Examples
+//!
+//! Compile March C for the microcode architecture and test a faulty
+//! memory:
+//!
+//! ```
+//! use mbist::core::microcode::MicrocodeBist;
+//! use mbist::march::library;
+//! use mbist::mem::{CellId, FaultKind, MemGeometry, MemoryArray};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let geometry = MemGeometry::bit_oriented(256);
+//! let mut unit = MicrocodeBist::for_test(&library::march_c(), &geometry)?;
+//! let mut mem = MemoryArray::with_fault(
+//!     geometry,
+//!     FaultKind::Transition { cell: CellId::bit_oriented(100), rising: true },
+//! )?;
+//! let report = unit.run(&mut mem);
+//! assert!(!report.passed());
+//! assert_eq!(report.fail_log.miscompares().next().unwrap().addr, 100);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mbist_area as area;
+pub use mbist_core as core;
+pub use mbist_hdl as hdl;
+pub use mbist_logic as logic;
+pub use mbist_march as march;
+pub use mbist_mem as mem;
+pub use mbist_rtl as rtl;

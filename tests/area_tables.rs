@@ -1,0 +1,156 @@
+//! Integration tests of the area model against the paper's reported
+//! relationships (the numeric columns of the original tables did not
+//! survive; the relationships in §3's prose did — see EXPERIMENTS.md).
+
+use mbist::area::{
+    design_points, hardwired_design, microcode_design, observations, progfsm_design,
+    storage_cell_sweep, table1, table2, table3, SupportLevel, Technology,
+};
+use mbist::core::Flexibility;
+use mbist::march::library;
+use mbist::rtl::{CellStyle, Primitive};
+
+#[test]
+fn table1_flexibility_ordering_matches_paper() {
+    let points = design_points(&Technology::cmos5s(), SupportLevel::BitOriented);
+    assert_eq!(points[0].flexibility, Flexibility::High);
+    assert_eq!(points[1].flexibility, Flexibility::Medium);
+    for p in &points[2..] {
+        assert_eq!(p.flexibility, Flexibility::Low);
+    }
+}
+
+#[test]
+fn programmable_controllers_cost_more_than_any_hardwired_baseline() {
+    let points = design_points(&Technology::cmos5s(), SupportLevel::BitOriented);
+    let min_programmable =
+        points[0].area.ge.min(points[1].area.ge);
+    for p in &points[2..] {
+        assert!(
+            p.area.ge < min_programmable,
+            "{} ({:.0} GE) should undercut programmable ({:.0} GE)",
+            p.name,
+            p.area.ge,
+            min_programmable
+        );
+    }
+}
+
+#[test]
+fn paper_observation_1_scan_only_redesign_cuts_controller_by_about_60_percent() {
+    let obs = observations(&Technology::cmos5s());
+    assert!(
+        (0.45..=0.70).contains(&obs.scan_only_reduction),
+        "got {:.0}%",
+        obs.scan_only_reduction * 100.0
+    );
+}
+
+#[test]
+fn paper_observation_2_microcode_beats_progfsm_with_more_flexibility() {
+    let obs = observations(&Technology::cmos5s());
+    assert!(obs.microcode_vs_progfsm < 1.0, "ratio {:.2}", obs.microcode_vs_progfsm);
+}
+
+#[test]
+fn paper_observation_3_enhanced_fault_models_grow_the_hardwired_unit() {
+    let tech = Technology::cmos5s();
+    let level = SupportLevel::BitOriented;
+    let seq = [
+        library::march_c(),
+        library::march_c_plus(),
+        library::march_c_plus_plus(),
+    ];
+    let mut last = 0.0;
+    for t in &seq {
+        let ge = hardwired_design(&tech, t, level).area.ge;
+        assert!(ge > last, "{} ({ge:.0} GE) must exceed {last:.0}", t.name());
+        last = ge;
+    }
+    let a_seq = [
+        library::march_a(),
+        library::march_a_plus(),
+        library::march_a_plus_plus(),
+    ];
+    let mut last = 0.0;
+    for t in &a_seq {
+        let ge = hardwired_design(&tech, t, level).area.ge;
+        assert!(ge > last, "{} must grow", t.name());
+        last = ge;
+    }
+}
+
+#[test]
+fn paper_observation_4_programmable_gap_narrows_with_enhancement() {
+    let obs = observations(&Technology::cmos5s());
+    assert!((0.0..1.0).contains(&obs.gap_narrowing), "factor {:.2}", obs.gap_narrowing);
+}
+
+#[test]
+fn table2_grows_from_table1_for_every_row() {
+    let tech = Technology::cmos5s();
+    let t1 = table1(&tech);
+    let t2 = table2(&tech);
+    for row in &t1.rows {
+        let name = &row[0];
+        let base: f64 = t1.cell(name, "Int. Area (GE)").unwrap().parse().unwrap();
+        let word: f64 = t2.cell(name, "Word Int.A. (GE)").unwrap().parse().unwrap();
+        let multi: f64 = t2.cell(name, "Multiport Int.A. (GE)").unwrap().parse().unwrap();
+        assert!(base < word, "{name}");
+        assert!(word < multi, "{name}");
+    }
+}
+
+#[test]
+fn table3_is_consistent_with_its_inputs() {
+    let tech = Technology::cmos5s();
+    let t3 = table3(&tech);
+    for (row, level) in t3.rows.iter().zip(SupportLevel::ALL) {
+        let adj: f64 = row[1].parse().unwrap();
+        let expected = microcode_design(&tech, CellStyle::ScanOnly, level).area.ge;
+        assert!((adj - expected).abs() < 1.0, "{level:?}: {adj} vs {expected}");
+    }
+}
+
+#[test]
+fn storage_dominance_claim_holds() {
+    // "Any reduction in the area of the storage units ... has the largest
+    // effect": the storage unit must be the single largest contributor of
+    // the unadjusted microcode controller.
+    let tech = Technology::cmos5s();
+    let full = microcode_design(&tech, CellStyle::FullScan, SupportLevel::BitOriented);
+    let storage_ge = full.area.of(Primitive::ScanDff);
+    assert!(
+        storage_ge > full.area.ge / 2.0,
+        "storage {storage_ge:.0} GE of {:.0} GE total",
+        full.area.ge
+    );
+    // And the sweep is monotone.
+    let pts = storage_cell_sweep(&tech, 1.0, 8.0, 5);
+    assert!(pts.windows(2).all(|w| w[0].controller_ge < w[1].controller_ge));
+}
+
+#[test]
+fn shape_conclusions_are_robust_to_technology_perturbation() {
+    // The paper's qualitative conclusions shouldn't hinge on exact cell
+    // weights: perturb the flip-flop and scan-cell weights ±15% and
+    // re-check the two headline orderings.
+    let base = Technology::cmos5s();
+    for (dff_scale, cell_scale) in [(0.85, 1.15), (1.15, 0.85), (1.1, 1.1), (0.9, 0.9)] {
+        let t = base
+            .with_weight(Primitive::Dff, 5.67 * dff_scale)
+            .with_weight(Primitive::ScanDff, 7.33 * dff_scale)
+            .with_weight(Primitive::ScanOnlyCell, 1.67 * cell_scale);
+        let obs = observations(&t);
+        assert!(
+            obs.scan_only_reduction > 0.35,
+            "reduction collapsed at {dff_scale}/{cell_scale}: {:.2}",
+            obs.scan_only_reduction
+        );
+        assert!(obs.enhancement_growth > 1.0);
+        let adj = microcode_design(&t, CellStyle::ScanOnly, SupportLevel::BitOriented);
+        let fsm = progfsm_design(&t, SupportLevel::BitOriented);
+        let hw = hardwired_design(&t, &library::march_c(), SupportLevel::BitOriented);
+        assert!(hw.area.ge < adj.area.ge.min(fsm.area.ge));
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the field-programmability flows: scan loading,
+//! the assembler path, transparent in-field testing and diagnostics.
+
+use mbist::core::microcode::{
+    assemble, compile, disassemble, MicrocodeConfig, MicrocodeController,
+};
+use mbist::core::{BistDatapath, BistUnit, FailSignature};
+use mbist::march::{expand, library, run_transparent, standard_backgrounds};
+use mbist::mem::{CellId, FaultKind, MemGeometry, MemoryArray, PortId};
+use mbist::rtl::CellStyle;
+
+#[test]
+fn scan_load_cost_is_capacity_times_width() {
+    let config = MicrocodeConfig {
+        capacity: 24,
+        cell_style: CellStyle::ScanOnly,
+        ..MicrocodeConfig::default()
+    };
+    let program = compile(&library::march_c()).unwrap();
+    let ctrl = MicrocodeController::new("march-c", &program, config).unwrap();
+    assert_eq!(ctrl.scan_cycles(), 24 * 10, "one full-chain scan load");
+}
+
+#[test]
+fn one_controller_runs_the_entire_algorithm_library_sequentially() {
+    let g = MemGeometry::bit_oriented(16);
+    let config = MicrocodeConfig { capacity: 64, ..MicrocodeConfig::default() };
+    // An empty program is legal: the controller is simply done immediately.
+    let mut controller = MicrocodeController::new("idle", &[], config).unwrap();
+    for test in library::all() {
+        let program = compile(&test).unwrap();
+        controller.load_program(test.name(), &program).unwrap();
+        let dp = BistDatapath::new(g, standard_backgrounds(1));
+        let mut unit = BistUnit::new(controller.clone(), dp);
+        assert_eq!(unit.emit_steps(), expand(&test, &g), "{}", test.name());
+    }
+}
+
+#[test]
+fn assembler_source_is_a_complete_program_interchange_format() {
+    // compile → disassemble → hand-edit (add a second verification sweep)
+    // → reassemble → run.
+    let g = MemGeometry::bit_oriented(8);
+    let base = compile(&library::mats_plus()).unwrap();
+    let mut source = mbist::core::microcode::to_source(&base);
+    // Insert an extra read-verify element before the final two loop
+    // instructions.
+    let lines: Vec<&str> = source.trim().lines().collect();
+    let (body, tail) = lines.split_at(lines.len() - 2);
+    source = format!("{}\nr0 inc loop\n{}\n", body.join("\n"), tail.join("\n"));
+    let patched = assemble(&source).unwrap();
+    assert_eq!(patched.len(), base.len() + 1);
+
+    let config = MicrocodeConfig { capacity: 16, ..MicrocodeConfig::default() };
+    let ctrl = MicrocodeController::new("mats+r", &patched, config).unwrap();
+    let dp = BistDatapath::new(g, standard_backgrounds(1));
+    let mut unit = BistUnit::new(ctrl, dp);
+    let mut mem = MemoryArray::new(g);
+    let report = unit.run(&mut mem);
+    assert!(report.passed());
+    assert_eq!(report.bus_cycles, (5 + 1) * 8, "extra r0 sweep executed");
+    // the disassembly of the patched program still mentions the new sweep
+    assert!(disassemble(&patched).contains("r0 inc loop"));
+}
+
+#[test]
+fn transparent_in_field_test_detects_and_preserves() {
+    let g = MemGeometry::word_oriented(32, 8);
+    // Healthy in-field memory with live content.
+    let mut mem = MemoryArray::new(g);
+    mem.randomize(99);
+    let before: Vec<u64> = (0..32).map(|a| mem.peek(a).value()).collect();
+    let out = run_transparent(&mut mem, &library::march_c(), PortId(0));
+    assert!(out.report.passed());
+    assert!(out.content_preserved);
+    for (a, v) in before.iter().enumerate() {
+        assert_eq!(mem.peek(a as u64).value(), *v);
+    }
+
+    // Same flow on a corrupted part.
+    let mut sick = MemoryArray::with_fault(
+        g,
+        FaultKind::StuckAt { cell: CellId::new(17, 5), value: true },
+    )
+    .unwrap();
+    sick.randomize(99);
+    let out = run_transparent(&mut sick, &library::march_c(), PortId(0));
+    assert!(!out.report.passed());
+    assert!(out.report.miscompares.iter().all(|m| m.addr == 17));
+}
+
+#[test]
+fn diagnosis_pipeline_classifies_spatial_signatures() {
+    let g = MemGeometry::word_oriented(32, 8);
+    // Column defect: same bit stuck across several words.
+    let mut mem = MemoryArray::new(g);
+    for w in [3u64, 9, 21, 30] {
+        mem.inject(FaultKind::StuckAt { cell: CellId::new(w, 6), value: true }).unwrap();
+    }
+    let mut unit =
+        mbist::core::microcode::MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
+    let report = unit.run(&mut mem);
+    assert!(!report.passed());
+    let bitmap = report.fail_log.bitmap(g);
+    assert_eq!(bitmap.signature(), FailSignature::SingleColumn);
+    assert_eq!(bitmap.failing_cell_count(), 4);
+    assert!(bitmap.cells().keys().all(|c| c.bit == 6));
+}

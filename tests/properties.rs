@@ -1,0 +1,220 @@
+//! Property-based tests over the whole stack: randomly generated march
+//! algorithms, memory organizations, programs and operation sequences.
+
+use proptest::prelude::*;
+
+use mbist::core::{
+    hardwired::HardwiredBist,
+    microcode::{self, MicrocodeBist},
+    progfsm::ProgFsmBist,
+};
+use mbist::logic::{minimize, Spec, TruthTable};
+use mbist::march::{expand, AddressOrder, MarchElement, MarchOp, MarchTest};
+use mbist::mem::{MemGeometry, MemoryArray, PortId};
+use mbist::rtl::Bits;
+
+fn arb_op() -> impl Strategy<Value = MarchOp> {
+    prop_oneof![
+        Just(MarchOp::Write(false)),
+        Just(MarchOp::Write(true)),
+        Just(MarchOp::Read(false)),
+        Just(MarchOp::Read(true)),
+    ]
+}
+
+fn arb_order() -> impl Strategy<Value = AddressOrder> {
+    prop_oneof![
+        Just(AddressOrder::Up),
+        Just(AddressOrder::Down),
+        Just(AddressOrder::Any),
+    ]
+}
+
+/// A well-formed march test: an initialization element followed by
+/// elements whose first op reads the state the previous element left —
+/// enough structure to never false-alarm, which we exploit in the
+/// fault-free property. For stream equivalence the read values would not
+/// even need to be consistent.
+fn arb_march_test() -> impl Strategy<Value = MarchTest> {
+    let init_value = any::<bool>();
+    let body = prop::collection::vec(
+        (arb_order(), prop::collection::vec(arb_op(), 1..5)),
+        1..5,
+    );
+    (init_value, body).prop_map(|(init, body)| {
+        let mut items = vec![MarchElement::new(
+            AddressOrder::Any,
+            vec![MarchOp::Write(init)],
+        )
+        .into()];
+        let mut state = init;
+        for (order, ops) in body {
+            // Repair the ops so every read expects the tracked state and
+            // writes update it.
+            let mut repaired = Vec::with_capacity(ops.len());
+            for op in ops {
+                match op {
+                    MarchOp::Read(_) => repaired.push(MarchOp::Read(state)),
+                    MarchOp::Write(d) => {
+                        repaired.push(MarchOp::Write(d));
+                        state = d;
+                    }
+                }
+            }
+            items.push(MarchElement::new(order, repaired).into());
+        }
+        MarchTest::new("prop-test", items)
+    })
+}
+
+fn arb_geometry() -> impl Strategy<Value = MemGeometry> {
+    (1u64..12, 1u8..6, 1u8..3).prop_map(|(w, b, p)| MemGeometry::new(w, b, p))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn microcode_stream_matches_reference(test in arb_march_test(), g in arb_geometry()) {
+        let mut unit = MicrocodeBist::for_test(&test, &g).expect("always expressible");
+        prop_assert_eq!(unit.emit_steps(), expand(&test, &g));
+    }
+
+    #[test]
+    fn hardwired_stream_matches_reference(test in arb_march_test(), g in arb_geometry()) {
+        let mut unit = HardwiredBist::for_test(&test, &g);
+        prop_assert_eq!(unit.emit_steps(), expand(&test, &g));
+    }
+
+    #[test]
+    fn progfsm_stream_matches_reference_when_expressible(
+        test in arb_march_test(),
+        g in arb_geometry(),
+    ) {
+        if let Ok(mut unit) = ProgFsmBist::for_test(&test, &g) {
+            prop_assert_eq!(unit.emit_steps(), expand(&test, &g));
+        }
+    }
+
+    #[test]
+    fn compiled_programs_roundtrip_through_the_assembler(test in arb_march_test()) {
+        let program = microcode::compile(&test).expect("compiles");
+        let text = microcode::to_source(&program);
+        let back = microcode::assemble(&text).expect("reassembles");
+        prop_assert_eq!(back, program);
+    }
+
+    #[test]
+    fn fault_free_units_never_false_alarm(
+        test in arb_march_test(),
+        g in arb_geometry(),
+        seed in any::<u64>(),
+    ) {
+        let mut unit = MicrocodeBist::for_test(&test, &g).expect("compiles");
+        let mut mem = MemoryArray::new(g);
+        mem.randomize(seed);
+        prop_assert!(unit.run(&mut mem).passed());
+    }
+
+    #[test]
+    fn notation_roundtrips(test in arb_march_test()) {
+        let text: Vec<String> = test.items().iter().map(ToString::to_string).collect();
+        let reparsed = MarchTest::parse(test.name(), &text.join("; ")).expect("parses");
+        prop_assert_eq!(reparsed.items(), test.items());
+    }
+
+    #[test]
+    fn bits_slice_concat_roundtrip(value in any::<u64>(), split in 1u8..63) {
+        let b = Bits::new(64, value);
+        let hi = b.slice(split, 64 - split);
+        let lo = b.slice(0, split);
+        prop_assert_eq!(hi.concat(lo), b);
+    }
+
+    #[test]
+    fn minimizer_preserves_function(bits in prop::collection::vec(any::<bool>(), 256)) {
+        // an arbitrary 8-input function
+        let tt = TruthTable::from_fn(8, |m| {
+            if bits[m as usize] { Spec::On } else { Spec::Off }
+        });
+        let cover = minimize(&tt).expect("8 inputs supported");
+        prop_assert!(tt.is_implemented_by(&cover));
+    }
+
+    #[test]
+    fn memory_matches_golden_model_when_fault_free(
+        ops in prop::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..200),
+        words in 1u64..32,
+        width in 1u8..9,
+    ) {
+        let g = MemGeometry::word_oriented(words, width);
+        let mut mem = MemoryArray::new(g);
+        let mut golden = vec![0u64; words as usize];
+        let p = PortId(0);
+        for (addr, data, is_write) in ops {
+            let addr = addr % words;
+            let data = Bits::new(width, data);
+            if is_write {
+                mem.write(p, addr, data);
+                golden[addr as usize] = data.value();
+            } else {
+                prop_assert_eq!(mem.read(p, addr).value(), golden[addr as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_allocation_is_sound(
+        cells in prop::collection::btree_set((0u64..32, 0u8..8), 0..20),
+        spare_rows in 0u32..4,
+        spare_cols in 0u32..4,
+    ) {
+        use mbist::core::repair::{allocate_repair, Redundancy};
+        use mbist::core::FailLog;
+        use mbist::mem::Miscompare;
+
+        let g = MemGeometry::word_oriented(32, 8);
+        let mut log = FailLog::new();
+        for &(word, bit) in &cells {
+            log.record(0, Miscompare {
+                port: PortId(0),
+                addr: word,
+                expected: Bits::zero(8),
+                observed: Bits::zero(8).with_bit(bit, true),
+            });
+        }
+        let bitmap = log.bitmap(g);
+        let solution = allocate_repair(
+            &bitmap,
+            Redundancy { spare_rows, spare_cols },
+        );
+        // Soundness: spares within budget; every cell either covered or
+        // listed uncovered; repaired ⇔ nothing uncovered.
+        prop_assert!(solution.row_repairs.len() <= spare_rows as usize);
+        prop_assert!(solution.col_repairs.len() <= spare_cols as usize);
+        for cell in bitmap.cells().keys() {
+            let covered = solution.covers(*cell);
+            let listed = solution.uncovered.contains(cell);
+            prop_assert!(covered != listed, "cell {cell} covered={covered} listed={listed}");
+        }
+        // Feasibility sanity: with enough spare rows for every failing
+        // word, the allocation must fully repair.
+        let distinct_words: std::collections::BTreeSet<u64> =
+            bitmap.cells().keys().map(|c| c.word).collect();
+        if distinct_words.len() <= spare_rows as usize {
+            prop_assert!(solution.is_repaired());
+        }
+    }
+
+    #[test]
+    fn symmetric_compression_never_changes_semantics(g in arb_geometry()) {
+        // The library's symmetric algorithms compile with Repeat; force an
+        // unrolled compile by renaming trick is not exposed, so instead
+        // verify Repeat-based and hardwired (always unrolled) streams agree.
+        for test in mbist::march::library::all() {
+            let mut micro = MicrocodeBist::for_test(&test, &g).expect("compiles");
+            let mut hard = HardwiredBist::for_test(&test, &g);
+            prop_assert_eq!(micro.emit_steps(), hard.emit_steps());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end built-in self-repair flow: BIST session → fail log →
+//! failure bitmap → redundancy allocation, plus NPSF coverage
+//! expectations (the fault class march tests famously do not cover).
+
+use mbist::core::microcode::MicrocodeBist;
+use mbist::core::repair::{allocate_repair, Redundancy};
+use mbist::march::{evaluate_coverage, library, CoverageOptions};
+use mbist::mem::{CellId, FaultClass, FaultKind, MemGeometry, MemoryArray};
+
+#[test]
+fn bist_to_repair_pipeline_fixes_a_column_defect() {
+    let g = MemGeometry::word_oriented(64, 8);
+    let mut mem = MemoryArray::new(g);
+    // A bit-line defect: bit 5 stuck in many words.
+    for w in [2u64, 9, 17, 33, 40, 58] {
+        mem.inject(FaultKind::StuckAt { cell: CellId::new(w, 5), value: true }).unwrap();
+    }
+    let mut unit = MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
+    let report = unit.run(&mut mem);
+    assert!(!report.passed());
+
+    let bitmap = report.fail_log.bitmap(g);
+    let solution = allocate_repair(&bitmap, Redundancy { spare_rows: 2, spare_cols: 1 });
+    assert!(solution.is_repaired());
+    assert_eq!(solution.col_repairs, vec![5], "one spare column fixes the bit line");
+    assert!(solution.row_repairs.is_empty());
+}
+
+#[test]
+fn bist_to_repair_pipeline_reports_unrepairable_dies() {
+    let g = MemGeometry::word_oriented(32, 8);
+    let mut mem = MemoryArray::new(g);
+    // Scattered single-cell defects beyond the spare budget.
+    for (w, b) in [(1u64, 0u8), (7, 3), (15, 6), (29, 2)] {
+        mem.inject(FaultKind::StuckAt { cell: CellId::new(w, b), value: false }).unwrap();
+        mem.poke(w, mbist::rtl::Bits::zero(8)); // ensure defined state
+    }
+    let mut unit = MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
+    let report = unit.run(&mut mem);
+    let bitmap = report.fail_log.bitmap(g);
+    assert_eq!(bitmap.failing_cell_count(), 4);
+    let solution = allocate_repair(&bitmap, Redundancy { spare_rows: 1, spare_cols: 1 });
+    assert!(!solution.is_repaired());
+    assert_eq!(solution.uncovered.len(), 2);
+}
+
+#[test]
+fn repaired_memory_passes_retest() {
+    // Model the repair by moving the injected faults off the replaced
+    // column: after allocation, re-test a memory whose faulty column is
+    // bypassed (fault removed) and expect a pass.
+    let g = MemGeometry::word_oriented(32, 4);
+    let faulty_col = 2u8;
+    let mut mem = MemoryArray::new(g);
+    for w in 0..8u64 {
+        mem.inject(FaultKind::StuckAt { cell: CellId::new(w * 4, faulty_col), value: true })
+            .unwrap();
+    }
+    let mut unit = MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
+    let report = unit.run(&mut mem);
+    let solution = allocate_repair(
+        &report.fail_log.bitmap(g),
+        Redundancy { spare_rows: 0, spare_cols: 1 },
+    );
+    assert!(solution.is_repaired());
+    assert_eq!(solution.col_repairs, vec![faulty_col]);
+
+    // "Blow the fuses": the spare column replaces the defective one.
+    let mut repaired = MemoryArray::new(g);
+    let retest = unit.run(&mut repaired);
+    assert!(retest.passed());
+}
+
+#[test]
+fn march_tests_cover_npsf_only_partially() {
+    let g = MemGeometry::bit_oriented(64);
+    let opts = CoverageOptions {
+        classes: vec![FaultClass::NpsfStatic, FaultClass::NpsfActive],
+        max_faults_per_class: Some(128),
+        ..CoverageOptions::default()
+    };
+    let report = evaluate_coverage(&library::march_c(), &g, &opts);
+    for row in &report.rows {
+        assert!(row.detected > 0, "{} should catch something", row.class);
+        assert!(
+            row.ratio() < 0.6,
+            "{} at {:.0}% — march tests must NOT fully cover NPSF",
+            row.class,
+            row.ratio() * 100.0
+        );
+    }
+    // The heavier March G does better but still not full — the classical
+    // motivation for dedicated NPSF tests.
+    let g_report = evaluate_coverage(&library::march_g(), &g, &opts);
+    let c_total: usize = report.rows.iter().map(|r| r.detected).sum();
+    let g_total: usize = g_report.rows.iter().map(|r| r.detected).sum();
+    assert!(g_total >= c_total);
+    assert!(g_report.rows.iter().all(|r| !r.is_complete()));
+}
