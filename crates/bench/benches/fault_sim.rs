@@ -1,0 +1,62 @@
+//! Fault-simulation engine throughput: serial vs parallel coverage
+//! evaluation and full-replay vs early-exit detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbist_march::{
+    evaluate_coverage, expand, library, run_steps, run_steps_detect, CoverageOptions,
+};
+use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
+use std::hint::black_box;
+
+fn bench_coverage_parallelism(c: &mut Criterion) {
+    let g = MemGeometry::bit_oriented(256);
+    let mut group = c.benchmark_group("fault_sim_256x1");
+    group.sample_size(10);
+
+    for (label, jobs) in [("jobs1", Some(1)), ("jobs_auto", None)] {
+        group.bench_function(format!("march_c_all_classes_{label}"), |b| {
+            let opts = CoverageOptions {
+                max_faults_per_class: Some(128),
+                jobs,
+                ..CoverageOptions::default()
+            };
+            b.iter(|| black_box(evaluate_coverage(&library::march_c(), &g, &opts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_detect_early_exit(c: &mut Criterion) {
+    let g = MemGeometry::bit_oriented(256);
+    let test = library::march_c();
+    let steps = expand(&test, &g);
+    let spec = UniverseSpec::default();
+    // A stuck-at fault trips on the very first read sweep (early exit wins);
+    // the fault-free array replays the whole stream in both modes.
+    let fault = class_universe(&g, FaultClass::StuckAt, &spec)[0];
+
+    let mut group = c.benchmark_group("detect_256x1");
+    group.sample_size(10);
+    group.bench_function("full_replay_stuck_at", |b| {
+        b.iter(|| {
+            let mut mem = MemoryArray::with_fault(g, fault).unwrap();
+            black_box(!run_steps(&mut mem, &steps).passed())
+        })
+    });
+    group.bench_function("early_exit_stuck_at", |b| {
+        b.iter(|| {
+            let mut mem = MemoryArray::with_fault(g, fault).unwrap();
+            black_box(run_steps_detect(&mut mem, &steps))
+        })
+    });
+    group.bench_function("early_exit_fault_free", |b| {
+        b.iter(|| {
+            let mut mem = MemoryArray::new(g);
+            black_box(run_steps_detect(&mut mem, &steps))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage_parallelism, bench_detect_early_exit);
+criterion_main!(benches);

@@ -1,0 +1,625 @@
+//! Std-only coverage-engine performance harness.
+//!
+//! Measures serial fault simulation in four modes on the same sampled
+//! fault universes:
+//!
+//! - `seed_replay`: the original algorithm — the [`legacy`] reference
+//!   simulator (per-bit cell stores, per-write `Vec<bool>` snapshots,
+//!   linear fault scans) replaying the entire stream and collecting every
+//!   miscompare;
+//! - `engine_full`: the rewritten indexed/bitmask array, still replaying
+//!   the full stream per fault;
+//! - `detect_jobs1`: the engine with early exit at the first miscompare,
+//!   forced serial (`jobs = 1`);
+//! - `parallel_auto`: the engine with the host's available parallelism.
+//!
+//! Emits `BENCH_coverage.json` (test × geometry × wall-ns × faults/sec)
+//! and prints a human summary with the speedups vs the seed path.
+//! `--quick` shrinks the workload for smoke runs; `--out PATH` overrides
+//! the JSON path.
+//!
+//! No external crates: timing via `std::time::Instant`, JSON by hand.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use std::{env, fs, thread};
+
+use mbist_march::{
+    evaluate_coverage, expand_with, library, run_steps, CoverageOptions, ExpandOptions,
+    MarchTest,
+};
+use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
+
+/// The fault simulator exactly as the workspace seed implemented it,
+/// preserved as the performance baseline. Semantically equivalent to
+/// [`mbist_mem::MemoryArray`] (the regression suite proves the rewrite kept
+/// behavior); the difference is purely mechanical: per-bit stores behind
+/// `Vec<bool>` old/new snapshots, and a linear scan of the fault list on
+/// every store and every observed bit.
+mod legacy {
+    use mbist_mem::{CellId, FaultKind, MemGeometry, PortId, TestStep};
+    use mbist_rtl::Bits;
+
+    #[derive(Default, Clone)]
+    struct FaultState {
+        consecutive_reads: u8,
+        last_write_ns: f64,
+    }
+
+    #[derive(Clone)]
+    struct FaultEntry {
+        kind: FaultKind,
+        state: FaultState,
+    }
+
+    #[derive(Default, Clone)]
+    struct SenseLatch {
+        value: u64,
+        valid: bool,
+    }
+
+    pub struct LegacyArray {
+        geometry: MemGeometry,
+        words: Vec<u64>,
+        faults: Vec<FaultEntry>,
+        sense: Vec<SenseLatch>,
+        now_ns: f64,
+    }
+
+    #[derive(Clone, Copy)]
+    enum Effect {
+        Invert,
+        Force(bool),
+    }
+
+    impl LegacyArray {
+        pub fn with_fault(geometry: MemGeometry, fault: FaultKind) -> Self {
+            let mut mem = Self {
+                geometry,
+                words: vec![0; usize::try_from(geometry.words()).expect("fits")],
+                faults: Vec::new(),
+                sense: vec![SenseLatch::default(); usize::from(geometry.ports())],
+                now_ns: 0.0,
+            };
+            if let FaultKind::StuckAt { cell, value } = fault {
+                mem.set_raw(cell, value);
+            }
+            mem.faults.push(FaultEntry { kind: fault, state: FaultState::default() });
+            mem
+        }
+
+        pub fn pause(&mut self, ns: f64) {
+            self.now_ns += ns;
+        }
+
+        pub fn write(&mut self, _port: PortId, addr: u64, data: Bits) {
+            self.now_ns += 10.0;
+            let (targets, _) = self.resolve(addr);
+            for word in targets {
+                self.write_word(word, data);
+            }
+        }
+
+        fn write_word(&mut self, word: u64, data: Bits) {
+            let width = self.geometry.width();
+            let mut old = vec![false; usize::from(width)];
+            let mut new = vec![false; usize::from(width)];
+            for bit in 0..width {
+                let cell = CellId::new(word, bit);
+                old[usize::from(bit)] = self.raw_bit(cell);
+                self.store_cell_base(cell, data.bit(bit));
+                new[usize::from(bit)] = self.raw_bit(cell);
+            }
+            let mut effects: Vec<(CellId, Effect)> = Vec::new();
+            for bit in 0..width {
+                let (o, n) = (old[usize::from(bit)], new[usize::from(bit)]);
+                if o == n {
+                    continue;
+                }
+                let rising = n;
+                let aggressor = CellId::new(word, bit);
+                for f in &self.faults {
+                    match f.kind {
+                        FaultKind::CouplingInversion { aggressor: a, victim, rising: r }
+                            if a == aggressor
+                                && r == rising
+                                && self.victim_sensitized(victim, word, &old, &new) =>
+                        {
+                            effects.push((victim, Effect::Invert));
+                        }
+                        FaultKind::CouplingIdempotent {
+                            aggressor: a,
+                            victim,
+                            rising: r,
+                            forced,
+                        } if a == aggressor
+                            && r == rising
+                            && self.victim_sensitized(victim, word, &old, &new) =>
+                        {
+                            effects.push((victim, Effect::Force(forced)));
+                        }
+                        FaultKind::NpsfActive { base, trigger, rising: r, others }
+                            if trigger == aggressor
+                                && r == rising
+                                && others.iter().all(|(c, v)| self.raw_bit(*c) == *v)
+                                && self.victim_sensitized(base, word, &old, &new) =>
+                        {
+                            effects.push((base, Effect::Invert));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for (victim, effect) in effects {
+                let v = match effect {
+                    Effect::Invert => !self.raw_bit(victim),
+                    Effect::Force(b) => b,
+                };
+                self.store_victim(victim, v);
+            }
+        }
+
+        fn victim_sensitized(
+            &self,
+            victim: CellId,
+            word: u64,
+            old: &[bool],
+            new: &[bool],
+        ) -> bool {
+            if victim.word != word {
+                return true;
+            }
+            let i = usize::from(victim.bit);
+            old[i] == new[i]
+        }
+
+        pub fn read(&mut self, port: PortId, addr: u64) -> Bits {
+            self.now_ns += 10.0;
+            let (targets, wired_and) = self.resolve(addr);
+            let width = self.geometry.width();
+            let mut combined: Option<u64> = None;
+            for word in targets {
+                let mut v = 0u64;
+                for bit in 0..width {
+                    if self.observed_bit(port, CellId::new(word, bit)) {
+                        v |= 1 << bit;
+                    }
+                }
+                combined = Some(match combined {
+                    None => v,
+                    Some(prev) => {
+                        if wired_and {
+                            prev & v
+                        } else {
+                            prev | v
+                        }
+                    }
+                });
+            }
+            let value = combined.expect("at least one word");
+            let latch = &mut self.sense[usize::from(port.0)];
+            latch.value = value;
+            latch.valid = true;
+            Bits::new(width, value)
+        }
+
+        fn resolve(&self, addr: u64) -> (Vec<u64>, bool) {
+            let mut a = addr;
+            for f in &self.faults {
+                if let FaultKind::AddressMap { from, to } = f.kind {
+                    if from == a {
+                        a = to;
+                        break;
+                    }
+                }
+            }
+            let mut out = vec![a];
+            let mut wired_and = true;
+            for f in &self.faults {
+                if let FaultKind::AddressMulti { addr: m, extra, wired_and: wa } = f.kind {
+                    if m == a {
+                        out.push(extra);
+                        wired_and = wa;
+                    }
+                }
+            }
+            (out, wired_and)
+        }
+
+        fn raw_bit(&self, cell: CellId) -> bool {
+            (self.words[cell.word as usize] >> cell.bit) & 1 == 1
+        }
+
+        fn set_raw(&mut self, cell: CellId, value: bool) {
+            let w = &mut self.words[cell.word as usize];
+            if value {
+                *w |= 1 << cell.bit;
+            } else {
+                *w &= !(1 << cell.bit);
+            }
+        }
+
+        fn store_cell_base(&mut self, cell: CellId, new: bool) {
+            if self
+                .faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::StuckOpen { cell: c } if c == cell))
+            {
+                return;
+            }
+            let old = self.raw_bit(cell);
+            let mut val = new;
+            for f in &self.faults {
+                if let FaultKind::Transition { cell: c, rising } = f.kind {
+                    if c == cell {
+                        if rising && !old && new {
+                            val = false;
+                        }
+                        if !rising && old && !new {
+                            val = true;
+                        }
+                    }
+                }
+            }
+            for f in &self.faults {
+                if let FaultKind::StuckAt { cell: c, value } = f.kind {
+                    if c == cell {
+                        val = value;
+                    }
+                }
+            }
+            self.set_raw(cell, val);
+            self.touch_written(cell);
+        }
+
+        fn store_victim(&mut self, cell: CellId, value: bool) {
+            let mut val = value;
+            for f in &self.faults {
+                if let FaultKind::StuckAt { cell: c, value: v } = f.kind {
+                    if c == cell {
+                        val = v;
+                    }
+                }
+            }
+            self.set_raw(cell, val);
+            self.touch_written(cell);
+        }
+
+        fn touch_written(&mut self, cell: CellId) {
+            let now = self.now_ns;
+            for f in &mut self.faults {
+                match f.kind {
+                    FaultKind::Retention { cell: c, .. } if c == cell => {
+                        f.state.last_write_ns = now;
+                    }
+                    FaultKind::PullOpen { cell: c, .. } if c == cell => {
+                        f.state.consecutive_reads = 0;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        fn observed_bit(&mut self, port: PortId, cell: CellId) -> bool {
+            if self
+                .faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::StuckOpen { cell: c } if c == cell))
+            {
+                let latch = &self.sense[usize::from(port.0)];
+                return latch.valid && (latch.value >> cell.bit) & 1 == 1;
+            }
+            let now = self.now_ns;
+            let mut decay: Option<bool> = None;
+            for f in &mut self.faults {
+                if let FaultKind::Retention { cell: c, decays_to, retention_ns } = f.kind {
+                    if c == cell && now - f.state.last_write_ns > retention_ns {
+                        decay = Some(decays_to);
+                    }
+                }
+            }
+            if let Some(v) = decay {
+                self.store_victim(cell, v);
+            }
+            let mut v = self.raw_bit(cell);
+            let mut drained: Option<bool> = None;
+            for f in &mut self.faults {
+                if let FaultKind::PullOpen { cell: c, good_reads, decays_to } = f.kind {
+                    if c == cell {
+                        f.state.consecutive_reads =
+                            f.state.consecutive_reads.saturating_add(1);
+                        if f.state.consecutive_reads > good_reads {
+                            drained = Some(decays_to);
+                        }
+                    }
+                }
+            }
+            if let Some(d) = drained {
+                v = d;
+                self.store_victim(cell, d);
+            }
+            let mut masked: Option<bool> = None;
+            for f in &self.faults {
+                if let FaultKind::CouplingState { aggressor, victim, when, forced } = f.kind {
+                    if victim == cell && self.raw_bit(aggressor) == when {
+                        masked = Some(forced);
+                    }
+                }
+            }
+            if let Some(m) = masked {
+                v = m;
+            }
+            let mut npsf: Option<bool> = None;
+            for f in &self.faults {
+                if let FaultKind::NpsfStatic { base, neighborhood, forced } = f.kind {
+                    if base == cell
+                        && neighborhood.iter().all(|(c, val)| self.raw_bit(*c) == *val)
+                    {
+                        npsf = Some(forced);
+                    }
+                }
+            }
+            if let Some(m) = npsf {
+                v = m;
+            }
+            for f in &self.faults {
+                if let FaultKind::StuckAt { cell: c, value } = f.kind {
+                    if c == cell {
+                        v = value;
+                    }
+                }
+            }
+            v
+        }
+    }
+
+    /// The seed's full-report replay: every checked read is compared and
+    /// every miscompare collected, exactly like the original `run_steps`.
+    pub fn run_steps_collect(mem: &mut LegacyArray, steps: &[TestStep]) -> bool {
+        let mut miscompares: Vec<(PortId, u64)> = Vec::new();
+        for step in steps {
+            match step {
+                TestStep::Pause { ns } => mem.pause(*ns),
+                TestStep::Bus(cycle) => match cycle.op {
+                    mbist_mem::Operation::Write(data) => {
+                        mem.write(cycle.port, cycle.addr, data);
+                    }
+                    mbist_mem::Operation::Read => {
+                        let observed = mem.read(cycle.port, cycle.addr);
+                        if let Some(expected) = cycle.expected {
+                            if observed != expected {
+                                miscompares.push((cycle.port, cycle.addr));
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        !miscompares.is_empty()
+    }
+}
+
+const MAX_FAULTS_PER_CLASS: usize = 512;
+
+type Mode<'a> = (&'static str, Box<dyn FnMut() -> usize + 'a>);
+
+struct Entry {
+    test: String,
+    geometry: MemGeometry,
+    mode: &'static str,
+    faults: usize,
+    wall_ns: u128,
+}
+
+impl Entry {
+    fn faults_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            f64::INFINITY
+        } else {
+            self.faults as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+/// The acceptance universe: every fault class, stride-capped per class the
+/// same way `evaluate_coverage` caps it.
+fn sampled_universe(geometry: &MemGeometry) -> Vec<mbist_mem::FaultKind> {
+    let spec = UniverseSpec::default();
+    let mut faults = Vec::new();
+    for &class in FaultClass::ALL.iter() {
+        let u = class_universe(geometry, class, &spec);
+        let len = u.len();
+        if len <= MAX_FAULTS_PER_CLASS {
+            faults.extend(u);
+        } else {
+            // Same index set as the engine's stride sampler:
+            // ceil(k·len/max) − 1 for k = 1..=max.
+            let mut keep =
+                (1..=MAX_FAULTS_PER_CLASS).map(|k| (k * len).div_ceil(MAX_FAULTS_PER_CLASS) - 1);
+            let mut next = keep.next();
+            for (i, f) in u.into_iter().enumerate() {
+                if next == Some(i) {
+                    faults.push(f);
+                    next = keep.next();
+                }
+            }
+        }
+    }
+    faults
+}
+
+/// The true pre-optimization baseline: the seed's array and full-report
+/// replay, via the [`legacy`] reference simulator.
+fn run_seed_replay(test: &MarchTest, geometry: &MemGeometry) -> usize {
+    let steps = expand_with(test, geometry, &ExpandOptions::for_geometry(geometry));
+    let mut detected = 0;
+    for fault in sampled_universe(geometry) {
+        let mut mem = legacy::LegacyArray::with_fault(*geometry, fault);
+        if legacy::run_steps_collect(&mut mem, &steps) {
+            detected += 1;
+        }
+    }
+    detected
+}
+
+/// The rewritten array, but still replaying the whole stream per fault —
+/// isolates the indexed/bitmask array speedup from the early-exit speedup.
+fn run_full_replay(test: &MarchTest, geometry: &MemGeometry) -> usize {
+    let steps = expand_with(test, geometry, &ExpandOptions::for_geometry(geometry));
+    let mut detected = 0;
+    for fault in sampled_universe(geometry) {
+        let mut mem =
+            MemoryArray::with_fault(*geometry, fault).expect("universe fits geometry");
+        if !run_steps(&mut mem, &steps).passed() {
+            detected += 1;
+        }
+    }
+    detected
+}
+
+fn run_engine(test: &MarchTest, geometry: &MemGeometry, jobs: Option<usize>) -> usize {
+    let report = evaluate_coverage(
+        test,
+        geometry,
+        &CoverageOptions {
+            max_faults_per_class: Some(MAX_FAULTS_PER_CLASS),
+            jobs,
+            ..CoverageOptions::default()
+        },
+    );
+    report.rows.iter().map(|r| r.detected).sum()
+}
+
+/// Best-of-`samples` wall time of `f`, with the result of the first run
+/// returned for cross-mode agreement checks.
+fn time_best<F: FnMut() -> usize>(samples: usize, mut f: F) -> (u128, usize) {
+    let mut best = u128::MAX;
+    let mut result = 0;
+    for i in 0..samples.max(1) {
+        let start = Instant::now();
+        let r = f();
+        let ns = start.elapsed().as_nanos();
+        if i == 0 {
+            result = r;
+        }
+        best = best.min(ns);
+    }
+    (best, result)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_coverage.json".to_string());
+
+    let geometries: Vec<MemGeometry> = if quick {
+        vec![MemGeometry::bit_oriented(64)]
+    } else {
+        vec![MemGeometry::bit_oriented(256), MemGeometry::bit_oriented(1024)]
+    };
+    let tests = [library::mats_plus(), library::march_c()];
+    let samples = if quick { 1 } else { 3 };
+    let host = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!("coverage engine perf — host parallelism {host}, samples {samples}");
+    println!(
+        "{:<10} {:<10} {:<14} {:>8} {:>14} {:>12}",
+        "test", "geometry", "mode", "faults", "wall", "faults/s"
+    );
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for g in &geometries {
+        let faults = sampled_universe(g).len();
+        for t in &tests {
+            let modes: [Mode<'_>; 4] = [
+                ("seed_replay", Box::new(|| run_seed_replay(t, g))),
+                ("engine_full", Box::new(|| run_full_replay(t, g))),
+                ("detect_jobs1", Box::new(|| run_engine(t, g, Some(1)))),
+                ("parallel_auto", Box::new(|| run_engine(t, g, None))),
+            ];
+            let mut detected: Option<usize> = None;
+            for (mode, mut f) in modes {
+                let (wall_ns, result) = time_best(samples, &mut f);
+                match detected {
+                    None => detected = Some(result),
+                    Some(d) => assert_eq!(
+                        d, result,
+                        "{} {g} {mode}: modes disagree on detections",
+                        t.name()
+                    ),
+                }
+                let e = Entry { test: t.name().to_string(), geometry: *g, mode, faults, wall_ns };
+                println!(
+                    "{:<10} {:<10} {:<14} {:>8} {:>11.3} ms {:>12.0}",
+                    e.test,
+                    e.geometry.to_string(),
+                    e.mode,
+                    e.faults,
+                    e.wall_ns as f64 / 1e6,
+                    e.faults_per_sec()
+                );
+                entries.push(e);
+            }
+        }
+    }
+
+    // Speedups on the largest march-c run (the acceptance configuration).
+    let pick = |mode: &str| {
+        entries
+            .iter()
+            .filter(|e| e.test == "march-c" && e.mode == mode)
+            .max_by_key(|e| e.geometry.words())
+    };
+    let seed = pick("seed_replay").expect("march-c measured");
+    let engine_full = pick("engine_full").expect("march-c measured");
+    let detect = pick("detect_jobs1").expect("march-c measured");
+    let parallel = pick("parallel_auto").expect("march-c measured");
+    let array_speedup = seed.wall_ns as f64 / engine_full.wall_ns.max(1) as f64;
+    let detect_speedup = seed.wall_ns as f64 / detect.wall_ns.max(1) as f64;
+    let parallel_speedup = seed.wall_ns as f64 / parallel.wall_ns.max(1) as f64;
+    println!();
+    println!(
+        "march-c on {}: vs seed path — array rewrite {array_speedup:.1}x, \
+         +early-exit {detect_speedup:.1}x, +parallel {parallel_speedup:.1}x \
+         (host parallelism {host})",
+        seed.geometry
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"max_faults_per_class\": {MAX_FAULTS_PER_CLASS},");
+    let _ = writeln!(
+        json,
+        "  \"speedup\": {{ \"array_vs_seed\": {array_speedup:.3}, \
+         \"detect_vs_seed\": {detect_speedup:.3}, \
+         \"parallel_vs_seed\": {parallel_speedup:.3} }},"
+    );
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"test\": \"{}\", \"geometry\": \"{}\", \"mode\": \"{}\", \
+             \"faults\": {}, \"wall_ns\": {}, \"faults_per_sec\": {:.1} }}{comma}",
+            json_escape(&e.test),
+            e.geometry,
+            e.mode,
+            e.faults,
+            e.wall_ns,
+            e.faults_per_sec()
+        );
+    }
+    json.push_str("  ]\n}\n");
+    fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -86,12 +86,13 @@ commands:
       [--width W] [--ports P] [--arch microcode|progfsm|hardwired]
       [--fault KIND@ADDR[.BIT]]       KIND: sa0 sa1 tf-up tf-down sof drf puf
   coverage <algorithm> --words N      per-fault-class coverage (serial fault sim)
-      [--max-faults K]
+      [--max-faults K] [--jobs J]     J worker threads (0 or absent = auto);
+                                      the report is identical for every J
   area [--table 1|2|3]                regenerate the paper's tables
   rtl <algorithm> [--capacity Z]      emit Verilog for the microcode BIST unit
       [--words N] [--width W]
   synth --classes C1,C2,..            synthesize a minimal march test for a
-      [--max-elements N]              fault mix (saf tf af cfin cfid cfst)
+      [--max-elements N] [--jobs J]   fault mix (saf tf af cfin cfid cfst)
 
 <algorithm> is a library name (march-c, mats+, ...) or inline notation like
 \"m(w0); u(r0,w1); d(r1,w0)\".
@@ -124,6 +125,13 @@ fn parse_flag<T: std::str::FromStr>(
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| err(format!("invalid value `{v}` for {name}"))),
     }
+}
+
+/// `--jobs N` → worker-thread request: 0 (or absent) means "use the host's
+/// available parallelism".
+fn jobs_from(args: &[&str]) -> Result<Option<usize>, CliError> {
+    let n: usize = parse_flag(args, "--jobs", 0)?;
+    Ok(if n == 0 { None } else { Some(n) })
 }
 
 fn geometry_from(args: &[&str]) -> Result<MemGeometry, CliError> {
@@ -288,7 +296,11 @@ fn cmd_coverage(args: &[&str]) -> Result<String, CliError> {
     let report = evaluate_coverage(
         &t,
         &geometry,
-        &CoverageOptions { max_faults_per_class: Some(max), ..CoverageOptions::default() },
+        &CoverageOptions {
+            max_faults_per_class: Some(max),
+            jobs: jobs_from(args)?,
+            ..CoverageOptions::default()
+        },
     );
     Ok(report.to_string())
 }
@@ -345,7 +357,9 @@ fn cmd_synth(args: &[&str]) -> Result<String, CliError> {
         });
     }
     let max_elements: usize = parse_flag(args, "--max-elements", 8)?;
-    let options = SynthesisOptions { classes, max_elements, ..SynthesisOptions::default() };
+    let mut options =
+        SynthesisOptions { classes, max_elements, ..SynthesisOptions::default() };
+    options.coverage.jobs = jobs_from(args)?;
     let result = synthesize_march("synthesized", &options);
     let mut out = String::new();
     let _ = writeln!(out, "{}", result.test);
@@ -457,6 +471,23 @@ mod tests {
         let out = run_ok(&["coverage", "mats+", "--words", "16", "--max-faults", "32"]);
         assert!(out.contains("SAF"));
         assert!(out.contains("%"));
+    }
+
+    #[test]
+    fn coverage_output_is_independent_of_jobs() {
+        let base = ["coverage", "march-c", "--words", "16", "--max-faults", "32"];
+        let with_jobs = |j: &str| {
+            let mut args = base.to_vec();
+            args.extend(["--jobs", j]);
+            run_ok(&args)
+        };
+        let serial = with_jobs("1");
+        assert_eq!(with_jobs("2"), serial);
+        assert_eq!(with_jobs("0"), serial, "0 = auto must match too");
+        assert_eq!(run_ok(&base), serial, "flag absent = auto");
+        assert!(run_err(&["coverage", "march-c", "--words", "8", "--jobs", "x"])
+            .to_string()
+            .contains("--jobs"));
     }
 
     #[test]

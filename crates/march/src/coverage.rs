@@ -2,10 +2,10 @@
 
 use std::fmt;
 
-use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
+use mbist_mem::{class_universe, FaultClass, MemGeometry, UniverseSpec};
 
 use crate::expand::{expand_with, ExpandOptions};
-use crate::runner::run_steps;
+use crate::fanout::detect_universe;
 use crate::test::MarchTest;
 
 /// Coverage of one fault class.
@@ -49,6 +49,10 @@ pub struct CoverageOptions {
     pub max_faults_per_class: Option<usize>,
     /// Expansion options (backgrounds, ports).
     pub expand: Option<ExpandOptions>,
+    /// Worker threads for the fault fan-out: `Some(n)` forces `n` workers
+    /// (1 = serial), `None` uses the host's available parallelism. The
+    /// report is bit-for-bit identical for every setting.
+    pub jobs: Option<usize>,
 }
 
 impl Default for CoverageOptions {
@@ -58,6 +62,7 @@ impl Default for CoverageOptions {
             spec: UniverseSpec::default(),
             max_faults_per_class: Some(512),
             expand: None,
+            jobs: None,
         }
     }
 }
@@ -115,6 +120,11 @@ impl fmt::Display for CoverageReport {
 /// simulation: one fresh array per fault, detected iff any checked read
 /// miscompares.
 ///
+/// The step stream is expanded once and replayed with early exit at the
+/// first miscompare; the per-class universes fan out across worker threads
+/// ([`CoverageOptions::jobs`]) with a deterministic in-order reduction, so
+/// the report does not depend on the worker count.
+///
 /// # Examples
 ///
 /// ```
@@ -151,32 +161,31 @@ pub fn evaluate_coverage(
             universe = stride_sample(universe, max);
         }
         let total = universe.len();
-        let mut detected = 0;
-        for fault in universe {
-            let mut mem = MemoryArray::with_fault(*geometry, fault)
-                .expect("generated universes fit the geometry");
-            if !run_steps(&mut mem, &steps).passed() {
-                detected += 1;
-            }
-        }
+        let flags = detect_universe(geometry, &steps, &universe, options.jobs);
+        let detected = flags.iter().filter(|&&d| d).count();
         rows.push(ClassCoverage { class, detected, total });
     }
     CoverageReport { test: test.name().to_string(), geometry: *geometry, rows }
 }
 
-/// Deterministic stride subsampling preserving order and endpoints.
-fn stride_sample<T>(items: Vec<T>, max: usize) -> Vec<T> {
-    if items.len() <= max || max == 0 {
+/// Deterministic stride subsampling: keeps the last element of each of
+/// `max` equal buckets — indices `ceil(k·len/max) − 1` for `k = 1..=max` —
+/// preserving order and always including the final element. Returns the
+/// input unchanged when it already fits (or when `max == 0`, meaning
+/// "no cap"); otherwise the output length is exactly `max`.
+pub(crate) fn stride_sample<T>(items: Vec<T>, max: usize) -> Vec<T> {
+    let len = items.len();
+    if max == 0 || len <= max {
         return items;
     }
-    let len = items.len();
+    let mut keep = (1..=max).map(|k| (k * len).div_ceil(max) - 1);
+    let mut next = keep.next();
     let mut out = Vec::with_capacity(max);
     for (i, item) in items.into_iter().enumerate() {
-        // keep item i iff it starts a new bucket of size len/max
-        if (i * max / len != (i + 1) * max / len || i == len - 1 && out.len() < max)
-            && out.len() < max {
-                out.push(item);
-            }
+        if next == Some(i) {
+            out.push(item);
+            next = keep.next();
+        }
     }
     out
 }
@@ -185,6 +194,25 @@ fn stride_sample<T>(items: Vec<T>, max: usize) -> Vec<T> {
 mod tests {
     use super::*;
     use crate::library;
+
+    /// The bucket-boundary condition the sampler historically used; kept as
+    /// an oracle so the closed-form rewrite provably selects the same
+    /// indices.
+    fn stride_sample_oracle<T>(items: Vec<T>, max: usize) -> Vec<T> {
+        if items.len() <= max || max == 0 {
+            return items;
+        }
+        let len = items.len();
+        let mut out = Vec::with_capacity(max);
+        for (i, item) in items.into_iter().enumerate() {
+            if (i * max / len != (i + 1) * max / len || i == len - 1 && out.len() < max)
+                && out.len() < max
+            {
+                out.push(item);
+            }
+        }
+        out
+    }
 
     #[test]
     fn stride_sampling_bounds_and_determinism() {
@@ -195,6 +223,39 @@ mod tests {
         assert_eq!(s, s2);
         let all = stride_sample(items.clone(), 200);
         assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn stride_sampling_length_order_and_endpoint() {
+        for len in 0usize..40 {
+            let items: Vec<usize> = (0..len).collect();
+            for max in 0usize..45 {
+                let s = stride_sample(items.clone(), max);
+                if max == 0 {
+                    assert_eq!(s, items, "max=0 means no cap");
+                    continue;
+                }
+                assert_eq!(s.len(), len.min(max), "len={len} max={max}");
+                assert!(s.windows(2).all(|w| w[0] < w[1]), "order preserved");
+                if len > 0 {
+                    assert_eq!(*s.last().unwrap(), len - 1, "last element kept");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stride_sampling_matches_historical_oracle() {
+        for len in 0usize..40 {
+            let items: Vec<usize> = (0..len).collect();
+            for max in 0usize..45 {
+                assert_eq!(
+                    stride_sample(items.clone(), max),
+                    stride_sample_oracle(items.clone(), max),
+                    "len={len} max={max}"
+                );
+            }
+        }
     }
 
     #[test]

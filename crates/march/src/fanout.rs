@@ -1,0 +1,115 @@
+//! Parallel fan-out of serial fault simulation over a fault universe.
+//!
+//! Serial fault simulation is embarrassingly parallel: each fault gets a
+//! fresh array and replays the same pre-expanded step stream, with no
+//! shared mutable state. This module chunks a universe across scoped
+//! worker threads (`std::thread::scope`, no external dependencies) and
+//! reduces the per-chunk verdicts back **in universe order**, so the result
+//! is bit-for-bit identical regardless of worker count.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+use mbist_mem::{FaultKind, MemGeometry, MemoryArray, TestStep};
+
+use crate::runner::run_steps_detect;
+
+/// Below this many faults per worker, thread spawn overhead outweighs the
+/// simulation work; the chunking rounds worker count down accordingly.
+const MIN_FAULTS_PER_WORKER: usize = 8;
+
+/// Resolves a `jobs` request to a concrete worker count.
+///
+/// `None` asks the host ([`std::thread::available_parallelism`], falling
+/// back to 1); `Some(n)` forces `n` (clamped to at least 1).
+pub(crate) fn resolve_jobs(jobs: Option<usize>) -> usize {
+    match jobs {
+        Some(n) => n.max(1),
+        None => thread::available_parallelism().map_or(1, NonZeroUsize::get),
+    }
+}
+
+/// Simulates every fault in `universe` against `steps`, returning one
+/// detection flag per fault, in universe order.
+///
+/// Each fault is simulated on a fresh single-fault [`MemoryArray`] with the
+/// early-exit replay ([`run_steps_detect`]), exactly as the serial loop
+/// would — parallelism only changes wall-clock time, never the flags.
+///
+/// # Panics
+///
+/// Panics if a fault in `universe` does not fit `geometry` (generated
+/// universes always fit).
+pub(crate) fn detect_universe(
+    geometry: &MemGeometry,
+    steps: &[TestStep],
+    universe: &[FaultKind],
+    jobs: Option<usize>,
+) -> Vec<bool> {
+    let workers = resolve_jobs(jobs)
+        .min(universe.len().div_ceil(MIN_FAULTS_PER_WORKER))
+        .max(1);
+    if workers <= 1 {
+        return universe.iter().map(|&f| detect_one(geometry, steps, f)).collect();
+    }
+    let chunk = universe.len().div_ceil(workers);
+    thread::scope(|scope| {
+        let handles: Vec<_> = universe
+            .chunks(chunk)
+            .map(|faults| {
+                scope.spawn(move || {
+                    faults
+                        .iter()
+                        .map(|&f| detect_one(geometry, steps, f))
+                        .collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fault-simulation worker panicked"))
+            .collect()
+    })
+}
+
+fn detect_one(geometry: &MemGeometry, steps: &[TestStep], fault: FaultKind) -> bool {
+    let mut mem = MemoryArray::with_fault(*geometry, fault)
+        .expect("generated universes fit the geometry");
+    run_steps_detect(&mut mem, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::expand;
+    use crate::library;
+    use mbist_mem::{class_universe, FaultClass, UniverseSpec};
+
+    #[test]
+    fn resolve_jobs_clamps_and_defaults() {
+        assert_eq!(resolve_jobs(Some(4)), 4);
+        assert_eq!(resolve_jobs(Some(0)), 1);
+        assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_flags() {
+        let g = MemGeometry::bit_oriented(16);
+        let steps = expand(&library::march_c(), &g);
+        let spec = UniverseSpec::default();
+        for class in [FaultClass::StuckAt, FaultClass::CouplingIdempotent] {
+            let universe = class_universe(&g, class, &spec);
+            let serial = detect_universe(&g, &steps, &universe, Some(1));
+            for jobs in [Some(2), Some(5), None] {
+                assert_eq!(detect_universe(&g, &steps, &universe, jobs), serial);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_universe_is_fine() {
+        let g = MemGeometry::bit_oriented(4);
+        let steps = expand(&library::mats(), &g);
+        assert!(detect_universe(&g, &steps, &[], Some(8)).is_empty());
+    }
+}

@@ -35,6 +35,7 @@ mod coverage;
 mod element;
 mod error;
 mod expand;
+mod fanout;
 pub mod library;
 pub mod neighborhood;
 mod notation;
@@ -50,7 +51,7 @@ pub use element::{AddressOrder, ComplementMask, MarchElement, MarchItem};
 pub use error::MarchError;
 pub use expand::{cycle_count, expand, expand_with, ExpandOptions};
 pub use op::MarchOp;
-pub use runner::{detects, fault_free_clean, run_steps, RunReport};
+pub use runner::{detects, fault_free_clean, run_steps, run_steps_detect, RunReport};
 pub use synth::{synthesize_march, SynthesisOptions, SynthesizedMarch};
 pub use test::{MarchTest, SymmetricSplit};
 pub use transparent::{is_transparent_compatible, run_transparent, TransparentOutcome};

@@ -84,6 +84,49 @@ pub fn run_steps(mem: &mut MemoryArray, steps: &[TestStep]) -> RunReport {
     report
 }
 
+/// Drives `steps` into `mem`, returning `true` at the *first* failing
+/// checked read — the early-exit core of serial fault simulation, where
+/// the full [`RunReport`] (and the rest of the replay) is wasted work once
+/// a fault has been caught.
+///
+/// Agrees with `!run_steps(mem, steps).passed()` on a fresh array: both
+/// replay the identical step stream, this one just stops early.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_march::{expand, library, run_steps_detect};
+/// use mbist_mem::{CellId, FaultKind, MemGeometry, MemoryArray};
+///
+/// let g = MemGeometry::bit_oriented(8);
+/// let mut mem = MemoryArray::with_fault(
+///     g,
+///     FaultKind::StuckAt { cell: CellId::bit_oriented(2), value: true },
+/// )?;
+/// assert!(run_steps_detect(&mut mem, &expand(&library::march_c(), &g)));
+/// # Ok::<(), mbist_mem::MemError>(())
+/// ```
+#[must_use]
+pub fn run_steps_detect(mem: &mut MemoryArray, steps: &[TestStep]) -> bool {
+    for step in steps {
+        match step {
+            TestStep::Pause { ns } => mem.pause(*ns),
+            TestStep::Bus(cycle) => match cycle.op {
+                Operation::Write(data) => mem.write(cycle.port, cycle.addr, data),
+                Operation::Read => {
+                    let observed = mem.read(cycle.port, cycle.addr);
+                    if let Some(expected) = cycle.expected {
+                        if observed != expected {
+                            return true;
+                        }
+                    }
+                }
+            },
+        }
+    }
+    false
+}
+
 /// Whether `test` detects `fault` on a memory of the given geometry
 /// (serial fault simulation of a single fault).
 ///
@@ -97,7 +140,7 @@ pub fn detects(
 ) -> Result<bool, mbist_mem::MemError> {
     let mut mem = MemoryArray::with_fault(*geometry, fault)?;
     let steps = expand_with(test, geometry, &ExpandOptions::for_geometry(geometry));
-    Ok(!run_steps(&mut mem, &steps).passed())
+    Ok(run_steps_detect(&mut mem, &steps))
 }
 
 /// Whether `test` is clean on a fault-free memory (no false alarms),
@@ -189,6 +232,25 @@ mod tests {
         };
         assert!(!detects(&library::march_c_plus(), &g, fault).unwrap());
         assert!(detects(&library::march_c_plus_plus(), &g, fault).unwrap());
+    }
+
+    #[test]
+    fn detect_agrees_with_full_replay() {
+        let g = MemGeometry::bit_oriented(8);
+        let steps = crate::expand::expand(&library::march_c(), &g);
+        for value in [false, true] {
+            for w in 0..8 {
+                let fault = FaultKind::StuckAt { cell: CellId::bit_oriented(w), value };
+                let mut a = MemoryArray::with_fault(g, fault).unwrap();
+                let mut b = MemoryArray::with_fault(g, fault).unwrap();
+                assert_eq!(
+                    run_steps_detect(&mut a, &steps),
+                    !run_steps(&mut b, &steps).passed()
+                );
+            }
+        }
+        let mut clean = MemoryArray::new(g);
+        assert!(!run_steps_detect(&mut clean, &steps));
     }
 
     #[test]

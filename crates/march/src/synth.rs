@@ -12,11 +12,12 @@
 
 use mbist_mem::{class_universe, FaultClass, FaultKind, MemGeometry, MemoryArray};
 
-use crate::coverage::CoverageOptions;
+use crate::coverage::{stride_sample, CoverageOptions};
 use crate::element::{AddressOrder, MarchElement, MarchItem};
 use crate::expand::{expand_with, ExpandOptions};
+use crate::fanout::detect_universe;
 use crate::op::MarchOp;
-use crate::runner::run_steps;
+use crate::runner::run_steps_detect;
 use crate::test::MarchTest;
 
 /// Options for the synthesis search.
@@ -113,28 +114,33 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
     for &class in &options.classes {
         let mut u = class_universe(&g, class, &options.coverage.spec);
         if let Some(max) = options.coverage.max_faults_per_class {
-            u = stride(u, max);
+            u = stride_sample(u, max);
         }
         faults.extend(u);
     }
     let total = faults.len();
     let mut evaluations = 0usize;
 
-    let detects_fault = |test: &MarchTest, fault: FaultKind| -> bool {
-        let mut mem = MemoryArray::with_fault(g, fault).expect("universe fits geometry");
-        !run_steps(&mut mem, &expand_with(test, &g, &expand_opts)).passed()
+    // Every trial expands its step stream exactly once and batch-simulates
+    // the whole fault list through the (optionally parallel) fan-out.
+    let jobs = options.coverage.jobs;
+    let detect_flags = |test: &MarchTest, list: &[FaultKind]| -> Vec<bool> {
+        let steps = expand_with(test, &g, &expand_opts);
+        detect_universe(&g, &steps, list, jobs)
     };
     let clean = |test: &MarchTest| -> bool {
         let mut mem = MemoryArray::new(g);
-        run_steps(&mut mem, &expand_with(test, &g, &expand_opts)).passed()
+        !run_steps_detect(&mut mem, &expand_with(test, &g, &expand_opts))
+    };
+    let survivors = |list: &[FaultKind], flags: &[bool]| -> Vec<FaultKind> {
+        list.iter().zip(flags).filter(|&(_, &d)| !d).map(|(&f, _)| f).collect()
     };
 
     // Start from the canonical initialization.
     let init = MarchElement::new(AddressOrder::Any, vec![MarchOp::Write(false)]);
     let mut items: Vec<MarchItem> = vec![init.into()];
     let mut current = MarchTest::new(name, items.clone());
-    let mut undetected: Vec<FaultKind> =
-        faults.iter().copied().filter(|&f| !detects_fault(&current, f)).collect();
+    let mut undetected = survivors(&faults, &detect_flags(&current, &faults));
     evaluations += total;
 
     let menu = candidate_elements();
@@ -147,8 +153,7 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
             if !clean(&trial) {
                 continue; // read expectations inconsistent with state
             }
-            let gain =
-                undetected.iter().filter(|&&f| detects_fault(&trial, f)).count();
+            let gain = detect_flags(&trial, &undetected).iter().filter(|&&d| d).count();
             evaluations += undetected.len();
             if gain > 0 && best.is_none_or(|(_, g0)| gain > g0) {
                 best = Some((k, gain));
@@ -157,7 +162,7 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
         if let Some((k, _)) = best {
             items.push(menu[k].clone().into());
             current = MarchTest::new(name, items.clone());
-            undetected.retain(|&f| !detects_fault(&current, f));
+            undetected = survivors(&undetected, &detect_flags(&current, &undetected));
             continue;
         }
 
@@ -176,7 +181,7 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
                     continue;
                 }
                 let gain =
-                    undetected.iter().filter(|&&f| detects_fault(&trial, f)).count();
+                    detect_flags(&trial, &undetected).iter().filter(|&&d| d).count();
                 evaluations += undetected.len();
                 if gain > 0 && best_pair.is_none_or(|(_, _, g0)| gain > g0) {
                     best_pair = Some((a, b, gain));
@@ -187,7 +192,7 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
         items.push(menu[a].clone().into());
         items.push(menu[b].clone().into());
         current = MarchTest::new(name, items.clone());
-        undetected.retain(|&f| !detects_fault(&current, f));
+        undetected = survivors(&undetected, &detect_flags(&current, &undetected));
     }
 
     // Backward pruning: drop any element whose removal keeps coverage.
@@ -197,12 +202,11 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
         reduced.remove(i);
         if reduced.iter().any(|it| it.as_element().is_some()) {
             let trial = MarchTest::new(name, reduced.clone());
-            let still_clean = clean(&trial);
-            let covers = still_clean
-                && faults
-                    .iter()
-                    .filter(|&&f| detects_fault(&current, f))
-                    .all(|&f| detects_fault(&trial, f));
+            let covers = clean(&trial) && {
+                let cur = detect_flags(&current, &faults);
+                let red = detect_flags(&trial, &faults);
+                cur.iter().zip(&red).all(|(&c, &r)| !c || r)
+            };
             evaluations += total;
             if covers {
                 items = reduced;
@@ -213,22 +217,8 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
         i += 1;
     }
 
-    let detected = faults.iter().filter(|&&f| detects_fault(&current, f)).count();
+    let detected = detect_flags(&current, &faults).iter().filter(|&&d| d).count();
     SynthesizedMarch { test: current, detected, total, evaluations }
-}
-
-fn stride<T>(items: Vec<T>, max: usize) -> Vec<T> {
-    if items.len() <= max || max == 0 {
-        return items;
-    }
-    let len = items.len();
-    items
-        .into_iter()
-        .enumerate()
-        .filter(|(i, _)| i * max / len != (i + 1) * max / len)
-        .map(|(_, t)| t)
-        .take(max)
-        .collect()
 }
 
 #[cfg(test)]

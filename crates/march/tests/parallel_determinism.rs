@@ -1,0 +1,63 @@
+//! Regression: the parallel fault fan-out must be bit-for-bit
+//! deterministic — `jobs = 1` and `jobs = N` produce identical coverage
+//! reports for every algorithm in the library, and the early-exit replay
+//! agrees with the full-report replay on every sampled fault.
+
+use mbist_march::{
+    evaluate_coverage, expand, library, run_steps, run_steps_detect, CoverageOptions,
+};
+use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
+
+#[test]
+fn jobs_setting_never_changes_the_report() {
+    let g = MemGeometry::bit_oriented(16);
+    for test in library::all() {
+        let opts = |jobs| CoverageOptions {
+            max_faults_per_class: Some(64),
+            jobs,
+            ..CoverageOptions::default()
+        };
+        let serial = evaluate_coverage(&test, &g, &opts(Some(1)));
+        for jobs in [Some(2), Some(4), None] {
+            let parallel = evaluate_coverage(&test, &g, &opts(jobs));
+            assert_eq!(parallel, serial, "{} diverged with jobs={jobs:?}", test.name());
+        }
+    }
+}
+
+#[test]
+fn jobs_setting_never_changes_the_report_word_oriented_multiport() {
+    let g = MemGeometry::new(8, 4, 2);
+    for test in [library::march_c(), library::march_c_plus_plus()] {
+        let opts = |jobs| CoverageOptions {
+            max_faults_per_class: Some(32),
+            jobs,
+            ..CoverageOptions::default()
+        };
+        let serial = evaluate_coverage(&test, &g, &opts(Some(1)));
+        let parallel = evaluate_coverage(&test, &g, &opts(Some(4)));
+        assert_eq!(parallel, serial, "{} diverged on {g}", test.name());
+    }
+}
+
+#[test]
+fn early_exit_replay_agrees_with_full_replay() {
+    let g = MemGeometry::bit_oriented(12);
+    let spec = UniverseSpec::default();
+    for test in library::all() {
+        let steps = expand(&test, &g);
+        for class in FaultClass::ALL {
+            // Every ~5th fault keeps the cross-product tractable.
+            for fault in class_universe(&g, class, &spec).into_iter().step_by(5) {
+                let mut a = MemoryArray::with_fault(g, fault).unwrap();
+                let mut b = MemoryArray::with_fault(g, fault).unwrap();
+                assert_eq!(
+                    run_steps_detect(&mut a, &steps),
+                    !run_steps(&mut b, &steps).passed(),
+                    "{} vs {fault:?}",
+                    test.name()
+                );
+            }
+        }
+    }
+}

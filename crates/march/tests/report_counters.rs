@@ -1,0 +1,113 @@
+//! `RunReport` accounting on word-oriented multiport geometries, and
+//! `evaluate_coverage` under explicit `ExpandOptions` overrides.
+
+use mbist_march::{
+    evaluate_coverage, expand_with, library, run_steps, standard_backgrounds,
+    CoverageOptions, ExpandOptions,
+};
+use mbist_mem::{FaultClass, MemGeometry, MemoryArray, PortId};
+
+#[test]
+fn report_counters_scale_with_backgrounds_and_ports() {
+    // 8 words × 4 bits × 2 ports; the default expansion repeats the
+    // algorithm per background (3 standard backgrounds at width 4) and per
+    // port. March C is 10 ops/cell, half reads half writes.
+    let g = MemGeometry::new(8, 4, 2);
+    let opts = ExpandOptions::for_geometry(&g);
+    assert_eq!(standard_backgrounds(4).len(), 3);
+    let steps = expand_with(&library::march_c(), &g, &opts);
+    let mut mem = MemoryArray::new(g);
+    let r = run_steps(&mut mem, &steps);
+    let expected_bus = 10 * 8 * 3 * 2;
+    assert_eq!(r.bus_cycles, expected_bus);
+    assert_eq!(r.reads, expected_bus / 2);
+    assert_eq!(r.writes, expected_bus / 2);
+    assert_eq!(r.pause_ns, 0.0);
+    assert!(r.passed());
+    assert_eq!(mem.accesses(), r.bus_cycles, "every bus cycle hits the array");
+}
+
+#[test]
+fn report_counts_pauses_per_background_and_port() {
+    // March C+ has 2 retention pauses per expansion pass; passes = 3
+    // backgrounds × 2 ports.
+    let g = MemGeometry::new(4, 4, 2);
+    let steps = expand_with(&library::march_c_plus(), &g, &ExpandOptions::for_geometry(&g));
+    let mut mem = MemoryArray::new(g);
+    let r = run_steps(&mut mem, &steps);
+    assert_eq!(r.pause_ns, 2.0 * library::DEFAULT_RETENTION_PAUSE_NS * 6.0);
+    assert!(r.passed());
+}
+
+#[test]
+fn coverage_honors_background_override() {
+    // An intra-word idempotent coupling fault needs a background that
+    // distinguishes the two bits; the full standard set finds strictly more
+    // CFid faults than a single solid background on a word-oriented array.
+    let g = MemGeometry::word_oriented(16, 4);
+    let run = |expand: Option<ExpandOptions>| {
+        evaluate_coverage(
+            &library::march_c(),
+            &g,
+            &CoverageOptions {
+                classes: vec![FaultClass::CouplingIdempotent],
+                max_faults_per_class: Some(128),
+                expand,
+                ..CoverageOptions::default()
+            },
+        )
+    };
+    let full = run(None); // for_geometry: all standard backgrounds
+    let minimal = run(Some(ExpandOptions::minimal(&g)));
+    let full_row = full.row(FaultClass::CouplingIdempotent).unwrap();
+    let min_row = minimal.row(FaultClass::CouplingIdempotent).unwrap();
+    assert_eq!(full_row.total, min_row.total, "same sampled universe");
+    assert!(
+        full_row.detected > min_row.detected,
+        "backgrounds must matter: full {} vs minimal {}",
+        full_row.detected,
+        min_row.detected
+    );
+}
+
+#[test]
+fn coverage_honors_port_override() {
+    // Restricting expansion to one port of a symmetric dual-port array
+    // must not change single-port-observable coverage rows.
+    let g = MemGeometry::new(8, 1, 2);
+    let both = ExpandOptions::for_geometry(&g);
+    let single = ExpandOptions { ports: vec![PortId(0)], ..both.clone() };
+    let run = |expand: ExpandOptions| {
+        evaluate_coverage(
+            &library::march_c(),
+            &g,
+            &CoverageOptions {
+                classes: vec![FaultClass::StuckAt, FaultClass::Transition],
+                expand: Some(expand),
+                ..CoverageOptions::default()
+            },
+        )
+    };
+    assert_eq!(run(both).rows, run(single).rows);
+}
+
+#[test]
+fn coverage_with_empty_backgrounds_detects_nothing() {
+    // No backgrounds → empty step stream → nothing can be observed.
+    let g = MemGeometry::bit_oriented(8);
+    let report = evaluate_coverage(
+        &library::march_c(),
+        &g,
+        &CoverageOptions {
+            classes: vec![FaultClass::StuckAt],
+            expand: Some(ExpandOptions {
+                backgrounds: Vec::new(),
+                ports: vec![PortId(0)],
+            }),
+            ..CoverageOptions::default()
+        },
+    );
+    let row = report.row(FaultClass::StuckAt).unwrap();
+    assert_eq!(row.detected, 0);
+    assert!(row.total > 0);
+}

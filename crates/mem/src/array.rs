@@ -5,6 +5,8 @@ use mbist_rtl::Bits;
 use crate::error::MemError;
 use crate::faults::{FaultId, FaultKind};
 use crate::geometry::{CellId, MemGeometry, PortId};
+use crate::index::FaultIndex;
+use crate::rng::SplitMix64;
 
 /// Default simulated time per access, matching the default 100 MHz
 /// [`Clock`](mbist_rtl::Clock).
@@ -38,6 +40,12 @@ struct SenseLatch {
 /// [`FaultKind`] for the catalogue). A fault-free array behaves as an ideal
 /// RAM.
 ///
+/// Accesses operate on whole `u64` words (the geometry invariant
+/// `width ≤ 64` makes one word one machine word), and injected faults are
+/// dispatched through a per-word index built at injection time, so the
+/// fault-free and single-fault paths — the ones serial fault simulation
+/// hammers — never scan the fault list or allocate.
+///
 /// # Examples
 ///
 /// ```
@@ -56,6 +64,7 @@ pub struct MemoryArray {
     geometry: MemGeometry,
     words: Vec<u64>,
     faults: Vec<FaultEntry>,
+    index: FaultIndex,
     sense: Vec<SenseLatch>,
     now_ns: f64,
     cycle_ns: f64,
@@ -70,6 +79,7 @@ impl MemoryArray {
             geometry,
             words: vec![0; usize::try_from(geometry.words()).expect("words fit usize")],
             faults: Vec::new(),
+            index: FaultIndex::default(),
             sense: vec![SenseLatch::default(); usize::from(geometry.ports())],
             now_ns: 0.0,
             cycle_ns: DEFAULT_CYCLE_NS,
@@ -135,7 +145,9 @@ impl MemoryArray {
             self.set_raw(cell, value);
         }
         let state = FaultState { last_write_ns: self.now_ns, ..FaultState::default() };
+        let idx = u32::try_from(self.faults.len()).expect("fault count fits u32");
         self.faults.push(FaultEntry { kind, state });
+        self.index.insert(idx, &kind);
         Ok(FaultId(self.faults.len() - 1))
     }
 
@@ -149,6 +161,7 @@ impl MemoryArray {
     /// faults left behind).
     pub fn clear_faults(&mut self) {
         self.faults.clear();
+        self.index.clear();
     }
 
     /// Idles for `ns` nanoseconds — the data-retention pause.
@@ -172,83 +185,149 @@ impl MemoryArray {
         self.validate_access(port, addr);
         assert_eq!(data.width(), self.geometry.width(), "write data width mismatch");
         self.advance();
-        let (targets, _) = self.resolve(addr);
-        for word in targets {
-            self.write_word(word, data);
+        if !self.index.has_address_faults() {
+            self.write_word(addr, data);
+            return;
+        }
+        // Address-decoder faults: at most one remap, then any multi-access
+        // expansions of the remapped address.
+        let a = self.index.remap(addr).unwrap_or(addr);
+        self.write_word(a, data);
+        let extras: Vec<u64> = self.index.multi(a).iter().map(|&(extra, _)| extra).collect();
+        for extra in extras {
+            self.write_word(extra, data);
         }
     }
 
-    /// Writes one physical word in two phases: first every bit is stored
-    /// (stuck-open suppression, transition faults, stuck-at clamping),
-    /// then coupling faults triggered by the actual stored transitions are
-    /// applied. A victim inside the *same* word is disturbed only if its
-    /// own value held during the write (its write driver was not actively
-    /// transitioning it) — the classical sensitization condition for
-    /// intra-word coupling; victims in other words are always disturbed.
+    /// Writes one physical word in two phases: first the whole word is
+    /// stored through `u64` masks (stuck-open suppression, transition
+    /// faults, stuck-at clamping), then coupling faults triggered by the
+    /// actual committed transitions are applied. A victim inside the *same*
+    /// word is disturbed only if its own value held during the write (its
+    /// write driver was not actively transitioning it) — the classical
+    /// sensitization condition for intra-word coupling; victims in other
+    /// words are always disturbed.
     fn write_word(&mut self, word: u64, data: Bits) {
-        let width = self.geometry.width();
-        let mut old = vec![false; usize::from(width)];
-        let mut new = vec![false; usize::from(width)];
-        for bit in 0..width {
-            let cell = CellId::new(word, bit);
-            old[usize::from(bit)] = self.raw_bit(cell);
-            self.store_cell_base(cell, data.bit(bit));
-            new[usize::from(bit)] = self.raw_bit(cell);
-        }
-        // Phase 2: coupling effects from actual aggressor transitions.
-        let mut effects: Vec<(CellId, Effect)> = Vec::new();
-        for bit in 0..width {
-            let o = old[usize::from(bit)];
-            let n = new[usize::from(bit)];
-            if o == n {
-                continue;
+        let old = self.words[word as usize];
+        let requested = data.value();
+        let mut new = requested;
+        let mut sof = 0u64;
+
+        if !self.faults.is_empty() {
+            let write_list = self.index.write_faults(word);
+            // SOF: disconnected cells lose the write entirely.
+            for &fi in write_list {
+                if let FaultKind::StuckOpen { cell } = self.faults[fi as usize].kind {
+                    sof |= 1 << cell.bit;
+                }
             }
-            let rising = n;
+            // TF: the broken transition leaves the old value in place. The
+            // conditions are checked against (old stored, requested) — the
+            // two directions are mutually exclusive per bit.
+            for &fi in write_list {
+                if let FaultKind::Transition { cell, rising } = self.faults[fi as usize].kind {
+                    let b = 1u64 << cell.bit;
+                    if sof & b == 0 {
+                        let o = old & b != 0;
+                        let n = requested & b != 0;
+                        if rising && !o && n {
+                            new &= !b;
+                        }
+                        if !rising && o && !n {
+                            new |= b;
+                        }
+                    }
+                }
+            }
+            // SAF clamps last; the last matching fault wins.
+            for &fi in write_list {
+                if let FaultKind::StuckAt { cell, value } = self.faults[fi as usize].kind {
+                    let b = 1u64 << cell.bit;
+                    if sof & b == 0 {
+                        if value {
+                            new |= b;
+                        } else {
+                            new &= !b;
+                        }
+                    }
+                }
+            }
+            new = (new & !sof) | (old & sof);
+        }
+        self.words[word as usize] = new;
+
+        if !self.faults.is_empty() {
+            // Fault-state bookkeeping for every cell whose write landed.
+            let MemoryArray { ref index, ref mut faults, now_ns, .. } = *self;
+            for &fi in index.state_faults(word) {
+                let entry = &mut faults[fi as usize];
+                match entry.kind {
+                    FaultKind::Retention { cell, .. } if sof & (1 << cell.bit) == 0 => {
+                        entry.state.last_write_ns = now_ns;
+                    }
+                    FaultKind::PullOpen { cell, .. } if sof & (1 << cell.bit) == 0 => {
+                        entry.state.consecutive_reads = 0;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Phase 2: coupling effects from actual committed transitions.
+        let changed = old ^ new;
+        if changed == 0 {
+            return;
+        }
+        let aggr_list = self.index.aggressor_faults(word);
+        if aggr_list.is_empty() {
+            return;
+        }
+        // Collect in (bit-ascending, injection) order; deleted-neighborhood
+        // patterns are evaluated against the committed storage *before* any
+        // effect is applied.
+        let mut effects: Vec<(CellId, Effect)> = Vec::new();
+        let mut m = changed;
+        while m != 0 {
+            let bit = m.trailing_zeros() as u8;
+            m &= m - 1;
+            let rising = new & (1u64 << bit) != 0;
             let aggressor = CellId::new(word, bit);
-            for f in &self.faults {
-                match f.kind {
+            for &fi in aggr_list {
+                match self.faults[fi as usize].kind {
                     FaultKind::CouplingInversion { aggressor: a, victim, rising: r }
-                        if a == aggressor && r == rising
-                        && self.victim_sensitized(victim, word, &old, &new) => {
-                            effects.push((victim, Effect::Invert));
-                        }
-                    FaultKind::CouplingIdempotent {
-                        aggressor: a,
-                        victim,
-                        rising: r,
-                        forced,
-                    } if a == aggressor && r == rising
-                        && self.victim_sensitized(victim, word, &old, &new) => {
-                            effects.push((victim, Effect::Force(forced)));
-                        }
+                        if a == aggressor
+                            && r == rising
+                            && victim_sensitized(victim, word, changed) =>
+                    {
+                        effects.push((victim, Effect::Invert));
+                    }
+                    FaultKind::CouplingIdempotent { aggressor: a, victim, rising: r, forced }
+                        if a == aggressor
+                            && r == rising
+                            && victim_sensitized(victim, word, changed) =>
+                    {
+                        effects.push((victim, Effect::Force(forced)));
+                    }
                     FaultKind::NpsfActive { base, trigger, rising: r, others }
-                        if trigger == aggressor && r == rising
-                        && others.iter().all(|(c, v)| self.raw_bit(*c) == *v)
-                            && self.victim_sensitized(base, word, &old, &new)
-                        => {
-                            effects.push((base, Effect::Invert));
-                        }
+                        if trigger == aggressor
+                            && r == rising
+                            && others.iter().all(|(c, v)| bit_of(&self.words, *c) == *v)
+                            && victim_sensitized(base, word, changed) =>
+                    {
+                        effects.push((base, Effect::Invert));
+                    }
                     _ => {}
                 }
             }
         }
         for (victim, effect) in effects {
+            let MemoryArray { ref index, ref mut faults, ref mut words, now_ns, .. } = *self;
             let v = match effect {
-                Effect::Invert => !self.raw_bit(victim),
+                Effect::Invert => !bit_of(words, victim),
                 Effect::Force(b) => b,
             };
-            self.store_victim(victim, v);
+            store_victim_raw(index, faults, words, now_ns, victim, v);
         }
-    }
-
-    /// Whether a coupling effect reaches `victim` given the word just
-    /// written (see [`MemoryArray::write_word`]).
-    fn victim_sensitized(&self, victim: CellId, word: u64, old: &[bool], new: &[bool]) -> bool {
-        if victim.word != word {
-            return true;
-        }
-        let i = usize::from(victim.bit);
-        old[i] == new[i]
     }
 
     /// Reads through `port` at word address `addr`, applying every active
@@ -260,32 +339,75 @@ impl MemoryArray {
     pub fn read(&mut self, port: PortId, addr: u64) -> Bits {
         self.validate_access(port, addr);
         self.advance();
-        let (targets, wired_and) = self.resolve(addr);
-        let width = self.geometry.width();
-        let mut combined: Option<u64> = None;
-        for word in targets {
-            let mut v = 0u64;
-            for bit in 0..width {
-                if self.observed_bit(port, CellId::new(word, bit)) {
-                    v |= 1 << bit;
-                }
+        let value = if !self.index.has_address_faults() {
+            self.observe_word(port, addr)
+        } else {
+            // Address-decoder faults: at most one remap, then multi-access
+            // expansions combined wired-AND/OR (the polarity of the last
+            // matching multi-access fault).
+            let a = self.index.remap(addr).unwrap_or(addr);
+            let mut combined = self.observe_word(port, a);
+            let multi: Vec<(u64, bool)> = self.index.multi(a).to_vec();
+            let wired_and = multi.last().is_none_or(|&(_, wa)| wa);
+            for &(extra, _) in &multi {
+                let v = self.observe_word(port, extra);
+                combined = if wired_and { combined & v } else { combined | v };
             }
-            combined = Some(match combined {
-                None => v,
-                Some(prev) => {
-                    if wired_and {
-                        prev & v
-                    } else {
-                        prev | v
-                    }
-                }
-            });
-        }
-        let value = combined.expect("resolve returns at least one word");
+            combined
+        };
         let latch = &mut self.sense[usize::from(port.0)];
         latch.value = value;
         latch.valid = true;
-        Bits::new(width, value)
+        Bits::new(self.geometry.width(), value)
+    }
+
+    /// Observes one physical word: bits without read-path faults come
+    /// straight from storage; each faulted bit runs the full per-cell
+    /// observation sequence.
+    fn observe_word(&mut self, port: PortId, word: u64) -> u64 {
+        let raw = self.words[word as usize];
+        let mut faulty = 0u64;
+        {
+            let list = self.index.read_faults(word);
+            if list.is_empty() {
+                return raw;
+            }
+            for &fi in list {
+                let bit = match self.faults[fi as usize].kind {
+                    FaultKind::StuckAt { cell, .. }
+                    | FaultKind::StuckOpen { cell }
+                    | FaultKind::Retention { cell, .. }
+                    | FaultKind::PullOpen { cell, .. } => cell.bit,
+                    FaultKind::CouplingState { victim, .. } => victim.bit,
+                    FaultKind::NpsfStatic { base, .. } => base.bit,
+                    _ => continue,
+                };
+                faulty |= 1 << bit;
+            }
+        }
+        let mut value = raw;
+        let mut m = faulty;
+        while m != 0 {
+            let bit = m.trailing_zeros() as u8;
+            m &= m - 1;
+            let MemoryArray { ref index, ref mut faults, ref mut words, ref sense, now_ns, .. } =
+                *self;
+            let observed = observed_bit_indexed(
+                index,
+                faults,
+                words,
+                sense,
+                now_ns,
+                port,
+                CellId::new(word, bit),
+            );
+            if observed {
+                value |= 1 << bit;
+            } else {
+                value &= !(1 << bit);
+            }
+        }
+        value
     }
 
     /// Backdoor read of the stored word, bypassing the read path (no fault
@@ -323,21 +445,17 @@ impl MemoryArray {
     }
 
     /// Deterministically randomizes all stored words from `seed`
-    /// (xorshift64*), modeling unknown power-up state.
+    /// ([SplitMix64](crate::rng::SplitMix64)), modeling unknown power-up
+    /// state.
     pub fn randomize(&mut self, seed: u64) {
-        let mut s = seed;
+        let mut rng = SplitMix64::new(seed);
         let mask = if self.geometry.width() >= 64 {
             u64::MAX
         } else {
             (1u64 << self.geometry.width()) - 1
         };
         for w in &mut self.words {
-            // splitmix64
-            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = s;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            *w = (z ^ (z >> 31)) & mask;
+            *w = rng.next_u64() & mask;
         }
     }
 
@@ -361,197 +479,153 @@ impl MemoryArray {
         self.accesses += 1;
     }
 
-    /// Applies address-decoder faults: at most one remap, then any
-    /// multi-access expansions. Returns the physical word set and the read
-    /// combination polarity.
-    fn resolve(&self, addr: u64) -> (Vec<u64>, bool) {
-        let mut a = addr;
-        for f in &self.faults {
-            if let FaultKind::AddressMap { from, to } = f.kind {
-                if from == a {
-                    a = to;
-                    break;
-                }
-            }
-        }
-        let mut out = vec![a];
-        let mut wired_and = true;
-        for f in &self.faults {
-            if let FaultKind::AddressMulti { addr: m, extra, wired_and: wa } = f.kind {
-                if m == a {
-                    out.push(extra);
-                    wired_and = wa;
-                }
-            }
-        }
-        (out, wired_and)
-    }
-
-    fn raw_bit(&self, cell: CellId) -> bool {
-        (self.words[cell.word as usize] >> cell.bit) & 1 == 1
-    }
-
     fn set_raw(&mut self, cell: CellId, value: bool) {
-        let w = &mut self.words[cell.word as usize];
-        if value {
-            *w |= 1 << cell.bit;
-        } else {
-            *w &= !(1 << cell.bit);
-        }
+        set_bit(&mut self.words, cell, value);
     }
+}
 
-    /// Phase-1 functional write of one cell: stuck-open suppression,
-    /// transition faults, stuck-at clamping and fault-state bookkeeping
-    /// (coupling is triggered in [`MemoryArray::write_word`]'s phase 2).
-    fn store_cell_base(&mut self, cell: CellId, new: bool) {
-        // SOF: the cell is disconnected — the write is lost entirely.
-        if self
-            .faults
-            .iter()
-            .any(|f| matches!(f.kind, FaultKind::StuckOpen { cell: c } if c == cell))
-        {
-            return;
-        }
+/// Whether a coupling effect reaches `victim` given the committed change
+/// mask of the word just written (see [`MemoryArray::write_word`]).
+fn victim_sensitized(victim: CellId, word: u64, changed: u64) -> bool {
+    victim.word != word || changed & (1u64 << victim.bit) == 0
+}
 
-        let old = self.raw_bit(cell);
-        let mut val = new;
-        for f in &self.faults {
-            if let FaultKind::Transition { cell: c, rising } = f.kind {
-                if c == cell {
-                    if rising && !old && new {
-                        val = false;
-                    }
-                    if !rising && old && !new {
-                        val = true;
-                    }
-                }
-            }
-        }
-        for f in &self.faults {
-            if let FaultKind::StuckAt { cell: c, value } = f.kind {
-                if c == cell {
-                    val = value;
-                }
-            }
-        }
-        self.set_raw(cell, val);
-        self.touch_written(cell);
+fn bit_of(words: &[u64], cell: CellId) -> bool {
+    (words[cell.word as usize] >> cell.bit) & 1 == 1
+}
+
+fn set_bit(words: &mut [u64], cell: CellId, value: bool) {
+    let w = &mut words[cell.word as usize];
+    if value {
+        *w |= 1 << cell.bit;
+    } else {
+        *w &= !(1 << cell.bit);
     }
+}
 
-    /// Stores a coupling-induced value on a victim: stuck-at clamp applies,
-    /// but no transition faults and no further coupling cascade (the
-    /// standard single-level CF simulation model).
-    fn store_victim(&mut self, cell: CellId, value: bool) {
-        let mut val = value;
-        for f in &self.faults {
-            if let FaultKind::StuckAt { cell: c, value: v } = f.kind {
-                if c == cell {
-                    val = v;
-                }
-            }
-        }
-        self.set_raw(cell, val);
-        self.touch_written(cell);
-    }
+/// Full functional read of one cell that has at least one read-path fault.
+///
+/// Free function over the array's destructured fields so the caller can
+/// split borrows: the fault-state mutations (retention decay, pull-open
+/// drain) need `&mut` access while the dispatch index stays shared.
+#[allow(clippy::too_many_arguments)]
+fn observed_bit_indexed(
+    index: &FaultIndex,
+    faults: &mut [FaultEntry],
+    words: &mut [u64],
+    sense: &[SenseLatch],
+    now_ns: f64,
+    port: PortId,
+    cell: CellId,
+) -> bool {
+    let list = index.read_faults(cell.word);
 
-    fn touch_written(&mut self, cell: CellId) {
-        let now = self.now_ns;
-        for f in &mut self.faults {
-            match f.kind {
-                FaultKind::Retention { cell: c, .. } if c == cell => {
-                    f.state.last_write_ns = now;
-                }
-                FaultKind::PullOpen { cell: c, .. } if c == cell => {
-                    f.state.consecutive_reads = 0;
-                }
-                _ => {}
-            }
-        }
-    }
-
-    /// Full functional read of one cell.
-    fn observed_bit(&mut self, port: PortId, cell: CellId) -> bool {
-        // SOF dominates: nothing is driven, the sense amp keeps its value.
-        if self
-            .faults
-            .iter()
-            .any(|f| matches!(f.kind, FaultKind::StuckOpen { cell: c } if c == cell))
-        {
-            let latch = &self.sense[usize::from(port.0)];
+    // SOF dominates: nothing is driven, the sense amp keeps its value.
+    for &fi in list {
+        if matches!(faults[fi as usize].kind, FaultKind::StuckOpen { cell: c } if c == cell) {
+            let latch = &sense[usize::from(port.0)];
             return latch.valid && (latch.value >> cell.bit) & 1 == 1;
         }
+    }
 
-        // Retention decay is applied lazily at observation time.
-        let now = self.now_ns;
-        let mut decay: Option<bool> = None;
-        for f in &mut self.faults {
-            if let FaultKind::Retention { cell: c, decays_to, retention_ns } = f.kind {
-                if c == cell && now - f.state.last_write_ns > retention_ns {
-                    decay = Some(decays_to);
+    // Retention decay is applied lazily at observation time.
+    let mut decay: Option<bool> = None;
+    for &fi in list {
+        let entry = &faults[fi as usize];
+        if let FaultKind::Retention { cell: c, decays_to, retention_ns } = entry.kind {
+            if c == cell && now_ns - entry.state.last_write_ns > retention_ns {
+                decay = Some(decays_to);
+            }
+        }
+    }
+    if let Some(v) = decay {
+        store_victim_raw(index, faults, words, now_ns, cell, v);
+    }
+
+    let mut v = bit_of(words, cell);
+
+    // Disconnected pull-up/down: repeated reads drain the node.
+    let mut drained: Option<bool> = None;
+    for &fi in list {
+        if let FaultKind::PullOpen { cell: c, good_reads, decays_to } = faults[fi as usize].kind {
+            if c == cell {
+                let st = &mut faults[fi as usize].state;
+                st.consecutive_reads = st.consecutive_reads.saturating_add(1);
+                if st.consecutive_reads > good_reads {
+                    drained = Some(decays_to);
                 }
             }
         }
-        if let Some(v) = decay {
-            self.store_victim(cell, v);
-        }
+    }
+    if let Some(d) = drained {
+        v = d;
+        store_victim_raw(index, faults, words, now_ns, cell, d);
+    }
 
-        let mut v = self.raw_bit(cell);
-
-        // Disconnected pull-up/down: repeated reads drain the node.
-        let mut drained: Option<bool> = None;
-        for f in &mut self.faults {
-            if let FaultKind::PullOpen { cell: c, good_reads, decays_to } = f.kind {
-                if c == cell {
-                    f.state.consecutive_reads = f.state.consecutive_reads.saturating_add(1);
-                    if f.state.consecutive_reads > good_reads {
-                        drained = Some(decays_to);
-                    }
-                }
+    // State coupling masks the read while the aggressor holds `when`.
+    for &fi in list {
+        if let FaultKind::CouplingState { aggressor, victim, when, forced } =
+            faults[fi as usize].kind
+        {
+            if victim == cell && bit_of(words, aggressor) == when {
+                v = forced;
             }
         }
-        if let Some(d) = drained {
-            v = d;
-            self.store_victim(cell, d);
-        }
+    }
 
-        // State coupling masks the read while the aggressor holds `when`.
-        let mut masked: Option<bool> = None;
-        for f in &self.faults {
-            if let FaultKind::CouplingState { aggressor, victim, when, forced } = f.kind {
-                if victim == cell && self.raw_bit(aggressor) == when {
-                    masked = Some(forced);
-                }
+    // Static NPSF masks the read while the whole neighborhood pattern is
+    // present.
+    for &fi in list {
+        if let FaultKind::NpsfStatic { base, neighborhood, forced } = faults[fi as usize].kind {
+            if base == cell && neighborhood.iter().all(|(c, val)| bit_of(words, *c) == *val) {
+                v = forced;
             }
         }
-        if let Some(m) = masked {
-            v = m;
-        }
+    }
 
-        // Static NPSF masks the read while the whole neighborhood pattern
-        // is present.
-        let mut npsf: Option<bool> = None;
-        for f in &self.faults {
-            if let FaultKind::NpsfStatic { base, neighborhood, forced } = f.kind {
-                if base == cell && neighborhood.iter().all(|(c, val)| self.raw_bit(*c) == *val)
-                {
-                    npsf = Some(forced);
-                }
+    // Stuck-at clamps last (raw storage is already clamped, but CFst
+    // masking above could in principle disagree).
+    for &fi in list {
+        if let FaultKind::StuckAt { cell: c, value } = faults[fi as usize].kind {
+            if c == cell {
+                v = value;
             }
         }
-        if let Some(m) = npsf {
-            v = m;
-        }
+    }
+    v
+}
 
-        // Stuck-at clamps last (raw storage is already clamped, but CFst
-        // masking above could in principle disagree).
-        for f in &self.faults {
-            if let FaultKind::StuckAt { cell: c, value } = f.kind {
-                if c == cell {
-                    v = value;
-                }
+/// Stores a coupling-induced (or decay-induced) value on a victim:
+/// stuck-at clamp applies, but no transition faults and no further coupling
+/// cascade (the standard single-level CF simulation model).
+fn store_victim_raw(
+    index: &FaultIndex,
+    faults: &mut [FaultEntry],
+    words: &mut [u64],
+    now_ns: f64,
+    cell: CellId,
+    value: bool,
+) {
+    let mut val = value;
+    for &fi in index.write_faults(cell.word) {
+        if let FaultKind::StuckAt { cell: c, value: v } = faults[fi as usize].kind {
+            if c == cell {
+                val = v;
             }
         }
-        v
+    }
+    set_bit(words, cell, val);
+    for &fi in index.state_faults(cell.word) {
+        let entry = &mut faults[fi as usize];
+        match entry.kind {
+            FaultKind::Retention { cell: c, .. } if c == cell => {
+                entry.state.last_write_ns = now_ns;
+            }
+            FaultKind::PullOpen { cell: c, .. } if c == cell => {
+                entry.state.consecutive_reads = 0;
+            }
+            _ => {}
+        }
     }
 }
 
@@ -902,5 +976,27 @@ mod tests {
         let _ = m.read(p1, 2); // port 1 sense = 0
         assert_eq!(m.read(p0, 3).value(), 1);
         assert_eq!(m.read(p1, 3).value(), 0);
+    }
+
+    #[test]
+    fn many_faults_on_one_word_keep_injection_order_semantics() {
+        // Two stuck-at faults on the same cell: the last injected wins on
+        // both the write path and the read path (index preserves order).
+        let mut m = bit_mem(4);
+        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(1), value: true }).unwrap();
+        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(1), value: false }).unwrap();
+        m.write(P, 1, one());
+        assert_eq!(m.read(P, 1).value(), 0, "last stuck-at clamp wins");
+    }
+
+    #[test]
+    fn wide_word_write_hits_only_faulted_bit() {
+        // 64-bit words: full-width masks must not overflow.
+        let mut m = MemoryArray::new(MemGeometry::word_oriented(4, 64));
+        m.inject(FaultKind::StuckAt { cell: CellId::new(2, 63), value: true }).unwrap();
+        m.write(P, 2, Bits::zero(64));
+        assert_eq!(m.read(P, 2).value(), 1u64 << 63);
+        m.write(P, 2, Bits::new(64, u64::MAX));
+        assert_eq!(m.read(P, 2).value(), u64::MAX);
     }
 }

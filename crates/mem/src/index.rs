@@ -1,0 +1,165 @@
+//! Per-word fault dispatch index.
+//!
+//! The fault lists serial fault simulation runs against contain exactly one
+//! fault, but diagnosis and multi-defect scenarios inject many — and either
+//! way, the hot path must not pay an O(faults) scan per bit touched. This
+//! index maps each *physical word* to the indices of the fault entries that
+//! can affect accesses to it, partitioned by the path on which they act:
+//!
+//! - `write`: faults consulted while storing a word (SOF, TF, SAF);
+//! - `state`: per-cell fault state refreshed by a write (DRF, PUF);
+//! - `aggr`: faults triggered by a committed transition in the word
+//!   (CFin/CFid by aggressor, ANPSF by trigger);
+//! - `read`: faults consulted while observing a word (SOF, DRF, PUF, CFst
+//!   by victim, SNPSF by base, SAF);
+//! - address-decoder faults (`AddressMap`, `AddressMulti`) keyed by the
+//!   logical address they intercept.
+//!
+//! Index vectors preserve injection order, which the array's semantics
+//! depend on (e.g. the last matching stuck-at clamp wins).
+
+use std::collections::HashMap;
+
+use crate::faults::FaultKind;
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FaultIndex {
+    write: HashMap<u64, Vec<u32>>,
+    state: HashMap<u64, Vec<u32>>,
+    aggr: HashMap<u64, Vec<u32>>,
+    read: HashMap<u64, Vec<u32>>,
+    addr_map: HashMap<u64, u64>,
+    addr_multi: HashMap<u64, Vec<(u64, bool)>>,
+}
+
+impl FaultIndex {
+    /// Registers fault entry `idx` (its position in the array's fault list).
+    pub(crate) fn insert(&mut self, idx: u32, kind: &FaultKind) {
+        match *kind {
+            FaultKind::StuckAt { cell, .. } => {
+                self.write.entry(cell.word).or_default().push(idx);
+                self.read.entry(cell.word).or_default().push(idx);
+            }
+            FaultKind::Transition { cell, .. } => {
+                self.write.entry(cell.word).or_default().push(idx);
+            }
+            FaultKind::StuckOpen { cell } => {
+                self.write.entry(cell.word).or_default().push(idx);
+                self.read.entry(cell.word).or_default().push(idx);
+            }
+            FaultKind::Retention { cell, .. } | FaultKind::PullOpen { cell, .. } => {
+                self.state.entry(cell.word).or_default().push(idx);
+                self.read.entry(cell.word).or_default().push(idx);
+            }
+            FaultKind::CouplingInversion { aggressor, .. }
+            | FaultKind::CouplingIdempotent { aggressor, .. } => {
+                self.aggr.entry(aggressor.word).or_default().push(idx);
+            }
+            FaultKind::CouplingState { victim, .. } => {
+                self.read.entry(victim.word).or_default().push(idx);
+            }
+            FaultKind::NpsfStatic { base, .. } => {
+                self.read.entry(base.word).or_default().push(idx);
+            }
+            FaultKind::NpsfActive { trigger, .. } => {
+                self.aggr.entry(trigger.word).or_default().push(idx);
+            }
+            // The *first* injected remap of an address wins (the resolver
+            // historically stopped at the first match).
+            FaultKind::AddressMap { from, to } => {
+                self.addr_map.entry(from).or_insert(to);
+            }
+            FaultKind::AddressMulti { addr, extra, wired_and } => {
+                self.addr_multi.entry(addr).or_default().push((extra, wired_and));
+            }
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.write.clear();
+        self.state.clear();
+        self.aggr.clear();
+        self.read.clear();
+        self.addr_map.clear();
+        self.addr_multi.clear();
+    }
+
+    pub(crate) fn write_faults(&self, word: u64) -> &[u32] {
+        self.write.get(&word).map_or(&[], Vec::as_slice)
+    }
+
+    pub(crate) fn state_faults(&self, word: u64) -> &[u32] {
+        self.state.get(&word).map_or(&[], Vec::as_slice)
+    }
+
+    pub(crate) fn aggressor_faults(&self, word: u64) -> &[u32] {
+        self.aggr.get(&word).map_or(&[], Vec::as_slice)
+    }
+
+    pub(crate) fn read_faults(&self, word: u64) -> &[u32] {
+        self.read.get(&word).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether any address-decoder fault is present (fast-path gate for the
+    /// resolver).
+    pub(crate) fn has_address_faults(&self) -> bool {
+        !self.addr_map.is_empty() || !self.addr_multi.is_empty()
+    }
+
+    pub(crate) fn remap(&self, addr: u64) -> Option<u64> {
+        self.addr_map.get(&addr).copied()
+    }
+
+    /// Multi-access expansions of `addr`, in injection order.
+    pub(crate) fn multi(&self, addr: u64) -> &[(u64, bool)] {
+        self.addr_multi.get(&addr).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CellId;
+
+    #[test]
+    fn partitions_by_path_and_keeps_injection_order() {
+        let mut ix = FaultIndex::default();
+        let c = CellId::new(3, 1);
+        ix.insert(0, &FaultKind::Transition { cell: c, rising: true });
+        ix.insert(1, &FaultKind::StuckAt { cell: c, value: false });
+        ix.insert(2, &FaultKind::Retention { cell: c, decays_to: false, retention_ns: 1.0 });
+        assert_eq!(ix.write_faults(3), &[0, 1]);
+        assert_eq!(ix.read_faults(3), &[1, 2]);
+        assert_eq!(ix.state_faults(3), &[2]);
+        assert!(ix.write_faults(4).is_empty());
+        assert!(!ix.has_address_faults());
+    }
+
+    #[test]
+    fn first_address_remap_wins() {
+        let mut ix = FaultIndex::default();
+        ix.insert(0, &FaultKind::AddressMap { from: 1, to: 4 });
+        ix.insert(1, &FaultKind::AddressMap { from: 1, to: 7 });
+        assert_eq!(ix.remap(1), Some(4));
+        assert!(ix.has_address_faults());
+    }
+
+    #[test]
+    fn multi_accumulates_in_order() {
+        let mut ix = FaultIndex::default();
+        ix.insert(0, &FaultKind::AddressMulti { addr: 2, extra: 5, wired_and: true });
+        ix.insert(1, &FaultKind::AddressMulti { addr: 2, extra: 6, wired_and: false });
+        assert_eq!(ix.multi(2), &[(5, true), (6, false)]);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut ix = FaultIndex::default();
+        ix.insert(0, &FaultKind::StuckOpen { cell: CellId::new(0, 0) });
+        ix.insert(1, &FaultKind::AddressMap { from: 0, to: 1 });
+        ix.clear();
+        assert!(ix.write_faults(0).is_empty());
+        assert!(ix.read_faults(0).is_empty());
+        assert!(!ix.has_address_faults());
+    }
+}

@@ -44,7 +44,9 @@ mod array;
 mod error;
 mod faults;
 mod geometry;
+mod index;
 mod op;
+pub mod rng;
 mod scramble;
 mod universe;
 

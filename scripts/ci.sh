@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Offline CI gate for the workspace: everything here runs with zero
+# registry access (external dev-dependencies are vendored API-subset shims
+# under vendor/).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release --workspace
+
+echo "==> tier-1 tests (default features)"
+cargo test -q
+cargo test -q --workspace
+
+echo "==> property suites (vendored proptest shim)"
+: "${PROPTEST_CASES:=32}"
+export PROPTEST_CASES
+cargo test -q --features proptest
+cargo test -q -p mbist-mem -p mbist-rtl -p mbist-logic --features proptest
+
+echo "==> parallel fault-simulation determinism regression"
+cargo test -q -p mbist-march --test parallel_determinism
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --no-default-features -- -D warnings
+cargo clippy --workspace --all-features --all-targets -- -D warnings
+
+echo "==> coverage-engine perf smoke (std-only harness)"
+cargo run --release -p mbist-bench --bin perf -- --quick --out /tmp/BENCH_coverage_ci.json
+
+echo "CI OK"

@@ -1,0 +1,591 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment for this workspace has no registry access, so the
+//! real `proptest` cannot be resolved. This vendored crate implements the
+//! API subset the workspace's property tests use — `Strategy` + `prop_map`,
+//! `any`, `Just`, `prop_oneof!`, `prop::collection::{vec, btree_set}`,
+//! `proptest!`, `prop_assert!`/`prop_assert_eq!` and
+//! `ProptestConfig::with_cases` — on top of a deterministic xorshift RNG.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failure reports the test name, case index and seed;
+//!   rerunning is fully deterministic (the seed is derived from the test
+//!   name), so the failing case is always reproducible.
+//! - **Case count** defaults to 64 and can be overridden globally with the
+//!   `PROPTEST_CASES` environment variable (like the real crate), which also
+//!   overrides explicit `with_cases` configs so CI can dial cost up or down.
+
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to generate per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    /// A failed property case (produced by the `prop_assert*` macros).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wrap a failure message.
+        #[must_use]
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic xorshift64* generator feeding the strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeded generator; a zero seed is remapped to a fixed constant.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            Self(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[0, n)`; returns 0 when `n == 0`. Modulo bias is
+        /// acceptable for test-case generation.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+
+    /// Drives the cases of one property.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// Runner with the given configuration.
+        #[must_use]
+        pub fn new(config: Config) -> Self {
+            Self { config }
+        }
+
+        /// Generate and run every case of a property, panicking (so the
+        /// libtest harness records a failure) on the first failing case.
+        pub fn run_cases<S, F>(&mut self, name: &str, strategy: &S, test: F)
+        where
+            S: crate::strategy::Strategy + ?Sized,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            // FNV-1a over the test name: stable, deterministic seeds.
+            let mut seed = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let cases = self.config.effective_cases();
+            let mut rng = TestRng::new(seed);
+            for case in 0..cases {
+                let input = strategy.generate(&mut rng);
+                if let Err(e) = test(input) {
+                    panic!("property `{name}` failed at case {case}/{cases} (seed {seed:#x}): {e}");
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of a given type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map: f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (see `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given non-empty list of alternatives.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! uint_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end as u64 - self.start as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u64 - start as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-domain u64 range: any value is in range.
+                        rng.next_u64() as $t
+                    } else {
+                        start + rng.below(span) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    uint_range_strategies!(u8, u16, u32, u64, usize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+}
+
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! uint_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    uint_arbitrary!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use std::collections::BTreeSet;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An (inclusive) size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            Self { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// The strategy returned by [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            // Best-effort sizing: duplicates may land below the target,
+            // which stays within the requested (inclusive-min 0) bound for
+            // the workloads this shim serves.
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            for _ in 0..target * 4 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// A `BTreeSet` of `element` values with size aimed at `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                runner.run_cases(
+                    stringify!($name),
+                    &($($strategy,)*),
+                    |($($arg,)*)| {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Uniform choice between alternative strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($item)),+])
+    };
+}
+
+/// Assert a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        $crate::prop_assert_eq!(
+            $lhs,
+            $rhs,
+            concat!("assertion failed: `", stringify!($lhs), " == ", stringify!($rhs), "`")
+        )
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        if !(($lhs) == ($rhs)) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        $crate::prop_assert_ne!(
+            $lhs,
+            $rhs,
+            concat!("assertion failed: `", stringify!($lhs), " != ", stringify!($rhs), "`")
+        )
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        if (($lhs) == ($rhs)) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..500 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1u8..=64).generate(&mut rng);
+            assert!((1..=64).contains(&w));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec((any::<u64>(), 0u8..5), 1..20);
+        let mut a = crate::test_runner::TestRng::new(42);
+        let mut b = crate::test_runner::TestRng::new(42);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_runs_and_asserts(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flip {
+                return Ok(());
+            }
+            prop_assert_eq!(x, x, "x must equal itself: {}", x);
+        }
+
+        #[test]
+        fn oneof_and_just_cover_alternatives(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+}
