@@ -1,0 +1,243 @@
+//! Std-only robustness study: controller-store upsets vs detection latency.
+//!
+//! Models a deployed BIST unit whose program store is exposed to single-
+//! event upsets between test sessions. Each *mission* runs `R` rounds; a
+//! round flips every store bit independently with probability `p` (the
+//! upset rate), then runs the session through the protected path
+//! ([`BistUnit::run_protected`]): integrity signature check, scan-reload
+//! recovery, watchdog cycle budget.
+//!
+//! Measured per architecture × upset rate:
+//!
+//! - how many corrupted rounds the signature catches immediately vs after
+//!   aliasing (an even number of flips in one parity column is invisible
+//!   until a later flip breaks the symmetry) — the *detection latency* in
+//!   rounds;
+//! - how often the watchdog budget, not the signature, terminates a
+//!   corrupted run (the fail-safe behind the fail-safe);
+//! - the recovery cost in scan clocks.
+//!
+//! Emits `BENCH_robustness.json` and prints a human table. `--quick`
+//! shrinks the sweep for smoke runs; `--out PATH` overrides the JSON path.
+
+use std::fmt::Write as _;
+use std::{env, fs};
+
+use mbist_core::{
+    microcode::MicrocodeBist, progfsm::ProgFsmBist, BistController, BistUnit, CoreError,
+    RecoveryPolicy, ScanRecoverable,
+};
+use mbist_march::{library, MarchTest};
+use mbist_mem::{MemGeometry, MemoryArray};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)`.
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[derive(Default)]
+struct Tally {
+    rounds: u64,
+    corrupted_rounds: u64,
+    flips: u64,
+    signature_detections: u64,
+    watchdog_detections: u64,
+    silent_rounds: u64,
+    latency_rounds_total: u64,
+    latency_rounds_max: u64,
+    recovery_scan_cycles: u64,
+}
+
+impl Tally {
+    fn detections(&self) -> u64 {
+        self.signature_detections + self.watchdog_detections
+    }
+
+    fn mean_latency(&self) -> f64 {
+        if self.detections() == 0 {
+            0.0
+        } else {
+            self.latency_rounds_total as f64 / self.detections() as f64
+        }
+    }
+}
+
+/// One mission: `rounds` sessions under per-bit upset probability `p`.
+/// Corruption accumulates across rounds until a detection triggers the
+/// scan-reload (restoring the store), mirroring a field deployment where
+/// the only repair mechanism is the recovery path itself.
+fn mission<C: BistController + ScanRecoverable>(
+    unit: &mut BistUnit<C>,
+    geometry: &MemGeometry,
+    p: f64,
+    rounds: u64,
+    rng: &mut u64,
+    tally: &mut Tally,
+) {
+    let policy = RecoveryPolicy::default();
+    let store_bits = unit.controller().store_bits();
+    // round index of the oldest still-undetected corruption
+    let mut corrupt_since: Option<u64> = None;
+    for round in 0..rounds {
+        let mut flipped = 0u64;
+        for bit in 0..store_bits {
+            if unit_f64(rng) < p {
+                unit.controller_mut().inject_upset(bit);
+                flipped += 1;
+            }
+        }
+        tally.rounds += 1;
+        tally.flips += flipped;
+        if flipped > 0 && corrupt_since.is_none() {
+            corrupt_since = Some(round);
+        }
+        if corrupt_since.is_some() {
+            tally.corrupted_rounds += 1;
+        }
+
+        let mut mem = MemoryArray::new(*geometry);
+        let caught = match unit.run_protected(&mut mem, &policy) {
+            Ok((_report, recovery)) => {
+                tally.recovery_scan_cycles += recovery.recovery_scan_cycles;
+                (recovery.reload_attempts > 0).then_some("signature")
+            }
+            Err(CoreError::CycleBudgetExceeded { .. }) => {
+                // aliased corruption hung the controller; the watchdog
+                // caught it — recover by hand and keep flying
+                tally.recovery_scan_cycles += unit.controller_mut().scan_reload();
+                Some("watchdog")
+            }
+            Err(e) => panic!("protected run cannot fail otherwise: {e}"),
+        };
+        match (caught, corrupt_since) {
+            (Some(kind), Some(since)) => {
+                let latency = round - since;
+                tally.latency_rounds_total += latency;
+                tally.latency_rounds_max = tally.latency_rounds_max.max(latency);
+                if kind == "signature" {
+                    tally.signature_detections += 1;
+                } else {
+                    tally.watchdog_detections += 1;
+                }
+                corrupt_since = None;
+            }
+            (None, Some(_)) => tally.silent_rounds += 1,
+            _ => {}
+        }
+    }
+}
+
+fn sweep(
+    arch: &str,
+    test: &MarchTest,
+    geometry: &MemGeometry,
+    p: f64,
+    missions: u64,
+    rounds: u64,
+    seed: u64,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut rng = seed;
+    for _ in 0..missions {
+        match arch {
+            "microcode" => {
+                let mut unit = MicrocodeBist::for_test(test, geometry)
+                    .expect("march-c compiles for microcode");
+                mission(&mut unit, geometry, p, rounds, &mut rng, &mut tally);
+            }
+            "progfsm" => {
+                let mut unit = ProgFsmBist::for_test(test, geometry)
+                    .expect("march-c compiles for progfsm");
+                mission(&mut unit, geometry, p, rounds, &mut rng, &mut tally);
+            }
+            _ => unreachable!("unknown architecture {arch}"),
+        }
+    }
+    tally
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_robustness.json".to_string());
+
+    let (missions, rounds) = if quick { (8, 16) } else { (64, 64) };
+    let rates = [1e-3, 5e-3, 2e-2, 8e-2];
+    let geometry = MemGeometry::bit_oriented(16);
+    let test = library::march_c();
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>12}",
+        "arch", "rate", "corrupted", "signature", "watchdog", "silent",
+        "lat.mean", "lat.max", "scan-clocks"
+    );
+    let mut json = String::from("[\n");
+    let mut first = true;
+    for arch in ["microcode", "progfsm"] {
+        for &p in &rates {
+            let t = sweep(arch, &test, &geometry, p, missions, rounds, 0x0b5e_55ed);
+            let _ = writeln!(
+                table,
+                "{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8.2} {:>8} {:>12}",
+                arch,
+                format!("{p:.0e}"),
+                t.corrupted_rounds,
+                t.signature_detections,
+                t.watchdog_detections,
+                t.silent_rounds,
+                t.mean_latency(),
+                t.latency_rounds_max,
+                t.recovery_scan_cycles,
+            );
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "  {{\"arch\": \"{arch}\", \"upset_rate\": {p}, \"missions\": {missions}, \
+                 \"rounds\": {}, \"corrupted_rounds\": {}, \"flips\": {}, \
+                 \"signature_detections\": {}, \"watchdog_detections\": {}, \
+                 \"silent_rounds\": {}, \"mean_latency_rounds\": {:.4}, \
+                 \"max_latency_rounds\": {}, \"recovery_scan_cycles\": {}}}",
+                t.rounds,
+                t.corrupted_rounds,
+                t.flips,
+                t.signature_detections,
+                t.watchdog_detections,
+                t.silent_rounds,
+                t.mean_latency(),
+                t.latency_rounds_max,
+                t.recovery_scan_cycles,
+            );
+        }
+    }
+    json.push_str("\n]\n");
+
+    println!("robustness sweep: march-c on {geometry}, {missions} missions × {rounds} rounds per cell");
+    println!("{table}");
+    println!(
+        "every single-bit upset is caught in-round by the 16-column interleaved \
+         parity; latency > 0 and watchdog catches only arise from multi-bit \
+         aliasing, silent rounds are aliased corruptions that neither signature \
+         nor watchdog has caught yet"
+    );
+    match fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

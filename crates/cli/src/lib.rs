@@ -8,10 +8,16 @@
 //! mbist compile <algorithm> [--arch microcode|progfsm]
 //! mbist run <algorithm> --words N [--width W] [--ports P]
 //!           [--arch microcode|progfsm|hardwired] [--fault KIND@ADDR[.BIT]]
+//!           [--cycle-budget C]
+//! mbist inject-upset <algorithm> --words N [--bit B]... [--arch A]
+//!           [--max-reloads R] [--cycle-budget C]
 //! mbist coverage <algorithm> --words N [--max-faults K]
 //! mbist area [--table 1|2|3]
 //! mbist rtl <algorithm> [--capacity Z] [--words N] [--width W]
 //! ```
+//!
+//! Errors exit with a class-specific status: 1 for execution failures, 2 for
+//! usage errors, 4 for a watchdog abort, 5 for exhausted recovery.
 //!
 //! `<algorithm>` is a library name (`march-c`, `mats+`, …) or inline march
 //! notation such as `"m(w0); u(r0,w1); d(r1,w0)"`.
@@ -26,25 +32,92 @@ use std::fmt::Write as _;
 use mbist_area::{table1, table2, table3, Technology};
 use mbist_core::{
     hardwired::HardwiredBist, microcode, microcode::MicrocodeBist, progfsm,
-    progfsm::ProgFsmBist,
+    progfsm::ProgFsmBist, BistController, BistUnit, CoreError, RecoveryPolicy,
+    ScanRecoverable, SessionReport,
 };
 use mbist_march::{evaluate_coverage, library, CoverageOptions, MarchTest};
 use mbist_mem::{CellId, FaultKind, MemGeometry, MemoryArray};
 
-/// A user-facing CLI error.
+/// A user-facing CLI error, categorized so the binary can exit with a
+/// distinct, scriptable status per failure class.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(String);
+#[non_exhaustive]
+pub enum CliError {
+    /// The invocation itself is wrong: unknown command or flag, missing or
+    /// unparsable value. Exit code 2.
+    Usage(String),
+    /// The request was well-formed but could not be carried out (compile
+    /// rejection, lint failure, injection error, …). Exit code 1.
+    Failed(String),
+    /// The watchdog aborted a bounded run
+    /// ([`CoreError::CycleBudgetExceeded`]). Exit code 4.
+    Watchdog(String),
+    /// Scan-reload recovery exhausted its retry bound
+    /// ([`CoreError::RecoveryFailed`]). Exit code 5.
+    Recovery(String),
+}
+
+impl CliError {
+    /// The process exit status this error maps to (never 0).
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Failed(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Watchdog(_) => 4,
+            CliError::Recovery(_) => 5,
+        }
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            CliError::Usage(m)
+            | CliError::Failed(m)
+            | CliError::Watchdog(m)
+            | CliError::Recovery(m) => f.write_str(m),
+        }
     }
 }
 
 impl Error for CliError {}
 
 fn err(message: impl Into<String>) -> CliError {
-    CliError(message.into())
+    CliError::Usage(message.into())
+}
+
+fn failed(message: impl ToString) -> CliError {
+    CliError::Failed(message.to_string())
+}
+
+/// Maps run-time core errors onto their CLI categories.
+fn run_error(e: CoreError) -> CliError {
+    match e {
+        CoreError::CycleBudgetExceeded { .. } => CliError::Watchdog(e.to_string()),
+        CoreError::RecoveryFailed { .. } => CliError::Recovery(e.to_string()),
+        other => CliError::Failed(other.to_string()),
+    }
+}
+
+/// Rejects unknown `--flags` (typos must not silently fall back to
+/// defaults) and flags whose value is missing.
+fn check_flags(args: &[&str], allowed: &[&str]) -> Result<(), CliError> {
+    for (i, a) in args.iter().enumerate() {
+        if !a.starts_with("--") {
+            continue;
+        }
+        if !allowed.contains(a) {
+            return Err(err(format!(
+                "unknown flag `{a}` (allowed here: {})",
+                if allowed.is_empty() { "none".to_string() } else { allowed.join(" ") }
+            )));
+        }
+        if i + 1 >= args.len() {
+            return Err(err(format!("flag `{a}` needs a value")));
+        }
+    }
+    Ok(())
 }
 
 /// Executes a CLI invocation (without the leading program name), returning
@@ -62,6 +135,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("show") => cmd_show(&collect(it)),
         Some("compile") => cmd_compile(&collect(it)),
         Some("run") => cmd_run(&collect(it)),
+        Some("inject-upset") => cmd_inject_upset(&collect(it)),
         Some("coverage") => cmd_coverage(&collect(it)),
         Some("area") => cmd_area(&collect(it)),
         Some("rtl") => cmd_rtl(&collect(it)),
@@ -85,6 +159,12 @@ commands:
   run <algorithm> --words N [opts]    run a BIST session on a simulated memory
       [--width W] [--ports P] [--arch microcode|progfsm|hardwired]
       [--fault KIND@ADDR[.BIT]]       KIND: sa0 sa1 tf-up tf-down sof drf puf
+      [--cycle-budget C]              abort (exit 4) instead of hanging after
+                                      C controller cycles
+  inject-upset <algorithm> --words N  flip program-store bit(s), then detect
+      [--bit B]... [--arch A]         via the integrity signature and recover
+      [--max-reloads R]               by scan-reloading (exit 5 if recovery
+      [--cycle-budget C]              fails; A: microcode|progfsm)
   coverage <algorithm> --words N      per-fault-class coverage (serial fault sim)
       [--max-faults K] [--jobs J]     J worker threads (0 or absent = auto);
                                       the report is identical for every J
@@ -96,6 +176,9 @@ commands:
 
 <algorithm> is a library name (march-c, mats+, ...) or inline notation like
 \"m(w0); u(r0,w1); d(r1,w0)\".
+
+exit codes: 0 ok, 1 execution failure, 2 usage error, 4 watchdog abort,
+5 recovery exhausted.
 "
     .to_string()
 }
@@ -164,17 +247,19 @@ fn cmd_algorithms() -> String {
 }
 
 fn cmd_show(args: &[&str]) -> Result<String, CliError> {
+    check_flags(args, &[])?;
     let spec = args.first().ok_or_else(|| err("usage: mbist show <algorithm>"))?;
     let t = resolve_test(spec)?;
     Ok(format!("{t}\n"))
 }
 
 fn cmd_compile(args: &[&str]) -> Result<String, CliError> {
+    check_flags(args, &["--arch"])?;
     let spec = args.first().ok_or_else(|| err("usage: mbist compile <algorithm>"))?;
     let t = resolve_test(spec)?;
     match flag_value(args, "--arch").unwrap_or("microcode") {
         "microcode" => {
-            let program = microcode::compile(&t).map_err(|e| err(e.to_string()))?;
+            let program = microcode::compile(&t).map_err(failed)?;
             Ok(format!(
                 "; {} → {} microinstructions\n{}",
                 t,
@@ -183,7 +268,7 @@ fn cmd_compile(args: &[&str]) -> Result<String, CliError> {
             ))
         }
         "progfsm" => {
-            let program = progfsm::compile(&t).map_err(|e| err(e.to_string()))?;
+            let program = progfsm::compile(&t).map_err(failed)?;
             let mut out = format!("; {} → {} component instructions\n", t, program.len());
             for (i, inst) in program.iter().enumerate() {
                 let _ = writeln!(out, "{i:>3}: {inst}");
@@ -229,28 +314,63 @@ fn parse_fault(spec: &str, geometry: &MemGeometry) -> Result<FaultKind, CliError
     Ok(fault)
 }
 
+/// Parses the optional `--cycle-budget` watchdog flag.
+fn budget_from(args: &[&str]) -> Result<Option<u64>, CliError> {
+    match flag_value(args, "--cycle-budget") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| err(format!("invalid --cycle-budget `{v}`"))),
+    }
+}
+
+/// Runs one session, unbounded or under the watchdog, mapping
+/// [`CoreError::CycleBudgetExceeded`] to [`CliError::Watchdog`].
+fn bounded_session<C: BistController>(
+    mut unit: BistUnit<C>,
+    mem: &mut MemoryArray,
+    budget: Option<u64>,
+) -> Result<SessionReport, CliError> {
+    match budget {
+        None => Ok(unit.run(mem)),
+        Some(b) => unit.run_bounded(mem, b).map_err(run_error),
+    }
+}
+
 fn cmd_run(args: &[&str]) -> Result<String, CliError> {
+    check_flags(
+        args,
+        &["--words", "--width", "--ports", "--arch", "--fault", "--cycle-budget"],
+    )?;
     let spec = args.first().ok_or_else(|| err("usage: mbist run <algorithm> --words N"))?;
     let t = resolve_test(spec)?;
     let geometry = geometry_from(args)?;
     let mut mem = MemoryArray::new(geometry);
     for (i, a) in args.iter().enumerate() {
         if *a == "--fault" {
-            let spec = args.get(i + 1).ok_or_else(|| err("--fault needs a value"))?;
-            let fault = parse_fault(spec, &geometry)?;
-            mem.inject(fault).map_err(|e| err(e.to_string()))?;
+            // the value exists: check_flags rejected a trailing `--fault`
+            let fault = parse_fault(args[i + 1], &geometry)?;
+            mem.inject(fault).map_err(failed)?;
         }
     }
+    let budget = budget_from(args)?;
 
     let arch = flag_value(args, "--arch").unwrap_or("microcode");
     let report = match arch {
-        "microcode" => MicrocodeBist::for_test(&t, &geometry)
-            .map_err(|e| err(e.to_string()))?
-            .run(&mut mem),
-        "progfsm" => ProgFsmBist::for_test(&t, &geometry)
-            .map_err(|e| err(e.to_string()))?
-            .run(&mut mem),
-        "hardwired" => HardwiredBist::for_test(&t, &geometry).run(&mut mem),
+        "microcode" => bounded_session(
+            MicrocodeBist::for_test(&t, &geometry).map_err(failed)?,
+            &mut mem,
+            budget,
+        )?,
+        "progfsm" => bounded_session(
+            ProgFsmBist::for_test(&t, &geometry).map_err(failed)?,
+            &mut mem,
+            budget,
+        )?,
+        "hardwired" => {
+            bounded_session(HardwiredBist::for_test(&t, &geometry), &mut mem, budget)?
+        }
         other => {
             return Err(err(format!(
                 "unknown --arch `{other}` (microcode|progfsm|hardwired)"
@@ -287,7 +407,100 @@ fn cmd_run(args: &[&str]) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_inject_upset(args: &[&str]) -> Result<String, CliError> {
+    check_flags(
+        args,
+        &["--words", "--width", "--ports", "--arch", "--bit", "--max-reloads",
+          "--cycle-budget"],
+    )?;
+    let spec = args
+        .first()
+        .ok_or_else(|| err("usage: mbist inject-upset <algorithm> --words N [--bit B]"))?;
+    let t = resolve_test(spec)?;
+    let geometry = geometry_from(args)?;
+    let mut bits = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if *a == "--bit" {
+            let v = args[i + 1];
+            bits.push(v.parse().map_err(|_| err(format!("invalid --bit `{v}`")))?);
+        }
+    }
+    if bits.is_empty() {
+        bits.push(0);
+    }
+    let policy = RecoveryPolicy {
+        max_reload_attempts: parse_flag(args, "--max-reloads", 3)?,
+        cycle_budget: budget_from(args)?,
+    };
+    match flag_value(args, "--arch").unwrap_or("microcode") {
+        "microcode" => upset_session(
+            MicrocodeBist::for_test(&t, &geometry).map_err(failed)?,
+            &geometry,
+            &bits,
+            &policy,
+        ),
+        "progfsm" => upset_session(
+            ProgFsmBist::for_test(&t, &geometry).map_err(failed)?,
+            &geometry,
+            &bits,
+            &policy,
+        ),
+        "hardwired" => Err(err(
+            "the hardwired controller has no program store to upset (microcode|progfsm)",
+        )),
+        other => Err(err(format!("unknown --arch `{other}` (microcode|progfsm)"))),
+    }
+}
+
+/// Flips `bits` in the unit's program store, reports whether the integrity
+/// signature catches the corruption, then runs protected (scan-reload
+/// recovery under the watchdog budget).
+fn upset_session<C: BistController + ScanRecoverable>(
+    mut unit: BistUnit<C>,
+    geometry: &MemGeometry,
+    bits: &[usize],
+    policy: &RecoveryPolicy,
+) -> Result<String, CliError> {
+    let store_bits = unit.controller().store_bits();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} program store: {} bits, load-time signature {}",
+        unit.controller().architecture(),
+        store_bits,
+        unit.controller().loaded_signature()
+    );
+    for &bit in bits {
+        if bit >= store_bits {
+            return Err(err(format!(
+                "--bit {bit} is outside the {store_bits}-bit program store"
+            )));
+        }
+        unit.controller_mut().inject_upset(bit);
+    }
+    let detected = unit.controller().verify_integrity().is_err();
+    let _ = writeln!(
+        out,
+        "upset: flipped bit(s) {:?}, store signature now {} ({})",
+        bits,
+        unit.controller().store_signature(),
+        if detected { "detected" } else { "NOT DETECTED — even flips per parity column alias" }
+    );
+    let mut mem = MemoryArray::new(*geometry);
+    let (report, recovery) = unit.run_protected(&mut mem, policy).map_err(run_error)?;
+    let _ = writeln!(out, "recovery: {recovery}");
+    let _ = writeln!(
+        out,
+        "session: {} in {} cycles (bus {})",
+        if report.passed() { "PASS" } else { "FAIL" },
+        report.cycles,
+        report.bus_cycles
+    );
+    Ok(out)
+}
+
 fn cmd_coverage(args: &[&str]) -> Result<String, CliError> {
+    check_flags(args, &["--words", "--width", "--ports", "--max-faults", "--jobs"])?;
     let spec =
         args.first().ok_or_else(|| err("usage: mbist coverage <algorithm> --words N"))?;
     let t = resolve_test(spec)?;
@@ -306,6 +519,7 @@ fn cmd_coverage(args: &[&str]) -> Result<String, CliError> {
 }
 
 fn cmd_area(args: &[&str]) -> Result<String, CliError> {
+    check_flags(args, &["--table"])?;
     let tech = Technology::cmos5s();
     match flag_value(args, "--table") {
         None => Ok(format!("{}\n{}\n{}", table1(&tech), table2(&tech), table3(&tech))),
@@ -317,9 +531,10 @@ fn cmd_area(args: &[&str]) -> Result<String, CliError> {
 }
 
 fn cmd_rtl(args: &[&str]) -> Result<String, CliError> {
+    check_flags(args, &["--capacity", "--words", "--width"])?;
     let spec = args.first().ok_or_else(|| err("usage: mbist rtl <algorithm>"))?;
     let t = resolve_test(spec)?;
-    let program = microcode::compile(&t).map_err(|e| err(e.to_string()))?;
+    let program = microcode::compile(&t).map_err(failed)?;
     let z: usize = parse_flag(args, "--capacity", program.len().max(16))?;
     let words: u64 = parse_flag(args, "--words", 1024)?;
     let width: u8 = parse_flag(args, "--width", 8)?;
@@ -331,17 +546,17 @@ fn cmd_rtl(args: &[&str]) -> Result<String, CliError> {
     for m in [&ctrl, &dp, &top] {
         let issues = mbist_hdl::lint(m);
         if !issues.is_empty() {
-            return Err(err(format!("generated RTL failed lint: {}", issues[0])));
+            return Err(failed(format!("generated RTL failed lint: {}", issues[0])));
         }
     }
-    let tb = mbist_hdl::emit_testbench(&t, &geometry, z, "mbist_top")
-        .map_err(|e| err(e.to_string()))?;
+    let tb = mbist_hdl::emit_testbench(&t, &geometry, z, "mbist_top").map_err(failed)?;
     Ok(format!("{}\n{}\n{}\n{}", ctrl.emit(), dp.emit(), top.emit(), tb))
 }
 
 fn cmd_synth(args: &[&str]) -> Result<String, CliError> {
     use mbist_march::{synthesize_march, SynthesisOptions};
     use mbist_mem::FaultClass;
+    check_flags(args, &["--classes", "--max-elements", "--jobs"])?;
     let spec = flag_value(args, "--classes")
         .ok_or_else(|| err("usage: mbist synth --classes saf,tf,af"))?;
     let mut classes = Vec::new();
@@ -382,8 +597,13 @@ mod tests {
     use super::*;
 
     fn run_ok(args: &[&str]) -> String {
-        run(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
-            .unwrap_or_else(|e| panic!("{args:?} failed: {e}"))
+        match run(&args.iter().map(ToString::to_string).collect::<Vec<_>>()) {
+            Ok(out) => out,
+            Err(e) => panic!(
+                "expected success for {args:?}, got `{e}` (exit code {})",
+                e.exit_code()
+            ),
+        }
     }
 
     fn run_err(args: &[&str]) -> CliError {
@@ -509,6 +729,84 @@ mod tests {
             .to_string()
             .contains("unknown fault class"));
         assert!(run_err(&["synth"]).to_string().contains("--classes"));
+    }
+
+    #[test]
+    fn exit_codes_follow_the_error_category() {
+        // usage errors exit 2
+        assert_eq!(run_err(&["frob"]).exit_code(), 2);
+        assert_eq!(run_err(&["run", "march-c"]).exit_code(), 2);
+        // execution failures exit 1
+        assert_eq!(
+            run_err(&["compile", "march-b", "--arch", "progfsm"]).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_defaulted() {
+        let e = run_err(&["run", "march-c", "--wrods", "8"]);
+        assert!(e.to_string().contains("unknown flag `--wrods`"), "{e}");
+        assert_eq!(e.exit_code(), 2);
+        let e = run_err(&["compile", "march-c", "--arch"]);
+        assert!(e.to_string().contains("needs a value"), "{e}");
+        let e = run_err(&["area", "--table", "1", "--tble", "2"]);
+        assert!(e.to_string().contains("unknown flag"), "{e}");
+    }
+
+    #[test]
+    fn run_cycle_budget_watchdog() {
+        let out = run_ok(&["run", "march-c", "--words", "16", "--cycle-budget", "100000"]);
+        assert!(out.contains("PASS"));
+        let e = run_err(&["run", "march-c", "--words", "16", "--cycle-budget", "10"]);
+        assert_eq!(e.exit_code(), 4, "watchdog abort has its own exit code");
+        assert!(e.to_string().contains("cycle budget"), "{e}");
+        let e = run_err(&["run", "march-c", "--words", "16", "--cycle-budget", "x"]);
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn inject_upset_detects_and_recovers_on_both_architectures() {
+        for arch in ["microcode", "progfsm"] {
+            let out = run_ok(&[
+                "inject-upset", "march-c", "--words", "16", "--arch", arch, "--bit", "5",
+            ]);
+            assert!(out.contains("(detected)"), "{arch}: {out}");
+            assert!(out.contains("1 reload(s)"), "{arch}: {out}");
+            assert!(out.contains("PASS"), "{arch}: {out}");
+        }
+    }
+
+    #[test]
+    fn inject_upset_exhausted_retries_exit_distinctly() {
+        let e = run_err(&[
+            "inject-upset", "march-c", "--words", "16", "--bit", "5",
+            "--max-reloads", "0",
+        ]);
+        assert_eq!(e.exit_code(), 5);
+        assert!(e.to_string().contains("scan-reload"), "{e}");
+    }
+
+    #[test]
+    fn inject_upset_even_flips_per_column_alias_the_signature() {
+        // flipping the same bit twice restores the store; the signature
+        // cannot see it (its documented blind spot) and the clean program
+        // runs without recovery
+        let out = run_ok(&[
+            "inject-upset", "march-c", "--words", "16", "--bit", "5", "--bit", "5",
+        ]);
+        assert!(out.contains("NOT DETECTED"), "{out}");
+        assert!(out.contains("0 reload(s)"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn inject_upset_rejects_bad_targets() {
+        let e = run_err(&["inject-upset", "march-c", "--words", "16", "--arch", "hardwired"]);
+        assert!(e.to_string().contains("no program store"), "{e}");
+        assert_eq!(e.exit_code(), 2);
+        let e = run_err(&["inject-upset", "march-c", "--words", "16", "--bit", "99999"]);
+        assert!(e.to_string().contains("outside"), "{e}");
     }
 
     #[test]

@@ -32,6 +32,60 @@ impl fmt::Display for Flexibility {
     }
 }
 
+/// A controller whose program store is scan-loadable and therefore both a
+/// soft-error target and a recovery mechanism.
+///
+/// Implemented by the microcode and programmable-FSM controllers (their
+/// stores are written through scan chains); the hardwired controller has no
+/// program store and is inherently immune to program upsets.
+///
+/// The integrity mechanism is the 16-column parity signature of
+/// [`crate::integrity`]: recorded when a program is scan-loaded, recomputed
+/// from the store on demand. A mismatch means the store changed *after*
+/// loading — the single-event-upset (SEU) signature.
+pub trait ScanRecoverable: BistController {
+    /// Number of storage bits in the program store (valid upset targets).
+    fn store_bits(&self) -> usize;
+
+    /// Flips one storage bit in place — the SEU model. Consumes no scan
+    /// clocks and bypasses both write paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.store_bits()`.
+    fn inject_upset(&mut self, bit: usize);
+
+    /// The signature recorded when the current program was scan-loaded.
+    fn loaded_signature(&self) -> crate::integrity::Signature;
+
+    /// The signature of the store's *current* contents.
+    fn store_signature(&self) -> crate::integrity::Signature;
+
+    /// Checks the store against the load-time signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IntegrityViolation`](crate::CoreError::IntegrityViolation)
+    /// if the signatures differ.
+    fn verify_integrity(&self) -> Result<(), crate::CoreError> {
+        let expected = self.loaded_signature();
+        let observed = self.store_signature();
+        if expected == observed {
+            Ok(())
+        } else {
+            Err(crate::CoreError::IntegrityViolation {
+                expected: expected.value(),
+                observed: observed.value(),
+            })
+        }
+    }
+
+    /// Scan-reloads the last known-good program image, restoring integrity
+    /// and resetting the controller. Returns the scan clocks consumed —
+    /// the hardware cost of the recovery.
+    fn scan_reload(&mut self) -> u64;
+}
+
 /// A cycle-accurate memory BIST controller.
 ///
 /// Each call to [`BistController::step`] models one clock edge: the

@@ -26,6 +26,40 @@ pub enum CoreError {
         /// Storage capacity in instructions.
         capacity: usize,
     },
+    /// A program failed static validation (see [`crate::validate`]): it
+    /// could loop forever or exercise undefined controller behavior.
+    InvalidProgram {
+        /// Architecture whose validator rejected the program.
+        architecture: &'static str,
+        /// Why the program was rejected.
+        reason: String,
+    },
+    /// A bounded run exhausted its cycle budget without the controller
+    /// asserting `Test End` — the watchdog verdict for a hung (typically
+    /// corrupted) program.
+    CycleBudgetExceeded {
+        /// The budget that was exhausted, in controller clock cycles.
+        budget: u64,
+        /// Architecture of the hung controller.
+        architecture: &'static str,
+        /// Algorithm that was running.
+        algorithm: String,
+    },
+    /// The program store's integrity signature no longer matches the
+    /// signature recorded at load time — the store was corrupted (e.g. by
+    /// a single-event upset) after loading.
+    IntegrityViolation {
+        /// Signature recorded when the program was scan-loaded.
+        expected: u16,
+        /// Signature recomputed from the store's current contents.
+        observed: u16,
+    },
+    /// Scan-reload recovery did not restore program integrity within the
+    /// configured retry bound.
+    RecoveryFailed {
+        /// Reload attempts performed before giving up.
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +72,24 @@ impl fmt::Display for CoreError {
             CoreError::ProgramTooLarge { required, capacity } => write!(
                 f,
                 "program needs {required} instructions but the storage unit holds {capacity}"
+            ),
+            CoreError::InvalidProgram { architecture, reason } => {
+                write!(f, "invalid {architecture} program: {reason}")
+            }
+            CoreError::CycleBudgetExceeded { budget, architecture, algorithm } => write!(
+                f,
+                "{architecture} controller running {algorithm} exceeded its cycle \
+                 budget of {budget} cycles (watchdog abort)"
+            ),
+            CoreError::IntegrityViolation { expected, observed } => write!(
+                f,
+                "program store integrity violation: signature {observed:#06x} does \
+                 not match the load-time signature {expected:#06x}"
+            ),
+            CoreError::RecoveryFailed { attempts } => write!(
+                f,
+                "program store integrity not restored after {attempts} scan-reload \
+                 attempt(s)"
             ),
         }
     }
@@ -65,5 +117,26 @@ mod tests {
             message: "element ⇑(r0,r0,r0,w1) matches no march component".into(),
         };
         assert!(e.to_string().contains("programmable-fsm"));
+    }
+
+    #[test]
+    fn robustness_variants_display_their_numbers() {
+        let e = CoreError::CycleBudgetExceeded {
+            budget: 4096,
+            architecture: "microcode",
+            algorithm: "march-c".into(),
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("march-c"));
+        let e = CoreError::IntegrityViolation { expected: 0x1a2b, observed: 0x1a2f };
+        assert!(e.to_string().contains("0x1a2b"));
+        assert!(e.to_string().contains("0x1a2f"));
+        let e = CoreError::RecoveryFailed { attempts: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = CoreError::InvalidProgram {
+            architecture: "microcode",
+            reason: "element loop at 2 makes no address progress".into(),
+        };
+        assert!(e.to_string().contains("address progress"));
     }
 }

@@ -61,16 +61,20 @@ mod datapath;
 mod diag;
 mod error;
 pub mod hardwired;
+pub mod integrity;
 pub mod microcode;
 pub mod online;
 pub mod progfsm;
+mod recovery;
 pub mod repair;
 mod signals;
 mod unit;
+pub mod validate;
 
-pub use controller::{BistController, Flexibility};
+pub use controller::{BistController, Flexibility, ScanRecoverable};
 pub use datapath::BistDatapath;
 pub use diag::{FailBitmap, FailLog, FailSignature};
 pub use error::CoreError;
+pub use recovery::{RecoveryPolicy, RecoveryReport};
 pub use signals::{ControlSignals, StatusSignals};
 pub use unit::{BistUnit, SessionReport};

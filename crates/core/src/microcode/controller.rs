@@ -8,12 +8,14 @@
 
 use mbist_rtl::{CellStyle, Direction, Primitive, Structure};
 
-use crate::controller::{BistController, Flexibility};
+use crate::controller::{BistController, Flexibility, ScanRecoverable};
 use crate::datapath::BistDatapath;
 use crate::error::CoreError;
+use crate::integrity::Signature;
 use crate::microcode::isa::{FlowOp, Microinstruction, INSTRUCTION_BITS};
 use crate::microcode::storage::StorageUnit;
 use crate::signals::ControlSignals;
+use crate::validate::validate_microcode;
 
 /// Configuration of a microcode-based controller instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,8 +70,14 @@ pub struct MicrocodeController {
     algorithm: String,
     config: MicrocodeConfig,
     storage: StorageUnit,
-    /// Decoded view of the storage unit (refreshed on every load).
+    /// Decoded view of the storage unit (refreshed on every load and on
+    /// every injected upset).
     program: Vec<Microinstruction>,
+    /// Last known-good program, kept off-chip (the tester's copy) for
+    /// scan-reload recovery.
+    golden: Vec<Microinstruction>,
+    /// Store signature recorded when `golden` was scan-loaded.
+    loaded_signature: Signature,
     /// Instruction counter.
     pc: usize,
     /// Branch register: first instruction of the current march element
@@ -85,20 +93,25 @@ impl MicrocodeController {
     /// # Errors
     ///
     /// Returns [`CoreError::ProgramTooLarge`] if the program exceeds
-    /// `config.capacity`, or [`CoreError::Decode`] if it contains an
-    /// undecodable word.
+    /// `config.capacity`, [`CoreError::Decode`] if it contains an
+    /// undecodable word, or [`CoreError::InvalidProgram`] if it fails
+    /// static validation (see [`crate::validate::validate_microcode`]).
     pub fn new(
         algorithm: impl Into<String>,
         program: &[Microinstruction],
         config: MicrocodeConfig,
     ) -> Result<Self, CoreError> {
+        validate_microcode(program)?;
         let mut storage = StorageUnit::new(config.capacity, config.cell_style);
         storage.load(program)?;
         let decoded = storage.program()?;
+        let loaded_signature = storage.signature();
         Ok(Self {
             algorithm: algorithm.into(),
             config,
             storage,
+            golden: decoded.clone(),
+            loaded_signature,
             program: decoded,
             pc: 0,
             branch_reg: 0,
@@ -119,8 +132,11 @@ impl MicrocodeController {
         algorithm: impl Into<String>,
         program: &[Microinstruction],
     ) -> Result<u64, CoreError> {
+        validate_microcode(program)?;
         let cycles = self.storage.load(program)?;
         self.program = self.storage.program()?;
+        self.golden = self.program.clone();
+        self.loaded_signature = self.storage.signature();
         self.algorithm = algorithm.into();
         self.reset();
         Ok(cycles)
@@ -155,6 +171,42 @@ impl MicrocodeController {
     fn goto(&mut self, target: usize) {
         self.pc = target;
         self.branch_reg = target;
+    }
+}
+
+impl ScanRecoverable for MicrocodeController {
+    fn store_bits(&self) -> usize {
+        self.storage.bit_len()
+    }
+
+    fn inject_upset(&mut self, bit: usize) {
+        self.storage.flip_cell(bit);
+        // The instruction selector reads whatever the store now holds;
+        // undecodable words resolve through the fail-safe decoder. The
+        // upset is *not* validated — detecting it is the signature's job,
+        // containing it is the watchdog's.
+        self.program = self.storage.program_failsafe();
+    }
+
+    fn loaded_signature(&self) -> Signature {
+        self.loaded_signature
+    }
+
+    fn store_signature(&self) -> Signature {
+        self.storage.signature()
+    }
+
+    fn scan_reload(&mut self) -> u64 {
+        let golden = std::mem::take(&mut self.golden);
+        let cycles = self
+            .storage
+            .load(&golden)
+            .expect("golden program was loaded before and still fits");
+        self.golden = golden;
+        self.program = self.golden.clone();
+        self.loaded_signature = self.storage.signature();
+        self.reset();
+        cycles
     }
 }
 
@@ -411,6 +463,60 @@ mod tests {
         let _ = ctrl.step(&dp);
         let s = ctrl.step(&dp);
         assert!(s.done, "instruction-address exhaustion ends the test");
+    }
+
+    #[test]
+    fn constructor_rejects_hanging_programs() {
+        // An element loop with no address progress would spin forever.
+        let prog = vec![Microinstruction {
+            write: true,
+            flow: FlowOp::LoopElem,
+            ..Microinstruction::nop()
+        }];
+        let err = MicrocodeController::new("bad", &prog, MicrocodeConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidProgram { .. }), "{err}");
+        // load_program applies the same validation
+        let mut ctrl = MicrocodeController::new(
+            "ok",
+            &compile(&library::march_c()).unwrap(),
+            MicrocodeConfig::default(),
+        )
+        .unwrap();
+        assert!(ctrl.load_program("bad", &prog).is_err());
+    }
+
+    #[test]
+    fn upset_is_detected_and_scan_reload_recovers() {
+        let program = compile(&library::march_c()).unwrap();
+        let mut ctrl =
+            MicrocodeController::new("march-c", &program, MicrocodeConfig::default())
+                .unwrap();
+        ctrl.verify_integrity().unwrap();
+        let golden_view = ctrl.program().to_vec();
+
+        ctrl.inject_upset(9); // addr_inc bit of instruction 0
+        let err = ctrl.verify_integrity().unwrap_err();
+        assert!(matches!(err, CoreError::IntegrityViolation { .. }), "{err}");
+        assert_ne!(ctrl.program(), golden_view.as_slice(), "behavior changed");
+
+        let cost = ctrl.scan_reload();
+        assert_eq!(cost, 16 * 10, "recovery costs one full-chain scan load");
+        ctrl.verify_integrity().unwrap();
+        assert_eq!(ctrl.program(), golden_view.as_slice());
+    }
+
+    #[test]
+    fn upset_outside_the_program_is_still_detected() {
+        // Padding slots never execute, but the parity word covers the
+        // whole store — detection is conservative.
+        let program = compile(&library::mats_plus()).unwrap();
+        let mut ctrl =
+            MicrocodeController::new("mats+", &program, MicrocodeConfig::default())
+                .unwrap();
+        let bit = ctrl.store_bits() - 1;
+        ctrl.inject_upset(bit);
+        assert!(ctrl.verify_integrity().is_err());
     }
 
     #[test]

@@ -199,7 +199,36 @@ impl Microinstruction {
                 ),
             });
         }
-        let inst = Self {
+        let inst = Self::fields(word);
+        if inst.read && inst.write {
+            return Err(CoreError::Decode {
+                message: "read and write enables both asserted".into(),
+            });
+        }
+        Ok(inst)
+    }
+
+    /// Decodes a 10-bit word the way the hardware decoder would after an
+    /// upset: a word asserting both enables resolves to the non-destructive
+    /// read (the write enable is masked). Used when re-decoding a store
+    /// whose contents may have been corrupted — the integrity signature,
+    /// not the decoder, is the detection mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not 10 bits wide (a model bug, not a fault).
+    #[must_use]
+    pub fn decode_failsafe(word: Bits) -> Self {
+        assert_eq!(word.width(), INSTRUCTION_BITS, "microinstruction width");
+        let mut inst = Self::fields(word);
+        if inst.read && inst.write {
+            inst.write = false;
+        }
+        inst
+    }
+
+    fn fields(word: Bits) -> Self {
+        Self {
             flow: FlowOp::from_bits((word.value() & 0b111) as u8),
             read: word.bit(3),
             write: word.bit(4),
@@ -208,13 +237,7 @@ impl Microinstruction {
             data_invert: word.bit(7),
             addr_down: word.bit(8),
             addr_inc: word.bit(9),
-        };
-        if inst.read && inst.write {
-            return Err(CoreError::Decode {
-                message: "read and write enables both asserted".into(),
-            });
         }
-        Ok(inst)
     }
 
     /// Whether the instruction drives a memory access.
@@ -327,6 +350,22 @@ mod tests {
         };
         assert_eq!(rep.to_string(), "repeat(order)");
         assert_eq!(Microinstruction::nop().to_string(), "nop");
+    }
+
+    #[test]
+    fn failsafe_decode_masks_the_destructive_enable() {
+        let word = Bits::new(10, (1 << 3) | (1 << 4) | (1 << 5));
+        let inst = Microinstruction::decode_failsafe(word);
+        assert!(inst.read && !inst.write, "read priority on conflict");
+        assert!(inst.cmp_invert, "other fields decode normally");
+        // clean words decode identically to the strict decoder
+        for v in [0u64, 0b10_0000_1001, 0b01_1000_0111] {
+            let w = Bits::new(10, v);
+            assert_eq!(
+                Microinstruction::decode_failsafe(w),
+                Microinstruction::decode(w).unwrap()
+            );
+        }
     }
 
     #[test]

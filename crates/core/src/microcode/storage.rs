@@ -9,6 +9,7 @@
 use mbist_rtl::{Bits, CellStyle, ScanChain, Structure};
 
 use crate::error::CoreError;
+use crate::integrity::Signature;
 use crate::microcode::isa::{Microinstruction, INSTRUCTION_BITS};
 
 /// The storage unit of the microcode-based controller.
@@ -117,6 +118,47 @@ impl StorageUnit {
         Ok(out)
     }
 
+    /// Decodes the entire stored program with the fail-safe decoder
+    /// ([`Microinstruction::decode_failsafe`]): never errors, even after
+    /// the store has been corrupted. Trailing `nop` slots are trimmed.
+    #[must_use]
+    pub fn program_failsafe(&self) -> Vec<Microinstruction> {
+        let mut out = Vec::with_capacity(self.capacity);
+        for i in 0..self.capacity {
+            let base = i * usize::from(INSTRUCTION_BITS);
+            let bits = Bits::from_bits_lsb_first(
+                (0..usize::from(INSTRUCTION_BITS)).map(|b| self.chain.cell(base + b)),
+            );
+            out.push(Microinstruction::decode_failsafe(bits));
+        }
+        while out.last() == Some(&Microinstruction::nop()) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Number of storage cells (`capacity × 10`) — valid upset targets.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// The interleaved-parity signature of the store's current contents.
+    #[must_use]
+    pub fn signature(&self) -> Signature {
+        Signature::of(self.chain.cells().iter().copied())
+    }
+
+    /// Flips storage cell `bit` — the single-event-upset model (no scan
+    /// clocks consumed, no write path exercised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.bit_len()`.
+    pub fn flip_cell(&mut self, bit: usize) {
+        self.chain.flip_cell(bit);
+    }
+
     /// Structural inventory for area estimation: the Z×10 cell array.
     #[must_use]
     pub fn structure(&self) -> Structure {
@@ -186,6 +228,33 @@ mod tests {
         s.load(&short).unwrap();
         assert_eq!(s.program().unwrap(), short);
         assert_eq!(s.scan_cycles(), 2 * 4 * 10);
+    }
+
+    #[test]
+    fn signature_tracks_every_single_upset() {
+        let mut s = StorageUnit::new(4, CellStyle::ScanOnly);
+        s.load(&sample_program()).unwrap();
+        let clean = s.signature();
+        for bit in 0..s.bit_len() {
+            s.flip_cell(bit);
+            assert_ne!(s.signature(), clean, "upset at {bit} must be visible");
+            s.flip_cell(bit);
+            assert_eq!(s.signature(), clean);
+        }
+    }
+
+    #[test]
+    fn failsafe_program_survives_a_conflict_upset() {
+        let mut s = StorageUnit::new(4, CellStyle::ScanOnly);
+        s.load(&sample_program()).unwrap();
+        // Slot 1 is `r0 next`; setting its write-enable bit (cell 1*10+4)
+        // creates the read/write conflict the strict decoder rejects.
+        s.flip_cell(10 + 4);
+        assert!(s.program().is_err(), "strict decode rejects the conflict");
+        let degraded = s.program_failsafe();
+        assert!(degraded[1].read && !degraded[1].write, "read priority");
+        // unaffected slots decode identically
+        assert_eq!(degraded[0], sample_program()[0]);
     }
 
     #[test]

@@ -199,6 +199,93 @@ mod tests {
     }
 
     #[test]
+    fn defect_appearing_in_the_final_round_is_still_caught() {
+        let g = MemGeometry::bit_oriented(32);
+        let mut mem = MemoryArray::new(g);
+        let fault = FaultKind::StuckAt { cell: CellId::bit_oriented(3), value: true };
+        let report = run_periodic(
+            &mut mem,
+            &library::march_c(),
+            8,
+            &OnlineConfig::default(),
+            Some((7, fault)),
+        );
+        assert_eq!(report.detection_round, Some(7), "no round after the defect");
+        assert_eq!(report.rounds_run, 8);
+        // latency_from saturates when asked about a later injection point
+        assert_eq!(report.latency_from(9), Some(0));
+    }
+
+    #[test]
+    fn zero_workload_rounds_still_run_the_test() {
+        let g = MemGeometry::bit_oriented(16);
+        let config = OnlineConfig { workload_ops_per_round: 0, ..OnlineConfig::default() };
+        let mut mem = MemoryArray::new(g);
+        let healthy = run_periodic(&mut mem, &library::march_c(), 3, &config, None);
+        assert_eq!(healthy.rounds_run, 3);
+        assert_eq!(healthy.detection_round, None);
+        assert!(healthy.test_cycles > 0, "rounds without workload still test");
+
+        let fault = FaultKind::StuckAt { cell: CellId::bit_oriented(5), value: true };
+        let mut mem = MemoryArray::new(g);
+        let report =
+            run_periodic(&mut mem, &library::march_c(), 3, &config, Some((0, fault)));
+        assert_eq!(report.detection_round, Some(0));
+    }
+
+    #[test]
+    fn zero_rounds_is_a_no_op() {
+        let g = MemGeometry::bit_oriented(8);
+        let mut mem = MemoryArray::new(g);
+        let report =
+            run_periodic(&mut mem, &library::march_c(), 0, &OnlineConfig::default(), None);
+        assert_eq!(report.rounds_run, 0);
+        assert_eq!(report.detection_round, None);
+        assert_eq!(report.test_cycles, 0);
+        assert_eq!(report.latency_from(0), None);
+    }
+
+    #[test]
+    fn stuck_at_detection_never_false_alarms_content_restore() {
+        // A stuck-at cell reads as its stuck value during the prediction
+        // pass too, so the restore target *is* the stuck value: the round
+        // detects the defect without reporting a content upset.
+        let g = MemGeometry::bit_oriented(16);
+        let config = OnlineConfig { workload_ops_per_round: 0, ..OnlineConfig::default() };
+        let mut mem = MemoryArray::new(g);
+        let fault = FaultKind::StuckAt { cell: CellId::bit_oriented(9), value: true };
+        let report =
+            run_periodic(&mut mem, &library::march_c(), 8, &config, Some((3, fault)));
+        assert_eq!(report.detection_round, Some(3));
+        assert_eq!(report.content_upsets, 0, "restore target is the observed state");
+        assert_eq!(report.rounds_run, 4);
+    }
+
+    #[test]
+    fn coupling_upset_breaks_content_restore_only_after_it_appears() {
+        // A coupling inversion flips the victim's *stored* state whenever
+        // the aggressor transitions after the victim's restore — the one
+        // defect class whose appearance breaks the content guarantee. All
+        // rounds before the injection must restore cleanly.
+        let g = MemGeometry::bit_oriented(16);
+        let config = OnlineConfig { workload_ops_per_round: 0, ..OnlineConfig::default() };
+        let mut mem = MemoryArray::new(g);
+        // Down-order elements touch the high-address victim before the
+        // low-address aggressor, so the aggressor's final falling write
+        // lands after the victim's restore.
+        let fault = FaultKind::CouplingInversion {
+            aggressor: CellId::bit_oriented(2),
+            victim: CellId::bit_oriented(12),
+            rising: false,
+        };
+        let report =
+            run_periodic(&mut mem, &library::march_c(), 8, &config, Some((3, fault)));
+        let detected = report.detection_round.expect("march-c detects CFin");
+        assert_eq!(detected, 3, "caught on the round the defect appeared");
+        assert_eq!(report.content_upsets, 1, "only the defective round fails restore");
+    }
+
+    #[test]
     #[should_panic(expected = "cannot run transparently")]
     fn non_transparent_algorithm_is_rejected() {
         let g = MemGeometry::bit_oriented(8);

@@ -8,13 +8,15 @@
 //! special instructions.
 
 use mbist_march::MarchOp;
-use mbist_rtl::{Direction, Primitive, Structure};
+use mbist_rtl::{Bits, CellStyle, Direction, Primitive, ScanChain, Structure};
 
-use crate::controller::{BistController, Flexibility};
+use crate::controller::{BistController, Flexibility, ScanRecoverable};
 use crate::datapath::BistDatapath;
 use crate::error::CoreError;
+use crate::integrity::Signature;
 use crate::progfsm::isa::{FsmInstruction, FsmOp, FSM_INSTRUCTION_BITS};
 use crate::signals::ControlSignals;
+use crate::validate::validate_progfsm;
 
 /// Configuration of a programmable FSM-based controller instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +30,75 @@ pub struct ProgFsmConfig {
 impl Default for ProgFsmConfig {
     fn default() -> Self {
         Self { capacity: 12, pause_ns: 100_000.0 }
+    }
+}
+
+/// The 2-dimensional circular parameter buffer, modeled at the bit level:
+/// `capacity × 8` full-scan cells (the buffer shifts at the functional
+/// rate, so scan-only cells are ruled out — see `structure`). Row `i`
+/// occupies cells `[i*8, i*8+8)`, LSB first; the buffer index wraps at the
+/// *programmed* row count, not the capacity.
+#[derive(Debug, Clone)]
+struct ParameterBuffer {
+    capacity: usize,
+    /// Programmed rows; the circular index wraps here.
+    len: usize,
+    chain: ScanChain,
+}
+
+impl ParameterBuffer {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "parameter buffer needs at least one row");
+        Self {
+            capacity,
+            len: 0,
+            chain: ScanChain::with_style(
+                capacity * usize::from(FSM_INSTRUCTION_BITS),
+                CellStyle::FullScan,
+            ),
+        }
+    }
+
+    /// Serially loads `program`, padding unused rows with zero words.
+    /// Costs `capacity × 8` scan clocks.
+    fn load(&mut self, program: &[FsmInstruction]) -> Result<u64, CoreError> {
+        if program.len() > self.capacity {
+            return Err(CoreError::ProgramTooLarge {
+                required: program.len(),
+                capacity: self.capacity,
+            });
+        }
+        let width = usize::from(FSM_INSTRUCTION_BITS);
+        let mut image = vec![false; self.capacity * width];
+        for (i, inst) in program.iter().enumerate() {
+            let word = inst.encode();
+            for b in 0..FSM_INSTRUCTION_BITS {
+                image[i * width + usize::from(b)] = word.bit(b);
+            }
+        }
+        let before = self.chain.shifts();
+        let pattern: Vec<bool> = image.iter().rev().copied().collect();
+        self.chain.load_serial(&pattern);
+        self.len = program.len();
+        Ok(self.chain.shifts() - before)
+    }
+
+    /// Decodes the programmed rows with the fail-safe decoder — never
+    /// errors, even after the buffer has been corrupted.
+    fn rows(&self) -> Vec<FsmInstruction> {
+        let width = usize::from(FSM_INSTRUCTION_BITS);
+        (0..self.len)
+            .map(|i| {
+                let bits = Bits::from_bits_lsb_first(
+                    (0..width).map(|b| self.chain.cell(i * width + b)),
+                );
+                FsmInstruction::decode_failsafe(bits)
+            })
+            .collect()
+    }
+
+    fn signature(&self) -> Signature {
+        Signature::of(self.chain.cells().iter().copied())
     }
 }
 
@@ -63,7 +134,15 @@ pub enum LowerState {
 pub struct ProgFsmController {
     algorithm: String,
     config: ProgFsmConfig,
+    /// The bit-level circular buffer hardware.
+    store: ParameterBuffer,
+    /// Decoded view of the store (refreshed on every load and on every
+    /// injected upset).
     buffer: Vec<FsmInstruction>,
+    /// Last known-good program for scan-reload recovery.
+    golden: Vec<FsmInstruction>,
+    /// Store signature recorded when `golden` was scan-loaded.
+    loaded_signature: Signature,
     index: usize,
     state: LowerState,
     /// Resolved operation pattern of the active component.
@@ -74,27 +153,34 @@ pub struct ProgFsmController {
 }
 
 impl ProgFsmController {
-    /// Builds a controller and loads `program` into the circular buffer.
+    /// Builds a controller and scan-loads `program` into the circular
+    /// buffer.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::ProgramTooLarge`] if the program exceeds the
-    /// buffer capacity.
+    /// buffer capacity, or [`CoreError::InvalidProgram`] if it fails
+    /// static validation (see [`crate::validate::validate_progfsm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero.
     pub fn new(
         algorithm: impl Into<String>,
         program: &[FsmInstruction],
         config: ProgFsmConfig,
     ) -> Result<Self, CoreError> {
-        if program.len() > config.capacity {
-            return Err(CoreError::ProgramTooLarge {
-                required: program.len(),
-                capacity: config.capacity,
-            });
-        }
+        validate_progfsm(program)?;
+        let mut store = ParameterBuffer::new(config.capacity);
+        store.load(program)?;
+        let loaded_signature = store.signature();
         Ok(Self {
             algorithm: algorithm.into(),
             config,
-            buffer: program.to_vec(),
+            buffer: store.rows(),
+            golden: program.to_vec(),
+            loaded_signature,
+            store,
             index: 0,
             state: LowerState::Idle,
             ops: Vec::new(),
@@ -104,26 +190,31 @@ impl ProgFsmController {
         })
     }
 
-    /// Loads a new program with zero hardware change.
+    /// Scan-loads a new program with zero hardware change. Returns the
+    /// scan clocks consumed.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::ProgramTooLarge`] if it does not fit.
+    /// See [`ProgFsmController::new`].
     pub fn load_program(
         &mut self,
         algorithm: impl Into<String>,
         program: &[FsmInstruction],
-    ) -> Result<(), CoreError> {
-        if program.len() > self.config.capacity {
-            return Err(CoreError::ProgramTooLarge {
-                required: program.len(),
-                capacity: self.config.capacity,
-            });
-        }
-        self.buffer = program.to_vec();
+    ) -> Result<u64, CoreError> {
+        validate_progfsm(program)?;
+        let cycles = self.store.load(program)?;
+        self.buffer = self.store.rows();
+        self.golden = program.to_vec();
+        self.loaded_signature = self.store.signature();
         self.algorithm = algorithm.into();
         self.reset();
-        Ok(())
+        Ok(cycles)
+    }
+
+    /// Total scan clocks spent on program loads.
+    #[must_use]
+    pub fn scan_cycles(&self) -> u64 {
+        self.store.chain.shifts()
     }
 
     /// The loaded program.
@@ -142,6 +233,40 @@ impl ProgFsmController {
     #[must_use]
     pub fn lower_state(&self) -> LowerState {
         self.state
+    }
+}
+
+impl ScanRecoverable for ProgFsmController {
+    fn store_bits(&self) -> usize {
+        self.store.chain.len()
+    }
+
+    fn inject_upset(&mut self, bit: usize) {
+        self.store.chain.flip_cell(bit);
+        // The upper controller reads whatever the buffer now holds;
+        // undecodable rows resolve through the fail-safe decoder.
+        self.buffer = self.store.rows();
+    }
+
+    fn loaded_signature(&self) -> Signature {
+        self.loaded_signature
+    }
+
+    fn store_signature(&self) -> Signature {
+        self.store.signature()
+    }
+
+    fn scan_reload(&mut self) -> u64 {
+        let golden = std::mem::take(&mut self.golden);
+        let cycles = self
+            .store
+            .load(&golden)
+            .expect("golden program was loaded before and still fits");
+        self.golden = golden;
+        self.buffer = self.store.rows();
+        self.loaded_signature = self.store.signature();
+        self.reset();
+        cycles
     }
 }
 
@@ -385,6 +510,49 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::ProgramTooLarge { .. }));
+    }
+
+    #[test]
+    fn scan_load_cost_is_capacity_times_row_width() {
+        let program = compile(&library::march_c()).unwrap();
+        let ctrl =
+            ProgFsmController::new("march-c", &program, ProgFsmConfig::default())
+                .unwrap();
+        assert_eq!(ctrl.scan_cycles(), 12 * 8, "one full-buffer scan load");
+    }
+
+    #[test]
+    fn constructor_rejects_non_terminating_buffers() {
+        // No End/LoopPort row: the circular buffer would replay forever.
+        let prog = vec![FsmInstruction::nop()];
+        let err =
+            ProgFsmController::new("bad", &prog, ProgFsmConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidProgram { .. }), "{err}");
+    }
+
+    #[test]
+    fn upset_is_detected_and_scan_reload_recovers() {
+        let g = MemGeometry::bit_oriented(4);
+        let program = compile(&library::mats_plus()).unwrap();
+        let mut ctrl =
+            ProgFsmController::new("mats+", &program, ProgFsmConfig::default())
+                .unwrap();
+        ctrl.verify_integrity().unwrap();
+        let golden_view = ctrl.program().to_vec();
+
+        ctrl.inject_upset(5); // invert bit of row 0
+        assert!(ctrl.verify_integrity().is_err());
+        assert_ne!(ctrl.program(), golden_view.as_slice());
+
+        let cost = ctrl.scan_reload();
+        assert_eq!(cost, 12 * 8, "recovery costs one full-buffer scan load");
+        ctrl.verify_integrity().unwrap();
+        assert_eq!(ctrl.program(), golden_view.as_slice());
+
+        // and the recovered controller still emits the reference stream
+        let dp = crate::datapath::BistDatapath::new(g, standard_backgrounds(1));
+        let mut unit = BistUnit::new(ctrl, dp);
+        assert_eq!(unit.emit_steps(), expand(&library::mats_plus(), &g));
     }
 
     #[test]

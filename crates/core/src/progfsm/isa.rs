@@ -149,6 +149,27 @@ impl FsmInstruction {
             kind,
         })
     }
+
+    /// Decodes an 8-bit word the way the hardware would after an upset:
+    /// an undefined special mode resolves to the fail-safe `End` (the
+    /// upper controller stops rather than executing garbage). Used when
+    /// re-decoding a possibly-corrupted parameter buffer — the integrity
+    /// signature, not the decoder, is the detection mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not 8 bits wide (a model bug, not a fault).
+    #[must_use]
+    pub fn decode_failsafe(word: Bits) -> Self {
+        assert_eq!(word.width(), FSM_INSTRUCTION_BITS, "fsm instruction width");
+        Self::decode(word).unwrap_or(Self {
+            hold: word.bit(7),
+            down: word.bit(6),
+            invert: word.bit(5),
+            cmp_invert: word.bit(4),
+            kind: FsmOp::End,
+        })
+    }
 }
 
 impl fmt::Display for FsmInstruction {
@@ -206,6 +227,20 @@ mod tests {
     fn undefined_special_mode_rejected() {
         let word = Bits::new(8, 0b0000_1010); // special, mode 2
         assert!(FsmInstruction::decode(word).is_err());
+    }
+
+    #[test]
+    fn failsafe_decode_turns_undefined_specials_into_end() {
+        let word = Bits::new(8, 0b1000_1010); // hold + special mode 2
+        let inst = FsmInstruction::decode_failsafe(word);
+        assert_eq!(inst.kind, FsmOp::End);
+        assert!(inst.hold, "flag bits are preserved");
+        let clean = FsmInstruction {
+            down: true,
+            kind: FsmOp::Component(SmComponent::Sm3),
+            ..FsmInstruction::nop()
+        };
+        assert_eq!(FsmInstruction::decode_failsafe(clean.encode()), clean);
     }
 
     #[test]

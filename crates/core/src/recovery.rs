@@ -1,0 +1,92 @@
+//! Degraded-mode recovery policy and reporting.
+
+use std::fmt;
+
+/// How a protected run responds to program-store integrity failures.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_core::RecoveryPolicy;
+///
+/// let policy = RecoveryPolicy::default();
+/// assert_eq!(policy.max_reload_attempts, 3);
+/// assert!(policy.cycle_budget.is_none(), "budget derived from the unit");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Scan-reload attempts allowed before giving up with
+    /// [`CoreError::RecoveryFailed`](crate::CoreError::RecoveryFailed).
+    pub max_reload_attempts: usize,
+    /// Watchdog cycle budget for the run itself; `None` derives a sound
+    /// bound from the unit's geometry (see
+    /// [`BistUnit::default_cycle_budget`](crate::BistUnit::default_cycle_budget)).
+    pub cycle_budget: Option<u64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self { max_reload_attempts: 3, cycle_budget: None }
+    }
+}
+
+/// What a protected run did to get the controller into a runnable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Integrity-check failures observed (before and between reloads).
+    pub integrity_violations: usize,
+    /// Scan reloads performed.
+    pub reload_attempts: usize,
+    /// Scan clocks spent on recovery reloads — the hardware cost of
+    /// getting back to a known-good program.
+    pub recovery_scan_cycles: u64,
+    /// The watchdog budget the run was held to, in controller cycles.
+    pub cycle_budget: u64,
+}
+
+impl RecoveryReport {
+    /// Whether the run needed any recovery at all.
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.reload_attempts > 0
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} integrity violation(s), {} reload(s), {} recovery scan clocks, \
+             budget {} cycles",
+            self.integrity_violations,
+            self.reload_attempts,
+            self.recovery_scan_cycles,
+            self.cycle_budget
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_needed_no_recovery() {
+        let r = RecoveryReport::default();
+        assert!(!r.recovered());
+        assert_eq!(r.integrity_violations, 0);
+    }
+
+    #[test]
+    fn display_carries_the_numbers() {
+        let r = RecoveryReport {
+            integrity_violations: 1,
+            reload_attempts: 1,
+            recovery_scan_cycles: 160,
+            cycle_budget: 4096,
+        };
+        assert!(r.recovered());
+        let s = r.to_string();
+        assert!(s.contains("160") && s.contains("4096"), "{s}");
+    }
+}

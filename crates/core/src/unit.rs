@@ -3,9 +3,11 @@
 use mbist_mem::{BusCycle, MemoryArray, Miscompare, TestStep};
 use mbist_rtl::{Bits, Structure, Trace};
 
-use crate::controller::BistController;
+use crate::controller::{BistController, ScanRecoverable};
 use crate::datapath::BistDatapath;
 use crate::diag::FailLog;
+use crate::error::CoreError;
+use crate::recovery::{RecoveryPolicy, RecoveryReport};
 
 /// Safety valve: a controller that has not finished after this many cycles
 /// per memory cell (per background, per port) is considered hung.
@@ -79,6 +81,12 @@ impl<C: BistController> BistUnit<C> {
         &self.controller
     }
 
+    /// Mutable access to the controller (for scan reloads and fault
+    /// injection).
+    pub fn controller_mut(&mut self) -> &mut C {
+        &mut self.controller
+    }
+
     /// The datapath.
     #[must_use]
     pub fn datapath(&self) -> &BistDatapath {
@@ -93,6 +101,79 @@ impl<C: BistController> BistUnit<C> {
     /// be a controller model bug, not a memory fault.
     pub fn run(&mut self, mem: &mut MemoryArray) -> SessionReport {
         self.run_inner(Some(mem), None)
+    }
+
+    /// The watchdog budget [`BistUnit::run_bounded`] applies when no
+    /// explicit budget is given: a sound over-approximation of any
+    /// validator-accepted program's cycle count on this unit's geometry.
+    #[must_use]
+    pub fn default_cycle_budget(&self) -> u64 {
+        let g = self.datapath.geometry();
+        MAX_CYCLES_PER_OP
+            .saturating_mul(g.words().max(1))
+            .saturating_mul(self.datapath.backgrounds().len() as u64)
+            .saturating_mul(u64::from(g.ports()))
+            .saturating_add(1024)
+    }
+
+    /// Runs a full session under a watchdog: if the controller has not
+    /// asserted `Test End` within `budget` cycles, the run is aborted with
+    /// [`CoreError::CycleBudgetExceeded`] instead of hanging — the defense
+    /// against corrupted (e.g. upset-struck) programs whose control flow
+    /// never terminates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CycleBudgetExceeded`] when the budget runs
+    /// out. The partial session state is discarded; the controller is left
+    /// resettable.
+    pub fn run_bounded(
+        &mut self,
+        mem: &mut MemoryArray,
+        budget: u64,
+    ) -> Result<SessionReport, CoreError> {
+        self.session(Some(mem), None, None, Some(budget))
+    }
+
+    /// Runs a full session with integrity checking and bounded recovery:
+    ///
+    /// 1. verify the program store's signature; on a mismatch, scan-reload
+    ///    the golden program and re-verify, up to
+    ///    `policy.max_reload_attempts` times;
+    /// 2. run under the watchdog budget (`policy.cycle_budget`, or
+    ///    [`BistUnit::default_cycle_budget`] when `None`).
+    ///
+    /// Returns the session report plus a [`RecoveryReport`] accounting for
+    /// the recovery work (attempts and scan-clock cost).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RecoveryFailed`] if integrity cannot be restored
+    /// within the retry bound; [`CoreError::CycleBudgetExceeded`] if the
+    /// (verified) program still fails to terminate in budget.
+    pub fn run_protected(
+        &mut self,
+        mem: &mut MemoryArray,
+        policy: &RecoveryPolicy,
+    ) -> Result<(SessionReport, RecoveryReport), CoreError>
+    where
+        C: ScanRecoverable,
+    {
+        let budget = policy.cycle_budget.unwrap_or_else(|| self.default_cycle_budget());
+        let mut recovery = RecoveryReport { cycle_budget: budget, ..RecoveryReport::default() };
+        while let Err(violation) = self.controller.verify_integrity() {
+            recovery.integrity_violations += 1;
+            if recovery.reload_attempts >= policy.max_reload_attempts {
+                debug_assert!(matches!(violation, CoreError::IntegrityViolation { .. }));
+                return Err(CoreError::RecoveryFailed {
+                    attempts: recovery.reload_attempts,
+                });
+            }
+            recovery.reload_attempts += 1;
+            recovery.recovery_scan_cycles += self.controller.scan_reload();
+        }
+        let report = self.session(Some(mem), None, None, Some(budget))?;
+        Ok((report, recovery))
     }
 
     /// Runs a full session while recording architectural signals into
@@ -114,7 +195,7 @@ impl<C: BistController> BistUnit<C> {
     /// See [`BistUnit::run`].
     pub fn emit_steps(&mut self) -> Vec<TestStep> {
         let mut steps = Vec::new();
-        self.session(None, None, Some(&mut steps));
+        let _ = self.session(None, None, Some(&mut steps), None);
         steps
     }
 
@@ -123,7 +204,11 @@ impl<C: BistController> BistUnit<C> {
         mem: Option<&mut MemoryArray>,
         trace: Option<&mut Trace>,
     ) -> SessionReport {
-        self.session(mem, trace, None)
+        match self.session(mem, trace, None, None) {
+            Ok(report) => report,
+            // Unreachable: with no budget the safety valve panics instead.
+            Err(e) => unreachable!("unbounded session cannot fail: {e}"),
+        }
     }
 
     fn session(
@@ -131,16 +216,13 @@ impl<C: BistController> BistUnit<C> {
         mut mem: Option<&mut MemoryArray>,
         mut trace: Option<&mut Trace>,
         mut steps_out: Option<&mut Vec<TestStep>>,
-    ) -> SessionReport {
+        budget: Option<u64>,
+    ) -> Result<SessionReport, CoreError> {
         self.controller.reset();
         self.datapath.reset();
 
         let g = self.datapath.geometry();
-        let max_cycles = MAX_CYCLES_PER_OP
-            * g.words().max(1)
-            * self.datapath.backgrounds().len() as u64
-            * u64::from(g.ports())
-            + 1024;
+        let max_cycles = budget.unwrap_or_else(|| self.default_cycle_budget());
 
         let mut fail_log = FailLog::new();
         let mut cycles: u64 = 0;
@@ -157,12 +239,20 @@ impl<C: BistController> BistUnit<C> {
         });
 
         while !self.controller.is_done() {
-            assert!(
-                cycles < max_cycles,
-                "{} controller hung after {cycles} cycles running {}",
-                self.controller.architecture(),
-                self.controller.algorithm()
-            );
+            if cycles >= max_cycles {
+                if budget.is_some() {
+                    return Err(CoreError::CycleBudgetExceeded {
+                        budget: max_cycles,
+                        architecture: self.controller.architecture(),
+                        algorithm: self.controller.algorithm().to_string(),
+                    });
+                }
+                panic!(
+                    "{} controller hung after {cycles} cycles running {}",
+                    self.controller.architecture(),
+                    self.controller.algorithm()
+                );
+            }
             let signals = self.controller.step(&self.datapath);
             cycles += 1;
 
@@ -231,14 +321,14 @@ impl<C: BistController> BistUnit<C> {
             }
         }
 
-        SessionReport {
+        Ok(SessionReport {
             architecture: self.controller.architecture(),
             algorithm: self.controller.algorithm().to_string(),
             cycles,
             bus_cycles,
             pause_ns,
             fail_log,
-        }
+        })
     }
 
     /// Structural inventory of the whole unit (controller + datapath).
@@ -247,5 +337,91 @@ impl<C: BistController> BistUnit<C> {
         Structure::named(format!("{}_bist_unit", self.controller.architecture()))
             .with_child(self.controller.structure())
             .with_child(self.datapath.structure())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microcode::MicrocodeBist;
+    use crate::progfsm::ProgFsmBist;
+    use mbist_march::library;
+    use mbist_mem::MemGeometry;
+
+    #[test]
+    fn bounded_run_matches_unbounded_on_clean_programs() {
+        let g = MemGeometry::bit_oriented(16);
+        let mut unit = MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
+        let budget = unit.default_cycle_budget();
+        let bounded = unit.run_bounded(&mut MemoryArray::new(g), budget).unwrap();
+        let unbounded = unit.run(&mut MemoryArray::new(g));
+        assert_eq!(bounded, unbounded);
+    }
+
+    #[test]
+    fn starved_budget_reports_cycle_budget_exceeded() {
+        let g = MemGeometry::bit_oriented(16);
+        let mut unit = MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
+        let err = unit.run_bounded(&mut MemoryArray::new(g), 10).unwrap_err();
+        assert!(
+            matches!(err, CoreError::CycleBudgetExceeded { budget: 10, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupted_branch_word_trips_the_watchdog_instead_of_hanging() {
+        let g = MemGeometry::bit_oriented(8);
+        let mut unit = MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
+        // March C's instruction 0 is `w0 inc loop`; clearing its addr_inc
+        // bit (storage cell 9) leaves an element loop that never advances
+        // the address — the classic unbounded-loop corruption.
+        unit.controller_mut().inject_upset(9);
+        let budget = unit.default_cycle_budget();
+        let err = unit.run_bounded(&mut MemoryArray::new(g), budget).unwrap_err();
+        assert!(matches!(err, CoreError::CycleBudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn protected_run_recovers_from_an_upset_and_matches_the_clean_report() {
+        let g = MemGeometry::bit_oriented(8);
+        let mut unit = MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
+        let clean = unit.run(&mut MemoryArray::new(g));
+
+        unit.controller_mut().inject_upset(9);
+        let (report, recovery) = unit
+            .run_protected(&mut MemoryArray::new(g), &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(report, clean, "recovered run is indistinguishable");
+        assert!(recovery.recovered());
+        assert_eq!(recovery.integrity_violations, 1);
+        assert_eq!(recovery.reload_attempts, 1);
+        assert_eq!(
+            recovery.recovery_scan_cycles,
+            unit.controller().config().capacity as u64 * 10,
+            "one full-chain reload"
+        );
+    }
+
+    #[test]
+    fn protected_run_on_a_clean_store_reports_no_recovery() {
+        let g = MemGeometry::bit_oriented(4);
+        let mut unit = ProgFsmBist::for_test(&library::mats_plus(), &g).unwrap();
+        let (report, recovery) = unit
+            .run_protected(&mut MemoryArray::new(g), &RecoveryPolicy::default())
+            .unwrap();
+        assert!(report.passed());
+        assert!(!recovery.recovered());
+        assert_eq!(recovery.cycle_budget, unit.default_cycle_budget());
+    }
+
+    #[test]
+    fn exhausted_retry_bound_reports_recovery_failed() {
+        let g = MemGeometry::bit_oriented(4);
+        let mut unit = ProgFsmBist::for_test(&library::mats_plus(), &g).unwrap();
+        unit.controller_mut().inject_upset(0);
+        let policy = RecoveryPolicy { max_reload_attempts: 0, ..RecoveryPolicy::default() };
+        let err = unit.run_protected(&mut MemoryArray::new(g), &policy).unwrap_err();
+        assert!(matches!(err, CoreError::RecoveryFailed { attempts: 0 }), "{err}");
     }
 }

@@ -1,0 +1,371 @@
+//! Static program validation and watchdog cycle budgets.
+//!
+//! A scan-loadable controller accepts *any* bit image, including hand-
+//! written or corrupted programs whose control flow never reaches
+//! `Test End`. This module provides the two defenses layered in front of
+//! the run loop:
+//!
+//! - [`validate_microcode`] / [`validate_progfsm`]: static checks that
+//!   reject every program shape that can loop forever on the cycle-accurate
+//!   controllers (element loops that make no address progress or mix
+//!   address orders, duplicated `Repeat`/`LoopBg` instructions that
+//!   ping-pong the flag/background state, prog-FSM circular buffers with no
+//!   terminating row);
+//! - [`cycle_budget`]: a closed-form upper bound on the cycles any
+//!   *accepted* program can take, used as the default watchdog budget of
+//!   [`BistUnit::run_bounded`](crate::BistUnit::run_bounded). The
+//!   vendored-proptest suite (`crates/core/tests/robustness_props.rs`)
+//!   fuzzes the pair: every validator-accepted program must assert
+//!   `Test End` within the derived budget.
+
+use mbist_mem::MemGeometry;
+
+use crate::error::CoreError;
+use crate::microcode::{FlowOp, Microinstruction};
+use crate::progfsm::{FsmInstruction, FsmOp};
+
+/// An upper bound on the controller cycles a validator-accepted program of
+/// `program_len` instructions can consume on `geometry` with `backgrounds`
+/// data backgrounds, across all ports.
+///
+/// Derivation: per (background, port) pass every stored instruction drives
+/// at most one full address sweep (element loops make address progress on a
+/// saturating counter), at most twice under `Repeat`, with at most four
+/// operations per address under the prog-FSM component menu; the `+2`
+/// paddings absorb flow-control overhead and the `+64` constant absorbs
+/// reset/handshake cycles on degenerate geometries. Saturating arithmetic
+/// keeps the bound meaningful on extreme geometries.
+#[must_use]
+pub fn cycle_budget(program_len: usize, geometry: &MemGeometry, backgrounds: usize) -> u64 {
+    let passes = (backgrounds.max(1) as u64).saturating_mul(u64::from(geometry.ports()));
+    4u64.saturating_mul(program_len as u64 + 2)
+        .saturating_mul(geometry.words().saturating_add(2))
+        .saturating_mul(passes)
+        .saturating_add(64)
+}
+
+fn invalid(architecture: &'static str, reason: String) -> CoreError {
+    CoreError::InvalidProgram { architecture, reason }
+}
+
+/// Validates a microcode program: accepted programs terminate within
+/// [`cycle_budget`] on every geometry; rejected ones could hang the
+/// controller or exercise undefined decode behavior.
+///
+/// The checks mirror the controller's flow semantics exactly:
+///
+/// - no instruction may assert both read and write enables;
+/// - at most one `Repeat` (two alternately latch and clear the reference
+///   register's repeat flag, branching to instruction 1 forever) and at
+///   most one `LoopBg` (the first resets the background generator before
+///   the second ever observes `Last Data`);
+/// - every element loop (`LoopElem` plus the body the branch register
+///   points into) must step the address generator via at least one
+///   *access* carrying `addr_inc` (a flow-only `addr_inc` is ignored by
+///   the datapath) and must keep one address order across its accesses
+///   (the saturating address counter never reaches the up-terminal while
+///   stepping down, and vice versa).
+///
+/// Element bodies are checked along both entry paths: the linear pass from
+/// instruction 0 and, when a `Repeat` is present, the repeat pass from
+/// instruction 1 — the two paths can see different element boundaries.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProgram`] naming the offending instruction.
+pub fn validate_microcode(program: &[Microinstruction]) -> Result<(), CoreError> {
+    const ARCH: &str = "microcode";
+    for (i, inst) in program.iter().enumerate() {
+        if inst.read && inst.write {
+            return Err(invalid(
+                ARCH,
+                format!("instruction {i} asserts both read and write enables"),
+            ));
+        }
+    }
+    let repeats = program.iter().filter(|i| i.flow == FlowOp::Repeat).count();
+    if repeats > 1 {
+        return Err(invalid(
+            ARCH,
+            format!("{repeats} repeat instructions would ping-pong the repeat flag"),
+        ));
+    }
+    let bg_loops = program.iter().filter(|i| i.flow == FlowOp::LoopBg).count();
+    if bg_loops > 1 {
+        return Err(invalid(
+            ARCH,
+            format!(
+                "{bg_loops} background loops: the first resets the background \
+                 generator before the second can observe Last Data"
+            ),
+        ));
+    }
+    scan_element_loops(program, 0, 0)?;
+    if repeats == 1 && program.len() > 1 {
+        scan_element_loops(program, 1, 1)?;
+    }
+    Ok(())
+}
+
+/// Walks one entry path through `program`, tracking the branch register
+/// exactly as the controller's Save-Current-Address automation does, and
+/// checks every element loop encountered for address progress and a
+/// consistent address order.
+fn scan_element_loops(
+    program: &[Microinstruction],
+    start: usize,
+    branch_reg: usize,
+) -> Result<(), CoreError> {
+    const ARCH: &str = "microcode";
+    let mut br = branch_reg;
+    for i in start..program.len() {
+        let inst = program[i];
+        match inst.flow {
+            FlowOp::Next => {}
+            FlowOp::LoopElem => {
+                let body = &program[br..=i];
+                if !body.iter().any(|b| b.has_access() && b.addr_inc) {
+                    return Err(invalid(
+                        ARCH,
+                        format!("element loop at {i} makes no address progress"),
+                    ));
+                }
+                if body
+                    .iter()
+                    .any(|b| b.has_access() && b.addr_down != inst.addr_down)
+                {
+                    return Err(invalid(
+                        ARCH,
+                        format!(
+                            "element loop at {i} mixes address orders; the \
+                             saturating address counter would never reach its \
+                             terminal count"
+                        ),
+                    ));
+                }
+                br = i + 1;
+            }
+            FlowOp::Repeat
+            | FlowOp::LoopBg
+            | FlowOp::LoopPort
+            | FlowOp::Hold
+            | FlowOp::SaveAddr => br = i + 1,
+            // Execution along this path stops here; later instructions are
+            // only reachable through the other validated entry paths.
+            FlowOp::Terminate => return Ok(()),
+        }
+    }
+    Ok(())
+}
+
+/// Validates a prog-FSM parameter program: accepted programs terminate
+/// within [`cycle_budget`]; rejected ones would cycle the circular buffer
+/// forever.
+///
+/// - a non-empty buffer must contain a terminating row (`End` or
+///   `LoopPort`) — the buffer index wraps, so a program without one
+///   replays forever;
+/// - at most one `LoopBg` (same flag ping-pong as the microcode case).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProgram`] describing the defect.
+pub fn validate_progfsm(program: &[FsmInstruction]) -> Result<(), CoreError> {
+    const ARCH: &str = "programmable-fsm";
+    if !program.is_empty()
+        && !program
+            .iter()
+            .any(|i| matches!(i.kind, FsmOp::End | FsmOp::LoopPort))
+    {
+        return Err(invalid(
+            ARCH,
+            "circular buffer has no End or LoopPort row; the index wraps and \
+             the program replays forever"
+                .into(),
+        ));
+    }
+    let bg_loops =
+        program.iter().filter(|i| matches!(i.kind, FsmOp::LoopBg)).count();
+    if bg_loops > 1 {
+        return Err(invalid(
+            ARCH,
+            format!(
+                "{bg_loops} background loop-back rows: the first resets the \
+                 background generator before the second can observe Last Data"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::library;
+    use crate::progfsm::SmComponent;
+
+    fn w0_inc_loop() -> Microinstruction {
+        Microinstruction {
+            write: true,
+            addr_inc: true,
+            flow: FlowOp::LoopElem,
+            ..Microinstruction::nop()
+        }
+    }
+
+    #[test]
+    fn every_library_compile_output_validates() {
+        for t in library::all() {
+            let p = crate::microcode::compile(&t).unwrap();
+            validate_microcode(&p).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            if let Ok(p) = crate::progfsm::compile(&t) {
+                validate_progfsm(&p).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn no_progress_element_is_rejected() {
+        let prog = vec![Microinstruction {
+            write: true,
+            flow: FlowOp::LoopElem,
+            ..Microinstruction::nop()
+        }];
+        let err = validate_microcode(&prog).unwrap_err();
+        assert!(err.to_string().contains("address progress"), "{err}");
+    }
+
+    #[test]
+    fn flow_only_addr_inc_is_not_progress() {
+        // addr_inc without an access is ignored by the datapath.
+        let prog = vec![
+            Microinstruction { addr_inc: true, ..Microinstruction::nop() },
+            Microinstruction {
+                read: true,
+                flow: FlowOp::LoopElem,
+                ..Microinstruction::nop()
+            },
+        ];
+        assert!(validate_microcode(&prog).is_err());
+    }
+
+    #[test]
+    fn mixed_direction_element_is_rejected() {
+        let prog = vec![
+            Microinstruction {
+                write: true,
+                addr_inc: true,
+                addr_down: true,
+                ..Microinstruction::nop()
+            },
+            Microinstruction {
+                read: true,
+                addr_inc: true,
+                flow: FlowOp::LoopElem,
+                ..Microinstruction::nop()
+            },
+        ];
+        let err = validate_microcode(&prog).unwrap_err();
+        assert!(err.to_string().contains("address orders"), "{err}");
+    }
+
+    #[test]
+    fn double_repeat_and_double_loopbg_are_rejected() {
+        let rep = Microinstruction { flow: FlowOp::Repeat, ..Microinstruction::nop() };
+        let err = validate_microcode(&[w0_inc_loop(), rep, rep]).unwrap_err();
+        assert!(err.to_string().contains("repeat"), "{err}");
+        let bg = Microinstruction { flow: FlowOp::LoopBg, ..Microinstruction::nop() };
+        let err = validate_microcode(&[w0_inc_loop(), bg, bg]).unwrap_err();
+        assert!(err.to_string().contains("background"), "{err}");
+    }
+
+    #[test]
+    fn repeat_pass_element_boundaries_are_checked() {
+        // Linearly the element [0..=2] makes progress via instruction 0,
+        // but the repeat pass enters at 1 and loops [1..=2] forever.
+        let prog = vec![
+            Microinstruction {
+                write: true,
+                addr_inc: true,
+                ..Microinstruction::nop()
+            },
+            Microinstruction { read: true, ..Microinstruction::nop() },
+            Microinstruction {
+                write: true,
+                flow: FlowOp::LoopElem,
+                ..Microinstruction::nop()
+            },
+            Microinstruction { flow: FlowOp::Repeat, ..Microinstruction::nop() },
+        ];
+        // sanity: without the Repeat the linear pass alone accepts it
+        assert!(validate_microcode(&prog[..3]).is_ok());
+        assert!(validate_microcode(&prog).is_err());
+    }
+
+    #[test]
+    fn read_write_conflict_is_rejected() {
+        let prog = vec![Microinstruction {
+            read: true,
+            write: true,
+            ..Microinstruction::nop()
+        }];
+        assert!(validate_microcode(&prog).is_err());
+    }
+
+    #[test]
+    fn degenerate_terminating_programs_are_accepted() {
+        validate_microcode(&[]).unwrap();
+        validate_microcode(&[Microinstruction {
+            flow: FlowOp::Terminate,
+            ..Microinstruction::nop()
+        }])
+        .unwrap();
+        validate_progfsm(&[]).unwrap();
+    }
+
+    #[test]
+    fn progfsm_without_terminator_is_rejected() {
+        let prog = vec![FsmInstruction {
+            kind: FsmOp::Component(SmComponent::Sm1),
+            ..FsmInstruction::nop()
+        }];
+        let err = validate_progfsm(&prog).unwrap_err();
+        assert!(err.to_string().contains("End or LoopPort"), "{err}");
+        let err = validate_progfsm(&[FsmInstruction {
+            kind: FsmOp::LoopBg,
+            ..FsmInstruction::nop()
+        }])
+        .unwrap_err();
+        assert!(err.to_string().contains("End or LoopPort"), "{err}");
+    }
+
+    #[test]
+    fn progfsm_double_loopbg_is_rejected() {
+        let bg = FsmInstruction { kind: FsmOp::LoopBg, ..FsmInstruction::nop() };
+        let end = FsmInstruction { kind: FsmOp::End, ..FsmInstruction::nop() };
+        assert!(validate_progfsm(&[bg, bg, end]).is_err());
+        assert!(validate_progfsm(&[bg, end]).is_ok());
+    }
+
+    #[test]
+    fn budget_dominates_real_runs() {
+        use mbist_march::{expand, standard_backgrounds};
+        use mbist_mem::MemGeometry;
+        for t in library::all() {
+            for g in [MemGeometry::bit_oriented(16), MemGeometry::new(8, 4, 2)] {
+                let p = crate::microcode::compile(&t).unwrap();
+                let bgs = standard_backgrounds(g.width()).len();
+                let budget = cycle_budget(p.len(), &g, bgs);
+                // The reference stream length is a lower bound on cycles;
+                // flow-control overhead is a handful of cycles per element,
+                // well inside the budget's +64 constant slack.
+                let steps = expand(&t, &g).len() as u64;
+                assert!(
+                    budget > steps + 64,
+                    "{} on {g}: budget {budget} too close to {steps}",
+                    t.name()
+                );
+            }
+        }
+    }
+}

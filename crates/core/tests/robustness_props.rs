@@ -1,0 +1,137 @@
+//! Property tests for the validator/watchdog contract (vendored-proptest,
+//! `--features proptest`): any program the static validator accepts must
+//! assert `Test End` within the closed-form [`cycle_budget`], and the
+//! validator must agree with the controller constructors about which
+//! programs are admissible.
+
+use proptest::prelude::*;
+
+use mbist_core::microcode::{MicrocodeConfig, MicrocodeController, Microinstruction};
+use mbist_core::progfsm::{FsmInstruction, ProgFsmConfig, ProgFsmController};
+use mbist_core::validate::{cycle_budget, validate_microcode, validate_progfsm};
+use mbist_core::{BistDatapath, BistUnit, CoreError};
+use mbist_march::standard_backgrounds;
+use mbist_mem::{MemGeometry, MemoryArray};
+use mbist_rtl::Bits;
+
+/// Arbitrary microcode programs: every 10-bit pattern is fair game (the
+/// fail-safe decoder never rejects), so the strategy covers corrupted
+/// stores as well as hand-written programs.
+fn arb_microcode() -> impl Strategy<Value = Vec<Microinstruction>> {
+    proptest::collection::vec(0u64..1024, 1..10).prop_map(|words| {
+        words
+            .into_iter()
+            .map(|v| Microinstruction::decode_failsafe(Bits::new(10, v)))
+            .collect()
+    })
+}
+
+/// Arbitrary prog-FSM parameter rows from raw 8-bit patterns.
+fn arb_progfsm() -> impl Strategy<Value = Vec<FsmInstruction>> {
+    proptest::collection::vec(0u64..256, 1..8).prop_map(|words| {
+        words
+            .into_iter()
+            .map(|v| FsmInstruction::decode_failsafe(Bits::new(8, v)))
+            .collect()
+    })
+}
+
+fn arb_geometry() -> impl Strategy<Value = MemGeometry> {
+    (1u64..12, 1u8..3, 1u8..3).prop_map(|(words, width, ports)| {
+        MemGeometry::new(words, width, ports)
+    })
+}
+
+proptest! {
+    #[test]
+    fn accepted_microcode_terminates_within_the_derived_budget(
+        program in arb_microcode(),
+        geometry in arb_geometry(),
+    ) {
+        let verdict = validate_microcode(&program);
+        let config = MicrocodeConfig {
+            capacity: program.len(),
+            ..MicrocodeConfig::default()
+        };
+        let built = MicrocodeController::new("prop", &program, config);
+        match verdict {
+            Err(_) => prop_assert!(
+                built.is_err(),
+                "constructor accepted a program the validator rejects"
+            ),
+            Ok(()) => {
+                let controller = built.expect("validator-accepted program loads");
+                let backgrounds = standard_backgrounds(geometry.width());
+                let budget = cycle_budget(program.len(), &geometry, backgrounds.len());
+                let datapath = BistDatapath::new(geometry, backgrounds);
+                let mut unit = BistUnit::new(controller, datapath);
+                let mut mem = MemoryArray::new(geometry);
+                let outcome = unit.run_bounded(&mut mem, budget);
+                prop_assert!(
+                    !matches!(outcome, Err(CoreError::CycleBudgetExceeded { .. })),
+                    "accepted program `{}` blew the {budget}-cycle budget on {geometry}",
+                    mbist_core::microcode::to_source(&program)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accepted_progfsm_terminates_within_the_derived_budget(
+        program in arb_progfsm(),
+        geometry in arb_geometry(),
+    ) {
+        let verdict = validate_progfsm(&program);
+        let config = ProgFsmConfig {
+            capacity: program.len(),
+            ..ProgFsmConfig::default()
+        };
+        let built = ProgFsmController::new("prop", &program, config);
+        match verdict {
+            Err(_) => prop_assert!(
+                built.is_err(),
+                "constructor accepted a buffer the validator rejects"
+            ),
+            Ok(()) => {
+                let controller = built.expect("validator-accepted buffer loads");
+                let backgrounds = standard_backgrounds(geometry.width());
+                let budget = cycle_budget(program.len(), &geometry, backgrounds.len());
+                let datapath = BistDatapath::new(geometry, backgrounds);
+                let mut unit = BistUnit::new(controller, datapath);
+                let mut mem = MemoryArray::new(geometry);
+                let outcome = unit.run_bounded(&mut mem, budget);
+                prop_assert!(
+                    !matches!(outcome, Err(CoreError::CycleBudgetExceeded { .. })),
+                    "accepted buffer blew the {budget}-cycle budget on {geometry}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_upsets_never_alias_the_signature(
+        program in arb_microcode(),
+        bit in 0usize..10_000,
+    ) {
+        if validate_microcode(&program).is_err() {
+            // the shim has no prop_assume; rejected programs are vacuous here
+            return Ok(());
+        }
+        use mbist_core::ScanRecoverable;
+        let config = MicrocodeConfig {
+            capacity: program.len(),
+            ..MicrocodeConfig::default()
+        };
+        let mut controller =
+            MicrocodeController::new("prop", &program, config).unwrap();
+        let bit = bit % controller.store_bits();
+        controller.inject_upset(bit);
+        prop_assert!(
+            controller.verify_integrity().is_err(),
+            "single-bit upset at {bit} escaped the interleaved parity"
+        );
+        let cost = controller.scan_reload();
+        prop_assert!(cost > 0);
+        prop_assert!(controller.verify_integrity().is_ok());
+    }
+}

@@ -6,8 +6,14 @@
 //! worker threads (`std::thread::scope`, no external dependencies) and
 //! reduces the per-chunk verdicts back **in universe order**, so the result
 //! is bit-for-bit identical regardless of worker count.
+//!
+//! Workers are panic-isolated: a chunk whose worker dies (however it dies)
+//! is transparently re-simulated serially on the reducing thread, so one
+//! poisoned fault degrades throughput, never the report.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use mbist_mem::{FaultKind, MemGeometry, MemoryArray, TestStep};
@@ -46,6 +52,20 @@ pub(crate) fn detect_universe(
     universe: &[FaultKind],
     jobs: Option<usize>,
 ) -> Vec<bool> {
+    detect_universe_resilient(geometry, steps, universe, jobs, None)
+}
+
+/// [`detect_universe`] with a test-only poison hook: while the counter is
+/// positive, each worker-side fault simulation decrements it and panics —
+/// modeling a worker thread dying mid-chunk. The hook is scoped (no global
+/// state), so concurrently running tests cannot poison each other.
+fn detect_universe_resilient(
+    geometry: &MemGeometry,
+    steps: &[TestStep],
+    universe: &[FaultKind],
+    jobs: Option<usize>,
+    poison: Option<&AtomicUsize>,
+) -> Vec<bool> {
     let workers = resolve_jobs(jobs)
         .min(universe.len().div_ceil(MIN_FAULTS_PER_WORKER))
         .max(1);
@@ -57,19 +77,46 @@ pub(crate) fn detect_universe(
         let handles: Vec<_> = universe
             .chunks(chunk)
             .map(|faults| {
-                scope.spawn(move || {
-                    faults
-                        .iter()
-                        .map(|&f| detect_one(geometry, steps, f))
-                        .collect::<Vec<bool>>()
-                })
+                let handle = scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        faults
+                            .iter()
+                            .map(|&f| {
+                                maybe_trip(poison);
+                                detect_one(geometry, steps, f)
+                            })
+                            .collect::<Vec<bool>>()
+                    }))
+                    .ok()
+                });
+                (faults, handle)
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("fault-simulation worker panicked"))
+            .flat_map(|(faults, handle)| match handle.join() {
+                Ok(Some(flags)) => flags,
+                // The worker died (caught panic, or one that escaped the
+                // isolation): degrade to a serial re-run of its chunk so
+                // the report stays complete and bit-identical.
+                Ok(None) | Err(_) => {
+                    faults.iter().map(|&f| detect_one(geometry, steps, f)).collect()
+                }
+            })
             .collect()
     })
+}
+
+/// Decrements the poison counter and panics while it is positive.
+fn maybe_trip(poison: Option<&AtomicUsize>) {
+    if let Some(counter) = poison {
+        let armed = counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        if armed {
+            panic!("injected fault-simulation worker poison");
+        }
+    }
 }
 
 fn detect_one(geometry: &MemGeometry, steps: &[TestStep], fault: FaultKind) -> bool {
@@ -111,5 +158,36 @@ mod tests {
         let g = MemGeometry::bit_oriented(4);
         let steps = expand(&library::mats(), &g);
         assert!(detect_universe(&g, &steps, &[], Some(8)).is_empty());
+    }
+
+    #[test]
+    fn poisoned_chunk_degrades_to_serial_rerun_with_identical_report() {
+        let g = MemGeometry::bit_oriented(16);
+        let steps = expand(&library::march_c(), &g);
+        let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        assert!(universe.len() >= 16, "need enough faults for several chunks");
+        let reference = detect_universe(&g, &steps, &universe, Some(1));
+
+        // One transient worker death: the first simulated fault panics.
+        let poison = AtomicUsize::new(1);
+        let flags =
+            detect_universe_resilient(&g, &steps, &universe, Some(4), Some(&poison));
+        assert_eq!(flags, reference, "degraded run must be bit-identical");
+        assert_eq!(poison.load(Ordering::SeqCst), 0, "poison actually fired");
+    }
+
+    #[test]
+    fn multiple_poisoned_chunks_all_recover() {
+        let g = MemGeometry::bit_oriented(16);
+        let steps = expand(&library::march_c(), &g);
+        let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        let reference = detect_universe(&g, &steps, &universe, Some(1));
+
+        // Kill the first fault of (up to) every chunk: several workers die,
+        // every chunk is re-run serially, the report is still complete.
+        let poison = AtomicUsize::new(universe.len());
+        let flags =
+            detect_universe_resilient(&g, &steps, &universe, Some(4), Some(&poison));
+        assert_eq!(flags, reference);
     }
 }

@@ -217,6 +217,17 @@ impl ScanChain {
         self.cells[index]
     }
 
+    /// Inverts cell `index` in place — the single-event-upset (SEU) model:
+    /// a particle strike flips one storage node without consuming any scan
+    /// clocks and without going through either write path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn flip_cell(&mut self, index: usize) {
+        self.cells[index] = !self.cells[index];
+    }
+
     /// Borrow of all cells, index 0 first.
     #[must_use]
     pub fn cells(&self) -> &[bool] {
@@ -300,5 +311,18 @@ mod tests {
     #[should_panic(expected = "at least one cell")]
     fn empty_chain_panics() {
         let _ = ScanChain::new(0);
+    }
+
+    #[test]
+    fn flip_cell_is_free_and_involutive() {
+        let mut c = ScanChain::new(4);
+        c.load_serial(&[true, false, true, false]);
+        let before = c.cells().to_vec();
+        let shifts = c.shifts();
+        c.flip_cell(1);
+        assert_eq!(c.cell(1), !before[1]);
+        assert_eq!(c.shifts(), shifts, "an upset consumes no scan clocks");
+        c.flip_cell(1);
+        assert_eq!(c.cells(), before.as_slice());
     }
 }

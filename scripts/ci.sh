@@ -17,7 +17,7 @@ echo "==> property suites (vendored proptest shim)"
 : "${PROPTEST_CASES:=32}"
 export PROPTEST_CASES
 cargo test -q --features proptest
-cargo test -q -p mbist-mem -p mbist-rtl -p mbist-logic --features proptest
+cargo test -q -p mbist-mem -p mbist-rtl -p mbist-logic -p mbist-core --features proptest
 
 echo "==> parallel fault-simulation determinism regression"
 cargo test -q -p mbist-march --test parallel_determinism
@@ -28,5 +28,27 @@ cargo clippy --workspace --all-features --all-targets -- -D warnings
 
 echo "==> coverage-engine perf smoke (std-only harness)"
 cargo run --release -p mbist-bench --bin perf -- --quick --out /tmp/BENCH_coverage_ci.json
+
+echo "==> fault-injection smoke (one SEU per architecture: detect + recover)"
+for arch in microcode progfsm; do
+    out=$(cargo run -q --release -p mbist-cli -- \
+        inject-upset march-c --words 16 --arch "$arch" --bit 5)
+    echo "$out" | grep -q "(detected)" || {
+        echo "SEU not detected on $arch"; exit 1; }
+    echo "$out" | grep -q "1 reload(s)" || {
+        echo "SEU not recovered on $arch"; exit 1; }
+    echo "$out" | grep -q "PASS" || {
+        echo "post-recovery session failed on $arch"; exit 1; }
+done
+# the watchdog abort must map to its dedicated exit code
+if cargo run -q --release -p mbist-cli -- \
+    run march-c --words 16 --cycle-budget 10 2>/dev/null; then
+    echo "starved cycle budget did not abort"; exit 1
+else
+    [ $? -eq 4 ] || { echo "watchdog abort must exit 4"; exit 1; }
+fi
+
+echo "==> robustness sweep smoke (std-only harness)"
+cargo run --release -p mbist-bench --bin robustness -- --quick --out /tmp/BENCH_robustness_ci.json
 
 echo "CI OK"
