@@ -85,7 +85,11 @@ impl SupportLevel {
 /// [`CellStyle::FullScan`] is the baseline of Tables 1-2,
 /// [`CellStyle::ScanOnly`] the redesigned controller of Table 3.
 #[must_use]
-pub fn microcode_design(tech: &Technology, style: CellStyle, level: SupportLevel) -> DesignPoint {
+pub fn microcode_design(
+    tech: &Technology,
+    style: CellStyle,
+    level: SupportLevel,
+) -> DesignPoint {
     let config = MicrocodeConfig {
         capacity: MICROCODE_DESIGN_CAPACITY,
         cell_style: style,
@@ -109,10 +113,8 @@ pub fn microcode_design(tech: &Technology, style: CellStyle, level: SupportLevel
 /// Elaborates the programmable FSM-based design point.
 #[must_use]
 pub fn progfsm_design(tech: &Technology, level: SupportLevel) -> DesignPoint {
-    let config = ProgFsmConfig {
-        capacity: PROGFSM_DESIGN_CAPACITY,
-        ..ProgFsmConfig::default()
-    };
+    let config =
+        ProgFsmConfig { capacity: PROGFSM_DESIGN_CAPACITY, ..ProgFsmConfig::default() };
     let program = fsm_compile(&library::march_c()).expect("march C compiles");
     let ctrl = ProgFsmController::new("march-c", &program, config)
         .expect("design capacity fits march C");
@@ -129,7 +131,11 @@ pub fn progfsm_design(tech: &Technology, level: SupportLevel) -> DesignPoint {
 
 /// Elaborates (synthesizes) a hardwired design point for one algorithm.
 #[must_use]
-pub fn hardwired_design(tech: &Technology, test: &MarchTest, level: SupportLevel) -> DesignPoint {
+pub fn hardwired_design(
+    tech: &Technology,
+    test: &MarchTest,
+    level: SupportLevel,
+) -> DesignPoint {
     let fsm = HardwiredFsm::new(test, level.caps());
     let mut structure = crate::synth::synthesized_structure(&fsm);
     add_support_overhead(&mut structure, level);
@@ -266,7 +272,8 @@ mod tests {
     fn flexibility_labels_match_architectures() {
         let t = Technology::cmos5s();
         assert_eq!(
-            microcode_design(&t, CellStyle::FullScan, SupportLevel::BitOriented).flexibility,
+            microcode_design(&t, CellStyle::FullScan, SupportLevel::BitOriented)
+                .flexibility,
             Flexibility::High
         );
         assert_eq!(
@@ -274,7 +281,8 @@ mod tests {
             Flexibility::Medium
         );
         assert_eq!(
-            hardwired_design(&t, &library::march_c(), SupportLevel::BitOriented).flexibility,
+            hardwired_design(&t, &library::march_c(), SupportLevel::BitOriented)
+                .flexibility,
             Flexibility::Low
         );
     }

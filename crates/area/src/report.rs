@@ -75,10 +75,8 @@ mod tests {
     use super::*;
 
     fn sample() -> Table {
-        let mut t = Table::new(
-            "Table X",
-            vec!["Method".into(), "Flex.".into(), "GE".into()],
-        );
+        let mut t =
+            Table::new("Table X", vec!["Method".into(), "Flex.".into(), "GE".into()]);
         t.push_row(vec!["Microcode".into(), "HIGH".into(), "960".into()]);
         t.push_row(vec!["March C".into(), "LOW".into(), "120".into()]);
         t

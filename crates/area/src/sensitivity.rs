@@ -38,7 +38,8 @@ pub fn storage_cell_sweep(
         .map(|i| {
             let cell_ge = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
             let t = tech.with_weight(Primitive::ScanOnlyCell, cell_ge);
-            let design = microcode_design(&t, CellStyle::ScanOnly, SupportLevel::BitOriented);
+            let design =
+                microcode_design(&t, CellStyle::ScanOnly, SupportLevel::BitOriented);
             SensitivityPoint {
                 cell_ge,
                 controller_ge: design.area.ge,

@@ -179,7 +179,9 @@ mod tests {
         let tech = Technology::cmos5s();
         let mk = |n: usize| -> Vec<SocMemory> {
             (0..n)
-                .map(|i| lifecycle_memory(&format!("m{i}"), MemGeometry::word_oriented(512, 8)))
+                .map(|i| {
+                    lifecycle_memory(&format!("m{i}"), MemGeometry::word_oriented(512, 8))
+                })
                 .collect()
         };
         let a4 = sharing_analysis(&tech, &mk(4));

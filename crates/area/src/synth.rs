@@ -138,10 +138,8 @@ mod tests {
 
     #[test]
     fn caps_add_inputs_and_logic() {
-        let plain = synthesize(&HardwiredFsm::new(
-            &library::march_c(),
-            HardwiredCaps::default(),
-        ));
+        let plain =
+            synthesize(&HardwiredFsm::new(&library::march_c(), HardwiredCaps::default()));
         let full = synthesize(&HardwiredFsm::new(
             &library::march_c(),
             HardwiredCaps { background_loop: true, port_loop: true },

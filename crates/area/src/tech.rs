@@ -125,9 +125,7 @@ mod tests {
     #[test]
     fn area_sums_weighted_primitives() {
         let t = Technology::cmos5s();
-        let s = Structure::leaf("x")
-            .with(Primitive::Nand2, 10)
-            .with(Primitive::Dff, 2);
+        let s = Structure::leaf("x").with(Primitive::Nand2, 10).with(Primitive::Dff, 2);
         let a = t.area_of(&s);
         assert_eq!(a.ge, 10.0 + 2.0 * 5.67);
         assert_eq!(a.um2, a.ge * 49.0);

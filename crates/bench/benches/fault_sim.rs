@@ -1,9 +1,11 @@
 //! Fault-simulation engine throughput: serial vs parallel coverage
-//! evaluation and full-replay vs early-exit detection.
+//! evaluation, full-replay vs early-exit detection, and full vs sliced
+//! differential replay over a shared compiled trace.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mbist_march::{
-    evaluate_coverage, expand, library, run_steps, run_steps_detect, CoverageOptions,
+    evaluate_coverage, expand, library, run_steps, run_steps_detect, CompiledTrace,
+    CoverageOptions, SimEngine,
 };
 use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
 use std::hint::black_box;
@@ -13,16 +15,50 @@ fn bench_coverage_parallelism(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_sim_256x1");
     group.sample_size(10);
 
-    for (label, jobs) in [("jobs1", Some(1)), ("jobs_auto", None)] {
+    let modes = [
+        ("jobs1_full", Some(1), SimEngine::Full),
+        ("jobs1_sliced", Some(1), SimEngine::Sliced),
+        ("jobs_auto_full", None, SimEngine::Full),
+        ("jobs_auto_sliced", None, SimEngine::Sliced),
+    ];
+    for (label, jobs, engine) in modes {
         group.bench_function(format!("march_c_all_classes_{label}"), |b| {
             let opts = CoverageOptions {
                 max_faults_per_class: Some(128),
                 jobs,
+                engine,
                 ..CoverageOptions::default()
             };
             b.iter(|| black_box(evaluate_coverage(&library::march_c(), &g, &opts)))
         });
     }
+    group.finish();
+}
+
+fn bench_sliced_trace(c: &mut Criterion) {
+    let g = MemGeometry::bit_oriented(256);
+    let test = library::march_c();
+    let steps = expand(&test, &g);
+    let spec = UniverseSpec::default();
+    // A coupling fault exercises the widest sliced support set (two words
+    // plus sensitization checks); the victim sits mid-array so neither
+    // engine exits unrealistically early.
+    let fault =
+        class_universe(&g, FaultClass::CouplingInversion, &spec)[g.words() as usize / 2];
+
+    let mut group = c.benchmark_group("sliced_256x1");
+    group.sample_size(10);
+    group.bench_function("compile_trace_march_c", |b| {
+        b.iter(|| black_box(CompiledTrace::from_steps(g, &steps)))
+    });
+    let trace = CompiledTrace::from_steps(g, &steps);
+    group.bench_function("detect_sliced_coupling", |b| {
+        b.iter(|| black_box(trace.detect_sliced(fault)))
+    });
+    group.bench_function("detect_full_coupling", |b| {
+        let mut scratch = MemoryArray::new(g);
+        b.iter(|| black_box(trace.detect_full(fault, &mut scratch)))
+    });
     group.finish();
 }
 
@@ -58,5 +94,10 @@ fn bench_detect_early_exit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_coverage_parallelism, bench_detect_early_exit);
+criterion_group!(
+    benches,
+    bench_coverage_parallelism,
+    bench_sliced_trace,
+    bench_detect_early_exit
+);
 criterion_main!(benches);

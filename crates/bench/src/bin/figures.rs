@@ -101,11 +101,8 @@ fn sharing() {
     use mbist_area::{crossover_memory_count, sharing_analysis, SocMemory, Technology};
     println!("== Extension: shared programmable controller vs dedicated hardwired ==");
     let tech = Technology::cmos5s();
-    let lifecycle = vec![
-        library::march_c(),
-        library::march_c_plus(),
-        library::march_c_plus_plus(),
-    ];
+    let lifecycle =
+        vec![library::march_c(), library::march_c_plus(), library::march_c_plus_plus()];
     let template = SocMemory {
         name: "sram".into(),
         geometry: MemGeometry::word_oriented(1024, 8),
@@ -126,7 +123,9 @@ fn sharing() {
         let a = sharing_analysis(&tech, &memories);
         println!(
             "{:>4} {:>22.0} {:>22.0} {:>22.0}",
-            n, a.shared_programmable_ge, a.dedicated_hardwired_ge,
+            n,
+            a.shared_programmable_ge,
+            a.dedicated_hardwired_ge,
             a.dedicated_programmable_ge
         );
     }
@@ -152,15 +151,26 @@ fn online() {
         ),
         (
             "TF appears at round 2",
-            Some((2usize, FaultKind::Transition { cell: CellId::new(20, 1), rising: false })),
+            Some((
+                2usize,
+                FaultKind::Transition { cell: CellId::new(20, 1), rising: false },
+            )),
         ),
     ] {
         let mut mem = MemoryArray::new(g);
         mem.randomize(7);
-        let report = run_periodic(&mut mem, &library::march_c(), 8, &OnlineConfig::default(), inject);
+        let report = run_periodic(
+            &mut mem,
+            &library::march_c(),
+            8,
+            &OnlineConfig::default(),
+            inject,
+        );
         println!(
             "{label:<26} rounds={} detected_at={:?} content_upsets={} test_cycles={}",
-            report.rounds_run, report.detection_round, report.content_upsets,
+            report.rounds_run,
+            report.detection_round,
+            report.content_upsets,
             report.test_cycles
         );
     }
@@ -172,8 +182,8 @@ fn online() {
 fn fig1() {
     println!("== Fig. 1: microcode-based BIST controller, March C on a 4x1 memory ==");
     let g = MemGeometry::bit_oriented(4);
-    let mut unit = MicrocodeBist::for_test(&library::march_c(), &g)
-        .expect("march C compiles");
+    let mut unit =
+        MicrocodeBist::for_test(&library::march_c(), &g).expect("march C compiles");
     let mut mem = MemoryArray::new(g);
     let mut trace = Trace::new();
     let report = unit.run_traced(&mut mem, &mut trace);
@@ -310,11 +320,7 @@ fn loadtime() {
     for t in [library::march_c(), library::march_a()] {
         let unit = ProgFsmBist::for_test(&t, &g).expect("compiles");
         let prog = unit.controller().program().len();
-        println!(
-            "prog-fsm   {:<10} {:>2} instructions, one parallel load",
-            t.name(),
-            prog
-        );
+        println!("prog-fsm   {:<10} {:>2} instructions, one parallel load", t.name(), prog);
     }
     println!();
 }
@@ -340,10 +346,6 @@ fn transparent() {
 
 fn check_transparent_compat(t: &MarchTest) -> bool {
     let ok = mbist_march::is_transparent_compatible(t);
-    println!(
-        "{} is {}transparent-compatible",
-        t.name(),
-        if ok { "" } else { "NOT " }
-    );
+    println!("{} is {}transparent-compatible", t.name(), if ok { "" } else { "NOT " });
     ok
 }

@@ -1,7 +1,7 @@
 //! Std-only coverage-engine performance harness.
 //!
-//! Measures serial fault simulation in four modes on the same sampled
-//! fault universes:
+//! Measures fault simulation in six modes on the same sampled fault
+//! universes:
 //!
 //! - `seed_replay`: the original algorithm — the [`legacy`] reference
 //!   simulator (per-bit cell stores, per-write `Vec<bool>` snapshots,
@@ -10,13 +10,22 @@
 //! - `engine_full`: the rewritten indexed/bitmask array, still replaying
 //!   the full stream per fault;
 //! - `detect_jobs1`: the engine with early exit at the first miscompare,
-//!   forced serial (`jobs = 1`);
-//! - `parallel_auto`: the engine with the host's available parallelism.
+//!   forced serial (`jobs = 1`), full replay per fault;
+//! - `sliced`: the sliced differential engine over one shared compiled
+//!   trace, forced serial;
+//! - `parallel_auto`: full replay with the host's available parallelism;
+//! - `sliced_parallel`: the sliced engine with the host's parallelism.
 //!
-//! Emits `BENCH_coverage.json` (test × geometry × wall-ns × faults/sec)
-//! and prints a human summary with the speedups vs the seed path.
-//! `--quick` shrinks the workload for smoke runs; `--out PATH` overrides
-//! the JSON path.
+//! Every mode that runs must agree on the detection count; each
+//! `(test, geometry)` pair prints an `agreement OK` line that CI greps
+//! for. `--modes a,b,...` restricts which modes run — speedup ratios
+//! whose baseline didn't run are reported as skipped, never fabricated.
+//!
+//! Emits `BENCH_coverage.json` (test × geometry × wall-ns × faults/sec,
+//! min and median over the sample count) and prints a human summary with
+//! the speedups vs the seed path and vs `detect_jobs1`. `--quick`
+//! shrinks the workload for smoke runs; `--out PATH` overrides the JSON
+//! path.
 //!
 //! No external crates: timing via `std::time::Instant`, JSON by hand.
 
@@ -26,7 +35,7 @@ use std::{env, fs, thread};
 
 use mbist_march::{
     evaluate_coverage, expand_with, library, run_steps, CoverageOptions, ExpandOptions,
-    MarchTest,
+    MarchTest, SimEngine,
 };
 use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
 
@@ -120,10 +129,13 @@ mod legacy {
                 let aggressor = CellId::new(word, bit);
                 for f in &self.faults {
                     match f.kind {
-                        FaultKind::CouplingInversion { aggressor: a, victim, rising: r }
-                            if a == aggressor
-                                && r == rising
-                                && self.victim_sensitized(victim, word, &old, &new) =>
+                        FaultKind::CouplingInversion {
+                            aggressor: a,
+                            victim,
+                            rising: r,
+                        } if a == aggressor
+                            && r == rising
+                            && self.victim_sensitized(victim, word, &old, &new) =>
                         {
                             effects.push((victim, Effect::Invert));
                         }
@@ -340,7 +352,8 @@ mod legacy {
             }
             let mut masked: Option<bool> = None;
             for f in &self.faults {
-                if let FaultKind::CouplingState { aggressor, victim, when, forced } = f.kind {
+                if let FaultKind::CouplingState { aggressor, victim, when, forced } = f.kind
+                {
                     if victim == cell && self.raw_bit(aggressor) == when {
                         masked = Some(forced);
                     }
@@ -401,6 +414,16 @@ mod legacy {
 
 const MAX_FAULTS_PER_CLASS: usize = 512;
 
+/// Mode names in canonical run order (slowest baseline first).
+const MODE_NAMES: [&str; 6] = [
+    "seed_replay",
+    "engine_full",
+    "detect_jobs1",
+    "sliced",
+    "parallel_auto",
+    "sliced_parallel",
+];
+
 type Mode<'a> = (&'static str, Box<dyn FnMut() -> usize + 'a>);
 
 struct Entry {
@@ -408,7 +431,10 @@ struct Entry {
     geometry: MemGeometry,
     mode: &'static str,
     faults: usize,
+    /// Best wall time over the sample count — the headline number.
     wall_ns: u128,
+    /// Median wall time over the sample count — the stability check.
+    median_ns: u128,
 }
 
 impl Entry {
@@ -434,8 +460,8 @@ fn sampled_universe(geometry: &MemGeometry) -> Vec<mbist_mem::FaultKind> {
         } else {
             // Same index set as the engine's stride sampler:
             // ceil(k·len/max) − 1 for k = 1..=max.
-            let mut keep =
-                (1..=MAX_FAULTS_PER_CLASS).map(|k| (k * len).div_ceil(MAX_FAULTS_PER_CLASS) - 1);
+            let mut keep = (1..=MAX_FAULTS_PER_CLASS)
+                .map(|k| (k * len).div_ceil(MAX_FAULTS_PER_CLASS) - 1);
             let mut next = keep.next();
             for (i, f) in u.into_iter().enumerate() {
                 if next == Some(i) {
@@ -477,38 +503,59 @@ fn run_full_replay(test: &MarchTest, geometry: &MemGeometry) -> usize {
     detected
 }
 
-fn run_engine(test: &MarchTest, geometry: &MemGeometry, jobs: Option<usize>) -> usize {
+fn run_engine(
+    test: &MarchTest,
+    geometry: &MemGeometry,
+    jobs: Option<usize>,
+    engine: SimEngine,
+) -> usize {
     let report = evaluate_coverage(
         test,
         geometry,
         &CoverageOptions {
             max_faults_per_class: Some(MAX_FAULTS_PER_CLASS),
             jobs,
+            engine,
             ..CoverageOptions::default()
         },
     );
     report.rows.iter().map(|r| r.detected).sum()
 }
 
-/// Best-of-`samples` wall time of `f`, with the result of the first run
-/// returned for cross-mode agreement checks.
-fn time_best<F: FnMut() -> usize>(samples: usize, mut f: F) -> (u128, usize) {
-    let mut best = u128::MAX;
+/// Min and median wall time of `f` over `samples` runs, with the result of
+/// the first run returned for cross-mode agreement checks.
+fn time_stats<F: FnMut() -> usize>(samples: usize, mut f: F) -> (u128, u128, usize) {
+    let mut times = Vec::with_capacity(samples.max(1));
     let mut result = 0;
     for i in 0..samples.max(1) {
         let start = Instant::now();
         let r = f();
-        let ns = start.elapsed().as_nanos();
+        times.push(start.elapsed().as_nanos());
         if i == 0 {
             result = r;
         }
-        best = best.min(ns);
     }
-    (best, result)
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    (min, median, result)
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Speedup of `denominator_mode` over `numerator_mode` (wall-time ratio),
+/// `None` when either mode wasn't measured for the acceptance entry.
+fn ratio(baseline: Option<&Entry>, candidate: Option<&Entry>) -> Option<f64> {
+    Some(baseline?.wall_ns as f64 / candidate?.wall_ns.max(1) as f64)
+}
+
+fn format_ratio(name: &str, r: Option<f64>) -> String {
+    match r {
+        Some(r) => format!("{name} {r:.1}x"),
+        None => format!("{name} skipped (baseline mode not run)"),
+    }
 }
 
 fn main() {
@@ -519,6 +566,24 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_coverage.json".to_string());
+    let selected: Vec<&str> = match args.iter().position(|a| a == "--modes") {
+        Some(i) => {
+            let list = args.get(i + 1).expect("--modes takes a comma-separated list");
+            let picked: Vec<&str> = MODE_NAMES
+                .iter()
+                .copied()
+                .filter(|m| list.split(',').any(|s| s == *m))
+                .collect();
+            for s in list.split(',') {
+                assert!(
+                    MODE_NAMES.contains(&s),
+                    "unknown mode `{s}` (choose from {MODE_NAMES:?})"
+                );
+            }
+            picked
+        }
+        None => MODE_NAMES.to_vec(),
+    };
 
     let geometries: Vec<MemGeometry> = if quick {
         vec![MemGeometry::bit_oriented(64)]
@@ -531,91 +596,134 @@ fn main() {
 
     println!("coverage engine perf — host parallelism {host}, samples {samples}");
     println!(
-        "{:<10} {:<10} {:<14} {:>8} {:>14} {:>12}",
-        "test", "geometry", "mode", "faults", "wall", "faults/s"
+        "{:<10} {:<10} {:<15} {:>8} {:>14} {:>14} {:>12}",
+        "test", "geometry", "mode", "faults", "wall(min)", "wall(median)", "faults/s"
     );
 
     let mut entries: Vec<Entry> = Vec::new();
     for g in &geometries {
         let faults = sampled_universe(g).len();
         for t in &tests {
-            let modes: [Mode<'_>; 4] = [
+            let modes: [Mode<'_>; 6] = [
                 ("seed_replay", Box::new(|| run_seed_replay(t, g))),
                 ("engine_full", Box::new(|| run_full_replay(t, g))),
-                ("detect_jobs1", Box::new(|| run_engine(t, g, Some(1)))),
-                ("parallel_auto", Box::new(|| run_engine(t, g, None))),
+                ("detect_jobs1", Box::new(|| run_engine(t, g, Some(1), SimEngine::Full))),
+                ("sliced", Box::new(|| run_engine(t, g, Some(1), SimEngine::Sliced))),
+                ("parallel_auto", Box::new(|| run_engine(t, g, None, SimEngine::Full))),
+                ("sliced_parallel", Box::new(|| run_engine(t, g, None, SimEngine::Sliced))),
             ];
             let mut detected: Option<usize> = None;
+            let mut modes_run = 0usize;
             for (mode, mut f) in modes {
-                let (wall_ns, result) = time_best(samples, &mut f);
+                if !selected.contains(&mode) {
+                    continue;
+                }
+                let (wall_ns, median_ns, result) = time_stats(samples, &mut f);
                 match detected {
                     None => detected = Some(result),
                     Some(d) => assert_eq!(
-                        d, result,
+                        d,
+                        result,
                         "{} {g} {mode}: modes disagree on detections",
                         t.name()
                     ),
                 }
-                let e = Entry { test: t.name().to_string(), geometry: *g, mode, faults, wall_ns };
+                modes_run += 1;
+                let e = Entry {
+                    test: t.name().to_string(),
+                    geometry: *g,
+                    mode,
+                    faults,
+                    wall_ns,
+                    median_ns,
+                };
                 println!(
-                    "{:<10} {:<10} {:<14} {:>8} {:>11.3} ms {:>12.0}",
+                    "{:<10} {:<10} {:<15} {:>8} {:>11.3} ms {:>11.3} ms {:>12.0}",
                     e.test,
                     e.geometry.to_string(),
                     e.mode,
                     e.faults,
                     e.wall_ns as f64 / 1e6,
+                    e.median_ns as f64 / 1e6,
                     e.faults_per_sec()
                 );
                 entries.push(e);
+            }
+            if let Some(d) = detected {
+                println!(
+                    "{} {g}: agreement OK ({modes_run} modes, {d} detected)",
+                    t.name()
+                );
             }
         }
     }
 
     // Speedups on the largest march-c run (the acceptance configuration).
+    // Ratios whose baseline mode didn't run are skipped, not fabricated.
     let pick = |mode: &str| {
         entries
             .iter()
             .filter(|e| e.test == "march-c" && e.mode == mode)
             .max_by_key(|e| e.geometry.words())
     };
-    let seed = pick("seed_replay").expect("march-c measured");
-    let engine_full = pick("engine_full").expect("march-c measured");
-    let detect = pick("detect_jobs1").expect("march-c measured");
-    let parallel = pick("parallel_auto").expect("march-c measured");
-    let array_speedup = seed.wall_ns as f64 / engine_full.wall_ns.max(1) as f64;
-    let detect_speedup = seed.wall_ns as f64 / detect.wall_ns.max(1) as f64;
-    let parallel_speedup = seed.wall_ns as f64 / parallel.wall_ns.max(1) as f64;
-    println!();
-    println!(
-        "march-c on {}: vs seed path — array rewrite {array_speedup:.1}x, \
-         +early-exit {detect_speedup:.1}x, +parallel {parallel_speedup:.1}x \
-         (host parallelism {host})",
-        seed.geometry
-    );
+    let seed = pick("seed_replay");
+    let engine_full = pick("engine_full");
+    let detect = pick("detect_jobs1");
+    let sliced = pick("sliced");
+    let parallel = pick("parallel_auto");
+    let sliced_parallel = pick("sliced_parallel");
+    let array_vs_seed = ratio(seed, engine_full);
+    let detect_vs_seed = ratio(seed, detect);
+    let sliced_vs_seed = ratio(seed, sliced);
+    let sliced_vs_detect = ratio(detect, sliced);
+    let parallel_vs_seed = ratio(seed, parallel);
+    let sliced_parallel_vs_detect = ratio(detect, sliced_parallel);
+    if let Some(g) = [seed, detect, sliced].iter().flatten().next() {
+        println!();
+        println!(
+            "march-c on {}: {}, {}, {}, {}, {}, {} (host parallelism {host})",
+            g.geometry,
+            format_ratio("array_vs_seed", array_vs_seed),
+            format_ratio("detect_vs_seed", detect_vs_seed),
+            format_ratio("sliced_vs_seed", sliced_vs_seed),
+            format_ratio("sliced_vs_detect", sliced_vs_detect),
+            format_ratio("parallel_vs_seed", parallel_vs_seed),
+            format_ratio("sliced_parallel_vs_detect", sliced_parallel_vs_detect),
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"host_parallelism\": {host},");
     let _ = writeln!(json, "  \"samples\": {samples},");
     let _ = writeln!(json, "  \"max_faults_per_class\": {MAX_FAULTS_PER_CLASS},");
-    let _ = writeln!(
-        json,
-        "  \"speedup\": {{ \"array_vs_seed\": {array_speedup:.3}, \
-         \"detect_vs_seed\": {detect_speedup:.3}, \
-         \"parallel_vs_seed\": {parallel_speedup:.3} }},"
-    );
+    let ratios = [
+        ("array_vs_seed", array_vs_seed),
+        ("detect_vs_seed", detect_vs_seed),
+        ("sliced_vs_seed", sliced_vs_seed),
+        ("sliced_vs_detect", sliced_vs_detect),
+        ("parallel_vs_seed", parallel_vs_seed),
+        ("sliced_parallel_vs_detect", sliced_parallel_vs_detect),
+    ];
+    let speedups: Vec<String> = ratios
+        .iter()
+        .filter_map(|(name, r)| r.map(|r| format!("\"{name}\": {r:.3}")))
+        .collect();
+    let _ = writeln!(json, "  \"speedup\": {{ {} }},", speedups.join(", "));
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
         let _ = writeln!(
             json,
             "    {{ \"test\": \"{}\", \"geometry\": \"{}\", \"mode\": \"{}\", \
-             \"faults\": {}, \"wall_ns\": {}, \"faults_per_sec\": {:.1} }}{comma}",
+             \"faults\": {}, \"wall_ns\": {}, \"median_ns\": {}, \
+             \"faults_per_sec\": {:.1} }}{comma}",
             json_escape(&e.test),
             e.geometry,
             e.mode,
             e.faults,
             e.wall_ns,
+            e.median_ns,
             e.faults_per_sec()
         );
     }

@@ -182,8 +182,15 @@ fn main() {
     let _ = writeln!(
         table,
         "{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>12}",
-        "arch", "rate", "corrupted", "signature", "watchdog", "silent",
-        "lat.mean", "lat.max", "scan-clocks"
+        "arch",
+        "rate",
+        "corrupted",
+        "signature",
+        "watchdog",
+        "silent",
+        "lat.mean",
+        "lat.max",
+        "scan-clocks"
     );
     let mut json = String::from("[\n");
     let mut first = true;

@@ -35,7 +35,7 @@ use mbist_core::{
     progfsm::ProgFsmBist, BistController, BistUnit, CoreError, RecoveryPolicy,
     ScanRecoverable, SessionReport,
 };
-use mbist_march::{evaluate_coverage, library, CoverageOptions, MarchTest};
+use mbist_march::{evaluate_coverage, library, CoverageOptions, MarchTest, SimEngine};
 use mbist_mem::{CellId, FaultKind, MemGeometry, MemoryArray};
 
 /// A user-facing CLI error, categorized so the binary can exit with a
@@ -167,12 +167,14 @@ commands:
       [--cycle-budget C]              fails; A: microcode|progfsm)
   coverage <algorithm> --words N      per-fault-class coverage (serial fault sim)
       [--max-faults K] [--jobs J]     J worker threads (0 or absent = auto);
-                                      the report is identical for every J
+      [--engine full|sliced]          the report is identical for every J and
+                                      engine (sliced = default, trace-based)
   area [--table 1|2|3]                regenerate the paper's tables
   rtl <algorithm> [--capacity Z]      emit Verilog for the microcode BIST unit
       [--words N] [--width W]
   synth --classes C1,C2,..            synthesize a minimal march test for a
       [--max-elements N] [--jobs J]   fault mix (saf tf af cfin cfid cfst)
+      [--engine full|sliced]
 
 <algorithm> is a library name (march-c, mats+, ...) or inline notation like
 \"m(w0); u(r0,w1); d(r1,w0)\".
@@ -217,6 +219,17 @@ fn jobs_from(args: &[&str]) -> Result<Option<usize>, CliError> {
     Ok(if n == 0 { None } else { Some(n) })
 }
 
+/// `--engine full|sliced` → fault-simulation engine (sliced differential
+/// replay by default; the output is identical either way).
+fn engine_from(args: &[&str]) -> Result<SimEngine, CliError> {
+    match flag_value(args, "--engine") {
+        None => Ok(SimEngine::default()),
+        Some("full") => Ok(SimEngine::Full),
+        Some("sliced") => Ok(SimEngine::Sliced),
+        Some(other) => Err(err(format!("unknown --engine `{other}` (full|sliced)"))),
+    }
+}
+
 fn geometry_from(args: &[&str]) -> Result<MemGeometry, CliError> {
     let words: u64 = match flag_value(args, "--words") {
         Some(v) => v.parse().map_err(|_| err(format!("invalid --words `{v}`")))?,
@@ -232,7 +245,8 @@ fn geometry_from(args: &[&str]) -> Result<MemGeometry, CliError> {
 
 fn cmd_algorithms() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<12} {:>6} {:>9} {:>8}", "name", "ops/n", "elements", "pauses");
+    let _ =
+        writeln!(out, "{:<12} {:>6} {:>9} {:>8}", "name", "ops/n", "elements", "pauses");
     for t in library::all() {
         let _ = writeln!(
             out,
@@ -318,10 +332,9 @@ fn parse_fault(spec: &str, geometry: &MemGeometry) -> Result<FaultKind, CliError
 fn budget_from(args: &[&str]) -> Result<Option<u64>, CliError> {
     match flag_value(args, "--cycle-budget") {
         None => Ok(None),
-        Some(v) => v
-            .parse()
-            .map(Some)
-            .map_err(|_| err(format!("invalid --cycle-budget `{v}`"))),
+        Some(v) => {
+            v.parse().map(Some).map_err(|_| err(format!("invalid --cycle-budget `{v}`")))
+        }
     }
 }
 
@@ -410,8 +423,15 @@ fn cmd_run(args: &[&str]) -> Result<String, CliError> {
 fn cmd_inject_upset(args: &[&str]) -> Result<String, CliError> {
     check_flags(
         args,
-        &["--words", "--width", "--ports", "--arch", "--bit", "--max-reloads",
-          "--cycle-budget"],
+        &[
+            "--words",
+            "--width",
+            "--ports",
+            "--arch",
+            "--bit",
+            "--max-reloads",
+            "--cycle-budget",
+        ],
     )?;
     let spec = args
         .first()
@@ -484,7 +504,11 @@ fn upset_session<C: BistController + ScanRecoverable>(
         "upset: flipped bit(s) {:?}, store signature now {} ({})",
         bits,
         unit.controller().store_signature(),
-        if detected { "detected" } else { "NOT DETECTED — even flips per parity column alias" }
+        if detected {
+            "detected"
+        } else {
+            "NOT DETECTED — even flips per parity column alias"
+        }
     );
     let mut mem = MemoryArray::new(*geometry);
     let (report, recovery) = unit.run_protected(&mut mem, policy).map_err(run_error)?;
@@ -500,7 +524,10 @@ fn upset_session<C: BistController + ScanRecoverable>(
 }
 
 fn cmd_coverage(args: &[&str]) -> Result<String, CliError> {
-    check_flags(args, &["--words", "--width", "--ports", "--max-faults", "--jobs"])?;
+    check_flags(
+        args,
+        &["--words", "--width", "--ports", "--max-faults", "--jobs", "--engine"],
+    )?;
     let spec =
         args.first().ok_or_else(|| err("usage: mbist coverage <algorithm> --words N"))?;
     let t = resolve_test(spec)?;
@@ -512,6 +539,7 @@ fn cmd_coverage(args: &[&str]) -> Result<String, CliError> {
         &CoverageOptions {
             max_faults_per_class: Some(max),
             jobs: jobs_from(args)?,
+            engine: engine_from(args)?,
             ..CoverageOptions::default()
         },
     );
@@ -556,7 +584,7 @@ fn cmd_rtl(args: &[&str]) -> Result<String, CliError> {
 fn cmd_synth(args: &[&str]) -> Result<String, CliError> {
     use mbist_march::{synthesize_march, SynthesisOptions};
     use mbist_mem::FaultClass;
-    check_flags(args, &["--classes", "--max-elements", "--jobs"])?;
+    check_flags(args, &["--classes", "--max-elements", "--jobs", "--engine"])?;
     let spec = flag_value(args, "--classes")
         .ok_or_else(|| err("usage: mbist synth --classes saf,tf,af"))?;
     let mut classes = Vec::new();
@@ -575,6 +603,7 @@ fn cmd_synth(args: &[&str]) -> Result<String, CliError> {
     let mut options =
         SynthesisOptions { classes, max_elements, ..SynthesisOptions::default() };
     options.coverage.jobs = jobs_from(args)?;
+    options.coverage.engine = engine_from(args)?;
     let result = synthesize_march("synthesized", &options);
     let mut out = String::new();
     let _ = writeln!(out, "{}", result.test);
@@ -652,9 +681,7 @@ mod tests {
     fn run_pass_and_fail() {
         let out = run_ok(&["run", "march-c", "--words", "32"]);
         assert!(out.contains("PASS"));
-        let out = run_ok(&[
-            "run", "march-c", "--words", "32", "--fault", "sa1@0x5",
-        ]);
+        let out = run_ok(&["run", "march-c", "--words", "32", "--fault", "sa1@0x5"]);
         assert!(out.contains("FAIL"));
         assert!(out.contains("SingleCell"));
     }
@@ -670,7 +697,14 @@ mod tests {
     #[test]
     fn run_word_oriented_fault_with_bit() {
         let out = run_ok(&[
-            "run", "march-c", "--words", "16", "--width", "8", "--fault", "tf-up@3.6",
+            "run",
+            "march-c",
+            "--words",
+            "16",
+            "--width",
+            "8",
+            "--fault",
+            "tf-up@3.6",
         ]);
         assert!(out.contains("FAIL"));
     }
@@ -711,6 +745,22 @@ mod tests {
     }
 
     #[test]
+    fn coverage_output_is_independent_of_engine() {
+        let base = ["coverage", "march-c", "--words", "16", "--max-faults", "32"];
+        let with_engine = |e: &str| {
+            let mut args = base.to_vec();
+            args.extend(["--engine", e]);
+            run_ok(&args)
+        };
+        let sliced = with_engine("sliced");
+        assert_eq!(with_engine("full"), sliced);
+        assert_eq!(run_ok(&base), sliced, "flag absent = sliced default");
+        let e = run_err(&["coverage", "march-c", "--words", "8", "--engine", "turbo"]);
+        assert!(e.to_string().contains("--engine"), "{e}");
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
     fn area_tables() {
         assert!(run_ok(&["area", "--table", "1"]).contains("Microcode-Based"));
         assert!(run_ok(&["area", "--table", "3"]).contains("Adjusted"));
@@ -737,10 +787,7 @@ mod tests {
         assert_eq!(run_err(&["frob"]).exit_code(), 2);
         assert_eq!(run_err(&["run", "march-c"]).exit_code(), 2);
         // execution failures exit 1
-        assert_eq!(
-            run_err(&["compile", "march-b", "--arch", "progfsm"]).exit_code(),
-            1
-        );
+        assert_eq!(run_err(&["compile", "march-b", "--arch", "progfsm"]).exit_code(), 1);
     }
 
     #[test]
@@ -769,7 +816,14 @@ mod tests {
     fn inject_upset_detects_and_recovers_on_both_architectures() {
         for arch in ["microcode", "progfsm"] {
             let out = run_ok(&[
-                "inject-upset", "march-c", "--words", "16", "--arch", arch, "--bit", "5",
+                "inject-upset",
+                "march-c",
+                "--words",
+                "16",
+                "--arch",
+                arch,
+                "--bit",
+                "5",
             ]);
             assert!(out.contains("(detected)"), "{arch}: {out}");
             assert!(out.contains("1 reload(s)"), "{arch}: {out}");
@@ -780,8 +834,14 @@ mod tests {
     #[test]
     fn inject_upset_exhausted_retries_exit_distinctly() {
         let e = run_err(&[
-            "inject-upset", "march-c", "--words", "16", "--bit", "5",
-            "--max-reloads", "0",
+            "inject-upset",
+            "march-c",
+            "--words",
+            "16",
+            "--bit",
+            "5",
+            "--max-reloads",
+            "0",
         ]);
         assert_eq!(e.exit_code(), 5);
         assert!(e.to_string().contains("scan-reload"), "{e}");
@@ -793,7 +853,14 @@ mod tests {
         // cannot see it (its documented blind spot) and the clean program
         // runs without recovery
         let out = run_ok(&[
-            "inject-upset", "march-c", "--words", "16", "--bit", "5", "--bit", "5",
+            "inject-upset",
+            "march-c",
+            "--words",
+            "16",
+            "--bit",
+            "5",
+            "--bit",
+            "5",
         ]);
         assert!(out.contains("NOT DETECTED"), "{out}");
         assert!(out.contains("0 reload(s)"), "{out}");
@@ -802,7 +869,8 @@ mod tests {
 
     #[test]
     fn inject_upset_rejects_bad_targets() {
-        let e = run_err(&["inject-upset", "march-c", "--words", "16", "--arch", "hardwired"]);
+        let e =
+            run_err(&["inject-upset", "march-c", "--words", "16", "--arch", "hardwired"]);
         assert!(e.to_string().contains("no program store"), "{e}");
         assert_eq!(e.exit_code(), 2);
         let e = run_err(&["inject-upset", "march-c", "--words", "16", "--bit", "99999"]);

@@ -187,8 +187,8 @@ impl BistDatapath {
     pub fn structure(&self) -> Structure {
         let w = u32::from(self.geometry.width());
         let bg_count = self.backgrounds.len() as u32;
-        let mut s = Structure::named("datapath")
-            .with_child(self.addr.structure("addr_gen"));
+        let mut s =
+            Structure::named("datapath").with_child(self.addr.structure("addr_gen"));
         // Background generator: an index counter plus a small pattern
         // decoder per background per bit.
         let bg_bits = (usize::BITS - (self.backgrounds.len() - 1).leading_zeros()).max(1);
@@ -314,11 +314,7 @@ mod tests {
     fn reset_restores_power_on_state() {
         let mut d = dp(4, 4, 2);
         d.apply(&access(Direction::Up, true));
-        d.apply(&ControlSignals {
-            bg_inc: true,
-            port_inc: true,
-            ..ControlSignals::idle()
-        });
+        d.apply(&ControlSignals { bg_inc: true, port_inc: true, ..ControlSignals::idle() });
         d.reset();
         assert_eq!(d.addr_for(Direction::Up), 0);
         assert_eq!(d.background().value(), 0);

@@ -38,7 +38,10 @@ impl Default for HardwiredCaps {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Position {
     /// Executing op `op` of item `item`.
-    At { item: usize, op: usize },
+    At {
+        item: usize,
+        op: usize,
+    },
     Done,
 }
 
@@ -176,9 +179,16 @@ impl HardwiredFsm {
 
     /// The pure combinational transition function: from a position and
     /// status inputs, produce this cycle's signals and the next position.
-    fn transition(&self, pos: Position, status: StatusSignals) -> (ControlSignals, Position) {
+    fn transition(
+        &self,
+        pos: Position,
+        status: StatusSignals,
+    ) -> (ControlSignals, Position) {
         let Position::At { item, op } = pos else {
-            return (ControlSignals { done: true, ..ControlSignals::idle() }, Position::Done);
+            return (
+                ControlSignals { done: true, ..ControlSignals::idle() },
+                Position::Done,
+            );
         };
         let mut sig = ControlSignals::idle();
         let next_in_item: Option<Position> = match &self.items[item] {
@@ -280,11 +290,7 @@ impl HardwiredFsm {
         } else {
             true
         };
-        let last_port = if self.caps.port_loop {
-            inputs & (1 << bit) != 0
-        } else {
-            true
-        };
+        let last_port = if self.caps.port_loop { inputs & (1 << bit) != 0 } else { true };
         StatusSignals { last_address, last_background, last_port }
     }
 }
@@ -348,10 +354,8 @@ mod tests {
     use mbist_mem::{MemGeometry, MemoryArray};
 
     fn unit_for(test: &MarchTest, g: MemGeometry) -> BistUnit<HardwiredFsm> {
-        let caps = HardwiredCaps {
-            background_loop: g.width() > 1,
-            port_loop: g.ports() > 1,
-        };
+        let caps =
+            HardwiredCaps { background_loop: g.width() > 1, port_loop: g.ports() > 1 };
         let ctrl = HardwiredFsm::new(test, caps);
         let dp = crate::datapath::BistDatapath::new(g, standard_backgrounds(g.width()));
         BistUnit::new(ctrl, dp)

@@ -25,8 +25,7 @@ impl HardwiredBist {
             port_loop: geometry.ports() > 1,
         };
         let controller = HardwiredFsm::new(test, caps);
-        let datapath =
-            BistDatapath::new(*geometry, standard_backgrounds(geometry.width()));
+        let datapath = BistDatapath::new(*geometry, standard_backgrounds(geometry.width()));
         BistUnit::new(controller, datapath)
     }
 }
@@ -39,17 +38,12 @@ mod tests {
 
     #[test]
     fn caps_follow_geometry() {
-        let bit = HardwiredBist::for_test(
-            &library::march_c(),
-            &MemGeometry::bit_oriented(8),
-        );
+        let bit =
+            HardwiredBist::for_test(&library::march_c(), &MemGeometry::bit_oriented(8));
         assert!(!bit.controller().caps().background_loop);
         assert!(!bit.controller().caps().port_loop);
 
-        let word = HardwiredBist::for_test(
-            &library::march_c(),
-            &MemGeometry::new(8, 8, 2),
-        );
+        let word = HardwiredBist::for_test(&library::march_c(), &MemGeometry::new(8, 8, 2));
         assert!(word.controller().caps().background_loop);
         assert!(word.controller().caps().port_loop);
     }

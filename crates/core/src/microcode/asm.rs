@@ -156,8 +156,8 @@ mod tests {
         for t in library::all() {
             let program = compile(&t).unwrap();
             let text = to_source(&program);
-            let reassembled = assemble(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", t.name()));
+            let reassembled =
+                assemble(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", t.name()));
             assert_eq!(reassembled, program, "roundtrip failed for {}", t.name());
         }
     }

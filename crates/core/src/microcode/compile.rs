@@ -42,10 +42,7 @@ pub fn compile(test: &MarchTest) -> Result<Vec<Microinstruction>, CoreError> {
     let split = test.symmetric_split().filter(|s| {
         // `Repeat` branches to instruction 1, so the prefix must compile to
         // exactly one instruction: a single write-only op.
-        s.prefix_len == 1
-            && items[0]
-                .as_element()
-                .is_some_and(|e| e.ops().len() == 1)
+        s.prefix_len == 1 && items[0].as_element().is_some_and(|e| e.ops().len() == 1)
     });
 
     match split {
@@ -105,7 +102,10 @@ fn compile_items(items: &[MarchItem], prog: &mut Vec<Microinstruction>) {
     for item in items {
         match item {
             MarchItem::Pause { .. } => {
-                prog.push(Microinstruction { flow: FlowOp::Hold, ..Microinstruction::nop() });
+                prog.push(Microinstruction {
+                    flow: FlowOp::Hold,
+                    ..Microinstruction::nop()
+                });
             }
             MarchItem::Element(e) => compile_element(e, prog),
         }
@@ -181,11 +181,9 @@ mod tests {
 
     #[test]
     fn mixed_pause_durations_are_rejected() {
-        let t = MarchTest::parse(
-            "mixed",
-            "m(w0); pause(1ms); m(r0,w1,r1); pause(2ms); m(r1)",
-        )
-        .unwrap();
+        let t =
+            MarchTest::parse("mixed", "m(w0); pause(1ms); m(r0,w1,r1); pause(2ms); m(r1)")
+                .unwrap();
         assert!(matches!(
             compile(&t),
             Err(CoreError::NotExpressible { architecture: "microcode", .. })

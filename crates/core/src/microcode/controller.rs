@@ -340,9 +340,7 @@ impl BistController for MicrocodeController {
                 Structure::leaf("instruction_selector")
                     .with(Primitive::Mux2, width * z.saturating_sub(1)),
             )
-            .with_child(
-                Structure::leaf("branch_register").with(Primitive::Dff, br_bits),
-            )
+            .with_child(Structure::leaf("branch_register").with(Primitive::Dff, br_bits))
             .with_child(
                 Structure::leaf("reference_register")
                     .with(Primitive::Dff, 4)
@@ -434,10 +432,8 @@ mod tests {
 
     #[test]
     fn done_after_terminate_stays_done() {
-        let prog = vec![Microinstruction {
-            flow: FlowOp::Terminate,
-            ..Microinstruction::nop()
-        }];
+        let prog =
+            vec![Microinstruction { flow: FlowOp::Terminate, ..Microinstruction::nop() }];
         let mut ctrl =
             MicrocodeController::new("end", &prog, MicrocodeConfig::default()).unwrap();
         let dp = crate::datapath::BistDatapath::new(
@@ -473,8 +469,8 @@ mod tests {
             flow: FlowOp::LoopElem,
             ..Microinstruction::nop()
         }];
-        let err = MicrocodeController::new("bad", &prog, MicrocodeConfig::default())
-            .unwrap_err();
+        let err =
+            MicrocodeController::new("bad", &prog, MicrocodeConfig::default()).unwrap_err();
         assert!(matches!(err, CoreError::InvalidProgram { .. }), "{err}");
         // load_program applies the same validation
         let mut ctrl = MicrocodeController::new(
@@ -547,12 +543,9 @@ mod tests {
             cell_style: CellStyle::ScanOnly,
             ..MicrocodeConfig::default()
         };
-        let ctrl = MicrocodeController::new(
-            "x",
-            &compile(&library::march_c()).unwrap(),
-            config,
-        )
-        .unwrap();
+        let ctrl =
+            MicrocodeController::new("x", &compile(&library::march_c()).unwrap(), config)
+                .unwrap();
         let s = ctrl.structure();
         assert_eq!(s.count(Primitive::ScanOnlyCell), 160);
         assert_eq!(s.find("storage_unit").unwrap().count(Primitive::ScanDff), 0);

@@ -64,8 +64,7 @@ impl MicrocodeBist {
             config.pause_ns = ns;
         }
         let controller = MicrocodeController::new(test.name(), &program, config)?;
-        let datapath =
-            BistDatapath::new(*geometry, standard_backgrounds(geometry.width()));
+        let datapath = BistDatapath::new(*geometry, standard_backgrounds(geometry.width()));
         Ok(BistUnit::new(controller, datapath))
     }
 }

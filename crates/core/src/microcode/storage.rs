@@ -221,10 +221,8 @@ mod tests {
     fn reload_replaces_previous_program() {
         let mut s = StorageUnit::new(4, CellStyle::FullScan);
         s.load(&sample_program()).unwrap();
-        let short = vec![Microinstruction {
-            flow: FlowOp::Terminate,
-            ..Microinstruction::nop()
-        }];
+        let short =
+            vec![Microinstruction { flow: FlowOp::Terminate, ..Microinstruction::nop() }];
         s.load(&short).unwrap();
         assert_eq!(s.program().unwrap(), short);
         assert_eq!(s.scan_cycles(), 2 * 4 * 10);

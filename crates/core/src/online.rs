@@ -174,7 +174,8 @@ mod tests {
         // prediction pass must absorb that.
         let g = MemGeometry::bit_oriented(64);
         let mut mem = MemoryArray::new(g);
-        let config = OnlineConfig { workload_ops_per_round: 1024, ..OnlineConfig::default() };
+        let config =
+            OnlineConfig { workload_ops_per_round: 1024, ..OnlineConfig::default() };
         let report = run_periodic(&mut mem, &library::march_x(), 4, &config, None);
         assert_eq!(report.detection_round, None);
     }

@@ -135,12 +135,8 @@ mod tests {
     fn retention_tail_sets_hold_bits() {
         let p = compile(&library::march_c_plus()).unwrap();
         // …; hold SM7 up d=0; hold SM5 up d=1; loops
-        let holds: Vec<usize> = p
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| i.hold)
-            .map(|(k, _)| k)
-            .collect();
+        let holds: Vec<usize> =
+            p.iter().enumerate().filter(|(_, i)| i.hold).map(|(k, _)| k).collect();
         assert_eq!(holds.len(), 2);
         assert!(p[holds[0]].to_string().contains("SM7"));
         assert!(p[holds[1]].to_string().contains("SM5"));
@@ -148,8 +144,10 @@ mod tests {
 
     #[test]
     fn expressible_library_subset() {
-        let expressible = ["mats", "mats+", "march-x", "march-y", "march-c", "march-c+",
-            "pmovi", "march-u", "march-lr", "march-a", "march-a+"];
+        let expressible = [
+            "mats", "mats+", "march-x", "march-y", "march-c", "march-c+", "pmovi",
+            "march-u", "march-lr", "march-a", "march-a+",
+        ];
         let inexpressible = ["march-b", "march-c++", "march-a++", "march-ss", "march-g"];
         for t in library::all() {
             let result = compile(&t);

@@ -311,8 +311,7 @@ impl BistController for ProgFsmController {
                 match inst.kind {
                     FsmOp::Component(sm) => {
                         self.ops = sm.ops(inst.invert);
-                        self.dir =
-                            if inst.down { Direction::Down } else { Direction::Up };
+                        self.dir = if inst.down { Direction::Down } else { Direction::Up };
                         self.cmp_invert = inst.cmp_invert;
                         if inst.hold {
                             sig.pause_ns = Some(self.config.pause_ns);
@@ -356,7 +355,8 @@ impl BistController for ProgFsmController {
             }
             LowerState::Rw(k) => {
                 let op = self.ops[usize::from(k)];
-                let mut sig = ControlSignals { addr_order: self.dir, ..ControlSignals::idle() };
+                let mut sig =
+                    ControlSignals { addr_order: self.dir, ..ControlSignals::idle() };
                 match op {
                     MarchOp::Read(d) => {
                         sig.read_en = true;
@@ -437,10 +437,8 @@ mod tests {
         g: MemGeometry,
     ) -> BistUnit<ProgFsmController> {
         let program = compile(test).unwrap();
-        let config = ProgFsmConfig {
-            capacity: program.len().max(12),
-            ..ProgFsmConfig::default()
-        };
+        let config =
+            ProgFsmConfig { capacity: program.len().max(12), ..ProgFsmConfig::default() };
         let ctrl = ProgFsmController::new(test.name(), &program, config).unwrap();
         let dp = crate::datapath::BistDatapath::new(g, standard_backgrounds(g.width()));
         BistUnit::new(ctrl, dp)
@@ -516,8 +514,7 @@ mod tests {
     fn scan_load_cost_is_capacity_times_row_width() {
         let program = compile(&library::march_c()).unwrap();
         let ctrl =
-            ProgFsmController::new("march-c", &program, ProgFsmConfig::default())
-                .unwrap();
+            ProgFsmController::new("march-c", &program, ProgFsmConfig::default()).unwrap();
         assert_eq!(ctrl.scan_cycles(), 12 * 8, "one full-buffer scan load");
     }
 
@@ -535,8 +532,7 @@ mod tests {
         let g = MemGeometry::bit_oriented(4);
         let program = compile(&library::mats_plus()).unwrap();
         let mut ctrl =
-            ProgFsmController::new("mats+", &program, ProgFsmConfig::default())
-                .unwrap();
+            ProgFsmController::new("mats+", &program, ProgFsmConfig::default()).unwrap();
         ctrl.verify_integrity().unwrap();
         let golden_view = ctrl.program().to_vec();
 

@@ -60,8 +60,7 @@ impl ProgFsmBist {
             config.pause_ns = ns;
         }
         let controller = ProgFsmController::new(test.name(), &program, config)?;
-        let datapath =
-            BistDatapath::new(*geometry, standard_backgrounds(geometry.width()));
+        let datapath = BistDatapath::new(*geometry, standard_backgrounds(geometry.width()));
         Ok(BistUnit::new(controller, datapath))
     }
 }
@@ -82,7 +81,13 @@ mod tests {
             for g in geometries {
                 match ProgFsmBist::for_test(&t, &g) {
                     Ok(mut unit) => {
-                        assert_eq!(unit.emit_steps(), expand(&t, &g), "{} on {}", t.name(), g);
+                        assert_eq!(
+                            unit.emit_steps(),
+                            expand(&t, &g),
+                            "{} on {}",
+                            t.name(),
+                            g
+                        );
                     }
                     Err(CoreError::NotExpressible { .. }) => {
                         assert!(

@@ -160,7 +160,8 @@ impl<C: BistController> BistUnit<C> {
         C: ScanRecoverable,
     {
         let budget = policy.cycle_budget.unwrap_or_else(|| self.default_cycle_budget());
-        let mut recovery = RecoveryReport { cycle_budget: budget, ..RecoveryReport::default() };
+        let mut recovery =
+            RecoveryReport { cycle_budget: budget, ..RecoveryReport::default() };
         while let Err(violation) = self.controller.verify_integrity() {
             recovery.integrity_violations += 1;
             if recovery.reload_attempts >= policy.max_reload_attempts {
@@ -182,7 +183,11 @@ impl<C: BistController> BistUnit<C> {
     /// # Panics
     ///
     /// See [`BistUnit::run`].
-    pub fn run_traced(&mut self, mem: &mut MemoryArray, trace: &mut Trace) -> SessionReport {
+    pub fn run_traced(
+        &mut self,
+        mem: &mut MemoryArray,
+        trace: &mut Trace,
+    ) -> SessionReport {
         self.run_inner(Some(mem), Some(trace))
     }
 
@@ -363,10 +368,7 @@ mod tests {
         let g = MemGeometry::bit_oriented(16);
         let mut unit = MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
         let err = unit.run_bounded(&mut MemoryArray::new(g), 10).unwrap_err();
-        assert!(
-            matches!(err, CoreError::CycleBudgetExceeded { budget: 10, .. }),
-            "{err}"
-        );
+        assert!(matches!(err, CoreError::CycleBudgetExceeded { budget: 10, .. }), "{err}");
     }
 
     #[test]

@@ -130,10 +130,7 @@ fn scan_element_loops(
                         format!("element loop at {i} makes no address progress"),
                     ));
                 }
-                if body
-                    .iter()
-                    .any(|b| b.has_access() && b.addr_down != inst.addr_down)
-                {
+                if body.iter().any(|b| b.has_access() && b.addr_down != inst.addr_down) {
                     return Err(invalid(
                         ARCH,
                         format!(
@@ -173,9 +170,7 @@ fn scan_element_loops(
 pub fn validate_progfsm(program: &[FsmInstruction]) -> Result<(), CoreError> {
     const ARCH: &str = "programmable-fsm";
     if !program.is_empty()
-        && !program
-            .iter()
-            .any(|i| matches!(i.kind, FsmOp::End | FsmOp::LoopPort))
+        && !program.iter().any(|i| matches!(i.kind, FsmOp::End | FsmOp::LoopPort))
     {
         return Err(invalid(
             ARCH,
@@ -184,8 +179,7 @@ pub fn validate_progfsm(program: &[FsmInstruction]) -> Result<(), CoreError> {
                 .into(),
         ));
     }
-    let bg_loops =
-        program.iter().filter(|i| matches!(i.kind, FsmOp::LoopBg)).count();
+    let bg_loops = program.iter().filter(|i| matches!(i.kind, FsmOp::LoopBg)).count();
     if bg_loops > 1 {
         return Err(invalid(
             ARCH,
@@ -201,8 +195,8 @@ pub fn validate_progfsm(program: &[FsmInstruction]) -> Result<(), CoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mbist_march::library;
     use crate::progfsm::SmComponent;
+    use mbist_march::library;
 
     fn w0_inc_loop() -> Microinstruction {
         Microinstruction {
@@ -284,11 +278,7 @@ mod tests {
         // Linearly the element [0..=2] makes progress via instruction 0,
         // but the repeat pass enters at 1 and loops [1..=2] forever.
         let prog = vec![
-            Microinstruction {
-                write: true,
-                addr_inc: true,
-                ..Microinstruction::nop()
-            },
+            Microinstruction { write: true, addr_inc: true, ..Microinstruction::nop() },
             Microinstruction { read: true, ..Microinstruction::nop() },
             Microinstruction {
                 write: true,
@@ -304,11 +294,8 @@ mod tests {
 
     #[test]
     fn read_write_conflict_is_rejected() {
-        let prog = vec![Microinstruction {
-            read: true,
-            write: true,
-            ..Microinstruction::nop()
-        }];
+        let prog =
+            vec![Microinstruction { read: true, write: true, ..Microinstruction::nop() }];
         assert!(validate_microcode(&prog).is_err());
     }
 

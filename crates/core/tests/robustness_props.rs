@@ -37,9 +37,8 @@ fn arb_progfsm() -> impl Strategy<Value = Vec<FsmInstruction>> {
 }
 
 fn arb_geometry() -> impl Strategy<Value = MemGeometry> {
-    (1u64..12, 1u8..3, 1u8..3).prop_map(|(words, width, ports)| {
-        MemGeometry::new(words, width, ports)
-    })
+    (1u64..12, 1u8..3, 1u8..3)
+        .prop_map(|(words, width, ports)| MemGeometry::new(words, width, ports))
 }
 
 proptest! {

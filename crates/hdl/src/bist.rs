@@ -67,8 +67,7 @@ pub fn emit_datapath(geometry: &MemGeometry, module_name: &str) -> Module {
     // Background pattern decode.
     let mut bg_expr = format!("{w}'d{}", backgrounds[0].value());
     for (i, bg) in backgrounds.iter().enumerate().skip(1).rev() {
-        bg_expr =
-            format!("(bg_idx == {bgw}'d{i}) ? {w}'d{} : ({bg_expr})", bg.value());
+        bg_expr = format!("(bg_idx == {bgw}'d{i}) ? {w}'d{} : ({bg_expr})", bg.value());
     }
     m.assign("bg_word", bg_expr);
 

@@ -86,11 +86,8 @@ mod tests {
 
     #[test]
     fn march_c_controller_lints_clean() {
-        let m = emit_hardwired(
-            &library::march_c(),
-            HardwiredCaps::default(),
-            "march_c_ctrl",
-        );
+        let m =
+            emit_hardwired(&library::march_c(), HardwiredCaps::default(), "march_c_ctrl");
         assert_clean(&m);
         let text = m.emit();
         assert!(text.contains("module march_c_ctrl"));
@@ -117,10 +114,7 @@ mod tests {
     #[test]
     fn every_library_algorithm_emits_clean_rtl() {
         for t in library::all() {
-            let name = format!(
-                "hw_{}",
-                t.name().replace(['-', '+'], "_")
-            );
+            let name = format!("hw_{}", t.name().replace(['-', '+'], "_"));
             let m = emit_hardwired(&t, HardwiredCaps::default(), &name);
             assert_clean(&m);
         }
@@ -129,7 +123,9 @@ mod tests {
     #[test]
     fn reset_state_is_the_first_op_state() {
         let m = emit_hardwired(&library::mats(), HardwiredCaps::default(), "x");
-        assert!(m.emit().contains("RESET_STATE = 4'd1")
-            || m.emit().contains("RESET_STATE = 3'd1"));
+        assert!(
+            m.emit().contains("RESET_STATE = 4'd1")
+                || m.emit().contains("RESET_STATE = 3'd1")
+        );
     }
 }

@@ -46,6 +46,6 @@ pub use expr::cover_to_verilog;
 pub use hardwired::emit_hardwired;
 pub use lint::{assert_clean, identifiers, lint, LintIssue};
 pub use microcode::{emit_microcode, CTRL_OUTPUTS};
-pub use progfsm::emit_progfsm;
 pub use module::{Item, LocalParam, Module, Net, NetKind, Port, PortDir};
+pub use progfsm::emit_progfsm;
 pub use testbench::{emit_testbench, program_scan_image};

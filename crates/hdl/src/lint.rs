@@ -55,9 +55,32 @@ impl fmt::Display for LintIssue {
 }
 
 const KEYWORDS: &[&str] = &[
-    "always", "assign", "begin", "case", "casez", "default", "else", "end", "endcase",
-    "endmodule", "for", "if", "initial", "input", "localparam", "module", "negedge",
-    "or", "output", "posedge", "reg", "wire", "integer", "forever", "while", "repeat",
+    "always",
+    "assign",
+    "begin",
+    "case",
+    "casez",
+    "default",
+    "else",
+    "end",
+    "endcase",
+    "endmodule",
+    "for",
+    "if",
+    "initial",
+    "input",
+    "localparam",
+    "module",
+    "negedge",
+    "or",
+    "output",
+    "posedge",
+    "reg",
+    "wire",
+    "integer",
+    "forever",
+    "while",
+    "repeat",
 ];
 
 /// Lints a module, returning all issues found (empty = clean).
@@ -84,7 +107,9 @@ pub fn lint(module: &Module) -> Vec<LintIssue> {
     let declared = declared;
 
     let mut used: BTreeSet<String> = BTreeSet::new();
-    let check = |text: &str, context: &str, used: &mut BTreeSet<String>,
+    let check = |text: &str,
+                 context: &str,
+                 used: &mut BTreeSet<String>,
                  issues: &mut Vec<LintIssue>| {
         for ident in identifiers(text) {
             used.insert(ident.clone());
@@ -290,7 +315,11 @@ mod tests {
     #[test]
     fn instance_connections_are_checked() {
         let mut m = clean_module();
-        m.instance("child", "u0", vec![("clk".into(), "clk".into()), ("d".into(), "nope".into())]);
+        m.instance(
+            "child",
+            "u0",
+            vec![("clk".into(), "clk".into()), ("d".into(), "nope".into())],
+        );
         assert!(lint(&m)
             .iter()
             .any(|i| matches!(i, LintIssue::Undeclared { name, .. } if name == "nope")));

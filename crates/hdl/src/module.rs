@@ -150,7 +150,12 @@ impl Module {
 
     /// Declares an unpacked array (memory) reg.
     pub fn memory(&mut self, width: u32, depth: u64, name: impl Into<String>) {
-        self.nets.push(Net { kind: NetKind::Reg, width, depth: Some(depth), name: name.into() });
+        self.nets.push(Net {
+            kind: NetKind::Reg,
+            width,
+            depth: Some(depth),
+            name: name.into(),
+        });
     }
 
     /// Declares a localparam.
@@ -164,7 +169,12 @@ impl Module {
     }
 
     /// Adds a clocked always block.
-    pub fn always(&mut self, clock: impl Into<String>, reset_n: Option<String>, body: Vec<String>) {
+    pub fn always(
+        &mut self,
+        clock: impl Into<String>,
+        reset_n: Option<String>,
+        body: Vec<String>,
+    ) {
         self.items.push(Item::Always { clock: clock.into(), reset_n, body });
     }
 
@@ -309,10 +319,7 @@ mod tests {
         m.always(
             "clk",
             Some("rst_n".into()),
-            vec![
-                "if (!rst_n) q <= 4'd0;".into(),
-                "else q <= q + 4'd1;".into(),
-            ],
+            vec!["if (!rst_n) q <= 4'd0;".into(), "else q <= q + 4'd1;".into()],
         );
         m.assign("count", "q");
         m

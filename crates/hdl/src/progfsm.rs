@@ -53,13 +53,9 @@ pub fn emit_progfsm(z: usize, module_name: &str) -> Module {
     }
 
     m.localparam("Z", format!("{iw}'d{z}"));
-    for (name, v) in [
-        ("ST_IDLE", 0u8),
-        ("ST_RESET", 1),
-        ("ST_RW0", 2),
-        ("ST_RW3", 5),
-        ("ST_DONE", 6),
-    ] {
+    for (name, v) in
+        [("ST_IDLE", 0u8), ("ST_RESET", 1), ("ST_RW0", 2), ("ST_RW3", 5), ("ST_DONE", 6)]
+    {
         m.localparam(name, format!("3'd{v}"));
     }
 
@@ -85,7 +81,10 @@ pub fn emit_progfsm(z: usize, module_name: &str) -> Module {
     m.assign("inst", "buffer[idx*8 +: 8]");
     m.assign("fetching", "(state == ST_IDLE) & !done_r & (len != 0)");
     m.assign("special", "inst[3]");
-    m.assign("next_idx", format!("(idx + {iw}'d1 >= len[{}:0]) ? {iw}'d0 : idx + {iw}'d1", iw - 1));
+    m.assign(
+        "next_idx",
+        format!("(idx + {iw}'d1 >= len[{}:0]) ? {iw}'d0 : idx + {iw}'d1", iw - 1),
+    );
 
     m.comment("component operation tables minimized from Eq. 2 (SM0..SM7)");
     for kk in 0..4usize {
@@ -227,7 +226,9 @@ mod tests {
             .expect("op_read[0] emitted");
         // f(mode) = mode != 0 → minimized to inst[0] | inst[1] | inst[2]
         assert!(
-            line.contains("inst[0]") && line.contains("inst[1]") && line.contains("inst[2]"),
+            line.contains("inst[0]")
+                && line.contains("inst[1]")
+                && line.contains("inst[2]"),
             "{line}"
         );
     }

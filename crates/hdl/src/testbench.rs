@@ -76,7 +76,8 @@ pub fn emit_testbench(
     let _ = writeln!(s, "    wire scan_out;");
     let _ = writeln!(s, "    wire [{}:0] mem_addr;", aw - 1);
     let _ = writeln!(s, "    wire [{}:0] mem_wdata;", w - 1);
-    let _ = writeln!(s, "    wire mem_we, mem_re, fail, failed_sticky, pause_req, test_done;");
+    let _ =
+        writeln!(s, "    wire mem_we, mem_re, fail, failed_sticky, pause_req, test_done;");
     let _ = writeln!(s, "    wire [{}:0] mem_port;", pw - 1);
     let _ = writeln!(s, "    reg [{}:0] mem_rdata;", w - 1);
     let _ = writeln!(s);
@@ -89,7 +90,8 @@ pub fn emit_testbench(
     let _ = writeln!(s);
     let _ = writeln!(s, "    {top_module} dut (");
     let _ = writeln!(s, "        .clk(clk), .rst_n(rst_n),");
-    let _ = writeln!(s, "        .scan_en(scan_en), .scan_in(scan_in), .scan_out(scan_out),");
+    let _ =
+        writeln!(s, "        .scan_en(scan_en), .scan_in(scan_in), .scan_out(scan_out),");
     let _ = writeln!(s, "        .mem_addr(mem_addr), .mem_wdata(mem_wdata),");
     let _ = writeln!(s, "        .mem_we(mem_we), .mem_re(mem_re), .mem_port(mem_port),");
     let _ = writeln!(s, "        .mem_rdata(mem_rdata),");
@@ -99,7 +101,11 @@ pub fn emit_testbench(
     let _ = writeln!(s);
     let _ = writeln!(s, "    always #5 clk = ~clk;");
     let _ = writeln!(s);
-    let _ = writeln!(s, "    // program image: {} instructions in a Z={z} store", program.len());
+    let _ = writeln!(
+        s,
+        "    // program image: {} instructions in a Z={z} store",
+        program.len()
+    );
     let _ = writeln!(s, "    localparam SCAN_BITS = {};", image.len());
     let mut bits = String::with_capacity(image.len());
     for b in &image {
@@ -166,9 +172,7 @@ mod tests {
                     word |= 1 << b;
                 }
             }
-            by_hand.push(
-                Microinstruction::decode(mbist_rtl::Bits::new(10, word)).unwrap(),
-            );
+            by_hand.push(Microinstruction::decode(mbist_rtl::Bits::new(10, word)).unwrap());
         }
         while by_hand.last() == Some(&Microinstruction::nop()) {
             by_hand.pop();
@@ -186,8 +190,7 @@ mod tests {
     #[test]
     fn testbench_contains_the_essentials() {
         let g = MemGeometry::word_oriented(32, 8);
-        let tb =
-            emit_testbench(&library::march_c(), &g, 16, "mbist_top").unwrap();
+        let tb = emit_testbench(&library::march_c(), &g, 16, "mbist_top").unwrap();
         assert!(tb.contains("module tb;"));
         assert!(tb.contains("mbist_top dut ("));
         assert!(tb.contains("reg [7:0] mem_model [0:31];"));
@@ -201,10 +204,7 @@ mod tests {
     fn testbench_image_is_binary_of_the_right_length() {
         let g = MemGeometry::bit_oriented(8);
         let tb = emit_testbench(&library::mats_plus(), &g, 8, "top").unwrap();
-        let line = tb
-            .lines()
-            .find(|l| l.contains("reg [SCAN_BITS-1:0] image"))
-            .unwrap();
+        let line = tb.lines().find(|l| l.contains("reg [SCAN_BITS-1:0] image")).unwrap();
         let bits: &str = line.split("'b").nth(1).unwrap().trim_end_matches(';');
         assert_eq!(bits.len(), 80);
         assert!(bits.chars().all(|c| c == '0' || c == '1'));

@@ -175,10 +175,7 @@ mod tests {
     use super::*;
 
     fn cover(inputs: u8, cubes: &[&str]) -> Cover {
-        Cover::from_cubes(
-            inputs,
-            cubes.iter().map(|s| Cube::parse(s).unwrap()).collect(),
-        )
+        Cover::from_cubes(inputs, cubes.iter().map(|s| Cube::parse(s).unwrap()).collect())
     }
 
     #[test]
@@ -224,10 +221,7 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let f: Cover = ["10-", "01-"]
-            .iter()
-            .map(|s| Cube::parse(s).unwrap())
-            .collect();
+        let f: Cover = ["10-", "01-"].iter().map(|s| Cube::parse(s).unwrap()).collect();
         assert_eq!(f.inputs(), 3);
         assert_eq!(f.cube_count(), 2);
     }

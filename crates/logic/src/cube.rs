@@ -125,7 +125,11 @@ impl Cube {
         if diff.count_ones() != 1 {
             return None;
         }
-        Some(Cube { inputs: self.inputs, care: self.care & !diff, value: self.value & !diff })
+        Some(Cube {
+            inputs: self.inputs,
+            care: self.care & !diff,
+            value: self.value & !diff,
+        })
     }
 
     /// Returns a copy with input `index` made don't-care.
@@ -165,7 +169,8 @@ impl Cube {
     /// Iterates over all minterms of this cube. Intended for small cubes in
     /// tests; cost is `2^(inputs - literals)`.
     pub fn minterms(&self) -> impl Iterator<Item = u64> + '_ {
-        let free: Vec<u8> = (0..self.inputs).filter(|&i| self.care & (1 << i) == 0).collect();
+        let free: Vec<u8> =
+            (0..self.inputs).filter(|&i| self.care & (1 << i) == 0).collect();
         let count = 1u64 << free.len();
         let base = self.value;
         (0..count).map(move |combo| {

@@ -158,8 +158,7 @@ fn select_cover(tt: &TruthTable, primes: &[Cube]) -> Cover {
     let mut i = 0;
     while i < keep.len() {
         let candidate = keep[i];
-        let others: Vec<usize> =
-            keep.iter().copied().filter(|&k| k != candidate).collect();
+        let others: Vec<usize> = keep.iter().copied().filter(|&k| k != candidate).collect();
         let redundant = on
             .iter()
             .filter(|&&m| primes[candidate].contains(m))
@@ -283,10 +282,7 @@ mod tests {
                     .map(|(_, c)| *c)
                     .collect(),
             );
-            assert!(
-                !tt.is_implemented_by(&reduced),
-                "cube {skip} of {f} is redundant"
-            );
+            assert!(!tt.is_implemented_by(&reduced), "cube {skip} of {f} is redundant");
         }
     }
 

@@ -104,20 +104,12 @@ impl TruthTable {
 
     /// Minterms whose output must be 1.
     pub fn on_set(&self) -> impl Iterator<Item = u64> + '_ {
-        self.spec
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s == Spec::On)
-            .map(|(m, _)| m as u64)
+        self.spec.iter().enumerate().filter(|(_, &s)| s == Spec::On).map(|(m, _)| m as u64)
     }
 
     /// Minterms whose output is unspecified.
     pub fn dc_set(&self) -> impl Iterator<Item = u64> + '_ {
-        self.spec
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s == Spec::Dc)
-            .map(|(m, _)| m as u64)
+        self.spec.iter().enumerate().filter(|(_, &s)| s == Spec::Dc).map(|(m, _)| m as u64)
     }
 
     /// Number of `On` minterms.

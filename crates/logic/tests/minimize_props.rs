@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use mbist_logic::{
-    estimate_gates, minimize, prime_implicants, Cover, Spec, TruthTable,
-};
+use mbist_logic::{estimate_gates, minimize, prime_implicants, Cover, Spec, TruthTable};
 
 fn arb_table(inputs: u8) -> impl Strategy<Value = TruthTable> {
     prop::collection::vec(0u8..3, 1usize << inputs).prop_map(move |cells| {

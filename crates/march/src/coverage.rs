@@ -4,9 +4,10 @@ use std::fmt;
 
 use mbist_mem::{class_universe, FaultClass, MemGeometry, UniverseSpec};
 
-use crate::expand::{expand_with, ExpandOptions};
-use crate::fanout::detect_universe;
+use crate::expand::ExpandOptions;
+use crate::fanout::detect_universe_trace;
 use crate::test::MarchTest;
+use crate::trace::{CompiledTrace, SimEngine};
 
 /// Coverage of one fault class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +54,9 @@ pub struct CoverageOptions {
     /// (1 = serial), `None` uses the host's available parallelism. The
     /// report is bit-for-bit identical for every setting.
     pub jobs: Option<usize>,
+    /// Fault-simulation engine ([`SimEngine::Sliced`] by default). The
+    /// report is bit-for-bit identical for every engine.
+    pub engine: SimEngine,
 }
 
 impl Default for CoverageOptions {
@@ -63,6 +67,7 @@ impl Default for CoverageOptions {
             max_faults_per_class: Some(512),
             expand: None,
             jobs: None,
+            engine: SimEngine::default(),
         }
     }
 }
@@ -117,13 +122,15 @@ impl fmt::Display for CoverageReport {
 }
 
 /// Evaluates the fault coverage of `test` on `geometry` by serial fault
-/// simulation: one fresh array per fault, detected iff any checked read
-/// miscompares.
+/// simulation: detected iff any checked read miscompares.
 ///
-/// The step stream is expanded once and replayed with early exit at the
-/// first miscompare; the per-class universes fan out across worker threads
-/// ([`CoverageOptions::jobs`]) with a deterministic in-order reduction, so
-/// the report does not depend on the worker count.
+/// The step stream is expanded and compiled into a [`CompiledTrace`] once
+/// for all classes; each fault then replays only the accesses touching its
+/// support set ([`SimEngine::Sliced`], the default) or the whole stream on
+/// a per-worker scratch array ([`SimEngine::Full`]). The per-class
+/// universes fan out across worker threads ([`CoverageOptions::jobs`])
+/// with a deterministic in-order reduction, so the report depends on
+/// neither the worker count nor the engine.
 ///
 /// # Examples
 ///
@@ -148,11 +155,9 @@ pub fn evaluate_coverage(
     geometry: &MemGeometry,
     options: &CoverageOptions,
 ) -> CoverageReport {
-    let expand_opts = options
-        .expand
-        .clone()
-        .unwrap_or_else(|| ExpandOptions::for_geometry(geometry));
-    let steps = expand_with(test, geometry, &expand_opts);
+    let expand_opts =
+        options.expand.clone().unwrap_or_else(|| ExpandOptions::for_geometry(geometry));
+    let trace = CompiledTrace::compile(test, geometry, &expand_opts);
 
     let mut rows = Vec::new();
     for &class in &options.classes {
@@ -161,7 +166,7 @@ pub fn evaluate_coverage(
             universe = stride_sample(universe, max);
         }
         let total = universe.len();
-        let flags = detect_universe(geometry, &steps, &universe, options.jobs);
+        let flags = detect_universe_trace(&trace, &universe, options.jobs, options.engine);
         let detected = flags.iter().filter(|&&d| d).count();
         rows.push(ClassCoverage { class, detected, total });
     }
@@ -316,6 +321,27 @@ mod tests {
         let cp = evaluate_coverage(&library::march_c_plus(), &g, &opts);
         assert_eq!(c.row(FaultClass::Retention).unwrap().detected, 0);
         assert!(cp.row(FaultClass::Retention).unwrap().is_complete());
+    }
+
+    #[test]
+    fn engines_produce_identical_reports() {
+        let g = MemGeometry::bit_oriented(16);
+        for test in [library::march_c(), library::march_c_plus_plus()] {
+            let full = evaluate_coverage(
+                &test,
+                &g,
+                &CoverageOptions { engine: SimEngine::Full, ..CoverageOptions::default() },
+            );
+            let sliced = evaluate_coverage(
+                &test,
+                &g,
+                &CoverageOptions {
+                    engine: SimEngine::Sliced,
+                    ..CoverageOptions::default()
+                },
+            );
+            assert_eq!(full, sliced, "{} report must not depend on engine", test.name());
+        }
     }
 
     #[test]

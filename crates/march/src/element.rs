@@ -276,7 +276,8 @@ mod tests {
         let order_only =
             e.complemented(ComplementMask { order: true, data: false, compare: false });
         assert_eq!(order_only.to_string(), "⇓(r0,w1)");
-        let full = e.complemented(ComplementMask { order: true, data: true, compare: true });
+        let full =
+            e.complemented(ComplementMask { order: true, data: true, compare: true });
         assert_eq!(full.to_string(), "⇓(r1,w0)");
         let data_only =
             e.complemented(ComplementMask { order: false, data: true, compare: false });

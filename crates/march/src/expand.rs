@@ -126,7 +126,11 @@ fn expand_one_pass(
 /// Counts the bus cycles (excluding pauses) of an expansion without
 /// materializing it: `ops_per_cell × words × backgrounds × ports`.
 #[must_use]
-pub fn cycle_count(test: &MarchTest, geometry: &MemGeometry, options: &ExpandOptions) -> u64 {
+pub fn cycle_count(
+    test: &MarchTest,
+    geometry: &MemGeometry,
+    options: &ExpandOptions,
+) -> u64 {
     test.ops_per_cell() as u64
         * geometry.words()
         * options.backgrounds.len() as u64
@@ -163,8 +167,7 @@ mod tests {
         let g = MemGeometry::bit_oriented(4);
         let steps = expand(&library::mats_plus(), &g);
         // 4 init + 8 up-element steps, then ⇓(r1,w0): 3,3,2,2,1,1,0,0
-        let tail: Vec<u64> =
-            steps[12..].iter().map(|s| s.as_bus().unwrap().addr).collect();
+        let tail: Vec<u64> = steps[12..].iter().map(|s| s.as_bus().unwrap().addr).collect();
         assert_eq!(tail, vec![3, 3, 2, 2, 1, 1, 0, 0]);
     }
 
@@ -172,10 +175,7 @@ mod tests {
     fn pauses_appear_in_stream() {
         let g = MemGeometry::bit_oriented(2);
         let steps = expand(&library::march_c_plus(), &g);
-        let pauses = steps
-            .iter()
-            .filter(|s| matches!(s, TestStep::Pause { .. }))
-            .count();
+        let pauses = steps.iter().filter(|s| matches!(s, TestStep::Pause { .. })).count();
         assert_eq!(pauses, 2);
     }
 
@@ -219,10 +219,8 @@ mod tests {
     #[should_panic(expected = "background width mismatch")]
     fn mismatched_background_panics() {
         let g = MemGeometry::word_oriented(4, 8);
-        let opts = ExpandOptions {
-            backgrounds: vec![Bits::zero(4)],
-            ports: vec![PortId(0)],
-        };
+        let opts =
+            ExpandOptions { backgrounds: vec![Bits::zero(4)], ports: vec![PortId(0)] };
         let _ = expand_with(&library::march_c(), &g, &opts);
     }
 }

@@ -1,11 +1,17 @@
 //! Parallel fan-out of serial fault simulation over a fault universe.
 //!
-//! Serial fault simulation is embarrassingly parallel: each fault gets a
-//! fresh array and replays the same pre-expanded step stream, with no
-//! shared mutable state. This module chunks a universe across scoped
-//! worker threads (`std::thread::scope`, no external dependencies) and
-//! reduces the per-chunk verdicts back **in universe order**, so the result
-//! is bit-for-bit identical regardless of worker count.
+//! Serial fault simulation is embarrassingly parallel: each fault replays
+//! the same pre-compiled trace with no shared mutable state. This module
+//! chunks a universe across scoped worker threads (`std::thread::scope`,
+//! no external dependencies) sharing one immutable [`CompiledTrace`] by
+//! reference, and reduces the per-chunk verdicts back **in universe
+//! order**, so the result is bit-for-bit identical regardless of worker
+//! count or engine ([`SimEngine`]).
+//!
+//! Faults taking the full-replay path (the [`SimEngine::Full`] engine, or
+//! a sliced-engine fallback for address-decoder faults) reuse one scratch
+//! [`MemoryArray`] per worker, reset between faults, instead of paying an
+//! allocation per fault.
 //!
 //! Workers are panic-isolated: a chunk whose worker dies (however it dies)
 //! is transparently re-simulated serially on the reducing thread, so one
@@ -18,7 +24,7 @@ use std::thread;
 
 use mbist_mem::{FaultKind, MemGeometry, MemoryArray, TestStep};
 
-use crate::runner::run_steps_detect;
+use crate::trace::{CompiledTrace, SimEngine};
 
 /// Below this many faults per worker, thread spawn overhead outweighs the
 /// simulation work; the chunking rounds worker count down accordingly.
@@ -35,42 +41,58 @@ pub(crate) fn resolve_jobs(jobs: Option<usize>) -> usize {
     }
 }
 
-/// Simulates every fault in `universe` against `steps`, returning one
-/// detection flag per fault, in universe order.
-///
-/// Each fault is simulated on a fresh single-fault [`MemoryArray`] with the
-/// early-exit replay ([`run_steps_detect`]), exactly as the serial loop
-/// would — parallelism only changes wall-clock time, never the flags.
-///
-/// # Panics
-///
-/// Panics if a fault in `universe` does not fit `geometry` (generated
-/// universes always fit).
+/// Compiles `steps` once and simulates every fault in `universe` against
+/// the trace, returning one detection flag per fault, in universe order.
 pub(crate) fn detect_universe(
     geometry: &MemGeometry,
     steps: &[TestStep],
     universe: &[FaultKind],
     jobs: Option<usize>,
+    engine: SimEngine,
 ) -> Vec<bool> {
-    detect_universe_resilient(geometry, steps, universe, jobs, None)
+    let trace = CompiledTrace::from_steps(*geometry, steps);
+    detect_universe_trace(&trace, universe, jobs, engine)
 }
 
-/// [`detect_universe`] with a test-only poison hook: while the counter is
-/// positive, each worker-side fault simulation decrements it and panics —
-/// modeling a worker thread dying mid-chunk. The hook is scoped (no global
-/// state), so concurrently running tests cannot poison each other.
-fn detect_universe_resilient(
-    geometry: &MemGeometry,
-    steps: &[TestStep],
+/// Simulates every fault in `universe` against a pre-compiled trace
+/// (shared by reference across the workers), returning one detection flag
+/// per fault, in universe order.
+///
+/// Parallelism and engine only change wall-clock time, never the flags.
+///
+/// # Panics
+///
+/// Panics if a fault in `universe` does not fit the trace geometry
+/// (generated universes always fit).
+pub(crate) fn detect_universe_trace(
+    trace: &CompiledTrace,
     universe: &[FaultKind],
     jobs: Option<usize>,
+    engine: SimEngine,
+) -> Vec<bool> {
+    detect_universe_resilient(trace, universe, jobs, engine, None)
+}
+
+/// [`detect_universe_trace`] with a test-only poison hook: while the
+/// counter is positive, each worker-side fault simulation decrements it and
+/// panics — modeling a worker thread dying mid-chunk. The hook is scoped
+/// (no global state), so concurrently running tests cannot poison each
+/// other.
+fn detect_universe_resilient(
+    trace: &CompiledTrace,
+    universe: &[FaultKind],
+    jobs: Option<usize>,
+    engine: SimEngine,
     poison: Option<&AtomicUsize>,
 ) -> Vec<bool> {
-    let workers = resolve_jobs(jobs)
-        .min(universe.len().div_ceil(MIN_FAULTS_PER_WORKER))
-        .max(1);
+    let workers =
+        resolve_jobs(jobs).min(universe.len().div_ceil(MIN_FAULTS_PER_WORKER)).max(1);
     if workers <= 1 {
-        return universe.iter().map(|&f| detect_one(geometry, steps, f)).collect();
+        let mut scratch = None;
+        return universe
+            .iter()
+            .map(|&f| detect_one(trace, f, engine, &mut scratch))
+            .collect();
     }
     let chunk = universe.len().div_ceil(workers);
     thread::scope(|scope| {
@@ -79,11 +101,12 @@ fn detect_universe_resilient(
             .map(|faults| {
                 let handle = scope.spawn(move || {
                     catch_unwind(AssertUnwindSafe(|| {
+                        let mut scratch = None;
                         faults
                             .iter()
                             .map(|&f| {
                                 maybe_trip(poison);
-                                detect_one(geometry, steps, f)
+                                detect_one(trace, f, engine, &mut scratch)
                             })
                             .collect::<Vec<bool>>()
                     }))
@@ -100,7 +123,11 @@ fn detect_universe_resilient(
                 // isolation): degrade to a serial re-run of its chunk so
                 // the report stays complete and bit-identical.
                 Ok(None) | Err(_) => {
-                    faults.iter().map(|&f| detect_one(geometry, steps, f)).collect()
+                    let mut scratch = None;
+                    faults
+                        .iter()
+                        .map(|&f| detect_one(trace, f, engine, &mut scratch))
+                        .collect()
                 }
             })
             .collect()
@@ -119,10 +146,21 @@ fn maybe_trip(poison: Option<&AtomicUsize>) {
     }
 }
 
-fn detect_one(geometry: &MemGeometry, steps: &[TestStep], fault: FaultKind) -> bool {
-    let mut mem = MemoryArray::with_fault(*geometry, fault)
-        .expect("generated universes fit the geometry");
-    run_steps_detect(&mut mem, steps)
+/// One fault through the selected engine; the lazily-created scratch array
+/// is reused (reset between faults) whenever a full replay is needed.
+fn detect_one(
+    trace: &CompiledTrace,
+    fault: FaultKind,
+    engine: SimEngine,
+    scratch: &mut Option<MemoryArray>,
+) -> bool {
+    if engine == SimEngine::Sliced {
+        if let Some(flag) = trace.detect_sliced(fault) {
+            return flag;
+        }
+    }
+    let mem = scratch.get_or_insert_with(|| MemoryArray::new(trace.geometry()));
+    trace.detect_full(fault, mem)
 }
 
 #[cfg(test)]
@@ -140,24 +178,44 @@ mod tests {
     }
 
     #[test]
-    fn worker_count_does_not_change_flags() {
+    fn worker_count_and_engine_do_not_change_flags() {
         let g = MemGeometry::bit_oriented(16);
         let steps = expand(&library::march_c(), &g);
         let spec = UniverseSpec::default();
         for class in [FaultClass::StuckAt, FaultClass::CouplingIdempotent] {
             let universe = class_universe(&g, class, &spec);
-            let serial = detect_universe(&g, &steps, &universe, Some(1));
-            for jobs in [Some(2), Some(5), None] {
-                assert_eq!(detect_universe(&g, &steps, &universe, jobs), serial);
+            let serial = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full);
+            for engine in [SimEngine::Full, SimEngine::Sliced] {
+                for jobs in [Some(1), Some(2), Some(5), None] {
+                    assert_eq!(
+                        detect_universe(&g, &steps, &universe, jobs, engine),
+                        serial,
+                        "jobs={jobs:?} engine={engine:?}"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn mixed_universe_falls_back_per_fault() {
+        // Address-decoder faults interleaved with sliceable ones: the
+        // sliced engine must route each fault to the right path.
+        let g = MemGeometry::bit_oriented(16);
+        let steps = expand(&library::march_c(), &g);
+        let spec = UniverseSpec::default();
+        let mut universe = class_universe(&g, FaultClass::AddressDecoder, &spec);
+        universe.extend(class_universe(&g, FaultClass::StuckOpen, &spec));
+        let full = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full);
+        let sliced = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Sliced);
+        assert_eq!(full, sliced);
     }
 
     #[test]
     fn empty_universe_is_fine() {
         let g = MemGeometry::bit_oriented(4);
         let steps = expand(&library::mats(), &g);
-        assert!(detect_universe(&g, &steps, &[], Some(8)).is_empty());
+        assert!(detect_universe(&g, &steps, &[], Some(8), SimEngine::Sliced).is_empty());
     }
 
     #[test]
@@ -166,12 +224,18 @@ mod tests {
         let steps = expand(&library::march_c(), &g);
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
         assert!(universe.len() >= 16, "need enough faults for several chunks");
-        let reference = detect_universe(&g, &steps, &universe, Some(1));
+        let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Sliced);
+        let trace = CompiledTrace::from_steps(g, &steps);
 
         // One transient worker death: the first simulated fault panics.
         let poison = AtomicUsize::new(1);
-        let flags =
-            detect_universe_resilient(&g, &steps, &universe, Some(4), Some(&poison));
+        let flags = detect_universe_resilient(
+            &trace,
+            &universe,
+            Some(4),
+            SimEngine::Sliced,
+            Some(&poison),
+        );
         assert_eq!(flags, reference, "degraded run must be bit-identical");
         assert_eq!(poison.load(Ordering::SeqCst), 0, "poison actually fired");
     }
@@ -181,13 +245,19 @@ mod tests {
         let g = MemGeometry::bit_oriented(16);
         let steps = expand(&library::march_c(), &g);
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
-        let reference = detect_universe(&g, &steps, &universe, Some(1));
+        let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full);
+        let trace = CompiledTrace::from_steps(g, &steps);
 
         // Kill the first fault of (up to) every chunk: several workers die,
         // every chunk is re-run serially, the report is still complete.
         let poison = AtomicUsize::new(universe.len());
-        let flags =
-            detect_universe_resilient(&g, &steps, &universe, Some(4), Some(&poison));
+        let flags = detect_universe_resilient(
+            &trace,
+            &universe,
+            Some(4),
+            SimEngine::Full,
+            Some(&poison),
+        );
         assert_eq!(flags, reference);
     }
 }

@@ -11,6 +11,9 @@
 //!   BIST controller is verified against,
 //! - [`run_steps`] / [`detects`]: executing streams against a fault-
 //!   injectable [`MemoryArray`](mbist_mem::MemoryArray),
+//! - [`CompiledTrace`] / [`SimEngine`]: sliced differential fault
+//!   simulation — compile a stream once, replay each address-local fault
+//!   against only the accesses touching its support set,
 //! - [`evaluate_coverage`]: per-fault-class coverage by serial fault
 //!   simulation,
 //! - [`run_transparent`]: Nicolaidis-style content-preserving testing.
@@ -41,8 +44,10 @@ pub mod neighborhood;
 mod notation;
 mod op;
 mod runner;
+mod sliced;
 pub mod synth;
 mod test;
+mod trace;
 pub mod transparent;
 
 pub use background::{standard_background_count, standard_backgrounds};
@@ -54,4 +59,5 @@ pub use op::MarchOp;
 pub use runner::{detects, fault_free_clean, run_steps, run_steps_detect, RunReport};
 pub use synth::{synthesize_march, SynthesisOptions, SynthesizedMarch};
 pub use test::{MarchTest, SymmetricSplit};
+pub use trace::{CompiledTrace, SimEngine};
 pub use transparent::{is_transparent_compatible, run_transparent, TransparentOutcome};

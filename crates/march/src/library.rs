@@ -71,10 +71,7 @@ pub fn march_c_plus_plus() -> MarchTest {
 /// 15n, adds linked CFin coverage.
 #[must_use]
 pub fn march_a() -> MarchTest {
-    parse(
-        "march-a",
-        "m(w0); u(r0,w1,w0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0)",
-    )
+    parse("march-a", "m(w0); u(r0,w1,w0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0)")
 }
 
 /// March A+ — March A with the data-retention tail (paper §3).
@@ -156,10 +153,7 @@ pub fn pmovi() -> MarchTest {
 /// 13n, unlinked + some linked fault coverage.
 #[must_use]
 pub fn march_u() -> MarchTest {
-    parse(
-        "march-u",
-        "m(w0); u(r0,w1,r1,w0); u(r0,w1); d(r1,w0,r0,w1); d(r1,w0)",
-    )
+    parse("march-u", "m(w0); u(r0,w1,r1,w0); u(r0,w1); d(r1,w0,r0,w1); d(r1,w0)")
 }
 
 /// March LR:
@@ -167,10 +161,7 @@ pub fn march_u() -> MarchTest {
 /// 14n, targets realistic linked faults.
 #[must_use]
 pub fn march_lr() -> MarchTest {
-    parse(
-        "march-lr",
-        "m(w0); d(r0,w1); u(r1,w0,r0,w1); u(r1,w0); u(r0,w1,r1,w0); u(r0)",
-    )
+    parse("march-lr", "m(w0); d(r0,w1); u(r1,w0,r0,w1); u(r1,w0); u(r0,w1,r1,w0); u(r0)")
 }
 
 /// March SS:

@@ -159,10 +159,8 @@ mod tests {
             ..CoverageOptions::default()
         };
         let march = crate::coverage::evaluate_coverage(&library::march_c(), &g, &options);
-        let combined: Vec<TestStep> = galpat(&g, true)
-            .into_iter()
-            .chain(galpat(&g, false))
-            .collect();
+        let combined: Vec<TestStep> =
+            galpat(&g, true).into_iter().chain(galpat(&g, false)).collect();
         let gal = evaluate_stream_coverage("galpat", &combined, &g, &options);
         let m = march.rows[0].detected;
         let gp = gal.rows[0].detected;

@@ -159,12 +159,8 @@ mod tests {
     #[test]
     fn roundtrips_library_tests() {
         for t in crate::library::all() {
-            let text: String = t
-                .items()
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("; ");
+            let text: String =
+                t.items().iter().map(ToString::to_string).collect::<Vec<_>>().join("; ");
             let reparsed = MarchTest::parse(t.name(), &text).unwrap();
             assert_eq!(reparsed.items(), t.items(), "roundtrip failed for {}", t.name());
         }

@@ -67,7 +67,9 @@ impl FromStr for MarchOp {
             "r0" => Ok(MarchOp::Read(false)),
             "r1" => Ok(MarchOp::Read(true)),
             other => Err(MarchError::Parse {
-                message: format!("unknown march operation `{other}` (expected r0/r1/w0/w1)"),
+                message: format!(
+                    "unknown march operation `{other}` (expected r0/r1/w0/w1)"
+                ),
             }),
         }
     }

@@ -130,6 +130,13 @@ pub fn run_steps_detect(mem: &mut MemoryArray, steps: &[TestStep]) -> bool {
 /// Whether `test` detects `fault` on a memory of the given geometry
 /// (serial fault simulation of a single fault).
 ///
+/// Routes through a [`CompiledTrace`](crate::trace::CompiledTrace): sliced
+/// differential replay for address-local faults, full replay otherwise —
+/// same flags as a direct [`run_steps_detect`] on a fresh single-fault
+/// array. Simulating many faults against one `(test, geometry)` pair is
+/// cheaper via an explicitly shared [`CompiledTrace`](crate::CompiledTrace)
+/// or [`evaluate_coverage`](crate::evaluate_coverage).
+///
 /// # Errors
 ///
 /// Returns the underlying error if the fault does not fit the geometry.
@@ -138,9 +145,16 @@ pub fn detects(
     geometry: &MemGeometry,
     fault: mbist_mem::FaultKind,
 ) -> Result<bool, mbist_mem::MemError> {
-    let mut mem = MemoryArray::with_fault(*geometry, fault)?;
-    let steps = expand_with(test, geometry, &ExpandOptions::for_geometry(geometry));
-    Ok(run_steps_detect(&mut mem, &steps))
+    if !fault.is_valid_for(geometry) {
+        // Same error an injection into an array of this geometry reports.
+        return MemoryArray::with_fault(*geometry, fault).map(|_| false);
+    }
+    let trace = crate::trace::CompiledTrace::compile(
+        test,
+        geometry,
+        &ExpandOptions::for_geometry(geometry),
+    );
+    Ok(trace.detect(fault))
 }
 
 /// Whether `test` is clean on a fault-free memory (no false alarms),

@@ -121,12 +121,14 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
     let total = faults.len();
     let mut evaluations = 0usize;
 
-    // Every trial expands its step stream exactly once and batch-simulates
-    // the whole fault list through the (optionally parallel) fan-out.
+    // Every trial expands and compiles its step stream exactly once and
+    // batch-simulates the whole fault list through the (optionally
+    // parallel) fan-out with the configured engine.
     let jobs = options.coverage.jobs;
+    let engine = options.coverage.engine;
     let detect_flags = |test: &MarchTest, list: &[FaultKind]| -> Vec<bool> {
         let steps = expand_with(test, &g, &expand_opts);
-        detect_universe(&g, &steps, list, jobs)
+        detect_universe(&g, &steps, list, jobs, engine)
     };
     let clean = |test: &MarchTest| -> bool {
         let mut mem = MemoryArray::new(g);
@@ -180,8 +182,7 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
                 if !clean(&trial) {
                     continue;
                 }
-                let gain =
-                    detect_flags(&trial, &undetected).iter().filter(|&&d| d).count();
+                let gain = detect_flags(&trial, &undetected).iter().filter(|&&d| d).count();
                 evaluations += undetected.len();
                 if gain > 0 && best_pair.is_none_or(|(_, _, g0)| gain > g0) {
                     best_pair = Some((a, b, gain));

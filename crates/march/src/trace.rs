@@ -1,0 +1,334 @@
+//! Compiled step traces for sliced differential fault simulation.
+//!
+//! [`CompiledTrace`] compiles an expanded step stream once per
+//! `(test, geometry)`: one fault-free golden replay produces per-address op
+//! lists with precomputed access timestamps (pause-adjusted simulated time)
+//! and golden read values. A single address-local fault is then simulated
+//! by replaying only the ops that touch its support set
+//! ([`FaultKind::support`]) against O(|support|) sparse state — see
+//! [`crate::sliced`] — instead of paying an O(words) array allocation and
+//! an O(stream) replay per fault.
+//!
+//! The differential argument: a single fault with support set S can only
+//! make the cells in S deviate from the golden trace (every fault effect
+//! reads and writes cells of S only), so every access outside S behaves
+//! exactly as the golden replay, and detection is decided by the golden
+//! miscompares (outside S) plus a sparse replay of the accesses to S.
+//! Faults without an address-local support set (address-decoder faults)
+//! fall back to the full replay, which stays available as the
+//! differential-testing oracle.
+
+use mbist_mem::{FaultKind, MemGeometry, MemoryArray, Operation, PortId, TestStep};
+
+use crate::expand::{expand_with, ExpandOptions};
+use crate::runner::run_steps_detect;
+use crate::sliced;
+use crate::test::MarchTest;
+
+/// Which fault-simulation engine a detection loop uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Full replay: one (scratch) array per fault, whole stream, early exit
+    /// at the first miscompare.
+    Full,
+    /// Sliced differential replay over the shared compiled trace, falling
+    /// back to full replay for faults without an address-local support set.
+    /// Bit-for-bit equivalent to [`SimEngine::Full`].
+    #[default]
+    Sliced,
+}
+
+/// The golden value the port's sense amplifier held before a read — the
+/// previous read on the same port, at any address.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrevRead {
+    /// Step index of that previous read.
+    pub(crate) step: u32,
+    /// Its golden (fault-free) observed value.
+    pub(crate) golden: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TraceOpKind {
+    Write(u64),
+    Read {
+        /// Expected value of a checked read (`None` = unchecked).
+        expected: Option<u64>,
+        /// The previous read on the same port (`None` = sense latch still
+        /// invalid), resolving stuck-open observations.
+        prev_read: Option<PrevRead>,
+    },
+}
+
+/// One bus access to a given word, with everything a sparse replay needs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TraceOp {
+    /// Index into the step stream (global replay order).
+    pub(crate) step: u32,
+    pub(crate) port: PortId,
+    /// Simulated time *after* the access, exactly as
+    /// [`MemoryArray::now_ns`] would report it (cycle time per access plus
+    /// all preceding pauses).
+    pub(crate) now_ns: f64,
+    pub(crate) kind: TraceOpKind,
+}
+
+/// An expanded step stream compiled for cheap per-fault replay.
+///
+/// Immutable after construction, so one trace can be shared by reference
+/// across fan-out worker threads; compiling costs one fault-free replay of
+/// the stream and is amortized over every fault simulated against it.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_march::{expand, library, CompiledTrace};
+/// use mbist_mem::{CellId, FaultKind, MemGeometry};
+///
+/// let g = MemGeometry::bit_oriented(16);
+/// let trace = CompiledTrace::from_steps(g, &expand(&library::march_c(), &g));
+/// let tf = FaultKind::Transition { cell: CellId::bit_oriented(7), rising: true };
+/// assert!(trace.detect(tf));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledTrace {
+    geometry: MemGeometry,
+    steps: Vec<TestStep>,
+    per_word: Vec<Vec<TraceOp>>,
+    /// Checked reads that fail even fault-free, as `(step, addr)`. Usually
+    /// empty; a fault-free-dirty stream detects every fault trivially.
+    golden_miscompares: Vec<(u32, u64)>,
+}
+
+impl CompiledTrace {
+    /// Compiles a step stream by running it once against a fault-free
+    /// array, recording per-word op lists, access timestamps and golden
+    /// read values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is invalid for the geometry (out-of-range
+    /// address/port, data or expectation width mismatch) — the same
+    /// conditions a direct [`MemoryArray`] replay would reject.
+    #[must_use]
+    pub fn from_steps(geometry: MemGeometry, steps: &[TestStep]) -> Self {
+        let words = usize::try_from(geometry.words()).expect("words fit usize");
+        let mut per_word: Vec<Vec<TraceOp>> = vec![Vec::new(); words];
+        let mut golden_miscompares = Vec::new();
+        let mut mem = MemoryArray::new(geometry);
+        let mut last_read: Vec<Option<PrevRead>> =
+            vec![None; usize::from(geometry.ports())];
+        for (i, step) in steps.iter().enumerate() {
+            let step_no = u32::try_from(i).expect("step count fits u32");
+            match step {
+                TestStep::Pause { ns } => mem.pause(*ns),
+                TestStep::Bus(cycle) => match cycle.op {
+                    Operation::Write(data) => {
+                        mem.write(cycle.port, cycle.addr, data);
+                        per_word[usize::try_from(cycle.addr).expect("addr fits usize")]
+                            .push(TraceOp {
+                                step: step_no,
+                                port: cycle.port,
+                                now_ns: mem.now_ns(),
+                                kind: TraceOpKind::Write(data.value()),
+                            });
+                    }
+                    Operation::Read => {
+                        let observed = mem.read(cycle.port, cycle.addr);
+                        let expected = cycle.expected.map(|e| {
+                            assert_eq!(
+                                e.width(),
+                                geometry.width(),
+                                "checked-read expectation width mismatch"
+                            );
+                            e.value()
+                        });
+                        if cycle.expected.is_some_and(|e| e != observed) {
+                            golden_miscompares.push((step_no, cycle.addr));
+                        }
+                        let port = usize::from(cycle.port.0);
+                        per_word[usize::try_from(cycle.addr).expect("addr fits usize")]
+                            .push(TraceOp {
+                                step: step_no,
+                                port: cycle.port,
+                                now_ns: mem.now_ns(),
+                                kind: TraceOpKind::Read {
+                                    expected,
+                                    prev_read: last_read[port],
+                                },
+                            });
+                        last_read[port] =
+                            Some(PrevRead { step: step_no, golden: observed.value() });
+                    }
+                },
+            }
+        }
+        Self { geometry, steps: steps.to_vec(), per_word, golden_miscompares }
+    }
+
+    /// Compiles the expanded stream of `test` on `geometry` — the common
+    /// entry point for coverage and synthesis loops.
+    #[must_use]
+    pub fn compile(
+        test: &MarchTest,
+        geometry: &MemGeometry,
+        options: &ExpandOptions,
+    ) -> Self {
+        Self::from_steps(*geometry, &expand_with(test, geometry, options))
+    }
+
+    /// The geometry the trace was compiled for.
+    #[must_use]
+    pub fn geometry(&self) -> MemGeometry {
+        self.geometry
+    }
+
+    /// The step stream the trace was compiled from (the full-replay
+    /// fallback input).
+    #[must_use]
+    pub fn steps(&self) -> &[TestStep] {
+        &self.steps
+    }
+
+    /// Whether the stream detects `fault`: sliced replay when the fault is
+    /// address-local, full replay on a fresh array otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault does not fit the trace geometry.
+    #[must_use]
+    pub fn detect(&self, fault: FaultKind) -> bool {
+        match self.detect_sliced(fault) {
+            Some(flag) => flag,
+            None => {
+                let mut scratch = MemoryArray::new(self.geometry);
+                self.detect_full(fault, &mut scratch)
+            }
+        }
+    }
+
+    /// Sliced differential detection, or `None` when the fault has no
+    /// address-local support set and only a full replay is sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault does not fit the trace geometry.
+    #[must_use]
+    pub fn detect_sliced(&self, fault: FaultKind) -> Option<bool> {
+        assert!(
+            fault.is_valid_for(&self.geometry),
+            "fault {fault} does not fit trace geometry {}",
+            self.geometry
+        );
+        sliced::detect_sliced(self, fault)
+    }
+
+    /// Full-replay detection on a caller-provided scratch array (reset,
+    /// re-injected, replayed with early exit) — the fallback oracle the
+    /// sliced engine is verified against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch geometry differs from the trace geometry, or
+    /// the fault does not fit it.
+    #[must_use]
+    pub fn detect_full(&self, fault: FaultKind, scratch: &mut MemoryArray) -> bool {
+        assert_eq!(scratch.geometry(), self.geometry, "scratch geometry mismatch");
+        scratch.reset();
+        scratch.inject(fault).expect("fault must fit the trace geometry");
+        run_steps_detect(scratch, &self.steps)
+    }
+
+    /// Every access to `word`, in stream order.
+    pub(crate) fn ops_for_word(&self, word: u64) -> &[TraceOp] {
+        &self.per_word[usize::try_from(word).expect("addr fits usize")]
+    }
+
+    pub(crate) fn golden_miscompares(&self) -> &[(u32, u64)] {
+        &self.golden_miscompares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::expand;
+    use crate::library;
+    use mbist_mem::{BusCycle, CellId, DEFAULT_CYCLE_NS};
+    use mbist_rtl::Bits;
+
+    #[test]
+    fn trace_records_every_bus_cycle_once() {
+        let g = MemGeometry::bit_oriented(8);
+        let steps = expand(&library::march_c(), &g);
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let bus: usize = steps.iter().filter(|s| matches!(s, TestStep::Bus(_))).count();
+        let recorded: usize = (0..8).map(|w| trace.ops_for_word(w).len()).sum();
+        assert_eq!(bus, recorded);
+        assert!(trace.golden_miscompares().is_empty(), "expanded streams are clean");
+    }
+
+    #[test]
+    fn timestamps_account_for_pauses() {
+        let g = MemGeometry::bit_oriented(2);
+        let w = |addr| {
+            TestStep::Bus(BusCycle {
+                port: PortId(0),
+                addr,
+                op: Operation::Write(Bits::bit1(true)),
+                expected: None,
+            })
+        };
+        let steps = [w(0), TestStep::Pause { ns: 1_000.0 }, w(1), w(0)];
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let ops0 = trace.ops_for_word(0);
+        assert_eq!(ops0.len(), 2);
+        assert_eq!(ops0[0].now_ns, DEFAULT_CYCLE_NS);
+        assert_eq!(ops0[1].now_ns, 1_000.0 + 3.0 * DEFAULT_CYCLE_NS);
+    }
+
+    #[test]
+    fn golden_miscompares_capture_dirty_streams() {
+        let g = MemGeometry::bit_oriented(2);
+        let steps = [TestStep::Bus(BusCycle {
+            port: PortId(0),
+            addr: 1,
+            op: Operation::Read,
+            expected: Some(Bits::bit1(true)), // memory powers up 0
+        })];
+        let trace = CompiledTrace::from_steps(g, &steps);
+        assert_eq!(trace.golden_miscompares(), &[(0, 1)]);
+        // A dirty stream "detects" everything, sliced or full.
+        let f = FaultKind::StuckAt { cell: CellId::bit_oriented(0), value: false };
+        assert!(trace.detect(f));
+        assert_eq!(trace.detect_sliced(f), Some(true));
+    }
+
+    #[test]
+    fn detect_full_reuses_scratch_without_state_leak() {
+        let g = MemGeometry::bit_oriented(8);
+        let trace = CompiledTrace::from_steps(g, &expand(&library::march_c_plus(), &g));
+        let mut scratch = MemoryArray::new(g);
+        let drf = FaultKind::Retention {
+            cell: CellId::bit_oriented(3),
+            decays_to: true,
+            retention_ns: 50_000.0,
+        };
+        let saf = FaultKind::StuckAt { cell: CellId::bit_oriented(1), value: true };
+        // Interleave faults so stale now_ns / sense state would be caught.
+        let a = trace.detect_full(drf, &mut scratch);
+        let b = trace.detect_full(saf, &mut scratch);
+        let c = trace.detect_full(drf, &mut scratch);
+        assert_eq!(a, c);
+        assert!(a && b);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit trace geometry")]
+    fn out_of_range_fault_panics() {
+        let g = MemGeometry::bit_oriented(4);
+        let trace = CompiledTrace::from_steps(g, &expand(&library::mats(), &g));
+        let _ =
+            trace.detect(FaultKind::StuckAt { cell: CellId::bit_oriented(9), value: true });
+    }
+}

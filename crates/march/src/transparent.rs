@@ -84,8 +84,7 @@ pub fn run_transparent(
     let geometry = mem.geometry();
 
     // Prediction pass: observe current content through the functional port.
-    let content: Vec<Bits> =
-        (0..geometry.words()).map(|a| mem.read(port, a)).collect();
+    let content: Vec<Bits> = (0..geometry.words()).map(|a| mem.read(port, a)).collect();
 
     // Test pass.
     let mut report = RunReport::default();
@@ -174,8 +173,7 @@ pub fn transparent_steps(
 
 fn body_items(test: &MarchTest) -> impl Iterator<Item = &MarchItem> {
     test.items().iter().skip_while(|i| {
-        i.as_element()
-            .is_some_and(crate::element::MarchElement::is_write_only)
+        i.as_element().is_some_and(crate::element::MarchElement::is_write_only)
     })
 }
 

@@ -100,10 +100,7 @@ fn coverage_with_empty_backgrounds_detects_nothing() {
         &g,
         &CoverageOptions {
             classes: vec![FaultClass::StuckAt],
-            expand: Some(ExpandOptions {
-                backgrounds: Vec::new(),
-                ports: vec![PortId(0)],
-            }),
+            expand: Some(ExpandOptions { backgrounds: Vec::new(), ports: vec![PortId(0)] }),
             ..CoverageOptions::default()
         },
     );

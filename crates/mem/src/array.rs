@@ -164,6 +164,25 @@ impl MemoryArray {
         self.index.clear();
     }
 
+    /// Restores the array to the `new(geometry)` state in place: zeroed
+    /// storage, no faults, invalid sense latches, time and access counters
+    /// at zero.
+    ///
+    /// This is the scratch-reuse primitive for serial fault simulation —
+    /// `fill(0)` + [`clear_faults`](Self::clear_faults) alone would leak
+    /// sense-latch validity and `now_ns` from the previous fault's run,
+    /// changing stuck-open and retention behavior.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.faults.clear();
+        self.index.clear();
+        for latch in &mut self.sense {
+            *latch = SenseLatch::default();
+        }
+        self.now_ns = 0.0;
+        self.accesses = 0;
+    }
+
     /// Idles for `ns` nanoseconds — the data-retention pause.
     ///
     /// # Panics
@@ -193,7 +212,8 @@ impl MemoryArray {
         // expansions of the remapped address.
         let a = self.index.remap(addr).unwrap_or(addr);
         self.write_word(a, data);
-        let extras: Vec<u64> = self.index.multi(a).iter().map(|&(extra, _)| extra).collect();
+        let extras: Vec<u64> =
+            self.index.multi(a).iter().map(|&(extra, _)| extra).collect();
         for extra in extras {
             self.write_word(extra, data);
         }
@@ -225,7 +245,9 @@ impl MemoryArray {
             // conditions are checked against (old stored, requested) — the
             // two directions are mutually exclusive per bit.
             for &fi in write_list {
-                if let FaultKind::Transition { cell, rising } = self.faults[fi as usize].kind {
+                if let FaultKind::Transition { cell, rising } =
+                    self.faults[fi as usize].kind
+                {
                     let b = 1u64 << cell.bit;
                     if sof & b == 0 {
                         let o = old & b != 0;
@@ -301,17 +323,23 @@ impl MemoryArray {
                     {
                         effects.push((victim, Effect::Invert));
                     }
-                    FaultKind::CouplingIdempotent { aggressor: a, victim, rising: r, forced }
-                        if a == aggressor
-                            && r == rising
-                            && victim_sensitized(victim, word, changed) =>
+                    FaultKind::CouplingIdempotent {
+                        aggressor: a,
+                        victim,
+                        rising: r,
+                        forced,
+                    } if a == aggressor
+                        && r == rising
+                        && victim_sensitized(victim, word, changed) =>
                     {
                         effects.push((victim, Effect::Force(forced)));
                     }
                     FaultKind::NpsfActive { base, trigger, rising: r, others }
                         if trigger == aggressor
                             && r == rising
-                            && others.iter().all(|(c, v)| bit_of(&self.words, *c) == *v)
+                            && others
+                                .iter()
+                                .all(|(c, v)| bit_of(&self.words, *c) == *v)
                             && victim_sensitized(base, word, changed) =>
                     {
                         effects.push((base, Effect::Invert));
@@ -321,7 +349,8 @@ impl MemoryArray {
             }
         }
         for (victim, effect) in effects {
-            let MemoryArray { ref index, ref mut faults, ref mut words, now_ns, .. } = *self;
+            let MemoryArray { ref index, ref mut faults, ref mut words, now_ns, .. } =
+                *self;
             let v = match effect {
                 Effect::Invert => !bit_of(words, victim),
                 Effect::Force(b) => b,
@@ -390,8 +419,14 @@ impl MemoryArray {
         while m != 0 {
             let bit = m.trailing_zeros() as u8;
             m &= m - 1;
-            let MemoryArray { ref index, ref mut faults, ref mut words, ref sense, now_ns, .. } =
-                *self;
+            let MemoryArray {
+                ref index,
+                ref mut faults,
+                ref mut words,
+                ref sense,
+                now_ns,
+                ..
+            } = *self;
             let observed = observed_bit_indexed(
                 index,
                 faults,
@@ -522,7 +557,8 @@ fn observed_bit_indexed(
 
     // SOF dominates: nothing is driven, the sense amp keeps its value.
     for &fi in list {
-        if matches!(faults[fi as usize].kind, FaultKind::StuckOpen { cell: c } if c == cell) {
+        if matches!(faults[fi as usize].kind, FaultKind::StuckOpen { cell: c } if c == cell)
+        {
             let latch = &sense[usize::from(port.0)];
             return latch.valid && (latch.value >> cell.bit) & 1 == 1;
         }
@@ -547,7 +583,9 @@ fn observed_bit_indexed(
     // Disconnected pull-up/down: repeated reads drain the node.
     let mut drained: Option<bool> = None;
     for &fi in list {
-        if let FaultKind::PullOpen { cell: c, good_reads, decays_to } = faults[fi as usize].kind {
+        if let FaultKind::PullOpen { cell: c, good_reads, decays_to } =
+            faults[fi as usize].kind
+        {
             if c == cell {
                 let st = &mut faults[fi as usize].state;
                 st.consecutive_reads = st.consecutive_reads.saturating_add(1);
@@ -576,8 +614,11 @@ fn observed_bit_indexed(
     // Static NPSF masks the read while the whole neighborhood pattern is
     // present.
     for &fi in list {
-        if let FaultKind::NpsfStatic { base, neighborhood, forced } = faults[fi as usize].kind {
-            if base == cell && neighborhood.iter().all(|(c, val)| bit_of(words, *c) == *val) {
+        if let FaultKind::NpsfStatic { base, neighborhood, forced } =
+            faults[fi as usize].kind
+        {
+            if base == cell && neighborhood.iter().all(|(c, val)| bit_of(words, *c) == *val)
+            {
                 v = forced;
             }
         }
@@ -957,11 +998,39 @@ mod tests {
     #[test]
     fn clear_faults_restores_ideal_behavior() {
         let mut m = bit_mem(4);
-        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(0), value: true }).unwrap();
+        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(0), value: true })
+            .unwrap();
         m.clear_faults();
         m.write(P, 0, zero());
         assert_eq!(m.read(P, 0).value(), 0);
         assert!(m.fault_kinds().is_empty());
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_a_fresh_array() {
+        let mut m = bit_mem(8);
+        m.inject(FaultKind::StuckOpen { cell: CellId::bit_oriented(3) }).unwrap();
+        m.write(P, 2, one());
+        let _ = m.read(P, 2); // sense latch now valid and holding 1
+        m.pause(5_000.0);
+        m.reset();
+        assert!(m.fault_kinds().is_empty());
+        assert_eq!(m.now_ns(), 0.0);
+        assert_eq!(m.accesses(), 0);
+        assert_eq!(m.peek(2).value(), 0);
+        // A stuck-open cell after reset must read 0 (invalid latch), not the
+        // stale pre-reset sense value.
+        m.inject(FaultKind::StuckOpen { cell: CellId::bit_oriented(3) }).unwrap();
+        assert_eq!(m.read(P, 3).value(), 0, "sense latch must be invalidated");
+        // And a retention fault must measure time from 0 again.
+        m.reset();
+        m.inject(FaultKind::Retention {
+            cell: CellId::bit_oriented(1),
+            decays_to: true,
+            retention_ns: 1_000.0,
+        })
+        .unwrap();
+        assert_eq!(m.read(P, 1).value(), 0, "no decay right after reset");
     }
 
     #[test]
@@ -983,8 +1052,10 @@ mod tests {
         // Two stuck-at faults on the same cell: the last injected wins on
         // both the write path and the read path (index preserves order).
         let mut m = bit_mem(4);
-        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(1), value: true }).unwrap();
-        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(1), value: false }).unwrap();
+        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(1), value: true })
+            .unwrap();
+        m.inject(FaultKind::StuckAt { cell: CellId::bit_oriented(1), value: false })
+            .unwrap();
         m.write(P, 1, one());
         assert_eq!(m.read(P, 1).value(), 0, "last stuck-at clamp wins");
     }

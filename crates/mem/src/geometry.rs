@@ -169,8 +169,7 @@ impl MemGeometry {
     /// Iterates over all cells, word-major then bit.
     pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
         let width = self.width;
-        (0..self.words)
-            .flat_map(move |w| (0..width).map(move |b| CellId::new(w, b)))
+        (0..self.words).flat_map(move |w| (0..width).map(move |b| CellId::new(w, b)))
     }
 
     /// Iterates over the ports.

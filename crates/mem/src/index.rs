@@ -127,7 +127,10 @@ mod tests {
         let c = CellId::new(3, 1);
         ix.insert(0, &FaultKind::Transition { cell: c, rising: true });
         ix.insert(1, &FaultKind::StuckAt { cell: c, value: false });
-        ix.insert(2, &FaultKind::Retention { cell: c, decays_to: false, retention_ns: 1.0 });
+        ix.insert(
+            2,
+            &FaultKind::Retention { cell: c, decays_to: false, retention_ns: 1.0 },
+        );
         assert_eq!(ix.write_faults(3), &[0, 1]);
         assert_eq!(ix.read_faults(3), &[1, 2]);
         assert_eq!(ix.state_faults(3), &[2]);

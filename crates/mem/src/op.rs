@@ -66,7 +66,9 @@ impl BusCycle {
 impl fmt::Display for BusCycle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op {
-            Operation::Write(d) => write!(f, "{} w{:x}@{:#x}", self.port, d.value(), self.addr),
+            Operation::Write(d) => {
+                write!(f, "{} w{:x}@{:#x}", self.port, d.value(), self.addr)
+            }
             Operation::Read => match self.expected {
                 Some(e) => write!(f, "{} r{:x}@{:#x}", self.port, e.value(), self.addr),
                 None => write!(f, "{} r?@{:#x}", self.port, self.addr),

@@ -53,7 +53,10 @@ pub fn class_universe(
         FaultClass::StuckAt => g
             .cells()
             .flat_map(|cell| {
-                [FaultKind::StuckAt { cell, value: false }, FaultKind::StuckAt { cell, value: true }]
+                [
+                    FaultKind::StuckAt { cell, value: false },
+                    FaultKind::StuckAt { cell, value: true },
+                ]
             })
             .collect(),
         FaultClass::Transition => g
@@ -78,9 +81,24 @@ pub fn class_universe(
             .into_iter()
             .flat_map(|(aggressor, victim)| {
                 [
-                    FaultKind::CouplingIdempotent { aggressor, victim, rising: true, forced: true },
-                    FaultKind::CouplingIdempotent { aggressor, victim, rising: true, forced: false },
-                    FaultKind::CouplingIdempotent { aggressor, victim, rising: false, forced: true },
+                    FaultKind::CouplingIdempotent {
+                        aggressor,
+                        victim,
+                        rising: true,
+                        forced: true,
+                    },
+                    FaultKind::CouplingIdempotent {
+                        aggressor,
+                        victim,
+                        rising: true,
+                        forced: false,
+                    },
+                    FaultKind::CouplingIdempotent {
+                        aggressor,
+                        victim,
+                        rising: false,
+                        forced: true,
+                    },
                     FaultKind::CouplingIdempotent {
                         aggressor,
                         victim,
@@ -94,10 +112,30 @@ pub fn class_universe(
             .into_iter()
             .flat_map(|(aggressor, victim)| {
                 [
-                    FaultKind::CouplingState { aggressor, victim, when: true, forced: true },
-                    FaultKind::CouplingState { aggressor, victim, when: true, forced: false },
-                    FaultKind::CouplingState { aggressor, victim, when: false, forced: true },
-                    FaultKind::CouplingState { aggressor, victim, when: false, forced: false },
+                    FaultKind::CouplingState {
+                        aggressor,
+                        victim,
+                        when: true,
+                        forced: true,
+                    },
+                    FaultKind::CouplingState {
+                        aggressor,
+                        victim,
+                        when: true,
+                        forced: false,
+                    },
+                    FaultKind::CouplingState {
+                        aggressor,
+                        victim,
+                        when: false,
+                        forced: true,
+                    },
+                    FaultKind::CouplingState {
+                        aggressor,
+                        victim,
+                        when: false,
+                        forced: false,
+                    },
                 ]
             })
             .collect(),
@@ -175,7 +213,11 @@ pub fn class_universe(
                         (CellId::new(nb[3], cell.bit), pattern & 8 != 0),
                     ];
                     for forced in [false, true] {
-                        out.push(FaultKind::NpsfStatic { base: cell, neighborhood, forced });
+                        out.push(FaultKind::NpsfStatic {
+                            base: cell,
+                            neighborhood,
+                            forced,
+                        });
                     }
                 }
             }
@@ -187,7 +229,8 @@ pub fn class_universe(
             for cell in g.cells() {
                 let Some(nb) = neighborhood(g, cell.word, cols) else { continue };
                 for trig in 0..4usize {
-                    let rest: Vec<u64> = (0..4).filter(|&k| k != trig).map(|k| nb[k]).collect();
+                    let rest: Vec<u64> =
+                        (0..4).filter(|&k| k != trig).map(|k| nb[k]).collect();
                     for rising in [false, true] {
                         for pattern in 0..8u8 {
                             let others = [
@@ -298,9 +341,7 @@ mod tests {
         let g = MemGeometry::word_oriented(2, 4);
         let spec = UniverseSpec::default();
         let pairs = coupling_pairs(&g, &spec);
-        assert!(pairs
-            .iter()
-            .any(|(a, v)| a.word == v.word && a.bit.abs_diff(v.bit) == 1));
+        assert!(pairs.iter().any(|(a, v)| a.word == v.word && a.bit.abs_diff(v.bit) == 1));
     }
 
     #[test]

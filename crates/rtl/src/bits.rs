@@ -45,10 +45,7 @@ impl Bits {
             (1..=Self::MAX_WIDTH).contains(&width),
             "bit vector width must be in 1..=64, got {width}"
         );
-        Self {
-            width,
-            value: value & Self::mask(width),
-        }
+        Self { width, value: value & Self::mask(width) }
     }
 
     /// Creates an all-zero bit vector of `width` bits.

@@ -120,7 +120,12 @@ impl Trace {
         let mut out = String::new();
         let _ = write!(out, "{:>8}", "cycle");
         for d in &self.decls {
-            let _ = write!(out, "  {:>width$}", d.name, width = d.name.len().max(d.width as usize));
+            let _ = write!(
+                out,
+                "  {:>width$}",
+                d.name,
+                width = d.name.len().max(d.width as usize)
+            );
         }
         out.push('\n');
         for cycle in lo..=hi.min(self.last_cycle) {

@@ -6,6 +6,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> formatting"
+cargo fmt --all --check
+
 echo "==> build (release)"
 cargo build --release --workspace
 
@@ -17,7 +20,8 @@ echo "==> property suites (vendored proptest shim)"
 : "${PROPTEST_CASES:=32}"
 export PROPTEST_CASES
 cargo test -q --features proptest
-cargo test -q -p mbist-mem -p mbist-rtl -p mbist-logic -p mbist-core --features proptest
+cargo test -q -p mbist-mem -p mbist-rtl -p mbist-logic -p mbist-core -p mbist-march \
+    --features proptest
 
 echo "==> parallel fault-simulation determinism regression"
 cargo test -q -p mbist-march --test parallel_determinism
@@ -27,7 +31,13 @@ cargo clippy --workspace --no-default-features -- -D warnings
 cargo clippy --workspace --all-features --all-targets -- -D warnings
 
 echo "==> coverage-engine perf smoke (std-only harness)"
-cargo run --release -p mbist-bench --bin perf -- --quick --out /tmp/BENCH_coverage_ci.json
+perf_out=$(cargo run --release -p mbist-bench --bin perf -- \
+    --quick --out /tmp/BENCH_coverage_ci.json)
+echo "$perf_out"
+# every (test, geometry) pair must report cross-mode (incl. sliced vs
+# full) agreement on the detection count
+[ "$(echo "$perf_out" | grep -c "agreement OK")" -eq 2 ] || {
+    echo "perf smoke missing sliced/full agreement lines"; exit 1; }
 
 echo "==> fault-injection smoke (one SEU per architecture: detect + recover)"
 for arch in microcode progfsm; do

@@ -23,8 +23,7 @@ fn table1_flexibility_ordering_matches_paper() {
 #[test]
 fn programmable_controllers_cost_more_than_any_hardwired_baseline() {
     let points = design_points(&Technology::cmos5s(), SupportLevel::BitOriented);
-    let min_programmable =
-        points[0].area.ge.min(points[1].area.ge);
+    let min_programmable = points[0].area.ge.min(points[1].area.ge);
     for p in &points[2..] {
         assert!(
             p.area.ge < min_programmable,
@@ -56,22 +55,14 @@ fn paper_observation_2_microcode_beats_progfsm_with_more_flexibility() {
 fn paper_observation_3_enhanced_fault_models_grow_the_hardwired_unit() {
     let tech = Technology::cmos5s();
     let level = SupportLevel::BitOriented;
-    let seq = [
-        library::march_c(),
-        library::march_c_plus(),
-        library::march_c_plus_plus(),
-    ];
+    let seq = [library::march_c(), library::march_c_plus(), library::march_c_plus_plus()];
     let mut last = 0.0;
     for t in &seq {
         let ge = hardwired_design(&tech, t, level).area.ge;
         assert!(ge > last, "{} ({ge:.0} GE) must exceed {last:.0}", t.name());
         last = ge;
     }
-    let a_seq = [
-        library::march_a(),
-        library::march_a_plus(),
-        library::march_a_plus_plus(),
-    ];
+    let a_seq = [library::march_a(), library::march_a_plus(), library::march_a_plus_plus()];
     let mut last = 0.0;
     for t in &a_seq {
         let ge = hardwired_design(&tech, t, level).area.ge;

@@ -32,7 +32,12 @@ fn march_c_catches_the_classical_static_faults() {
             rising: true,
             forced: false,
         },
-        FaultKind::CouplingState { aggressor: other, victim: cell, when: true, forced: false },
+        FaultKind::CouplingState {
+            aggressor: other,
+            victim: cell,
+            when: true,
+            forced: false,
+        },
         FaultKind::AddressMap { from: 3, to: 11 },
         FaultKind::AddressMulti { addr: 5, extra: 12, wired_and: true },
     ];

@@ -103,9 +103,6 @@ fn custom_parsed_algorithm_runs_identically_on_microcode_and_hardwired() {
     .unwrap();
     let g = MemGeometry::word_oriented(9, 2);
     let reference = expand(&test, &g);
-    assert_eq!(
-        MicrocodeBist::for_test(&test, &g).unwrap().emit_steps(),
-        reference
-    );
+    assert_eq!(MicrocodeBist::for_test(&test, &g).unwrap().emit_steps(), reference);
     assert_eq!(HardwiredBist::for_test(&test, &g).emit_steps(), reference);
 }

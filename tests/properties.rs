@@ -23,11 +23,7 @@ fn arb_op() -> impl Strategy<Value = MarchOp> {
 }
 
 fn arb_order() -> impl Strategy<Value = AddressOrder> {
-    prop_oneof![
-        Just(AddressOrder::Up),
-        Just(AddressOrder::Down),
-        Just(AddressOrder::Any),
-    ]
+    prop_oneof![Just(AddressOrder::Up), Just(AddressOrder::Down), Just(AddressOrder::Any),]
 }
 
 /// A well-formed march test: an initialization element followed by
@@ -37,16 +33,11 @@ fn arb_order() -> impl Strategy<Value = AddressOrder> {
 /// even need to be consistent.
 fn arb_march_test() -> impl Strategy<Value = MarchTest> {
     let init_value = any::<bool>();
-    let body = prop::collection::vec(
-        (arb_order(), prop::collection::vec(arb_op(), 1..5)),
-        1..5,
-    );
+    let body =
+        prop::collection::vec((arb_order(), prop::collection::vec(arb_op(), 1..5)), 1..5);
     (init_value, body).prop_map(|(init, body)| {
-        let mut items = vec![MarchElement::new(
-            AddressOrder::Any,
-            vec![MarchOp::Write(init)],
-        )
-        .into()];
+        let mut items =
+            vec![MarchElement::new(AddressOrder::Any, vec![MarchOp::Write(init)]).into()];
         let mut state = init;
         for (order, ops) in body {
             // Repair the ops so every read expects the tracked state and

@@ -53,8 +53,11 @@ fn repaired_memory_passes_retest() {
     let faulty_col = 2u8;
     let mut mem = MemoryArray::new(g);
     for w in 0..8u64 {
-        mem.inject(FaultKind::StuckAt { cell: CellId::new(w * 4, faulty_col), value: true })
-            .unwrap();
+        mem.inject(FaultKind::StuckAt {
+            cell: CellId::new(w * 4, faulty_col),
+            value: true,
+        })
+        .unwrap();
     }
     let mut unit = MicrocodeBist::for_test(&library::march_c(), &g).unwrap();
     let report = unit.run(&mut mem);

@@ -436,7 +436,10 @@ pub mod collection {
     }
 
     /// A `BTreeSet` of `element` values with size aimed at `size`.
-    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    pub fn btree_set<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> BTreeSetStrategy<S>
     where
         S::Value: Ord,
     {
