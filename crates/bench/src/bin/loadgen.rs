@@ -1,0 +1,390 @@
+//! Std-only load generator for the mbist-service daemon.
+//!
+//! Four measurements against in-process servers on ephemeral ports:
+//!
+//! - **cold vs warm** — median `detects` latency on March C 1024×1 with the
+//!   cache disabled (every request pays the trace compile) vs a warm trace
+//!   cache (the acceptance criterion: warm must be ≥ 5× faster);
+//! - **closed loop** — N clients each issuing requests back-to-back over
+//!   one connection: sustained requests/s plus client-side p50/p95;
+//! - **open loop** — a burst of concurrent slow requests against a
+//!   deliberately tiny worker pool and queue: counts `ok` vs structured
+//!   `busy` rejections, proving saturation sheds load instead of hanging;
+//! - **agreement** — service responses compared byte-for-byte against the
+//!   offline CLI (`agreement OK` lines that CI greps).
+//!
+//! `--quick` shrinks the workload for smoke runs; `--out PATH` overrides
+//! the JSON path (default `BENCH_service.json`). With `--addr HOST:PORT`
+//! the generator instead drives an already-running daemon (agreement check
+//! plus a short closed-loop burst; add `--shutdown` to stop the daemon
+//! afterwards) — the mode the CI service smoke test uses.
+//!
+//! No external crates: timing via `std::time::Instant`, JSON by hand on
+//! the way out and via `mbist_service::json` on the way in.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+use std::{env, fs, thread};
+
+use mbist_service::json::Json;
+use mbist_service::{Server, ServiceConfig};
+
+/// One client connection with serial request/reply and per-request timing.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to service");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    /// Sends one request line, returns the parsed reply and the
+    /// round-trip latency in microseconds. The newline is framed into a
+    /// single write: a trailing-byte second segment would hit the
+    /// Nagle/delayed-ACK interaction and cost ~40 ms per request.
+    fn ask(&mut self, line: &str) -> (Json, u64) {
+        let start = Instant::now();
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.stream.write_all(framed.as_bytes()).expect("send request");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        (Json::parse(reply.trim()).expect("reply is JSON"), micros)
+    }
+}
+
+fn assert_ok(reply: &Json, context: &str) {
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "{context}: {reply}");
+}
+
+fn text_of(reply: &Json) -> &str {
+    reply.get("text").and_then(Json::as_str).expect("text payload")
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn cli(args: &[&str]) -> String {
+    mbist_cli::run(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
+        .expect("offline CLI succeeds")
+}
+
+/// Sequential `detects` sweep over distinct faults; returns sorted
+/// per-request latencies (µs). Distinct addresses keep the result memo out
+/// of the picture, so warm runs measure exactly the trace-cache reuse.
+fn detects_sweep(addr: &str, words: u64, count: usize) -> Vec<u64> {
+    let mut client = Client::connect(addr);
+    let mut lat = Vec::with_capacity(count);
+    for i in 0..count {
+        let line = format!(
+            r#"{{"kind":"detects","test":"march-c","words":{words},"fault":"sa0@{}"}}"#,
+            i as u64 % words
+        );
+        let (reply, us) = client.ask(&line);
+        assert_ok(&reply, "detects sweep");
+        lat.push(us);
+    }
+    lat.sort_unstable();
+    lat
+}
+
+fn cold_vs_warm(words: u64, count: usize) -> (u64, u64, f64) {
+    let cold_server = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig { workers: 1, cache_bytes: 0, ..ServiceConfig::default() },
+    )
+    .expect("bind cold server");
+    let cold = detects_sweep(&cold_server.local_addr().to_string(), words, count);
+    cold_server.shutdown();
+    let _ = cold_server.join();
+
+    let warm_server = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig { workers: 1, ..ServiceConfig::default() },
+    )
+    .expect("bind warm server");
+    let warm_addr = warm_server.local_addr().to_string();
+    // One warm-up request compiles and caches the trace before measuring.
+    let _ = detects_sweep(&warm_addr, words, 1);
+    let warm = detects_sweep(&warm_addr, words, count);
+    warm_server.shutdown();
+    let _ = warm_server.join();
+
+    let cold_median = percentile(&cold, 0.5);
+    let warm_median = percentile(&warm, 0.5);
+    (cold_median, warm_median, cold_median as f64 / warm_median.max(1) as f64)
+}
+
+struct ClosedLoop {
+    clients: usize,
+    requests: usize,
+    wall_ms: u64,
+    requests_per_sec: f64,
+    p50_us: u64,
+    p95_us: u64,
+    trace_hit_ratio: f64,
+}
+
+/// `clients` threads, each issuing `per_client` back-to-back requests over
+/// its own connection against `addr`.
+fn closed_loop(addr: &str, words: u64, clients: usize, per_client: usize) -> ClosedLoop {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr);
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let fault = (c * 131 + i * 7) as u64 % words;
+                    let line = format!(
+                        r#"{{"kind":"detects","test":"march-c","words":{words},"fault":"sa1@{fault}"}}"#
+                    );
+                    let (reply, us) = client.ask(&line);
+                    assert_ok(&reply, "closed loop");
+                    lat.push(us);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<u64> =
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+    let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    lat.sort_unstable();
+    let total = clients * per_client;
+
+    let (status, _) = Client::connect(addr).ask(r#"{"kind":"status"}"#);
+    assert_ok(&status, "status");
+    let trace_hit_ratio = status
+        .get("status")
+        .and_then(|s| s.get("cache"))
+        .and_then(|c| c.get("trace_hit_ratio"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+
+    ClosedLoop {
+        clients,
+        requests: total,
+        wall_ms,
+        requests_per_sec: total as f64 * 1000.0 / wall_ms.max(1) as f64,
+        p50_us: percentile(&lat, 0.5),
+        p95_us: percentile(&lat, 0.95),
+        trace_hit_ratio,
+    }
+}
+
+/// A concurrent burst against a one-worker, two-slot server. Every client
+/// gets a response — `ok` or a structured `busy` — and the two must sum to
+/// the offered load (nobody hangs, nothing is dropped).
+fn open_loop_burst(burst: usize, words: u64) -> (usize, usize) {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig { workers: 1, queue_depth: 2, ..ServiceConfig::default() },
+    )
+    .expect("bind burst server");
+    let addr = server.local_addr().to_string();
+    let handles: Vec<_> = (0..burst)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let line = format!(
+                    r#"{{"kind":"coverage","test":"march-c","words":{words},"engine":"full"}}"#
+                );
+                let (reply, _) = Client::connect(&addr).ask(&line);
+                match reply.get("ok").and_then(Json::as_bool) {
+                    Some(true) => true,
+                    Some(false) => {
+                        let class = reply
+                            .get("error")
+                            .and_then(|e| e.get("class"))
+                            .and_then(Json::as_str)
+                            .expect("error class");
+                        assert_eq!(class, "busy", "unexpected rejection: {reply}");
+                        false
+                    }
+                    None => panic!("malformed reply {reply}"),
+                }
+            })
+        })
+        .collect();
+    let oks = handles
+        .into_iter()
+        .map(|h| h.join().expect("burst client"))
+        .filter(|ok| *ok)
+        .count();
+    server.shutdown();
+    let _ = server.join();
+    (oks, burst - oks)
+}
+
+/// Byte-identity of service responses vs the offline CLI; prints the
+/// `agreement OK` lines CI greps and returns them for the JSON report.
+fn agreement_check(addr: &str) -> Vec<String> {
+    let mut client = Client::connect(addr);
+    let mut lines = Vec::new();
+    let cases: [(&str, String, Vec<&str>); 3] = [
+        (
+            "coverage march-c 256x1",
+            r#"{"kind":"coverage","test":"march-c","words":256}"#.to_string(),
+            vec!["coverage", "march-c", "--words", "256"],
+        ),
+        (
+            "coverage mats+ 64x1",
+            r#"{"kind":"coverage","test":"mats+","words":64}"#.to_string(),
+            vec!["coverage", "mats+", "--words", "64"],
+        ),
+        ("area tables", r#"{"kind":"area"}"#.to_string(), vec!["area"]),
+    ];
+    for (label, request, cli_args) in cases {
+        let (reply, _) = client.ask(&request);
+        assert_ok(&reply, label);
+        assert_eq!(text_of(&reply), cli(&cli_args), "{label}: service diverged from CLI");
+        let line = format!("{label}: agreement OK");
+        println!("{line}");
+        lines.push(line);
+    }
+    lines
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_service.json".to_string());
+    let external = flag("--addr");
+    let host = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    if let Some(addr) = external {
+        // Drive an already-running daemon (the CI smoke path): determinism
+        // agreement plus a short closed-loop burst, optional shutdown.
+        println!("loadgen against external daemon {addr}");
+        let agreement = agreement_check(&addr);
+        let cl = closed_loop(&addr, 1024, 2, if quick { 10 } else { 50 });
+        println!(
+            "closed loop: {} requests in {} ms ({:.0} req/s, p50 {} us, p95 {} us, \
+             trace hit ratio {:.3})",
+            cl.requests,
+            cl.wall_ms,
+            cl.requests_per_sec,
+            cl.p50_us,
+            cl.p95_us,
+            cl.trace_hit_ratio
+        );
+        if args.iter().any(|a| a == "--shutdown") {
+            let (reply, _) = Client::connect(&addr).ask(r#"{"kind":"shutdown"}"#);
+            assert_ok(&reply, "shutdown");
+            println!("shutdown requested: daemon draining");
+        }
+        let mut json = String::new();
+        json.push_str("{\n");
+        let _ = writeln!(json, "  \"mode\": \"external\",");
+        let _ = writeln!(json, "  \"requests_per_sec\": {:.1},", cl.requests_per_sec);
+        let _ = writeln!(json, "  \"trace_hit_ratio\": {:.4},", cl.trace_hit_ratio);
+        let agreement_json: Vec<String> =
+            agreement.iter().map(|l| format!("\"{}\"", json_escape(l))).collect();
+        let _ = writeln!(json, "  \"agreement\": [{}]", agreement_json.join(", "));
+        json.push_str("}\n");
+        fs::write(&out_path, json).expect("write benchmark JSON");
+        println!("wrote {out_path}");
+        return;
+    }
+
+    let sweep = if quick { 20 } else { 200 };
+    let (clients, per_client) = if quick { (2, 50) } else { (4, 250) };
+    let burst = if quick { 8 } else { 16 };
+    println!("service load generator — host parallelism {host}, quick {quick}");
+
+    // 1. Cold vs warm median detects latency on March C 1024×1 (the
+    //    acceptance criterion: warm ≥ 5× faster than per-request compile).
+    let (cold_us, warm_us, speedup) = cold_vs_warm(1024, sweep);
+    println!(
+        "cold vs warm (march-c 1024x1, {sweep} detects): median {cold_us} us cold, \
+         {warm_us} us warm, warm_vs_cold {speedup:.1}x"
+    );
+
+    // 2. Closed-loop sustained throughput against a warm full-size pool.
+    let server = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let cl = closed_loop(&addr, 1024, clients, per_client);
+    println!(
+        "closed loop ({} clients x {} requests): {} ms wall, {:.0} req/s, \
+         p50 {} us, p95 {} us, trace hit ratio {:.3}",
+        cl.clients,
+        per_client,
+        cl.wall_ms,
+        cl.requests_per_sec,
+        cl.p50_us,
+        cl.p95_us,
+        cl.trace_hit_ratio
+    );
+
+    // 3. Determinism agreement against the offline CLI, on the same warm
+    //    server the throughput run just exercised.
+    let agreement = agreement_check(&addr);
+    server.shutdown();
+    let summary = server.join();
+    println!(
+        "warm server drained: served {} request(s), {} queued at shutdown",
+        summary.served, summary.drained
+    );
+
+    // 4. Open-loop burst against a deliberately saturated pool.
+    let (oks, busys) = open_loop_burst(burst, 512);
+    println!(
+        "open loop burst ({burst} concurrent coverage requests, 1 worker, queue 2): \
+         {oks} ok, {busys} busy (all answered, none hung)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"cold_warm\": {{");
+    let _ = writeln!(json, "    \"workload\": \"march-c 1024x1 detects\",");
+    let _ = writeln!(json, "    \"requests\": {sweep},");
+    let _ = writeln!(json, "    \"cold_median_us\": {cold_us},");
+    let _ = writeln!(json, "    \"warm_median_us\": {warm_us},");
+    let _ = writeln!(json, "    \"warm_vs_cold\": {speedup:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"closed_loop\": {{");
+    let _ = writeln!(json, "    \"clients\": {},", cl.clients);
+    let _ = writeln!(json, "    \"requests\": {},", cl.requests);
+    let _ = writeln!(json, "    \"wall_ms\": {},", cl.wall_ms);
+    let _ = writeln!(json, "    \"requests_per_sec\": {:.1},", cl.requests_per_sec);
+    let _ = writeln!(json, "    \"p50_us\": {},", cl.p50_us);
+    let _ = writeln!(json, "    \"p95_us\": {},", cl.p95_us);
+    let _ = writeln!(json, "    \"trace_hit_ratio\": {:.4}", cl.trace_hit_ratio);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"backpressure\": {{");
+    let _ = writeln!(json, "    \"offered\": {burst},");
+    let _ = writeln!(json, "    \"ok\": {oks},");
+    let _ = writeln!(json, "    \"busy\": {busys}");
+    let _ = writeln!(json, "  }},");
+    let agreement_json: Vec<String> =
+        agreement.iter().map(|l| format!("\"{}\"", json_escape(l))).collect();
+    let _ = writeln!(json, "  \"agreement\": [{}]", agreement_json.join(", "));
+    json.push_str("}\n");
+    fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

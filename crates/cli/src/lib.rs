@@ -36,7 +36,7 @@ use mbist_core::{
     ScanRecoverable, SessionReport,
 };
 use mbist_march::{evaluate_coverage, library, CoverageOptions, MarchTest, SimEngine};
-use mbist_mem::{CellId, FaultKind, MemGeometry, MemoryArray};
+use mbist_mem::{FaultKind, MemGeometry, MemoryArray};
 
 /// A user-facing CLI error, categorized so the binary can exit with a
 /// distinct, scriptable status per failure class.
@@ -100,9 +100,16 @@ fn run_error(e: CoreError) -> CliError {
     }
 }
 
-/// Rejects unknown `--flags` (typos must not silently fall back to
-/// defaults) and flags whose value is missing.
-fn check_flags(args: &[&str], allowed: &[&str]) -> Result<(), CliError> {
+/// The single pass over `--flag value` arguments every command shares:
+/// rejects unknown `--flags` (typos must not silently fall back to
+/// defaults) and flags whose value is missing, and returns the
+/// `(flag, value)` pairs in invocation order so repeatable flags
+/// (`--fault`, `--bit`) can be collected without re-scanning.
+fn scan_flags<'a>(
+    args: &[&'a str],
+    allowed: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, CliError> {
+    let mut pairs = Vec::new();
     for (i, a) in args.iter().enumerate() {
         if !a.starts_with("--") {
             continue;
@@ -113,11 +120,17 @@ fn check_flags(args: &[&str], allowed: &[&str]) -> Result<(), CliError> {
                 if allowed.is_empty() { "none".to_string() } else { allowed.join(" ") }
             )));
         }
-        if i + 1 >= args.len() {
-            return Err(err(format!("flag `{a}` needs a value")));
+        match args.get(i + 1) {
+            Some(v) => pairs.push((*a, *v)),
+            None => return Err(err(format!("flag `{a}` needs a value"))),
         }
     }
-    Ok(())
+    Ok(pairs)
+}
+
+/// [`scan_flags`] when only validation is needed.
+fn check_flags(args: &[&str], allowed: &[&str]) -> Result<(), CliError> {
+    scan_flags(args, allowed).map(|_| ())
 }
 
 /// Executes a CLI invocation (without the leading program name), returning
@@ -140,6 +153,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("area") => cmd_area(&collect(it)),
         Some("rtl") => cmd_rtl(&collect(it)),
         Some("synth") => cmd_synth(&collect(it)),
+        Some("serve") => cmd_serve(&collect(it)),
         Some(other) => Err(err(format!("unknown command `{other}`; try `mbist help`"))),
     }
 }
@@ -175,6 +189,9 @@ commands:
   synth --classes C1,C2,..            synthesize a minimal march test for a
       [--max-elements N] [--jobs J]   fault mix (saf tf af cfin cfid cfst)
       [--engine full|sliced]
+  serve [--addr A] [--workers W]      run the evaluation daemon (line-delimited
+      [--cache-bytes B]               JSON over TCP; default 127.0.0.1:1999);
+      [--queue-depth D]               send {\"kind\":\"shutdown\"} to stop
 
 <algorithm> is a library name (march-c, mats+, ...) or inline notation like
 \"m(w0); u(r0,w1); d(r1,w0)\".
@@ -293,39 +310,10 @@ fn cmd_compile(args: &[&str]) -> Result<String, CliError> {
     }
 }
 
+/// Parses the `--fault` spec syntax, shared with the service protocol via
+/// [`FaultKind::parse_spec`].
 fn parse_fault(spec: &str, geometry: &MemGeometry) -> Result<FaultKind, CliError> {
-    let (kind, loc) = spec
-        .split_once('@')
-        .ok_or_else(|| err(format!("fault `{spec}` must look like sa0@ADDR[.BIT]")))?;
-    let (addr_s, bit_s) = match loc.split_once('.') {
-        Some((a, b)) => (a, b),
-        None => (loc, "0"),
-    };
-    let parse_u64 = |s: &str| -> Result<u64, CliError> {
-        if let Some(hex) = s.strip_prefix("0x") {
-            u64::from_str_radix(hex, 16).map_err(|_| err(format!("invalid address `{s}`")))
-        } else {
-            s.parse().map_err(|_| err(format!("invalid address `{s}`")))
-        }
-    };
-    let cell = CellId::new(
-        parse_u64(addr_s)?,
-        bit_s.parse().map_err(|_| err(format!("invalid bit `{bit_s}`")))?,
-    );
-    let fault = match kind {
-        "sa0" => FaultKind::StuckAt { cell, value: false },
-        "sa1" => FaultKind::StuckAt { cell, value: true },
-        "tf-up" => FaultKind::Transition { cell, rising: true },
-        "tf-down" => FaultKind::Transition { cell, rising: false },
-        "sof" => FaultKind::StuckOpen { cell },
-        "drf" => FaultKind::Retention { cell, decays_to: true, retention_ns: 50_000.0 },
-        "puf" => FaultKind::PullOpen { cell, good_reads: 2, decays_to: false },
-        other => return Err(err(format!("unknown fault kind `{other}`"))),
-    };
-    if !fault.is_valid_for(geometry) {
-        return Err(err(format!("fault `{spec}` does not fit the geometry")));
-    }
-    Ok(fault)
+    FaultKind::parse_spec(spec, geometry).map_err(err)
 }
 
 /// Parses the optional `--cycle-budget` watchdog flag.
@@ -352,7 +340,7 @@ fn bounded_session<C: BistController>(
 }
 
 fn cmd_run(args: &[&str]) -> Result<String, CliError> {
-    check_flags(
+    let flags = scan_flags(
         args,
         &["--words", "--width", "--ports", "--arch", "--fault", "--cycle-budget"],
     )?;
@@ -360,12 +348,9 @@ fn cmd_run(args: &[&str]) -> Result<String, CliError> {
     let t = resolve_test(spec)?;
     let geometry = geometry_from(args)?;
     let mut mem = MemoryArray::new(geometry);
-    for (i, a) in args.iter().enumerate() {
-        if *a == "--fault" {
-            // the value exists: check_flags rejected a trailing `--fault`
-            let fault = parse_fault(args[i + 1], &geometry)?;
-            mem.inject(fault).map_err(failed)?;
-        }
+    for (_, value) in flags.iter().filter(|(name, _)| *name == "--fault") {
+        let fault = parse_fault(value, &geometry)?;
+        mem.inject(fault).map_err(failed)?;
     }
     let budget = budget_from(args)?;
 
@@ -421,7 +406,7 @@ fn cmd_run(args: &[&str]) -> Result<String, CliError> {
 }
 
 fn cmd_inject_upset(args: &[&str]) -> Result<String, CliError> {
-    check_flags(
+    let flags = scan_flags(
         args,
         &[
             "--words",
@@ -439,11 +424,8 @@ fn cmd_inject_upset(args: &[&str]) -> Result<String, CliError> {
     let t = resolve_test(spec)?;
     let geometry = geometry_from(args)?;
     let mut bits = Vec::new();
-    for (i, a) in args.iter().enumerate() {
-        if *a == "--bit" {
-            let v = args[i + 1];
-            bits.push(v.parse().map_err(|_| err(format!("invalid --bit `{v}`")))?);
-        }
+    for (_, v) in flags.iter().filter(|(name, _)| *name == "--bit") {
+        bits.push(v.parse().map_err(|_| err(format!("invalid --bit `{v}`")))?);
     }
     if bits.is_empty() {
         bits.push(0);
@@ -619,6 +601,42 @@ fn cmd_synth(args: &[&str]) -> Result<String, CliError> {
         let _ = writeln!(out, "warning: coverage incomplete; raise --max-elements");
     }
     Ok(out)
+}
+
+fn cmd_serve(args: &[&str]) -> Result<String, CliError> {
+    check_flags(args, &["--addr", "--workers", "--cache-bytes", "--queue-depth"])?;
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:1999");
+    let config = mbist_service::ServiceConfig {
+        workers: parse_flag(args, "--workers", 0)?,
+        cache_bytes: parse_flag(args, "--cache-bytes", 64 << 20)?,
+        queue_depth: parse_flag(args, "--queue-depth", 64)?,
+    };
+    let server = mbist_service::Server::start(addr, config)
+        .map_err(|e| failed(format!("cannot bind `{addr}`: {e}")))?;
+    // Announced (and flushed) before blocking: the return value below only
+    // prints after shutdown, and scripts parse the port from this line.
+    {
+        use std::io::Write;
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(
+            stdout,
+            "mbist-service listening on {} (workers {}, cache {} bytes, queue depth {})",
+            server.local_addr(),
+            if config.workers == 0 {
+                "auto".to_string()
+            } else {
+                config.workers.to_string()
+            },
+            config.cache_bytes,
+            config.queue_depth,
+        );
+        let _ = stdout.flush();
+    }
+    let summary = server.join();
+    Ok(format!(
+        "shutdown: served {} request(s), drained {} queued job(s)\n",
+        summary.served, summary.drained
+    ))
 }
 
 #[cfg(test)]

@@ -158,19 +158,34 @@ pub fn evaluate_coverage(
     let expand_opts =
         options.expand.clone().unwrap_or_else(|| ExpandOptions::for_geometry(geometry));
     let trace = CompiledTrace::compile(test, geometry, &expand_opts);
+    evaluate_coverage_trace(&trace, test.name(), options)
+}
 
+/// [`evaluate_coverage`] over a caller-supplied [`CompiledTrace`] — the
+/// trace-sharing entry point for resident services that amortize one
+/// compile across many queries. The report is identical to what
+/// [`evaluate_coverage`] produces for the `(test, geometry, expand)` the
+/// trace was compiled from; `options.expand` is ignored (the trace already
+/// embeds its expansion).
+#[must_use]
+pub fn evaluate_coverage_trace(
+    trace: &CompiledTrace,
+    test_name: &str,
+    options: &CoverageOptions,
+) -> CoverageReport {
+    let geometry = trace.geometry();
     let mut rows = Vec::new();
     for &class in &options.classes {
-        let mut universe = class_universe(geometry, class, &options.spec);
+        let mut universe = class_universe(&geometry, class, &options.spec);
         if let Some(max) = options.max_faults_per_class {
             universe = stride_sample(universe, max);
         }
         let total = universe.len();
-        let flags = detect_universe_trace(&trace, &universe, options.jobs, options.engine);
+        let flags = detect_universe_trace(trace, &universe, options.jobs, options.engine);
         let detected = flags.iter().filter(|&&d| d).count();
         rows.push(ClassCoverage { class, detected, total });
     }
-    CoverageReport { test: test.name().to_string(), geometry: *geometry, rows }
+    CoverageReport { test: test_name.to_string(), geometry, rows }
 }
 
 /// Deterministic stride subsampling: keeps the last element of each of

@@ -51,7 +51,10 @@ mod trace;
 pub mod transparent;
 
 pub use background::{standard_background_count, standard_backgrounds};
-pub use coverage::{evaluate_coverage, ClassCoverage, CoverageOptions, CoverageReport};
+pub use coverage::{
+    evaluate_coverage, evaluate_coverage_trace, ClassCoverage, CoverageOptions,
+    CoverageReport,
+};
 pub use element::{AddressOrder, ComplementMask, MarchElement, MarchItem};
 pub use error::MarchError;
 pub use expand::{cycle_count, expand, expand_with, ExpandOptions};
@@ -59,5 +62,5 @@ pub use op::MarchOp;
 pub use runner::{detects, fault_free_clean, run_steps, run_steps_detect, RunReport};
 pub use synth::{synthesize_march, SynthesisOptions, SynthesizedMarch};
 pub use test::{MarchTest, SymmetricSplit};
-pub use trace::{CompiledTrace, SimEngine};
+pub use trace::{canonical_trace_key, CompiledTrace, SimEngine};
 pub use transparent::{is_transparent_compatible, run_transparent, TransparentOutcome};

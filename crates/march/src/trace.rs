@@ -38,6 +38,102 @@ pub enum SimEngine {
     Sliced,
 }
 
+/// Stable canonical hash of a `(test name, expanded step stream, geometry)`
+/// triple — the cache identity of a [`CompiledTrace`].
+///
+/// The hash is FNV-1a over a canonical byte serialization, so it is stable
+/// across processes and runs (unlike [`std::hash::RandomState`]): two
+/// invocations that expand to the same stream on the same geometry always
+/// collide onto the same key, however their flags were spelled or ordered,
+/// while any difference in geometry, name or stream content feeds different
+/// bytes.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_march::{canonical_trace_key, expand, library};
+/// use mbist_mem::MemGeometry;
+///
+/// let g = MemGeometry::word_oriented(64, 8);
+/// let steps = expand(&library::march_c(), &g);
+/// let k1 = canonical_trace_key("march-c", &g, &steps);
+/// let k2 = canonical_trace_key("march-c", &g, &steps);
+/// assert_eq!(k1, k2);
+/// ```
+#[must_use]
+pub fn canonical_trace_key(
+    test_name: &str,
+    geometry: &MemGeometry,
+    steps: &[TestStep],
+) -> u64 {
+    let mut h = Fnv1a::new();
+    h.bytes(test_name.as_bytes());
+    h.byte(0xff); // unambiguous name terminator (0xff never appears in UTF-8)
+    h.u64(geometry.words());
+    h.byte(geometry.width());
+    h.byte(geometry.ports());
+    for step in steps {
+        match step {
+            TestStep::Pause { ns } => {
+                h.byte(0x01);
+                h.u64(ns.to_bits());
+            }
+            TestStep::Bus(cycle) => {
+                h.byte(0x02);
+                h.byte(cycle.port.0);
+                h.u64(cycle.addr);
+                match cycle.op {
+                    Operation::Write(data) => {
+                        h.byte(0x03);
+                        h.byte(data.width());
+                        h.u64(data.value());
+                    }
+                    Operation::Read => h.byte(0x04),
+                }
+                match cycle.expected {
+                    None => h.byte(0x05),
+                    Some(e) => {
+                        h.byte(0x06);
+                        h.byte(e.width());
+                        h.u64(e.value());
+                    }
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// 64-bit FNV-1a over a caller-framed byte stream.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// The golden value the port's sense amplifier held before a read — the
 /// previous read on the same port, at any address.
 #[derive(Debug, Clone, Copy)]
@@ -239,6 +335,21 @@ impl CompiledTrace {
         run_steps_detect(scratch, &self.steps)
     }
 
+    /// Approximate resident size of the trace in bytes — steps, per-word op
+    /// lists and golden-miscompare records — used by byte-capped caches to
+    /// account for what they hold. An estimate (allocator slack and `Vec`
+    /// growth headroom are not visible), but proportional to the real
+    /// footprint and monotone in stream length.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let ops: usize = self.per_word.iter().map(Vec::len).sum();
+        std::mem::size_of::<Self>()
+            + self.steps.len() * std::mem::size_of::<TestStep>()
+            + self.per_word.len() * std::mem::size_of::<Vec<TraceOp>>()
+            + ops * std::mem::size_of::<TraceOp>()
+            + self.golden_miscompares.len() * std::mem::size_of::<(u32, u64)>()
+    }
+
     /// Every access to `word`, in stream order.
     pub(crate) fn ops_for_word(&self, word: u64) -> &[TraceOp] {
         &self.per_word[usize::try_from(word).expect("addr fits usize")]
@@ -321,6 +432,50 @@ mod tests {
         let c = trace.detect_full(drf, &mut scratch);
         assert_eq!(a, c);
         assert!(a && b);
+    }
+
+    #[test]
+    fn canonical_key_is_stable_and_input_sensitive() {
+        let g = MemGeometry::word_oriented(64, 8);
+        let steps = expand(&library::march_c(), &g);
+        let k = canonical_trace_key("march-c", &g, &steps);
+        assert_eq!(k, canonical_trace_key("march-c", &g, &steps), "deterministic");
+        assert_ne!(k, canonical_trace_key("march-a", &g, &steps), "name feeds the key");
+        let g2 = MemGeometry::new(64, 8, 2);
+        assert_ne!(k, canonical_trace_key("march-c", &g2, &steps), "geometry feeds it");
+        let mut shorter = steps.clone();
+        shorter.pop();
+        assert_ne!(k, canonical_trace_key("march-c", &g, &shorter), "stream feeds it");
+    }
+
+    #[test]
+    fn canonical_keys_never_collide_across_library_and_geometries() {
+        // Pairwise-distinct keys over the whole algorithm library × several
+        // geometries: two different geometries must never collide.
+        let mut seen = std::collections::HashMap::new();
+        for g in [
+            MemGeometry::bit_oriented(16),
+            MemGeometry::bit_oriented(64),
+            MemGeometry::word_oriented(16, 8),
+            MemGeometry::new(16, 8, 2),
+        ] {
+            for t in library::all() {
+                let steps = expand(&t, &g);
+                let key = canonical_trace_key(t.name(), &g, &steps);
+                if let Some(prev) = seen.insert(key, (t.name().to_string(), g)) {
+                    panic!("key collision: {prev:?} vs ({}, {g})", t.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_the_stream() {
+        let g = MemGeometry::bit_oriented(16);
+        let small = CompiledTrace::from_steps(g, &expand(&library::mats(), &g));
+        let big = CompiledTrace::from_steps(g, &expand(&library::march_c_plus_plus(), &g));
+        assert!(small.approx_bytes() > 0);
+        assert!(big.approx_bytes() > small.approx_bytes());
     }
 
     #[test]

@@ -252,6 +252,48 @@ impl FaultKind {
         }
     }
 
+    /// Parses a user-facing fault spec `KIND@ADDR[.BIT]` (the syntax the
+    /// CLI's `--fault` flag and the service protocol's `fault` field share)
+    /// and validates it against `geometry`.
+    ///
+    /// `KIND` is one of `sa0 sa1 tf-up tf-down sof drf puf`; `ADDR` is
+    /// decimal or `0x`-prefixed hex; `BIT` defaults to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the spec is malformed, names
+    /// an unknown kind, or does not fit the geometry.
+    pub fn parse_spec(spec: &str, geometry: &MemGeometry) -> Result<Self, String> {
+        let (kind, loc) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("fault `{spec}` must look like sa0@ADDR[.BIT]"))?;
+        let (addr_s, bit_s) = match loc.split_once('.') {
+            Some((a, b)) => (a, b),
+            None => (loc, "0"),
+        };
+        let addr = if let Some(hex) = addr_s.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).map_err(|_| format!("invalid address `{addr_s}`"))
+        } else {
+            addr_s.parse().map_err(|_| format!("invalid address `{addr_s}`"))
+        }?;
+        let cell =
+            CellId::new(addr, bit_s.parse().map_err(|_| format!("invalid bit `{bit_s}`"))?);
+        let fault = match kind {
+            "sa0" => FaultKind::StuckAt { cell, value: false },
+            "sa1" => FaultKind::StuckAt { cell, value: true },
+            "tf-up" => FaultKind::Transition { cell, rising: true },
+            "tf-down" => FaultKind::Transition { cell, rising: false },
+            "sof" => FaultKind::StuckOpen { cell },
+            "drf" => FaultKind::Retention { cell, decays_to: true, retention_ns: 50_000.0 },
+            "puf" => FaultKind::PullOpen { cell, good_reads: 2, decays_to: false },
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        if !fault.is_valid_for(geometry) {
+            return Err(format!("fault `{spec}` does not fit the geometry"));
+        }
+        Ok(fault)
+    }
+
     /// Whether the fault is well-formed for the given geometry (cells in
     /// range, aggressor ≠ victim, mapped addresses distinct and in range).
     #[must_use]
@@ -519,5 +561,34 @@ mod tests {
         let labels: std::collections::HashSet<&str> =
             FaultClass::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), FaultClass::ALL.len());
+    }
+
+    #[test]
+    fn parse_spec_covers_every_kind_and_radix() {
+        let g = MemGeometry::word_oriented(16, 8);
+        assert_eq!(
+            FaultKind::parse_spec("sa1@0x5", &g),
+            Ok(FaultKind::StuckAt { cell: CellId::new(5, 0), value: true })
+        );
+        assert_eq!(
+            FaultKind::parse_spec("tf-up@3.6", &g),
+            Ok(FaultKind::Transition { cell: CellId::new(3, 6), rising: true })
+        );
+        assert_eq!(
+            FaultKind::parse_spec("sof@15.7", &g),
+            Ok(FaultKind::StuckOpen { cell: CellId::new(15, 7) })
+        );
+        assert!(FaultKind::parse_spec("drf@0", &g).is_ok());
+        assert!(FaultKind::parse_spec("puf@0", &g).is_ok());
+    }
+
+    #[test]
+    fn parse_spec_rejects_malformed_and_out_of_range() {
+        let g = MemGeometry::bit_oriented(8);
+        assert!(FaultKind::parse_spec("sa1", &g).unwrap_err().contains("sa0@ADDR"));
+        assert!(FaultKind::parse_spec("zz@1", &g).unwrap_err().contains("unknown fault"));
+        assert!(FaultKind::parse_spec("sa1@x", &g).unwrap_err().contains("address"));
+        assert!(FaultKind::parse_spec("sa1@0.q", &g).unwrap_err().contains("bit"));
+        assert!(FaultKind::parse_spec("sa1@99", &g).unwrap_err().contains("does not fit"));
     }
 }

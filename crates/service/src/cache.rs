@@ -1,0 +1,263 @@
+//! Byte-capped LRU cache of compiled traces and memoized result texts.
+//!
+//! Two payload kinds share one byte budget and one recency order:
+//!
+//! - **Traces** — immutable [`CompiledTrace`]s behind [`Arc`], keyed by the
+//!   canonical `(test, stream, geometry)` hash
+//!   ([`mbist_march::canonical_trace_key`]). In-flight requests hold their
+//!   `Arc` clone, so evicting an entry never invalidates a running job.
+//! - **Results** — full response texts for exact-repeat queries, keyed by a
+//!   derived hash that also covers the request kind and parameters.
+//!
+//! Capacity 0 disables caching entirely (every lookup misses, nothing is
+//! stored) — the "cold" configuration the load generator measures against.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use mbist_march::CompiledTrace;
+
+/// What one cache slot holds.
+#[derive(Debug, Clone)]
+enum Payload {
+    Trace(Arc<CompiledTrace>),
+    Result(String),
+    /// Spec-level alias: maps a cheap request-spec hash to the canonical
+    /// trace key, so exact-repeat requests skip march expansion entirely.
+    /// Self-healing: if the target trace was evicted, the alias lookup
+    /// succeeds but the trace lookup misses and the caller recompiles.
+    Alias(u64),
+}
+
+#[derive(Debug)]
+struct Slot {
+    payload: Payload,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: HashMap<u64, Slot>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Aggregate cache occupancy, for the `status` surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cached compiled traces.
+    pub traces: usize,
+    /// Memoized result texts.
+    pub results: usize,
+    /// Accounted payload bytes currently held.
+    pub bytes: usize,
+    /// The configured byte cap.
+    pub capacity_bytes: usize,
+}
+
+/// The shared, thread-safe cache (one per server).
+#[derive(Debug)]
+pub struct TraceCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: usize,
+}
+
+impl TraceCache {
+    /// A cache holding at most `capacity_bytes` of accounted payload
+    /// (0 disables caching).
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self { inner: Mutex::new(Inner::default()), capacity_bytes }
+    }
+
+    /// Looks up a compiled trace, refreshing its recency.
+    #[must_use]
+    pub fn get_trace(&self, key: u64) -> Option<Arc<CompiledTrace>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.slots.get_mut(&key)?;
+        slot.last_used = tick;
+        match &slot.payload {
+            Payload::Trace(trace) => Some(Arc::clone(trace)),
+            _ => None,
+        }
+    }
+
+    /// Looks up a spec-level alias, returning the canonical trace key it
+    /// points at.
+    #[must_use]
+    pub fn get_alias(&self, key: u64) -> Option<u64> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.slots.get_mut(&key)?;
+        slot.last_used = tick;
+        match slot.payload {
+            Payload::Alias(target) => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Records that request-spec hash `key` resolves to canonical trace key
+    /// `target` (same budget and LRU order; accounted at slot overhead).
+    pub fn insert_alias(&self, key: u64, target: u64) {
+        self.insert(key, Payload::Alias(target), std::mem::size_of::<Slot>());
+    }
+
+    /// Inserts a compiled trace under `key`, evicting least-recently-used
+    /// entries until the byte budget holds. Oversized single entries are
+    /// simply not cached.
+    pub fn insert_trace(&self, key: u64, trace: &Arc<CompiledTrace>) {
+        self.insert(key, Payload::Trace(Arc::clone(trace)), trace.approx_bytes());
+    }
+
+    /// Looks up a memoized result text, refreshing its recency.
+    #[must_use]
+    pub fn get_result(&self, key: u64) -> Option<String> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.slots.get_mut(&key)?;
+        slot.last_used = tick;
+        match &slot.payload {
+            Payload::Result(text) => Some(text.clone()),
+            _ => None,
+        }
+    }
+
+    /// Memoizes a result text under `key` (same budget and LRU order as the
+    /// traces).
+    pub fn insert_result(&self, key: u64, text: &str) {
+        self.insert(key, Payload::Result(text.to_string()), text.len());
+    }
+
+    fn insert(&self, key: u64, payload: Payload, bytes: usize) {
+        if bytes > self.capacity_bytes {
+            return; // cache disabled, or the entry alone exceeds the budget
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.slots.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.bytes + bytes > self.capacity_bytes {
+            let victim = inner
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k)
+                .expect("bytes > 0 implies a slot exists");
+            let evicted = inner.slots.remove(&victim).expect("victim exists");
+            inner.bytes -= evicted.bytes;
+        }
+        inner.bytes += bytes;
+        inner.slots.insert(key, Slot { payload, bytes, last_used: tick });
+    }
+
+    /// Occupancy snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        let (mut traces, mut results) = (0, 0);
+        for s in inner.slots.values() {
+            match s.payload {
+                Payload::Trace(_) => traces += 1,
+                Payload::Result(_) => results += 1,
+                Payload::Alias(_) => {}
+            }
+        }
+        CacheStats {
+            traces,
+            results,
+            bytes: inner.bytes,
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbist_march::{expand, library};
+    use mbist_mem::MemGeometry;
+
+    fn trace(words: u64) -> Arc<CompiledTrace> {
+        let g = MemGeometry::bit_oriented(words);
+        Arc::new(CompiledTrace::from_steps(g, &expand(&library::march_c(), &g)))
+    }
+
+    #[test]
+    fn hit_returns_the_same_trace() {
+        let cache = TraceCache::new(1 << 20);
+        let t = trace(8);
+        cache.insert_trace(1, &t);
+        let hit = cache.get_trace(1).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &t));
+        assert!(cache.get_trace(2).is_none());
+    }
+
+    #[test]
+    fn byte_cap_evicts_least_recently_used() {
+        let t = trace(8);
+        let unit = t.approx_bytes();
+        let cache = TraceCache::new(unit * 2 + unit / 2); // room for two
+        cache.insert_trace(1, &t);
+        cache.insert_trace(2, &trace(8));
+        assert_eq!(cache.stats().traces, 2);
+        let _ = cache.get_trace(1); // refresh 1 → victim is 2
+        cache.insert_trace(3, &trace(8));
+        assert!(cache.get_trace(1).is_some(), "recently used survives");
+        assert!(cache.get_trace(2).is_none(), "LRU entry evicted");
+        assert!(cache.get_trace(3).is_some());
+        assert!(cache.stats().bytes <= cache.stats().capacity_bytes);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let cache = TraceCache::new(0);
+        cache.insert_trace(1, &trace(8));
+        cache.insert_result(2, "memo");
+        assert!(cache.get_trace(1).is_none());
+        assert!(cache.get_result(2).is_none());
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn results_share_the_budget_and_reinsert_replaces() {
+        let cache = TraceCache::new(64);
+        cache.insert_result(7, "0123456789");
+        assert_eq!(cache.get_result(7).as_deref(), Some("0123456789"));
+        cache.insert_result(7, "replaced");
+        assert_eq!(cache.get_result(7).as_deref(), Some("replaced"));
+        assert_eq!(cache.stats().results, 1);
+        assert_eq!(cache.stats().bytes, "replaced".len());
+        // An entry larger than the whole budget is skipped, not forced in.
+        cache.insert_result(8, &"x".repeat(100));
+        assert!(cache.get_result(8).is_none());
+    }
+
+    #[test]
+    fn aliases_resolve_but_are_neither_traces_nor_results() {
+        let cache = TraceCache::new(1 << 20);
+        cache.insert_alias(9, 1234);
+        assert_eq!(cache.get_alias(9), Some(1234));
+        assert!(cache.get_trace(9).is_none());
+        assert!(cache.get_result(9).is_none());
+        assert_eq!(cache.stats().traces, 0);
+        assert_eq!(cache.stats().results, 0);
+        assert!(cache.stats().bytes > 0, "aliases are budget-accounted");
+        assert_eq!(cache.get_alias(8), None);
+    }
+
+    #[test]
+    fn kind_mismatch_on_a_key_is_a_miss_not_a_panic() {
+        let cache = TraceCache::new(1 << 20);
+        cache.insert_result(1, "text");
+        assert!(cache.get_trace(1).is_none());
+        cache.insert_trace(2, &trace(8));
+        assert!(cache.get_result(2).is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! Request execution against the shared trace cache.
+//!
+//! Response texts for `coverage`, `synth` and `area` are produced by the
+//! same formatting the CLI uses, so a service response is bit-identical to
+//! the offline CLI output for the equivalent invocation (the `mbist-cli`
+//! test suite asserts this) — caching, worker count and engine choice only
+//! change latency, never bytes.
+
+use std::sync::Arc;
+
+use mbist_area::{table1, table2, table3, Technology};
+use mbist_march::{
+    canonical_trace_key, evaluate_coverage_trace, expand_with, library, synthesize_march,
+    CompiledTrace, CoverageOptions, ExpandOptions, MarchTest, SimEngine, SynthesisOptions,
+};
+use mbist_mem::{FaultClass, FaultKind, MemGeometry};
+
+use crate::json::Json;
+use crate::protocol::{Request, ServiceError};
+use crate::server::Shared;
+
+fn usage(message: impl Into<String>) -> ServiceError {
+    ServiceError::Usage(message.into())
+}
+
+fn resolve_test(spec: &str) -> Result<MarchTest, ServiceError> {
+    if let Some(t) = library::by_name(spec) {
+        return Ok(t);
+    }
+    if spec.contains('(') {
+        return MarchTest::parse("custom", spec).map_err(|e| usage(e.to_string()));
+    }
+    Err(usage(format!("unknown algorithm `{spec}` (library name or march notation)")))
+}
+
+/// Derives a result-memo key from the trace key plus request parameters,
+/// with the same stable FNV-1a construction as the trace key itself.
+/// `jobs` is deliberately excluded: the output is bit-identical for every
+/// worker count, so memo hits are valid across `jobs` settings.
+fn result_key(seed: u64, tag: &str, params: &[u64]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    for b in seed.to_le_bytes() {
+        eat(b);
+    }
+    for b in tag.bytes() {
+        eat(b);
+    }
+    eat(0xff);
+    for p in params {
+        for b in p.to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
+fn engine_tag(engine: SimEngine) -> u64 {
+    match engine {
+        SimEngine::Full => 0,
+        SimEngine::Sliced => 1,
+    }
+}
+
+/// Hash of the request spec string plus geometry — the cheap first-level
+/// cache key that avoids march expansion on exact-repeat requests.
+fn spec_alias_key(spec: &str, geometry: &MemGeometry) -> u64 {
+    let mut params = vec![geometry.words(), u64::from(geometry.width())];
+    params.push(u64::from(geometry.ports()));
+    result_key(0x7370_6563, spec, &params) // "spec" tag in the seed
+}
+
+/// Returns the cached compiled trace for `(spec, geometry)`, compiling and
+/// inserting on a miss.
+///
+/// Two cache levels: a spec-string alias resolves exact repeats without
+/// re-expanding the march test (the warm fast path), and the canonical
+/// `(name, steps, geometry)` key unifies differently-spelled but equivalent
+/// invocations after expansion (the correctness level).
+fn cached_trace(
+    shared: &Shared,
+    spec: &str,
+    test: &MarchTest,
+    geometry: &MemGeometry,
+) -> (u64, Arc<CompiledTrace>, bool) {
+    let alias = spec_alias_key(spec, geometry);
+    if let Some(key) = shared.cache.get_alias(alias) {
+        if let Some(trace) = shared.cache.get_trace(key) {
+            shared.metrics.record_trace_lookup(true);
+            return (key, trace, true);
+        }
+    }
+    let steps = expand_with(test, geometry, &ExpandOptions::for_geometry(geometry));
+    let key = canonical_trace_key(test.name(), geometry, &steps);
+    shared.cache.insert_alias(alias, key);
+    if let Some(trace) = shared.cache.get_trace(key) {
+        shared.metrics.record_trace_lookup(true);
+        return (key, trace, true);
+    }
+    shared.metrics.record_trace_lookup(false);
+    // Two racing cold requests may both compile; the trace is immutable, so
+    // the second insert merely replaces an identical entry.
+    let trace = Arc::new(CompiledTrace::from_steps(*geometry, &steps));
+    shared.cache.insert_trace(key, &trace);
+    (key, trace, false)
+}
+
+/// Executes a queued request, returning the response payload members.
+pub(crate) fn execute(
+    request: &Request,
+    shared: &Shared,
+) -> Result<Vec<(&'static str, Json)>, ServiceError> {
+    match request {
+        Request::Coverage { test, geometry, max_faults, jobs, engine } => {
+            let t = resolve_test(test)?;
+            let (trace_key, trace, trace_cached) = cached_trace(shared, test, &t, geometry);
+            let memo_key = result_key(
+                trace_key,
+                "coverage",
+                &[max_faults.map_or(u64::MAX, |m| m as u64), engine_tag(*engine)],
+            );
+            if let Some(text) = shared.cache.get_result(memo_key) {
+                shared.metrics.record_result_lookup(true);
+                return Ok(coverage_payload(text, true, trace_cached));
+            }
+            shared.metrics.record_result_lookup(false);
+            let report = evaluate_coverage_trace(
+                &trace,
+                t.name(),
+                &CoverageOptions {
+                    max_faults_per_class: *max_faults,
+                    jobs: *jobs,
+                    engine: *engine,
+                    ..CoverageOptions::default()
+                },
+            );
+            let text = report.to_string();
+            shared.cache.insert_result(memo_key, &text);
+            Ok(coverage_payload(text, false, trace_cached))
+        }
+        Request::Detects { test, geometry, fault } => {
+            let t = resolve_test(test)?;
+            let parsed = FaultKind::parse_spec(fault, geometry).map_err(usage)?;
+            let (_, trace, trace_cached) = cached_trace(shared, test, &t, geometry);
+            let detected = trace.detect(parsed);
+            Ok(vec![
+                ("test", Json::str(t.name())),
+                ("geometry", Json::str(geometry.to_string())),
+                ("fault", Json::str(fault.clone())),
+                ("detected", Json::Bool(detected)),
+                ("trace_cached", Json::Bool(trace_cached)),
+            ])
+        }
+        Request::Synth { classes, max_elements, jobs, engine } => {
+            let parsed = parse_classes(classes)?;
+            let class_tags: Vec<u64> =
+                parsed.iter().map(|c| c.label().bytes().map(u64::from).sum()).collect();
+            let mut params = vec![*max_elements as u64, engine_tag(*engine)];
+            params.extend(class_tags);
+            let memo_key = result_key(0, "synth", &params);
+            if let Some(text) = shared.cache.get_result(memo_key) {
+                shared.metrics.record_result_lookup(true);
+                return Ok(text_payload(text, true));
+            }
+            shared.metrics.record_result_lookup(false);
+            let mut options = SynthesisOptions {
+                classes: parsed,
+                max_elements: *max_elements,
+                ..SynthesisOptions::default()
+            };
+            options.coverage.jobs = *jobs;
+            options.coverage.engine = *engine;
+            let text = synth_text(&options);
+            shared.cache.insert_result(memo_key, &text);
+            Ok(text_payload(text, false))
+        }
+        Request::Area { table } => {
+            let tag = match table.as_deref() {
+                None => 0,
+                Some("1") => 1,
+                Some("2") => 2,
+                Some("3") => 3,
+                Some(other) => {
+                    return Err(usage(format!("unknown table `{other}` (1|2|3)")))
+                }
+            };
+            let memo_key = result_key(0, "area", &[tag]);
+            if let Some(text) = shared.cache.get_result(memo_key) {
+                shared.metrics.record_result_lookup(true);
+                return Ok(text_payload(text, true));
+            }
+            shared.metrics.record_result_lookup(false);
+            let tech = Technology::cmos5s();
+            let text = match tag {
+                1 => table1(&tech).to_string(),
+                2 => table2(&tech).to_string(),
+                3 => table3(&tech).to_string(),
+                _ => format!("{}\n{}\n{}", table1(&tech), table2(&tech), table3(&tech)),
+            };
+            shared.cache.insert_result(memo_key, &text);
+            Ok(text_payload(text, false))
+        }
+        // Status and Shutdown are answered inline by the connection layer
+        // and never reach the queue.
+        Request::Status | Request::Shutdown => {
+            Err(ServiceError::Failed("status/shutdown are served inline".into()))
+        }
+    }
+}
+
+fn coverage_payload(
+    text: String,
+    cached: bool,
+    trace_cached: bool,
+) -> Vec<(&'static str, Json)> {
+    vec![
+        ("cached", Json::Bool(cached)),
+        ("trace_cached", Json::Bool(trace_cached)),
+        ("text", Json::Str(text)),
+    ]
+}
+
+fn text_payload(text: String, cached: bool) -> Vec<(&'static str, Json)> {
+    vec![("cached", Json::Bool(cached)), ("text", Json::Str(text))]
+}
+
+fn parse_classes(spec: &str) -> Result<Vec<FaultClass>, ServiceError> {
+    let mut classes = Vec::new();
+    for name in spec.split(',') {
+        classes.push(match name.trim() {
+            "saf" => FaultClass::StuckAt,
+            "tf" => FaultClass::Transition,
+            "af" => FaultClass::AddressDecoder,
+            "cfin" => FaultClass::CouplingInversion,
+            "cfid" => FaultClass::CouplingIdempotent,
+            "cfst" => FaultClass::CouplingState,
+            other => return Err(usage(format!("unknown fault class `{other}`"))),
+        });
+    }
+    Ok(classes)
+}
+
+/// The CLI `synth` output, byte for byte.
+fn synth_text(options: &SynthesisOptions) -> String {
+    use std::fmt::Write as _;
+    let result = synthesize_march("synthesized", options);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", result.test);
+    let _ = writeln!(
+        out,
+        "complexity {}n, coverage {}/{} on the search geometry, {} evaluations",
+        result.test.ops_per_cell(),
+        result.detected,
+        result.total,
+        result.evaluations
+    );
+    if !result.is_complete() {
+        let _ = writeln!(out, "warning: coverage incomplete; raise --max-elements");
+    }
+    out
+}

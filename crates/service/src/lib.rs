@@ -1,0 +1,34 @@
+//! `mbist-service` — a concurrent BIST evaluation daemon.
+//!
+//! The offline tools in this workspace answer one question per process:
+//! compile a march test to a [`mbist_march::CompiledTrace`], simulate,
+//! print, exit. This crate keeps those engines resident behind a TCP
+//! endpoint speaking line-delimited JSON, so repeated queries amortize
+//! trace compilation instead of paying it per process:
+//!
+//! - [`protocol`] — the request/response wire format (`coverage`,
+//!   `detects`, `synth`, `area`, `status`, `shutdown`).
+//! - [`queue`] — the bounded job queue whose `busy` rejections are the
+//!   backpressure contract: a saturated daemon sheds load, never hangs.
+//! - [`cache`] — the byte-capped LRU over compiled traces and memoized
+//!   result texts, keyed by [`mbist_march::canonical_trace_key`].
+//! - [`metrics`] — per-kind counters and log₂ latency histograms served by
+//!   `status` and flushed on shutdown.
+//! - [`server`] — the acceptor / connection / worker-pool wiring and the
+//!   graceful-shutdown ordering.
+//!
+//! Responses reuse the exact CLI code paths and formatting, so a service
+//! answer is bit-identical to the offline tool's output for the equivalent
+//! invocation — concurrency and caching change latency, never bytes.
+//! Std-only, like the rest of the workspace.
+
+pub mod cache;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+
+mod exec;
+mod server;
+
+pub use server::{Server, ServiceConfig, ServiceSummary};

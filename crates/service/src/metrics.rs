@@ -1,0 +1,305 @@
+//! The daemon's observability surface.
+//!
+//! Per-request-kind counters and latency histograms, cache hit/miss
+//! counters, and backpressure rejections — everything the `status` request
+//! serves. Latencies are measured arrival→reply (queue wait included: the
+//! figure a client experiences) and recorded into power-of-two microsecond
+//! buckets, from which p50/p95/p99 are reported as bucket upper bounds.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::cache::CacheStats;
+use crate::json::Json;
+
+/// Request kinds with dedicated counter/histogram rows, in wire order.
+pub const KINDS: [&str; 6] = ["coverage", "detects", "synth", "area", "status", "shutdown"];
+
+/// Power-of-two microsecond buckets: bucket `i` covers `[2^i, 2^(i+1))` µs,
+/// the last bucket is open-ended (≈ 34 s and beyond).
+const BUCKETS: usize = 36;
+
+/// A log₂-bucketed latency histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, sum_us: 0, max_us: 0 }
+    }
+}
+
+impl Histogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, micros: u64) {
+        let bucket = (63 - micros.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_us += micros;
+        self.max_us = self.max_us.max(micros);
+    }
+
+    /// Observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The latency quantile `q` (0..=1) as the upper bound of the first
+    /// bucket whose cumulative count reaches it, in microseconds. 0 when
+    /// empty. The estimate is exact to within a factor of two — plenty to
+    /// read p50/p95/p99 trends from.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_us / self.count
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::num(self.count as f64)),
+            ("mean_us", Json::num(self.mean_us() as f64)),
+            ("p50_us", Json::num(self.quantile_us(0.50) as f64)),
+            ("p95_us", Json::num(self.quantile_us(0.95) as f64)),
+            ("p99_us", Json::num(self.quantile_us(0.99) as f64)),
+            ("max_us", Json::num(self.max_us as f64)),
+        ])
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct KindStats {
+    requests: u64,
+    errors: u64,
+    latency: Histogram,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    per_kind: [KindStats; KINDS.len()],
+    rejected_busy: u64,
+    trace_hits: u64,
+    trace_misses: u64,
+    result_hits: u64,
+    result_misses: u64,
+}
+
+/// Shared metrics registry (one per server).
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// A fresh registry; uptime counts from here.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { started: Instant::now(), inner: Mutex::new(Inner::default()) }
+    }
+
+    fn kind_index(kind: &str) -> usize {
+        KINDS.iter().position(|k| *k == kind).expect("known request kind")
+    }
+
+    /// Records a completed request of `kind`: outcome plus arrival→reply
+    /// latency.
+    pub fn record_request(&self, kind: &str, ok: bool, latency_us: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let row = &mut inner.per_kind[Self::kind_index(kind)];
+        row.requests += 1;
+        if !ok {
+            row.errors += 1;
+        }
+        row.latency.record(latency_us);
+    }
+
+    /// Records a backpressure rejection (the request was never queued).
+    pub fn record_rejected(&self) {
+        self.inner.lock().expect("metrics lock").rejected_busy += 1;
+    }
+
+    /// Records a trace-cache lookup outcome.
+    pub fn record_trace_lookup(&self, hit: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if hit {
+            inner.trace_hits += 1;
+        } else {
+            inner.trace_misses += 1;
+        }
+    }
+
+    /// Records a result-memo lookup outcome.
+    pub fn record_result_lookup(&self, hit: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if hit {
+            inner.result_hits += 1;
+        } else {
+            inner.result_misses += 1;
+        }
+    }
+
+    /// Total requests served (all kinds, including errors).
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner.per_kind.iter().map(|k| k.requests).sum()
+    }
+
+    /// The p50 latency of `kind` in microseconds (0 when unobserved) — the
+    /// basis of the backpressure retry hint.
+    #[must_use]
+    pub fn p50_us(&self, kind: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner.per_kind[Self::kind_index(kind)].latency.quantile_us(0.5)
+    }
+
+    /// The full snapshot served by `status` (and flushed on shutdown).
+    #[must_use]
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        cache: CacheStats,
+    ) -> Json {
+        let inner = self.inner.lock().expect("metrics lock");
+        let ratio = |hits: u64, misses: u64| {
+            let total = hits + misses;
+            if total == 0 {
+                Json::Null
+            } else {
+                Json::Num(hits as f64 / total as f64)
+            }
+        };
+        let kinds = KINDS
+            .iter()
+            .zip(inner.per_kind.iter())
+            .map(|(name, row)| {
+                (
+                    name.to_string(),
+                    Json::obj(vec![
+                        ("requests", Json::num(row.requests as f64)),
+                        ("errors", Json::num(row.errors as f64)),
+                        ("latency", row.latency.to_json()),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            ("uptime_ms", Json::num(self.started.elapsed().as_millis() as f64)),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("depth", Json::num(queue_depth as f64)),
+                    ("capacity", Json::num(queue_capacity as f64)),
+                    ("rejected_busy", Json::num(inner.rejected_busy as f64)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("traces", Json::num(cache.traces as f64)),
+                    ("results", Json::num(cache.results as f64)),
+                    ("bytes", Json::num(cache.bytes as f64)),
+                    ("capacity_bytes", Json::num(cache.capacity_bytes as f64)),
+                    ("trace_hits", Json::num(inner.trace_hits as f64)),
+                    ("trace_misses", Json::num(inner.trace_misses as f64)),
+                    ("trace_hit_ratio", ratio(inner.trace_hits, inner.trace_misses)),
+                    ("result_hits", Json::num(inner.result_hits as f64)),
+                    ("result_misses", Json::num(inner.result_misses as f64)),
+                    ("result_hit_ratio", ratio(inner.result_hits, inner.result_misses)),
+                ]),
+            ),
+            ("kinds", Json::Obj(kinds)),
+        ])
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bracketing() {
+        let mut h = Histogram::default();
+        for us in [1u64, 2, 3, 10, 100, 1000, 10_000] {
+            h.record(us);
+        }
+        let (p50, p95, p99) =
+            (h.quantile_us(0.5), h.quantile_us(0.95), h.quantile_us(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p50 >= 10, "median observation is 10µs, upper bound ≥ 10");
+        assert_eq!(h.count(), 7);
+        assert!(h.mean_us() > 0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0);
+    }
+
+    #[test]
+    fn huge_latencies_saturate_the_last_bucket() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        assert!(h.quantile_us(0.5) > 0);
+    }
+
+    #[test]
+    fn snapshot_reports_counters_and_ratios() {
+        let m = Metrics::new();
+        m.record_request("coverage", true, 1500);
+        m.record_request("coverage", false, 300);
+        m.record_request("status", true, 5);
+        m.record_rejected();
+        m.record_trace_lookup(true);
+        m.record_trace_lookup(false);
+        m.record_result_lookup(false);
+        let cache = CacheStats { traces: 1, results: 0, bytes: 1024, capacity_bytes: 4096 };
+        let snap = m.snapshot(3, 64, cache);
+        let queue = snap.get("queue").unwrap();
+        assert_eq!(queue.get("depth").unwrap().as_u64(), Some(3));
+        assert_eq!(queue.get("rejected_busy").unwrap().as_u64(), Some(1));
+        let cache = snap.get("cache").unwrap();
+        assert_eq!(cache.get("trace_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("trace_hit_ratio").unwrap().as_f64(), Some(0.5));
+        let cov = snap.get("kinds").unwrap().get("coverage").unwrap();
+        assert_eq!(cov.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(cov.get("errors").unwrap().as_u64(), Some(1));
+        assert!(cov.get("latency").unwrap().get("p95_us").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(m.total_requests(), 3);
+    }
+}

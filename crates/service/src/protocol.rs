@@ -1,0 +1,394 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! Each request is one JSON object on one line; the server answers with
+//! exactly one JSON object line per request, in order. Request kinds:
+//!
+//! | kind       | fields                                                        |
+//! |------------|---------------------------------------------------------------|
+//! | `coverage` | `test`, `words` [, `width`, `ports`, `max_faults`, `jobs`, `engine`] |
+//! | `detects`  | `test`, `words`, `fault` [, `width`, `ports`]                 |
+//! | `synth`    | `classes` [, `max_elements`, `jobs`, `engine`]                |
+//! | `area`     | [`table`]                                                     |
+//! | `status`   | —                                                             |
+//! | `shutdown` | —                                                             |
+//!
+//! An optional `id` member is echoed back verbatim in the response so
+//! clients may correlate. Success responses carry `"ok":true` plus
+//! kind-specific payload; failures carry `"ok":false` and an `error`
+//! object with a `class` (`usage`, `failed`, `busy`, `shutdown`) and
+//! `message`; `busy` adds `retry_after_ms` (explicit backpressure — the
+//! server never blocks a client on a full queue).
+
+use mbist_march::SimEngine;
+use mbist_mem::MemGeometry;
+
+use crate::json::Json;
+
+/// A decoded request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Per-fault-class coverage of a march test — the CLI's `coverage`.
+    Coverage {
+        /// Library name or inline march notation.
+        test: String,
+        /// Memory organization under evaluation.
+        geometry: MemGeometry,
+        /// Per-class stride-sampling cap (`None` = uncapped).
+        max_faults: Option<usize>,
+        /// Fan-out threads *within* this request (`None` = host auto).
+        /// Defaults to 1: the worker pool is the concurrency source.
+        jobs: Option<usize>,
+        /// Fault-simulation engine.
+        engine: SimEngine,
+    },
+    /// Single-fault detection against the cached trace.
+    Detects {
+        /// Library name or inline march notation.
+        test: String,
+        /// Memory organization under evaluation.
+        geometry: MemGeometry,
+        /// Fault spec, `KIND@ADDR[.BIT]` (the CLI `--fault` syntax).
+        fault: String,
+    },
+    /// March-test synthesis for a fault mix — the CLI's `synth`.
+    Synth {
+        /// Comma-separated class names (`saf,tf,af,cfin,cfid,cfst`).
+        classes: String,
+        /// Upper bound on march elements.
+        max_elements: usize,
+        /// Fan-out threads within the request (see [`Request::Coverage`]).
+        jobs: Option<usize>,
+        /// Fault-simulation engine.
+        engine: SimEngine,
+    },
+    /// The paper's area tables — the CLI's `area`.
+    Area {
+        /// `"1"`, `"2"`, `"3"`, or `None` for all three.
+        table: Option<String>,
+    },
+    /// Metrics snapshot (served inline, never queued — it works even while
+    /// the job queue is saturated).
+    Status,
+    /// Graceful shutdown: stop accepting, drain the queue, flush metrics.
+    Shutdown,
+}
+
+impl Request {
+    /// The request-kind label used in metrics and responses.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Coverage { .. } => "coverage",
+            Request::Detects { .. } => "detects",
+            Request::Synth { .. } => "synth",
+            Request::Area { .. } => "area",
+            Request::Status => "status",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A request plus its correlation id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Echoed back verbatim in the response, if the client sent one.
+    pub id: Option<Json>,
+    /// The decoded request.
+    pub request: Request,
+}
+
+/// Why a request failed, mapped onto the wire `error.class`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Malformed request (parse error, unknown kind/field value). Mirrors
+    /// the CLI's usage class.
+    Usage(String),
+    /// Well-formed but could not be carried out.
+    Failed(String),
+    /// The job queue is full; retry after the embedded hint (ms).
+    Busy {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ServiceError {
+    /// The wire `error.class` label.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            ServiceError::Usage(_) => "usage",
+            ServiceError::Failed(_) => "failed",
+            ServiceError::Busy { .. } => "busy",
+            ServiceError::ShuttingDown => "shutdown",
+        }
+    }
+}
+
+fn usage(message: impl Into<String>) -> ServiceError {
+    ServiceError::Usage(message.into())
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Usage`] on malformed JSON, an unknown `kind`,
+/// missing required fields or out-of-range values.
+pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
+    let value = Json::parse(line).map_err(|e| usage(format!("invalid JSON: {e}")))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(usage("request must be a JSON object"));
+    }
+    let id = value.get("id").cloned();
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| usage("missing string field `kind`"))?;
+    let request = match kind {
+        "coverage" => Request::Coverage {
+            test: required_str(&value, "test")?,
+            geometry: geometry_from(&value)?,
+            max_faults: match opt_u64(&value, "max_faults")? {
+                None => Some(256),
+                Some(0) => None,
+                Some(n) => Some(usize::try_from(n).expect("u64 fits usize")),
+            },
+            jobs: jobs_from(&value)?,
+            engine: engine_from(&value)?,
+        },
+        "detects" => Request::Detects {
+            test: required_str(&value, "test")?,
+            geometry: geometry_from(&value)?,
+            fault: required_str(&value, "fault")?,
+        },
+        "synth" => Request::Synth {
+            classes: required_str(&value, "classes")?,
+            max_elements: usize::try_from(opt_u64(&value, "max_elements")?.unwrap_or(8))
+                .expect("u64 fits usize"),
+            jobs: jobs_from(&value)?,
+            engine: engine_from(&value)?,
+        },
+        "area" => Request::Area {
+            table: match value.get("table") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .map(ToString::to_string)
+                        .or_else(|| v.as_u64().map(|n| n.to_string()))
+                        .ok_or_else(|| usage("`table` must be \"1\", \"2\" or \"3\""))?,
+                ),
+            },
+        },
+        "status" => Request::Status,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(usage(format!(
+                "unknown kind `{other}` (coverage|detects|synth|area|status|shutdown)"
+            )))
+        }
+    };
+    Ok(Envelope { id, request })
+}
+
+fn required_str(value: &Json, field: &str) -> Result<String, ServiceError> {
+    value
+        .get(field)
+        .and_then(Json::as_str)
+        .map(ToString::to_string)
+        .ok_or_else(|| usage(format!("missing string field `{field}`")))
+}
+
+fn opt_u64(value: &Json, field: &str) -> Result<Option<u64>, ServiceError> {
+    match value.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| usage(format!("`{field}` must be a non-negative integer"))),
+    }
+}
+
+/// `jobs` within one request: absent → 1 (the worker pool is the
+/// concurrency source), 0 → host auto, n → n. The response is bit-identical
+/// for every setting.
+fn jobs_from(value: &Json) -> Result<Option<usize>, ServiceError> {
+    Ok(match opt_u64(value, "jobs")? {
+        None => Some(1),
+        Some(0) => None,
+        Some(n) => Some(usize::try_from(n).expect("u64 fits usize")),
+    })
+}
+
+fn engine_from(value: &Json) -> Result<SimEngine, ServiceError> {
+    match value.get("engine") {
+        None | Some(Json::Null) => Ok(SimEngine::default()),
+        Some(v) => match v.as_str() {
+            Some("full") => Ok(SimEngine::Full),
+            Some("sliced") => Ok(SimEngine::Sliced),
+            _ => Err(usage("`engine` must be \"full\" or \"sliced\"")),
+        },
+    }
+}
+
+fn geometry_from(value: &Json) -> Result<MemGeometry, ServiceError> {
+    let words =
+        opt_u64(value, "words")?.ok_or_else(|| usage("missing integer field `words`"))?;
+    let width = opt_u64(value, "width")?.unwrap_or(1);
+    let ports = opt_u64(value, "ports")?.unwrap_or(1);
+    if words == 0 || width == 0 || width > 64 || ports == 0 || ports > u64::from(u8::MAX) {
+        return Err(usage("geometry out of range (words ≥ 1, 1 ≤ width ≤ 64, ports ≥ 1)"));
+    }
+    Ok(MemGeometry::new(words, u8::try_from(width).expect("≤64"), ports as u8))
+}
+
+/// Builds a success response line (without the trailing newline).
+#[must_use]
+pub fn ok_response(id: Option<&Json>, kind: &str, payload: Vec<(&str, Json)>) -> String {
+    let mut members = Vec::with_capacity(payload.len() + 3);
+    if let Some(id) = id {
+        members.push(("id".to_string(), id.clone()));
+    }
+    members.push(("ok".to_string(), Json::Bool(true)));
+    members.push(("kind".to_string(), Json::str(kind)));
+    members.extend(payload.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(members).to_string()
+}
+
+/// Builds a failure response line (without the trailing newline).
+#[must_use]
+pub fn error_response(id: Option<&Json>, error: &ServiceError) -> String {
+    let mut error_members = vec![("class".to_string(), Json::str(error.class()))];
+    let message = match error {
+        ServiceError::Usage(m) | ServiceError::Failed(m) => m.clone(),
+        ServiceError::Busy { retry_after_ms } => {
+            error_members
+                .push(("retry_after_ms".to_string(), Json::num(*retry_after_ms as f64)));
+            "job queue full; retry after the hinted back-off".to_string()
+        }
+        ServiceError::ShuttingDown => "server is draining; no new work accepted".into(),
+    };
+    error_members.insert(1, ("message".to_string(), Json::str(message)));
+    let mut members = Vec::new();
+    if let Some(id) = id {
+        members.push(("id".to_string(), id.clone()));
+    }
+    members.push(("ok".to_string(), Json::Bool(false)));
+    members.push(("error".to_string(), Json::Obj(error_members)));
+    Json::Obj(members).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_coverage_with_defaults() {
+        let e =
+            parse_request(r#"{"kind":"coverage","test":"march-c","words":64}"#).unwrap();
+        assert_eq!(e.id, None);
+        match e.request {
+            Request::Coverage { test, geometry, max_faults, jobs, engine } => {
+                assert_eq!(test, "march-c");
+                assert_eq!(geometry, MemGeometry::bit_oriented(64));
+                assert_eq!(max_faults, Some(256));
+                assert_eq!(jobs, Some(1));
+                assert_eq!(engine, SimEngine::Sliced);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_order_is_irrelevant() {
+        let a =
+            parse_request(r#"{"kind":"coverage","test":"march-c","words":64,"width":8}"#)
+                .unwrap();
+        let b =
+            parse_request(r#"{"width":8,"words":64,"test":"march-c","kind":"coverage"}"#)
+                .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_defaults_parse_identically_to_omitted() {
+        let a = parse_request(
+            r#"{"kind":"detects","test":"mats+","words":16,"fault":"sa1@3"}"#,
+        )
+        .unwrap();
+        let b = parse_request(
+            r#"{"kind":"detects","test":"mats+","words":16,"width":1,"ports":1,"fault":"sa1@3"}"#,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jobs_and_max_faults_zero_mean_auto_and_uncapped() {
+        let e = parse_request(
+            r#"{"kind":"coverage","test":"mats","words":8,"jobs":0,"max_faults":0}"#,
+        )
+        .unwrap();
+        match e.request {
+            Request::Coverage { jobs, max_faults, .. } => {
+                assert_eq!(jobs, None);
+                assert_eq!(max_faults, None);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn id_is_preserved() {
+        let e = parse_request(r#"{"id":42,"kind":"status"}"#).unwrap();
+        assert_eq!(e.id, Some(Json::Num(42.0)));
+        assert_eq!(e.request, Request::Status);
+        let line = ok_response(e.id.as_ref(), "status", vec![]);
+        assert!(line.starts_with(r#"{"id":42,"ok":true"#), "{line}");
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_bad_geometry() {
+        assert!(matches!(
+            parse_request(r#"{"kind":"frob"}"#),
+            Err(ServiceError::Usage(m)) if m.contains("unknown kind")
+        ));
+        assert!(matches!(
+            parse_request(r#"{"kind":"coverage","test":"mats","words":0}"#),
+            Err(ServiceError::Usage(m)) if m.contains("geometry out of range")
+        ));
+        assert!(matches!(
+            parse_request(r#"{"kind":"coverage","test":"mats"}"#),
+            Err(ServiceError::Usage(m)) if m.contains("words")
+        ));
+        assert!(matches!(
+            parse_request("not json"),
+            Err(ServiceError::Usage(m)) if m.contains("invalid JSON")
+        ));
+    }
+
+    #[test]
+    fn error_responses_carry_class_and_retry_hint() {
+        let busy = error_response(None, &ServiceError::Busy { retry_after_ms: 40 });
+        let v = Json::parse(&busy).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("class").unwrap().as_str(), Some("busy"));
+        assert_eq!(err.get("retry_after_ms").unwrap().as_u64(), Some(40));
+        let usage = error_response(None, &ServiceError::Usage("bad".into()));
+        let v = Json::parse(&usage).unwrap();
+        assert_eq!(v.get("error").unwrap().get("class").unwrap().as_str(), Some("usage"));
+    }
+
+    #[test]
+    fn area_table_accepts_string_or_number() {
+        for line in [r#"{"kind":"area","table":"2"}"#, r#"{"kind":"area","table":2}"#] {
+            match parse_request(line).unwrap().request {
+                Request::Area { table } => assert_eq!(table.as_deref(), Some("2")),
+                other => panic!("wrong request: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The concurrent evaluation daemon.
+//!
+//! One acceptor thread hands each connection to its own thread; connection
+//! threads decode line-delimited JSON requests and either answer inline
+//! (`status`, `shutdown` — these must work even while the queue is
+//! saturated) or submit a [`Job`] to the bounded queue. A fixed worker pool
+//! pops jobs, executes them against the shared trace cache and sends the
+//! response line back over a per-job channel. A full queue is answered with
+//! a structured `busy` error carrying a retry hint — the daemon sheds load
+//! explicitly instead of hanging clients.
+//!
+//! Graceful shutdown (triggered by a `shutdown` request or
+//! [`Server::shutdown`]) is ordered: set the flag → the acceptor stops
+//! accepting and joins the connection threads (the only producers) → the
+//! queue is closed → workers drain what was admitted and exit → the final
+//! metrics snapshot is flushed into the [`ServiceSummary`].
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::cache::TraceCache;
+use crate::exec;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    error_response, ok_response, parse_request, Envelope, Request, ServiceError,
+};
+use crate::queue::{JobQueue, PushError};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Trace/result cache budget in bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Bounded job-queue depth; beyond it requests get `busy`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { workers: 0, cache_bytes: 64 << 20, queue_depth: 64 }
+    }
+}
+
+/// A queued unit of work: the decoded request plus its reply channel.
+struct Job {
+    envelope: Envelope,
+    reply: mpsc::Sender<String>,
+    enqueued: Instant,
+}
+
+/// State shared by the acceptor, connection threads and workers.
+pub(crate) struct Shared {
+    pub(crate) cache: TraceCache,
+    pub(crate) metrics: Metrics,
+    queue: JobQueue<Job>,
+    shutdown: AtomicBool,
+    workers: usize,
+    drained_at_close: AtomicUsize,
+}
+
+/// What the daemon reports after a graceful shutdown.
+#[derive(Debug)]
+pub struct ServiceSummary {
+    /// Requests answered (all kinds, errors included).
+    pub served: u64,
+    /// Jobs still queued when shutdown began — all of them were drained.
+    pub drained: usize,
+    /// The final metrics snapshot (same shape as a `status` response).
+    pub metrics: Json,
+}
+
+/// A running daemon; dropping it without [`Server::join`] detaches the
+/// threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the acceptor plus the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(addr: &str, config: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = if config.workers == 0 {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            cache: TraceCache::new(config.cache_bytes),
+            metrics: Metrics::new(),
+            queue: JobQueue::new(config.queue_depth),
+            shutdown: AtomicBool::new(false),
+            workers,
+            drained_at_close: AtomicUsize::new(0),
+        });
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("mbist-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("mbist-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(Server { shared, local_addr, acceptor, workers: worker_handles })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Triggers the graceful-shutdown sequence (same effect as a `shutdown`
+    /// request). Idempotent; returns immediately — [`Server::join`] waits.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until shutdown completes (acceptor stopped, connections
+    /// closed, queue drained, workers exited) and flushes the final
+    /// metrics snapshot.
+    #[must_use]
+    pub fn join(self) -> ServiceSummary {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let shared = &self.shared;
+        ServiceSummary {
+            served: shared.metrics.total_requests(),
+            drained: shared.drained_at_close.load(Ordering::SeqCst),
+            metrics: shared.metrics.snapshot(
+                shared.queue.len(),
+                shared.queue.capacity(),
+                shared.cache.stats(),
+            ),
+        }
+    }
+}
+
+/// How often blocked accept/read calls re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                connections.push(
+                    thread::Builder::new()
+                        .name("mbist-conn".into())
+                        .spawn(move || handle_connection(stream, &shared))
+                        .expect("spawn connection"),
+                );
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+    // Connection threads are the only producers; once they exit the queue
+    // contents are final and closing it lets the workers drain and stop.
+    for h in connections {
+        let _ = h.join();
+    }
+    shared.drained_at_close.store(shared.queue.len(), Ordering::SeqCst);
+    shared.queue.close();
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let kind = job.envelope.request.kind();
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| exec::execute(&job.envelope.request, shared)));
+        let id = job.envelope.id.as_ref();
+        let (ok, line) = match outcome {
+            Ok(Ok(payload)) => (true, ok_response(id, kind, payload)),
+            Ok(Err(e)) => (false, error_response(id, &e)),
+            Err(_) => (
+                false,
+                error_response(
+                    id,
+                    &ServiceError::Failed("internal error (panic isolated)".into()),
+                ),
+            ),
+        };
+        let latency_us = elapsed_us(job.enqueued);
+        shared.metrics.record_request(kind, ok, latency_us);
+        // The connection may already be gone; dropping the reply is fine.
+        let _ = job.reply.send(line);
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        // `read_line` keeps partial data in `line` across timeouts, so the
+        // retry below resumes mid-line; timeouts only exist so the thread
+        // notices shutdown.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let reply = handle_line(line.trim(), shared);
+                line.clear();
+                if let Some(mut reply) = reply {
+                    // One write per reply: a separate newline segment would
+                    // trip Nagle/delayed-ACK and add ~40 ms for clients that
+                    // did not disable delays.
+                    reply.push('\n');
+                    if writer.write_all(reply.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Processes one request line; `None` for blank lines (no response owed).
+fn handle_line(line: &str, shared: &Arc<Shared>) -> Option<String> {
+    if line.is_empty() {
+        return None;
+    }
+    let arrival = Instant::now();
+    let envelope = match parse_request(line) {
+        Ok(envelope) => envelope,
+        Err(e) => return Some(error_response(None, &e)),
+    };
+    let id = envelope.id.clone();
+    let kind = envelope.request.kind();
+    match envelope.request {
+        // Served inline: must keep working while the queue is saturated.
+        Request::Status => {
+            let snapshot = shared.metrics.snapshot(
+                shared.queue.len(),
+                shared.queue.capacity(),
+                shared.cache.stats(),
+            );
+            shared.metrics.record_request(kind, true, elapsed_us(arrival));
+            Some(ok_response(id.as_ref(), kind, vec![("status", snapshot)]))
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.metrics.record_request(kind, true, elapsed_us(arrival));
+            Some(ok_response(
+                id.as_ref(),
+                kind,
+                vec![
+                    ("draining", Json::Bool(true)),
+                    ("queued", Json::num(shared.queue.len() as f64)),
+                ],
+            ))
+        }
+        request => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Some(error_response(id.as_ref(), &ServiceError::ShuttingDown));
+            }
+            let (tx, rx) = mpsc::channel();
+            let job = Job {
+                envelope: Envelope { id: id.clone(), request },
+                reply: tx,
+                enqueued: arrival,
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => match rx.recv() {
+                    Ok(reply) => Some(reply),
+                    Err(_) => Some(error_response(
+                        id.as_ref(),
+                        &ServiceError::Failed("worker pool exited before replying".into()),
+                    )),
+                },
+                Err(PushError::Full(_)) => {
+                    shared.metrics.record_rejected();
+                    shared.metrics.record_request(kind, false, elapsed_us(arrival));
+                    Some(error_response(
+                        id.as_ref(),
+                        &ServiceError::Busy { retry_after_ms: retry_hint_ms(shared, kind) },
+                    ))
+                }
+                Err(PushError::Closed(_)) => {
+                    Some(error_response(id.as_ref(), &ServiceError::ShuttingDown))
+                }
+            }
+        }
+    }
+}
+
+/// Suggested back-off when shedding: roughly the time for the pool to chew
+/// through the backlog ahead of the client, floored at 25 ms.
+fn retry_hint_ms(shared: &Shared, kind: &str) -> u64 {
+    let p50_ms = shared.metrics.p50_us(kind) / 1000;
+    let backlog = (shared.queue.len() as u64).max(1);
+    let workers = shared.workers as u64;
+    (p50_ms * backlog.div_ceil(workers)).max(25)
+}

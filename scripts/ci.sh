@@ -61,4 +61,27 @@ fi
 echo "==> robustness sweep smoke (std-only harness)"
 cargo run --release -p mbist-bench --bin robustness -- --quick --out /tmp/BENCH_robustness_ci.json
 
+echo "==> service smoke (daemon on an ephemeral port + loadgen burst)"
+svc_log=/tmp/mbist_service_ci.log
+cargo run -q --release -p mbist-cli -- serve --addr 127.0.0.1:0 --workers 2 \
+    > "$svc_log" 2>&1 &
+svc_pid=$!
+i=0
+until grep -q "listening on" "$svc_log"; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "daemon never came up"; cat "$svc_log"; exit 1; }
+    sleep 0.1
+done
+addr=$(sed -n 's/^mbist-service listening on \([0-9.:]*\) .*/\1/p' "$svc_log")
+svc_out=$(cargo run -q --release -p mbist-bench --bin loadgen -- \
+    --quick --addr "$addr" --shutdown --out /tmp/BENCH_service_ci.json)
+echo "$svc_out"
+# the daemon's responses must be byte-identical to the offline CLI
+[ "$(echo "$svc_out" | grep -c "agreement OK")" -eq 3 ] || {
+    echo "service smoke missing agreement lines"; exit 1; }
+wait "$svc_pid" || { echo "daemon exited non-zero"; cat "$svc_log"; exit 1; }
+# the protocol shutdown must drain the queue and flush the summary
+grep -q "drained" "$svc_log" || {
+    echo "daemon did not report a clean drain"; cat "$svc_log"; exit 1; }
+
 echo "CI OK"
