@@ -1,6 +1,7 @@
 //! Fault-simulation engine throughput: serial vs parallel coverage
-//! evaluation, full-replay vs early-exit detection, and full vs sliced
-//! differential replay over a shared compiled trace.
+//! evaluation, full-replay vs early-exit detection, full vs sliced
+//! differential replay over a shared compiled trace, and sliced vs
+//! lane-packed batch simulation of the batchable fault classes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mbist_march::{
@@ -18,8 +19,10 @@ fn bench_coverage_parallelism(c: &mut Criterion) {
     let modes = [
         ("jobs1_full", Some(1), SimEngine::Full),
         ("jobs1_sliced", Some(1), SimEngine::Sliced),
+        ("jobs1_packed", Some(1), SimEngine::Packed),
         ("jobs_auto_full", None, SimEngine::Full),
         ("jobs_auto_sliced", None, SimEngine::Sliced),
+        ("jobs_auto_packed", None, SimEngine::Packed),
     ];
     for (label, jobs, engine) in modes {
         group.bench_function(format!("march_c_all_classes_{label}"), |b| {
@@ -62,6 +65,38 @@ fn bench_sliced_trace(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_packed_batches(c: &mut Criterion) {
+    let g = MemGeometry::bit_oriented(256);
+    let test = library::march_c();
+    let steps = expand(&test, &g);
+    let spec = UniverseSpec::default();
+    let trace = CompiledTrace::from_steps(g, &steps);
+    // The five classes the packed engine vectorizes — the head-to-head
+    // against sliced on exactly the faults the u64 lanes cover.
+    let batchable = [
+        FaultClass::StuckAt,
+        FaultClass::Transition,
+        FaultClass::CouplingInversion,
+        FaultClass::CouplingIdempotent,
+        FaultClass::CouplingState,
+    ];
+    let universe: Vec<_> = batchable
+        .iter()
+        .flat_map(|&class| class_universe(&g, class, &spec).into_iter().take(256))
+        .collect();
+
+    let mut group = c.benchmark_group("packed_256x1");
+    group.sample_size(10);
+    for (label, engine) in
+        [("sliced_batchable", SimEngine::Sliced), ("packed_batchable", SimEngine::Packed)]
+    {
+        group.bench_function(format!("march_c_{label}"), |b| {
+            b.iter(|| black_box(trace.detect_universe(&universe, Some(1), engine)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_detect_early_exit(c: &mut Criterion) {
     let g = MemGeometry::bit_oriented(256);
     let test = library::march_c();
@@ -98,6 +133,7 @@ criterion_group!(
     benches,
     bench_coverage_parallelism,
     bench_sliced_trace,
+    bench_packed_batches,
     bench_detect_early_exit
 );
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Std-only coverage-engine performance harness.
 //!
-//! Measures fault simulation in six modes on the same sampled fault
+//! Measures fault simulation in eight modes on the same sampled fault
 //! universes:
 //!
 //! - `seed_replay`: the original algorithm — the [`legacy`] reference
@@ -13,13 +13,20 @@
 //!   forced serial (`jobs = 1`), full replay per fault;
 //! - `sliced`: the sliced differential engine over one shared compiled
 //!   trace, forced serial;
+//! - `packed`: the lane-packed bit-parallel engine (64 faults per `u64`
+//!   batch, sliced fallback for non-batchable classes), forced serial;
 //! - `parallel_auto`: full replay with the host's available parallelism;
-//! - `sliced_parallel`: the sliced engine with the host's parallelism.
+//! - `sliced_parallel`: the sliced engine with the host's parallelism;
+//! - `packed_parallel`: the packed engine with the host's parallelism.
 //!
 //! Every mode that runs must agree on the detection count; each
 //! `(test, geometry)` pair prints an `agreement OK` line that CI greps
 //! for. `--modes a,b,...` restricts which modes run — speedup ratios
 //! whose baseline didn't run are reported as skipped, never fabricated.
+//! When both `sliced` and `packed` run, the harness also times the two
+//! engines head-to-head on the batchable fault subset (the five classes
+//! the packed engine vectorizes) of the largest march-c run — the
+//! `packed_vs_sliced_batchable` acceptance ratio.
 //!
 //! Emits `BENCH_coverage.json` (test × geometry × wall-ns × faults/sec,
 //! min and median over the sample count) and prints a human summary with
@@ -34,10 +41,12 @@ use std::time::Instant;
 use std::{env, fs, thread};
 
 use mbist_march::{
-    evaluate_coverage, expand_with, library, run_steps, CoverageOptions, ExpandOptions,
-    MarchTest, SimEngine,
+    evaluate_coverage, expand_with, library, run_steps, CompiledTrace, CoverageOptions,
+    ExpandOptions, MarchTest, SimEngine,
 };
-use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
+use mbist_mem::{
+    class_universe, FaultClass, FaultKind, MemGeometry, MemoryArray, UniverseSpec,
+};
 
 /// The fault simulator exactly as the workspace seed implemented it,
 /// preserved as the performance baseline. Semantically equivalent to
@@ -415,13 +424,25 @@ mod legacy {
 const MAX_FAULTS_PER_CLASS: usize = 512;
 
 /// Mode names in canonical run order (slowest baseline first).
-const MODE_NAMES: [&str; 6] = [
+const MODE_NAMES: [&str; 8] = [
     "seed_replay",
     "engine_full",
     "detect_jobs1",
     "sliced",
+    "packed",
     "parallel_auto",
     "sliced_parallel",
+    "packed_parallel",
+];
+
+/// The fault classes the packed engine batches into `u64` lanes; the rest
+/// fall back to the sliced path inside `packed` mode.
+const BATCHABLE: [FaultClass; 5] = [
+    FaultClass::StuckAt,
+    FaultClass::Transition,
+    FaultClass::CouplingInversion,
+    FaultClass::CouplingIdempotent,
+    FaultClass::CouplingState,
 ];
 
 type Mode<'a> = (&'static str, Box<dyn FnMut() -> usize + 'a>);
@@ -449,10 +470,15 @@ impl Entry {
 
 /// The acceptance universe: every fault class, stride-capped per class the
 /// same way `evaluate_coverage` caps it.
-fn sampled_universe(geometry: &MemGeometry) -> Vec<mbist_mem::FaultKind> {
+fn sampled_universe(geometry: &MemGeometry) -> Vec<FaultKind> {
+    sampled_classes(geometry, &FaultClass::ALL)
+}
+
+/// Stride-capped universe restricted to `classes`.
+fn sampled_classes(geometry: &MemGeometry, classes: &[FaultClass]) -> Vec<FaultKind> {
     let spec = UniverseSpec::default();
     let mut faults = Vec::new();
-    for &class in FaultClass::ALL.iter() {
+    for &class in classes.iter() {
         let u = class_universe(geometry, class, &spec);
         let len = u.len();
         if len <= MAX_FAULTS_PER_CLASS {
@@ -551,6 +577,12 @@ fn ratio(baseline: Option<&Entry>, candidate: Option<&Entry>) -> Option<f64> {
     Some(baseline?.wall_ns as f64 / candidate?.wall_ns.max(1) as f64)
 }
 
+/// The first recorded entry for `mode` (used by the dedicated batchable-
+/// subset measurement, which records exactly one entry per engine).
+fn pick_entry<'a>(entries: &'a [Entry], mode: &str) -> Option<&'a Entry> {
+    entries.iter().find(|e| e.mode == mode)
+}
+
 fn format_ratio(name: &str, r: Option<f64>) -> String {
     match r {
         Some(r) => format!("{name} {r:.1}x"),
@@ -604,13 +636,15 @@ fn main() {
     for g in &geometries {
         let faults = sampled_universe(g).len();
         for t in &tests {
-            let modes: [Mode<'_>; 6] = [
+            let modes: [Mode<'_>; 8] = [
                 ("seed_replay", Box::new(|| run_seed_replay(t, g))),
                 ("engine_full", Box::new(|| run_full_replay(t, g))),
                 ("detect_jobs1", Box::new(|| run_engine(t, g, Some(1), SimEngine::Full))),
                 ("sliced", Box::new(|| run_engine(t, g, Some(1), SimEngine::Sliced))),
+                ("packed", Box::new(|| run_engine(t, g, Some(1), SimEngine::Packed))),
                 ("parallel_auto", Box::new(|| run_engine(t, g, None, SimEngine::Full))),
                 ("sliced_parallel", Box::new(|| run_engine(t, g, None, SimEngine::Sliced))),
+                ("packed_parallel", Box::new(|| run_engine(t, g, None, SimEngine::Packed))),
             ];
             let mut detected: Option<usize> = None;
             let mut modes_run = 0usize;
@@ -670,25 +704,94 @@ fn main() {
     let engine_full = pick("engine_full");
     let detect = pick("detect_jobs1");
     let sliced = pick("sliced");
+    let packed = pick("packed");
     let parallel = pick("parallel_auto");
     let sliced_parallel = pick("sliced_parallel");
+    let packed_parallel = pick("packed_parallel");
     let array_vs_seed = ratio(seed, engine_full);
     let detect_vs_seed = ratio(seed, detect);
     let sliced_vs_seed = ratio(seed, sliced);
     let sliced_vs_detect = ratio(detect, sliced);
+    let packed_vs_seed = ratio(seed, packed);
+    let packed_vs_sliced = ratio(sliced, packed);
     let parallel_vs_seed = ratio(seed, parallel);
     let sliced_parallel_vs_detect = ratio(detect, sliced_parallel);
-    if let Some(g) = [seed, detect, sliced].iter().flatten().next() {
+    let packed_parallel_vs_detect = ratio(detect, packed_parallel);
+    if let Some(g) = [seed, detect, sliced, packed].iter().flatten().next() {
         println!();
         println!(
-            "march-c on {}: {}, {}, {}, {}, {}, {} (host parallelism {host})",
+            "march-c on {}: {}, {}, {}, {}, {}, {}, {}, {}, {} (host parallelism {host})",
             g.geometry,
             format_ratio("array_vs_seed", array_vs_seed),
             format_ratio("detect_vs_seed", detect_vs_seed),
             format_ratio("sliced_vs_seed", sliced_vs_seed),
             format_ratio("sliced_vs_detect", sliced_vs_detect),
+            format_ratio("packed_vs_seed", packed_vs_seed),
+            format_ratio("packed_vs_sliced", packed_vs_sliced),
             format_ratio("parallel_vs_seed", parallel_vs_seed),
             format_ratio("sliced_parallel_vs_detect", sliced_parallel_vs_detect),
+            format_ratio("packed_parallel_vs_detect", packed_parallel_vs_detect),
+        );
+    }
+
+    // The acceptance measurement: sliced vs packed head-to-head on the
+    // batchable fault subset of march-c at the largest geometry, single
+    // worker — the whole-universe `packed` mode above dilutes the lane win
+    // with the sliced fallback classes, so the vectorization claim is
+    // timed on exactly the faults the lanes cover. Only measured when both
+    // engines were selected; otherwise the ratio is skipped, not made up.
+    let mut packed_vs_sliced_batchable = None;
+    if selected.contains(&"sliced") && selected.contains(&"packed") {
+        let g = *geometries.iter().max_by_key(|g| g.words()).expect("geometries");
+        let t = library::march_c();
+        let steps = expand_with(&t, &g, &ExpandOptions::for_geometry(&g));
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let universe = sampled_classes(&g, &BATCHABLE);
+        assert_eq!(
+            trace.detect_universe(&universe, Some(1), SimEngine::Sliced),
+            trace.detect_universe(&universe, Some(1), SimEngine::Packed),
+            "march-c {g}: engines disagree on the batchable subset"
+        );
+        println!();
+        for (mode, engine) in [
+            ("sliced_batchable", SimEngine::Sliced),
+            ("packed_batchable", SimEngine::Packed),
+        ] {
+            let (wall_ns, median_ns, detected) = time_stats(samples, || {
+                trace
+                    .detect_universe(&universe, Some(1), engine)
+                    .iter()
+                    .filter(|&&d| d)
+                    .count()
+            });
+            let e = Entry {
+                test: "march-c".to_string(),
+                geometry: g,
+                mode,
+                faults: universe.len(),
+                wall_ns,
+                median_ns,
+            };
+            println!(
+                "{:<10} {:<10} {:<15} {:>8} {:>11.3} ms {:>11.3} ms {:>12.0}",
+                e.test,
+                e.geometry.to_string(),
+                e.mode,
+                e.faults,
+                e.wall_ns as f64 / 1e6,
+                e.median_ns as f64 / 1e6,
+                e.faults_per_sec()
+            );
+            let _ = detected;
+            entries.push(e);
+        }
+        packed_vs_sliced_batchable = ratio(
+            pick_entry(&entries, "sliced_batchable"),
+            pick_entry(&entries, "packed_batchable"),
+        );
+        println!(
+            "march-c {g} batchable subset: {}",
+            format_ratio("packed_vs_sliced_batchable", packed_vs_sliced_batchable)
         );
     }
 
@@ -702,8 +805,12 @@ fn main() {
         ("detect_vs_seed", detect_vs_seed),
         ("sliced_vs_seed", sliced_vs_seed),
         ("sliced_vs_detect", sliced_vs_detect),
+        ("packed_vs_seed", packed_vs_seed),
+        ("packed_vs_sliced", packed_vs_sliced),
+        ("packed_vs_sliced_batchable", packed_vs_sliced_batchable),
         ("parallel_vs_seed", parallel_vs_seed),
         ("sliced_parallel_vs_detect", sliced_parallel_vs_detect),
+        ("packed_parallel_vs_detect", packed_parallel_vs_detect),
     ];
     let speedups: Vec<String> = ratios
         .iter()

@@ -181,14 +181,15 @@ commands:
       [--cycle-budget C]              fails; A: microcode|progfsm)
   coverage <algorithm> --words N      per-fault-class coverage (serial fault sim)
       [--max-faults K] [--jobs J]     J worker threads (0 or absent = auto);
-      [--engine full|sliced]          the report is identical for every J and
-                                      engine (sliced = default, trace-based)
+      [--engine full|sliced|packed]   the report is identical for every J and
+                                      engine (sliced = default; packed batches
+                                      64 faults per replay into u64 lanes)
   area [--table 1|2|3]                regenerate the paper's tables
   rtl <algorithm> [--capacity Z]      emit Verilog for the microcode BIST unit
       [--words N] [--width W]
   synth --classes C1,C2,..            synthesize a minimal march test for a
       [--max-elements N] [--jobs J]   fault mix (saf tf af cfin cfid cfst)
-      [--engine full|sliced]
+      [--engine full|sliced|packed]
   serve [--addr A] [--workers W]      run the evaluation daemon (line-delimited
       [--cache-bytes B]               JSON over TCP; default 127.0.0.1:1999);
       [--queue-depth D]               send {\"kind\":\"shutdown\"} to stop
@@ -236,14 +237,17 @@ fn jobs_from(args: &[&str]) -> Result<Option<usize>, CliError> {
     Ok(if n == 0 { None } else { Some(n) })
 }
 
-/// `--engine full|sliced` → fault-simulation engine (sliced differential
-/// replay by default; the output is identical either way).
+/// `--engine full|sliced|packed` → fault-simulation engine (sliced
+/// differential replay by default; the output is identical for every
+/// choice — `packed` batches up to 64 compatible faults into `u64` lanes
+/// per trace replay).
 fn engine_from(args: &[&str]) -> Result<SimEngine, CliError> {
     match flag_value(args, "--engine") {
         None => Ok(SimEngine::default()),
         Some("full") => Ok(SimEngine::Full),
         Some("sliced") => Ok(SimEngine::Sliced),
-        Some(other) => Err(err(format!("unknown --engine `{other}` (full|sliced)"))),
+        Some("packed") => Ok(SimEngine::Packed),
+        Some(other) => Err(err(format!("unknown --engine `{other}` (full|sliced|packed)"))),
     }
 }
 
@@ -772,6 +776,7 @@ mod tests {
         };
         let sliced = with_engine("sliced");
         assert_eq!(with_engine("full"), sliced);
+        assert_eq!(with_engine("packed"), sliced);
         assert_eq!(run_ok(&base), sliced, "flag absent = sliced default");
         let e = run_err(&["coverage", "march-c", "--words", "8", "--engine", "turbo"]);
         assert!(e.to_string().contains("--engine"), "{e}");

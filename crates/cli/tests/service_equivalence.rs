@@ -54,6 +54,10 @@ fn service_responses_are_bit_identical_to_the_cli() {
             vec!["coverage", "m(w0); u(r0,w1); d(r1,w0)", "--words", "32"],
         ),
         (
+            r#"{"kind":"coverage","test":"march-c","words":64,"engine":"packed"}"#.into(),
+            vec!["coverage", "march-c", "--words", "64", "--engine", "packed"],
+        ),
+        (
             r#"{"kind":"synth","classes":"saf,tf"}"#.into(),
             vec!["synth", "--classes", "saf,tf"],
         ),

@@ -347,15 +347,19 @@ mod tests {
                 &g,
                 &CoverageOptions { engine: SimEngine::Full, ..CoverageOptions::default() },
             );
-            let sliced = evaluate_coverage(
-                &test,
-                &g,
-                &CoverageOptions {
-                    engine: SimEngine::Sliced,
-                    ..CoverageOptions::default()
-                },
-            );
-            assert_eq!(full, sliced, "{} report must not depend on engine", test.name());
+            for engine in [SimEngine::Sliced, SimEngine::Packed] {
+                let other = evaluate_coverage(
+                    &test,
+                    &g,
+                    &CoverageOptions { engine, ..CoverageOptions::default() },
+                );
+                assert_eq!(
+                    full,
+                    other,
+                    "{} report must not depend on engine ({engine:?})",
+                    test.name()
+                );
+            }
         }
     }
 

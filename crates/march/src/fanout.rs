@@ -8,10 +8,14 @@
 //! order**, so the result is bit-for-bit identical regardless of worker
 //! count or engine ([`SimEngine`]).
 //!
-//! Faults taking the full-replay path (the [`SimEngine::Full`] engine, or
-//! a sliced-engine fallback for address-decoder faults) reuse one scratch
-//! [`MemoryArray`] per worker, reset between faults, instead of paying an
-//! allocation per fault.
+//! Each worker owns one [`WorkerScratch`]: faults taking the full-replay
+//! path (the [`SimEngine::Full`] engine, or a sliced-engine fallback for
+//! address-decoder faults) reuse its scratch [`MemoryArray`], reset
+//! between faults, and sliced replays reuse its sense-latch buffer — an
+//! allocation-free steady state instead of per-fault allocations. Under
+//! [`SimEngine::Packed`] the chunk itself is the work unit: the worker
+//! batches its faults into `u64` lanes and replays the trace once per
+//! batch (see [`crate::packed`]).
 //!
 //! Workers are panic-isolated: a chunk whose worker dies (however it dies)
 //! is transparently re-simulated serially on the reducing thread, so one
@@ -24,7 +28,17 @@ use std::thread;
 
 use mbist_mem::{FaultKind, MemGeometry, MemoryArray, TestStep};
 
+use crate::packed;
+use crate::sliced::SlicedScratch;
 use crate::trace::{CompiledTrace, SimEngine};
+
+/// Reusable per-worker simulation scratch: the lazily-created full-replay
+/// array plus the sliced engine's sense-latch buffer.
+#[derive(Default)]
+pub(crate) struct WorkerScratch {
+    mem: Option<MemoryArray>,
+    sliced: SlicedScratch,
+}
 
 /// Below this many faults per worker, thread spawn overhead outweighs the
 /// simulation work; the chunking rounds worker count down accordingly.
@@ -88,11 +102,7 @@ fn detect_universe_resilient(
     let workers =
         resolve_jobs(jobs).min(universe.len().div_ceil(MIN_FAULTS_PER_WORKER)).max(1);
     if workers <= 1 {
-        let mut scratch = None;
-        return universe
-            .iter()
-            .map(|&f| detect_one(trace, f, engine, &mut scratch))
-            .collect();
+        return run_chunk(trace, universe, engine, &mut WorkerScratch::default(), None);
     }
     let chunk = universe.len().div_ceil(workers);
     thread::scope(|scope| {
@@ -101,14 +111,8 @@ fn detect_universe_resilient(
             .map(|faults| {
                 let handle = scope.spawn(move || {
                     catch_unwind(AssertUnwindSafe(|| {
-                        let mut scratch = None;
-                        faults
-                            .iter()
-                            .map(|&f| {
-                                maybe_trip(poison);
-                                detect_one(trace, f, engine, &mut scratch)
-                            })
-                            .collect::<Vec<bool>>()
+                        let mut scratch = WorkerScratch::default();
+                        run_chunk(trace, faults, engine, &mut scratch, poison)
                     }))
                     .ok()
                 });
@@ -120,18 +124,49 @@ fn detect_universe_resilient(
             .flat_map(|(faults, handle)| match handle.join() {
                 Ok(Some(flags)) => flags,
                 // The worker died (caught panic, or one that escaped the
-                // isolation): degrade to a serial re-run of its chunk so
-                // the report stays complete and bit-identical.
+                // isolation): degrade to a serial per-fault re-run of its
+                // chunk so the report stays complete and bit-identical
+                // (the packed engine's per-fault route is the sliced one).
                 Ok(None) | Err(_) => {
-                    let mut scratch = None;
+                    let fallback = match engine {
+                        SimEngine::Packed => SimEngine::Sliced,
+                        other => other,
+                    };
+                    let mut scratch = WorkerScratch::default();
                     faults
                         .iter()
-                        .map(|&f| detect_one(trace, f, engine, &mut scratch))
+                        .map(|&f| detect_one(trace, f, fallback, &mut scratch))
                         .collect()
                 }
             })
             .collect()
     })
+}
+
+/// Simulates one chunk through the selected engine: per fault for the
+/// full/sliced engines, batched lane-parallel for the packed engine. The
+/// poison hook charges once per fault regardless of engine, so the
+/// worker-death resilience tests behave uniformly.
+fn run_chunk(
+    trace: &CompiledTrace,
+    faults: &[FaultKind],
+    engine: SimEngine,
+    scratch: &mut WorkerScratch,
+    poison: Option<&AtomicUsize>,
+) -> Vec<bool> {
+    match engine {
+        SimEngine::Packed => {
+            faults.iter().for_each(|_| maybe_trip(poison));
+            packed::detect_chunk(trace, faults, scratch)
+        }
+        _ => faults
+            .iter()
+            .map(|&f| {
+                maybe_trip(poison);
+                detect_one(trace, f, engine, scratch)
+            })
+            .collect(),
+    }
 }
 
 /// Decrements the poison counter and panics while it is positive.
@@ -146,20 +181,25 @@ fn maybe_trip(poison: Option<&AtomicUsize>) {
     }
 }
 
-/// One fault through the selected engine; the lazily-created scratch array
-/// is reused (reset between faults) whenever a full replay is needed.
-fn detect_one(
+/// One fault through the selected per-fault engine route (the packed
+/// engine routes its non-batchable faults here with `Sliced`); the
+/// lazily-created scratch array is reused (reset between faults) whenever
+/// a full replay is needed, and sliced replays reuse the scratch's
+/// sense-latch buffer.
+pub(crate) fn detect_one(
     trace: &CompiledTrace,
     fault: FaultKind,
     engine: SimEngine,
-    scratch: &mut Option<MemoryArray>,
+    scratch: &mut WorkerScratch,
 ) -> bool {
-    if engine == SimEngine::Sliced {
-        if let Some(flag) = trace.detect_sliced(fault) {
+    if engine != SimEngine::Full {
+        if let Some(flag) =
+            crate::sliced::detect_sliced_with(trace, fault, &mut scratch.sliced)
+        {
             return flag;
         }
     }
-    let mem = scratch.get_or_insert_with(|| MemoryArray::new(trace.geometry()));
+    let mem = scratch.mem.get_or_insert_with(|| MemoryArray::new(trace.geometry()));
     trace.detect_full(fault, mem)
 }
 
@@ -185,7 +225,7 @@ mod tests {
         for class in [FaultClass::StuckAt, FaultClass::CouplingIdempotent] {
             let universe = class_universe(&g, class, &spec);
             let serial = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full);
-            for engine in [SimEngine::Full, SimEngine::Sliced] {
+            for engine in [SimEngine::Full, SimEngine::Sliced, SimEngine::Packed] {
                 for jobs in [Some(1), Some(2), Some(5), None] {
                     assert_eq!(
                         detect_universe(&g, &steps, &universe, jobs, engine),
@@ -209,6 +249,53 @@ mod tests {
         let full = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full);
         let sliced = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Sliced);
         assert_eq!(full, sliced);
+        let packed = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Packed);
+        assert_eq!(full, packed);
+    }
+
+    #[test]
+    fn packed_chunking_is_invariant_under_worker_count() {
+        // Worker count changes batch composition (each worker batches only
+        // its own chunk), which must never change a verdict.
+        let g = MemGeometry::word_oriented(16, 4);
+        let steps = expand(&library::march_c(), &g);
+        let spec = UniverseSpec::default();
+        let mut universe = Vec::new();
+        for class in FaultClass::ALL {
+            universe.extend(class_universe(&g, class, &spec));
+        }
+        let serial = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Packed);
+        assert_eq!(
+            serial,
+            detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full),
+            "packed serial must match the full oracle"
+        );
+        for jobs in [Some(2), Some(7), None] {
+            assert_eq!(
+                detect_universe(&g, &steps, &universe, jobs, SimEngine::Packed),
+                serial,
+                "jobs={jobs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_packed_chunk_degrades_to_serial_rerun() {
+        let g = MemGeometry::bit_oriented(16);
+        let steps = expand(&library::march_c(), &g);
+        let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Packed);
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let poison = AtomicUsize::new(1);
+        let flags = detect_universe_resilient(
+            &trace,
+            &universe,
+            Some(4),
+            SimEngine::Packed,
+            Some(&poison),
+        );
+        assert_eq!(flags, reference, "degraded packed run must be bit-identical");
+        assert_eq!(poison.load(Ordering::SeqCst), 0, "poison actually fired");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   injectable [`MemoryArray`](mbist_mem::MemoryArray),
 //! - [`CompiledTrace`] / [`SimEngine`]: sliced differential fault
 //!   simulation — compile a stream once, replay each address-local fault
-//!   against only the accesses touching its support set,
+//!   against only the accesses touching its support set — and lane-packed
+//!   bit-parallel simulation ([`SimEngine::Packed`]), batching up to 64
+//!   compatible faults into `u64` lanes per trace replay,
 //! - [`evaluate_coverage`]: per-fault-class coverage by serial fault
 //!   simulation,
 //! - [`run_transparent`]: Nicolaidis-style content-preserving testing.
@@ -43,6 +45,7 @@ pub mod library;
 pub mod neighborhood;
 mod notation;
 mod op;
+mod packed;
 mod runner;
 mod sliced;
 pub mod synth;

@@ -1,0 +1,659 @@
+//! Lane-packed bit-parallel fault simulation over a [`CompiledTrace`].
+//!
+//! The sliced engine ([`crate::sliced`]) already reduced per-fault work to
+//! the accesses touching the fault's support set, but it still replays
+//! those accesses once *per fault*. This module goes one step further for
+//! the dominant, purely combinational fault classes — SAF, TF, CFin, CFid,
+//! CFst — by packing up to 64 faults into the bit lanes of `u64` state
+//! vectors and replaying a shared access program **once per batch** with
+//! branch-free bitwise lane updates (the classic bit-parallel single-fault
+//! propagation trick, applied across faults instead of across patterns).
+//!
+//! # Lane encoding
+//!
+//! Lane `i` of a batch holds fault `i`'s scalar state: bit `i` of `vic` is
+//! the victim cell's stored value, bit `i` of `agg` the aggressor cell's
+//! (coupling faults only), and bit `i` of `detected` latches sticky
+//! detection. Per-fault constants (stuck value, triggering direction,
+//! forced value, activating state) become per-lane constant masks, so
+//! `sa0`/`sa1` — and rising/falling or forced-0/forced-1 variants of the
+//! coupling classes — share batches.
+//!
+//! # Batch compatibility
+//!
+//! Two faults share a batch iff they have the same class **and** the same
+//! *access program*: the stream of victim-word writes, aggressor-word
+//! writes and checked victim-word reads projected onto the fault's support
+//! bits (a [`Vec<SigOp>`] — simultaneously the exact congruence key and the
+//! program the batch executes). Unchecked reads are dropped (no state or
+//! detection effect for these classes), and aggressor-word checked reads
+//! are dropped because the aggressor cell of CFin/CFid/CFst never deviates
+//! from the golden trace — only the victim does. Programs are content-
+//! deduplicated, so faults at *different* addresses batch together whenever
+//! the expanded march touches their words identically (the common case:
+//! march expansions are address-uniform, so a 1024-word SAF universe
+//! compiles to a single program).
+//!
+//! Classes with timing state (Retention, PullOpen), sense-latch state
+//! (StuckOpen), neighborhood activation (NPSF) or non-local addressing
+//! (decoder faults) do not vectorize into independent `u64` lanes; they
+//! fall back per fault to the sliced/full paths, so reports stay
+//! bit-identical to [`SimEngine::Full`](crate::SimEngine::Full) — the
+//! equivalence the three-way `sliced_equivalence` proptest suite pins.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use mbist_mem::{CellId, FaultKind};
+
+use crate::fanout::{detect_one, WorkerScratch};
+use crate::trace::{CompiledTrace, FnvBuild, SimEngine, TraceOpKind};
+
+/// Lanes per batch: one fault per bit of the `u64` state vectors.
+const LANES: usize = 64;
+
+/// One access-program instruction: the trace projected onto a fault's
+/// support bits. Derives `Eq + Hash` so a whole program doubles as the
+/// batch-congruence key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SigOp {
+    /// Write to the victim word; `d` is the data bit at the victim's bit
+    /// position.
+    WVic { d: bool },
+    /// Write to the aggressor word (inter-word pairs only); `d` is the data
+    /// bit at the aggressor's bit position.
+    WAgg { d: bool },
+    /// Write to the shared word of an intra-word pair: both projected bits
+    /// commit in the same cycle, which is what the two-phase
+    /// `victim_sensitized` rule keys on.
+    WBoth { d_vic: bool, d_agg: bool },
+    /// Checked read of the victim word. `expected` is the expectation bit
+    /// at the victim position; `base_mismatch` records that the expectation
+    /// already disagrees with the golden value on some *other* bit — a bit
+    /// the fault cannot touch, so every live lane detects here.
+    RVic { expected: bool, base_mismatch: bool },
+}
+
+/// Which branch-free update rules a batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LaneClass {
+    StuckAt,
+    Transition,
+    CouplingInversion,
+    CouplingIdempotent,
+    CouplingState,
+}
+
+/// One fault lowered to lane form: support cells plus the per-lane
+/// constants that parameterize the class's update rule.
+struct LaneSpec {
+    class: LaneClass,
+    vic: CellId,
+    agg: Option<CellId>,
+    /// SAF stuck value.
+    stuck: bool,
+    /// TF / CFin / CFid triggering direction.
+    rising: bool,
+    /// CFid / CFst forced value.
+    forced: bool,
+    /// CFst activating aggressor state.
+    when: bool,
+}
+
+/// Lowers a fault to lane form, or `None` when its class does not
+/// vectorize and it must take the sliced/full fallback.
+fn lane_spec(fault: FaultKind) -> Option<LaneSpec> {
+    let blank = |class, vic, agg| LaneSpec {
+        class,
+        vic,
+        agg,
+        stuck: false,
+        rising: false,
+        forced: false,
+        when: false,
+    };
+    match fault {
+        FaultKind::StuckAt { cell, value } => {
+            Some(LaneSpec { stuck: value, ..blank(LaneClass::StuckAt, cell, None) })
+        }
+        FaultKind::Transition { cell, rising } => {
+            Some(LaneSpec { rising, ..blank(LaneClass::Transition, cell, None) })
+        }
+        FaultKind::CouplingInversion { aggressor, victim, rising } => Some(LaneSpec {
+            rising,
+            ..blank(LaneClass::CouplingInversion, victim, Some(aggressor))
+        }),
+        FaultKind::CouplingIdempotent { aggressor, victim, rising, forced } => {
+            Some(LaneSpec {
+                rising,
+                forced,
+                ..blank(LaneClass::CouplingIdempotent, victim, Some(aggressor))
+            })
+        }
+        FaultKind::CouplingState { aggressor, victim, when, forced } => Some(LaneSpec {
+            when,
+            forced,
+            ..blank(LaneClass::CouplingState, victim, Some(aggressor))
+        }),
+        _ => None,
+    }
+}
+
+/// An open batch: up to [`LANES`] same-class faults sharing one program.
+struct Batch {
+    class: LaneClass,
+    program: usize,
+    /// Index into the caller's fault slice, per lane.
+    faults: Vec<usize>,
+    /// Per-lane constant masks (bit `i` = lane `i`'s constant).
+    stuck: u64,
+    rising: u64,
+    forced: u64,
+    when: u64,
+    /// Lanes detected before the walk starts (a golden miscompare at any
+    /// word other than the lane's victim word replays identically under the
+    /// fault, deciding detection on its own).
+    pre_detected: u64,
+}
+
+impl Batch {
+    fn new(class: LaneClass, program: usize) -> Self {
+        Self {
+            class,
+            program,
+            faults: Vec::with_capacity(LANES),
+            stuck: 0,
+            rising: 0,
+            forced: 0,
+            when: 0,
+            pre_detected: 0,
+        }
+    }
+
+    fn push(&mut self, index: usize, spec: &LaneSpec, pre_detected: bool) {
+        let lane = 1u64 << self.faults.len();
+        self.faults.push(index);
+        if spec.stuck {
+            self.stuck |= lane;
+        }
+        if spec.rising {
+            self.rising |= lane;
+        }
+        if spec.forced {
+            self.forced |= lane;
+        }
+        if spec.when {
+            self.when |= lane;
+        }
+        if pre_detected {
+            self.pre_detected |= lane;
+        }
+    }
+}
+
+/// Builds the access program for a `(victim, aggressor)` support shape:
+/// the step-ordered merge of the victim- and aggressor-word op lists,
+/// projected onto the two support bits (see [`SigOp`]).
+fn build_program(trace: &CompiledTrace, vic: CellId, agg: Option<CellId>) -> Vec<SigOp> {
+    let vic_bit = 1u64 << vic.bit;
+    let rvic = |expected: Option<u64>, golden: u64| {
+        expected.map(|e| SigOp::RVic {
+            expected: e & vic_bit != 0,
+            base_mismatch: (e ^ golden) & !vic_bit != 0,
+        })
+    };
+    let mut program = Vec::new();
+    match agg {
+        // Single-cell fault: one op list, one projected bit.
+        None => {
+            for op in trace.ops_for_word(vic.word) {
+                match op.kind {
+                    TraceOpKind::Write(data) => {
+                        program.push(SigOp::WVic { d: data & vic_bit != 0 });
+                    }
+                    TraceOpKind::Read { expected, golden, .. } => {
+                        program.extend(rvic(expected, golden));
+                    }
+                }
+            }
+        }
+        // Intra-word pair: one op list, writes carry both projected bits.
+        Some(a) if a.word == vic.word => {
+            let agg_bit = 1u64 << a.bit;
+            for op in trace.ops_for_word(vic.word) {
+                match op.kind {
+                    TraceOpKind::Write(data) => program.push(SigOp::WBoth {
+                        d_vic: data & vic_bit != 0,
+                        d_agg: data & agg_bit != 0,
+                    }),
+                    TraceOpKind::Read { expected, golden, .. } => {
+                        program.extend(rvic(expected, golden));
+                    }
+                }
+            }
+        }
+        // Inter-word pair: two-way merge back into stream order. Reads of
+        // the aggressor word are dropped — the aggressor cell never
+        // deviates from golden, so they can neither miscompare nor change
+        // state.
+        Some(a) => {
+            let agg_bit = 1u64 << a.bit;
+            let (vs, ags) = (trace.ops_for_word(vic.word), trace.ops_for_word(a.word));
+            let (mut i, mut j) = (0, 0);
+            while i < vs.len() || j < ags.len() {
+                let take_vic = j >= ags.len() || (i < vs.len() && vs[i].step < ags[j].step);
+                if take_vic {
+                    match vs[i].kind {
+                        TraceOpKind::Write(data) => {
+                            program.push(SigOp::WVic { d: data & vic_bit != 0 });
+                        }
+                        TraceOpKind::Read { expected, golden, .. } => {
+                            program.extend(rvic(expected, golden));
+                        }
+                    }
+                    i += 1;
+                } else {
+                    if let TraceOpKind::Write(data) = ags[j].kind {
+                        program.push(SigOp::WAgg { d: data & agg_bit != 0 });
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    program
+}
+
+/// Executes one batch: a single replay of the shared program with
+/// branch-free per-lane updates, returning the sticky 64-bit detected
+/// mask. Each lane update is the exact projection of the corresponding
+/// single-fault path in `mbist_mem::array` (and [`crate::sliced`]) onto
+/// the fault's support bits.
+fn run_batch(program: &[SigOp], batch: &Batch) -> u64 {
+    let live = if batch.faults.len() == LANES {
+        u64::MAX
+    } else {
+        (1u64 << batch.faults.len()) - 1
+    };
+    let bcast = |b: bool| if b { u64::MAX } else { 0 };
+    // SAF injection clamps the stored value immediately; everything else
+    // powers up 0 like the array.
+    let mut vic: u64 = if batch.class == LaneClass::StuckAt { batch.stuck } else { 0 };
+    let mut agg: u64 = 0;
+    let mut detected = batch.pre_detected & live;
+    if detected == live {
+        return detected;
+    }
+    for &op in program {
+        match op {
+            SigOp::WVic { d } => {
+                let dm = bcast(d);
+                match batch.class {
+                    LaneClass::StuckAt => vic = batch.stuck,
+                    LaneClass::Transition => {
+                        // A broken 0→1 (rising lanes) leaves the cell 0; a
+                        // broken 1→0 leaves it 1.
+                        let block_up = batch.rising & !vic & dm;
+                        let block_down = !batch.rising & vic & !dm;
+                        vic = (dm & !block_up) | block_down;
+                    }
+                    // Coupling classes: a plain commit — their write-phase
+                    // effects key on the *aggressor* word.
+                    _ => vic = dm,
+                }
+            }
+            SigOp::WAgg { d } => {
+                let dm = bcast(d);
+                let changed = agg ^ dm;
+                // Fired: the aggressor actually transitioned and its new
+                // value matches the lane's triggering direction. Inter-word
+                // victims are always sensitized.
+                let fired = changed & !(dm ^ batch.rising);
+                match batch.class {
+                    LaneClass::CouplingInversion => vic ^= fired,
+                    LaneClass::CouplingIdempotent => {
+                        vic = (vic & !fired) | (batch.forced & fired);
+                    }
+                    // CFst has no write-phase effect; StuckAt/Transition
+                    // programs never contain WAgg.
+                    _ => {}
+                }
+                agg = dm;
+            }
+            SigOp::WBoth { d_vic, d_agg } => {
+                let (dv, da) = (bcast(d_vic), bcast(d_agg));
+                // Intra-word sensitization: the coupling only lands if the
+                // same write did not *also* change the victim bit.
+                let fired = (agg ^ da) & !(da ^ batch.rising) & !(vic ^ dv);
+                match batch.class {
+                    LaneClass::CouplingInversion => vic = dv ^ fired,
+                    LaneClass::CouplingIdempotent => {
+                        vic = (dv & !fired) | (batch.forced & fired);
+                    }
+                    _ => vic = dv,
+                }
+                agg = da;
+            }
+            SigOp::RVic { expected, base_mismatch } => {
+                let obs = match batch.class {
+                    // The read path clamps too (storage already is).
+                    LaneClass::StuckAt => batch.stuck,
+                    // State coupling masks the observation, not the store.
+                    LaneClass::CouplingState => {
+                        let active = !(agg ^ batch.when);
+                        (active & batch.forced) | (!active & vic)
+                    }
+                    _ => vic,
+                };
+                let miss = if base_mismatch { live } else { obs ^ bcast(expected) };
+                detected |= miss & live;
+                if detected == live {
+                    return detected;
+                }
+            }
+        }
+    }
+    detected
+}
+
+/// Program store with two-level memoization: per support shape
+/// (`(victim, aggressor)` — programs are class-independent, so SAF and TF
+/// at the same cell, or all three coupling classes on the same pair, share
+/// one build) and per content (faults at different addresses whose words
+/// see identical access sequences share one batch).
+#[derive(Default)]
+struct Programs {
+    store: Vec<Vec<SigOp>>,
+    by_cells: HashMap<(CellId, Option<CellId>), usize, FnvBuild>,
+    by_content: HashMap<Vec<SigOp>, usize, FnvBuild>,
+}
+
+impl Programs {
+    /// Program id for a support shape the route key could not classify
+    /// (inter-word pairs on a non-uniform trace): memoized per cell pair,
+    /// then per content.
+    fn id_for(&mut self, trace: &CompiledTrace, vic: CellId, agg: Option<CellId>) -> usize {
+        if let Some(&id) = self.by_cells.get(&(vic, agg)) {
+            return id;
+        }
+        let id = self.id_for_content(trace, vic, agg);
+        self.by_cells.insert((vic, agg), id);
+        id
+    }
+
+    /// Builds (or content-dedups) the program for one representative
+    /// support shape — the route-key paths call this once per key.
+    fn id_for_content(
+        &mut self,
+        trace: &CompiledTrace,
+        vic: CellId,
+        agg: Option<CellId>,
+    ) -> usize {
+        let program = build_program(trace, vic, agg);
+        match self.by_content.get(&program) {
+            Some(&id) => id,
+            None => {
+                let id = self.store.len();
+                self.store.push(program.clone());
+                self.by_content.insert(program, id);
+                id
+            }
+        }
+    }
+}
+
+/// O(1) batch route for a fault, derived from the trace's compile-time
+/// word-content classes: faults with equal keys provably share an access
+/// program, so the per-fault cost of batching is one small hash lookup
+/// instead of rebuilding and hashing the fault's whole projected program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RouteKey {
+    class: LaneClass,
+    /// 0 = single cell, 1 = intra-word pair, 2 = inter-word pair with
+    /// victim at the lower address, 3 = with aggressor at the lower
+    /// address (2/3 only issued when the trace certifies address-uniform
+    /// interleave).
+    shape: u8,
+    vic_class: u32,
+    vic_bit: u8,
+    agg_class: u32,
+    agg_bit: u8,
+}
+
+/// Simulates a chunk of faults: batchable classes are grouped into lanes
+/// and replayed once per batch; the rest route per fault through the same
+/// sliced/full paths as [`SimEngine::Sliced`]. Returns one flag per fault,
+/// in chunk order — batching never reorders or changes a verdict, only the
+/// wall-clock cost.
+pub(crate) fn detect_chunk(
+    trace: &CompiledTrace,
+    faults: &[FaultKind],
+    scratch: &mut WorkerScratch,
+) -> Vec<bool> {
+    let mut flags = vec![false; faults.len()];
+    let mut programs = Programs::default();
+    let mut batches: Vec<Batch> = Vec::new();
+    // Open (possibly full) batch per route key (the fast path) and per
+    // exactly-built program (the fallback for inter-word pairs on
+    // non-uniform traces). A full batch is replaced by a fresh one for the
+    // same program on the next hit.
+    let mut routed: HashMap<RouteKey, usize, FnvBuild> = HashMap::with_hasher(FnvBuild);
+    let mut open: HashMap<(LaneClass, usize), usize, FnvBuild> =
+        HashMap::with_hasher(FnvBuild);
+    let uniform = trace.uniform_interleave();
+    let miscompares = trace.golden_miscompares();
+    for (index, &fault) in faults.iter().enumerate() {
+        let Some(spec) = lane_spec(fault) else {
+            flags[index] = detect_one(trace, fault, SimEngine::Sliced, scratch);
+            continue;
+        };
+        let key = match spec.agg {
+            None => Some(RouteKey {
+                class: spec.class,
+                shape: 0,
+                vic_class: trace.word_class(spec.vic.word),
+                vic_bit: spec.vic.bit,
+                agg_class: 0,
+                agg_bit: 0,
+            }),
+            Some(a) if a.word == spec.vic.word => Some(RouteKey {
+                class: spec.class,
+                shape: 1,
+                vic_class: trace.word_class(spec.vic.word),
+                vic_bit: spec.vic.bit,
+                agg_class: 0,
+                agg_bit: a.bit,
+            }),
+            Some(a) if uniform => Some(RouteKey {
+                class: spec.class,
+                shape: if spec.vic.word < a.word { 2 } else { 3 },
+                vic_class: trace.word_class(spec.vic.word),
+                vic_bit: spec.vic.bit,
+                agg_class: trace.word_class(a.word),
+                agg_bit: a.bit,
+            }),
+            Some(_) => None,
+        };
+        let slot = match key {
+            Some(key) => match routed.entry(key) {
+                Entry::Occupied(mut e) => refill(&mut batches, e.get_mut(), spec.class),
+                Entry::Vacant(e) => {
+                    let program = programs.id_for_content(trace, spec.vic, spec.agg);
+                    batches.push(Batch::new(spec.class, program));
+                    *e.insert(batches.len() - 1)
+                }
+            },
+            None => {
+                let program = programs.id_for(trace, spec.vic, spec.agg);
+                match open.entry((spec.class, program)) {
+                    Entry::Occupied(mut e) => refill(&mut batches, e.get_mut(), spec.class),
+                    Entry::Vacant(e) => {
+                        batches.push(Batch::new(spec.class, program));
+                        *e.insert(batches.len() - 1)
+                    }
+                }
+            }
+        };
+        let pre_detected = !miscompares.is_empty()
+            && miscompares.iter().any(|&(_, addr)| addr != spec.vic.word);
+        batches[slot].push(index, &spec, pre_detected);
+    }
+    for batch in &batches {
+        let detected = run_batch(&programs.store[batch.program], batch);
+        for (lane, &index) in batch.faults.iter().enumerate() {
+            flags[index] = detected >> lane & 1 == 1;
+        }
+    }
+    flags
+}
+
+/// Returns the slot an open batch lives in, replacing a full batch with a
+/// fresh one for the same program (updating the routing slot in place).
+fn refill(batches: &mut Vec<Batch>, slot: &mut usize, class: LaneClass) -> usize {
+    if batches[*slot].faults.len() == LANES {
+        let program = batches[*slot].program;
+        batches.push(Batch::new(class, program));
+        *slot = batches.len() - 1;
+    }
+    *slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::{expand_with, ExpandOptions};
+    use crate::library;
+    use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
+
+    /// The batchable classes the packed engine vectorizes.
+    const BATCHABLE: [FaultClass; 5] = [
+        FaultClass::StuckAt,
+        FaultClass::Transition,
+        FaultClass::CouplingInversion,
+        FaultClass::CouplingIdempotent,
+        FaultClass::CouplingState,
+    ];
+
+    fn assert_packed_equivalence(g: MemGeometry, test: &crate::MarchTest) {
+        let steps = expand_with(test, &g, &ExpandOptions::for_geometry(&g));
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let spec = UniverseSpec::default();
+        let mut scratch = MemoryArray::new(g);
+        for class in FaultClass::ALL {
+            let universe = class_universe(&g, class, &spec);
+            let packed = detect_chunk(&trace, &universe, &mut WorkerScratch::default());
+            for (fault, packed_flag) in universe.iter().zip(packed) {
+                assert_eq!(
+                    packed_flag,
+                    trace.detect_full(*fault, &mut scratch),
+                    "{}: packed disagrees with full replay on {fault} ({g})",
+                    test.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matches_full_replay_across_library_and_geometries() {
+        for g in [
+            MemGeometry::bit_oriented(16),
+            MemGeometry::bit_oriented(24),
+            MemGeometry::word_oriented(8, 4),
+            MemGeometry::new(12, 1, 2),
+        ] {
+            for test in [library::mats(), library::march_c(), library::march_b()] {
+                assert_packed_equivalence(g, &test);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matches_on_timing_sensitive_tests() {
+        // Pauses and triple reads must not perturb the batchable classes
+        // (their programs drop both), while DRF/PUF lanes fall back.
+        let g = MemGeometry::bit_oriented(16);
+        for test in [library::march_c_plus(), library::march_c_plus_plus()] {
+            assert_packed_equivalence(g, &test);
+        }
+    }
+
+    #[test]
+    fn march_expansions_collapse_to_few_programs() {
+        // Address-uniform march streams must dedupe aggressively: the whole
+        // SAF universe of a 64-word memory shares one program, so the trace
+        // is walked once for every 64 faults, not once per fault.
+        let g = MemGeometry::bit_oriented(64);
+        let steps = expand_with(&library::march_c(), &g, &ExpandOptions::for_geometry(&g));
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let mut programs = Programs::default();
+        let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        for fault in &universe {
+            let spec = lane_spec(*fault).unwrap();
+            programs.id_for(&trace, spec.vic, spec.agg);
+        }
+        assert_eq!(programs.store.len(), 1, "uniform stream must share one program");
+        assert_eq!(programs.by_cells.len(), 64, "one memo entry per cell");
+    }
+
+    #[test]
+    fn batches_fill_lanes_across_fault_polarity() {
+        // sa0 and sa1 differ only in the per-lane stuck mask, so they pack
+        // into the same batches: 128 SAFs on 64 words = exactly 2 batches.
+        let g = MemGeometry::bit_oriented(64);
+        let steps = expand_with(&library::mats(), &g, &ExpandOptions::for_geometry(&g));
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        assert_eq!(universe.len(), 128);
+        // Count batches by replicating the scheduler's grouping.
+        let mut programs = Programs::default();
+        let mut lanes_per_key: HashMap<(LaneClass, usize), usize> = HashMap::new();
+        for fault in &universe {
+            let spec = lane_spec(*fault).unwrap();
+            let id = programs.id_for(&trace, spec.vic, spec.agg);
+            *lanes_per_key.entry((spec.class, id)).or_default() += 1;
+        }
+        let batch_count: usize = lanes_per_key.values().map(|n| n.div_ceil(LANES)).sum();
+        assert_eq!(batch_count, 2, "128 lanes must fill exactly 2 batches");
+    }
+
+    #[test]
+    fn dirty_streams_pre_detect_or_walk_exactly() {
+        use mbist_mem::{BusCycle, Operation, PortId, TestStep};
+        use mbist_rtl::Bits;
+        // A golden miscompare at word 1: faults on other words pre-detect,
+        // faults on word 1 are decided by the walk — exactly like full.
+        let g = MemGeometry::bit_oriented(4);
+        let steps = [TestStep::Bus(BusCycle {
+            port: PortId(0),
+            addr: 1,
+            op: Operation::Read,
+            expected: Some(Bits::bit1(true)), // powers up 0 → dirty
+        })];
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let spec = UniverseSpec::default();
+        let mut scratch = MemoryArray::new(g);
+        for class in BATCHABLE {
+            let universe = class_universe(&g, class, &spec);
+            let packed = detect_chunk(&trace, &universe, &mut WorkerScratch::default());
+            for (fault, flag) in universe.iter().zip(packed) {
+                assert_eq!(flag, trace.detect_full(*fault, &mut scratch), "{fault}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_batchable_classes_take_the_fallback() {
+        for class in FaultClass::ALL {
+            let g = MemGeometry::bit_oriented(8);
+            let universe = class_universe(&g, class, &UniverseSpec::default());
+            let batchable = BATCHABLE.contains(&class);
+            for fault in universe {
+                assert_eq!(
+                    lane_spec(fault).is_some(),
+                    batchable,
+                    "{fault} routed to the wrong engine"
+                );
+            }
+        }
+    }
+}

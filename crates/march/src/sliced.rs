@@ -19,9 +19,28 @@ use crate::trace::{CompiledTrace, PrevRead, TraceOp, TraceOpKind};
 /// Distinct words a support set can span (one cell per word worst case).
 pub(crate) const MAX_SUPPORT_WORDS: usize = MAX_SUPPORT_CELLS;
 
+/// Reusable per-worker replay scratch: the per-port sense-latch history is
+/// the only heap allocation a sliced replay needs, so hoisting it here
+/// makes the steady state of a fan-out worker allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct SlicedScratch {
+    last_read: Vec<Option<(u32, u64)>>,
+}
+
 /// Sliced differential detection of one fault, or `None` when the fault
-/// has no address-local support set.
+/// has no address-local support set. Allocating convenience wrapper around
+/// [`detect_sliced_with`] for one-shot callers.
 pub(crate) fn detect_sliced(trace: &CompiledTrace, fault: FaultKind) -> Option<bool> {
+    detect_sliced_with(trace, fault, &mut SlicedScratch::default())
+}
+
+/// Sliced differential detection of one fault against caller-provided
+/// scratch, or `None` when the fault has no address-local support set.
+pub(crate) fn detect_sliced_with(
+    trace: &CompiledTrace,
+    fault: FaultKind,
+    scratch: &mut SlicedScratch,
+) -> Option<bool> {
     let support = fault.support()?;
     let mut words = [0u64; MAX_SUPPORT_WORDS];
     let mut n = 0;
@@ -43,7 +62,7 @@ pub(crate) fn detect_sliced(trace: &CompiledTrace, fault: FaultKind) -> Option<b
     for (slot, &w) in lists.iter_mut().zip(words.iter()) {
         *slot = trace.ops_for_word(w);
     }
-    let mut state = Sparse::new(trace.geometry().ports(), words, fault);
+    let mut state = Sparse::new(trace.geometry().ports(), words, fault, scratch);
 
     // k-way merge of the per-word op lists back into stream order.
     let mut cursor = [0usize; MAX_SUPPORT_WORDS];
@@ -62,7 +81,7 @@ pub(crate) fn detect_sliced(trace: &CompiledTrace, fault: FaultKind) -> Option<b
         cursor[i] += 1;
         match op.kind {
             TraceOpKind::Write(data) => state.write(i, data, op.now_ns),
-            TraceOpKind::Read { expected, prev_read } => {
+            TraceOpKind::Read { expected, golden: _, prev_read } => {
                 let observed = state.read(i, op.port, op.step, op.now_ns, prev_read);
                 if expected.is_some_and(|e| e != observed) {
                     return Some(true);
@@ -75,7 +94,7 @@ pub(crate) fn detect_sliced(trace: &CompiledTrace, fault: FaultKind) -> Option<b
 
 /// O(|support|) faulty state: the support words' contents plus the fault's
 /// dynamic state.
-struct Sparse {
+struct Sparse<'s> {
     fault: FaultKind,
     addrs: [u64; MAX_SUPPORT_WORDS],
     values: [u64; MAX_SUPPORT_WORDS],
@@ -87,14 +106,22 @@ struct Sparse {
     consecutive_reads: u8,
     /// Per-port replayed support reads, as `(step, observed)` — resolves
     /// whether the golden `prev_read` of a stuck-open observation was
-    /// itself a (possibly deviating) support read.
-    last_read: Vec<Option<(u32, u64)>>,
+    /// itself a (possibly deviating) support read. Borrowed from the
+    /// caller's [`SlicedScratch`] so replays reuse one allocation.
+    last_read: &'s mut Vec<Option<(u32, u64)>>,
 }
 
-impl Sparse {
-    fn new(ports: u8, words: &[u64], fault: FaultKind) -> Self {
+impl<'s> Sparse<'s> {
+    fn new(
+        ports: u8,
+        words: &[u64],
+        fault: FaultKind,
+        scratch: &'s mut SlicedScratch,
+    ) -> Self {
         let mut addrs = [0u64; MAX_SUPPORT_WORDS];
         addrs[..words.len()].copy_from_slice(words);
+        scratch.last_read.clear();
+        scratch.last_read.resize(usize::from(ports), None);
         let mut state = Self {
             fault,
             addrs,
@@ -102,7 +129,7 @@ impl Sparse {
             n: words.len(),
             last_write_ns: 0.0,
             consecutive_reads: 0,
-            last_read: vec![None; usize::from(ports)],
+            last_read: &mut scratch.last_read,
         };
         // Injection clamps a stuck-at cell immediately, as the array does.
         if let FaultKind::StuckAt { cell, value } = fault {

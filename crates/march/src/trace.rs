@@ -18,6 +18,8 @@
 //! fall back to the full replay, which stays available as the
 //! differential-testing oracle.
 
+use std::collections::HashMap;
+
 use mbist_mem::{FaultKind, MemGeometry, MemoryArray, Operation, PortId, TestStep};
 
 use crate::expand::{expand_with, ExpandOptions};
@@ -36,6 +38,14 @@ pub enum SimEngine {
     /// Bit-for-bit equivalent to [`SimEngine::Full`].
     #[default]
     Sliced,
+    /// Lane-packed bit-parallel replay: up to 64 same-class address-local
+    /// faults are batched into the bit lanes of `u64` state vectors and the
+    /// trace is replayed **once per batch** with branch-free lane updates
+    /// (see [`crate::packed`]). Fault classes whose semantics do not
+    /// vectorize (timing decay, sense latches, NPSF masking, decoder
+    /// remaps) fall back per fault to the sliced/full paths. Bit-for-bit
+    /// equivalent to [`SimEngine::Full`].
+    Packed,
 }
 
 /// Stable canonical hash of a `(test name, expanded step stream, geometry)`
@@ -134,6 +144,156 @@ impl Fnv1a {
     }
 }
 
+/// [`Fnv1a`] behind the std `Hasher`/`BuildHasher` traits, for the packed
+/// engine's hot routing maps where SipHash's per-lookup cost would eat the
+/// batching win. Hash quality only affects speed, never results —
+/// congruence always comes from full key equality.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FnvBuild;
+
+#[derive(Debug)]
+pub(crate) struct FnvHasher(u64);
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(Fnv1a::OFFSET)
+    }
+}
+
+impl FnvHasher {
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(Fnv1a::PRIME);
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(u64::from(b));
+        }
+    }
+
+    // Whole-value mixing: one multiply per integer write instead of one
+    // per byte (the keys these maps see are a handful of small integers).
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// Interns each word's op-list content — the `(kind, data, expected,
+/// golden)` sequence, exactly the projection `packed::build_program`
+/// reads — into a dense class id. Two words with the same id provably
+/// yield identical packed access programs for any bit position.
+fn intern_word_classes(per_word: &[Vec<TraceOp>]) -> Vec<u32> {
+    let mut intern: HashMap<Vec<(u8, u64, u64)>, u32, FnvBuild> =
+        HashMap::with_hasher(FnvBuild);
+    per_word
+        .iter()
+        .map(|ops| {
+            let key: Vec<(u8, u64, u64)> = ops
+                .iter()
+                .map(|op| match op.kind {
+                    TraceOpKind::Write(data) => (0u8, data, 0),
+                    TraceOpKind::Read { expected: None, golden, .. } => (1u8, 0, golden),
+                    TraceOpKind::Read { expected: Some(e), golden, .. } => (2u8, e, golden),
+                })
+                .collect();
+            let next = u32::try_from(intern.len()).expect("class count fits u32");
+            *intern.entry(key).or_insert(next)
+        })
+        .collect()
+}
+
+/// Checks the address-uniform-march shape (see the
+/// [`CompiledTrace::uniform_interleave`] field doc): the op stream parses
+/// into segments that each visit every word exactly once in strictly
+/// monotone address order with one uniform op count. A visit shared
+/// between a segment's last word and the next segment's first word (a ⇑
+/// element followed by a ⇓ element both touching the top address) is
+/// split by op count, which the parse threads through as `carry`.
+///
+/// Returns `false` for any stream that doesn't parse — the packed engine
+/// then builds inter-word programs per pair instead of routing by address
+/// order, which is always exact, just slower. Geometries under three
+/// words also decline: they hold at most one inter-word pair, so per-pair
+/// memoization already covers them (and the two-word parse would need
+/// lookahead to split shared boundary visits).
+fn certify_uniform_interleave(words: u64, steps: &[TestStep]) -> bool {
+    let n = usize::try_from(words).expect("words fit usize");
+    if n < 3 {
+        return false;
+    }
+    // Collapse the op stream to word visits: consecutive ops on one
+    // address (pauses don't access, so they split nothing).
+    let mut visits: Vec<(u64, u32)> = Vec::new();
+    for step in steps {
+        if let TestStep::Bus(cycle) = step {
+            match visits.last_mut() {
+                Some((addr, count)) if *addr == cycle.addr => *count += 1,
+                _ => visits.push((cycle.addr, 1)),
+            }
+        }
+    }
+    let mut i = 0;
+    let mut carry = 0u32;
+    while i < visits.len() {
+        if i + n > visits.len() {
+            return false;
+        }
+        // The second visit is interior to the segment (n ≥ 3), so its
+        // count is the segment's uniform op count.
+        let k = visits[i + 1].1;
+        if k == 0 || visits[i].1 - carry != k {
+            return false;
+        }
+        let ascending = visits[i].0 < visits[i + 1].0;
+        let start = if ascending { 0 } else { words - 1 };
+        for (j, &(addr, count)) in visits[i..i + n].iter().enumerate() {
+            let j = u64::try_from(j).expect("segment index fits u64");
+            let expect = if ascending { start + j } else { start - j };
+            if addr != expect {
+                return false;
+            }
+            // Interior visits must carry exactly k ops; the boundary
+            // visits are checked against `carry` outside this loop.
+            if j != 0 && j != words - 1 && count != k {
+                return false;
+            }
+        }
+        let last = visits[i + n - 1].1;
+        if last == k {
+            carry = 0;
+            i += n;
+        } else if last > k {
+            // The tail of this visit opens the next segment at the same
+            // address.
+            carry = k;
+            i += n - 1;
+        } else {
+            return false;
+        }
+    }
+    carry == 0
+}
+
 /// The golden value the port's sense amplifier held before a read — the
 /// previous read on the same port, at any address.
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +310,9 @@ pub(crate) enum TraceOpKind {
     Read {
         /// Expected value of a checked read (`None` = unchecked).
         expected: Option<u64>,
+        /// The golden (fault-free) observed value — what the packed engine
+        /// diffs lane states against on checked reads.
+        golden: u64,
         /// The previous read on the same port (`None` = sense latch still
         /// invalid), resolving stuck-open observations.
         prev_read: Option<PrevRead>,
@@ -194,6 +357,19 @@ pub struct CompiledTrace {
     /// Checked reads that fail even fault-free, as `(step, addr)`. Usually
     /// empty; a fault-free-dirty stream detects every fault trivially.
     golden_miscompares: Vec<(u32, u64)>,
+    /// Interned content class per word: two words share an id iff their op
+    /// lists carry identical `(kind, data, expected, golden)` sequences, so
+    /// faults on same-class words provably share a packed access program
+    /// (see [`crate::packed`]). Computed once at compile time — the packed
+    /// engine's batch routing stays O(1) per fault.
+    word_class: Vec<u32>,
+    /// Certificate that the stream is an address-uniform march: every
+    /// segment visits every word exactly once, in strictly monotone address
+    /// order, with one op count per segment. Under this shape the merged
+    /// op order of any word pair depends only on which address is smaller,
+    /// which lets the packed engine route inter-word coupling faults
+    /// without rebuilding their merged program.
+    uniform_interleave: bool,
 }
 
 impl CompiledTrace {
@@ -250,6 +426,7 @@ impl CompiledTrace {
                                 now_ns: mem.now_ns(),
                                 kind: TraceOpKind::Read {
                                     expected,
+                                    golden: observed.value(),
                                     prev_read: last_read[port],
                                 },
                             });
@@ -259,7 +436,16 @@ impl CompiledTrace {
                 },
             }
         }
-        Self { geometry, steps: steps.to_vec(), per_word, golden_miscompares }
+        let word_class = intern_word_classes(&per_word);
+        let uniform_interleave = certify_uniform_interleave(geometry.words(), steps);
+        Self {
+            geometry,
+            steps: steps.to_vec(),
+            per_word,
+            golden_miscompares,
+            word_class,
+            uniform_interleave,
+        }
     }
 
     /// Compiles the expanded stream of `test` on `geometry` — the common
@@ -319,6 +505,48 @@ impl CompiledTrace {
         sliced::detect_sliced(self, fault)
     }
 
+    /// Simulates every fault in `universe` against this trace through the
+    /// selected engine, fanning out across `jobs` workers, and returns one
+    /// detection flag per fault in universe order.
+    ///
+    /// Worker count and engine only change wall-clock time, never the
+    /// flags — [`SimEngine::Packed`] batches compatible faults into `u64`
+    /// lanes and replays the trace once per batch, while non-vectorizable
+    /// faults transparently take the sliced/full paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault in `universe` does not fit the trace geometry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbist_march::{expand, library, CompiledTrace, SimEngine};
+    /// use mbist_mem::{class_universe, FaultClass, MemGeometry, UniverseSpec};
+    ///
+    /// let g = MemGeometry::bit_oriented(16);
+    /// let trace = CompiledTrace::from_steps(g, &expand(&library::march_c(), &g));
+    /// let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+    /// let flags = trace.detect_universe(&universe, Some(1), SimEngine::Packed);
+    /// assert!(flags.iter().all(|&d| d), "March C detects every SAF");
+    /// ```
+    #[must_use]
+    pub fn detect_universe(
+        &self,
+        universe: &[FaultKind],
+        jobs: Option<usize>,
+        engine: SimEngine,
+    ) -> Vec<bool> {
+        for fault in universe {
+            assert!(
+                fault.is_valid_for(&self.geometry),
+                "fault {fault} does not fit trace geometry {}",
+                self.geometry
+            );
+        }
+        crate::fanout::detect_universe_trace(self, universe, jobs, engine)
+    }
+
     /// Full-replay detection on a caller-provided scratch array (reset,
     /// re-injected, replayed with early exit) — the fallback oracle the
     /// sliced engine is verified against.
@@ -348,11 +576,23 @@ impl CompiledTrace {
             + self.per_word.len() * std::mem::size_of::<Vec<TraceOp>>()
             + ops * std::mem::size_of::<TraceOp>()
             + self.golden_miscompares.len() * std::mem::size_of::<(u32, u64)>()
+            + self.word_class.len() * std::mem::size_of::<u32>()
     }
 
     /// Every access to `word`, in stream order.
     pub(crate) fn ops_for_word(&self, word: u64) -> &[TraceOp] {
         &self.per_word[usize::try_from(word).expect("addr fits usize")]
+    }
+
+    /// The interned content class of `word` (see the field doc).
+    pub(crate) fn word_class(&self, word: u64) -> u32 {
+        self.word_class[usize::try_from(word).expect("addr fits usize")]
+    }
+
+    /// Whether the address-uniform-march certificate holds (see the field
+    /// doc).
+    pub(crate) fn uniform_interleave(&self) -> bool {
+        self.uniform_interleave
     }
 
     pub(crate) fn golden_miscompares(&self) -> &[(u32, u64)] {
@@ -377,6 +617,59 @@ mod tests {
         let recorded: usize = (0..8).map(|w| trace.ops_for_word(w).len()).sum();
         assert_eq!(bus, recorded);
         assert!(trace.golden_miscompares().is_empty(), "expanded streams are clean");
+    }
+
+    #[test]
+    fn march_expansions_certify_uniform_interleave() {
+        // Every library march is address-uniform once expanded — including
+        // march-c, whose ⇑→⇓ element boundary shares a visit to the top
+        // address (the carry-splitting case in the certificate parse).
+        let g = MemGeometry::bit_oriented(8);
+        for test in [library::mats(), library::march_c(), library::march_b()] {
+            let trace = CompiledTrace::from_steps(g, &expand(&test, &g));
+            assert!(trace.uniform_interleave(), "{} should certify", test.name());
+            assert!(
+                (0..8).all(|w| trace.word_class(w) == trace.word_class(0)),
+                "{}: uniform data pattern means one content class",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn irregular_streams_decline_the_certificate() {
+        let g = MemGeometry::bit_oriented(4);
+        let w = |addr| {
+            TestStep::Bus(BusCycle {
+                port: PortId(0),
+                addr,
+                op: Operation::Write(Bits::bit1(true)),
+                expected: None,
+            })
+        };
+        // Not address-monotone (0, 2, 1, 3): exact per-pair programs still
+        // work, but O(1) routing must not engage.
+        let trace = CompiledTrace::from_steps(g, &[w(0), w(2), w(1), w(3)]);
+        assert!(!trace.uniform_interleave());
+        // A word visited twice in one sweep breaks visit uniformity too.
+        let trace = CompiledTrace::from_steps(g, &[w(0), w(1), w(1), w(2), w(3)]);
+        assert!(!trace.uniform_interleave());
+        // A word with a different data pattern gets its own content class.
+        let wv = |addr, bit| {
+            TestStep::Bus(BusCycle {
+                port: PortId(0),
+                addr,
+                op: Operation::Write(Bits::bit1(bit)),
+                expected: None,
+            })
+        };
+        let trace = CompiledTrace::from_steps(
+            g,
+            &[wv(0, true), wv(1, false), wv(2, true), wv(3, true)],
+        );
+        assert!(trace.uniform_interleave(), "order is uniform even if data is not");
+        assert_ne!(trace.word_class(0), trace.word_class(1));
+        assert_eq!(trace.word_class(0), trace.word_class(2));
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Randomized equivalence suite: the sliced differential engine must be
-//! bit-for-bit equivalent to the full replay on arbitrary step streams —
-//! not just on well-formed march expansions — across bit- and
-//! word-oriented geometries, multi-port streams, `Pause` steps (the
-//! Retention timing axis) and repeated reads (the PullOpen drain axis).
+//! Randomized equivalence suite: the sliced differential engine and the
+//! lane-packed bit-parallel engine must be bit-for-bit equivalent to the
+//! full replay on arbitrary step streams — not just on well-formed march
+//! expansions — across bit- and word-oriented geometries, multi-port
+//! streams, `Pause` steps (the Retention timing axis) and repeated reads
+//! (the PullOpen drain axis). A fixed-seed corpus reruns deterministic
+//! stream seeds on every CI run, so a failure reproduces without chasing
+//! the property-test RNG.
 
 use proptest::prelude::*;
 
@@ -87,8 +90,8 @@ fn build_steps(g: &MemGeometry, raw: &[(u64, u64, u8, u8)]) -> Vec<TestStep> {
 }
 
 proptest! {
-    /// Sliced ≡ full replay for a random fault of a random class on a
-    /// random stream — the core differential property.
+    /// Sliced ≡ packed ≡ full replay for a random fault of a random class
+    /// on a random stream — the core three-way differential property.
     #[test]
     fn sliced_detection_matches_full_replay(
         raw in arb_raw_steps(),
@@ -113,6 +116,38 @@ proptest! {
             prop_assert_eq!(flag, full, "sliced vs full on {} ({})", fault, g);
         }
         prop_assert_eq!(trace.detect(fault), full, "routed detect on {} ({})", fault, g);
+        let packed = trace.detect_universe(&[fault], Some(1), SimEngine::Packed);
+        prop_assert_eq!(packed[0], full, "packed vs full on {} ({})", fault, g);
+    }
+
+    /// The packed engine batches whole class universes (64 faults per
+    /// replay, batch composition decided by the scheduler) — the flags
+    /// must still match a per-fault full replay on arbitrary streams.
+    #[test]
+    fn packed_batches_match_full_replay(
+        raw in arb_raw_steps(),
+        geom_choice in 0usize..5,
+        class_idx in 0usize..FaultClass::ALL.len(),
+    ) {
+        let g = geometry(geom_choice);
+        let universe =
+            class_universe(&g, FaultClass::ALL[class_idx], &UniverseSpec::default());
+        if universe.is_empty() {
+            return Ok(());
+        }
+        let steps = build_steps(&g, &raw);
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let packed = trace.detect_universe(&universe, Some(1), SimEngine::Packed);
+        for (fault, flag) in universe.iter().zip(packed) {
+            let mut mem = MemoryArray::with_fault(g, *fault).unwrap();
+            prop_assert_eq!(
+                flag,
+                run_steps_detect(&mut mem, &steps),
+                "packed batch vs full on {} ({})",
+                fault,
+                g
+            );
+        }
     }
 
     /// Timing-sensitive classes deserve extra shots: Retention decay
@@ -164,7 +199,7 @@ proptest! {
             ..CoverageOptions::default()
         };
         let reference = evaluate_coverage(test, &g, &opts(SimEngine::Full, Some(1)));
-        for engine in [SimEngine::Full, SimEngine::Sliced] {
+        for engine in [SimEngine::Full, SimEngine::Sliced, SimEngine::Packed] {
             for jobs in [Some(1), Some(3), None] {
                 prop_assert_eq!(
                     &evaluate_coverage(test, &g, &opts(engine, jobs)),

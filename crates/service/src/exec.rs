@@ -60,6 +60,7 @@ fn engine_tag(engine: SimEngine) -> u64 {
     match engine {
         SimEngine::Full => 0,
         SimEngine::Sliced => 1,
+        SimEngine::Packed => 2,
     }
 }
 
@@ -125,6 +126,7 @@ pub(crate) fn execute(
                 return Ok(coverage_payload(text, true, trace_cached));
             }
             shared.metrics.record_result_lookup(false);
+            shared.metrics.record_engine(*engine);
             let report = evaluate_coverage_trace(
                 &trace,
                 t.name(),
@@ -164,6 +166,7 @@ pub(crate) fn execute(
                 return Ok(text_payload(text, true));
             }
             shared.metrics.record_result_lookup(false);
+            shared.metrics.record_engine(*engine);
             let mut options = SynthesisOptions {
                 classes: parsed,
                 max_elements: *max_elements,

@@ -9,11 +9,26 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
+use mbist_march::SimEngine;
+
 use crate::cache::CacheStats;
 use crate::json::Json;
 
 /// Request kinds with dedicated counter/histogram rows, in wire order.
 pub const KINDS: [&str; 6] = ["coverage", "detects", "synth", "area", "status", "shutdown"];
+
+/// Simulation engines with dedicated job counters, in wire order (index =
+/// [`engine_index`] of the corresponding [`SimEngine`]).
+pub const ENGINES: [&str; 3] = ["full", "sliced", "packed"];
+
+/// The `ENGINES` row an engine's jobs are counted under.
+fn engine_index(engine: SimEngine) -> usize {
+    match engine {
+        SimEngine::Full => 0,
+        SimEngine::Sliced => 1,
+        SimEngine::Packed => 2,
+    }
+}
 
 /// Power-of-two microsecond buckets: bucket `i` covers `[2^i, 2^(i+1))` µs,
 /// the last bucket is open-ended (≈ 34 s and beyond).
@@ -73,11 +88,7 @@ impl Histogram {
     /// Mean latency in microseconds (0 when empty).
     #[must_use]
     pub fn mean_us(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum_us / self.count
-        }
+        self.sum_us.checked_div(self.count).unwrap_or(0)
     }
 
     fn to_json(&self) -> Json {
@@ -102,6 +113,7 @@ struct KindStats {
 #[derive(Debug, Default)]
 struct Inner {
     per_kind: [KindStats; KINDS.len()],
+    per_engine: [u64; ENGINES.len()],
     rejected_busy: u64,
     trace_hits: u64,
     trace_misses: u64,
@@ -142,6 +154,14 @@ impl Metrics {
     /// Records a backpressure rejection (the request was never queued).
     pub fn record_rejected(&self) {
         self.inner.lock().expect("metrics lock").rejected_busy += 1;
+    }
+
+    /// Records one simulation job executed with `engine` (coverage and
+    /// synth requests that actually ran — memo hits don't simulate and are
+    /// not counted).
+    pub fn record_engine(&self, engine: SimEngine) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.per_engine[engine_index(engine)] += 1;
     }
 
     /// Records a trace-cache lookup outcome.
@@ -236,6 +256,16 @@ impl Metrics {
                 ]),
             ),
             ("kinds", Json::Obj(kinds)),
+            (
+                "engines",
+                Json::Obj(
+                    ENGINES
+                        .iter()
+                        .zip(inner.per_engine.iter())
+                        .map(|(name, &jobs)| (name.to_string(), Json::num(jobs as f64)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -288,6 +318,9 @@ mod tests {
         m.record_trace_lookup(true);
         m.record_trace_lookup(false);
         m.record_result_lookup(false);
+        m.record_engine(SimEngine::Sliced);
+        m.record_engine(SimEngine::Packed);
+        m.record_engine(SimEngine::Packed);
         let cache = CacheStats { traces: 1, results: 0, bytes: 1024, capacity_bytes: 4096 };
         let snap = m.snapshot(3, 64, cache);
         let queue = snap.get("queue").unwrap();
@@ -301,5 +334,9 @@ mod tests {
         assert_eq!(cov.get("errors").unwrap().as_u64(), Some(1));
         assert!(cov.get("latency").unwrap().get("p95_us").unwrap().as_u64().unwrap() > 0);
         assert_eq!(m.total_requests(), 3);
+        let engines = snap.get("engines").unwrap();
+        assert_eq!(engines.get("full").unwrap().as_u64(), Some(0));
+        assert_eq!(engines.get("sliced").unwrap().as_u64(), Some(1));
+        assert_eq!(engines.get("packed").unwrap().as_u64(), Some(2));
     }
 }

@@ -12,6 +12,10 @@
 //! | `status`   | —                                                             |
 //! | `shutdown` | —                                                             |
 //!
+//! The optional `engine` field selects the fault-simulation engine:
+//! `"full"`, `"sliced"` (default) or `"packed"` — responses are
+//! byte-identical for every choice, only latency differs.
+//!
 //! An optional `id` member is echoed back verbatim in the response so
 //! clients may correlate. Success responses carry `"ok":true` plus
 //! kind-specific payload; failures carry `"ok":false` and an `error`
@@ -228,7 +232,8 @@ fn engine_from(value: &Json) -> Result<SimEngine, ServiceError> {
         Some(v) => match v.as_str() {
             Some("full") => Ok(SimEngine::Full),
             Some("sliced") => Ok(SimEngine::Sliced),
-            _ => Err(usage("`engine` must be \"full\" or \"sliced\"")),
+            Some("packed") => Ok(SimEngine::Packed),
+            _ => Err(usage("`engine` must be \"full\", \"sliced\" or \"packed\"")),
         },
     }
 }
@@ -299,6 +304,27 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_every_engine_name() {
+        for (name, want) in [
+            ("full", SimEngine::Full),
+            ("sliced", SimEngine::Sliced),
+            ("packed", SimEngine::Packed),
+        ] {
+            let line = format!(
+                r#"{{"kind":"coverage","test":"march-c","words":8,"engine":"{name}"}}"#
+            );
+            match parse_request(&line).unwrap().request {
+                Request::Coverage { engine, .. } => assert_eq!(engine, want, "{name}"),
+                other => panic!("wrong request: {other:?}"),
+            }
+        }
+        assert!(matches!(
+            parse_request(r#"{"kind":"coverage","test":"mats","words":8,"engine":"turbo"}"#),
+            Err(ServiceError::Usage(m)) if m.contains("packed")
+        ));
     }
 
     #[test]

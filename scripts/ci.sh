@@ -26,6 +26,10 @@ cargo test -q -p mbist-mem -p mbist-rtl -p mbist-logic -p mbist-core -p mbist-ma
 echo "==> parallel fault-simulation determinism regression"
 cargo test -q -p mbist-march --test parallel_determinism
 
+echo "==> cross-engine equivalence (full vs sliced vs packed)"
+cargo test -q -p mbist-march --test engine_corpus
+cargo test -q -p mbist-march --test sliced_equivalence --features proptest
+
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --no-default-features -- -D warnings
 cargo clippy --workspace --all-features --all-targets -- -D warnings
@@ -35,9 +39,21 @@ perf_out=$(cargo run --release -p mbist-bench --bin perf -- \
     --quick --out /tmp/BENCH_coverage_ci.json)
 echo "$perf_out"
 # every (test, geometry) pair must report cross-mode (incl. sliced vs
-# full) agreement on the detection count
-[ "$(echo "$perf_out" | grep -c "agreement OK")" -eq 2 ] || {
-    echo "perf smoke missing sliced/full agreement lines"; exit 1; }
+# full) agreement on the detection count, with all eight modes (so the
+# packed engine is part of the agreement, not just the timed table)
+[ "$(echo "$perf_out" | grep -c "agreement OK (8 modes")" -eq 2 ] || {
+    echo "perf smoke missing eight-mode agreement lines"; exit 1; }
+echo "$perf_out" | grep -q "batchable subset: packed_vs_sliced_batchable" || {
+    echo "perf smoke missing the packed batchable-subset ratio"; exit 1; }
+
+echo "==> packed-engine perf smoke (sliced vs packed head-to-head)"
+packed_out=$(cargo run --release -p mbist-bench --bin perf -- \
+    --quick --modes sliced,packed --out /tmp/BENCH_packed_ci.json)
+echo "$packed_out"
+[ "$(echo "$packed_out" | grep -c "agreement OK (2 modes")" -eq 2 ] || {
+    echo "packed smoke missing sliced/packed agreement lines"; exit 1; }
+echo "$packed_out" | grep -q "batchable subset: packed_vs_sliced_batchable" || {
+    echo "packed smoke missing the batchable-subset comparison"; exit 1; }
 
 echo "==> fault-injection smoke (one SEU per architecture: detect + recover)"
 for arch in microcode progfsm; do
