@@ -13,8 +13,9 @@
 //!   forced serial (`jobs = 1`), full replay per fault;
 //! - `sliced`: the sliced differential engine over one shared compiled
 //!   trace, forced serial;
-//! - `packed`: the lane-packed bit-parallel engine (64 faults per `u64`
-//!   batch, sliced fallback for non-batchable classes), forced serial;
+//! - `packed`: the lane-packed bit-parallel engine (256 congruent faults
+//!   per `[u64; 4]` lane-block batch, sliced fallback for the decoder
+//!   classes), forced serial;
 //! - `parallel_auto`: full replay with the host's available parallelism;
 //! - `sliced_parallel`: the sliced engine with the host's parallelism;
 //! - `packed_parallel`: the packed engine with the host's parallelism.
@@ -24,9 +25,12 @@
 //! for. `--modes a,b,...` restricts which modes run — speedup ratios
 //! whose baseline didn't run are reported as skipped, never fabricated.
 //! When both `sliced` and `packed` run, the harness also times the two
-//! engines head-to-head on the batchable fault subset (the five classes
-//! the packed engine vectorizes) of the largest march-c run — the
-//! `packed_vs_sliced_batchable` acceptance ratio.
+//! engines head-to-head on the batchable fault subset (exactly the faults
+//! the packed engine routes to lanes) of the largest march-c run — the
+//! `packed_vs_sliced_batchable` acceptance ratio. Each geometry also gets
+//! a `{class → packed|sliced|full}` routing breakdown with a
+//! batchable-faults ratio and a `routing OK` sanity line (per-class counts
+//! summing to the sampled total) that CI greps for.
 //!
 //! Emits `BENCH_coverage.json` (test × geometry × wall-ns × faults/sec,
 //! min and median over the sample count) and prints a human summary with
@@ -41,11 +45,11 @@ use std::time::Instant;
 use std::{env, fs, thread};
 
 use mbist_march::{
-    evaluate_coverage, expand_with, library, run_steps, CompiledTrace, CoverageOptions,
-    ExpandOptions, MarchTest, SimEngine,
+    evaluate_coverage, expand_with, fault_route, library, routing_breakdown, run_steps,
+    CompiledTrace, CoverageOptions, ExpandOptions, FaultRoute, MarchTest, SimEngine,
 };
 use mbist_mem::{
-    class_universe, FaultClass, FaultKind, MemGeometry, MemoryArray, UniverseSpec,
+    class_universe_sampled, FaultClass, FaultKind, MemGeometry, MemoryArray, UniverseSpec,
 };
 
 /// The fault simulator exactly as the workspace seed implemented it,
@@ -435,15 +439,16 @@ const MODE_NAMES: [&str; 8] = [
     "packed_parallel",
 ];
 
-/// The fault classes the packed engine batches into `u64` lanes; the rest
-/// fall back to the sliced path inside `packed` mode.
-const BATCHABLE: [FaultClass; 5] = [
-    FaultClass::StuckAt,
-    FaultClass::Transition,
-    FaultClass::CouplingInversion,
-    FaultClass::CouplingIdempotent,
-    FaultClass::CouplingState,
-];
+/// The sampled faults the packed engine routes to its lane batches — the
+/// subset the head-to-head acceptance ratio is timed on. Computed from the
+/// engine's actual per-fault routing decision, not a hard-coded class
+/// list, so it tracks whatever the lanes currently vectorize.
+fn batchable_subset(geometry: &MemGeometry) -> Vec<FaultKind> {
+    sampled_universe(geometry)
+        .into_iter()
+        .filter(|&f| fault_route(SimEngine::Packed, f) == FaultRoute::Packed)
+        .collect()
+}
 
 type Mode<'a> = (&'static str, Box<dyn FnMut() -> usize + 'a>);
 
@@ -474,28 +479,13 @@ fn sampled_universe(geometry: &MemGeometry) -> Vec<FaultKind> {
     sampled_classes(geometry, &FaultClass::ALL)
 }
 
-/// Stride-capped universe restricted to `classes`.
+/// Stride-capped universe restricted to `classes` — the same index set as
+/// the engine's sampler, via the shared sampled generator.
 fn sampled_classes(geometry: &MemGeometry, classes: &[FaultClass]) -> Vec<FaultKind> {
     let spec = UniverseSpec::default();
     let mut faults = Vec::new();
     for &class in classes.iter() {
-        let u = class_universe(geometry, class, &spec);
-        let len = u.len();
-        if len <= MAX_FAULTS_PER_CLASS {
-            faults.extend(u);
-        } else {
-            // Same index set as the engine's stride sampler:
-            // ceil(k·len/max) − 1 for k = 1..=max.
-            let mut keep = (1..=MAX_FAULTS_PER_CLASS)
-                .map(|k| (k * len).div_ceil(MAX_FAULTS_PER_CLASS) - 1);
-            let mut next = keep.next();
-            for (i, f) in u.into_iter().enumerate() {
-                if next == Some(i) {
-                    faults.push(f);
-                    next = keep.next();
-                }
-            }
-        }
+        faults.extend(class_universe_sampled(geometry, class, &spec, MAX_FAULTS_PER_CLASS));
     }
     faults
 }
@@ -635,6 +625,29 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
     for g in &geometries {
         let faults = sampled_universe(g).len();
+        // Per-class engine routing for this geometry's sampled universe —
+        // the whole-run/subset gap made observable. The breakdown must
+        // account for every sampled fault exactly once.
+        let routing = routing_breakdown(
+            g,
+            &CoverageOptions { engine: SimEngine::Packed, ..CoverageOptions::default() },
+        );
+        assert_eq!(
+            routing.total(),
+            faults,
+            "{g}: routing rows must cover the sampled universe"
+        );
+        print!("{routing}");
+        match routing.batchable_ratio() {
+            Some(r) => println!(
+                "{g} batchable faults: {}/{} ({:.1}%)",
+                routing.batchable(),
+                routing.total(),
+                r * 100.0
+            ),
+            None => println!("{g} batchable faults: none sampled"),
+        }
+        println!("{g}: routing OK ({} routed = {faults} sampled)", routing.total());
         for t in &tests {
             let modes: [Mode<'_>; 8] = [
                 ("seed_replay", Box::new(|| run_seed_replay(t, g))),
@@ -717,10 +730,11 @@ fn main() {
     let parallel_vs_seed = ratio(seed, parallel);
     let sliced_parallel_vs_detect = ratio(detect, sliced_parallel);
     let packed_parallel_vs_detect = ratio(detect, packed_parallel);
+    let packed_parallel_vs_sliced_parallel = ratio(sliced_parallel, packed_parallel);
     if let Some(g) = [seed, detect, sliced, packed].iter().flatten().next() {
         println!();
         println!(
-            "march-c on {}: {}, {}, {}, {}, {}, {}, {}, {}, {} (host parallelism {host})",
+            "march-c on {}: {}, {}, {}, {}, {}, {}, {}, {}, {}, {} (host parallelism {host})",
             g.geometry,
             format_ratio("array_vs_seed", array_vs_seed),
             format_ratio("detect_vs_seed", detect_vs_seed),
@@ -731,6 +745,10 @@ fn main() {
             format_ratio("parallel_vs_seed", parallel_vs_seed),
             format_ratio("sliced_parallel_vs_detect", sliced_parallel_vs_detect),
             format_ratio("packed_parallel_vs_detect", packed_parallel_vs_detect),
+            format_ratio(
+                "packed_parallel_vs_sliced_parallel",
+                packed_parallel_vs_sliced_parallel
+            ),
         );
     }
 
@@ -746,7 +764,7 @@ fn main() {
         let t = library::march_c();
         let steps = expand_with(&t, &g, &ExpandOptions::for_geometry(&g));
         let trace = CompiledTrace::from_steps(g, &steps);
-        let universe = sampled_classes(&g, &BATCHABLE);
+        let universe = batchable_subset(&g);
         assert_eq!(
             trace.detect_universe(&universe, Some(1), SimEngine::Sliced),
             trace.detect_universe(&universe, Some(1), SimEngine::Packed),
@@ -811,12 +829,44 @@ fn main() {
         ("parallel_vs_seed", parallel_vs_seed),
         ("sliced_parallel_vs_detect", sliced_parallel_vs_detect),
         ("packed_parallel_vs_detect", packed_parallel_vs_detect),
+        ("packed_parallel_vs_sliced_parallel", packed_parallel_vs_sliced_parallel),
     ];
     let speedups: Vec<String> = ratios
         .iter()
         .filter_map(|(name, r)| r.map(|r| format!("\"{name}\": {r:.3}")))
         .collect();
     let _ = writeln!(json, "  \"speedup\": {{ {} }},", speedups.join(", "));
+    {
+        let g = *geometries.iter().max_by_key(|g| g.words()).expect("geometries");
+        let routing = routing_breakdown(
+            &g,
+            &CoverageOptions { engine: SimEngine::Packed, ..CoverageOptions::default() },
+        );
+        let classes: Vec<String> = routing
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "\"{}\": {{ \"packed\": {}, \"sliced\": {}, \"full\": {} }}",
+                    r.class.label(),
+                    r.packed,
+                    r.sliced,
+                    r.full
+                )
+            })
+            .collect();
+        let ratio_field = match routing.batchable_ratio() {
+            Some(r) => format!("{r:.4}"),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "  \"routing\": {{ \"geometry\": \"{g}\", \"engine\": \"packed\",              \"batchable\": {}, \"total\": {}, \"batchable_ratio\": {ratio_field},              \"classes\": {{ {} }} }},",
+            routing.batchable(),
+            routing.total(),
+            classes.join(", ")
+        );
+    }
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };

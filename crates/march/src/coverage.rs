@@ -2,7 +2,10 @@
 
 use std::fmt;
 
-use mbist_mem::{class_universe, FaultClass, MemGeometry, UniverseSpec};
+use mbist_mem::{
+    class_universe, class_universe_sampled, FaultClass, FaultKind, MemGeometry,
+    UniverseSpec,
+};
 
 use crate::expand::ExpandOptions;
 use crate::fanout::detect_universe_trace;
@@ -176,16 +179,163 @@ pub fn evaluate_coverage_trace(
     let geometry = trace.geometry();
     let mut rows = Vec::new();
     for &class in &options.classes {
-        let mut universe = class_universe(&geometry, class, &options.spec);
-        if let Some(max) = options.max_faults_per_class {
-            universe = stride_sample(universe, max);
-        }
+        // Sampled generation materializes only the stride-kept faults —
+        // identical to `stride_sample(class_universe(..), max)`, but the
+        // NPSF/decoder universes on kiloword geometries would otherwise
+        // cost more to enumerate than to simulate.
+        let universe = match options.max_faults_per_class {
+            Some(max) => class_universe_sampled(&geometry, class, &options.spec, max),
+            None => class_universe(&geometry, class, &options.spec),
+        };
         let total = universe.len();
         let flags = detect_universe_trace(trace, &universe, options.jobs, options.engine);
         let detected = flags.iter().filter(|&&d| d).count();
         rows.push(ClassCoverage { class, detected, total });
     }
     CoverageReport { test: test_name.to_string(), geometry, rows }
+}
+
+/// Which simulation path one fault takes under a given engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultRoute {
+    /// Lane-packed bit-parallel batch (shared canonical program).
+    Packed,
+    /// Sliced differential replay over the fault's support words (or the
+    /// two-word decoder replay for address-decoder faults).
+    Sliced,
+    /// Full stream replay on a scratch array.
+    Full,
+}
+
+/// The engine path [`detect_universe_trace`] takes for `fault` when run
+/// with `engine` — the observable routing decision behind the packed
+/// engine's whole-run/subset throughput gap.
+#[must_use]
+pub fn fault_route(engine: SimEngine, fault: FaultKind) -> FaultRoute {
+    let sliceable = fault.decoder_words().is_some() || fault.support().is_some();
+    match engine {
+        SimEngine::Full => FaultRoute::Full,
+        SimEngine::Sliced => {
+            if sliceable {
+                FaultRoute::Sliced
+            } else {
+                FaultRoute::Full
+            }
+        }
+        SimEngine::Packed => {
+            if crate::packed::batchable(fault) {
+                FaultRoute::Packed
+            } else if sliceable {
+                FaultRoute::Sliced
+            } else {
+                FaultRoute::Full
+            }
+        }
+    }
+}
+
+/// Per-class routing counts for one evaluated universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingRow {
+    /// The fault class.
+    pub class: FaultClass,
+    /// Faults taking the lane-packed batch path.
+    pub packed: usize,
+    /// Faults taking the sliced replay path.
+    pub sliced: usize,
+    /// Faults taking the full-replay fallback.
+    pub full: usize,
+}
+
+impl RoutingRow {
+    /// Faults counted in this row.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.packed + self.sliced + self.full
+    }
+}
+
+/// A `{class → packed|sliced|full}` routing breakdown for one coverage
+/// run — makes the whole-run/subset gap observable instead of inferred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingBreakdown {
+    /// Engine the breakdown was computed for.
+    pub engine: SimEngine,
+    /// One row per evaluated class, in evaluation order.
+    pub rows: Vec<RoutingRow>,
+}
+
+impl RoutingBreakdown {
+    /// Total faults across all rows.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.rows.iter().map(RoutingRow::total).sum()
+    }
+
+    /// Faults routed to the lane-packed path.
+    #[must_use]
+    pub fn batchable(&self) -> usize {
+        self.rows.iter().map(|r| r.packed).sum()
+    }
+
+    /// Fraction of faults routed to the lane-packed path, or `None` for an
+    /// empty universe — an unknown ratio is reported as absent, never
+    /// fabricated.
+    #[must_use]
+    pub fn batchable_ratio(&self) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| self.batchable() as f64 / total as f64)
+    }
+
+    /// The row for a class, if it was evaluated.
+    #[must_use]
+    pub fn row(&self, class: FaultClass) -> Option<&RoutingRow> {
+        self.rows.iter().find(|r| r.class == class)
+    }
+}
+
+impl fmt::Display for RoutingBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "routing ({:?}):", self.engine)?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<5} {:>6} packed {:>6} sliced {:>6} full",
+                r.class.label(),
+                r.packed,
+                r.sliced,
+                r.full
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the routing breakdown for the exact universes
+/// [`evaluate_coverage`] would simulate with `options` — same classes,
+/// same spec, same stride cap.
+#[must_use]
+pub fn routing_breakdown(
+    geometry: &MemGeometry,
+    options: &CoverageOptions,
+) -> RoutingBreakdown {
+    let mut rows = Vec::new();
+    for &class in &options.classes {
+        let universe = match options.max_faults_per_class {
+            Some(max) => class_universe_sampled(geometry, class, &options.spec, max),
+            None => class_universe(geometry, class, &options.spec),
+        };
+        let mut row = RoutingRow { class, packed: 0, sliced: 0, full: 0 };
+        for &fault in &universe {
+            match fault_route(options.engine, fault) {
+                FaultRoute::Packed => row.packed += 1,
+                FaultRoute::Sliced => row.sliced += 1,
+                FaultRoute::Full => row.full += 1,
+            }
+        }
+        rows.push(row);
+    }
+    RoutingBreakdown { engine: options.engine, rows }
 }
 
 /// Deterministic stride subsampling: keeps the last element of each of
@@ -232,6 +382,54 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn routing_breakdown_counts_every_sampled_fault() {
+        let g = MemGeometry::bit_oriented(64);
+        for engine in [SimEngine::Full, SimEngine::Sliced, SimEngine::Packed] {
+            let options = CoverageOptions { engine, ..CoverageOptions::default() };
+            let b = routing_breakdown(&g, &options);
+            let mut total = 0;
+            for &class in &options.classes {
+                let u = class_universe_sampled(&g, class, &options.spec, 512);
+                let row = b.row(class).expect("every class gets a row");
+                assert_eq!(row.total(), u.len(), "{engine:?}/{class:?}");
+                total += u.len();
+            }
+            assert_eq!(b.total(), total, "rows cover the whole sample");
+            match engine {
+                SimEngine::Full => {
+                    assert_eq!(b.batchable(), 0);
+                    assert!(b.rows.iter().all(|r| r.packed == 0 && r.sliced == 0));
+                }
+                SimEngine::Sliced => {
+                    assert_eq!(b.batchable(), 0);
+                    assert_eq!(b.rows.iter().map(|r| r.full).sum::<usize>(), 0);
+                }
+                SimEngine::Packed => {
+                    // Every address-local class vectorizes now; only the
+                    // decoder classes ride the sliced two-word replay.
+                    let decoder = b.row(FaultClass::AddressDecoder).unwrap();
+                    assert_eq!(decoder.packed, 0);
+                    assert_eq!(decoder.sliced, decoder.total());
+                    for r in &b.rows {
+                        if r.class != FaultClass::AddressDecoder {
+                            assert_eq!(r.packed, r.total(), "{:?}", r.class);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_routing_breakdown_reports_no_ratio() {
+        let g = MemGeometry::bit_oriented(8);
+        let options = CoverageOptions { classes: vec![], ..CoverageOptions::default() };
+        let b = routing_breakdown(&g, &options);
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.batchable_ratio(), None, "unknown ratios are absent, not 0/0");
     }
 
     #[test]

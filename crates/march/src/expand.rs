@@ -82,7 +82,12 @@ pub fn expand_with(
         assert!(p.0 < geometry.ports(), "port {p} out of range");
     }
 
-    let mut steps = Vec::new();
+    let passes = options.ports.len() * options.backgrounds.len();
+    let pauses =
+        test.items().iter().filter(|i| matches!(i, MarchItem::Pause { .. })).count();
+    let cycles = usize::try_from(cycle_count(test, geometry, options))
+        .expect("cycle count fits usize");
+    let mut steps = Vec::with_capacity(cycles + pauses * passes);
     for &port in &options.ports {
         for &bg in &options.backgrounds {
             expand_one_pass(test, geometry, port, bg, &mut steps);

@@ -41,8 +41,27 @@ pub(crate) struct WorkerScratch {
 }
 
 /// Below this many faults per worker, thread spawn overhead outweighs the
-/// simulation work; the chunking rounds worker count down accordingly.
-const MIN_FAULTS_PER_WORKER: usize = 8;
+/// simulation work — small whole-universe runs were measurably *slower*
+/// parallel than serial — so the chunking rounds the worker count down
+/// until every worker holds at least a floor's worth of faults.
+const MIN_FAULTS_PER_WORKER: usize = 256;
+
+/// The packed engine amortizes one trace walk over a 256-lane batch, so a
+/// worker needs proportionally more faults before fan-out pays for itself
+/// (splitting also fragments batches: two half-full batches walk the trace
+/// twice).
+const MIN_FAULTS_PER_PACKED_WORKER: usize = 1024;
+
+/// The engine-aware fan-out floor. Worker count is clamped to
+/// `universe.len() / floor`, so every spawned worker simulates at least a
+/// floor's worth — jobs=1 and jobs=N stay bit-identical either way; the
+/// floor only moves the parallelism break-even point.
+fn min_faults_per_worker(engine: SimEngine) -> usize {
+    match engine {
+        SimEngine::Packed => MIN_FAULTS_PER_PACKED_WORKER,
+        _ => MIN_FAULTS_PER_WORKER,
+    }
+}
 
 /// Resolves a `jobs` request to a concrete worker count.
 ///
@@ -100,7 +119,7 @@ fn detect_universe_resilient(
     poison: Option<&AtomicUsize>,
 ) -> Vec<bool> {
     let workers =
-        resolve_jobs(jobs).min(universe.len().div_ceil(MIN_FAULTS_PER_WORKER)).max(1);
+        resolve_jobs(jobs).min(universe.len() / min_faults_per_worker(engine)).max(1);
     if workers <= 1 {
         return run_chunk(trace, universe, engine, &mut WorkerScratch::default(), None);
     }
@@ -256,14 +275,19 @@ mod tests {
     #[test]
     fn packed_chunking_is_invariant_under_worker_count() {
         // Worker count changes batch composition (each worker batches only
-        // its own chunk), which must never change a verdict.
-        let g = MemGeometry::word_oriented(16, 4);
+        // its own chunk), which must never change a verdict. The universe
+        // must clear the packed fan-out floor or no threads spawn at all.
+        let g = MemGeometry::bit_oriented(128);
         let steps = expand(&library::march_c(), &g);
         let spec = UniverseSpec::default();
         let mut universe = Vec::new();
         for class in FaultClass::ALL {
             universe.extend(class_universe(&g, class, &spec));
         }
+        assert!(
+            universe.len() >= 2 * MIN_FAULTS_PER_PACKED_WORKER,
+            "universe too small to exercise packed fan-out"
+        );
         let serial = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Packed);
         assert_eq!(
             serial,
@@ -281,9 +305,12 @@ mod tests {
 
     #[test]
     fn poisoned_packed_chunk_degrades_to_serial_rerun() {
-        let g = MemGeometry::bit_oriented(16);
+        // Large enough that Some(4) still fans out past the packed floor —
+        // the single-worker path runs inline and would propagate the panic.
+        let g = MemGeometry::bit_oriented(1024);
         let steps = expand(&library::march_c(), &g);
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        assert!(universe.len() >= 2 * MIN_FAULTS_PER_PACKED_WORKER);
         let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Packed);
         let trace = CompiledTrace::from_steps(g, &steps);
         let poison = AtomicUsize::new(1);
@@ -307,10 +334,12 @@ mod tests {
 
     #[test]
     fn poisoned_chunk_degrades_to_serial_rerun_with_identical_report() {
-        let g = MemGeometry::bit_oriented(16);
+        // Past the sliced fan-out floor for Some(4) to spawn ≥ 2 workers
+        // (the single-worker path runs inline, no panic isolation).
+        let g = MemGeometry::bit_oriented(256);
         let steps = expand(&library::march_c(), &g);
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
-        assert!(universe.len() >= 16, "need enough faults for several chunks");
+        assert!(universe.len() >= 2 * MIN_FAULTS_PER_WORKER);
         let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Sliced);
         let trace = CompiledTrace::from_steps(g, &steps);
 
@@ -329,10 +358,11 @@ mod tests {
 
     #[test]
     fn multiple_poisoned_chunks_all_recover() {
-        let g = MemGeometry::bit_oriented(16);
+        let g = MemGeometry::bit_oriented(256);
         let steps = expand(&library::march_c(), &g);
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
-        let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full);
+        assert!(universe.len() >= 2 * MIN_FAULTS_PER_WORKER);
+        let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Sliced);
         let trace = CompiledTrace::from_steps(g, &steps);
 
         // Kill the first fault of (up to) every chunk: several workers die,

@@ -14,8 +14,8 @@
 //! - [`CompiledTrace`] / [`SimEngine`]: sliced differential fault
 //!   simulation — compile a stream once, replay each address-local fault
 //!   against only the accesses touching its support set — and lane-packed
-//!   bit-parallel simulation ([`SimEngine::Packed`]), batching up to 64
-//!   compatible faults into `u64` lanes per trace replay,
+//!   bit-parallel simulation ([`SimEngine::Packed`]), batching up to 256
+//!   congruent faults into `[u64; 4]` lane blocks per trace replay,
 //! - [`evaluate_coverage`]: per-fault-class coverage by serial fault
 //!   simulation,
 //! - [`run_transparent`]: Nicolaidis-style content-preserving testing.
@@ -55,8 +55,9 @@ pub mod transparent;
 
 pub use background::{standard_background_count, standard_backgrounds};
 pub use coverage::{
-    evaluate_coverage, evaluate_coverage_trace, ClassCoverage, CoverageOptions,
-    CoverageReport,
+    evaluate_coverage, evaluate_coverage_trace, fault_route, routing_breakdown,
+    ClassCoverage, CoverageOptions, CoverageReport, FaultRoute, RoutingBreakdown,
+    RoutingRow,
 };
 pub use element::{AddressOrder, ComplementMask, MarchElement, MarchItem};
 pub use error::MarchError;

@@ -2,12 +2,21 @@
 //!
 //! The sliced engine ([`crate::sliced`]) already reduced per-fault work to
 //! the accesses touching the fault's support set, but it still replays
-//! those accesses once *per fault*. This module goes one step further for
-//! the dominant, purely combinational fault classes — SAF, TF, CFin, CFid,
-//! CFst — by packing up to 64 faults into the bit lanes of `u64` state
+//! those accesses once *per fault*. This module goes one step further by
+//! packing up to [`LANES`] faults into the bit lanes of `[u64; 4]` state
 //! vectors and replaying a shared access program **once per batch** with
 //! branch-free bitwise lane updates (the classic bit-parallel single-fault
 //! propagation trick, applied across faults instead of across patterns).
+//!
+//! Every address-local class vectorizes: the combinational classes (SAF,
+//! TF, CFin, CFid, CFst), stuck-open faults (the per-port sense-amp latch
+//! becomes a previous-read-latch formula resolved per op at build time),
+//! retention and pull-open decay (decay deadlines are precomputed from the
+//! trace's pause-adjusted timestamps into per-op `decayed` flags), and
+//! fixed-shape five-cell NPSF neighborhoods (neighborhood activation is
+//! reconstructed from the golden neighbor values at build time, so the
+//! lane update is a compile-time branch). Only decoder faults stay
+//! per fault — they take the sliced two-word decoder replay.
 //!
 //! # Lane encoding
 //!
@@ -17,40 +26,152 @@
 //! detection. Per-fault constants (stuck value, triggering direction,
 //! forced value, activating state) become per-lane constant masks, so
 //! `sa0`/`sa1` — and rising/falling or forced-0/forced-1 variants of the
-//! coupling classes — share batches.
+//! coupling classes — share batches. The invariant is per *lane vector*:
+//! a `Lanes` value is `[u64; 4]`, bit `i % 64` of block `i / 64` belongs
+//! to lane `i`, and every update touches all four blocks unconditionally
+//! (the `live` mask confines partial final blocks).
 //!
 //! # Batch compatibility
 //!
 //! Two faults share a batch iff they have the same class **and** the same
-//! *access program*: the stream of victim-word writes, aggressor-word
-//! writes and checked victim-word reads projected onto the fault's support
-//! bits (a [`Vec<SigOp>`] — simultaneously the exact congruence key and the
-//! program the batch executes). Unchecked reads are dropped (no state or
-//! detection effect for these classes), and aggressor-word checked reads
-//! are dropped because the aggressor cell of CFin/CFid/CFst never deviates
-//! from the golden trace — only the victim does. Programs are content-
-//! deduplicated, so faults at *different* addresses batch together whenever
-//! the expanded march touches their words identically (the common case:
-//! march expansions are address-uniform, so a 1024-word SAF universe
-//! compiles to a single program).
+//! *canonical access program*: the stream of support-word writes and reads
+//! projected onto the fault's support bits (a [`Vec<SigOp>`] —
+//! simultaneously the exact congruence key and the program the batch
+//! executes), normalized for data background. Canonicalization complements
+//! every projected data/expectation bit when the program's first
+//! polarity-carrying bit is 1 and records a per-lane `flip` bit instead,
+//! so faults whose projections are *complements* of each other — opposite
+//! bit positions under a checkerboard background, or the same position
+//! under complementary backgrounds — also share one batch, with their
+//! per-lane constants XOR-corrected by the flip mask. Unchecked reads are
+//! dropped whenever they carry no state (they advance stuck-open latches
+//! and commit decay events, so those stay), and aggressor-word checked
+//! reads are dropped because the aggressor cell never deviates from the
+//! golden trace. Programs are content-deduplicated, so faults at
+//! *different* addresses batch together whenever the expanded march
+//! touches their words identically (the common case: march expansions are
+//! address-uniform, so a 1024-word SAF universe compiles to a single
+//! program).
 //!
-//! Classes with timing state (Retention, PullOpen), sense-latch state
-//! (StuckOpen), neighborhood activation (NPSF) or non-local addressing
-//! (decoder faults) do not vectorize into independent `u64` lanes; they
-//! fall back per fault to the sliced/full paths, so reports stay
+//! Decoder faults are not address-local and never lane-pack; they route
+//! per fault to the sliced two-word decoder replay, so reports stay
 //! bit-identical to [`SimEngine::Full`](crate::SimEngine::Full) — the
 //! equivalence the three-way `sliced_equivalence` proptest suite pins.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::ops::{BitAnd, BitOr, BitOrAssign, BitXor, Not};
 
 use mbist_mem::{CellId, FaultKind};
 
 use crate::fanout::{detect_one, WorkerScratch};
 use crate::trace::{CompiledTrace, FnvBuild, SimEngine, TraceOpKind};
 
-/// Lanes per batch: one fault per bit of the `u64` state vectors.
-const LANES: usize = 64;
+/// `u64` blocks per lane vector.
+const LANE_BLOCKS: usize = 4;
+
+/// Lanes per batch: one fault per bit of the `[u64; 4]` state vectors.
+const LANES: usize = 64 * LANE_BLOCKS;
+
+/// A per-lane bit vector: bit `i % 64` of block `i / 64` belongs to lane
+/// `i`. The bitwise operators apply blockwise, so the scalar update
+/// formulas read unchanged from their `u64` ancestors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Lanes([u64; LANE_BLOCKS]);
+
+impl Lanes {
+    const ZERO: Self = Self([0; LANE_BLOCKS]);
+
+    /// All lanes set to `b`.
+    fn splat(b: bool) -> Self {
+        Self([if b { u64::MAX } else { 0 }; LANE_BLOCKS])
+    }
+
+    /// The mask of the first `n` lanes (the live lanes of a partial batch).
+    fn first(n: usize) -> Self {
+        let mut blocks = [0u64; LANE_BLOCKS];
+        for (i, block) in blocks.iter_mut().enumerate() {
+            let low = i * 64;
+            *block = if n >= low + 64 {
+                u64::MAX
+            } else if n > low {
+                (1u64 << (n - low)) - 1
+            } else {
+                0
+            };
+        }
+        Self(blocks)
+    }
+
+    fn set(&mut self, lane: usize) {
+        self.0[lane / 64] |= 1u64 << (lane % 64);
+    }
+
+    fn get(self, lane: usize) -> bool {
+        self.0[lane / 64] >> (lane % 64) & 1 == 1
+    }
+}
+
+impl BitAnd for Lanes {
+    type Output = Self;
+    fn bitand(mut self, rhs: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a &= b;
+        }
+        self
+    }
+}
+
+impl BitOr for Lanes {
+    type Output = Self;
+    fn bitor(mut self, rhs: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a |= b;
+        }
+        self
+    }
+}
+
+impl BitXor for Lanes {
+    type Output = Self;
+    fn bitxor(mut self, rhs: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a ^= b;
+        }
+        self
+    }
+}
+
+impl Not for Lanes {
+    type Output = Self;
+    fn not(mut self) -> Self {
+        for a in &mut self.0 {
+            *a = !*a;
+        }
+        self
+    }
+}
+
+impl BitOrAssign for Lanes {
+    fn bitor_assign(&mut self, rhs: Self) {
+        *self = *self | rhs;
+    }
+}
+
+/// What a stuck-open read observes: the sense amp repeats the previous
+/// read on the port, which the builder resolves per op against the golden
+/// trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PrevBit {
+    /// No read yet on the port — the invalid latch reads 0.
+    Invalid,
+    /// The previous port read was of the fault's own word: repeat the
+    /// lane's own previous (possibly deviated) observation.
+    SelfLatch,
+    /// The previous port read was of another word, which never deviates:
+    /// its golden bit, known at build time.
+    Golden(bool),
+}
 
 /// One access-program instruction: the trace projected onto a fault's
 /// support bits. Derives `Eq + Hash` so a whole program doubles as the
@@ -72,6 +193,24 @@ enum SigOp {
     /// already disagrees with the golden value on some *other* bit — a bit
     /// the fault cannot touch, so every live lane detects here.
     RVic { expected: bool, base_mismatch: bool },
+    /// Stuck-open read: observe per [`PrevBit`], then latch the
+    /// observation. Unchecked reads are kept (`expected: None`) — they
+    /// advance the latch.
+    RSof { port: u8, prev: PrevBit, expected: Option<bool>, base_mismatch: bool },
+    /// Retention / pull-open read. `decayed` is the build-time verdict of
+    /// the decay schedule (pause-adjusted timestamps for retention, the
+    /// consecutive-read counter for pull-open): a decayed read stores the
+    /// lane's forced value before observing. Undecayed unchecked reads are
+    /// dropped.
+    RDecay { decayed: bool, expected: Option<bool>, base_mismatch: bool },
+    /// Static-NPSF base read: `active` is the build-time verdict of the
+    /// neighborhood pattern against the golden neighbor values — an active
+    /// read observes the lane's forced value instead of the store.
+    RNpsf { active: bool, expected: bool, base_mismatch: bool },
+    /// Active-NPSF trigger event: the trigger cell transitioned in the
+    /// sensitizing direction while the deleted neighborhood held the
+    /// activation pattern (both build-time facts), flipping the base cell.
+    Flip,
 }
 
 /// Which branch-free update rules a batch runs.
@@ -82,6 +221,38 @@ enum LaneClass {
     CouplingInversion,
     CouplingIdempotent,
     CouplingState,
+    StuckOpen,
+    /// Retention and pull-open share one rule: the decay *schedule* lives
+    /// in the program, only the decayed-to value is per lane.
+    Decay,
+    NpsfStatic,
+    NpsfActive,
+}
+
+/// The decay schedule of a retention / pull-open fault — part of the build
+/// key, because faults on one cell with different deadlines or read
+/// budgets decay at different ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DecayRule {
+    /// Retention: decayed iff `now_ns - last_write_ns > retention_ns`
+    /// (bits of the `f64` threshold, hashable and exact).
+    Retention { ns_bits: u64 },
+    /// Pull-open: drained when the consecutive-read count exceeds the
+    /// budget.
+    PullOpen { good_reads: u8 },
+}
+
+/// The support shape of a five-cell NPSF fault, in role order: base first,
+/// then the trigger (active) or the type-1 neighborhood (static), with the
+/// activation pattern bit `i` holding `cells[i + 1]`'s value (bit 0 unused
+/// for the active family — the trigger has no level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NpsfShape {
+    class: LaneClass,
+    cells: [CellId; 5],
+    pattern: u8,
+    /// Active-family trigger direction (`false` for the static family).
+    rising: bool,
 }
 
 /// One fault lowered to lane form: support cells plus the per-lane
@@ -90,27 +261,36 @@ struct LaneSpec {
     class: LaneClass,
     vic: CellId,
     agg: Option<CellId>,
+    npsf: Option<NpsfShape>,
+    decay: Option<DecayRule>,
     /// SAF stuck value.
     stuck: bool,
     /// TF / CFin / CFid triggering direction.
     rising: bool,
-    /// CFid / CFst forced value.
+    /// CFid / CFst / NPSF forced value, and the decayed-to value of the
+    /// decay family.
     forced: bool,
     /// CFst activating aggressor state.
     when: bool,
 }
 
-/// Lowers a fault to lane form, or `None` when its class does not
-/// vectorize and it must take the sliced/full fallback.
+/// Lowers a fault to lane form, or `None` when it must take the per-fault
+/// fallback (decoder faults, and hand-made NPSF neighborhoods whose five
+/// support cells do not land in five distinct words).
 fn lane_spec(fault: FaultKind) -> Option<LaneSpec> {
     let blank = |class, vic, agg| LaneSpec {
         class,
         vic,
         agg,
+        npsf: None,
+        decay: None,
         stuck: false,
         rising: false,
         forced: false,
         when: false,
+    };
+    let distinct = |cells: &[CellId; 5]| {
+        cells.iter().enumerate().all(|(i, c)| cells[..i].iter().all(|o| o.word != c.word))
     };
     match fault {
         FaultKind::StuckAt { cell, value } => {
@@ -135,25 +315,93 @@ fn lane_spec(fault: FaultKind) -> Option<LaneSpec> {
             forced,
             ..blank(LaneClass::CouplingState, victim, Some(aggressor))
         }),
+        FaultKind::StuckOpen { cell } => Some(blank(LaneClass::StuckOpen, cell, None)),
+        FaultKind::Retention { cell, decays_to, retention_ns } => Some(LaneSpec {
+            decay: Some(DecayRule::Retention { ns_bits: retention_ns.to_bits() }),
+            forced: decays_to,
+            ..blank(LaneClass::Decay, cell, None)
+        }),
+        FaultKind::PullOpen { cell, good_reads, decays_to } => Some(LaneSpec {
+            decay: Some(DecayRule::PullOpen { good_reads }),
+            forced: decays_to,
+            ..blank(LaneClass::Decay, cell, None)
+        }),
+        FaultKind::NpsfStatic { base, neighborhood, forced } => {
+            let cells = [
+                base,
+                neighborhood[0].0,
+                neighborhood[1].0,
+                neighborhood[2].0,
+                neighborhood[3].0,
+            ];
+            if !distinct(&cells) {
+                return None;
+            }
+            let pattern = neighborhood
+                .iter()
+                .enumerate()
+                .fold(0u8, |p, (i, &(_, v))| p | (u8::from(v) << i));
+            Some(LaneSpec {
+                npsf: Some(NpsfShape {
+                    class: LaneClass::NpsfStatic,
+                    cells,
+                    pattern,
+                    rising: false,
+                }),
+                forced,
+                ..blank(LaneClass::NpsfStatic, base, None)
+            })
+        }
+        FaultKind::NpsfActive { base, trigger, rising, others } => {
+            let cells = [base, trigger, others[0].0, others[1].0, others[2].0];
+            if !distinct(&cells) {
+                return None;
+            }
+            let pattern = others
+                .iter()
+                .enumerate()
+                .fold(0u8, |p, (i, &(_, v))| p | (u8::from(v) << (i + 1)));
+            Some(LaneSpec {
+                npsf: Some(NpsfShape {
+                    class: LaneClass::NpsfActive,
+                    cells,
+                    pattern,
+                    rising,
+                }),
+                ..blank(LaneClass::NpsfActive, base, None)
+            })
+        }
         _ => None,
     }
 }
 
-/// An open batch: up to [`LANES`] same-class faults sharing one program.
+/// Whether the packed engine lane-packs `fault` (the exact
+/// [`detect_chunk`] eligibility rule — the basis of the honest routing
+/// breakdown in [`crate::coverage`]).
+pub(crate) fn batchable(fault: FaultKind) -> bool {
+    lane_spec(fault).is_some()
+}
+
+/// An open batch: up to [`LANES`] same-class faults sharing one canonical
+/// program.
 struct Batch {
     class: LaneClass,
     program: usize,
     /// Index into the caller's fault slice, per lane.
     faults: Vec<usize>,
-    /// Per-lane constant masks (bit `i` = lane `i`'s constant).
-    stuck: u64,
-    rising: u64,
-    forced: u64,
-    when: u64,
+    /// Per-lane constant masks (bit `i` = lane `i`'s constant), already in
+    /// canonical (flip-corrected) space.
+    stuck: Lanes,
+    rising: Lanes,
+    forced: Lanes,
+    when: Lanes,
+    /// Lanes whose projections were complemented by canonicalization: the
+    /// canonical image of their real power-up-0 state is 1.
+    flip: Lanes,
     /// Lanes detected before the walk starts (a golden miscompare at any
     /// word other than the lane's victim word replays identically under the
     /// fault, deciding detection on its own).
-    pre_detected: u64,
+    pre_detected: Lanes,
 }
 
 impl Batch {
@@ -162,39 +410,43 @@ impl Batch {
             class,
             program,
             faults: Vec::with_capacity(LANES),
-            stuck: 0,
-            rising: 0,
-            forced: 0,
-            when: 0,
-            pre_detected: 0,
+            stuck: Lanes::ZERO,
+            rising: Lanes::ZERO,
+            forced: Lanes::ZERO,
+            when: Lanes::ZERO,
+            flip: Lanes::ZERO,
+            pre_detected: Lanes::ZERO,
         }
     }
 
-    fn push(&mut self, index: usize, spec: &LaneSpec, pre_detected: bool) {
-        let lane = 1u64 << self.faults.len();
+    fn push(&mut self, index: usize, spec: &LaneSpec, flipped: bool, pre_detected: bool) {
+        let lane = self.faults.len();
         self.faults.push(index);
-        if spec.stuck {
-            self.stuck |= lane;
+        if spec.stuck ^ flipped {
+            self.stuck.set(lane);
         }
-        if spec.rising {
-            self.rising |= lane;
+        if spec.rising ^ flipped {
+            self.rising.set(lane);
         }
-        if spec.forced {
-            self.forced |= lane;
+        if spec.forced ^ flipped {
+            self.forced.set(lane);
         }
-        if spec.when {
-            self.when |= lane;
+        if spec.when ^ flipped {
+            self.when.set(lane);
+        }
+        if flipped {
+            self.flip.set(lane);
         }
         if pre_detected {
-            self.pre_detected |= lane;
+            self.pre_detected.set(lane);
         }
     }
 }
 
-/// Builds the access program for a `(victim, aggressor)` support shape:
-/// the step-ordered merge of the victim- and aggressor-word op lists,
-/// projected onto the two support bits (see [`SigOp`]).
-fn build_program(trace: &CompiledTrace, vic: CellId, agg: Option<CellId>) -> Vec<SigOp> {
+/// Builds the access program for a plain `(victim, aggressor)` support
+/// shape: the step-ordered merge of the victim- and aggressor-word op
+/// lists, projected onto the two support bits (see [`SigOp`]).
+fn build_plain(trace: &CompiledTrace, vic: CellId, agg: Option<CellId>) -> Vec<SigOp> {
     let vic_bit = 1u64 << vic.bit;
     let rvic = |expected: Option<u64>, golden: u64| {
         expected.map(|e| SigOp::RVic {
@@ -234,8 +486,8 @@ fn build_program(trace: &CompiledTrace, vic: CellId, agg: Option<CellId>) -> Vec
         }
         // Inter-word pair: two-way merge back into stream order. Reads of
         // the aggressor word are dropped — the aggressor cell never
-        // deviates from golden, so they can neither miscompare nor change
-        // state.
+        // deviates from the golden trace, so they can neither miscompare
+        // nor change state.
         Some(a) => {
             let agg_bit = 1u64 << a.bit;
             let (vs, ags) = (trace.ops_for_word(vic.word), trace.ops_for_word(a.word));
@@ -264,22 +516,222 @@ fn build_program(trace: &CompiledTrace, vic: CellId, agg: Option<CellId>) -> Vec
     program
 }
 
-/// Executes one batch: a single replay of the shared program with
-/// branch-free per-lane updates, returning the sticky 64-bit detected
-/// mask. Each lane update is the exact projection of the corresponding
-/// single-fault path in `mbist_mem::array` (and [`crate::sliced`]) onto
-/// the fault's support bits.
-fn run_batch(program: &[SigOp], batch: &Batch) -> u64 {
-    let live = if batch.faults.len() == LANES {
-        u64::MAX
-    } else {
-        (1u64 << batch.faults.len()) - 1
+/// Builds the stuck-open program for one cell: writes vanish (the
+/// disconnected cell never stores), so the program is the word's reads,
+/// each resolving what the port's sense latch held — the lane's own
+/// previous observation when the previous port read was this word, the
+/// golden bit of that read otherwise.
+fn build_sof(trace: &CompiledTrace, cell: CellId, ports: u8) -> Vec<SigOp> {
+    let bit = 1u64 << cell.bit;
+    let mut last_self_read: Vec<Option<u32>> = vec![None; usize::from(ports)];
+    let mut program = Vec::new();
+    for op in trace.ops_for_word(cell.word) {
+        if let TraceOpKind::Read { expected, golden, prev_read } = op.kind {
+            let port = usize::from(op.port.0);
+            let prev = match prev_read {
+                None => PrevBit::Invalid,
+                Some(pr) if last_self_read[port] == Some(pr.step) => PrevBit::SelfLatch,
+                Some(pr) => PrevBit::Golden(pr.golden & bit != 0),
+            };
+            program.push(SigOp::RSof {
+                port: op.port.0,
+                prev,
+                expected: expected.map(|e| e & bit != 0),
+                base_mismatch: expected.is_some_and(|e| (e ^ golden) & !bit != 0),
+            });
+            last_self_read[port] = Some(op.step);
+        }
+    }
+    program
+}
+
+/// Builds the retention / pull-open program for one cell: writes commit
+/// normally, and each read carries the build-time decay verdict of the
+/// rule's schedule (wall-clock deadline or consecutive-read budget —
+/// both functions of the trace alone, never of the lane values).
+fn build_decay(trace: &CompiledTrace, cell: CellId, rule: DecayRule) -> Vec<SigOp> {
+    let bit = 1u64 << cell.bit;
+    let mut program = Vec::new();
+    let mut last_write_ns = 0.0f64;
+    let mut consecutive_reads = 0u8;
+    for op in trace.ops_for_word(cell.word) {
+        match op.kind {
+            TraceOpKind::Write(data) => {
+                last_write_ns = op.now_ns;
+                consecutive_reads = 0;
+                program.push(SigOp::WVic { d: data & bit != 0 });
+            }
+            TraceOpKind::Read { expected, golden, .. } => {
+                let decayed = match rule {
+                    DecayRule::Retention { ns_bits } => {
+                        let hit = op.now_ns - last_write_ns > f64::from_bits(ns_bits);
+                        if hit {
+                            // The decayed store refreshes the cell like any
+                            // write.
+                            last_write_ns = op.now_ns;
+                        }
+                        hit
+                    }
+                    DecayRule::PullOpen { good_reads } => {
+                        consecutive_reads = consecutive_reads.saturating_add(1);
+                        let hit = consecutive_reads > good_reads;
+                        if hit {
+                            consecutive_reads = 0;
+                        }
+                        hit
+                    }
+                };
+                if decayed || expected.is_some() {
+                    program.push(SigOp::RDecay {
+                        decayed,
+                        expected: expected.map(|e| e & bit != 0),
+                        base_mismatch: expected.is_some_and(|e| (e ^ golden) & !bit != 0),
+                    });
+                }
+            }
+        }
+    }
+    program
+}
+
+/// Builds the NPSF program for a five-distinct-word shape: a five-way
+/// step-ordered merge that tracks the golden values of the non-base
+/// support cells (they never deviate — the base is the only cell a
+/// neighborhood fault touches), resolving neighborhood activation and
+/// trigger events at build time.
+fn build_npsf(trace: &CompiledTrace, shape: &NpsfShape) -> Vec<SigOp> {
+    let base = shape.cells[0];
+    let base_bit = 1u64 << base.bit;
+    let lists: Vec<_> = shape.cells.iter().map(|c| trace.ops_for_word(c.word)).collect();
+    let mut cursor = [0usize; 5];
+    // Golden values of the support cells (power-up 0); slot 0 (the base)
+    // is unused — the base's stored value lives in the lanes.
+    let mut held = [false; 5];
+    let matches_pattern = |held: &[bool; 5], from: usize| {
+        (from..5).all(|k| held[k] == (shape.pattern >> (k - 1) & 1 == 1))
     };
-    let bcast = |b: bool| if b { u64::MAX } else { 0 };
+    let mut program = Vec::new();
+    loop {
+        let mut next: Option<usize> = None;
+        for i in 0..5 {
+            if cursor[i] < lists[i].len()
+                && next.is_none_or(|j: usize| {
+                    lists[i][cursor[i]].step < lists[j][cursor[j]].step
+                })
+            {
+                next = Some(i);
+            }
+        }
+        let Some(i) = next else { break };
+        let op = lists[i][cursor[i]];
+        cursor[i] += 1;
+        if i == 0 {
+            match op.kind {
+                TraceOpKind::Write(data) => {
+                    program.push(SigOp::WVic { d: data & base_bit != 0 });
+                }
+                TraceOpKind::Read { expected, golden, .. } => {
+                    let Some(e) = expected else { continue };
+                    let expected = e & base_bit != 0;
+                    let base_mismatch = (e ^ golden) & !base_bit != 0;
+                    if shape.class == LaneClass::NpsfStatic {
+                        let active = matches_pattern(&held, 1);
+                        program.push(SigOp::RNpsf { active, expected, base_mismatch });
+                    } else {
+                        program.push(SigOp::RVic { expected, base_mismatch });
+                    }
+                }
+            }
+        } else if let TraceOpKind::Write(data) = op.kind {
+            let new = data >> shape.cells[i].bit & 1 == 1;
+            let old = held[i];
+            held[i] = new;
+            // Active-family trigger: a transition of the trigger cell in
+            // the sensitizing direction while the deleted neighborhood
+            // holds the activation pattern flips the base.
+            if shape.class == LaneClass::NpsfActive
+                && i == 1
+                && old != new
+                && new == shape.rising
+                && matches_pattern(&held, 2)
+            {
+                program.push(SigOp::Flip);
+            }
+        }
+    }
+    program
+}
+
+/// Canonicalizes a program for data background: if the first
+/// polarity-carrying bit is 1, every projected data/expectation/golden bit
+/// is complemented and `true` is returned so the caller records the lane's
+/// flip. Detection is computed in canonical space, where the global
+/// complement cancels out of every comparison — so faults whose
+/// projections are complements of each other share one batch. Structural
+/// flags (`base_mismatch`, `decayed`, `active`, ports, trigger events) are
+/// polarity-free and stay.
+fn canonicalize(program: &mut [SigOp]) -> bool {
+    let first_polarity = program.iter().find_map(|op| match *op {
+        SigOp::WVic { d } | SigOp::WAgg { d } | SigOp::WBoth { d_vic: d, .. } => Some(d),
+        SigOp::RVic { expected, .. } | SigOp::RNpsf { expected, .. } => Some(expected),
+        SigOp::RSof { expected: Some(e), .. } | SigOp::RDecay { expected: Some(e), .. } => {
+            Some(e)
+        }
+        SigOp::RSof { prev: PrevBit::Golden(b), .. } => Some(b),
+        SigOp::RSof { .. } | SigOp::RDecay { .. } | SigOp::Flip => None,
+    });
+    if first_polarity != Some(true) {
+        return false;
+    }
+    for op in program {
+        match op {
+            SigOp::WVic { d } | SigOp::WAgg { d } => *d = !*d,
+            SigOp::WBoth { d_vic, d_agg } => {
+                *d_vic = !*d_vic;
+                *d_agg = !*d_agg;
+            }
+            SigOp::RVic { expected, .. } | SigOp::RNpsf { expected, .. } => {
+                *expected = !*expected;
+            }
+            SigOp::RSof { prev, expected, .. } => {
+                if let PrevBit::Golden(b) = prev {
+                    *b = !*b;
+                }
+                if let Some(e) = expected {
+                    *e = !*e;
+                }
+            }
+            SigOp::RDecay { expected, .. } => {
+                if let Some(e) = expected {
+                    *e = !*e;
+                }
+            }
+            SigOp::Flip => {}
+        }
+    }
+    true
+}
+
+/// Executes one batch: a single replay of the shared canonical program
+/// with branch-free per-lane updates, returning the sticky detected lane
+/// vector. Each lane update is the exact projection of the corresponding
+/// single-fault path in `mbist_mem::array` (and [`crate::sliced`]) onto
+/// the fault's support bits, in canonical space — the lane's real state is
+/// the canonical state XOR its flip bit, and the XOR cancels out of every
+/// detection comparison.
+fn run_batch(program: &[SigOp], batch: &Batch, ports: u8) -> Lanes {
+    let live = Lanes::first(batch.faults.len());
+    let splat = Lanes::splat;
     // SAF injection clamps the stored value immediately; everything else
-    // powers up 0 like the array.
-    let mut vic: u64 = if batch.class == LaneClass::StuckAt { batch.stuck } else { 0 };
-    let mut agg: u64 = 0;
+    // powers up 0 like the array — whose canonical image is the flip mask.
+    let mut vic = if batch.class == LaneClass::StuckAt { batch.stuck } else { batch.flip };
+    let mut agg = batch.flip;
+    // Per-port stuck-open sense latches (the value is unused until the
+    // first read resolves it).
+    let mut latch: Vec<Lanes> = Vec::new();
+    if batch.class == LaneClass::StuckOpen {
+        latch.resize(usize::from(ports), Lanes::ZERO);
+    }
     let mut detected = batch.pre_detected & live;
     if detected == live {
         return detected;
@@ -287,7 +739,7 @@ fn run_batch(program: &[SigOp], batch: &Batch) -> u64 {
     for &op in program {
         match op {
             SigOp::WVic { d } => {
-                let dm = bcast(d);
+                let dm = splat(d);
                 match batch.class {
                     LaneClass::StuckAt => vic = batch.stuck,
                     LaneClass::Transition => {
@@ -297,31 +749,33 @@ fn run_batch(program: &[SigOp], batch: &Batch) -> u64 {
                         let block_down = !batch.rising & vic & !dm;
                         vic = (dm & !block_up) | block_down;
                     }
-                    // Coupling classes: a plain commit — their write-phase
-                    // effects key on the *aggressor* word.
+                    // Everything else commits plainly: coupling write-phase
+                    // effects key on the *aggressor* word, decay and static
+                    // NPSF are read-path effects, and stuck-open programs
+                    // carry no writes at all.
                     _ => vic = dm,
                 }
             }
             SigOp::WAgg { d } => {
-                let dm = bcast(d);
+                let dm = splat(d);
                 let changed = agg ^ dm;
                 // Fired: the aggressor actually transitioned and its new
                 // value matches the lane's triggering direction. Inter-word
                 // victims are always sensitized.
                 let fired = changed & !(dm ^ batch.rising);
                 match batch.class {
-                    LaneClass::CouplingInversion => vic ^= fired,
+                    LaneClass::CouplingInversion => vic = vic ^ fired,
                     LaneClass::CouplingIdempotent => {
                         vic = (vic & !fired) | (batch.forced & fired);
                     }
-                    // CFst has no write-phase effect; StuckAt/Transition
-                    // programs never contain WAgg.
+                    // CFst has no write-phase effect; other classes never
+                    // contain WAgg.
                     _ => {}
                 }
                 agg = dm;
             }
             SigOp::WBoth { d_vic, d_agg } => {
-                let (dv, da) = (bcast(d_vic), bcast(d_agg));
+                let (dv, da) = (splat(d_vic), splat(d_agg));
                 // Intra-word sensitization: the coupling only lands if the
                 // same write did not *also* change the victim bit.
                 let fired = (agg ^ da) & !(da ^ batch.rising) & !(vic ^ dv);
@@ -345,52 +799,120 @@ fn run_batch(program: &[SigOp], batch: &Batch) -> u64 {
                     }
                     _ => vic,
                 };
-                let miss = if base_mismatch { live } else { obs ^ bcast(expected) };
+                let miss = if base_mismatch { live } else { obs ^ splat(expected) };
                 detected |= miss & live;
                 if detected == live {
                     return detected;
                 }
             }
+            SigOp::RSof { port, prev, expected, base_mismatch } => {
+                // The sense amp repeats the previous port read; the invalid
+                // latch reads 0, whose canonical image is the flip mask.
+                let obs = match prev {
+                    PrevBit::Invalid => batch.flip,
+                    PrevBit::SelfLatch => latch[usize::from(port)],
+                    PrevBit::Golden(b) => splat(b),
+                };
+                latch[usize::from(port)] = obs;
+                if let Some(e) = expected {
+                    let miss = if base_mismatch { live } else { obs ^ splat(e) };
+                    detected |= miss & live;
+                    if detected == live {
+                        return detected;
+                    }
+                }
+            }
+            SigOp::RDecay { decayed, expected, base_mismatch } => {
+                if decayed {
+                    // The decayed store commits before observation.
+                    vic = batch.forced;
+                }
+                if let Some(e) = expected {
+                    let miss = if base_mismatch { live } else { vic ^ splat(e) };
+                    detected |= miss & live;
+                    if detected == live {
+                        return detected;
+                    }
+                }
+            }
+            SigOp::RNpsf { active, expected, base_mismatch } => {
+                let obs = if active { batch.forced } else { vic };
+                let miss = if base_mismatch { live } else { obs ^ splat(expected) };
+                detected |= miss & live;
+                if detected == live {
+                    return detected;
+                }
+            }
+            SigOp::Flip => vic = !vic,
         }
     }
     detected
 }
 
-/// Program store with two-level memoization: per support shape
-/// (`(victim, aggressor)` — programs are class-independent, so SAF and TF
-/// at the same cell, or all three coupling classes on the same pair, share
-/// one build) and per content (faults at different addresses whose words
-/// see identical access sequences share one batch).
+/// The memoized build shape of a program: faults with equal keys share one
+/// build (programs are polarity-independent after canonicalization, so
+/// e.g. SAF and TF at the same cell, both decay rules' polarities, or all
+/// sixteen static-NPSF patterns on one neighborhood, reuse work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BuildKey {
+    Plain(CellId, Option<CellId>),
+    Sof(CellId),
+    Decay(CellId, DecayRule),
+    Npsf(NpsfShape),
+}
+
+impl BuildKey {
+    fn of(spec: &LaneSpec) -> Self {
+        match spec.class {
+            LaneClass::StuckOpen => Self::Sof(spec.vic),
+            LaneClass::Decay => Self::Decay(spec.vic, spec.decay.expect("decay rule")),
+            LaneClass::NpsfStatic | LaneClass::NpsfActive => {
+                Self::Npsf(spec.npsf.expect("npsf shape"))
+            }
+            _ => Self::Plain(spec.vic, spec.agg),
+        }
+    }
+}
+
+/// Program store with two-level memoization: per build shape
+/// ([`BuildKey`]) and per canonical content (faults at different
+/// addresses — or complementary backgrounds — whose canonical programs
+/// coincide share one batch).
 #[derive(Default)]
 struct Programs {
     store: Vec<Vec<SigOp>>,
-    by_cells: HashMap<(CellId, Option<CellId>), usize, FnvBuild>,
+    by_key: HashMap<BuildKey, (usize, bool), FnvBuild>,
     by_content: HashMap<Vec<SigOp>, usize, FnvBuild>,
 }
 
 impl Programs {
-    /// Program id for a support shape the route key could not classify
-    /// (inter-word pairs on a non-uniform trace): memoized per cell pair,
-    /// then per content.
-    fn id_for(&mut self, trace: &CompiledTrace, vic: CellId, agg: Option<CellId>) -> usize {
-        if let Some(&id) = self.by_cells.get(&(vic, agg)) {
-            return id;
+    /// Builds `spec`'s program, memoized per build key. Returns the
+    /// canonical program id plus the flip this fault's lane must record.
+    fn id_for(&mut self, trace: &CompiledTrace, spec: &LaneSpec) -> (usize, bool) {
+        let key = BuildKey::of(spec);
+        if let Some(&hit) = self.by_key.get(&key) {
+            return hit;
         }
-        let id = self.id_for_content(trace, vic, agg);
-        self.by_cells.insert((vic, agg), id);
-        id
+        let entry = self.id_for_content(trace, spec);
+        self.by_key.insert(key, entry);
+        entry
     }
 
-    /// Builds (or content-dedups) the program for one representative
-    /// support shape — the route-key paths call this once per key.
-    fn id_for_content(
-        &mut self,
-        trace: &CompiledTrace,
-        vic: CellId,
-        agg: Option<CellId>,
-    ) -> usize {
-        let program = build_program(trace, vic, agg);
-        match self.by_content.get(&program) {
+    /// Builds (or content-dedups) the canonical program for one
+    /// representative spec — the route-key paths call this once per key.
+    fn id_for_content(&mut self, trace: &CompiledTrace, spec: &LaneSpec) -> (usize, bool) {
+        let mut program = match spec.class {
+            LaneClass::StuckOpen => build_sof(trace, spec.vic, trace.geometry().ports()),
+            LaneClass::Decay => {
+                build_decay(trace, spec.vic, spec.decay.expect("decay rule"))
+            }
+            LaneClass::NpsfStatic | LaneClass::NpsfActive => {
+                build_npsf(trace, &spec.npsf.expect("npsf shape"))
+            }
+            _ => build_plain(trace, spec.vic, spec.agg),
+        };
+        let flipped = canonicalize(&mut program);
+        let id = match self.by_content.get(&program) {
             Some(&id) => id,
             None => {
                 let id = self.store.len();
@@ -398,14 +920,16 @@ impl Programs {
                 self.by_content.insert(program, id);
                 id
             }
-        }
+        };
+        (id, flipped)
     }
 }
 
-/// O(1) batch route for a fault, derived from the trace's compile-time
-/// word-content classes: faults with equal keys provably share an access
-/// program, so the per-fault cost of batching is one small hash lookup
-/// instead of rebuilding and hashing the fault's whole projected program.
+/// O(1) batch route for a plain-shape fault, derived from the trace's
+/// compile-time word-content classes: faults with equal keys provably
+/// share an access program, so the per-fault cost of batching is one small
+/// hash lookup instead of rebuilding and hashing the fault's whole
+/// projected program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct RouteKey {
     class: LaneClass,
@@ -420,11 +944,99 @@ struct RouteKey {
     agg_bit: u8,
 }
 
-/// Simulates a chunk of faults: batchable classes are grouped into lanes
-/// and replayed once per batch; the rest route per fault through the same
-/// sliced/full paths as [`SimEngine::Sliced`]. Returns one flag per fault,
-/// in chunk order — batching never reorders or changes a verdict, only the
-/// wall-clock cost.
+/// O(1) batch route for a five-cell NPSF fault under the address-uniform
+/// certificate: on a uniform trace every word's op list is one segment
+/// projection per march element, ordered by address rank, so the merged
+/// projection of the five support words — and with it the built program —
+/// depends only on their content classes, bit positions, relative address
+/// order, and the activation parameters. ~tens of keys cover a whole NPSF
+/// universe instead of one five-way merge per fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NpsfRouteKey {
+    class: LaneClass,
+    classes: [u32; 5],
+    bits: [u8; 5],
+    /// Relative address rank of each support word among the five (the
+    /// words are pairwise distinct, so ranks are a permutation).
+    rank: [u8; 5],
+    pattern: u8,
+    rising: bool,
+}
+
+/// How the scheduler resolves a fault's program.
+enum Route {
+    Plain(RouteKey),
+    Npsf(NpsfRouteKey),
+    /// No uniform shortcut: build via the [`BuildKey`] memo (cheap —
+    /// stuck-open and decay builds walk one op list, and non-uniform
+    /// traces are the slow path anyway).
+    Keyed,
+}
+
+fn route_of(trace: &CompiledTrace, spec: &LaneSpec, uniform: bool) -> Route {
+    match spec.class {
+        LaneClass::StuckAt
+        | LaneClass::Transition
+        | LaneClass::CouplingInversion
+        | LaneClass::CouplingIdempotent
+        | LaneClass::CouplingState => {
+            let key = match spec.agg {
+                None => RouteKey {
+                    class: spec.class,
+                    shape: 0,
+                    vic_class: trace.word_class(spec.vic.word),
+                    vic_bit: spec.vic.bit,
+                    agg_class: 0,
+                    agg_bit: 0,
+                },
+                Some(a) if a.word == spec.vic.word => RouteKey {
+                    class: spec.class,
+                    shape: 1,
+                    vic_class: trace.word_class(spec.vic.word),
+                    vic_bit: spec.vic.bit,
+                    agg_class: 0,
+                    agg_bit: a.bit,
+                },
+                Some(a) if uniform => RouteKey {
+                    class: spec.class,
+                    shape: if spec.vic.word < a.word { 2 } else { 3 },
+                    vic_class: trace.word_class(spec.vic.word),
+                    vic_bit: spec.vic.bit,
+                    agg_class: trace.word_class(a.word),
+                    agg_bit: a.bit,
+                },
+                Some(_) => return Route::Keyed,
+            };
+            Route::Plain(key)
+        }
+        LaneClass::NpsfStatic | LaneClass::NpsfActive if uniform => {
+            let shape = spec.npsf.as_ref().expect("npsf shape");
+            let mut classes = [0u32; 5];
+            let mut bits = [0u8; 5];
+            let mut rank = [0u8; 5];
+            for (i, c) in shape.cells.iter().enumerate() {
+                classes[i] = trace.word_class(c.word);
+                bits[i] = c.bit;
+                rank[i] = shape.cells.iter().filter(|o| o.word < c.word).count() as u8;
+            }
+            Route::Npsf(NpsfRouteKey {
+                class: spec.class,
+                classes,
+                bits,
+                rank,
+                pattern: shape.pattern,
+                rising: shape.rising,
+            })
+        }
+        _ => Route::Keyed,
+    }
+}
+
+/// Simulates a chunk of faults: every address-local fault is grouped into
+/// lanes and replayed once per batch; decoder faults route per fault
+/// through the same sliced path as [`SimEngine::Sliced`]. Returns one flag
+/// per fault, in chunk order — batching never reorders or changes a
+/// verdict, only the wall-clock cost.
 pub(crate) fn detect_chunk(
     trace: &CompiledTrace,
     faults: &[FaultKind],
@@ -433,82 +1045,57 @@ pub(crate) fn detect_chunk(
     let mut flags = vec![false; faults.len()];
     let mut programs = Programs::default();
     let mut batches: Vec<Batch> = Vec::new();
-    // Open (possibly full) batch per route key (the fast path) and per
-    // exactly-built program (the fallback for inter-word pairs on
-    // non-uniform traces). A full batch is replaced by a fresh one for the
-    // same program on the next hit.
-    let mut routed: HashMap<RouteKey, usize, FnvBuild> = HashMap::with_hasher(FnvBuild);
+    // Program resolution is memoized per route key; the open (possibly
+    // full) batch lives per (class, canonical program), so route keys that
+    // canonicalize onto one program — complementary backgrounds — share
+    // batches. A full batch is replaced by a fresh one on the next hit.
+    let mut routed: HashMap<RouteKey, (usize, bool), FnvBuild> =
+        HashMap::with_hasher(FnvBuild);
+    let mut routed_npsf: HashMap<NpsfRouteKey, (usize, bool), FnvBuild> =
+        HashMap::with_hasher(FnvBuild);
     let mut open: HashMap<(LaneClass, usize), usize, FnvBuild> =
         HashMap::with_hasher(FnvBuild);
     let uniform = trace.uniform_interleave();
     let miscompares = trace.golden_miscompares();
+    let ports = trace.geometry().ports();
     for (index, &fault) in faults.iter().enumerate() {
         let Some(spec) = lane_spec(fault) else {
             flags[index] = detect_one(trace, fault, SimEngine::Sliced, scratch);
             continue;
         };
-        let key = match spec.agg {
-            None => Some(RouteKey {
-                class: spec.class,
-                shape: 0,
-                vic_class: trace.word_class(spec.vic.word),
-                vic_bit: spec.vic.bit,
-                agg_class: 0,
-                agg_bit: 0,
-            }),
-            Some(a) if a.word == spec.vic.word => Some(RouteKey {
-                class: spec.class,
-                shape: 1,
-                vic_class: trace.word_class(spec.vic.word),
-                vic_bit: spec.vic.bit,
-                agg_class: 0,
-                agg_bit: a.bit,
-            }),
-            Some(a) if uniform => Some(RouteKey {
-                class: spec.class,
-                shape: if spec.vic.word < a.word { 2 } else { 3 },
-                vic_class: trace.word_class(spec.vic.word),
-                vic_bit: spec.vic.bit,
-                agg_class: trace.word_class(a.word),
-                agg_bit: a.bit,
-            }),
-            Some(_) => None,
-        };
-        let slot = match key {
-            Some(key) => match routed.entry(key) {
-                Entry::Occupied(mut e) => refill(&mut batches, e.get_mut(), spec.class),
-                Entry::Vacant(e) => {
-                    let program = programs.id_for_content(trace, spec.vic, spec.agg);
-                    batches.push(Batch::new(spec.class, program));
-                    *e.insert(batches.len() - 1)
-                }
+        let (program, flipped) = match route_of(trace, &spec, uniform) {
+            Route::Plain(key) => match routed.entry(key) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => *e.insert(programs.id_for_content(trace, &spec)),
             },
-            None => {
-                let program = programs.id_for(trace, spec.vic, spec.agg);
-                match open.entry((spec.class, program)) {
-                    Entry::Occupied(mut e) => refill(&mut batches, e.get_mut(), spec.class),
-                    Entry::Vacant(e) => {
-                        batches.push(Batch::new(spec.class, program));
-                        *e.insert(batches.len() - 1)
-                    }
-                }
+            Route::Npsf(key) => match routed_npsf.entry(key) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => *e.insert(programs.id_for_content(trace, &spec)),
+            },
+            Route::Keyed => programs.id_for(trace, &spec),
+        };
+        let slot = match open.entry((spec.class, program)) {
+            Entry::Occupied(mut e) => refill(&mut batches, e.get_mut(), spec.class),
+            Entry::Vacant(e) => {
+                batches.push(Batch::new(spec.class, program));
+                *e.insert(batches.len() - 1)
             }
         };
         let pre_detected = !miscompares.is_empty()
             && miscompares.iter().any(|&(_, addr)| addr != spec.vic.word);
-        batches[slot].push(index, &spec, pre_detected);
+        batches[slot].push(index, &spec, flipped, pre_detected);
     }
     for batch in &batches {
-        let detected = run_batch(&programs.store[batch.program], batch);
+        let detected = run_batch(&programs.store[batch.program], batch, ports);
         for (lane, &index) in batch.faults.iter().enumerate() {
-            flags[index] = detected >> lane & 1 == 1;
+            flags[index] = detected.get(lane);
         }
     }
     flags
 }
 
 /// Returns the slot an open batch lives in, replacing a full batch with a
-/// fresh one for the same program (updating the routing slot in place).
+/// fresh one for the same program (updating the open slot in place).
 fn refill(batches: &mut Vec<Batch>, slot: &mut usize, class: LaneClass) -> usize {
     if batches[*slot].faults.len() == LANES {
         let program = batches[*slot].program;
@@ -523,16 +1110,10 @@ mod tests {
     use super::*;
     use crate::expand::{expand_with, ExpandOptions};
     use crate::library;
-    use mbist_mem::{class_universe, FaultClass, MemGeometry, MemoryArray, UniverseSpec};
-
-    /// The batchable classes the packed engine vectorizes.
-    const BATCHABLE: [FaultClass; 5] = [
-        FaultClass::StuckAt,
-        FaultClass::Transition,
-        FaultClass::CouplingInversion,
-        FaultClass::CouplingIdempotent,
-        FaultClass::CouplingState,
-    ];
+    use mbist_mem::{
+        class_universe, FaultClass, MemGeometry, MemoryArray, PortId, UniverseSpec,
+    };
+    use mbist_rtl::Bits;
 
     fn assert_packed_equivalence(g: MemGeometry, test: &crate::MarchTest) {
         let steps = expand_with(test, &g, &ExpandOptions::for_geometry(&g));
@@ -569,8 +1150,9 @@ mod tests {
 
     #[test]
     fn packed_matches_on_timing_sensitive_tests() {
-        // Pauses and triple reads must not perturb the batchable classes
-        // (their programs drop both), while DRF/PUF lanes fall back.
+        // Pauses and triple reads drive the retention and pull-open decay
+        // schedules, and the stuck-open self-latch resolution — all lane-
+        // packed now, so the whole universe must stay bit-identical.
         let g = MemGeometry::bit_oriented(16);
         for test in [library::march_c_plus(), library::march_c_plus_plus()] {
             assert_packed_equivalence(g, &test);
@@ -581,7 +1163,7 @@ mod tests {
     fn march_expansions_collapse_to_few_programs() {
         // Address-uniform march streams must dedupe aggressively: the whole
         // SAF universe of a 64-word memory shares one program, so the trace
-        // is walked once for every 64 faults, not once per fault.
+        // is walked once for every 256 faults, not once per fault.
         let g = MemGeometry::bit_oriented(64);
         let steps = expand_with(&library::march_c(), &g, &ExpandOptions::for_geometry(&g));
         let trace = CompiledTrace::from_steps(g, &steps);
@@ -589,37 +1171,117 @@ mod tests {
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
         for fault in &universe {
             let spec = lane_spec(*fault).unwrap();
-            programs.id_for(&trace, spec.vic, spec.agg);
+            programs.id_for(&trace, &spec);
         }
         assert_eq!(programs.store.len(), 1, "uniform stream must share one program");
-        assert_eq!(programs.by_cells.len(), 64, "one memo entry per cell");
+        assert_eq!(programs.by_key.len(), 64, "one memo entry per cell");
+    }
+
+    #[test]
+    fn new_lane_classes_collapse_to_few_programs() {
+        // The newly vectorized classes build per cell but content-fold on
+        // uniform streams: a handful of canonical programs (address-order
+        // boundary words differ), never one per cell.
+        let g = MemGeometry::bit_oriented(64);
+        let steps = expand_with(
+            &library::march_c_plus_plus(),
+            &g,
+            &ExpandOptions::for_geometry(&g),
+        );
+        let trace = CompiledTrace::from_steps(g, &steps);
+        for class in [FaultClass::StuckOpen, FaultClass::Retention, FaultClass::PullOpen] {
+            let mut programs = Programs::default();
+            let universe = class_universe(&g, class, &UniverseSpec::default());
+            assert!(!universe.is_empty());
+            for fault in &universe {
+                let spec = lane_spec(*fault).unwrap();
+                programs.id_for(&trace, &spec);
+            }
+            assert!(
+                programs.store.len() <= 4,
+                "{class:?}: {} programs for {} faults",
+                programs.store.len(),
+                universe.len()
+            );
+        }
     }
 
     #[test]
     fn batches_fill_lanes_across_fault_polarity() {
         // sa0 and sa1 differ only in the per-lane stuck mask, so they pack
-        // into the same batches: 128 SAFs on 64 words = exactly 2 batches.
-        let g = MemGeometry::bit_oriented(64);
+        // into the same batches: 256 SAFs on 128 words = exactly 1 batch,
+        // 130 words = 2 (a full one plus a 4-lane remainder).
+        for (words, expect_batches) in [(128u64, 1usize), (130, 2)] {
+            let g = MemGeometry::bit_oriented(words);
+            let steps = expand_with(&library::mats(), &g, &ExpandOptions::for_geometry(&g));
+            let trace = CompiledTrace::from_steps(g, &steps);
+            let universe =
+                class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+            assert_eq!(universe.len() as u64, words * 2);
+            // Count batches by replicating the scheduler's grouping.
+            let mut programs = Programs::default();
+            let mut lanes_per_key: HashMap<(LaneClass, usize), usize> = HashMap::new();
+            for fault in &universe {
+                let spec = lane_spec(*fault).unwrap();
+                let (id, _) = programs.id_for(&trace, &spec);
+                *lanes_per_key.entry((spec.class, id)).or_default() += 1;
+            }
+            let batch_count: usize =
+                lanes_per_key.values().map(|n| n.div_ceil(LANES)).sum();
+            assert_eq!(batch_count, expect_batches, "{words} words");
+        }
+    }
+
+    #[test]
+    fn partial_final_lane_blocks_stay_exact() {
+        // Lane counts straddling every `[u64; 4]` block boundary: the live
+        // mask must confine partial blocks without perturbing verdicts.
+        let g = MemGeometry::bit_oriented(300);
         let steps = expand_with(&library::mats(), &g, &ExpandOptions::for_geometry(&g));
         let trace = CompiledTrace::from_steps(g, &steps);
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
-        assert_eq!(universe.len(), 128);
-        // Count batches by replicating the scheduler's grouping.
+        assert!(universe.len() > 257);
+        let mut scratch = MemoryArray::new(g);
+        let oracle: Vec<bool> =
+            universe[..257].iter().map(|f| trace.detect_full(*f, &mut scratch)).collect();
+        for n in [1usize, 63, 64, 65, 255, 256, 257] {
+            let flags = detect_chunk(&trace, &universe[..n], &mut WorkerScratch::default());
+            assert_eq!(flags[..], oracle[..n], "lane count {n}");
+        }
+    }
+
+    #[test]
+    fn complementary_backgrounds_share_one_canonical_program() {
+        // Under a checkerboard background the even- and odd-bit projections
+        // are exact complements; canonicalization folds them onto one
+        // program, with half the lanes recording a flip — and verdicts
+        // stay bit-identical to the full replay.
+        let g = MemGeometry::word_oriented(16, 8);
+        let opts =
+            ExpandOptions { backgrounds: vec![Bits::new(8, 0x55)], ports: vec![PortId(0)] };
+        let steps = expand_with(&library::march_c(), &g, &opts);
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        assert_eq!(universe.len(), 256);
         let mut programs = Programs::default();
-        let mut lanes_per_key: HashMap<(LaneClass, usize), usize> = HashMap::new();
+        let mut flips = 0usize;
         for fault in &universe {
             let spec = lane_spec(*fault).unwrap();
-            let id = programs.id_for(&trace, spec.vic, spec.agg);
-            *lanes_per_key.entry((spec.class, id)).or_default() += 1;
+            let (_, flipped) = programs.id_for(&trace, &spec);
+            flips += usize::from(flipped);
         }
-        let batch_count: usize = lanes_per_key.values().map(|n| n.div_ceil(LANES)).sum();
-        assert_eq!(batch_count, 2, "128 lanes must fill exactly 2 batches");
+        assert_eq!(programs.store.len(), 1, "complements must fold onto one program");
+        assert_eq!(flips, 128, "half the lanes ride the complemented projection");
+        let packed = detect_chunk(&trace, &universe, &mut WorkerScratch::default());
+        let mut scratch = MemoryArray::new(g);
+        for (fault, flag) in universe.iter().zip(packed) {
+            assert_eq!(flag, trace.detect_full(*fault, &mut scratch), "{fault}");
+        }
     }
 
     #[test]
     fn dirty_streams_pre_detect_or_walk_exactly() {
-        use mbist_mem::{BusCycle, Operation, PortId, TestStep};
-        use mbist_rtl::Bits;
+        use mbist_mem::{BusCycle, Operation, TestStep};
         // A golden miscompare at word 1: faults on other words pre-detect,
         // faults on word 1 are decided by the walk — exactly like full.
         let g = MemGeometry::bit_oriented(4);
@@ -632,7 +1294,7 @@ mod tests {
         let trace = CompiledTrace::from_steps(g, &steps);
         let spec = UniverseSpec::default();
         let mut scratch = MemoryArray::new(g);
-        for class in BATCHABLE {
+        for class in FaultClass::ALL {
             let universe = class_universe(&g, class, &spec);
             let packed = detect_chunk(&trace, &universe, &mut WorkerScratch::default());
             for (fault, flag) in universe.iter().zip(packed) {
@@ -642,18 +1304,31 @@ mod tests {
     }
 
     #[test]
-    fn non_batchable_classes_take_the_fallback() {
+    fn only_decoder_faults_take_the_fallback() {
+        // Every address-local class lane-packs now; decoder faults are the
+        // single per-fault route left.
         for class in FaultClass::ALL {
-            let g = MemGeometry::bit_oriented(8);
+            let g = MemGeometry::bit_oriented(16);
             let universe = class_universe(&g, class, &UniverseSpec::default());
-            let batchable = BATCHABLE.contains(&class);
+            assert!(!universe.is_empty(), "{class:?} universe must be populated");
+            let expect = class != FaultClass::AddressDecoder;
             for fault in universe {
-                assert_eq!(
-                    lane_spec(fault).is_some(),
-                    batchable,
-                    "{fault} routed to the wrong engine"
-                );
+                assert_eq!(batchable(fault), expect, "{fault} routed to the wrong engine");
             }
         }
+        // Hand-made NPSF neighborhoods that reuse a word do not lane-pack
+        // (the five support words must be pairwise distinct) and fall back
+        // per fault.
+        let overlapping = FaultKind::NpsfStatic {
+            base: CellId::new(0, 0),
+            neighborhood: [
+                (CellId::new(1, 0), true),
+                (CellId::new(2, 0), false),
+                (CellId::new(3, 0), true),
+                (CellId::new(1, 1), false),
+            ],
+            forced: true,
+        };
+        assert!(!batchable(overlapping));
     }
 }

@@ -9,8 +9,10 @@
 //! transition → stuck-at clamp → commit → state bookkeeping → coupling
 //! from committed transitions), and the read order stuck-open → retention
 //! decay → pull-open drain → state coupling → static NPSF → stuck-at
-//! clamp. Equivalence with the full replay is asserted by the in-crate
-//! tests and the `sliced_equivalence` proptest suite.
+//! clamp. Decoder faults — which have no address-local support set — take
+//! a dedicated two-word replay over the pair of words they wire together
+//! ([`detect_decoder`]). Equivalence with the full replay is asserted by
+//! the in-crate tests and the `sliced_equivalence` proptest suite.
 
 use mbist_mem::{CellId, FaultKind, PortId, MAX_SUPPORT_CELLS};
 
@@ -28,19 +30,25 @@ pub(crate) struct SlicedScratch {
 }
 
 /// Sliced differential detection of one fault, or `None` when the fault
-/// has no address-local support set. Allocating convenience wrapper around
-/// [`detect_sliced_with`] for one-shot callers.
+/// has neither an address-local support set nor a decoder word pair.
+/// Allocating convenience wrapper around [`detect_sliced_with`] for
+/// one-shot callers.
 pub(crate) fn detect_sliced(trace: &CompiledTrace, fault: FaultKind) -> Option<bool> {
     detect_sliced_with(trace, fault, &mut SlicedScratch::default())
 }
 
 /// Sliced differential detection of one fault against caller-provided
-/// scratch, or `None` when the fault has no address-local support set.
+/// scratch. Decoder faults take a dedicated two-word replay; `None` is
+/// reserved for future fault kinds with neither an address-local support
+/// set nor a decoder word pair.
 pub(crate) fn detect_sliced_with(
     trace: &CompiledTrace,
     fault: FaultKind,
     scratch: &mut SlicedScratch,
 ) -> Option<bool> {
+    if fault.decoder_words().is_some() {
+        return Some(detect_decoder(trace, fault));
+    }
     let support = fault.support()?;
     let mut words = [0u64; MAX_SUPPORT_WORDS];
     let mut n = 0;
@@ -90,6 +98,74 @@ pub(crate) fn detect_sliced_with(
         }
     }
     Some(false)
+}
+
+/// Two-word differential replay of an address-decoder fault. An
+/// `AddressMap`/`AddressMulti` deviation is confined to the two words the
+/// fault wires together — every other access replays identically to the
+/// golden trace — so walking the merged op lists of those two words with
+/// the remap / multi-access semantics of `mbist_mem::array` (remap first,
+/// then multi expansion on the mapped address; reads combine wired-AND/OR)
+/// decides detection exactly.
+fn detect_decoder(trace: &CompiledTrace, fault: FaultKind) -> bool {
+    let (a, b) = fault.decoder_words().expect("decoder fault");
+    // A fault-free miscompare at any other word replays identically under
+    // the fault and decides detection on its own.
+    if trace.golden_miscompares().iter().any(|&(_, w)| w != a && w != b) {
+        return true;
+    }
+    let (ops_a, ops_b) = (trace.ops_for_word(a), trace.ops_for_word(b));
+    // Physical values of the two words (power-up 0). For `AddressMap`,
+    // word `a` (= `from`) is never physically accessed — reads and writes
+    // of either address land on `b` (= `to`) — so only `val_b` matters.
+    let (mut val_a, mut val_b) = (0u64, 0u64);
+    let (mut i, mut j) = (0, 0);
+    while i < ops_a.len() || j < ops_b.len() {
+        let at_a = j >= ops_b.len() || (i < ops_a.len() && ops_a[i].step < ops_b[j].step);
+        let op = if at_a { &ops_a[i] } else { &ops_b[j] };
+        if at_a {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        match op.kind {
+            TraceOpKind::Write(data) => match fault {
+                FaultKind::AddressMap { .. } => val_b = data,
+                FaultKind::AddressMulti { .. } => {
+                    // A write to `addr` fans out to the extra word too; a
+                    // write to `extra` is direct.
+                    if at_a {
+                        val_a = data;
+                    }
+                    val_b = data;
+                }
+                _ => unreachable!("decoder replay handles decoder faults only"),
+            },
+            TraceOpKind::Read { expected, .. } => {
+                let observed = match fault {
+                    FaultKind::AddressMap { .. } => val_b,
+                    FaultKind::AddressMulti { wired_and, .. } => {
+                        if at_a {
+                            // Both word lines fire: the bit lines resolve
+                            // wired-AND (or wired-OR).
+                            if wired_and {
+                                val_a & val_b
+                            } else {
+                                val_a | val_b
+                            }
+                        } else {
+                            val_b
+                        }
+                    }
+                    _ => unreachable!("decoder replay handles decoder faults only"),
+                };
+                if expected.is_some_and(|e| e != observed) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
 }
 
 /// O(|support|) faulty state: the support words' contents plus the fault's
@@ -423,16 +499,25 @@ mod tests {
     }
 
     #[test]
-    fn decoder_faults_take_the_fallback() {
-        let g = MemGeometry::bit_oriented(8);
-        let steps = expand_with(&library::march_c(), &g, &ExpandOptions::for_geometry(&g));
-        let trace = CompiledTrace::from_steps(g, &steps);
-        for fault in
-            class_universe(&g, FaultClass::AddressDecoder, &UniverseSpec::default())
-        {
-            assert!(trace.detect_sliced(fault).is_none());
-            let mut scratch = MemoryArray::new(g);
-            assert_eq!(trace.detect(fault), trace.detect_full(fault, &mut scratch));
+    fn decoder_faults_take_the_two_word_replay() {
+        // Decoder faults have no address-local support set, but their
+        // deviations are confined to the two wired words — the dedicated
+        // replay must agree with the full array bit for bit.
+        for g in [MemGeometry::bit_oriented(8), MemGeometry::word_oriented(8, 4)] {
+            for test in [library::march_c(), library::mats_plus()] {
+                let steps = expand_with(&test, &g, &ExpandOptions::for_geometry(&g));
+                let trace = CompiledTrace::from_steps(g, &steps);
+                let mut scratch = MemoryArray::new(g);
+                for fault in
+                    class_universe(&g, FaultClass::AddressDecoder, &UniverseSpec::default())
+                {
+                    assert_eq!(
+                        trace.detect_sliced(fault),
+                        Some(trace.detect_full(fault, &mut scratch)),
+                        "{fault} ({g})"
+                    );
+                }
+            }
         }
     }
 }

@@ -14,9 +14,11 @@
 //! reads and writes cells of S only), so every access outside S behaves
 //! exactly as the golden replay, and detection is decided by the golden
 //! miscompares (outside S) plus a sparse replay of the accesses to S.
-//! Faults without an address-local support set (address-decoder faults)
-//! fall back to the full replay, which stays available as the
-//! differential-testing oracle.
+//! Address-decoder faults, whose support is the two remapped words rather
+//! than a cell neighborhood, replay those two words' merged op streams
+//! ([`FaultKind::decoder_words`]); only faults with neither a support set
+//! nor a decoder word pair fall back to the full replay, which stays
+//! available as the differential-testing oracle.
 
 use std::collections::HashMap;
 
@@ -38,13 +40,15 @@ pub enum SimEngine {
     /// Bit-for-bit equivalent to [`SimEngine::Full`].
     #[default]
     Sliced,
-    /// Lane-packed bit-parallel replay: up to 64 same-class address-local
-    /// faults are batched into the bit lanes of `u64` state vectors and the
-    /// trace is replayed **once per batch** with branch-free lane updates
-    /// (see [`crate::packed`]). Fault classes whose semantics do not
-    /// vectorize (timing decay, sense latches, NPSF masking, decoder
-    /// remaps) fall back per fault to the sliced/full paths. Bit-for-bit
-    /// equivalent to [`SimEngine::Full`].
+    /// Lane-packed bit-parallel replay: up to 256 congruent address-local
+    /// faults are batched into the bit lanes of `[u64; 4]` state vectors and
+    /// the trace is replayed **once per batch** with branch-free lane
+    /// updates (see [`crate::packed`]). Every address-local class is
+    /// vectorized — including stuck-open sense latches, retention decay
+    /// (precomputed deadlines) and fixed-shape NPSF — and congruent faults
+    /// are batched across data backgrounds and ports; only decoder faults
+    /// fall back per fault to the sliced/full paths. Bit-for-bit equivalent
+    /// to [`SimEngine::Full`].
     Packed,
 }
 
@@ -384,8 +388,25 @@ impl CompiledTrace {
     /// conditions a direct [`MemoryArray`] replay would reject.
     #[must_use]
     pub fn from_steps(geometry: MemGeometry, steps: &[TestStep]) -> Self {
+        Self::from_steps_owned(geometry, steps.to_vec())
+    }
+
+    /// [`Self::from_steps`] taking ownership of the stream — spares the
+    /// defensive copy when the caller's expansion is already a `Vec` it no
+    /// longer needs (the hot path for whole-run coverage evaluation).
+    #[must_use]
+    pub fn from_steps_owned(geometry: MemGeometry, steps: Vec<TestStep>) -> Self {
         let words = usize::try_from(geometry.words()).expect("words fit usize");
-        let mut per_word: Vec<Vec<TraceOp>> = vec![Vec::new(); words];
+        // Pre-size each word's op list: one counting pass over the stream
+        // beats re-allocating a thousand small vectors mid-replay.
+        let mut counts = vec![0usize; words];
+        for step in &steps {
+            if let TestStep::Bus(cycle) = step {
+                counts[usize::try_from(cycle.addr).expect("addr fits usize")] += 1;
+            }
+        }
+        let mut per_word: Vec<Vec<TraceOp>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         let mut golden_miscompares = Vec::new();
         let mut mem = MemoryArray::new(geometry);
         let mut last_read: Vec<Option<PrevRead>> =
@@ -437,10 +458,10 @@ impl CompiledTrace {
             }
         }
         let word_class = intern_word_classes(&per_word);
-        let uniform_interleave = certify_uniform_interleave(geometry.words(), steps);
+        let uniform_interleave = certify_uniform_interleave(geometry.words(), &steps);
         Self {
             geometry,
-            steps: steps.to_vec(),
+            steps,
             per_word,
             golden_miscompares,
             word_class,
@@ -456,7 +477,7 @@ impl CompiledTrace {
         geometry: &MemGeometry,
         options: &ExpandOptions,
     ) -> Self {
-        Self::from_steps(*geometry, &expand_with(test, geometry, options))
+        Self::from_steps_owned(*geometry, expand_with(test, geometry, options))
     }
 
     /// The geometry the trace was compiled for.

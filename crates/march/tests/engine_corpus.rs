@@ -7,7 +7,9 @@
 //! engine divergence found in CI reproduces exactly — the failure message
 //! names the `(seed, geometry)` pair, with no property-test RNG to chase.
 
-use mbist_march::{run_steps_detect, CompiledTrace, SimEngine};
+use mbist_march::{
+    expand_with, library, run_steps_detect, CompiledTrace, ExpandOptions, SimEngine,
+};
 use mbist_mem::{
     class_universe, FaultClass, MemGeometry, MemoryArray, Operation, PortId, TestStep,
     UniverseSpec,
@@ -145,5 +147,89 @@ fn fixed_seed_corpus_agrees_three_ways() {
                 );
             }
         }
+    }
+}
+
+/// March-expansion corpus for the classes the packed engine vectorizes via
+/// special lane state: stuck-open (previous-read latch), retention/DRF
+/// (pause-driven decay deadlines) and fixed-shape NPSF. The expansions use
+/// the full background/port policy, so word-oriented geometries loop
+/// multiple data backgrounds and the multi-port geometry repeats per port —
+/// the batches the packed engine folds across backgrounds and ports.
+#[test]
+fn march_expansions_agree_on_sof_retention_npsf_universes() {
+    let classes = [
+        FaultClass::StuckOpen,
+        FaultClass::Retention,
+        FaultClass::PullOpen,
+        FaultClass::NpsfStatic,
+        FaultClass::NpsfActive,
+    ];
+    for g in [
+        MemGeometry::bit_oriented(24),
+        MemGeometry::word_oriented(8, 4),
+        MemGeometry::new(12, 1, 2),
+    ] {
+        // march-c+ carries pauses (retention) and back-to-back reads
+        // (pull-open drain); mats+ is the cheap contrast stream.
+        for test in [library::march_c_plus(), library::mats_plus()] {
+            let steps = expand_with(&test, &g, &ExpandOptions::for_geometry(&g));
+            let trace = CompiledTrace::from_steps(g, &steps);
+            let mut universe = Vec::new();
+            for class in classes {
+                universe.extend(class_universe(&g, class, &UniverseSpec::default()));
+            }
+            let full: Vec<bool> = universe
+                .iter()
+                .map(|&fault| {
+                    let mut mem = MemoryArray::with_fault(g, fault).unwrap();
+                    run_steps_detect(&mut mem, &steps)
+                })
+                .collect();
+            for engine in [SimEngine::Sliced, SimEngine::Packed] {
+                for jobs in [Some(1), Some(3)] {
+                    assert_eq!(
+                        trace.detect_universe(&universe, jobs, engine),
+                        full,
+                        "{} on {g} disagrees under {engine:?} jobs={jobs:?}",
+                        test.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Partial-final-block schedules: every lane count around the `u64` word
+/// boundary (63/64/65) and the 256-lane block boundary (255/256/257) must
+/// agree with the per-fault full replay, including the single-fault batch.
+#[test]
+fn packed_partial_final_blocks_agree() {
+    let g = MemGeometry::bit_oriented(160);
+    let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+    assert!(universe.len() >= 257, "need 257+ stuck-at faults, got {}", universe.len());
+    let mut rng = Xorshift(0x0bad_5eed_0bad_5eed);
+    let raw: Vec<(u64, u64, u8, u8)> = (0..220)
+        .map(|_| {
+            let w = rng.next();
+            (rng.next(), rng.next(), (w >> 8) as u8, w as u8)
+        })
+        .collect();
+    let steps = build_steps(&g, &raw);
+    let trace = CompiledTrace::from_steps(g, &steps);
+    for lanes in [1usize, 63, 64, 65, 255, 256, 257] {
+        let subset = &universe[..lanes];
+        let full: Vec<bool> = subset
+            .iter()
+            .map(|&fault| {
+                let mut mem = MemoryArray::with_fault(g, fault).unwrap();
+                run_steps_detect(&mut mem, &steps)
+            })
+            .collect();
+        assert_eq!(
+            trace.detect_universe(subset, Some(1), SimEngine::Packed),
+            full,
+            "partial final block of {lanes} lanes disagrees"
+        );
     }
 }

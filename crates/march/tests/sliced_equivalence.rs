@@ -10,7 +10,8 @@
 use proptest::prelude::*;
 
 use mbist_march::{
-    evaluate_coverage, library, run_steps_detect, CompiledTrace, CoverageOptions, SimEngine,
+    evaluate_coverage, expand_with, library, run_steps_detect, CompiledTrace,
+    CoverageOptions, ExpandOptions, SimEngine,
 };
 use mbist_mem::{
     class_universe, FaultClass, MemGeometry, MemoryArray, Operation, PortId, TestStep,
@@ -120,8 +121,8 @@ proptest! {
         prop_assert_eq!(packed[0], full, "packed vs full on {} ({})", fault, g);
     }
 
-    /// The packed engine batches whole class universes (64 faults per
-    /// replay, batch composition decided by the scheduler) — the flags
+    /// The packed engine batches whole class universes (up to 256 faults
+    /// per replay, batch composition decided by the scheduler) — the flags
     /// must still match a per-fault full replay on arbitrary streams.
     #[test]
     fn packed_batches_match_full_replay(
@@ -180,6 +181,42 @@ proptest! {
             fault,
             g
         );
+    }
+
+    /// The classes the packed engine vectorizes via special lane state —
+    /// stuck-open latches, retention decay deadlines and fixed-shape NPSF —
+    /// on full-policy march expansions: word-oriented geometries loop
+    /// multiple data backgrounds and the multi-port geometry repeats per
+    /// port, the exact batches the packed engine folds across backgrounds
+    /// and ports.
+    #[test]
+    fn multi_background_expansions_agree_on_latched_classes(
+        geom_choice in 0usize..5,
+        test_idx in any::<usize>(),
+        class_pick in 0usize..4,
+        fault_idx in any::<usize>(),
+    ) {
+        let g = geometry(geom_choice);
+        let class = [
+            FaultClass::StuckOpen,
+            FaultClass::Retention,
+            FaultClass::NpsfStatic,
+            FaultClass::NpsfActive,
+        ][class_pick];
+        let universe = class_universe(&g, class, &UniverseSpec::default());
+        if universe.is_empty() {
+            return Ok(());
+        }
+        let tests = library::all();
+        let test = &tests[test_idx % tests.len()];
+        let steps = expand_with(test, &g, &ExpandOptions::for_geometry(&g));
+        let trace = CompiledTrace::from_steps(g, &steps);
+        let fault = universe[fault_idx % universe.len()];
+        let mut mem = MemoryArray::with_fault(g, fault).unwrap();
+        let full = run_steps_detect(&mut mem, &steps);
+        let packed = trace.detect_universe(&[fault], Some(1), SimEngine::Packed);
+        prop_assert_eq!(packed[0], full, "packed vs full on {} ({}, {})", fault, g, test.name());
+        prop_assert_eq!(trace.detect(fault), full, "routed detect on {} ({})", fault, g);
     }
 
     /// Whole-report equivalence through the public coverage API, including

@@ -215,8 +215,8 @@ impl FaultKind {
     }
 
     /// The address-local support set of the fault, or `None` when its
-    /// behavior is not address-local (address-decoder faults) and only a
-    /// full replay is sound.
+    /// behavior is not address-local (address-decoder faults — their
+    /// deviations span the two wired words; see [`Self::decoder_words`]).
     #[must_use]
     pub fn support(&self) -> Option<SupportSet> {
         match *self {
@@ -249,6 +249,21 @@ impl FaultKind {
                 }
                 Some(SupportSet::new(&cells, false))
             }
+        }
+    }
+
+    /// The two word addresses an address-decoder fault wires together
+    /// (`from`/`to` for [`FaultKind::AddressMap`], `addr`/`extra` for
+    /// [`FaultKind::AddressMulti`]), or `None` for address-local faults.
+    /// A decoder fault's deviations are confined to this pair — every
+    /// other access replays identically to the fault-free trace — which is
+    /// what differential simulators key their two-word decoder replay on.
+    #[must_use]
+    pub fn decoder_words(&self) -> Option<(u64, u64)> {
+        match *self {
+            FaultKind::AddressMap { from, to } => Some((from, to)),
+            FaultKind::AddressMulti { addr, extra, .. } => Some((addr, extra)),
+            _ => None,
         }
     }
 
@@ -554,6 +569,20 @@ mod tests {
         assert!(FaultKind::AddressMulti { addr: 0, extra: 1, wired_and: true }
             .support()
             .is_none());
+    }
+
+    #[test]
+    fn decoder_words_name_exactly_the_wired_pair() {
+        assert_eq!(FaultKind::AddressMap { from: 3, to: 7 }.decoder_words(), Some((3, 7)));
+        assert_eq!(
+            FaultKind::AddressMulti { addr: 2, extra: 5, wired_and: false }.decoder_words(),
+            Some((2, 5))
+        );
+        // Address-local faults have no decoder pair.
+        assert_eq!(
+            FaultKind::StuckAt { cell: CellId::new(0, 0), value: true }.decoder_words(),
+            None
+        );
     }
 
     #[test]

@@ -57,5 +57,6 @@ pub use geometry::{CellId, MemGeometry, PortId};
 pub use op::{BusCycle, Miscompare, Operation, TestStep};
 pub use scramble::{BitReverseScrambler, IdentityScrambler, Scrambler, XorScrambler};
 pub use universe::{
-    class_universe, coupling_pairs, neighborhood, topology_cols, UniverseSpec,
+    class_universe, class_universe_len, class_universe_sampled, coupling_pairs,
+    neighborhood, topology_cols, UniverseSpec,
 };

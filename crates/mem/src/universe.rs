@@ -253,6 +253,244 @@ pub fn class_universe(
     }
 }
 
+/// Exact size of [`class_universe`] without materializing it — counting
+/// loops only, no `FaultKind` construction. Lets samplers pick stride
+/// indices up front and generate just the kept faults.
+#[must_use]
+pub fn class_universe_len(
+    g: &MemGeometry,
+    class: FaultClass,
+    spec: &UniverseSpec,
+) -> usize {
+    let words = usize::try_from(g.words()).expect("words fit usize");
+    let width = usize::from(g.width());
+    let cells = words * width;
+    match class {
+        FaultClass::StuckAt
+        | FaultClass::Transition
+        | FaultClass::Retention
+        | FaultClass::PullOpen => 2 * cells,
+        FaultClass::StuckOpen => cells,
+        FaultClass::CouplingInversion => 2 * coupling_pairs_len(g, spec),
+        FaultClass::CouplingIdempotent | FaultClass::CouplingState => {
+            4 * coupling_pairs_len(g, spec)
+        }
+        FaultClass::AddressDecoder => {
+            let mut n = 0usize;
+            for from in 0..g.words() {
+                for bit in 0..g.addr_bits() {
+                    let to = from ^ (1u64 << bit);
+                    if g.contains_addr(to) {
+                        n += if from < to { 3 } else { 1 };
+                    }
+                }
+            }
+            n
+        }
+        FaultClass::NpsfStatic => interior_words(g) * width * 32,
+        FaultClass::NpsfActive => interior_words(g) * width * 64,
+    }
+}
+
+/// Number of `(aggressor, victim)` pairs [`coupling_pairs`] generates.
+fn coupling_pairs_len(g: &MemGeometry, spec: &UniverseSpec) -> usize {
+    let words = g.words();
+    let window = spec.coupling_window;
+    let mut word_neighbors = 0u64;
+    for w in 0..words {
+        word_neighbors += window.min(w) + window.min(words - 1 - w);
+    }
+    let width = u64::from(g.width());
+    usize::try_from(word_neighbors * width + 2 * words * (width - 1))
+        .expect("pair count fits usize")
+}
+
+/// Number of words with a complete type-1 neighborhood.
+fn interior_words(g: &MemGeometry) -> usize {
+    let cols = topology_cols(g);
+    (0..g.words()).filter(|&w| neighborhood(g, w, cols).is_some()).count()
+}
+
+/// Walks the [`class_universe`] enumeration order in fixed-size blocks,
+/// constructing only the faults whose global index is in the stride-kept
+/// set `ceil(k·len/max) − 1` for `k = 1..=max` — the same subsample
+/// `stride_sample` would take from the materialized universe.
+struct StrideSampler {
+    keep: Box<dyn Iterator<Item = usize>>,
+    next: Option<usize>,
+    idx: usize,
+    out: Vec<FaultKind>,
+}
+
+impl StrideSampler {
+    fn new(len: usize, max: usize) -> Self {
+        let mut keep: Box<dyn Iterator<Item = usize>> =
+            Box::new((1..=max).map(move |k| (k * len).div_ceil(max) - 1));
+        let next = keep.next();
+        Self { keep, next, idx: 0, out: Vec::with_capacity(max) }
+    }
+
+    /// Advances past a block of `len` consecutive universe entries,
+    /// materializing the kept ones via `gen(offset_in_block)`.
+    fn block(&mut self, len: usize, gen: impl Fn(usize) -> FaultKind) {
+        let end = self.idx + len;
+        while let Some(n) = self.next {
+            if n >= end {
+                break;
+            }
+            self.out.push(gen(n - self.idx));
+            self.next = self.keep.next();
+        }
+        self.idx = end;
+    }
+}
+
+/// [`class_universe`] pre-subsampled to at most `max` faults with the
+/// deterministic stride rule `evaluate_coverage` uses (`max == 0` means no
+/// cap). Returns exactly `stride_sample(class_universe(..), max)` but
+/// generates only the kept faults — on large geometries the NPSF and
+/// decoder universes run to tens of thousands of entries, and coverage
+/// runs that cap each class at a few hundred should not pay to
+/// materialize them.
+#[must_use]
+pub fn class_universe_sampled(
+    g: &MemGeometry,
+    class: FaultClass,
+    spec: &UniverseSpec,
+    max: usize,
+) -> Vec<FaultKind> {
+    let len = class_universe_len(g, class, spec);
+    if max == 0 || len <= max {
+        return class_universe(g, class, spec);
+    }
+    let mut s = StrideSampler::new(len, max);
+    match class {
+        FaultClass::StuckAt => {
+            for cell in g.cells() {
+                s.block(2, |i| FaultKind::StuckAt { cell, value: i == 1 });
+            }
+        }
+        FaultClass::Transition => {
+            for cell in g.cells() {
+                s.block(2, |i| FaultKind::Transition { cell, rising: i == 0 });
+            }
+        }
+        FaultClass::CouplingInversion => {
+            for (aggressor, victim) in coupling_pairs(g, spec) {
+                s.block(2, |i| FaultKind::CouplingInversion {
+                    aggressor,
+                    victim,
+                    rising: i == 0,
+                });
+            }
+        }
+        FaultClass::CouplingIdempotent => {
+            for (aggressor, victim) in coupling_pairs(g, spec) {
+                s.block(4, |i| FaultKind::CouplingIdempotent {
+                    aggressor,
+                    victim,
+                    rising: i < 2,
+                    forced: i % 2 == 0,
+                });
+            }
+        }
+        FaultClass::CouplingState => {
+            for (aggressor, victim) in coupling_pairs(g, spec) {
+                s.block(4, |i| FaultKind::CouplingState {
+                    aggressor,
+                    victim,
+                    when: i < 2,
+                    forced: i % 2 == 0,
+                });
+            }
+        }
+        FaultClass::AddressDecoder => {
+            for from in 0..g.words() {
+                for bit in 0..g.addr_bits() {
+                    let to = from ^ (1u64 << bit);
+                    if g.contains_addr(to) {
+                        s.block(1, |_| FaultKind::AddressMap { from, to });
+                        if from < to {
+                            s.block(2, |i| FaultKind::AddressMulti {
+                                addr: from,
+                                extra: to,
+                                wired_and: i == 0,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        FaultClass::StuckOpen => {
+            for cell in g.cells() {
+                s.block(1, |_| FaultKind::StuckOpen { cell });
+            }
+        }
+        FaultClass::Retention => {
+            for cell in g.cells() {
+                s.block(2, |i| FaultKind::Retention {
+                    cell,
+                    decays_to: i == 1,
+                    retention_ns: spec.retention_ns,
+                });
+            }
+        }
+        FaultClass::PullOpen => {
+            for cell in g.cells() {
+                s.block(2, |i| FaultKind::PullOpen {
+                    cell,
+                    good_reads: spec.pull_open_good_reads,
+                    decays_to: i == 1,
+                });
+            }
+        }
+        FaultClass::NpsfStatic => {
+            let cols = topology_cols(g);
+            for cell in g.cells() {
+                let Some(nb) = neighborhood(g, cell.word, cols) else { continue };
+                s.block(32, |i| {
+                    let pattern = u8::try_from(i / 2).expect("pattern fits u8");
+                    FaultKind::NpsfStatic {
+                        base: cell,
+                        neighborhood: [
+                            (CellId::new(nb[0], cell.bit), pattern & 1 != 0),
+                            (CellId::new(nb[1], cell.bit), pattern & 2 != 0),
+                            (CellId::new(nb[2], cell.bit), pattern & 4 != 0),
+                            (CellId::new(nb[3], cell.bit), pattern & 8 != 0),
+                        ],
+                        forced: i % 2 == 1,
+                    }
+                });
+            }
+        }
+        FaultClass::NpsfActive => {
+            let cols = topology_cols(g);
+            for cell in g.cells() {
+                let Some(nb) = neighborhood(g, cell.word, cols) else { continue };
+                s.block(64, |i| {
+                    let trig = i / 16;
+                    let rising = (i % 16) / 8 == 1;
+                    let pattern = u8::try_from(i % 8).expect("pattern fits u8");
+                    let rest: Vec<u64> =
+                        (0..4).filter(|&k| k != trig).map(|k| nb[k]).collect();
+                    FaultKind::NpsfActive {
+                        base: cell,
+                        trigger: CellId::new(nb[trig], cell.bit),
+                        rising,
+                        others: [
+                            (CellId::new(rest[0], cell.bit), pattern & 1 != 0),
+                            (CellId::new(rest[1], cell.bit), pattern & 2 != 0),
+                            (CellId::new(rest[2], cell.bit), pattern & 4 != 0),
+                        ],
+                    }
+                });
+            }
+        }
+    }
+    debug_assert_eq!(s.idx, len, "sampled walk must cover the whole universe");
+    s.out
+}
+
 /// The row width assumed for NPSF neighborhoods: words are laid out in
 /// rows of `2^⌈addr_bits/2⌉` columns (a square-ish array, the common
 /// embedded-SRAM aspect).
@@ -382,6 +620,48 @@ mod tests {
         assert_eq!(nb, [19, 26, 28, 35]);
         assert!(neighborhood(&g, 0, cols).is_none(), "corner has no neighborhood");
         assert!(neighborhood(&g, 7, cols).is_none(), "edge has no neighborhood");
+    }
+
+    /// Reference stride rule: keep indices `ceil(k·len/max) − 1`.
+    fn stride_oracle(items: Vec<FaultKind>, max: usize) -> Vec<FaultKind> {
+        let len = items.len();
+        if max == 0 || len <= max {
+            return items;
+        }
+        (1..=max).map(|k| items[(k * len).div_ceil(max) - 1]).collect()
+    }
+
+    #[test]
+    fn counted_and_sampled_universes_match_the_materialized_ones() {
+        let geometries = [
+            MemGeometry::bit_oriented(16),
+            MemGeometry::bit_oriented(300),
+            MemGeometry::word_oriented(12, 4),
+            MemGeometry::new(33, 2, 2),
+        ];
+        let specs = [
+            UniverseSpec::default(),
+            UniverseSpec { coupling_window: 3, ..UniverseSpec::default() },
+        ];
+        for g in &geometries {
+            for spec in &specs {
+                for class in FaultClass::ALL {
+                    let full = class_universe(g, class, spec);
+                    assert_eq!(
+                        class_universe_len(g, class, spec),
+                        full.len(),
+                        "{class:?} on {g}"
+                    );
+                    for max in [0usize, 1, 7, 64, 512, full.len()] {
+                        assert_eq!(
+                            class_universe_sampled(g, class, spec, max),
+                            stride_oracle(full.clone(), max),
+                            "{class:?} on {g} with max {max}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,9 @@ use std::sync::Arc;
 
 use mbist_area::{table1, table2, table3, Technology};
 use mbist_march::{
-    canonical_trace_key, evaluate_coverage_trace, expand_with, library, synthesize_march,
-    CompiledTrace, CoverageOptions, ExpandOptions, MarchTest, SimEngine, SynthesisOptions,
+    canonical_trace_key, evaluate_coverage_trace, expand_with, library, routing_breakdown,
+    synthesize_march, CompiledTrace, CoverageOptions, ExpandOptions, MarchTest, SimEngine,
+    SynthesisOptions,
 };
 use mbist_mem::{FaultClass, FaultKind, MemGeometry};
 
@@ -127,16 +128,16 @@ pub(crate) fn execute(
             }
             shared.metrics.record_result_lookup(false);
             shared.metrics.record_engine(*engine);
-            let report = evaluate_coverage_trace(
-                &trace,
-                t.name(),
-                &CoverageOptions {
-                    max_faults_per_class: *max_faults,
-                    jobs: *jobs,
-                    engine: *engine,
-                    ..CoverageOptions::default()
-                },
-            );
+            let options = CoverageOptions {
+                max_faults_per_class: *max_faults,
+                jobs: *jobs,
+                engine: *engine,
+                ..CoverageOptions::default()
+            };
+            // Memo hits returned above: routing counters only reflect runs
+            // that actually simulated.
+            shared.metrics.record_routing(&routing_breakdown(geometry, &options));
+            let report = evaluate_coverage_trace(&trace, t.name(), &options);
             let text = report.to_string();
             shared.cache.insert_result(memo_key, &text);
             Ok(coverage_payload(text, false, trace_cached))

@@ -9,7 +9,8 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use mbist_march::SimEngine;
+use mbist_march::{RoutingBreakdown, SimEngine};
+use mbist_mem::FaultClass;
 
 use crate::cache::CacheStats;
 use crate::json::Json;
@@ -110,10 +111,22 @@ struct KindStats {
     latency: Histogram,
 }
 
+/// Per-class `[packed, sliced, full]` routing counters, rows in
+/// [`FaultClass::ALL`] order.
+#[derive(Debug)]
+struct RoutingCounters([[u64; 3]; FaultClass::ALL.len()]);
+
+impl Default for RoutingCounters {
+    fn default() -> Self {
+        Self([[0; 3]; FaultClass::ALL.len()])
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     per_kind: [KindStats; KINDS.len()],
     per_engine: [u64; ENGINES.len()],
+    routing: RoutingCounters,
     rejected_busy: u64,
     trace_hits: u64,
     trace_misses: u64,
@@ -162,6 +175,21 @@ impl Metrics {
     pub fn record_engine(&self, engine: SimEngine) {
         let mut inner = self.inner.lock().expect("metrics lock");
         inner.per_engine[engine_index(engine)] += 1;
+    }
+
+    /// Records the per-class engine routing of one coverage run that
+    /// actually simulated (memo hits route nothing and are not counted).
+    pub fn record_routing(&self, breakdown: &RoutingBreakdown) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        for row in &breakdown.rows {
+            let i = FaultClass::ALL
+                .iter()
+                .position(|c| *c == row.class)
+                .expect("known fault class");
+            inner.routing.0[i][0] += row.packed as u64;
+            inner.routing.0[i][1] += row.sliced as u64;
+            inner.routing.0[i][2] += row.full as u64;
+        }
     }
 
     /// Records a trace-cache lookup outcome.
@@ -266,8 +294,44 @@ impl Metrics {
                         .collect(),
                 ),
             ),
+            ("routing", routing_json(&inner.routing)),
         ])
     }
+}
+
+/// The `status` view of the routing counters: per-class
+/// `{packed, sliced, full}` plus the batchable-faults ratio. The ratio is
+/// `null` until a coverage run records routing — never fabricated.
+fn routing_json(routing: &RoutingCounters) -> Json {
+    let total: u64 = routing.0.iter().flatten().sum();
+    let batchable: u64 = routing.0.iter().map(|row| row[0]).sum();
+    let classes = FaultClass::ALL
+        .iter()
+        .zip(routing.0.iter())
+        .map(|(class, row)| {
+            (
+                class.label().to_string(),
+                Json::obj(vec![
+                    ("packed", Json::num(row[0] as f64)),
+                    ("sliced", Json::num(row[1] as f64)),
+                    ("full", Json::num(row[2] as f64)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("total", Json::num(total as f64)),
+        ("batchable", Json::num(batchable as f64)),
+        (
+            "batchable_ratio",
+            if total == 0 {
+                Json::Null
+            } else {
+                Json::Num(batchable as f64 / total as f64)
+            },
+        ),
+        ("classes", Json::Obj(classes)),
+    ])
 }
 
 impl Default for Metrics {
@@ -338,5 +402,41 @@ mod tests {
         assert_eq!(engines.get("full").unwrap().as_u64(), Some(0));
         assert_eq!(engines.get("sliced").unwrap().as_u64(), Some(1));
         assert_eq!(engines.get("packed").unwrap().as_u64(), Some(2));
+        // No coverage run recorded routing yet: ratio is null, not 0/0.
+        let routing = snap.get("routing").unwrap();
+        assert_eq!(routing.get("total").unwrap().as_u64(), Some(0));
+        assert!(matches!(routing.get("batchable_ratio"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn snapshot_accumulates_recorded_routing() {
+        use mbist_march::RoutingRow;
+        let m = Metrics::new();
+        let breakdown = RoutingBreakdown {
+            engine: SimEngine::Packed,
+            rows: vec![
+                RoutingRow { class: FaultClass::StuckAt, packed: 32, sliced: 0, full: 0 },
+                RoutingRow {
+                    class: FaultClass::AddressDecoder,
+                    packed: 0,
+                    sliced: 16,
+                    full: 0,
+                },
+            ],
+        };
+        m.record_routing(&breakdown);
+        m.record_routing(&breakdown);
+        let cache = CacheStats { traces: 0, results: 0, bytes: 0, capacity_bytes: 0 };
+        let snap = m.snapshot(0, 64, cache);
+        let routing = snap.get("routing").unwrap();
+        assert_eq!(routing.get("total").unwrap().as_u64(), Some(96));
+        assert_eq!(routing.get("batchable").unwrap().as_u64(), Some(64));
+        let ratio = routing.get("batchable_ratio").unwrap().as_f64().unwrap();
+        assert!((ratio - 64.0 / 96.0).abs() < 1e-12);
+        let saf = routing.get("classes").unwrap().get("SAF").unwrap();
+        assert_eq!(saf.get("packed").unwrap().as_u64(), Some(64));
+        let af = routing.get("classes").unwrap().get("AF").unwrap();
+        assert_eq!(af.get("sliced").unwrap().as_u64(), Some(32));
+        assert_eq!(af.get("packed").unwrap().as_u64(), Some(0));
     }
 }

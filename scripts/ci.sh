@@ -45,6 +45,19 @@ echo "$perf_out"
     echo "perf smoke missing eight-mode agreement lines"; exit 1; }
 echo "$perf_out" | grep -q "batchable subset: packed_vs_sliced_batchable" || {
     echo "perf smoke missing the packed batchable-subset ratio"; exit 1; }
+# the per-class routing breakdown must account for every sampled fault
+echo "$perf_out" | grep -q ": routing OK (" || {
+    echo "perf smoke missing the routing-breakdown accounting line"; exit 1; }
+# whole-run speedup floor: the packed engine under the fan-out must beat
+# the sliced engine under the same fan-out by at least 2x on the quick
+# configuration (the ratio the summary line reports)
+packed_ratio=$(echo "$perf_out" \
+    | sed -n 's/.*packed_parallel_vs_sliced_parallel \([0-9.]*\)x.*/\1/p')
+[ -n "$packed_ratio" ] || {
+    echo "perf smoke missing packed_parallel_vs_sliced_parallel"; exit 1; }
+awk -v r="$packed_ratio" 'BEGIN { exit (r >= 2.0) ? 0 : 1 }' || {
+    echo "packed_parallel whole-run speedup $packed_ratio below 2.0x floor"
+    exit 1; }
 
 echo "==> packed-engine perf smoke (sliced vs packed head-to-head)"
 packed_out=$(cargo run --release -p mbist-bench --bin perf -- \
