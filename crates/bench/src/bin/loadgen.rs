@@ -13,23 +13,35 @@
 //! - **agreement** — service responses compared byte-for-byte against the
 //!   offline CLI (`agreement OK` lines that CI greps).
 //!
+//! With `--chaos` the generator instead measures **resilience**: a sweep
+//! over injected fault rates (worker panics, execution delays, connection
+//! drops — see `mbist_service::chaos`) driven through a retrying client
+//! with jittered exponential backoff, `retry_after_ms` honoring, and a
+//! per-kind circuit breaker. It reports availability (terminal successes /
+//! offered requests), tail latency including retries, and the recovery
+//! time after a panic storm, into `BENCH_chaos.json`.
+//!
 //! `--quick` shrinks the workload for smoke runs; `--out PATH` overrides
-//! the JSON path (default `BENCH_service.json`). With `--addr HOST:PORT`
-//! the generator instead drives an already-running daemon (agreement check
-//! plus a short closed-loop burst; add `--shutdown` to stop the daemon
-//! afterwards) — the mode the CI service smoke test uses.
+//! the JSON path (default `BENCH_service.json`, or `BENCH_chaos.json` with
+//! `--chaos`). With `--addr HOST:PORT` the generator instead drives an
+//! already-running daemon (agreement check plus a short closed-loop burst;
+//! add `--shutdown` to stop the daemon afterwards) — the mode the CI
+//! service smoke test uses; `--chaos --addr` drives a chaos-armed external
+//! daemon through the resilient client and prints the availability line
+//! the CI chaos smoke greps.
 //!
 //! No external crates: timing via `std::time::Instant`, JSON by hand on
 //! the way out and via `mbist_service::json` on the way in.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use std::{env, fs, thread};
 
 use mbist_service::json::Json;
-use mbist_service::{Server, ServiceConfig};
+use mbist_service::{ChaosConfig, Server, ServiceConfig};
 
 /// One client connection with serial request/reply and per-request timing.
 struct Client {
@@ -39,10 +51,37 @@ struct Client {
 
 impl Client {
     fn connect(addr: &str) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect to service");
-        stream.set_nodelay(true).expect("nodelay");
-        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
-        Client { stream, reader }
+        Client::try_connect(addr).expect("connect to service")
+    }
+
+    fn try_connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A daemon that truly loses a job would otherwise hang the client
+        // forever; the resilient path counts such silences as `lost`.
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Fallible [`Client::ask`]: any transport failure (including EOF,
+    /// which a chaos drop presents as) surfaces as an error instead of a
+    /// panic, so the resilient client can reconnect and retry.
+    fn try_ask(&mut self, line: &str) -> io::Result<(Json, u64)> {
+        let start = Instant::now();
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.stream.write_all(framed.as_bytes())?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(ErrorKind::UnexpectedEof, "connection dropped"));
+        }
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let parsed = Json::parse(reply.trim())
+            .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?;
+        Ok((parsed, micros))
     }
 
     /// Sends one request line, returns the parsed reply and the
@@ -265,15 +304,539 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+// ---------------------------------------------------------------------------
+// Chaos / resilience measurement
+// ---------------------------------------------------------------------------
+
+/// Retry budget per logical request. With the sweep's worst drop rate of
+/// 0.04 the chance of burning all attempts on drops alone is ~1e-14.
+const MAX_ATTEMPTS: usize = 10;
+/// Consecutive retriable failures of one request kind before the circuit
+/// breaker opens.
+const BREAKER_THRESHOLD: u32 = 5;
+/// How long an opened breaker holds requests back before going half-open.
+const BREAKER_COOLDOWN: Duration = Duration::from_millis(100);
+
+/// splitmix64 over a counter — deterministic jitter without external crates
+/// (same construction the service's chaos stream uses).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+}
+
+/// What one resilient client observed, and what the whole fleet observed
+/// once the per-thread copies are merged.
+#[derive(Debug, Default, Clone, Copy)]
+struct ResilienceStats {
+    /// Terminal successes.
+    ok: u64,
+    /// Terminal structured errors (usage, timeout, shutdown, ...).
+    terminal_errors: u64,
+    /// Requests abandoned after [`MAX_ATTEMPTS`] retriable outcomes.
+    gave_up: u64,
+    /// Requests where the daemon went silent: accepted bytes, then neither
+    /// a reply nor a connection signal within the read timeout. Must stay
+    /// zero — a lost request is an exactly-once violation.
+    lost: u64,
+    /// Retried attempts (busy backoffs, internal retries, reconnect
+    /// replays).
+    retries: u64,
+    /// Reconnections after a dropped or refused connection.
+    reconnects: u64,
+    /// Times the per-kind circuit breaker opened.
+    breaker_trips: u64,
+}
+
+impl ResilienceStats {
+    fn absorb(&mut self, other: ResilienceStats) {
+        self.ok += other.ok;
+        self.terminal_errors += other.terminal_errors;
+        self.gave_up += other.gave_up;
+        self.lost += other.lost;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+        self.breaker_trips += other.breaker_trips;
+    }
+
+    fn offered(&self) -> u64 {
+        self.ok + self.terminal_errors + self.gave_up + self.lost
+    }
+
+    fn availability(&self) -> f64 {
+        if self.offered() == 0 {
+            return 1.0;
+        }
+        self.ok as f64 / self.offered() as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct Breaker {
+    consecutive: u32,
+    open_until: Option<Instant>,
+}
+
+/// A client that survives a chaos-armed daemon: reconnects through drops,
+/// honors `busy.retry_after_ms`, retries `internal` failures with jittered
+/// exponential backoff, and rate-limits itself with a per-kind circuit
+/// breaker once one request kind keeps failing.
+struct ResilientClient {
+    addr: String,
+    conn: Option<Client>,
+    rng: Rng,
+    breakers: HashMap<String, Breaker>,
+    stats: ResilienceStats,
+}
+
+impl ResilientClient {
+    fn new(addr: &str, seed: u64) -> ResilientClient {
+        ResilientClient {
+            addr: addr.to_string(),
+            conn: None,
+            rng: Rng(seed),
+            breakers: HashMap::new(),
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Jittered exponential backoff: 5 ms doubling per attempt, capped at
+    /// 200 ms, plus up to 50% deterministic jitter so a fleet of retrying
+    /// clients does not stampede in lockstep.
+    fn backoff(&mut self, attempt: usize) {
+        let base = (5u64 << attempt.min(6)).min(200);
+        thread::sleep(Duration::from_millis(base + self.rng.below(base / 2 + 1)));
+    }
+
+    /// Blocks while the breaker for `kind` is open, then half-opens it.
+    fn wait_out_breaker(&mut self, kind: &str) {
+        if let Some(until) = self.breakers.entry(kind.to_string()).or_default().open_until {
+            let now = Instant::now();
+            if now < until {
+                thread::sleep(until - now);
+            }
+            self.breakers.get_mut(kind).expect("breaker exists").open_until = None;
+        }
+    }
+
+    fn record_breaker(&mut self, kind: &str, failed: bool) {
+        let breaker = self.breakers.entry(kind.to_string()).or_default();
+        if !failed {
+            breaker.consecutive = 0;
+            return;
+        }
+        breaker.consecutive += 1;
+        if breaker.consecutive >= BREAKER_THRESHOLD && breaker.open_until.is_none() {
+            breaker.open_until = Some(Instant::now() + BREAKER_COOLDOWN);
+            breaker.consecutive = 0;
+            self.stats.breaker_trips += 1;
+        }
+    }
+
+    /// Issues one logical request (which must carry numeric id `id`),
+    /// retrying through chaos. Returns the total latency in µs — retries
+    /// included — on terminal success; `None` otherwise. Every reply must
+    /// echo the id: a mismatch would mean a duplicated or misrouted
+    /// response, so it fails the run loudly.
+    fn call(&mut self, kind: &str, id: u64, line: &str) -> Option<u64> {
+        let start = Instant::now();
+        for attempt in 0..MAX_ATTEMPTS {
+            self.wait_out_breaker(kind);
+            if self.conn.is_none() {
+                match Client::try_connect(&self.addr) {
+                    Ok(conn) => self.conn = Some(conn),
+                    Err(_) => {
+                        self.stats.reconnects += 1;
+                        self.stats.retries += 1;
+                        self.backoff(attempt);
+                        continue;
+                    }
+                }
+            }
+            let outcome = self.conn.as_mut().expect("connected").try_ask(line);
+            match outcome {
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut =>
+                {
+                    // The daemon accepted the request and went silent: the
+                    // job is lost. This is the invariant the exactly-once
+                    // ledger exists to protect; do not retry into a
+                    // double-execution.
+                    self.conn = None;
+                    self.stats.lost += 1;
+                    return None;
+                }
+                Err(_) => {
+                    // Dropped/reset connection (chaos `drop` lands here as
+                    // an EOF): reconnect and replay.
+                    self.conn = None;
+                    self.stats.reconnects += 1;
+                    self.stats.retries += 1;
+                    self.backoff(attempt);
+                    continue;
+                }
+                Ok((reply, _)) => {
+                    let echoed = reply.get("id").and_then(Json::as_u64);
+                    assert_eq!(echoed, Some(id), "id echo violated: {reply}");
+                    if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                        self.record_breaker(kind, false);
+                        self.stats.ok += 1;
+                        return Some(
+                            u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                        );
+                    }
+                    let class = reply
+                        .get("error")
+                        .and_then(|e| e.get("class"))
+                        .and_then(Json::as_str)
+                        .expect("error class")
+                        .to_string();
+                    match class.as_str() {
+                        "busy" => {
+                            // Honor the server's hint (capped for bench
+                            // sanity) plus jitter; backpressure is not a
+                            // failure, so the breaker stays untouched.
+                            let hint = reply
+                                .get("error")
+                                .and_then(|e| e.get("retry_after_ms"))
+                                .and_then(Json::as_u64)
+                                .unwrap_or(25)
+                                .min(200);
+                            self.stats.retries += 1;
+                            thread::sleep(Duration::from_millis(
+                                hint + self.rng.below(hint / 2 + 1),
+                            ));
+                        }
+                        "internal" => {
+                            // The worker died twice on this job; a replay
+                            // gets a fresh job id, so retry — but count it
+                            // against the breaker.
+                            self.record_breaker(kind, true);
+                            self.stats.retries += 1;
+                            self.backoff(attempt);
+                        }
+                        _ => {
+                            // usage/timeout/shutdown are terminal: the
+                            // server answered definitively.
+                            self.record_breaker(kind, false);
+                            self.stats.terminal_errors += 1;
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.gave_up += 1;
+        None
+    }
+}
+
+/// One point of the chaos sweep: the injected fault rates.
+#[derive(Debug, Clone, Copy)]
+struct ChaosPoint {
+    panic_p: f64,
+    delay_p: f64,
+    drop_p: f64,
+}
+
+/// What one sweep point measured, client- and server-side.
+struct PointReport {
+    point: ChaosPoint,
+    stats: ResilienceStats,
+    p50_us: u64,
+    p99_us: u64,
+    dispatched: u64,
+    answered: u64,
+    recovered_jobs: u64,
+    injected: (u64, u64, u64),
+}
+
+/// `clients` resilient clients, each issuing `per_client` `detects`
+/// requests with unique ids; returns merged stats plus sorted end-to-end
+/// latencies of the successful requests.
+fn chaos_clients(
+    addr: &str,
+    clients: usize,
+    per_client: usize,
+    words: u64,
+) -> (ResilienceStats, Vec<u64>) {
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            thread::spawn(move || {
+                let mut client = ResilientClient::new(&addr, 0x1000 + c as u64);
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let id = (c * 1_000_000 + i) as u64;
+                    let fault = (c * 131 + i * 7) as u64 % words;
+                    let line = format!(
+                        r#"{{"id":{id},"kind":"detects","test":"march-c","words":{words},"fault":"sa0@{fault}"}}"#
+                    );
+                    if let Some(us) = client.call("detects", id, &line) {
+                        lat.push(us);
+                    }
+                }
+                (client.stats, lat)
+            })
+        })
+        .collect();
+    let mut stats = ResilienceStats::default();
+    let mut lat = Vec::new();
+    for h in handles {
+        let (s, l) = h.join().expect("chaos client");
+        stats.absorb(s);
+        lat.extend(l);
+    }
+    lat.sort_unstable();
+    (stats, lat)
+}
+
+fn jobs_metric(metrics: &Json, group: &str, key: &str) -> u64 {
+    metrics.get(group).and_then(|g| g.get(key)).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Runs one sweep point against a fresh in-process chaos-armed daemon.
+fn chaos_point(point: ChaosPoint, clients: usize, per_client: usize) -> PointReport {
+    let spec = format!(
+        "seed=7,panic={},delay={},drop={}",
+        point.panic_p, point.delay_p, point.drop_p
+    );
+    let chaos = ChaosConfig::parse(&spec).expect("sweep spec");
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig { workers: 2, chaos, ..ServiceConfig::default() },
+    )
+    .expect("bind chaos server");
+    let addr = server.local_addr().to_string();
+    let (stats, lat) = chaos_clients(&addr, clients, per_client, 256);
+    server.shutdown();
+    let summary = server.join();
+    PointReport {
+        point,
+        stats,
+        p50_us: percentile(&lat, 0.5),
+        p99_us: percentile(&lat, 0.99),
+        dispatched: jobs_metric(&summary.metrics, "jobs", "dispatched"),
+        answered: jobs_metric(&summary.metrics, "jobs", "answered"),
+        recovered_jobs: summary.recovered_jobs,
+        injected: (
+            jobs_metric(&summary.metrics, "chaos", "injected_panics"),
+            jobs_metric(&summary.metrics, "chaos", "injected_delays"),
+            jobs_metric(&summary.metrics, "chaos", "injected_drops"),
+        ),
+    }
+}
+
+/// Recovery after a panic storm: the first `burst` dispatch attempts all
+/// panic, so the earliest jobs burn their retry and fail `internal`; the
+/// measurement is how long until the request stream first succeeds again.
+fn panic_storm(burst: u32, requests: usize) -> (u64, u64, ResilienceStats) {
+    let chaos = ChaosConfig::parse(&format!("seed=7,burst={burst}")).expect("storm spec");
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig { workers: 1, chaos, ..ServiceConfig::default() },
+    )
+    .expect("bind storm server");
+    let addr = server.local_addr().to_string();
+    let mut client = ResilientClient::new(&addr, 0x5707);
+    let start = Instant::now();
+    let mut recovery_ms = None;
+    for i in 0..requests {
+        let id = i as u64;
+        let line = format!(
+            r#"{{"id":{id},"kind":"detects","test":"march-c","words":64,"fault":"sa1@{}"}}"#,
+            id % 64
+        );
+        if client.call("detects", id, &line).is_some() && recovery_ms.is_none() {
+            recovery_ms =
+                Some(u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX));
+        }
+    }
+    server.shutdown();
+    let summary = server.join();
+    (recovery_ms.unwrap_or(u64::MAX), summary.recovered_jobs, client.stats)
+}
+
+fn point_json(r: &PointReport) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "    {{");
+    let _ = writeln!(json, "      \"panic\": {},", r.point.panic_p);
+    let _ = writeln!(json, "      \"delay\": {},", r.point.delay_p);
+    let _ = writeln!(json, "      \"drop\": {},", r.point.drop_p);
+    let _ = writeln!(json, "      \"offered\": {},", r.stats.offered());
+    let _ = writeln!(json, "      \"ok\": {},", r.stats.ok);
+    let _ = writeln!(json, "      \"terminal_errors\": {},", r.stats.terminal_errors);
+    let _ = writeln!(json, "      \"gave_up\": {},", r.stats.gave_up);
+    let _ = writeln!(json, "      \"lost\": {},", r.stats.lost);
+    let _ = writeln!(json, "      \"retries\": {},", r.stats.retries);
+    let _ = writeln!(json, "      \"reconnects\": {},", r.stats.reconnects);
+    let _ = writeln!(json, "      \"breaker_trips\": {},", r.stats.breaker_trips);
+    let _ = writeln!(json, "      \"availability\": {:.4},", r.stats.availability());
+    let _ = writeln!(json, "      \"p50_us\": {},", r.p50_us);
+    let _ = writeln!(json, "      \"p99_us\": {},", r.p99_us);
+    let _ = writeln!(json, "      \"server\": {{");
+    let _ = writeln!(json, "        \"dispatched\": {},", r.dispatched);
+    let _ = writeln!(json, "        \"answered\": {},", r.answered);
+    let _ = writeln!(json, "        \"recovered_jobs\": {},", r.recovered_jobs);
+    let _ = writeln!(json, "        \"injected_panics\": {},", r.injected.0);
+    let _ = writeln!(json, "        \"injected_delays\": {},", r.injected.1);
+    let _ = writeln!(json, "        \"injected_drops\": {}", r.injected.2);
+    let _ = writeln!(json, "      }}");
+    let _ = write!(json, "    }}");
+    json
+}
+
+fn print_point(r: &PointReport) {
+    println!(
+        "chaos panic={} delay={} drop={}: offered {}, ok {}, availability {:.4}, \
+         lost {}, retries {}, reconnects {}, breaker trips {}, p50 {} us, p99 {} us, \
+         recovered_jobs {}",
+        r.point.panic_p,
+        r.point.delay_p,
+        r.point.drop_p,
+        r.stats.offered(),
+        r.stats.ok,
+        r.stats.availability(),
+        r.stats.lost,
+        r.stats.retries,
+        r.stats.reconnects,
+        r.stats.breaker_trips,
+        r.p50_us,
+        r.p99_us,
+        r.recovered_jobs,
+    );
+}
+
+/// The standalone chaos sweep plus the storm-recovery run; writes the
+/// `BENCH_chaos.json` report.
+fn chaos_sweep(quick: bool, out_path: &str) {
+    let (clients, per_client) = if quick { (2, 50) } else { (4, 250) };
+    // Fault-free baseline, light, headline (the acceptance point), heavy.
+    let points = [
+        ChaosPoint { panic_p: 0.0, delay_p: 0.0, drop_p: 0.0 },
+        ChaosPoint { panic_p: 0.02, delay_p: 0.02, drop_p: 0.01 },
+        ChaosPoint { panic_p: 0.05, delay_p: 0.05, drop_p: 0.02 },
+        ChaosPoint { panic_p: 0.10, delay_p: 0.10, drop_p: 0.04 },
+    ];
+    println!("chaos sweep — {clients} clients x {per_client} requests per point");
+    let reports: Vec<PointReport> =
+        points.iter().map(|&p| chaos_point(p, clients, per_client)).collect();
+    for r in &reports {
+        print_point(r);
+    }
+
+    let storm_requests = if quick { 20 } else { 40 };
+    let (recovery_ms, storm_recovered, storm_stats) = panic_storm(9, storm_requests);
+    println!(
+        "panic storm (burst 9, {storm_requests} requests): first success after \
+         {recovery_ms} ms, availability {:.4}, recovered_jobs {storm_recovered}",
+        storm_stats.availability(),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"mode\": \"sweep\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"workload\": \"march-c 256x1 detects\",");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"per_client\": {per_client},");
+    let _ = writeln!(json, "  \"points\": [");
+    let body: Vec<String> = reports.iter().map(point_json).collect();
+    let _ = writeln!(json, "{}", body.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"storm\": {{");
+    let _ = writeln!(json, "    \"burst\": 9,");
+    let _ = writeln!(json, "    \"requests\": {storm_requests},");
+    let _ = writeln!(json, "    \"recovery_ms\": {recovery_ms},");
+    let _ = writeln!(json, "    \"recovered_jobs\": {storm_recovered},");
+    let _ = writeln!(json, "    \"availability\": {:.4}", storm_stats.availability());
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    fs::write(out_path, json).expect("write chaos JSON");
+    println!("wrote {out_path}");
+}
+
+/// Drives an already-running (presumably chaos-armed) daemon through the
+/// resilient client — the CI chaos smoke path. Prints the availability
+/// line CI greps and writes a small external-mode report.
+fn chaos_external(addr: &str, quick: bool, shutdown: bool, out_path: &str) {
+    let (clients, per_client) = if quick { (2, 25) } else { (2, 100) };
+    println!("chaos loadgen against external daemon {addr}");
+    let (stats, lat) = chaos_clients(addr, clients, per_client, 256);
+    println!(
+        "chaos external: offered {}, ok {}, availability {:.4}, lost {}, \
+         retries {}, reconnects {}, breaker trips {}, p50 {} us, p99 {} us",
+        stats.offered(),
+        stats.ok,
+        stats.availability(),
+        stats.lost,
+        stats.retries,
+        stats.reconnects,
+        stats.breaker_trips,
+        percentile(&lat, 0.5),
+        percentile(&lat, 0.99),
+    );
+    if shutdown {
+        // The daemon may drop even the shutdown request; insist.
+        let mut client = ResilientClient::new(addr, 0xb7e);
+        let done = client.call("shutdown", 999_999, r#"{"id":999999,"kind":"shutdown"}"#);
+        assert!(done.is_some(), "shutdown never acknowledged");
+        println!("shutdown requested: daemon draining");
+    }
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"mode\": \"external\",");
+    let _ = writeln!(json, "  \"offered\": {},", stats.offered());
+    let _ = writeln!(json, "  \"ok\": {},", stats.ok);
+    let _ = writeln!(json, "  \"lost\": {},", stats.lost);
+    let _ = writeln!(json, "  \"retries\": {},", stats.retries);
+    let _ = writeln!(json, "  \"reconnects\": {},", stats.reconnects);
+    let _ = writeln!(json, "  \"availability\": {:.4},", stats.availability());
+    let _ = writeln!(json, "  \"p99_us\": {}", percentile(&lat, 0.99));
+    json.push_str("}\n");
+    fs::write(out_path, json).expect("write chaos JSON");
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let chaos_mode = args.iter().any(|a| a == "--chaos");
     let flag = |name: &str| {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_service.json".to_string());
+    let default_out = if chaos_mode { "BENCH_chaos.json" } else { "BENCH_service.json" };
+    let out_path = flag("--out").unwrap_or_else(|| default_out.to_string());
     let external = flag("--addr");
     let host = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    if chaos_mode {
+        match external {
+            Some(addr) => chaos_external(
+                &addr,
+                quick,
+                args.iter().any(|a| a == "--shutdown"),
+                &out_path,
+            ),
+            None => chaos_sweep(quick, &out_path),
+        }
+        return;
+    }
 
     if let Some(addr) = external {
         // Drive an already-running daemon (the CI smoke path): determinism

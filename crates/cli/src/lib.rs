@@ -192,7 +192,11 @@ commands:
       [--engine full|sliced|packed]
   serve [--addr A] [--workers W]      run the evaluation daemon (line-delimited
       [--cache-bytes B]               JSON over TCP; default 127.0.0.1:1999);
-      [--queue-depth D]               send {\"kind\":\"shutdown\"} to stop
+      [--queue-depth D]               send {\"kind\":\"shutdown\"} to stop;
+      [--default-deadline-ms T]       per-request deadline when the request
+                                      carries none (0 = unlimited)
+      [--chaos seed=S,panic=P,        deterministic fault injection for
+       delay=D,drop=C]                resilience testing (also delay_ms, burst)
 
 <algorithm> is a library name (march-c, mats+, ...) or inline notation like
 \"m(w0); u(r0,w1); d(r1,w0)\".
@@ -608,12 +612,28 @@ fn cmd_synth(args: &[&str]) -> Result<String, CliError> {
 }
 
 fn cmd_serve(args: &[&str]) -> Result<String, CliError> {
-    check_flags(args, &["--addr", "--workers", "--cache-bytes", "--queue-depth"])?;
+    check_flags(
+        args,
+        &[
+            "--addr",
+            "--workers",
+            "--cache-bytes",
+            "--queue-depth",
+            "--default-deadline-ms",
+            "--chaos",
+        ],
+    )?;
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:1999");
+    let chaos = match flag_value(args, "--chaos") {
+        Some(spec) => mbist_service::ChaosConfig::parse(spec).map_err(err)?,
+        None => mbist_service::ChaosConfig::disabled(),
+    };
     let config = mbist_service::ServiceConfig {
         workers: parse_flag(args, "--workers", 0)?,
         cache_bytes: parse_flag(args, "--cache-bytes", 64 << 20)?,
         queue_depth: parse_flag(args, "--queue-depth", 64)?,
+        default_deadline_ms: parse_flag(args, "--default-deadline-ms", 30_000)?,
+        chaos,
     };
     let server = mbist_service::Server::start(addr, config)
         .map_err(|e| failed(format!("cannot bind `{addr}`: {e}")))?;
@@ -634,12 +654,16 @@ fn cmd_serve(args: &[&str]) -> Result<String, CliError> {
             config.cache_bytes,
             config.queue_depth,
         );
+        if chaos.enabled() {
+            let _ = writeln!(stdout, "chaos injection armed: {}", chaos.describe());
+        }
         let _ = stdout.flush();
     }
     let summary = server.join();
     Ok(format!(
-        "shutdown: served {} request(s), drained {} queued job(s)\n",
-        summary.served, summary.drained
+        "shutdown: served {} request(s), drained {} queued job(s), \
+         recovered {} panicked job(s)\n",
+        summary.served, summary.drained, summary.recovered_jobs
     ))
 }
 

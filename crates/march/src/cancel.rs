@@ -1,0 +1,153 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is threaded into the engine inner loops
+//! ([`evaluate_coverage`](crate::evaluate_coverage),
+//! [`synthesize_march`](crate::synthesize_march) and the fan-out behind
+//! them) and checked **per fault chunk, not per fault**, so an expired
+//! deadline stops a multi-second run within milliseconds while costing the
+//! hot loops nothing measurable. The default token is a `None` — every
+//! check is a single branch on an empty `Option`, which is why the engines
+//! can take the token unconditionally instead of behind a feature gate.
+//!
+//! Cancellation is cooperative and lossy by design: a cancelled run
+//! returns early with whatever partial flags it accumulated, and the
+//! *caller* must check [`CancelToken::is_cancelled`] and discard the
+//! result. Nothing partial is ever reported as complete by the library
+//! itself — [`CoverageReport`](crate::CoverageReport) values produced
+//! under a tripped token are unspecified.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many faults a simulation loop processes between token checks. The
+/// check is an atomic load (plus one `Instant::now` until a deadline
+/// latches), so the stride only needs to be large enough to keep it out of
+/// the per-fault path.
+pub const CANCEL_CHECK_STRIDE: usize = 64;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cooperative cancellation handle.
+///
+/// The default token never cancels and costs one branch per check. A
+/// deadline token trips itself when the wall clock passes the deadline; a
+/// manual token trips when any clone calls [`CancelToken::cancel`]. Once
+/// tripped, a token stays tripped (the deadline result is latched into the
+/// flag so later checks skip the clock read).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Option<Arc<Inner>>);
+
+impl CancelToken {
+    /// The never-cancelled token — what every options struct defaults to.
+    #[must_use]
+    pub const fn none() -> Self {
+        Self(None)
+    }
+
+    /// A token that can only be tripped explicitly via
+    /// [`CancelToken::cancel`].
+    #[must_use]
+    pub fn manual() -> Self {
+        Self(Some(Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None })))
+    }
+
+    /// A token that trips once the wall clock reaches `deadline` (and can
+    /// still be tripped earlier via [`CancelToken::cancel`]).
+    #[must_use]
+    pub fn at(deadline: Instant) -> Self {
+        Self(Some(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(deadline),
+        })))
+    }
+
+    /// A token that trips `budget` from now.
+    #[must_use]
+    pub fn with_budget(budget: Duration) -> Self {
+        Self::at(Instant::now() + budget)
+    }
+
+    /// Trips the token (idempotent; a no-op on the default token).
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.0 {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        let Some(inner) = &self.0 else { return false };
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                // Latch so subsequent checks are a plain atomic load.
+                inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for CancelToken {
+    /// Tokens compare by identity (clones of one token are equal), so
+    /// options structs carrying a token can keep deriving `PartialEq`.
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_cancels() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        t.cancel(); // no-op, must not panic
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn manual_token_trips_across_clones() {
+        let t = CancelToken::manual();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled(), "cancel must be visible through clones");
+        assert!(t.is_cancelled(), "and stay tripped");
+    }
+
+    #[test]
+    fn deadline_token_trips_after_the_budget() {
+        let t = CancelToken::with_budget(Duration::from_millis(0));
+        assert!(t.is_cancelled(), "zero budget is already expired");
+        let later = CancelToken::with_budget(Duration::from_secs(3600));
+        assert!(!later.is_cancelled(), "distant deadline is live");
+        later.cancel();
+        assert!(later.is_cancelled(), "manual cancel beats the deadline");
+    }
+
+    #[test]
+    fn tokens_compare_by_identity() {
+        let a = CancelToken::manual();
+        let b = CancelToken::manual();
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
+        assert_eq!(CancelToken::none(), CancelToken::default());
+        assert_ne!(a, CancelToken::none());
+    }
+}

@@ -7,6 +7,7 @@ use mbist_mem::{
     UniverseSpec,
 };
 
+use crate::cancel::CancelToken;
 use crate::expand::ExpandOptions;
 use crate::fanout::detect_universe_trace;
 use crate::test::MarchTest;
@@ -60,6 +61,13 @@ pub struct CoverageOptions {
     /// Fault-simulation engine ([`SimEngine::Sliced`] by default). The
     /// report is bit-for-bit identical for every engine.
     pub engine: SimEngine,
+    /// Cooperative cancellation handle, checked between classes and once
+    /// per fault chunk inside the fan-out. A tripped token makes
+    /// [`evaluate_coverage`] return early with a **partial, unspecified**
+    /// report — the caller must check [`CancelToken::is_cancelled`] and
+    /// discard it. The default token never cancels and costs one branch
+    /// per check.
+    pub cancel: CancelToken,
 }
 
 impl Default for CoverageOptions {
@@ -71,6 +79,7 @@ impl Default for CoverageOptions {
             expand: None,
             jobs: None,
             engine: SimEngine::default(),
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -179,6 +188,9 @@ pub fn evaluate_coverage_trace(
     let geometry = trace.geometry();
     let mut rows = Vec::new();
     for &class in &options.classes {
+        if options.cancel.is_cancelled() {
+            break;
+        }
         // Sampled generation materializes only the stride-kept faults —
         // identical to `stride_sample(class_universe(..), max)`, but the
         // NPSF/decoder universes on kiloword geometries would otherwise
@@ -188,7 +200,13 @@ pub fn evaluate_coverage_trace(
             None => class_universe(&geometry, class, &options.spec),
         };
         let total = universe.len();
-        let flags = detect_universe_trace(trace, &universe, options.jobs, options.engine);
+        let flags = detect_universe_trace(
+            trace,
+            &universe,
+            options.jobs,
+            options.engine,
+            &options.cancel,
+        );
         let detected = flags.iter().filter(|&&d| d).count();
         rows.push(ClassCoverage { class, detected, total });
     }

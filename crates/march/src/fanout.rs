@@ -20,6 +20,11 @@
 //! Workers are panic-isolated: a chunk whose worker dies (however it dies)
 //! is transparently re-simulated serially on the reducing thread, so one
 //! poisoned fault degrades throughput, never the report.
+//!
+//! Every entry point carries a [`CancelToken`], checked once per
+//! [`CANCEL_CHECK_STRIDE`](crate::CANCEL_CHECK_STRIDE) faults (and per
+//! packed batch): a tripped token makes workers return early with partial
+//! flags, which callers must discard after checking the token.
 
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -28,6 +33,7 @@ use std::thread;
 
 use mbist_mem::{FaultKind, MemGeometry, MemoryArray, TestStep};
 
+use crate::cancel::{CancelToken, CANCEL_CHECK_STRIDE};
 use crate::packed;
 use crate::sliced::SlicedScratch;
 use crate::trace::{CompiledTrace, SimEngine};
@@ -82,9 +88,10 @@ pub(crate) fn detect_universe(
     universe: &[FaultKind],
     jobs: Option<usize>,
     engine: SimEngine,
+    cancel: &CancelToken,
 ) -> Vec<bool> {
     let trace = CompiledTrace::from_steps(*geometry, steps);
-    detect_universe_trace(&trace, universe, jobs, engine)
+    detect_universe_trace(&trace, universe, jobs, engine, cancel)
 }
 
 /// Simulates every fault in `universe` against a pre-compiled trace
@@ -102,8 +109,9 @@ pub(crate) fn detect_universe_trace(
     universe: &[FaultKind],
     jobs: Option<usize>,
     engine: SimEngine,
+    cancel: &CancelToken,
 ) -> Vec<bool> {
-    detect_universe_resilient(trace, universe, jobs, engine, None)
+    detect_universe_resilient(trace, universe, jobs, engine, cancel, None)
 }
 
 /// [`detect_universe_trace`] with a test-only poison hook: while the
@@ -116,12 +124,20 @@ fn detect_universe_resilient(
     universe: &[FaultKind],
     jobs: Option<usize>,
     engine: SimEngine,
+    cancel: &CancelToken,
     poison: Option<&AtomicUsize>,
 ) -> Vec<bool> {
     let workers =
         resolve_jobs(jobs).min(universe.len() / min_faults_per_worker(engine)).max(1);
     if workers <= 1 {
-        return run_chunk(trace, universe, engine, &mut WorkerScratch::default(), None);
+        return run_chunk(
+            trace,
+            universe,
+            engine,
+            &mut WorkerScratch::default(),
+            cancel,
+            None,
+        );
     }
     let chunk = universe.len().div_ceil(workers);
     thread::scope(|scope| {
@@ -131,7 +147,7 @@ fn detect_universe_resilient(
                 let handle = scope.spawn(move || {
                     catch_unwind(AssertUnwindSafe(|| {
                         let mut scratch = WorkerScratch::default();
-                        run_chunk(trace, faults, engine, &mut scratch, poison)
+                        run_chunk(trace, faults, engine, &mut scratch, cancel, poison)
                     }))
                     .ok()
                 });
@@ -154,6 +170,7 @@ fn detect_universe_resilient(
                     let mut scratch = WorkerScratch::default();
                     faults
                         .iter()
+                        .take_while(|_| !cancel.is_cancelled())
                         .map(|&f| detect_one(trace, f, fallback, &mut scratch))
                         .collect()
                 }
@@ -171,20 +188,27 @@ fn run_chunk(
     faults: &[FaultKind],
     engine: SimEngine,
     scratch: &mut WorkerScratch,
+    cancel: &CancelToken,
     poison: Option<&AtomicUsize>,
 ) -> Vec<bool> {
     match engine {
         SimEngine::Packed => {
             faults.iter().for_each(|_| maybe_trip(poison));
-            packed::detect_chunk(trace, faults, scratch)
+            packed::detect_chunk(trace, faults, scratch, cancel)
         }
-        _ => faults
-            .iter()
-            .map(|&f| {
-                maybe_trip(poison);
-                detect_one(trace, f, engine, scratch)
-            })
-            .collect(),
+        _ => {
+            let mut flags = Vec::with_capacity(faults.len());
+            for batch in faults.chunks(CANCEL_CHECK_STRIDE) {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                flags.extend(batch.iter().map(|&f| {
+                    maybe_trip(poison);
+                    detect_one(trace, f, engine, scratch)
+                }));
+            }
+            flags
+        }
     }
 }
 
@@ -243,11 +267,25 @@ mod tests {
         let spec = UniverseSpec::default();
         for class in [FaultClass::StuckAt, FaultClass::CouplingIdempotent] {
             let universe = class_universe(&g, class, &spec);
-            let serial = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full);
+            let serial = detect_universe(
+                &g,
+                &steps,
+                &universe,
+                Some(1),
+                SimEngine::Full,
+                &CancelToken::none(),
+            );
             for engine in [SimEngine::Full, SimEngine::Sliced, SimEngine::Packed] {
                 for jobs in [Some(1), Some(2), Some(5), None] {
                     assert_eq!(
-                        detect_universe(&g, &steps, &universe, jobs, engine),
+                        detect_universe(
+                            &g,
+                            &steps,
+                            &universe,
+                            jobs,
+                            engine,
+                            &CancelToken::none()
+                        ),
                         serial,
                         "jobs={jobs:?} engine={engine:?}"
                     );
@@ -265,10 +303,31 @@ mod tests {
         let spec = UniverseSpec::default();
         let mut universe = class_universe(&g, FaultClass::AddressDecoder, &spec);
         universe.extend(class_universe(&g, FaultClass::StuckOpen, &spec));
-        let full = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full);
-        let sliced = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Sliced);
+        let full = detect_universe(
+            &g,
+            &steps,
+            &universe,
+            Some(1),
+            SimEngine::Full,
+            &CancelToken::none(),
+        );
+        let sliced = detect_universe(
+            &g,
+            &steps,
+            &universe,
+            Some(1),
+            SimEngine::Sliced,
+            &CancelToken::none(),
+        );
         assert_eq!(full, sliced);
-        let packed = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Packed);
+        let packed = detect_universe(
+            &g,
+            &steps,
+            &universe,
+            Some(1),
+            SimEngine::Packed,
+            &CancelToken::none(),
+        );
         assert_eq!(full, packed);
     }
 
@@ -288,15 +347,36 @@ mod tests {
             universe.len() >= 2 * MIN_FAULTS_PER_PACKED_WORKER,
             "universe too small to exercise packed fan-out"
         );
-        let serial = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Packed);
+        let serial = detect_universe(
+            &g,
+            &steps,
+            &universe,
+            Some(1),
+            SimEngine::Packed,
+            &CancelToken::none(),
+        );
         assert_eq!(
             serial,
-            detect_universe(&g, &steps, &universe, Some(1), SimEngine::Full),
+            detect_universe(
+                &g,
+                &steps,
+                &universe,
+                Some(1),
+                SimEngine::Full,
+                &CancelToken::none()
+            ),
             "packed serial must match the full oracle"
         );
         for jobs in [Some(2), Some(7), None] {
             assert_eq!(
-                detect_universe(&g, &steps, &universe, jobs, SimEngine::Packed),
+                detect_universe(
+                    &g,
+                    &steps,
+                    &universe,
+                    jobs,
+                    SimEngine::Packed,
+                    &CancelToken::none()
+                ),
                 serial,
                 "jobs={jobs:?}"
             );
@@ -311,7 +391,14 @@ mod tests {
         let steps = expand(&library::march_c(), &g);
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
         assert!(universe.len() >= 2 * MIN_FAULTS_PER_PACKED_WORKER);
-        let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Packed);
+        let reference = detect_universe(
+            &g,
+            &steps,
+            &universe,
+            Some(1),
+            SimEngine::Packed,
+            &CancelToken::none(),
+        );
         let trace = CompiledTrace::from_steps(g, &steps);
         let poison = AtomicUsize::new(1);
         let flags = detect_universe_resilient(
@@ -319,6 +406,7 @@ mod tests {
             &universe,
             Some(4),
             SimEngine::Packed,
+            &CancelToken::none(),
             Some(&poison),
         );
         assert_eq!(flags, reference, "degraded packed run must be bit-identical");
@@ -326,10 +414,56 @@ mod tests {
     }
 
     #[test]
+    fn tripped_token_stops_the_fanout_early() {
+        let g = MemGeometry::bit_oriented(256);
+        let steps = expand(&library::march_c(), &g);
+        let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        assert!(universe.len() > CANCEL_CHECK_STRIDE);
+        for engine in [SimEngine::Full, SimEngine::Sliced, SimEngine::Packed] {
+            let cancel = CancelToken::manual();
+            cancel.cancel();
+            let flags = detect_universe(&g, &steps, &universe, Some(1), engine, &cancel);
+            assert!(
+                flags.len() < universe.len(),
+                "pre-tripped token must cut the {engine:?} run short"
+            );
+        }
+    }
+
+    #[test]
+    fn live_token_changes_nothing() {
+        let g = MemGeometry::bit_oriented(64);
+        let steps = expand(&library::march_c(), &g);
+        let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        let baseline = detect_universe(
+            &g,
+            &steps,
+            &universe,
+            Some(1),
+            SimEngine::Sliced,
+            &CancelToken::none(),
+        );
+        let live = CancelToken::manual();
+        assert_eq!(
+            detect_universe(&g, &steps, &universe, Some(2), SimEngine::Sliced, &live),
+            baseline,
+            "an untripped token must not perturb the flags"
+        );
+    }
+
+    #[test]
     fn empty_universe_is_fine() {
         let g = MemGeometry::bit_oriented(4);
         let steps = expand(&library::mats(), &g);
-        assert!(detect_universe(&g, &steps, &[], Some(8), SimEngine::Sliced).is_empty());
+        assert!(detect_universe(
+            &g,
+            &steps,
+            &[],
+            Some(8),
+            SimEngine::Sliced,
+            &CancelToken::none()
+        )
+        .is_empty());
     }
 
     #[test]
@@ -340,7 +474,14 @@ mod tests {
         let steps = expand(&library::march_c(), &g);
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
         assert!(universe.len() >= 2 * MIN_FAULTS_PER_WORKER);
-        let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Sliced);
+        let reference = detect_universe(
+            &g,
+            &steps,
+            &universe,
+            Some(1),
+            SimEngine::Sliced,
+            &CancelToken::none(),
+        );
         let trace = CompiledTrace::from_steps(g, &steps);
 
         // One transient worker death: the first simulated fault panics.
@@ -350,6 +491,7 @@ mod tests {
             &universe,
             Some(4),
             SimEngine::Sliced,
+            &CancelToken::none(),
             Some(&poison),
         );
         assert_eq!(flags, reference, "degraded run must be bit-identical");
@@ -362,7 +504,14 @@ mod tests {
         let steps = expand(&library::march_c(), &g);
         let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
         assert!(universe.len() >= 2 * MIN_FAULTS_PER_WORKER);
-        let reference = detect_universe(&g, &steps, &universe, Some(1), SimEngine::Sliced);
+        let reference = detect_universe(
+            &g,
+            &steps,
+            &universe,
+            Some(1),
+            SimEngine::Sliced,
+            &CancelToken::none(),
+        );
         let trace = CompiledTrace::from_steps(g, &steps);
 
         // Kill the first fault of (up to) every chunk: several workers die,
@@ -373,6 +522,7 @@ mod tests {
             &universe,
             Some(4),
             SimEngine::Full,
+            &CancelToken::none(),
             Some(&poison),
         );
         assert_eq!(flags, reference);

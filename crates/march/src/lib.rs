@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod background;
+mod cancel;
 mod coverage;
 mod element;
 mod error;
@@ -54,6 +55,7 @@ mod trace;
 pub mod transparent;
 
 pub use background::{standard_background_count, standard_backgrounds};
+pub use cancel::{CancelToken, CANCEL_CHECK_STRIDE};
 pub use coverage::{
     evaluate_coverage, evaluate_coverage_trace, fault_route, routing_breakdown,
     ClassCoverage, CoverageOptions, CoverageReport, FaultRoute, RoutingBreakdown,

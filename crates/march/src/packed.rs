@@ -64,6 +64,7 @@ use std::ops::{BitAnd, BitOr, BitOrAssign, BitXor, Not};
 
 use mbist_mem::{CellId, FaultKind};
 
+use crate::cancel::{CancelToken, CANCEL_CHECK_STRIDE};
 use crate::fanout::{detect_one, WorkerScratch};
 use crate::trace::{CompiledTrace, FnvBuild, SimEngine, TraceOpKind};
 
@@ -1041,6 +1042,7 @@ pub(crate) fn detect_chunk(
     trace: &CompiledTrace,
     faults: &[FaultKind],
     scratch: &mut WorkerScratch,
+    cancel: &CancelToken,
 ) -> Vec<bool> {
     let mut flags = vec![false; faults.len()];
     let mut programs = Programs::default();
@@ -1059,6 +1061,12 @@ pub(crate) fn detect_chunk(
     let miscompares = trace.golden_miscompares();
     let ports = trace.geometry().ports();
     for (index, &fault) in faults.iter().enumerate() {
+        // Batch flags land out of chunk order, so a cancelled chunk cannot
+        // return a meaningful prefix: hand back an empty (clearly partial)
+        // vector and let the caller discard it after checking the token.
+        if index % CANCEL_CHECK_STRIDE == 0 && cancel.is_cancelled() {
+            return Vec::new();
+        }
         let Some(spec) = lane_spec(fault) else {
             flags[index] = detect_one(trace, fault, SimEngine::Sliced, scratch);
             continue;
@@ -1086,6 +1094,9 @@ pub(crate) fn detect_chunk(
         batches[slot].push(index, &spec, flipped, pre_detected);
     }
     for batch in &batches {
+        if cancel.is_cancelled() {
+            return Vec::new();
+        }
         let detected = run_batch(&programs.store[batch.program], batch, ports);
         for (lane, &index) in batch.faults.iter().enumerate() {
             flags[index] = detected.get(lane);
@@ -1122,7 +1133,12 @@ mod tests {
         let mut scratch = MemoryArray::new(g);
         for class in FaultClass::ALL {
             let universe = class_universe(&g, class, &spec);
-            let packed = detect_chunk(&trace, &universe, &mut WorkerScratch::default());
+            let packed = detect_chunk(
+                &trace,
+                &universe,
+                &mut WorkerScratch::default(),
+                &CancelToken::none(),
+            );
             for (fault, packed_flag) in universe.iter().zip(packed) {
                 assert_eq!(
                     packed_flag,
@@ -1245,7 +1261,12 @@ mod tests {
         let oracle: Vec<bool> =
             universe[..257].iter().map(|f| trace.detect_full(*f, &mut scratch)).collect();
         for n in [1usize, 63, 64, 65, 255, 256, 257] {
-            let flags = detect_chunk(&trace, &universe[..n], &mut WorkerScratch::default());
+            let flags = detect_chunk(
+                &trace,
+                &universe[..n],
+                &mut WorkerScratch::default(),
+                &CancelToken::none(),
+            );
             assert_eq!(flags[..], oracle[..n], "lane count {n}");
         }
     }
@@ -1272,7 +1293,12 @@ mod tests {
         }
         assert_eq!(programs.store.len(), 1, "complements must fold onto one program");
         assert_eq!(flips, 128, "half the lanes ride the complemented projection");
-        let packed = detect_chunk(&trace, &universe, &mut WorkerScratch::default());
+        let packed = detect_chunk(
+            &trace,
+            &universe,
+            &mut WorkerScratch::default(),
+            &CancelToken::none(),
+        );
         let mut scratch = MemoryArray::new(g);
         for (fault, flag) in universe.iter().zip(packed) {
             assert_eq!(flag, trace.detect_full(*fault, &mut scratch), "{fault}");
@@ -1296,7 +1322,12 @@ mod tests {
         let mut scratch = MemoryArray::new(g);
         for class in FaultClass::ALL {
             let universe = class_universe(&g, class, &spec);
-            let packed = detect_chunk(&trace, &universe, &mut WorkerScratch::default());
+            let packed = detect_chunk(
+                &trace,
+                &universe,
+                &mut WorkerScratch::default(),
+                &CancelToken::none(),
+            );
             for (fault, flag) in universe.iter().zip(packed) {
                 assert_eq!(flag, trace.detect_full(*fault, &mut scratch), "{fault}");
             }

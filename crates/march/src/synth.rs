@@ -126,9 +126,14 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
     // parallel) fan-out with the configured engine.
     let jobs = options.coverage.jobs;
     let engine = options.coverage.engine;
+    // A tripped token ends the search at the next loop head (and cuts the
+    // in-flight fan-out short); the partial result is still a well-formed
+    // march test, just not a converged one — callers that set a token must
+    // check it and discard.
+    let cancel = &options.coverage.cancel;
     let detect_flags = |test: &MarchTest, list: &[FaultKind]| -> Vec<bool> {
         let steps = expand_with(test, &g, &expand_opts);
-        detect_universe(&g, &steps, list, jobs, engine)
+        detect_universe(&g, &steps, list, jobs, engine, cancel)
     };
     let clean = |test: &MarchTest| -> bool {
         let mut mem = MemoryArray::new(g);
@@ -147,8 +152,14 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
 
     let menu = candidate_elements();
     while !undetected.is_empty() && items.len() - 1 < options.max_elements {
+        if cancel.is_cancelled() {
+            break;
+        }
         let mut best: Option<(usize, usize)> = None; // (menu idx, gain)
         for (k, cand) in menu.iter().enumerate() {
+            if cancel.is_cancelled() {
+                break;
+            }
             let mut trial_items = items.clone();
             trial_items.push(cand.clone().into());
             let trial = MarchTest::new(name, trial_items);
@@ -174,6 +185,9 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
         // plateau.
         let mut best_pair: Option<(usize, usize, usize)> = None;
         for (a, ca) in menu.iter().enumerate() {
+            if cancel.is_cancelled() {
+                break;
+            }
             for (b, cb) in menu.iter().enumerate() {
                 let mut trial_items = items.clone();
                 trial_items.push(ca.clone().into());
@@ -199,6 +213,9 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
     // Backward pruning: drop any element whose removal keeps coverage.
     let mut i = 1;
     while i < items.len() {
+        if cancel.is_cancelled() {
+            break;
+        }
         let mut reduced = items.clone();
         reduced.remove(i);
         if reduced.iter().any(|it| it.as_element().is_some()) {

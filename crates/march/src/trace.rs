@@ -565,7 +565,13 @@ impl CompiledTrace {
                 self.geometry
             );
         }
-        crate::fanout::detect_universe_trace(self, universe, jobs, engine)
+        crate::fanout::detect_universe_trace(
+            self,
+            universe,
+            jobs,
+            engine,
+            &crate::cancel::CancelToken::none(),
+        )
     }
 
     /// Full-replay detection on a caller-provided scratch array (reset,

@@ -1,0 +1,284 @@
+//! Deterministic chaos injection for resilience testing.
+//!
+//! A [`ChaosConfig`] describes three failure modes the daemon can inject
+//! into itself — worker panics, artificial execution delays, and
+//! post-accept connection drops — each at a configurable probability. The
+//! decision stream is a pure function of the seed and a global event
+//! counter (splitmix64 over `seed ^ counter`), so a chaos run is exactly
+//! reproducible: same seed, same accept/dispatch order, same injected
+//! faults. With chaos disabled (the default) every roll is a compile-time
+//! visible early return on `p == 0.0`, so the production path pays one
+//! predictable branch per site.
+//!
+//! The CLI syntax is `--chaos seed=S,panic=P,delay=D,drop=C` with optional
+//! `delay_ms=M` (injected delay length, default 20) and `burst=B` (the
+//! first `B` panic rolls fire unconditionally — a panic storm for
+//! measuring recovery time).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Probabilities and shape of the injected faults. Zero everywhere (the
+/// default) means chaos is off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic decision stream.
+    pub seed: u64,
+    /// Probability a dispatched job's worker panics mid-execution.
+    pub panic_p: f64,
+    /// Probability a dispatched job is delayed by [`ChaosConfig::delay_ms`]
+    /// before executing.
+    pub delay_p: f64,
+    /// Probability an accepted request line is dropped: the connection
+    /// closes without a reply, as if the process was partitioned.
+    pub drop_p: f64,
+    /// Length of one injected delay, in milliseconds.
+    pub delay_ms: u64,
+    /// The first `burst` panic rolls fire unconditionally — a determinate
+    /// panic storm at startup for recovery-time measurement.
+    pub burst: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self { seed: 0, panic_p: 0.0, delay_p: 0.0, drop_p: 0.0, delay_ms: 20, burst: 0 }
+    }
+}
+
+impl ChaosConfig {
+    /// The all-off configuration (same as `Default`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether any injection can ever fire.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.panic_p > 0.0 || self.delay_p > 0.0 || self.drop_p > 0.0 || self.burst > 0
+    }
+
+    /// Parses the CLI spec `seed=S,panic=P,delay=D,drop=C[,delay_ms=M][,burst=B]`.
+    /// Every key is optional; unknown keys and out-of-range probabilities
+    /// are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on an unknown key, a malformed
+    /// number, or a probability outside `[0, 1]`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut config = Self::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec `{part}` is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "seed" => {
+                    config.seed = value
+                        .parse()
+                        .map_err(|_| format!("chaos seed `{value}` is not a u64"))?;
+                }
+                "delay_ms" => {
+                    config.delay_ms = value
+                        .parse()
+                        .map_err(|_| format!("chaos delay_ms `{value}` is not a u64"))?;
+                }
+                "burst" => {
+                    config.burst = value
+                        .parse()
+                        .map_err(|_| format!("chaos burst `{value}` is not a u32"))?;
+                }
+                "panic" | "delay" | "drop" => {
+                    let p: f64 = value
+                        .parse()
+                        .map_err(|_| format!("chaos {key} `{value}` is not a number"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("chaos {key} {p} outside [0, 1]"));
+                    }
+                    match key {
+                        "panic" => config.panic_p = p,
+                        "delay" => config.delay_p = p,
+                        _ => config.drop_p = p,
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown chaos key `{other}` (seed|panic|delay|drop|delay_ms|burst)"
+                    ))
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// One-line human summary for the startup banner and logs.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "seed={} panic={} delay={} drop={} delay_ms={} burst={}",
+            self.seed, self.panic_p, self.delay_p, self.drop_p, self.delay_ms, self.burst
+        )
+    }
+}
+
+/// The runtime decision stream: a shared event counter over the seeded
+/// hash. Each query consumes one event, so the stream depends only on the
+/// seed and the order of queries — not on wall-clock time.
+#[derive(Debug)]
+pub struct ChaosState {
+    config: ChaosConfig,
+    events: AtomicU64,
+    burst_left: AtomicU64,
+}
+
+/// splitmix64 — a full-period mix of a 64-bit counter, the standard
+/// std-only way to turn (seed, index) into independent uniform bits.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ChaosState {
+    /// Wraps a configuration into a live decision stream.
+    #[must_use]
+    pub fn new(config: ChaosConfig) -> Self {
+        Self {
+            config,
+            events: AtomicU64::new(0),
+            burst_left: AtomicU64::new(u64::from(config.burst)),
+        }
+    }
+
+    /// The wrapped configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Draws the next uniform sample in `[0, 1)` and tests it against `p`.
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let n = self.events.fetch_add(1, Ordering::Relaxed);
+        let bits = splitmix64(self.config.seed ^ n.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let sample = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        sample < p
+    }
+
+    /// Whether the next dispatched job should panic. The first
+    /// [`ChaosConfig::burst`] calls fire unconditionally.
+    #[must_use]
+    pub fn roll_panic(&self) -> bool {
+        if self.config.burst > 0 {
+            let stormed = self
+                .burst_left
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                .is_ok();
+            if stormed {
+                return true;
+            }
+        }
+        self.roll(self.config.panic_p)
+    }
+
+    /// The artificial delay to apply before executing the next job, if any.
+    #[must_use]
+    pub fn roll_delay(&self) -> Option<Duration> {
+        self.roll(self.config.delay_p).then(|| Duration::from_millis(self.config.delay_ms))
+    }
+
+    /// Whether the next accepted request line should be dropped on the
+    /// floor (connection closed without a reply).
+    #[must_use]
+    pub fn roll_drop(&self) -> bool {
+        self.roll(self.config.drop_p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_issue_syntax() {
+        let c = ChaosConfig::parse("seed=7,panic=0.05,delay=0.05,drop=0.02").unwrap();
+        assert_eq!(c.seed, 7);
+        assert!((c.panic_p - 0.05).abs() < 1e-12);
+        assert!((c.delay_p - 0.05).abs() < 1e-12);
+        assert!((c.drop_p - 0.02).abs() < 1e-12);
+        assert_eq!(c.delay_ms, 20, "default delay length");
+        assert!(c.enabled());
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(ChaosConfig::parse("panic=2.0").is_err(), "p > 1");
+        assert!(ChaosConfig::parse("panic=-0.1").is_err(), "p < 0");
+        assert!(ChaosConfig::parse("frob=1").is_err(), "unknown key");
+        assert!(ChaosConfig::parse("panic").is_err(), "no value");
+        assert!(ChaosConfig::parse("seed=x").is_err(), "bad number");
+    }
+
+    #[test]
+    fn empty_spec_is_disabled() {
+        let c = ChaosConfig::parse("").unwrap();
+        assert_eq!(c, ChaosConfig::disabled());
+        assert!(!c.enabled());
+    }
+
+    #[test]
+    fn disabled_state_never_fires() {
+        let state = ChaosState::new(ChaosConfig::disabled());
+        for _ in 0..10_000 {
+            assert!(!state.roll_panic());
+            assert!(state.roll_delay().is_none());
+            assert!(!state.roll_drop());
+        }
+    }
+
+    #[test]
+    fn decision_stream_is_reproducible_from_the_seed() {
+        let config = ChaosConfig::parse("seed=42,panic=0.3").unwrap();
+        let a = ChaosState::new(config);
+        let b = ChaosState::new(config);
+        let draws_a: Vec<bool> = (0..1000).map(|_| a.roll_panic()).collect();
+        let draws_b: Vec<bool> = (0..1000).map(|_| b.roll_panic()).collect();
+        assert_eq!(draws_a, draws_b);
+        assert!(draws_a.iter().any(|&x| x), "p=0.3 over 1000 draws must fire");
+        assert!(!draws_a.iter().all(|&x| x), "and must not always fire");
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a = ChaosState::new(ChaosConfig::parse("seed=1,panic=0.5").unwrap());
+        let b = ChaosState::new(ChaosConfig::parse("seed=2,panic=0.5").unwrap());
+        let draws_a: Vec<bool> = (0..256).map(|_| a.roll_panic()).collect();
+        let draws_b: Vec<bool> = (0..256).map(|_| b.roll_panic()).collect();
+        assert_ne!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn injection_rate_tracks_the_probability() {
+        let state = ChaosState::new(ChaosConfig::parse("seed=9,drop=0.1").unwrap());
+        let fired = (0..20_000).filter(|_| state.roll_drop()).count();
+        let rate = fired as f64 / 20_000.0;
+        assert!((0.07..=0.13).contains(&rate), "rate {rate} far from 0.1");
+    }
+
+    #[test]
+    fn burst_fires_the_first_n_panics_unconditionally() {
+        let state = ChaosState::new(ChaosConfig::parse("seed=3,burst=5").unwrap());
+        for i in 0..5 {
+            assert!(state.roll_panic(), "storm roll {i}");
+        }
+        // panic_p is 0, so after the storm nothing fires.
+        for _ in 0..100 {
+            assert!(!state.roll_panic());
+        }
+    }
+}

@@ -7,18 +7,44 @@
 //! change latency, never bytes.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use mbist_area::{table1, table2, table3, Technology};
 use mbist_march::{
     canonical_trace_key, evaluate_coverage_trace, expand_with, library, routing_breakdown,
-    synthesize_march, CompiledTrace, CoverageOptions, ExpandOptions, MarchTest, SimEngine,
-    SynthesisOptions,
+    synthesize_march, CancelToken, CompiledTrace, CoverageOptions, ExpandOptions,
+    MarchTest, SimEngine, SynthesisOptions,
 };
 use mbist_mem::{FaultClass, FaultKind, MemGeometry};
 
 use crate::json::Json;
 use crate::protocol::{Request, ServiceError};
 use crate::server::Shared;
+
+/// Per-job execution context: the deadline's cancellation token plus the
+/// request arrival time the `timeout.elapsed_ms` figure is measured from.
+pub(crate) struct ExecCtx {
+    /// Trips when the job's deadline passes; threaded into the simulation
+    /// inner loops.
+    pub(crate) cancel: CancelToken,
+    /// When the request arrived (queue wait included).
+    pub(crate) arrival: Instant,
+}
+
+impl ExecCtx {
+    /// Converts a tripped token into the structured timeout error. Called
+    /// before starting expensive phases and after every cancellable call:
+    /// a cancelled simulation returns partial data, and this is the single
+    /// place that discards it.
+    fn check(&self) -> Result<(), ServiceError> {
+        if self.cancel.is_cancelled() {
+            let elapsed_ms =
+                u64::try_from(self.arrival.elapsed().as_millis()).unwrap_or(u64::MAX);
+            return Err(ServiceError::Timeout { elapsed_ms });
+        }
+        Ok(())
+    }
+}
 
 fn usage(message: impl Into<String>) -> ServiceError {
     ServiceError::Usage(message.into())
@@ -109,13 +135,19 @@ fn cached_trace(
 }
 
 /// Executes a queued request, returning the response payload members.
+///
+/// The context's cancellation token is threaded into the simulation inner
+/// loops; a tripped token surfaces as [`ServiceError::Timeout`], and a
+/// cancelled (partial) result is never memoized.
 pub(crate) fn execute(
     request: &Request,
     shared: &Shared,
+    ctx: &ExecCtx,
 ) -> Result<Vec<(&'static str, Json)>, ServiceError> {
     match request {
         Request::Coverage { test, geometry, max_faults, jobs, engine } => {
             let t = resolve_test(test)?;
+            ctx.check()?;
             let (trace_key, trace, trace_cached) = cached_trace(shared, test, &t, geometry);
             let memo_key = result_key(
                 trace_key,
@@ -132,12 +164,16 @@ pub(crate) fn execute(
                 max_faults_per_class: *max_faults,
                 jobs: *jobs,
                 engine: *engine,
+                cancel: ctx.cancel.clone(),
                 ..CoverageOptions::default()
             };
             // Memo hits returned above: routing counters only reflect runs
             // that actually simulated.
             shared.metrics.record_routing(&routing_breakdown(geometry, &options));
             let report = evaluate_coverage_trace(&trace, t.name(), &options);
+            // A blown deadline left the report partial: discard it and
+            // skip the memo — a timeout must never pollute the cache.
+            ctx.check()?;
             let text = report.to_string();
             shared.cache.insert_result(memo_key, &text);
             Ok(coverage_payload(text, false, trace_cached))
@@ -145,6 +181,7 @@ pub(crate) fn execute(
         Request::Detects { test, geometry, fault } => {
             let t = resolve_test(test)?;
             let parsed = FaultKind::parse_spec(fault, geometry).map_err(usage)?;
+            ctx.check()?;
             let (_, trace, trace_cached) = cached_trace(shared, test, &t, geometry);
             let detected = trace.detect(parsed);
             Ok(vec![
@@ -157,6 +194,7 @@ pub(crate) fn execute(
         }
         Request::Synth { classes, max_elements, jobs, engine } => {
             let parsed = parse_classes(classes)?;
+            ctx.check()?;
             let class_tags: Vec<u64> =
                 parsed.iter().map(|c| c.label().bytes().map(u64::from).sum()).collect();
             let mut params = vec![*max_elements as u64, engine_tag(*engine)];
@@ -175,7 +213,11 @@ pub(crate) fn execute(
             };
             options.coverage.jobs = *jobs;
             options.coverage.engine = *engine;
+            options.coverage.cancel = ctx.cancel.clone();
             let text = synth_text(&options);
+            // A cancelled search returns a non-converged test: discard,
+            // never memoize.
+            ctx.check()?;
             shared.cache.insert_result(memo_key, &text);
             Ok(text_payload(text, false))
         }

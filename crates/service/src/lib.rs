@@ -23,6 +23,7 @@
 //! Std-only, like the rest of the workspace.
 
 pub mod cache;
+pub mod chaos;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
@@ -31,4 +32,5 @@ pub mod queue;
 mod exec;
 mod server;
 
+pub use chaos::ChaosConfig;
 pub use server::{Server, ServiceConfig, ServiceSummary};

@@ -109,6 +109,27 @@ struct KindStats {
     requests: u64,
     errors: u64,
     latency: Histogram,
+    /// Pure execution time (dequeue→result, no queue wait) — the drain-rate
+    /// basis of the load-derived `busy.retry_after_ms` hint.
+    exec: Histogram,
+}
+
+/// Worker-ledger counters: every dispatched job must end up answered
+/// (`dispatched == answered` once idle — the exactly-once invariant), and
+/// `recovered` counts the panicked jobs saved by the single re-dispatch.
+#[derive(Debug, Default)]
+struct JobCounters {
+    dispatched: u64,
+    answered: u64,
+    recovered: u64,
+}
+
+/// Chaos-injection counters (always present; all zero when chaos is off).
+#[derive(Debug, Default)]
+struct ChaosCounters {
+    panics: u64,
+    delays: u64,
+    drops: u64,
 }
 
 /// Per-class `[packed, sliced, full]` routing counters, rows in
@@ -132,6 +153,9 @@ struct Inner {
     trace_misses: u64,
     result_hits: u64,
     result_misses: u64,
+    jobs: JobCounters,
+    chaos: ChaosCounters,
+    timeouts: u64,
 }
 
 /// Shared metrics registry (one per server).
@@ -167,6 +191,61 @@ impl Metrics {
     /// Records a backpressure rejection (the request was never queued).
     pub fn record_rejected(&self) {
         self.inner.lock().expect("metrics lock").rejected_busy += 1;
+    }
+
+    /// Records pure execution time for `kind` (dequeue→result, excluding
+    /// queue wait) — the drain-rate signal behind the retry hint.
+    pub fn record_exec(&self, kind: &str, exec_us: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.per_kind[Self::kind_index(kind)].exec.record(exec_us);
+    }
+
+    /// The p50 *execution* time of `kind` in microseconds (0 when
+    /// unobserved).
+    #[must_use]
+    pub fn exec_p50_us(&self, kind: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner.per_kind[Self::kind_index(kind)].exec.quantile_us(0.5)
+    }
+
+    /// Records one job handed to a worker (re-dispatches count again — the
+    /// ledger tracks dispatch attempts).
+    pub fn record_job_dispatched(&self) {
+        self.inner.lock().expect("metrics lock").jobs.dispatched += 1;
+    }
+
+    /// Records one job whose terminal outcome was sent to its client.
+    pub fn record_job_answered(&self) {
+        self.inner.lock().expect("metrics lock").jobs.answered += 1;
+    }
+
+    /// Records a job that survived a worker panic via the single
+    /// re-dispatch and still answered.
+    pub fn record_job_recovered(&self) {
+        self.inner.lock().expect("metrics lock").jobs.recovered += 1;
+    }
+
+    /// Records a request that ended in a deadline timeout.
+    pub fn record_timeout(&self) {
+        self.inner.lock().expect("metrics lock").timeouts += 1;
+    }
+
+    /// Records one injected chaos event (`"panic"`, `"delay"` or
+    /// `"drop"`).
+    pub fn record_chaos(&self, kind: &str) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match kind {
+            "panic" => inner.chaos.panics += 1,
+            "delay" => inner.chaos.delays += 1,
+            "drop" => inner.chaos.drops += 1,
+            other => unreachable!("unknown chaos event `{other}`"),
+        }
+    }
+
+    /// Jobs recovered after a worker panic (for shutdown summaries).
+    #[must_use]
+    pub fn recovered_jobs(&self) -> u64 {
+        self.inner.lock().expect("metrics lock").jobs.recovered
     }
 
     /// Records one simulation job executed with `engine` (coverage and
@@ -254,6 +333,7 @@ impl Metrics {
                         ("requests", Json::num(row.requests as f64)),
                         ("errors", Json::num(row.errors as f64)),
                         ("latency", row.latency.to_json()),
+                        ("exec", row.exec.to_json()),
                     ]),
                 )
             })
@@ -281,6 +361,23 @@ impl Metrics {
                     ("result_hits", Json::num(inner.result_hits as f64)),
                     ("result_misses", Json::num(inner.result_misses as f64)),
                     ("result_hit_ratio", ratio(inner.result_hits, inner.result_misses)),
+                ]),
+            ),
+            (
+                "jobs",
+                Json::obj(vec![
+                    ("dispatched", Json::num(inner.jobs.dispatched as f64)),
+                    ("answered", Json::num(inner.jobs.answered as f64)),
+                    ("recovered_jobs", Json::num(inner.jobs.recovered as f64)),
+                    ("timeouts", Json::num(inner.timeouts as f64)),
+                ]),
+            ),
+            (
+                "chaos",
+                Json::obj(vec![
+                    ("injected_panics", Json::num(inner.chaos.panics as f64)),
+                    ("injected_delays", Json::num(inner.chaos.delays as f64)),
+                    ("injected_drops", Json::num(inner.chaos.drops as f64)),
                 ]),
             ),
             ("kinds", Json::Obj(kinds)),
@@ -406,6 +503,37 @@ mod tests {
         let routing = snap.get("routing").unwrap();
         assert_eq!(routing.get("total").unwrap().as_u64(), Some(0));
         assert!(matches!(routing.get("batchable_ratio"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn job_ledger_and_chaos_counters_surface_in_the_snapshot() {
+        let m = Metrics::new();
+        m.record_job_dispatched();
+        m.record_job_dispatched();
+        m.record_job_answered();
+        m.record_job_recovered();
+        m.record_timeout();
+        m.record_chaos("panic");
+        m.record_chaos("panic");
+        m.record_chaos("delay");
+        m.record_chaos("drop");
+        m.record_exec("coverage", 2000);
+        let cache = CacheStats { traces: 0, results: 0, bytes: 0, capacity_bytes: 0 };
+        let snap = m.snapshot(0, 64, cache);
+        let jobs = snap.get("jobs").unwrap();
+        assert_eq!(jobs.get("dispatched").unwrap().as_u64(), Some(2));
+        assert_eq!(jobs.get("answered").unwrap().as_u64(), Some(1));
+        assert_eq!(jobs.get("recovered_jobs").unwrap().as_u64(), Some(1));
+        assert_eq!(jobs.get("timeouts").unwrap().as_u64(), Some(1));
+        let chaos = snap.get("chaos").unwrap();
+        assert_eq!(chaos.get("injected_panics").unwrap().as_u64(), Some(2));
+        assert_eq!(chaos.get("injected_delays").unwrap().as_u64(), Some(1));
+        assert_eq!(chaos.get("injected_drops").unwrap().as_u64(), Some(1));
+        assert_eq!(m.recovered_jobs(), 1);
+        assert!(m.exec_p50_us("coverage") >= 2000);
+        assert_eq!(m.exec_p50_us("synth"), 0, "unobserved kinds report 0");
+        let cov = snap.get("kinds").unwrap().get("coverage").unwrap();
+        assert_eq!(cov.get("exec").unwrap().get("count").unwrap().as_u64(), Some(1));
     }
 
     #[test]

@@ -17,11 +17,20 @@
 //! byte-identical for every choice, only latency differs.
 //!
 //! An optional `id` member is echoed back verbatim in the response so
-//! clients may correlate. Success responses carry `"ok":true` plus
-//! kind-specific payload; failures carry `"ok":false` and an `error`
-//! object with a `class` (`usage`, `failed`, `busy`, `shutdown`) and
+//! clients may correlate — on errors too, whenever the id was parseable
+//! from the offending line. An optional `deadline_ms` member caps how long
+//! the server may spend on the request (absent → the server default, `0` →
+//! no deadline); a blown deadline cancels the simulation cooperatively and
+//! answers with a `timeout` error.
+//!
+//! Success responses carry `"ok":true` plus kind-specific payload;
+//! failures carry `"ok":false` and an `error` object with a `class`
+//! (`usage`, `failed`, `busy`, `shutdown`, `timeout`, `internal`) and
 //! `message`; `busy` adds `retry_after_ms` (explicit backpressure — the
-//! server never blocks a client on a full queue).
+//! server never blocks a client on a full queue), `timeout` adds
+//! `elapsed_ms`, and `internal` adds the `job_id` whose worker died twice
+//! (a job is re-dispatched once after a worker panic, then failed — never
+//! dropped, never double-answered).
 
 use mbist_march::SimEngine;
 use mbist_mem::MemGeometry;
@@ -92,11 +101,14 @@ impl Request {
     }
 }
 
-/// A request plus its correlation id.
+/// A request plus its correlation id and deadline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Echoed back verbatim in the response, if the client sent one.
     pub id: Option<Json>,
+    /// Per-request deadline in milliseconds: `None` = absent (the server
+    /// default applies), `Some(0)` = explicitly unlimited.
+    pub deadline_ms: Option<u64>,
     /// The decoded request.
     pub request: Request,
 }
@@ -116,6 +128,18 @@ pub enum ServiceError {
     },
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// The request's deadline elapsed before the result was ready; the
+    /// simulation was cancelled cooperatively.
+    Timeout {
+        /// Milliseconds actually spent before the cancellation took hold.
+        elapsed_ms: u64,
+    },
+    /// The job's worker panicked twice (once on dispatch, once on the
+    /// single re-dispatch); the request is failed, not dropped.
+    Internal {
+        /// Server-side job id, for correlating with daemon logs.
+        job_id: u64,
+    },
 }
 
 impl ServiceError {
@@ -127,6 +151,8 @@ impl ServiceError {
             ServiceError::Failed(_) => "failed",
             ServiceError::Busy { .. } => "busy",
             ServiceError::ShuttingDown => "shutdown",
+            ServiceError::Timeout { .. } => "timeout",
+            ServiceError::Internal { .. } => "internal",
         }
     }
 }
@@ -147,6 +173,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
         return Err(usage("request must be a JSON object"));
     }
     let id = value.get("id").cloned();
+    let deadline_ms = opt_u64(&value, "deadline_ms")?;
     let kind = value
         .get("kind")
         .and_then(Json::as_str)
@@ -194,7 +221,15 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
             )))
         }
     };
-    Ok(Envelope { id, request })
+    Ok(Envelope { id, deadline_ms, request })
+}
+
+/// Best-effort recovery of the `id` member from a line that failed
+/// [`parse_request`], so even malformed-request errors echo the
+/// correlation id whenever one was readable.
+#[must_use]
+pub fn recover_id(line: &str) -> Option<Json> {
+    Json::parse(line).ok()?.get("id").cloned()
 }
 
 fn required_str(value: &Json, field: &str) -> Result<String, ServiceError> {
@@ -274,6 +309,14 @@ pub fn error_response(id: Option<&Json>, error: &ServiceError) -> String {
             "job queue full; retry after the hinted back-off".to_string()
         }
         ServiceError::ShuttingDown => "server is draining; no new work accepted".into(),
+        ServiceError::Timeout { elapsed_ms } => {
+            error_members.push(("elapsed_ms".to_string(), Json::num(*elapsed_ms as f64)));
+            "deadline exceeded; simulation cancelled".to_string()
+        }
+        ServiceError::Internal { job_id } => {
+            error_members.push(("job_id".to_string(), Json::num(*job_id as f64)));
+            "worker failed twice on this job; giving up".to_string()
+        }
     };
     error_members.insert(1, ("message".to_string(), Json::str(message)));
     let mut members = Vec::new();
@@ -406,6 +449,55 @@ mod tests {
         let usage = error_response(None, &ServiceError::Usage("bad".into()));
         let v = Json::parse(&usage).unwrap();
         assert_eq!(v.get("error").unwrap().get("class").unwrap().as_str(), Some("usage"));
+    }
+
+    #[test]
+    fn deadline_is_parsed_and_optional() {
+        let absent = parse_request(r#"{"kind":"status"}"#).unwrap();
+        assert_eq!(absent.deadline_ms, None);
+        let capped = parse_request(
+            r#"{"kind":"coverage","test":"mats","words":8,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(capped.deadline_ms, Some(250));
+        let unlimited = parse_request(r#"{"kind":"status","deadline_ms":0}"#).unwrap();
+        assert_eq!(unlimited.deadline_ms, Some(0));
+        assert!(matches!(
+            parse_request(r#"{"kind":"status","deadline_ms":"soon"}"#),
+            Err(ServiceError::Usage(m)) if m.contains("deadline_ms")
+        ));
+    }
+
+    #[test]
+    fn timeout_and_internal_errors_carry_their_members() {
+        let timeout = error_response(
+            Some(&Json::Num(7.0)),
+            &ServiceError::Timeout { elapsed_ms: 512 },
+        );
+        let v = Json::parse(&timeout).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("class").unwrap().as_str(), Some("timeout"));
+        assert_eq!(err.get("elapsed_ms").unwrap().as_u64(), Some(512));
+
+        let internal = error_response(None, &ServiceError::Internal { job_id: 41 });
+        let v = Json::parse(&internal).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("class").unwrap().as_str(), Some("internal"));
+        assert_eq!(err.get("job_id").unwrap().as_u64(), Some(41));
+    }
+
+    #[test]
+    fn recover_id_salvages_ids_from_malformed_requests() {
+        // Valid JSON, invalid request: the id is recoverable.
+        assert_eq!(recover_id(r#"{"id":9,"kind":"frob"}"#), Some(Json::Num(9.0)));
+        assert_eq!(
+            recover_id(r#"{"id":"abc","words":"x"}"#),
+            Some(Json::Str("abc".into()))
+        );
+        // Unparseable line or no id: nothing to echo.
+        assert_eq!(recover_id("not json"), None);
+        assert_eq!(recover_id(r#"{"kind":"frob"}"#), None);
     }
 
     #[test]

@@ -6,8 +6,33 @@
 //! saturated) or submit a [`Job`] to the bounded queue. A fixed worker pool
 //! pops jobs, executes them against the shared trace cache and sends the
 //! response line back over a per-job channel. A full queue is answered with
-//! a structured `busy` error carrying a retry hint — the daemon sheds load
-//! explicitly instead of hanging clients.
+//! a structured `busy` error carrying a load-derived retry hint — the
+//! daemon sheds load explicitly instead of hanging clients.
+//!
+//! # Exactly-once accounting
+//!
+//! Every job carries a server-assigned `job_id` and an attempt counter. A
+//! worker that panics mid-job (however it panics — chaos injection or a
+//! real bug) re-dispatches the job exactly once; a second panic answers a
+//! structured `internal {job_id}` error. A job is therefore never dropped
+//! and never double-answered: the reply channel is consumed by exactly one
+//! terminal outcome (ok, usage/failed, busy, timeout, or internal).
+//!
+//! # Deadlines
+//!
+//! Each queued request resolves a deadline (its `deadline_ms`, or the
+//! server default) into a cooperative [`CancelToken`] threaded into the
+//! simulation inner loops; a blown deadline cancels the run at the next
+//! fault-chunk boundary and answers `timeout {elapsed_ms}`. Requests whose
+//! deadline expired while still queued are answered without executing at
+//! all.
+//!
+//! # Slow-loris defenses
+//!
+//! The read loop caps request lines at [`MAX_LINE_BYTES`], bounds how long
+//! a partial line may dribble in ([`PARTIAL_LINE_DEADLINE`]), rejects
+//! invalid UTF-8 with a structured error, and sets a write timeout so a
+//! non-reading client cannot wedge a connection thread.
 //!
 //! Graceful shutdown (triggered by a `shutdown` request or
 //! [`Server::shutdown`]) is ordered: set the flag → the acceptor stops
@@ -15,20 +40,23 @@
 //! queue is closed → workers drain what was admitted and exit → the final
 //! metrics snapshot is flushed into the [`ServiceSummary`].
 
-use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use mbist_march::CancelToken;
+
 use crate::cache::TraceCache;
-use crate::exec;
+use crate::chaos::{ChaosConfig, ChaosState};
+use crate::exec::{self, ExecCtx};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    error_response, ok_response, parse_request, Envelope, Request, ServiceError,
+    error_response, ok_response, parse_request, recover_id, Envelope, Request, ServiceError,
 };
 use crate::queue::{JobQueue, PushError};
 
@@ -41,19 +69,38 @@ pub struct ServiceConfig {
     pub cache_bytes: usize,
     /// Bounded job-queue depth; beyond it requests get `busy`.
     pub queue_depth: usize,
+    /// Default per-request deadline in milliseconds when the request
+    /// carries no `deadline_ms` (0 = no default deadline).
+    pub default_deadline_ms: u64,
+    /// Deterministic fault injection (all-off by default).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { workers: 0, cache_bytes: 64 << 20, queue_depth: 64 }
+        Self {
+            workers: 0,
+            cache_bytes: 64 << 20,
+            queue_depth: 64,
+            default_deadline_ms: 30_000,
+            chaos: ChaosConfig::disabled(),
+        }
     }
 }
 
-/// A queued unit of work: the decoded request plus its reply channel.
+/// A queued unit of work: the decoded request plus its reply channel and
+/// exactly-once bookkeeping.
 struct Job {
     envelope: Envelope,
     reply: mpsc::Sender<String>,
     enqueued: Instant,
+    /// Server-assigned id, reported in `internal` errors and daemon logs.
+    job_id: u64,
+    /// 0 on first dispatch; 1 after the single post-panic re-dispatch.
+    attempt: u8,
+    /// Resolved absolute deadline (request `deadline_ms` or the server
+    /// default); `None` = unlimited.
+    deadline: Option<Instant>,
 }
 
 /// State shared by the acceptor, connection threads and workers.
@@ -64,6 +111,9 @@ pub(crate) struct Shared {
     shutdown: AtomicBool,
     workers: usize,
     drained_at_close: AtomicUsize,
+    chaos: ChaosState,
+    default_deadline_ms: u64,
+    next_job_id: AtomicU64,
 }
 
 /// What the daemon reports after a graceful shutdown.
@@ -73,6 +123,8 @@ pub struct ServiceSummary {
     pub served: u64,
     /// Jobs still queued when shutdown began — all of them were drained.
     pub drained: usize,
+    /// Jobs that survived a worker panic via the single re-dispatch.
+    pub recovered_jobs: u64,
     /// The final metrics snapshot (same shape as a `status` response).
     pub metrics: Json,
 }
@@ -109,6 +161,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             workers,
             drained_at_close: AtomicUsize::new(0),
+            chaos: ChaosState::new(config.chaos),
+            default_deadline_ms: config.default_deadline_ms,
+            next_job_id: AtomicU64::new(1),
         });
         let worker_handles = (0..workers)
             .map(|i| {
@@ -154,6 +209,7 @@ impl Server {
         ServiceSummary {
             served: shared.metrics.total_requests(),
             drained: shared.drained_at_close.load(Ordering::SeqCst),
+            recovered_jobs: shared.metrics.recovered_jobs(),
             metrics: shared.metrics.snapshot(
                 shared.queue.len(),
                 shared.queue.capacity(),
@@ -165,6 +221,17 @@ impl Server {
 
 /// How often blocked accept/read calls re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(25);
+
+/// Hard cap on one request line; longer lines get a structured `usage`
+/// error and the connection closes (the framing is unrecoverable).
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How long a partial line may dribble in before the connection is judged
+/// a slow-loris and closed with a structured error.
+const PARTIAL_LINE_DEADLINE: Duration = Duration::from_secs(10);
+
+/// How long one reply write may block on a non-reading client.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
@@ -195,26 +262,104 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        let kind = job.envelope.request.kind();
-        let outcome =
-            catch_unwind(AssertUnwindSafe(|| exec::execute(&job.envelope.request, shared)));
-        let id = job.envelope.id.as_ref();
-        let (ok, line) = match outcome {
-            Ok(Ok(payload)) => (true, ok_response(id, kind, payload)),
-            Ok(Err(e)) => (false, error_response(id, &e)),
-            Err(_) => (
-                false,
-                error_response(
-                    id,
-                    &ServiceError::Failed("internal error (panic isolated)".into()),
-                ),
-            ),
-        };
-        let latency_us = elapsed_us(job.enqueued);
-        shared.metrics.record_request(kind, ok, latency_us);
-        // The connection may already be gone; dropping the reply is fine.
-        let _ = job.reply.send(line);
+        if let Some(retry) = attempt_job(job, shared) {
+            // First-attempt panic: re-dispatch exactly once. A full or
+            // closed queue cannot be allowed to drop the job, so those
+            // cases retry inline on this worker instead.
+            match shared.queue.try_push(retry) {
+                Ok(()) => {}
+                Err(PushError::Full(retry) | PushError::Closed(retry)) => {
+                    let settled = attempt_job(retry, shared);
+                    debug_assert!(settled.is_none(), "attempt 1 always settles");
+                }
+            }
+        }
     }
+}
+
+/// Runs one dispatch attempt of `job`. Returns `None` when a terminal
+/// outcome was sent, or `Some(job)` (attempt bumped) when the worker
+/// panicked on the first attempt and the job must be re-dispatched.
+fn attempt_job(job: Job, shared: &Arc<Shared>) -> Option<Job> {
+    let kind = job.envelope.request.kind();
+    shared.metrics.record_job_dispatched();
+
+    // A deadline blown while the job sat in the queue: answer the timeout
+    // without burning worker time on a result nobody is owed.
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        settle(
+            &job,
+            shared,
+            false,
+            error_response(
+                job.envelope.id.as_ref(),
+                &ServiceError::Timeout { elapsed_ms: elapsed_us(job.enqueued) / 1000 },
+            ),
+        );
+        shared.metrics.record_timeout();
+        return None;
+    }
+
+    if let Some(delay) = shared.chaos.roll_delay() {
+        shared.metrics.record_chaos("delay");
+        thread::sleep(delay);
+    }
+    // The roll and its counter update happen outside the unwind scope so an
+    // injected panic can never poison the metrics lock.
+    let inject_panic = shared.chaos.roll_panic();
+    if inject_panic {
+        shared.metrics.record_chaos("panic");
+    }
+
+    let cancel = job.deadline.map_or_else(CancelToken::none, CancelToken::at);
+    let ctx = ExecCtx { cancel: cancel.clone(), arrival: job.enqueued };
+    let exec_start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        assert!(!inject_panic, "injected chaos panic");
+        exec::execute(&job.envelope.request, shared, &ctx)
+    }));
+    let id = job.envelope.id.as_ref();
+    match outcome {
+        Ok(result) => {
+            shared.metrics.record_exec(kind, elapsed_us(exec_start));
+            let (ok, line) = match result {
+                Ok(payload) => (true, ok_response(id, kind, payload)),
+                Err(e) => {
+                    if matches!(e, ServiceError::Timeout { .. }) {
+                        shared.metrics.record_timeout();
+                    }
+                    (false, error_response(id, &e))
+                }
+            };
+            if job.attempt > 0 {
+                shared.metrics.record_job_recovered();
+            }
+            settle(&job, shared, ok, line);
+            None
+        }
+        Err(_) if job.attempt == 0 => Some(Job { attempt: 1, ..job }),
+        Err(_) => {
+            settle(
+                &job,
+                shared,
+                false,
+                error_response(id, &ServiceError::Internal { job_id: job.job_id }),
+            );
+            None
+        }
+    }
+}
+
+/// Sends the terminal outcome for a job and records its request metrics.
+/// The connection may already be gone; dropping the reply is fine.
+fn settle(job: &Job, shared: &Shared, ok: bool, line: String) {
+    shared.metrics.record_request(
+        job.envelope.request.kind(),
+        ok,
+        elapsed_us(job.enqueued),
+    );
+    shared.metrics.record_job_answered();
+    let _ = job.reply.send(line);
 }
 
 fn elapsed_us(since: Instant) -> u64 {
@@ -224,34 +369,81 @@ fn elapsed_us(since: Instant) -> u64 {
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut partial_since: Option<Instant> = None;
     loop {
-        // `read_line` keeps partial data in `line` across timeouts, so the
-        // retry below resumes mid-line; timeouts only exist so the thread
-        // notices shutdown.
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                let reply = handle_line(line.trim(), shared);
-                line.clear();
-                if let Some(mut reply) = reply {
-                    // One write per reply: a separate newline segment would
-                    // trip Nagle/delayed-ACK and add ~40 ms for clients that
-                    // did not disable delays.
-                    reply.push('\n');
-                    if writer.write_all(reply.as_bytes()).is_err() {
+        // Read raw bytes up to the cap: `read_line` would error out on
+        // invalid UTF-8 and buffer a newline-free flood without bound.
+        // Partial data stays in `buf` across timeouts, so retries resume
+        // mid-line; timeouts exist so the thread notices shutdown and
+        // stalled (slow-loris) senders.
+        let budget = (MAX_LINE_BYTES + 1 - buf.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', &mut buf) {
+            Ok(0) if buf.is_empty() => return, // clean EOF between requests
+            Ok(_) if buf.last() == Some(&b'\n') => {
+                partial_since = None;
+                let reply = match std::str::from_utf8(&buf) {
+                    Ok(text) => {
+                        let line = text.trim();
+                        if line.is_empty() {
+                            buf.clear();
+                            continue; // blank line: no response owed
+                        }
+                        if shared.chaos.config().enabled() && shared.chaos.roll_drop() {
+                            // Injected partition: the request was accepted
+                            // but the connection dies without a reply.
+                            shared.metrics.record_chaos("drop");
+                            return;
+                        }
+                        handle_line(line, shared)
+                    }
+                    Err(_) => Some(error_response(
+                        None,
+                        &ServiceError::Usage("request line is not valid UTF-8".into()),
+                    )),
+                };
+                buf.clear();
+                if let Some(reply) = reply {
+                    if !write_reply(&mut writer, reply) {
                         return;
                     }
                 }
+            }
+            Ok(0) | Ok(_) => {
+                // No newline: either the cap was hit or the client hit EOF
+                // mid-line. Both are unrecoverable framing; answer a
+                // structured error and close.
+                let message = if buf.len() > MAX_LINE_BYTES {
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes")
+                } else {
+                    "connection closed mid-request (premature EOF)".to_string()
+                };
+                let line = error_response(None, &ServiceError::Usage(message));
+                let _ = write_reply(&mut writer, line);
+                return;
             }
             Err(e)
                 if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
             {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
+                }
+                if buf.is_empty() {
+                    partial_since = None;
+                } else {
+                    let since = *partial_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= PARTIAL_LINE_DEADLINE {
+                        let line = error_response(
+                            None,
+                            &ServiceError::Usage("request line stalled; closing".into()),
+                        );
+                        let _ = write_reply(&mut writer, line);
+                        return;
+                    }
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -260,15 +452,22 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Processes one request line; `None` for blank lines (no response owed).
+/// One framed write per reply: a separate newline segment would trip
+/// Nagle/delayed-ACK and add ~40 ms for clients that did not disable
+/// delays. Returns `false` when the connection is unusable.
+fn write_reply(writer: &mut TcpStream, mut reply: String) -> bool {
+    reply.push('\n');
+    writer.write_all(reply.as_bytes()).is_ok()
+}
+
+/// Processes one non-blank request line.
 fn handle_line(line: &str, shared: &Arc<Shared>) -> Option<String> {
-    if line.is_empty() {
-        return None;
-    }
     let arrival = Instant::now();
     let envelope = match parse_request(line) {
         Ok(envelope) => envelope,
-        Err(e) => return Some(error_response(None, &e)),
+        // Echo the id even for malformed requests whenever the line was
+        // well-formed enough to carry one.
+        Err(e) => return Some(error_response(recover_id(line).as_ref(), &e)),
     };
     let id = envelope.id.clone();
     let kind = envelope.request.kind();
@@ -299,11 +498,21 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Option<String> {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return Some(error_response(id.as_ref(), &ServiceError::ShuttingDown));
             }
+            let deadline_ms = envelope.deadline_ms.unwrap_or(shared.default_deadline_ms);
+            let deadline =
+                (deadline_ms > 0).then(|| arrival + Duration::from_millis(deadline_ms));
             let (tx, rx) = mpsc::channel();
             let job = Job {
-                envelope: Envelope { id: id.clone(), request },
+                envelope: Envelope {
+                    id: id.clone(),
+                    deadline_ms: envelope.deadline_ms,
+                    request,
+                },
                 reply: tx,
                 enqueued: arrival,
+                job_id: shared.next_job_id.fetch_add(1, Ordering::Relaxed),
+                attempt: 0,
+                deadline,
             };
             match shared.queue.try_push(job) {
                 Ok(()) => match rx.recv() {
@@ -329,11 +538,55 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Option<String> {
     }
 }
 
-/// Suggested back-off when shedding: roughly the time for the pool to chew
-/// through the backlog ahead of the client, floored at 25 ms.
+/// Suggested back-off when shedding load, derived from the current drain
+/// rate: the median execution time of this kind times the queue slots
+/// ahead of the client, spread over the worker pool.
 fn retry_hint_ms(shared: &Shared, kind: &str) -> u64 {
-    let p50_ms = shared.metrics.p50_us(kind) / 1000;
-    let backlog = (shared.queue.len() as u64).max(1);
-    let workers = shared.workers as u64;
-    (p50_ms * backlog.div_ceil(workers)).max(25)
+    retry_hint_from(shared.metrics.exec_p50_us(kind), shared.queue.len(), shared.workers)
+}
+
+/// The pure hint formula, unit-testable without a server: with no
+/// execution data yet a nominal 25 ms per job applies; the result is
+/// (weakly) monotone in the backlog and clamped to [1 ms, 30 s].
+fn retry_hint_from(exec_p50_us: u64, backlog: usize, workers: usize) -> u64 {
+    const NOMINAL_JOB_US: u64 = 25_000;
+    let per_job_us = if exec_p50_us == 0 { NOMINAL_JOB_US } else { exec_p50_us };
+    let slots_ahead = (backlog as u64).saturating_add(1).div_ceil(workers.max(1) as u64);
+    per_job_us.saturating_mul(slots_ahead).div_ceil(1000).clamp(1, 30_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hint_is_monotone_in_queue_occupancy() {
+        for workers in [1usize, 2, 4, 7] {
+            for p50 in [0u64, 500, 25_000, 2_000_000] {
+                let mut last = 0;
+                for backlog in 0..200 {
+                    let hint = retry_hint_from(p50, backlog, workers);
+                    assert!(
+                        hint >= last,
+                        "hint regressed: p50={p50} workers={workers} backlog={backlog}: \
+                         {hint} < {last}"
+                    );
+                    last = hint;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retry_hint_scales_with_drain_rate_and_stays_clamped() {
+        // No data yet: the nominal per-job cost keeps the old 25 ms floor.
+        assert_eq!(retry_hint_from(0, 0, 4), 25);
+        // Fast jobs, shallow queue: the hint drops well below 25 ms but
+        // never to zero.
+        assert_eq!(retry_hint_from(200, 0, 4), 1);
+        // Slow jobs and a deep backlog saturate at the 30 s ceiling.
+        assert_eq!(retry_hint_from(2_000_000, 1000, 2), 30_000);
+        // More workers drain faster: the hint must not increase.
+        assert!(retry_hint_from(50_000, 64, 8) <= retry_hint_from(50_000, 64, 2));
+    }
 }

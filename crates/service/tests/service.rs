@@ -141,7 +141,9 @@ fn saturated_queue_returns_busy_instead_of_hanging() {
                         assert_eq!(err.get("class").and_then(Json::as_str), Some("busy"));
                         let hint =
                             err.get("retry_after_ms").and_then(Json::as_u64).expect("hint");
-                        assert!(hint >= 25, "retry hint {hint} below floor");
+                        // Load-derived: no fixed floor beyond the 1 ms
+                        // clamp, but it must always be a usable back-off.
+                        assert!((1..=30_000).contains(&hint), "retry hint {hint}");
                         Some(())
                     }
                     None => panic!("malformed reply {reply}"),

@@ -113,4 +113,35 @@ wait "$svc_pid" || { echo "daemon exited non-zero"; cat "$svc_log"; exit 1; }
 grep -q "drained" "$svc_log" || {
     echo "daemon did not report a clean drain"; cat "$svc_log"; exit 1; }
 
+echo "==> chaos smoke (fault-injecting daemon + resilient loadgen)"
+chaos_log=/tmp/mbist_chaos_ci.log
+cargo run -q --release -p mbist-cli -- serve --addr 127.0.0.1:0 --workers 2 \
+    --chaos seed=7,panic=0.05,delay=0.05,drop=0.02 > "$chaos_log" 2>&1 &
+chaos_pid=$!
+i=0
+until grep -q "listening on" "$chaos_log"; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "chaos daemon never came up"; cat "$chaos_log"; exit 1; }
+    sleep 0.1
+done
+grep -q "chaos injection armed" "$chaos_log" || {
+    echo "chaos daemon did not arm injection"; cat "$chaos_log"; exit 1; }
+chaos_addr=$(sed -n 's/^mbist-service listening on \([0-9.:]*\) .*/\1/p' "$chaos_log")
+chaos_out=$(cargo run -q --release -p mbist-bench --bin loadgen -- \
+    --quick --chaos --addr "$chaos_addr" --shutdown --out /tmp/BENCH_chaos_ci.json)
+echo "$chaos_out"
+# under injected faults the retrying client must still see >= 0.99
+# availability...
+chaos_avail=$(echo "$chaos_out" | sed -n 's/.*availability \([0-9.]*\),.*/\1/p' | head -1)
+[ -n "$chaos_avail" ] || { echo "chaos smoke missing availability"; exit 1; }
+awk -v a="$chaos_avail" 'BEGIN { exit (a >= 0.99) ? 0 : 1 }' || {
+    echo "chaos availability $chaos_avail below the 0.99 floor"; exit 1; }
+# ...and zero lost responses: every accepted request got exactly one
+# terminal outcome
+echo "$chaos_out" | grep -q "lost 0," || {
+    echo "chaos smoke lost responses"; exit 1; }
+wait "$chaos_pid" || { echo "chaos daemon exited non-zero"; cat "$chaos_log"; exit 1; }
+grep -q "drained" "$chaos_log" || {
+    echo "chaos daemon did not report a clean drain"; cat "$chaos_log"; exit 1; }
+
 echo "CI OK"
