@@ -1,15 +1,23 @@
 //! Std-only load generator for the mbist-service daemon.
 //!
-//! Four measurements against in-process servers on ephemeral ports:
+//! Measurements against in-process servers on ephemeral ports:
 //!
 //! - **cold vs warm** — median `detects` latency on March C 1024×1 with the
 //!   cache disabled (every request pays the trace compile) vs a warm trace
 //!   cache (the acceptance criterion: warm must be ≥ 5× faster);
 //! - **closed loop** — N clients each issuing requests back-to-back over
 //!   one connection: sustained requests/s plus client-side p50/p95;
-//! - **open loop** — a burst of concurrent slow requests against a
-//!   deliberately tiny worker pool and queue: counts `ok` vs structured
-//!   `busy` rejections, proving saturation sheds load instead of hanging;
+//! - **rate sweep** — open-loop: requests sent on a fixed schedule
+//!   regardless of replies, latency measured from the *scheduled* send
+//!   time (no coordinated omission), showing where the daemon saturates;
+//! - **shard curve** — the headline: 1/2/4 in-process shards driven by
+//!   placement-aware pipelined clients (the router's own [`HashRing`] +
+//!   [`placement_key_of`] decide which shard owns each geometry), in both
+//!   line-JSON and binary framing, plus via-router points that price the
+//!   extra hop;
+//! - **open loop burst** — concurrent slow requests against a deliberately
+//!   tiny worker pool and queue: counts `ok` vs structured `busy`
+//!   rejections, proving saturation sheds load instead of hanging;
 //! - **agreement** — service responses compared byte-for-byte against the
 //!   offline CLI (`agreement OK` lines that CI greps).
 //!
@@ -25,28 +33,97 @@
 //! the JSON path (default `BENCH_service.json`, or `BENCH_chaos.json` with
 //! `--chaos`). With `--addr HOST:PORT` the generator instead drives an
 //! already-running daemon (agreement check plus a short closed-loop burst;
-//! add `--shutdown` to stop the daemon afterwards) — the mode the CI
-//! service smoke test uses; `--chaos --addr` drives a chaos-armed external
-//! daemon through the resilient client and prints the availability line
-//! the CI chaos smoke greps.
+//! add `--shutdown` to stop the daemon afterwards, `--protocol binary` to
+//! speak the length-prefixed framing instead of line JSON) — the mode the
+//! CI service smoke test uses; `--chaos --addr` drives a chaos-armed
+//! external daemon through the resilient client and prints the
+//! availability line the CI chaos smoke greps.
 //!
 //! No external crates: timing via `std::time::Instant`, JSON by hand on
 //! the way out and via `mbist_service::json` on the way in.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::TcpStream;
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use std::{env, fs, thread};
 
-use mbist_service::json::Json;
-use mbist_service::{ChaosConfig, Server, ServiceConfig};
+use mbist_service::binary;
+use mbist_service::json::{escape, Json};
+use mbist_service::protocol::parse_request_value;
+use mbist_service::router::{placement_key_of, HashRing};
+use mbist_service::{ChaosConfig, Router, RouterConfig, Server, ServiceConfig};
+
+/// Which framing a connection speaks; the daemon auto-detects per message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wire {
+    Json,
+    Binary,
+}
+
+impl Wire {
+    fn label(self) -> &'static str {
+        match self {
+            Wire::Json => "json",
+            Wire::Binary => "binary",
+        }
+    }
+}
+
+/// Pre-encodes one request line in `wire` framing. The JSON newline is
+/// framed into a single buffer: a trailing-byte second write would hit
+/// the Nagle/delayed-ACK interaction and cost ~40 ms per request.
+fn encode_request(wire: Wire, line: &str) -> Vec<u8> {
+    match wire {
+        Wire::Json => {
+            let mut bytes = Vec::with_capacity(line.len() + 1);
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.push(b'\n');
+            bytes
+        }
+        Wire::Binary => binary::encode_frame(&Json::parse(line).expect("request is JSON")),
+    }
+}
+
+/// Reads one reply in `wire` framing.
+fn read_reply(wire: Wire, reader: &mut BufReader<TcpStream>) -> io::Result<Json> {
+    match wire {
+        Wire::Json => {
+            let mut reply = String::new();
+            if reader.read_line(&mut reply)? == 0 {
+                return Err(io::Error::new(ErrorKind::UnexpectedEof, "connection dropped"));
+            }
+            Json::parse(reply.trim()).map_err(|e| io::Error::new(ErrorKind::InvalidData, e))
+        }
+        Wire::Binary => {
+            let mut frame = vec![0u8; binary::HEADER_BYTES];
+            reader.read_exact(&mut frame)?;
+            if frame[0] != binary::MAGIC {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    "reply is not binary-framed",
+                ));
+            }
+            let len = u32::from_le_bytes([frame[2], frame[3], frame[4], frame[5]]) as usize;
+            frame.resize(binary::HEADER_BYTES + len, 0);
+            reader.read_exact(&mut frame[binary::HEADER_BYTES..])?;
+            let (value, _) = binary::decode_frame(&frame)
+                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?
+                .ok_or_else(|| {
+                    io::Error::new(ErrorKind::InvalidData, "truncated reply frame")
+                })?;
+            Ok(value)
+        }
+    }
+}
 
 /// One client connection with serial request/reply and per-request timing.
 struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    wire: Wire,
 }
 
 impl Client {
@@ -55,6 +132,10 @@ impl Client {
     }
 
     fn try_connect(addr: &str) -> io::Result<Client> {
+        Client::connect_wire(addr, Wire::Json)
+    }
+
+    fn connect_wire(addr: &str, wire: Wire) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         // A daemon that truly loses a job would otherwise hang the client
@@ -62,7 +143,7 @@ impl Client {
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         stream.set_write_timeout(Some(Duration::from_secs(10)))?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { stream, reader })
+        Ok(Client { stream, reader, wire })
     }
 
     /// Fallible [`Client::ask`]: any transport failure (including EOF,
@@ -70,34 +151,17 @@ impl Client {
     /// panic, so the resilient client can reconnect and retry.
     fn try_ask(&mut self, line: &str) -> io::Result<(Json, u64)> {
         let start = Instant::now();
-        let mut framed = String::with_capacity(line.len() + 1);
-        framed.push_str(line);
-        framed.push('\n');
-        self.stream.write_all(framed.as_bytes())?;
-        let mut reply = String::new();
-        if self.reader.read_line(&mut reply)? == 0 {
-            return Err(io::Error::new(ErrorKind::UnexpectedEof, "connection dropped"));
-        }
+        let framed = encode_request(self.wire, line);
+        self.stream.write_all(&framed)?;
+        let parsed = read_reply(self.wire, &mut self.reader)?;
         let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let parsed = Json::parse(reply.trim())
-            .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?;
         Ok((parsed, micros))
     }
 
     /// Sends one request line, returns the parsed reply and the
-    /// round-trip latency in microseconds. The newline is framed into a
-    /// single write: a trailing-byte second segment would hit the
-    /// Nagle/delayed-ACK interaction and cost ~40 ms per request.
+    /// round-trip latency in microseconds.
     fn ask(&mut self, line: &str) -> (Json, u64) {
-        let start = Instant::now();
-        let mut framed = String::with_capacity(line.len() + 1);
-        framed.push_str(line);
-        framed.push('\n');
-        self.stream.write_all(framed.as_bytes()).expect("send request");
-        let mut reply = String::new();
-        self.reader.read_line(&mut reply).expect("read reply");
-        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        (Json::parse(reply.trim()).expect("reply is JSON"), micros)
+        self.try_ask(line).expect("request round-trip")
     }
 }
 
@@ -180,13 +244,20 @@ struct ClosedLoop {
 
 /// `clients` threads, each issuing `per_client` back-to-back requests over
 /// its own connection against `addr`.
-fn closed_loop(addr: &str, words: u64, clients: usize, per_client: usize) -> ClosedLoop {
+fn closed_loop(
+    addr: &str,
+    words: u64,
+    clients: usize,
+    per_client: usize,
+    wire: Wire,
+) -> ClosedLoop {
     let start = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let addr = addr.to_string();
             thread::spawn(move || {
-                let mut client = Client::connect(&addr);
+                let mut client =
+                    Client::connect_wire(&addr, wire).expect("connect to service");
                 let mut lat = Vec::with_capacity(per_client);
                 for i in 0..per_client {
                     let fault = (c * 131 + i * 7) as u64 % words;
@@ -273,8 +344,10 @@ fn open_loop_burst(burst: usize, words: u64) -> (usize, usize) {
 
 /// Byte-identity of service responses vs the offline CLI; prints the
 /// `agreement OK` lines CI greps and returns them for the JSON report.
-fn agreement_check(addr: &str) -> Vec<String> {
-    let mut client = Client::connect(addr);
+/// Over the binary wire the decoded reply's `text` payload must still
+/// match the CLI byte-for-byte — framing never changes content.
+fn agreement_check(addr: &str, wire: Wire) -> Vec<String> {
+    let mut client = Client::connect_wire(addr, wire).expect("connect to service");
     let mut lines = Vec::new();
     let cases: [(&str, String, Vec<&str>); 3] = [
         (
@@ -300,8 +373,314 @@ fn agreement_check(addr: &str) -> Vec<String> {
     lines
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+// ---------------------------------------------------------------------------
+// Sharded pipelined closed loop (the throughput headline)
+// ---------------------------------------------------------------------------
+
+/// In-flight requests per pipelined connection. The reactor releases
+/// replies in request order, so a client can keep a window of requests
+/// outstanding and amortize per-message syscalls across the batch.
+const PIPELINE_WINDOW: usize = 32;
+
+/// Virtual nodes per shard — must match [`RouterConfig::default`] so the
+/// loadgen's placement agrees with a real router's.
+const VNODES: usize = 64;
+
+/// One measured point of the shard-scaling curve.
+struct ShardPoint {
+    shards: usize,
+    wire: Wire,
+    /// `direct` = placement-aware clients, one connection per shard;
+    /// `router` = everything through the fronting router.
+    path: &'static str,
+    requests: usize,
+    wall_ms: u64,
+    aggregate_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+}
+
+/// The shard workload: `geoms` distinct coverage geometries with their
+/// placement keys — computed with the router's own hash so the grouping
+/// below is exactly where a router would send them.
+fn shard_workload(geoms: usize) -> Vec<(String, u64)> {
+    (0..geoms as u64)
+        .map(|g| {
+            let line =
+                format!(r#"{{"kind":"coverage","test":"march-c","words":{}}}"#, 192 + g);
+            let envelope = parse_request_value(&Json::parse(&line).expect("workload JSON"))
+                .expect("workload is a valid request");
+            (line, placement_key_of(&envelope.request))
+        })
+        .collect()
+}
+
+/// Drives `total` pre-encoded requests over one connection with up to
+/// [`PIPELINE_WINDOW`] in flight, round-robin over `requests`. Returns
+/// per-request latencies in µs, stamped from each batch's send — the
+/// in-window queueing delay is part of what a pipelining client observes.
+fn pipelined_worker(
+    addr: &str,
+    wire: Wire,
+    requests: &[Vec<u8>],
+    total: usize,
+) -> Vec<u64> {
+    let stream = TcpStream::connect(addr).expect("connect for pipeline");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+    let mut lat = Vec::with_capacity(total);
+    let mut sent = 0usize;
+    let mut batch = Vec::new();
+    while sent < total {
+        let window = PIPELINE_WINDOW.min(total - sent);
+        batch.clear();
+        for i in 0..window {
+            batch.extend_from_slice(&requests[(sent + i) % requests.len()]);
+        }
+        let t0 = Instant::now();
+        stream.write_all(&batch).expect("send pipeline batch");
+        for _ in 0..window {
+            let reply = read_reply(wire, &mut reader).expect("pipelined reply");
+            assert_ok(&reply, "pipelined loop");
+            lat.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+        sent += window;
+    }
+    lat
+}
+
+/// Runs one shard-curve point: `n` fresh in-process daemons, the workload
+/// placement-grouped by the router's ring. `via_router` fronts the fleet
+/// with a real [`Router`] and sends everything through it instead of
+/// connecting to the owning shard directly.
+fn shard_curve_point(
+    n: usize,
+    wire: Wire,
+    via_router: bool,
+    geoms: usize,
+    total: usize,
+) -> ShardPoint {
+    let servers: Vec<Server> = (0..n)
+        .map(|_| {
+            Server::start("127.0.0.1:0", ServiceConfig::default()).expect("bind shard")
+        })
+        .collect();
+    let shard_addrs: Vec<String> =
+        servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let router = if via_router {
+        let shards = servers.iter().map(Server::local_addr).collect();
+        Some(
+            Router::start(
+                "127.0.0.1:0",
+                RouterConfig { shards, ..RouterConfig::default() },
+            )
+            .expect("start router"),
+        )
+    } else {
+        None
+    };
+    let router_addr = router.as_ref().map(|r| r.local_addr().to_string());
+
+    // Group the workload by ring placement; a shard the ring assigns
+    // nothing to simply idles (possible only at tiny geometry counts).
+    let ring = HashRing::new(n, VNODES);
+    let workload = shard_workload(geoms);
+    let mut groups: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+    for (line, key) in &workload {
+        groups[ring.place(*key)].push(encode_request(wire, line));
+    }
+    // Warm every geometry through its own endpoint so the timed loop
+    // measures the steady hot-cache state.
+    for (line, key) in &workload {
+        let endpoint = router_addr.as_deref().unwrap_or(&shard_addrs[ring.place(*key)]);
+        let mut warm = Client::connect(endpoint);
+        let (reply, _) = warm.ask(line);
+        assert_ok(&reply, "shard warm-up");
+    }
+
+    // One pipelined client per non-empty shard group, started together.
+    let plans: Vec<(String, Vec<Vec<u8>>)> = groups
+        .into_iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_empty())
+        .map(|(shard, g)| {
+            let endpoint =
+                router_addr.clone().unwrap_or_else(|| shard_addrs[shard].clone());
+            (endpoint, g)
+        })
+        .collect();
+    let per_client = total / plans.len().max(1);
+    let start = Instant::now();
+    let handles: Vec<_> = plans
+        .into_iter()
+        .map(|(endpoint, requests)| {
+            thread::spawn(move || pipelined_worker(&endpoint, wire, &requests, per_client))
+        })
+        .collect();
+    let mut lat: Vec<u64> =
+        handles.into_iter().flat_map(|h| h.join().expect("pipelined client")).collect();
+    let wall = start.elapsed();
+    lat.sort_unstable();
+    let requests = lat.len();
+
+    if let Some(router) = router {
+        // The router's shutdown broadcast drains every shard for us.
+        router.shutdown();
+        let _ = router.join();
+    } else {
+        for s in &servers {
+            s.shutdown();
+        }
+    }
+    for s in servers {
+        let _ = s.join();
+    }
+
+    ShardPoint {
+        shards: n,
+        wire,
+        path: if via_router { "router" } else { "direct" },
+        requests,
+        wall_ms: u64::try_from(wall.as_millis()).unwrap_or(u64::MAX),
+        aggregate_rps: requests as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: percentile(&lat, 0.5),
+        p95_us: percentile(&lat, 0.95),
+    }
+}
+
+fn print_shard_point(p: &ShardPoint) {
+    println!(
+        "shard curve ({} shard(s), {}, {}): {} requests in {} ms — {:.0} req/s aggregate, \
+         p50 {} us, p95 {} us",
+        p.shards,
+        p.wire.label(),
+        p.path,
+        p.requests,
+        p.wall_ms,
+        p.aggregate_rps,
+        p.p50_us,
+        p.p95_us,
+    );
+}
+
+/// The latency-vs-shard-count curve: direct placement-aware clients in
+/// both framings at every shard count, plus a via-router point pricing
+/// the extra hop.
+fn shard_curve(quick: bool) -> Vec<ShardPoint> {
+    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let geoms = 48;
+    let (direct_total, router_total) = if quick { (4_000, 1_000) } else { (24_000, 6_000) };
+    let mut points = Vec::new();
+    for &n in shard_counts {
+        for wire in [Wire::Json, Wire::Binary] {
+            points.push(shard_curve_point(n, wire, false, geoms, direct_total));
+            print_shard_point(points.last().expect("point just pushed"));
+        }
+        points.push(shard_curve_point(n, Wire::Binary, true, geoms, router_total));
+        print_shard_point(points.last().expect("point just pushed"));
+    }
+    points
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop rate sweep
+// ---------------------------------------------------------------------------
+
+/// One offered-rate point: what was scheduled, what came back, and the
+/// latency measured from each request's *scheduled* send time (so queueing
+/// delay under saturation is counted, not omitted).
+struct RatePoint {
+    offered_rps: u64,
+    achieved_rps: f64,
+    sent: usize,
+    received: usize,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Open-loop driver: a writer thread pushes requests on a fixed schedule
+/// (batching whatever is due), a reader drains replies and matches each to
+/// its scheduled instant via an in-order channel.
+fn open_loop_rate(addr: &str, wire: Wire, rate: u64, duration: Duration) -> RatePoint {
+    let line = r#"{"kind":"coverage","test":"march-c","words":160}"#;
+    let mut warm = Client::connect(addr);
+    let (reply, _) = warm.ask(line);
+    assert_ok(&reply, "rate warm-up");
+    drop(warm);
+
+    let bytes = encode_request(wire, line);
+    let stream = TcpStream::connect(addr).expect("connect for rate sweep");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let (tx, rx) = mpsc::channel::<Instant>();
+    let start = Instant::now();
+    let sender = thread::spawn(move || {
+        let mut sent = 0usize;
+        let mut batch = Vec::new();
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= duration {
+                break;
+            }
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let due = (elapsed.as_secs_f64() * rate as f64) as usize;
+            if due > sent {
+                batch.clear();
+                for i in sent..due {
+                    // The stamp is when request i *should* leave, not when
+                    // the writer got scheduled — open-loop latency.
+                    let sched = start + Duration::from_secs_f64(i as f64 / rate as f64);
+                    let _ = tx.send(sched);
+                    batch.extend_from_slice(&bytes);
+                }
+                writer.write_all(&batch).expect("open-loop send");
+                sent = due;
+            } else {
+                thread::sleep(Duration::from_micros(200));
+            }
+        }
+        sent
+    });
+
+    let mut lat = Vec::new();
+    while let Ok(sched) = rx.recv() {
+        let reply = read_reply(wire, &mut reader).expect("open-loop reply");
+        assert_ok(&reply, "rate sweep");
+        let us = Instant::now().saturating_duration_since(sched).as_micros();
+        lat.push(u64::try_from(us).unwrap_or(u64::MAX));
+    }
+    let wall = start.elapsed();
+    let sent = sender.join().expect("open-loop sender");
+    let received = lat.len();
+    lat.sort_unstable();
+    RatePoint {
+        offered_rps: rate,
+        achieved_rps: received as f64 / wall.as_secs_f64().max(1e-9),
+        sent,
+        received,
+        p50_us: percentile(&lat, 0.5),
+        p99_us: percentile(&lat, 0.99),
+    }
+}
+
+fn rate_sweep(addr: &str, quick: bool) -> Vec<RatePoint> {
+    let rates: &[u64] =
+        if quick { &[10_000, 40_000] } else { &[10_000, 25_000, 50_000, 100_000] };
+    let duration = Duration::from_millis(if quick { 250 } else { 500 });
+    rates
+        .iter()
+        .map(|&rate| {
+            let p = open_loop_rate(addr, Wire::Json, rate, duration);
+            println!(
+                "rate sweep (offered {} req/s): achieved {:.0} req/s ({} sent, {} answered), \
+                 p50 {} us, p99 {} us",
+                p.offered_rps, p.achieved_rps, p.sent, p.received, p.p50_us, p.p99_us,
+            );
+            p
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -838,12 +1217,18 @@ fn main() {
         return;
     }
 
+    let wire = match flag("--protocol").as_deref() {
+        None | Some("json") => Wire::Json,
+        Some("binary") => Wire::Binary,
+        Some(other) => panic!("unknown --protocol {other} (expected json or binary)"),
+    };
+
     if let Some(addr) = external {
         // Drive an already-running daemon (the CI smoke path): determinism
         // agreement plus a short closed-loop burst, optional shutdown.
-        println!("loadgen against external daemon {addr}");
-        let agreement = agreement_check(&addr);
-        let cl = closed_loop(&addr, 1024, 2, if quick { 10 } else { 50 });
+        println!("loadgen against external daemon {addr} ({} protocol)", wire.label());
+        let agreement = agreement_check(&addr, wire);
+        let cl = closed_loop(&addr, 1024, 2, if quick { 10 } else { 50 }, wire);
         println!(
             "closed loop: {} requests in {} ms ({:.0} req/s, p50 {} us, p95 {} us, \
              trace hit ratio {:.3})",
@@ -855,17 +1240,19 @@ fn main() {
             cl.trace_hit_ratio
         );
         if args.iter().any(|a| a == "--shutdown") {
-            let (reply, _) = Client::connect(&addr).ask(r#"{"kind":"shutdown"}"#);
+            let mut bye = Client::connect_wire(&addr, wire).expect("connect to service");
+            let (reply, _) = bye.ask(r#"{"kind":"shutdown"}"#);
             assert_ok(&reply, "shutdown");
             println!("shutdown requested: daemon draining");
         }
         let mut json = String::new();
         json.push_str("{\n");
         let _ = writeln!(json, "  \"mode\": \"external\",");
+        let _ = writeln!(json, "  \"protocol\": \"{}\",", wire.label());
         let _ = writeln!(json, "  \"requests_per_sec\": {:.1},", cl.requests_per_sec);
         let _ = writeln!(json, "  \"trace_hit_ratio\": {:.4},", cl.trace_hit_ratio);
         let agreement_json: Vec<String> =
-            agreement.iter().map(|l| format!("\"{}\"", json_escape(l))).collect();
+            agreement.iter().map(|l| format!("\"{}\"", escape(l))).collect();
         let _ = writeln!(json, "  \"agreement\": [{}]", agreement_json.join(", "));
         json.push_str("}\n");
         fs::write(&out_path, json).expect("write benchmark JSON");
@@ -889,7 +1276,7 @@ fn main() {
     // 2. Closed-loop sustained throughput against a warm full-size pool.
     let server = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("bind");
     let addr = server.local_addr().to_string();
-    let cl = closed_loop(&addr, 1024, clients, per_client);
+    let cl = closed_loop(&addr, 1024, clients, per_client, Wire::Json);
     println!(
         "closed loop ({} clients x {} requests): {} ms wall, {:.0} req/s, \
          p50 {} us, p95 {} us, trace hit ratio {:.3}",
@@ -904,7 +1291,11 @@ fn main() {
 
     // 3. Determinism agreement against the offline CLI, on the same warm
     //    server the throughput run just exercised.
-    let agreement = agreement_check(&addr);
+    let agreement = agreement_check(&addr, Wire::Json);
+
+    // 4. Open-loop rate sweep on the same warm server: where does one
+    //    daemon saturate, and what happens to tail latency past that?
+    let rates = rate_sweep(&addr, quick);
     server.shutdown();
     let summary = server.join();
     println!(
@@ -912,7 +1303,29 @@ fn main() {
         summary.served, summary.drained
     );
 
-    // 4. Open-loop burst against a deliberately saturated pool.
+    // 5. The latency-vs-shard-count curve and its headline aggregate.
+    let curve = shard_curve(quick);
+    // The headline is the widest fleet's best direct point — the number
+    // the acceptance criterion names ("aggregate at 4 shards").
+    let max_shards = curve.iter().map(|p| p.shards).max().expect("curve has points");
+    let headline = curve
+        .iter()
+        .filter(|p| p.path == "direct" && p.shards == max_shards)
+        .max_by(|a, b| a.aggregate_rps.total_cmp(&b.aggregate_rps))
+        .expect("curve has points");
+    let baseline_rps = 14_285.7;
+    println!(
+        "sharded closed loop headline: {} shard(s), {} wire, placement-aware pipelined \
+         clients — {:.0} req/s aggregate ({:.1}x the {:.0} req/s thread-per-connection \
+         baseline)",
+        headline.shards,
+        headline.wire.label(),
+        headline.aggregate_rps,
+        headline.aggregate_rps / baseline_rps,
+        baseline_rps,
+    );
+
+    // 6. Open-loop burst against a deliberately saturated pool.
     let (oks, busys) = open_loop_burst(burst, 512);
     println!(
         "open loop burst ({burst} concurrent coverage requests, 1 worker, queue 2): \
@@ -939,13 +1352,66 @@ fn main() {
     let _ = writeln!(json, "    \"p95_us\": {},", cl.p95_us);
     let _ = writeln!(json, "    \"trace_hit_ratio\": {:.4}", cl.trace_hit_ratio);
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"rate_sweep\": {{");
+    let _ = writeln!(json, "    \"protocol\": \"json\",");
+    let _ = writeln!(json, "    \"workload\": \"coverage march-c 160x1 (hot cache)\",");
+    let _ = writeln!(json, "    \"points\": [");
+    let rate_json: Vec<String> = rates
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{\"offered_rps\": {}, \"achieved_rps\": {:.1}, \"sent\": {}, \
+                 \"received\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+                p.offered_rps, p.achieved_rps, p.sent, p.received, p.p50_us, p.p99_us
+            )
+        })
+        .collect();
+    let _ = writeln!(json, "{}", rate_json.join(",\n"));
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sharded\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"coverage march-c, 48 geometries, pipeline window {PIPELINE_WINDOW}, \
+         placement-aware clients\","
+    );
+    let _ = writeln!(json, "    \"baseline_rps\": {baseline_rps},");
+    let _ = writeln!(json, "    \"headline_rps\": {:.1},", headline.aggregate_rps);
+    let _ = writeln!(json, "    \"headline_shards\": {},", headline.shards);
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_baseline\": {:.2},",
+        headline.aggregate_rps / baseline_rps
+    );
+    let _ = writeln!(json, "    \"curve\": [");
+    let curve_json: Vec<String> = curve
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{\"shards\": {}, \"wire\": \"{}\", \"path\": \"{}\", \
+                 \"requests\": {}, \"wall_ms\": {}, \"aggregate_rps\": {:.1}, \
+                 \"p50_us\": {}, \"p95_us\": {}}}",
+                p.shards,
+                p.wire.label(),
+                p.path,
+                p.requests,
+                p.wall_ms,
+                p.aggregate_rps,
+                p.p50_us,
+                p.p95_us
+            )
+        })
+        .collect();
+    let _ = writeln!(json, "{}", curve_json.join(",\n"));
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"backpressure\": {{");
     let _ = writeln!(json, "    \"offered\": {burst},");
     let _ = writeln!(json, "    \"ok\": {oks},");
     let _ = writeln!(json, "    \"busy\": {busys}");
     let _ = writeln!(json, "  }},");
     let agreement_json: Vec<String> =
-        agreement.iter().map(|l| format!("\"{}\"", json_escape(l))).collect();
+        agreement.iter().map(|l| format!("\"{}\"", escape(l))).collect();
     let _ = writeln!(json, "  \"agreement\": [{}]", agreement_json.join(", "));
     json.push_str("}\n");
     fs::write(&out_path, json).expect("write benchmark JSON");

@@ -197,6 +197,10 @@ commands:
                                       carries none (0 = unlimited)
       [--chaos seed=S,panic=P,        deterministic fault injection for
        delay=D,drop=C]                resilience testing (also delay_ms, burst)
+      [--shards N]                    N shard processes behind a consistent-
+                                      hash router on --addr (0 = in-process)
+      [--tenant-quota Q]              max in-flight requests per tenant at
+                                      the router (sharded mode only)
 
 <algorithm> is a library name (march-c, mats+, ...) or inline notation like
 \"m(w0); u(r0,w1); d(r1,w0)\".
@@ -621,6 +625,8 @@ fn cmd_serve(args: &[&str]) -> Result<String, CliError> {
             "--queue-depth",
             "--default-deadline-ms",
             "--chaos",
+            "--shards",
+            "--tenant-quota",
         ],
     )?;
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:1999");
@@ -635,6 +641,10 @@ fn cmd_serve(args: &[&str]) -> Result<String, CliError> {
         default_deadline_ms: parse_flag(args, "--default-deadline-ms", 30_000)?,
         chaos,
     };
+    let shards: usize = parse_flag(args, "--shards", 0)?;
+    if shards > 0 {
+        return cmd_serve_sharded(args, shards, addr, &config);
+    }
     let server = mbist_service::Server::start(addr, config)
         .map_err(|e| failed(format!("cannot bind `{addr}`: {e}")))?;
     // Announced (and flushed) before blocking: the return value below only
@@ -664,6 +674,119 @@ fn cmd_serve(args: &[&str]) -> Result<String, CliError> {
         "shutdown: served {} request(s), drained {} queued job(s), \
          recovered {} panicked job(s)\n",
         summary.served, summary.drained, summary.recovered_jobs
+    ))
+}
+
+/// `serve --shards N`: spawns N single-shard daemon processes on ephemeral
+/// ports (re-invoking this binary) and fronts them with the
+/// consistent-hash router on the requested address.
+fn cmd_serve_sharded(
+    args: &[&str],
+    shards: usize,
+    addr: &str,
+    config: &mbist_service::ServiceConfig,
+) -> Result<String, CliError> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::{Child, Command, Stdio};
+
+    let exe = std::env::current_exe()
+        .map_err(|e| failed(format!("cannot locate own binary: {e}")))?;
+    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = Vec::new();
+    let mut shard_addrs = Vec::new();
+    let spawn_error = |children: &mut Vec<(Child, _)>, message: String| {
+        for (child, _) in children.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        failed(message)
+    };
+    for i in 0..shards {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--workers")
+            .arg(config.workers.to_string())
+            .arg("--cache-bytes")
+            .arg(config.cache_bytes.to_string())
+            .arg("--queue-depth")
+            .arg(config.queue_depth.to_string())
+            .arg("--default-deadline-ms")
+            .arg(config.default_deadline_ms.to_string());
+        if let Some(spec) = flag_value(args, "--chaos") {
+            cmd.arg("--chaos").arg(spec);
+        }
+        cmd.stdin(Stdio::null()).stdout(Stdio::piped()).stderr(Stdio::inherit());
+        let mut child = cmd.spawn().map_err(|e| {
+            spawn_error(&mut children, format!("cannot spawn shard {i}: {e}"))
+        })?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        // The shard announces its ephemeral port on the first banner line.
+        let mut banner = String::new();
+        reader
+            .read_line(&mut banner)
+            .map_err(|e| spawn_error(&mut children, format!("shard {i} banner: {e}")))?;
+        let shard_addr = banner
+            .strip_prefix("mbist-service listening on ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|a| a.parse::<std::net::SocketAddr>().ok())
+            .ok_or_else(|| {
+                spawn_error(
+                    &mut children,
+                    format!("shard {i} printed no address: {banner:?}"),
+                )
+            })?;
+        shard_addrs.push(shard_addr);
+        children.push((child, reader));
+    }
+
+    let router_config = mbist_service::RouterConfig {
+        shards: shard_addrs,
+        tenant_quota: match flag_value(args, "--tenant-quota") {
+            Some(v) => Some(
+                v.parse::<usize>()
+                    .map_err(|_| err(format!("invalid --tenant-quota `{v}`")))?,
+            ),
+            None => None,
+        },
+        ..mbist_service::RouterConfig::default()
+    };
+    let router = mbist_service::Router::start(addr, router_config)
+        .map_err(|e| failed(format!("cannot bind `{addr}`: {e}")))?;
+    {
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(
+            stdout,
+            "mbist-service listening on {} (router fronting {} shard(s))",
+            router.local_addr(),
+            shards,
+        );
+        if config.chaos.enabled() {
+            let _ = writeln!(stdout, "chaos injection armed: {}", config.chaos.describe());
+        }
+        let _ = stdout.flush();
+    }
+    let summary = router.join();
+    // The router's shutdown broadcast has already told every shard to
+    // drain; collect their exits (and summaries) before reporting.
+    let mut shard_served = 0u64;
+    for (mut child, reader) in children {
+        for line in reader.lines().map_while(Result::ok) {
+            if let Some(rest) = line.strip_prefix("shutdown: served ") {
+                if let Some(n) = rest.split_whitespace().next() {
+                    shard_served += n.parse::<u64>().unwrap_or(0);
+                }
+            }
+        }
+        let _ = child.wait();
+    }
+    Ok(format!(
+        "shutdown: served {} request(s), drained 0 queued job(s), \
+         recovered 0 panicked job(s)\n\
+         router: forwarded {} request(s), shed {} request(s), \
+         shards answered {} request(s)\n",
+        summary.served, summary.forwarded, summary.shed, shard_served
     ))
 }
 

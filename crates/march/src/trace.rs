@@ -118,6 +118,17 @@ pub fn canonical_trace_key(
     h.finish()
 }
 
+/// [`canonical_trace_key`] for a `(test, geometry)` pair in one call: the
+/// test is expanded with the geometry's default [`ExpandOptions`] and the
+/// resulting stream is hashed. This is the routing identity a sharded
+/// service front end uses to place a request on the shard that owns (or
+/// will own) the compiled trace, without compiling the trace itself.
+#[must_use]
+pub fn canonical_request_key(test: &MarchTest, geometry: &MemGeometry) -> u64 {
+    let steps = expand_with(test, geometry, &ExpandOptions::for_geometry(geometry));
+    canonical_trace_key(test.name(), geometry, &steps)
+}
+
 /// 64-bit FNV-1a over a caller-framed byte stream.
 struct Fnv1a(u64);
 

@@ -1,0 +1,342 @@
+//! The compact length-prefixed binary variant of the wire protocol.
+//!
+//! Line-JSON stays the compatibility default; a client opts into the
+//! binary framing per message, and the server answers each message in the
+//! framing it arrived in. Detection is a single magic byte: a JSON request
+//! line always begins with `{` or insignificant whitespace, while a binary
+//! frame begins with [`MAGIC`] (`0xB1` — not valid UTF-8 as a leading
+//! byte, so the two framings cannot be confused).
+//!
+//! Frame layout:
+//!
+//! ```text
+//! [ MAGIC 0xB1 ][ VERSION 0x01 ][ payload len: u32 LE ][ payload ]
+//! ```
+//!
+//! The payload is a tagged binary serialization of the *same* JSON value
+//! tree both framings share — requests and responses carry identical
+//! members in either framing, and the `text` payloads remain byte-identical
+//! to the offline CLI. What the binary framing removes is the per-request
+//! text cost: escaping-aware string scans on parse and `fmt`-driven float
+//! and escape formatting on serialize. Strings are length-prefixed
+//! `memcpy`s, numbers are raw little-endian `f64` bits.
+//!
+//! Value encoding, one tag byte each:
+//!
+//! | tag  | value                                            |
+//! |------|--------------------------------------------------|
+//! | 0x00 | `null`                                           |
+//! | 0x01 | `false`                                          |
+//! | 0x02 | `true`                                           |
+//! | 0x03 | number — 8 bytes, `f64` little-endian            |
+//! | 0x04 | string — `u32` LE byte length, then UTF-8 bytes  |
+//! | 0x05 | array — `u32` LE element count, then elements    |
+//! | 0x06 | object — `u32` LE member count, then `(key, value)` pairs (keys as tag-less strings) |
+//!
+//! The payload is capped at [`MAX_FRAME_BYTES`] — the same 64 KiB the
+//! line framing enforces — and nesting at [`MAX_DEPTH`], so a malicious
+//! frame can neither balloon memory nor overflow the decoder stack.
+
+use crate::json::Json;
+
+/// First byte of every binary frame. `0xB1` can never begin a UTF-8 JSON
+/// line (it is a continuation byte), so framing detection is unambiguous.
+pub const MAGIC: u8 = 0xB1;
+
+/// Wire-format version; bumped on any incompatible layout change.
+pub const VERSION: u8 = 1;
+
+/// Fixed frame header size: magic, version, payload length.
+pub const HEADER_BYTES: usize = 6;
+
+/// Hard cap on one frame's payload — mirrors the line protocol's 64 KiB
+/// request-line cap, so neither framing admits larger messages.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Maximum value-tree nesting the decoder accepts.
+pub const MAX_DEPTH: usize = 64;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_NUM: u8 = 0x03;
+const TAG_STR: u8 = 0x04;
+const TAG_ARR: u8 = 0x05;
+const TAG_OBJ: u8 = 0x06;
+
+/// Serializes `value` into one complete frame (header included).
+#[must_use]
+pub fn encode_frame(value: &Json) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&[MAGIC, VERSION, 0, 0, 0, 0]);
+    encode_value(value, &mut out);
+    let len = u32::try_from(out.len() - HEADER_BYTES).expect("frame fits u32");
+    out[2..HEADER_BYTES].copy_from_slice(&len.to_le_bytes());
+    out
+}
+
+/// Appends the tagged encoding of `value` to `out`.
+pub fn encode_value(value: &Json, out: &mut Vec<u8>) {
+    match value {
+        Json::Null => out.push(TAG_NULL),
+        Json::Bool(false) => out.push(TAG_FALSE),
+        Json::Bool(true) => out.push(TAG_TRUE),
+        Json::Num(n) => {
+            out.push(TAG_NUM);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Json::Str(s) => {
+            out.push(TAG_STR);
+            encode_str(s, out);
+        }
+        Json::Arr(items) => {
+            out.push(TAG_ARR);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Json::Obj(members) => {
+            out.push(TAG_OBJ);
+            out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+            for (key, member) in members {
+                encode_str(key, out);
+                encode_value(member, out);
+            }
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only a frame prefix (read more
+/// bytes and retry), or `Ok(Some((value, consumed)))` on success.
+///
+/// # Errors
+///
+/// A wrong magic or version byte, an oversized declared length, or a
+/// malformed payload is unrecoverable for the connection: the caller
+/// cannot know where the next frame boundary is.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Json, usize)>, String> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] != MAGIC {
+        return Err(format!("bad frame magic 0x{:02x}", buf[0]));
+    }
+    if buf.len() < HEADER_BYTES {
+        return Ok(None);
+    }
+    if buf[1] != VERSION {
+        return Err(format!("unsupported binary protocol version {}", buf[1]));
+    }
+    let len = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(format!("frame payload {len} bytes exceeds {MAX_FRAME_BYTES}"));
+    }
+    let total = HEADER_BYTES + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let value = decode_value(&buf[HEADER_BYTES..total])?;
+    Ok(Some((value, total)))
+}
+
+/// Decodes one complete payload, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed byte.
+pub fn decode_value(payload: &[u8]) -> Result<Json, String> {
+    let mut pos = 0;
+    let value = decode_at(payload, &mut pos, 0)?;
+    if pos != payload.len() {
+        return Err(format!("trailing bytes after value at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn take<'a>(payload: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], String> {
+    let end = pos.checked_add(n).filter(|&e| e <= payload.len());
+    let end = end.ok_or_else(|| format!("truncated value at offset {pos}"))?;
+    let slice = &payload[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn take_u32(payload: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let b = take(payload, pos, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn take_str(payload: &[u8], pos: &mut usize) -> Result<String, String> {
+    let len = take_u32(payload, pos)? as usize;
+    let bytes = take(payload, pos, len)?;
+    std::str::from_utf8(bytes)
+        .map(ToString::to_string)
+        .map_err(|_| format!("string at offset {} is not valid UTF-8", *pos - len))
+}
+
+fn decode_at(payload: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("value nesting exceeds {MAX_DEPTH}"));
+    }
+    let tag = take(payload, pos, 1)?[0];
+    match tag {
+        TAG_NULL => Ok(Json::Null),
+        TAG_FALSE => Ok(Json::Bool(false)),
+        TAG_TRUE => Ok(Json::Bool(true)),
+        TAG_NUM => {
+            let b = take(payload, pos, 8)?;
+            let bits = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+            Ok(Json::Num(f64::from_bits(bits)))
+        }
+        TAG_STR => Ok(Json::Str(take_str(payload, pos)?)),
+        TAG_ARR => {
+            let count = take_u32(payload, pos)? as usize;
+            // Each element needs at least its tag byte: bounds the
+            // preallocation against a lying count.
+            if count > payload.len() - *pos {
+                return Err(format!("array count {count} exceeds payload"));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(decode_at(payload, pos, depth + 1)?);
+            }
+            Ok(Json::Arr(items))
+        }
+        TAG_OBJ => {
+            let count = take_u32(payload, pos)? as usize;
+            if count > payload.len() - *pos {
+                return Err(format!("object count {count} exceeds payload"));
+            }
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = take_str(payload, pos)?;
+                let value = decode_at(payload, pos, depth + 1)?;
+                members.push((key, value));
+            }
+            Ok(Json::Obj(members))
+        }
+        other => Err(format!("unknown value tag 0x{other:02x} at offset {}", *pos - 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_roundtrip(value: &Json) -> Json {
+        let frame = encode_frame(value);
+        let (decoded, consumed) = decode_frame(&frame).unwrap().expect("complete");
+        assert_eq!(consumed, frame.len());
+        decoded
+    }
+
+    #[test]
+    fn roundtrips_every_value_shape() {
+        let value = Json::obj(vec![
+            ("id", Json::Num(42.0)),
+            ("kind", Json::str("coverage")),
+            ("text", Json::str("line one\nline \"two\" \\ three\t⇕")),
+            ("flag", Json::Bool(true)),
+            ("off", Json::Bool(false)),
+            ("nil", Json::Null),
+            ("frac", Json::Num(2.5)),
+            ("neg", Json::Num(-17.0)),
+            ("arr", Json::Arr(vec![Json::Num(1.0), Json::str("x"), Json::Null])),
+            ("nested", Json::obj(vec![("inner", Json::Arr(vec![]))])),
+        ]);
+        assert_eq!(frame_roundtrip(&value), value);
+    }
+
+    #[test]
+    fn empty_containers_and_strings_survive() {
+        for v in
+            [Json::Obj(vec![]), Json::Arr(vec![]), Json::Str(String::new()), Json::Null]
+        {
+            assert_eq!(frame_roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_reports_incomplete_not_garbage() {
+        let frame = encode_frame(&Json::obj(vec![
+            ("kind", Json::str("detects")),
+            ("words", Json::Num(1024.0)),
+        ]));
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_frame(&frame[..cut]).unwrap(),
+                None,
+                "prefix of {cut} bytes must read as incomplete"
+            );
+        }
+        assert!(decode_frame(&frame).unwrap().is_some());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_oversize() {
+        assert!(decode_frame(b"{\"kind\":\"status\"}").is_err(), "JSON is not a frame");
+        let mut frame = encode_frame(&Json::Null);
+        frame[1] = 9;
+        assert!(decode_frame(&frame).unwrap_err().contains("version"));
+        let mut huge = vec![MAGIC, VERSION];
+        huge.extend_from_slice(
+            &(u32::try_from(MAX_FRAME_BYTES + 1).unwrap()).to_le_bytes(),
+        );
+        assert!(decode_frame(&huge).unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn rejects_malformed_payloads() {
+        // Unknown tag.
+        let mut frame = vec![MAGIC, VERSION];
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        frame.push(0x77);
+        assert!(decode_frame(&frame).unwrap_err().contains("tag"));
+        // Lying container count.
+        let mut frame = vec![MAGIC, VERSION];
+        frame.extend_from_slice(&5u32.to_le_bytes());
+        frame.push(TAG_ARR);
+        frame.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(decode_frame(&frame).unwrap_err().contains("count"));
+        // Trailing garbage after a complete value.
+        let mut frame = vec![MAGIC, VERSION];
+        frame.extend_from_slice(&2u32.to_le_bytes());
+        frame.extend_from_slice(&[TAG_NULL, TAG_NULL]);
+        assert!(decode_frame(&frame).unwrap_err().contains("trailing"));
+        // Invalid UTF-8 in a string.
+        let mut frame = vec![MAGIC, VERSION];
+        frame.extend_from_slice(&7u32.to_le_bytes());
+        frame.push(TAG_STR);
+        frame.extend_from_slice(&2u32.to_le_bytes());
+        frame.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode_frame(&frame).unwrap_err().contains("UTF-8"));
+    }
+
+    #[test]
+    fn magic_byte_cannot_collide_with_json_or_utf8() {
+        assert_eq!(MAGIC & 0xc0, 0x80, "0xb1 is a UTF-8 continuation byte");
+        assert_ne!(MAGIC, b'{');
+        assert_ne!(MAGIC, b' ');
+    }
+
+    #[test]
+    fn two_frames_back_to_back_decode_in_sequence() {
+        let a = Json::obj(vec![("kind", Json::str("status"))]);
+        let b = Json::obj(vec![("kind", Json::str("shutdown"))]);
+        let mut buf = encode_frame(&a);
+        buf.extend_from_slice(&encode_frame(&b));
+        let (va, used) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(va, a);
+        let (vb, used_b) = decode_frame(&buf[used..]).unwrap().unwrap();
+        assert_eq!(vb, b);
+        assert_eq!(used + used_b, buf.len());
+    }
+}

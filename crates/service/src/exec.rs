@@ -50,7 +50,7 @@ fn usage(message: impl Into<String>) -> ServiceError {
     ServiceError::Usage(message.into())
 }
 
-fn resolve_test(spec: &str) -> Result<MarchTest, ServiceError> {
+pub(crate) fn resolve_test(spec: &str) -> Result<MarchTest, ServiceError> {
     if let Some(t) = library::by_name(spec) {
         return Ok(t);
     }
@@ -252,6 +252,78 @@ pub(crate) fn execute(
         Request::Status | Request::Shutdown => {
             Err(ServiceError::Failed("status/shutdown are served inline".into()))
         }
+    }
+}
+
+/// The reactor-side fast path: answers a request only when every cache
+/// probe it needs is already resident, with no compilation or simulation.
+/// Returns `None` on any miss (or for kinds the fast path does not cover) —
+/// the queued path then redoes the probes and records the miss metrics, so
+/// each request's lookups are counted exactly once either way.
+///
+/// Only *hit* metrics are recorded here; a fast-path answer is
+/// indistinguishable in the counters from the same warm request served by
+/// a worker (minus the job dispatch/answer pair, which it never was).
+pub(crate) fn try_fast(
+    request: &Request,
+    shared: &Shared,
+) -> Option<Vec<(&'static str, Json)>> {
+    match request {
+        Request::Coverage { test, geometry, max_faults, engine, .. } => {
+            let alias = spec_alias_key(test, geometry);
+            let trace_key = shared.cache.get_alias(alias)?;
+            // The trace must itself be resident: an alias pointing at an
+            // evicted trace means the slow path will recompile (a miss).
+            shared.cache.get_trace(trace_key)?;
+            let memo_key = result_key(
+                trace_key,
+                "coverage",
+                &[max_faults.map_or(u64::MAX, |m| m as u64), engine_tag(*engine)],
+            );
+            let text = shared.cache.get_result(memo_key)?;
+            shared.metrics.record_trace_lookup(true);
+            shared.metrics.record_result_lookup(true);
+            Some(coverage_payload(text, true, true))
+        }
+        Request::Detects { test, geometry, fault } => {
+            let t = resolve_test(test).ok()?;
+            let parsed = FaultKind::parse_spec(fault, geometry).ok()?;
+            let alias = spec_alias_key(test, geometry);
+            let trace_key = shared.cache.get_alias(alias)?;
+            let trace = shared.cache.get_trace(trace_key)?;
+            shared.metrics.record_trace_lookup(true);
+            let detected = trace.detect(parsed);
+            Some(vec![
+                ("test", Json::str(t.name())),
+                ("geometry", Json::str(geometry.to_string())),
+                ("fault", Json::str(fault.clone())),
+                ("detected", Json::Bool(detected)),
+                ("trace_cached", Json::Bool(true)),
+            ])
+        }
+        Request::Synth { classes, max_elements, engine, .. } => {
+            let parsed = parse_classes(classes).ok()?;
+            let class_tags: Vec<u64> =
+                parsed.iter().map(|c| c.label().bytes().map(u64::from).sum()).collect();
+            let mut params = vec![*max_elements as u64, engine_tag(*engine)];
+            params.extend(class_tags);
+            let text = shared.cache.get_result(result_key(0, "synth", &params))?;
+            shared.metrics.record_result_lookup(true);
+            Some(text_payload(text, true))
+        }
+        Request::Area { table } => {
+            let tag = match table.as_deref() {
+                None => 0,
+                Some("1") => 1,
+                Some("2") => 2,
+                Some("3") => 3,
+                Some(_) => return None,
+            };
+            let text = shared.cache.get_result(result_key(0, "area", &[tag]))?;
+            shared.metrics.record_result_lookup(true);
+            Some(text_payload(text, true))
+        }
+        Request::Status | Request::Shutdown => None,
     }
 }
 

@@ -154,18 +154,36 @@ impl fmt::Display for Json {
 
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")?;
+    escape_into(f, s)?;
+    f.write_str("\"")
+}
+
+/// Appends `s` to `out` with JSON string escaping applied (surrounding
+/// quotes are the caller's job).
+fn escape_into<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
     for c in s.chars() {
         match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    f.write_str("\"")
+    Ok(())
+}
+
+/// Escapes `s` for embedding inside a JSON string literal (without the
+/// surrounding quotes). This is the single escaping implementation in the
+/// workspace — the writer above and the bench load generator's hand-built
+/// reports both use it, so the two can never drift.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s).expect("writing to a String cannot fail");
+    out
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -368,6 +386,13 @@ mod tests {
         assert_eq!(Json::Num(1.5).as_u64(), None);
         assert_eq!(Json::Num(7.0).as_u64(), Some(7));
         assert_eq!(Json::Str("7".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn escape_matches_the_writer() {
+        let tricky = "a\"b\\c\nd\te\u{1}⇕";
+        let via_writer = Json::str(tricky).to_string();
+        assert_eq!(format!("\"{}\"", escape(tricky)), via_writer);
     }
 
     #[test]

@@ -1,36 +1,49 @@
-//! `mbist-service` — a concurrent BIST evaluation daemon.
+//! `mbist-service` — an event-driven BIST evaluation daemon.
 //!
 //! The offline tools in this workspace answer one question per process:
 //! compile a march test to a [`mbist_march::CompiledTrace`], simulate,
 //! print, exit. This crate keeps those engines resident behind a TCP
-//! endpoint speaking line-delimited JSON, so repeated queries amortize
-//! trace compilation instead of paying it per process:
+//! endpoint, so repeated queries amortize trace compilation instead of
+//! paying it per process:
 //!
-//! - [`protocol`] — the request/response wire format (`coverage`,
-//!   `detects`, `synth`, `area`, `status`, `shutdown`).
+//! - [`protocol`] — the request/response envelope (`coverage`, `detects`,
+//!   `synth`, `area`, `status`, `shutdown`), independent of framing.
+//! - [`binary`] — the length-prefixed binary framing, auto-detected per
+//!   message by its magic byte; line-delimited JSON remains the
+//!   compatibility default.
+//! - [`reactor`] — the `poll(2)` wrapper and self-pipe the event loop is
+//!   built on.
 //! - [`queue`] — the bounded job queue whose `busy` rejections are the
 //!   backpressure contract: a saturated daemon sheds load, never hangs.
 //! - [`cache`] — the byte-capped LRU over compiled traces and memoized
 //!   result texts, keyed by [`mbist_march::canonical_trace_key`].
 //! - [`metrics`] — per-kind counters and log₂ latency histograms served by
 //!   `status` and flushed on shutdown.
-//! - [`server`] — the acceptor / connection / worker-pool wiring and the
-//!   graceful-shutdown ordering.
+//! - [`server`] — the single-threaded reactor, the worker pool behind it
+//!   and the graceful-shutdown ordering.
+//! - [`router`] — the consistent-hash front end for `serve --shards N`:
+//!   one process per shard, requests placed by
+//!   [`mbist_march::canonical_request_key`], with per-tenant quotas and
+//!   priority load-shedding.
 //!
 //! Responses reuse the exact CLI code paths and formatting, so a service
 //! answer is bit-identical to the offline tool's output for the equivalent
-//! invocation — concurrency and caching change latency, never bytes.
-//! Std-only, like the rest of the workspace.
+//! invocation — concurrency, caching, framing and sharding change latency,
+//! never bytes. Std-only, like the rest of the workspace.
 
+pub mod binary;
 pub mod cache;
 pub mod chaos;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+pub mod reactor;
+pub mod router;
 
 mod exec;
 mod server;
 
 pub use chaos::ChaosConfig;
+pub use router::{Router, RouterConfig, RouterSummary};
 pub use server::{Server, ServiceConfig, ServiceSummary};

@@ -169,38 +169,49 @@ fn usage(message: impl Into<String>) -> ServiceError {
 /// missing required fields or out-of-range values.
 pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
     let value = Json::parse(line).map_err(|e| usage(format!("invalid JSON: {e}")))?;
+    parse_request_value(&value)
+}
+
+/// Decodes one request from an already-parsed value tree — the entry point
+/// the binary framing uses (its frames decode straight to [`Json`] without
+/// any text parse).
+///
+/// # Errors
+///
+/// Same contract as [`parse_request`], minus the JSON syntax errors.
+pub fn parse_request_value(value: &Json) -> Result<Envelope, ServiceError> {
     if !matches!(value, Json::Obj(_)) {
         return Err(usage("request must be a JSON object"));
     }
     let id = value.get("id").cloned();
-    let deadline_ms = opt_u64(&value, "deadline_ms")?;
+    let deadline_ms = opt_u64(value, "deadline_ms")?;
     let kind = value
         .get("kind")
         .and_then(Json::as_str)
         .ok_or_else(|| usage("missing string field `kind`"))?;
     let request = match kind {
         "coverage" => Request::Coverage {
-            test: required_str(&value, "test")?,
-            geometry: geometry_from(&value)?,
-            max_faults: match opt_u64(&value, "max_faults")? {
+            test: required_str(value, "test")?,
+            geometry: geometry_from(value)?,
+            max_faults: match opt_u64(value, "max_faults")? {
                 None => Some(256),
                 Some(0) => None,
                 Some(n) => Some(usize::try_from(n).expect("u64 fits usize")),
             },
-            jobs: jobs_from(&value)?,
-            engine: engine_from(&value)?,
+            jobs: jobs_from(value)?,
+            engine: engine_from(value)?,
         },
         "detects" => Request::Detects {
-            test: required_str(&value, "test")?,
-            geometry: geometry_from(&value)?,
-            fault: required_str(&value, "fault")?,
+            test: required_str(value, "test")?,
+            geometry: geometry_from(value)?,
+            fault: required_str(value, "fault")?,
         },
         "synth" => Request::Synth {
-            classes: required_str(&value, "classes")?,
-            max_elements: usize::try_from(opt_u64(&value, "max_elements")?.unwrap_or(8))
+            classes: required_str(value, "classes")?,
+            max_elements: usize::try_from(opt_u64(value, "max_elements")?.unwrap_or(8))
                 .expect("u64 fits usize"),
-            jobs: jobs_from(&value)?,
-            engine: engine_from(&value)?,
+            jobs: jobs_from(value)?,
+            engine: engine_from(value)?,
         },
         "area" => Request::Area {
             table: match value.get("table") {
@@ -287,6 +298,18 @@ fn geometry_from(value: &Json) -> Result<MemGeometry, ServiceError> {
 /// Builds a success response line (without the trailing newline).
 #[must_use]
 pub fn ok_response(id: Option<&Json>, kind: &str, payload: Vec<(&str, Json)>) -> String {
+    ok_response_value(id, kind, payload).to_string()
+}
+
+/// The success response as a value tree; both framings serialize this —
+/// line-JSON via `Display`, binary via `binary::encode_frame` — so the
+/// member set and order are identical on either wire.
+#[must_use]
+pub fn ok_response_value(
+    id: Option<&Json>,
+    kind: &str,
+    payload: Vec<(&str, Json)>,
+) -> Json {
     let mut members = Vec::with_capacity(payload.len() + 3);
     if let Some(id) = id {
         members.push(("id".to_string(), id.clone()));
@@ -294,12 +317,18 @@ pub fn ok_response(id: Option<&Json>, kind: &str, payload: Vec<(&str, Json)>) ->
     members.push(("ok".to_string(), Json::Bool(true)));
     members.push(("kind".to_string(), Json::str(kind)));
     members.extend(payload.into_iter().map(|(k, v)| (k.to_string(), v)));
-    Json::Obj(members).to_string()
+    Json::Obj(members)
 }
 
 /// Builds a failure response line (without the trailing newline).
 #[must_use]
 pub fn error_response(id: Option<&Json>, error: &ServiceError) -> String {
+    error_response_value(id, error).to_string()
+}
+
+/// The failure response as a value tree (see [`ok_response_value`]).
+#[must_use]
+pub fn error_response_value(id: Option<&Json>, error: &ServiceError) -> Json {
     let mut error_members = vec![("class".to_string(), Json::str(error.class()))];
     let message = match error {
         ServiceError::Usage(m) | ServiceError::Failed(m) => m.clone(),
@@ -325,7 +354,7 @@ pub fn error_response(id: Option<&Json>, error: &ServiceError) -> String {
     }
     members.push(("ok".to_string(), Json::Bool(false)));
     members.push(("error".to_string(), Json::Obj(error_members)));
-    Json::Obj(members).to_string()
+    Json::Obj(members)
 }
 
 #[cfg(test)]

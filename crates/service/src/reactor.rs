@@ -1,0 +1,204 @@
+//! A thin readiness-notification layer over `poll(2)`.
+//!
+//! The event-driven server and the shard router both run a single loop
+//! thread that owns every socket; this module gives that loop its two
+//! primitives, std-only:
+//!
+//! - [`poll_fds`] — a direct FFI binding to the C library's `poll(2)`
+//!   (declared here rather than pulled from a crate: the workspace builds
+//!   fully offline and already links libc through std). The loop rebuilds
+//!   its small pollfd array every iteration, so there is no registration
+//!   state to keep in sync.
+//! - [`WakePipe`] — a nonblocking self-pipe built from a
+//!   [`UnixStream`] pair. Worker threads finish jobs off-loop and call
+//!   [`WakeHandle::wake`]; the loop polls the read end like any other fd
+//!   and drains it with [`WakePipe::drain`].
+//!
+//! This is the only module in the workspace that uses `unsafe`: one
+//! foreign call whose contract (`fds` points at `nfds` contiguous structs)
+//! is guaranteed by passing a live `&mut [PollFd]`.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+/// Readable-data event bit (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writable-space event bit (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error-condition result bit (`POLLERR`; output only).
+pub const POLLERR: i16 = 0x008;
+/// Hangup result bit (`POLLHUP`; output only).
+pub const POLLHUP: i16 = 0x010;
+
+/// One entry of the `poll(2)` fd array — layout-compatible with the C
+/// `struct pollfd` on every platform std supports Unix sockets on.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Watches `fd` for the interest mask `events` ([`POLLIN`] |
+    /// [`POLLOUT`]).
+    #[must_use]
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// Result bits from the last [`poll_fds`] call.
+    #[must_use]
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Whether the fd is readable (or has an error/hangup to report, which
+    /// a read will surface).
+    #[must_use]
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP) != 0
+    }
+
+    /// Whether the fd has writable space (or a pending error).
+    #[must_use]
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Blocks until at least one fd in `fds` is ready, `timeout_ms` elapses
+/// (`-1` = forever), or a signal interrupts. Returns the number of ready
+/// entries; `revents` is updated in place.
+///
+/// # Errors
+///
+/// Propagates the OS error, except `EINTR` which is mapped to `Ok(0)` so
+/// callers simply re-loop.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `fds` is a live, exclusive slice of repr(C) structs matching
+    // the C `struct pollfd` layout; `poll` writes only within its bounds.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if rc < 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() == ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(e);
+    }
+    Ok(usize::try_from(rc).unwrap_or(0))
+}
+
+/// The loop-side read end of a self-pipe, plus a cloneable [`WakeHandle`]
+/// for the threads that need to interrupt a blocked poll.
+#[derive(Debug)]
+pub struct WakePipe {
+    reader: UnixStream,
+    handle: Arc<WakeHandle>,
+}
+
+/// The writer side of a [`WakePipe`]; any thread may call
+/// [`WakeHandle::wake`] at any time.
+#[derive(Debug)]
+pub struct WakeHandle {
+    writer: UnixStream,
+}
+
+impl WakeHandle {
+    /// Makes the owning loop's next (or current) poll return immediately.
+    /// Best-effort: a full pipe already guarantees a pending wakeup.
+    pub fn wake(&self) {
+        let _ = (&self.writer).write(&[1u8]);
+    }
+}
+
+impl WakePipe {
+    /// Builds the pair; both ends are nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socketpair/configuration failures.
+    pub fn new() -> io::Result<WakePipe> {
+        let (reader, writer) = UnixStream::pair()?;
+        reader.set_nonblocking(true)?;
+        writer.set_nonblocking(true)?;
+        Ok(WakePipe { reader, handle: Arc::new(WakeHandle { writer }) })
+    }
+
+    /// The fd to include in the poll set with [`POLLIN`] interest.
+    #[must_use]
+    pub fn fd(&self) -> RawFd {
+        self.reader.as_raw_fd()
+    }
+
+    /// A cloneable handle for waker threads.
+    #[must_use]
+    pub fn handle(&self) -> Arc<WakeHandle> {
+        Arc::clone(&self.handle)
+    }
+
+    /// Consumes every pending wakeup byte so the next poll blocks again.
+    pub fn drain(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!(self.reader.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn poll_times_out_on_a_quiet_pipe() {
+        let pipe = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(pipe.fd(), POLLIN)];
+        let start = Instant::now();
+        let n = poll_fds(&mut fds, 50).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+        assert!(start.elapsed() >= Duration::from_millis(40), "timed out early");
+    }
+
+    #[test]
+    fn wake_makes_poll_return_and_drain_resets() {
+        let mut pipe = WakePipe::new().unwrap();
+        let handle = pipe.handle();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            handle.wake();
+        });
+        let mut fds = [PollFd::new(pipe.fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 5_000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        waker.join().unwrap();
+        pipe.drain();
+        let mut fds = [PollFd::new(pipe.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0, "drained pipe is quiet");
+    }
+
+    #[test]
+    fn wake_from_many_threads_coalesces() {
+        let mut pipe = WakePipe::new().unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let h = pipe.handle();
+                std::thread::spawn(move || h.wake())
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut fds = [PollFd::new(pipe.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1_000).unwrap(), 1);
+        pipe.drain();
+    }
+}

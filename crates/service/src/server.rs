@@ -1,13 +1,25 @@
-//! The concurrent evaluation daemon.
+//! The event-driven evaluation daemon.
 //!
-//! One acceptor thread hands each connection to its own thread; connection
-//! threads decode line-delimited JSON requests and either answer inline
-//! (`status`, `shutdown` — these must work even while the queue is
-//! saturated) or submit a [`Job`] to the bounded queue. A fixed worker pool
-//! pops jobs, executes them against the shared trace cache and sends the
-//! response line back over a per-job channel. A full queue is answered with
-//! a structured `busy` error carrying a load-derived retry hint — the
+//! One reactor thread owns every socket: it accepts connections, reads and
+//! frames requests (line-JSON or length-prefixed binary, auto-detected per
+//! message by the [`crate::binary::MAGIC`] byte), answers `status` /
+//! `shutdown` inline, serves cache-hit requests on the spot (the inline
+//! fast path) and submits everything else as a [`Job`] to the bounded
+//! queue. A fixed worker pool pops jobs, executes them against the shared
+//! trace cache and posts the serialized reply back to the reactor through
+//! a completion list plus a self-pipe wakeup. A full queue is answered
+//! with a structured `busy` error carrying a load-derived retry hint — the
 //! daemon sheds load explicitly instead of hanging clients.
+//!
+//! # Pipelining and reply order
+//!
+//! Connections are pipelined: the reactor keeps parsing frames while
+//! earlier jobs are still executing. Every message is assigned a
+//! per-connection sequence number at parse time and replies are released
+//! strictly in that order, so a client that writes N requests back to back
+//! reads N replies in request order — exactly what the lock-step clients
+//! of the thread-per-connection era observed, minus the head-of-line
+//! thread handoffs.
 //!
 //! # Exactly-once accounting
 //!
@@ -15,8 +27,8 @@
 //! worker that panics mid-job (however it panics — chaos injection or a
 //! real bug) re-dispatches the job exactly once; a second panic answers a
 //! structured `internal {job_id}` error. A job is therefore never dropped
-//! and never double-answered: the reply channel is consumed by exactly one
-//! terminal outcome (ok, usage/failed, busy, timeout, or internal).
+//! and never double-answered: the completion slot is consumed by exactly
+//! one terminal outcome (ok, usage/failed, busy, timeout, or internal).
 //!
 //! # Deadlines
 //!
@@ -29,36 +41,43 @@
 //!
 //! # Slow-loris defenses
 //!
-//! The read loop caps request lines at [`MAX_LINE_BYTES`], bounds how long
-//! a partial line may dribble in ([`PARTIAL_LINE_DEADLINE`]), rejects
-//! invalid UTF-8 with a structured error, and sets a write timeout so a
-//! non-reading client cannot wedge a connection thread.
+//! The framing layer caps request lines at [`MAX_LINE_BYTES`], bounds how
+//! long a partial message may dribble in ([`PARTIAL_LINE_DEADLINE`]),
+//! rejects invalid UTF-8 with a structured error, and bounds how long a
+//! reply may sit unflushed against a non-reading client
+//! ([`WRITE_TIMEOUT`]) — all enforced by reactor timers, not blocked
+//! threads.
 //!
 //! Graceful shutdown (triggered by a `shutdown` request or
-//! [`Server::shutdown`]) is ordered: set the flag → the acceptor stops
-//! accepting and joins the connection threads (the only producers) → the
-//! queue is closed → workers drain what was admitted and exit → the final
-//! metrics snapshot is flushed into the [`ServiceSummary`].
+//! [`Server::shutdown`]) is ordered: set the flag → the reactor stops
+//! accepting and stops reading, but keeps every connection open until its
+//! owed replies are flushed → the reactor exits and closes the queue →
+//! workers drain what was admitted and exit → the final metrics snapshot
+//! is flushed into the [`ServiceSummary`].
 
-use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::collections::BTreeMap;
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use mbist_march::CancelToken;
 
+use crate::binary;
 use crate::cache::TraceCache;
 use crate::chaos::{ChaosConfig, ChaosState};
 use crate::exec::{self, ExecCtx};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    error_response, ok_response, parse_request, recover_id, Envelope, Request, ServiceError,
+    error_response_value, ok_response_value, parse_request_value, Envelope, Request,
+    ServiceError,
 };
 use crate::queue::{JobQueue, PushError};
+use crate::reactor::{poll_fds, PollFd, WakeHandle, WakePipe, POLLIN, POLLOUT};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone, Copy)]
@@ -88,11 +107,45 @@ impl Default for ServiceConfig {
     }
 }
 
-/// A queued unit of work: the decoded request plus its reply channel and
+/// Which framing a message arrived in; the reply uses the same framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wire {
+    /// Newline-delimited JSON text (the compatibility default).
+    Json,
+    /// Length-prefixed tagged binary ([`crate::binary`]).
+    Binary,
+}
+
+/// Serializes one response value in the requested framing, ready to append
+/// to a connection's write buffer.
+pub(crate) fn serialize_reply(wire: Wire, value: &Json) -> Vec<u8> {
+    match wire {
+        Wire::Json => {
+            let mut text = value.to_string();
+            text.push('\n');
+            text.into_bytes()
+        }
+        Wire::Binary => binary::encode_frame(value),
+    }
+}
+
+/// Where a finished job's reply goes: a connection slot (validated by
+/// generation so a recycled slot never receives a stale reply) and the
+/// per-connection sequence number that fixes its position in the reply
+/// order.
+#[derive(Debug, Clone, Copy)]
+struct ReplyTo {
+    slot: usize,
+    gen: u64,
+    seq: u64,
+    wire: Wire,
+}
+
+/// A queued unit of work: the decoded request plus its reply slot and
 /// exactly-once bookkeeping.
 struct Job {
     envelope: Envelope,
-    reply: mpsc::Sender<String>,
+    reply: ReplyTo,
     enqueued: Instant,
     /// Server-assigned id, reported in `internal` errors and daemon logs.
     job_id: u64,
@@ -103,7 +156,15 @@ struct Job {
     deadline: Option<Instant>,
 }
 
-/// State shared by the acceptor, connection threads and workers.
+/// A serialized reply travelling from a worker back to the reactor.
+struct Completion {
+    slot: usize,
+    gen: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// State shared by the reactor and the workers.
 pub(crate) struct Shared {
     pub(crate) cache: TraceCache,
     pub(crate) metrics: Metrics,
@@ -114,6 +175,22 @@ pub(crate) struct Shared {
     chaos: ChaosState,
     default_deadline_ms: u64,
     next_job_id: AtomicU64,
+    /// Finished replies awaiting delivery; the reactor swaps this empty on
+    /// every wakeup.
+    completions: Mutex<Vec<Completion>>,
+    /// Interrupts the reactor's poll when a completion lands.
+    wake: Arc<WakeHandle>,
+}
+
+impl Shared {
+    fn push_completion(&self, completion: Completion) {
+        self.completions.lock().expect("completions lock").push(completion);
+        self.wake.wake();
+    }
+
+    fn take_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().expect("completions lock"))
+    }
 }
 
 /// What the daemon reports after a graceful shutdown.
@@ -134,21 +211,22 @@ pub struct ServiceSummary {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptor: JoinHandle<()>,
+    reactor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// the acceptor plus the worker pool.
+    /// the reactor plus the worker pool.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind or self-pipe failure.
     pub fn start(addr: &str, config: ServiceConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let wake_pipe = WakePipe::new()?;
         let workers = if config.workers == 0 {
             thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
@@ -164,6 +242,8 @@ impl Server {
             chaos: ChaosState::new(config.chaos),
             default_deadline_ms: config.default_deadline_ms,
             next_job_id: AtomicU64::new(1),
+            completions: Mutex::new(Vec::new()),
+            wake: wake_pipe.handle(),
         });
         let worker_handles = (0..workers)
             .map(|i| {
@@ -174,14 +254,14 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
-        let acceptor = {
+        let reactor = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
-                .name("mbist-acceptor".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn acceptor")
+                .name("mbist-reactor".into())
+                .spawn(move || reactor_loop(&listener, &shared, wake_pipe))
+                .expect("spawn reactor")
         };
-        Ok(Server { shared, local_addr, acceptor, workers: worker_handles })
+        Ok(Server { shared, local_addr, reactor, workers: worker_handles })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -194,14 +274,15 @@ impl Server {
     /// request). Idempotent; returns immediately — [`Server::join`] waits.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.wake();
     }
 
-    /// Blocks until shutdown completes (acceptor stopped, connections
-    /// closed, queue drained, workers exited) and flushes the final
-    /// metrics snapshot.
+    /// Blocks until shutdown completes (reactor stopped, connections
+    /// flushed and closed, queue drained, workers exited) and flushes the
+    /// final metrics snapshot.
     #[must_use]
     pub fn join(self) -> ServiceSummary {
-        let _ = self.acceptor.join();
+        let _ = self.reactor.join();
         for w in self.workers {
             let _ = w.join();
         }
@@ -219,43 +300,537 @@ impl Server {
     }
 }
 
-/// How often blocked accept/read calls re-check the shutdown flag.
+/// Reactor poll timeout — the granularity of the shutdown check and the
+/// slow-loris / stalled-write timers.
 const POLL: Duration = Duration::from_millis(25);
 
-/// Hard cap on one request line; longer lines get a structured `usage`
-/// error and the connection closes (the framing is unrecoverable).
+/// Hard cap on one request message; longer lines (or binary frames) get a
+/// structured `usage` error and the connection closes (the framing is
+/// unrecoverable).
 const MAX_LINE_BYTES: usize = 64 * 1024;
 
-/// How long a partial line may dribble in before the connection is judged
-/// a slow-loris and closed with a structured error.
+/// How long a partial message may dribble in before the connection is
+/// judged a slow-loris and closed with a structured error.
 const PARTIAL_LINE_DEADLINE: Duration = Duration::from_secs(10);
 
-/// How long one reply write may block on a non-reading client.
+/// How long a reply may sit unflushed against a non-reading client before
+/// the connection is closed.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let shared = Arc::clone(shared);
-                connections.push(
-                    thread::Builder::new()
-                        .name("mbist-conn".into())
-                        .spawn(move || handle_connection(stream, &shared))
-                        .expect("spawn connection"),
-                );
-                connections.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL),
-            Err(_) => thread::sleep(POLL),
+/// Bytes per `read` call on a readable socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Per-connection state machine: framing in, ordered replies out.
+struct Conn {
+    stream: TcpStream,
+    /// Generation stamp distinguishing this tenancy of the slot from any
+    /// earlier connection that used it.
+    gen: u64,
+    /// Bytes read but not yet framed into messages.
+    rbuf: Vec<u8>,
+    /// Serialized replies queued for the socket; `wpos` marks how much of
+    /// it is already written.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Next sequence number to assign to an incoming message.
+    next_seq: u64,
+    /// Next sequence number the write stream is waiting on.
+    next_write: u64,
+    /// Replies that finished out of order, keyed by sequence number.
+    done: BTreeMap<u64, Vec<u8>>,
+    /// When the current partial message started dribbling in.
+    partial_since: Option<Instant>,
+    /// When the current unflushed write started stalling.
+    write_stalled_since: Option<Instant>,
+    /// The client half-closed (EOF on read).
+    read_closed: bool,
+    /// A fatal framing error was answered; close once flushed.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u64) -> Conn {
+        Conn {
+            stream,
+            gen,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_seq: 0,
+            next_write: 0,
+            done: BTreeMap::new(),
+            partial_since: None,
+            write_stalled_since: None,
+            read_closed: false,
+            closing: false,
         }
     }
-    // Connection threads are the only producers; once they exit the queue
-    // contents are final and closing it lets the workers drain and stop.
-    for h in connections {
-        let _ = h.join();
+
+    /// Replies still owed (allocated but not yet released into `wbuf`).
+    fn owed(&self) -> u64 {
+        self.next_seq - self.next_write
     }
+
+    /// Nothing owed and nothing buffered: the connection is quiescent.
+    fn flushed(&self) -> bool {
+        self.owed() == 0 && self.wpos == self.wbuf.len()
+    }
+
+    fn wants_read(&self, shutting: bool) -> bool {
+        !self.closing && !self.read_closed && !shutting
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Lands the reply for `seq`, releasing it (and any now-unblocked
+    /// successors) into the write buffer in sequence order.
+    fn finish(&mut self, seq: u64, bytes: Vec<u8>) {
+        self.done.insert(seq, bytes);
+        while let Some(bytes) = self.done.remove(&self.next_write) {
+            self.wbuf.extend_from_slice(&bytes);
+            self.next_write += 1;
+        }
+    }
+
+    /// Serializes and lands a reply value produced on the reactor thread.
+    fn reply_value(&mut self, seq: u64, wire: Wire, value: &Json) {
+        self.finish(seq, serialize_reply(wire, value));
+    }
+
+    /// Answers a fatal framing error and marks the connection for close
+    /// once the reply is flushed.
+    fn fatal(&mut self, wire: Wire, message: String) {
+        let seq = self.alloc_seq();
+        let value = error_response_value(None, &ServiceError::Usage(message));
+        self.reply_value(seq, wire, &value);
+        self.closing = true;
+    }
+
+    /// Writes as much buffered reply data as the socket accepts. Returns
+    /// `false` when the connection is unusable.
+    fn try_write(&mut self) -> bool {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.wpos += n;
+                    self.write_stalled_since = None;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.write_stalled_since.get_or_insert_with(Instant::now);
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            self.write_stalled_since = None;
+        } else if self.wpos > 32 * 1024 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        true
+    }
+}
+
+/// One framed message pulled out of a connection's read buffer.
+enum Step {
+    /// Not enough bytes yet.
+    Incomplete,
+    /// An empty line: no response owed.
+    Blank,
+    /// A complete JSON request line (trimmed, non-empty).
+    Line(String),
+    /// A complete, decoded binary frame.
+    BinaryValue(Json),
+    /// A newline-terminated line that is not valid UTF-8.
+    BadUtf8,
+    /// Unrecoverable framing: answer `message` in `wire` framing, close.
+    Fatal(Wire, String),
+    /// A line exceeded [`MAX_LINE_BYTES`] without a newline.
+    Oversize,
+}
+
+/// Frames the next message at the start of `buf`, returning the step and
+/// how many bytes it consumed.
+fn next_message(buf: &[u8]) -> (Step, usize) {
+    if buf.is_empty() {
+        return (Step::Incomplete, 0);
+    }
+    if buf[0] == binary::MAGIC {
+        return match binary::decode_frame(buf) {
+            Ok(Some((value, used))) => (Step::BinaryValue(value), used),
+            Ok(None) => {
+                if buf.len() > binary::MAX_FRAME_BYTES + binary::HEADER_BYTES {
+                    (Step::Oversize, 0)
+                } else {
+                    (Step::Incomplete, 0)
+                }
+            }
+            Err(m) => (Step::Fatal(Wire::Binary, format!("invalid binary frame: {m}")), 0),
+        };
+    }
+    match buf.iter().position(|&b| b == b'\n') {
+        Some(i) => match std::str::from_utf8(&buf[..i]) {
+            Ok(text) => {
+                let line = text.trim();
+                if line.is_empty() {
+                    (Step::Blank, i + 1)
+                } else {
+                    (Step::Line(line.to_string()), i + 1)
+                }
+            }
+            Err(_) => (Step::BadUtf8, i + 1),
+        },
+        None => {
+            if buf.len() > MAX_LINE_BYTES {
+                (Step::Oversize, 0)
+            } else {
+                (Step::Incomplete, 0)
+            }
+        }
+    }
+}
+
+/// Reads everything currently available on the socket into `conn.rbuf`.
+/// Returns `false` on a hard error (close now).
+fn read_into(conn: &mut Conn) -> bool {
+    loop {
+        let start = conn.rbuf.len();
+        conn.rbuf.resize(start + READ_CHUNK, 0);
+        match conn.stream.read(&mut conn.rbuf[start..]) {
+            Ok(0) => {
+                conn.rbuf.truncate(start);
+                conn.read_closed = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.rbuf.truncate(start + n);
+                if n < READ_CHUNK {
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                conn.rbuf.truncate(start);
+                return true;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {
+                conn.rbuf.truncate(start);
+            }
+            Err(_) => {
+                conn.rbuf.truncate(start);
+                return false;
+            }
+        }
+    }
+}
+
+/// Frames and dispatches every complete message in `conn.rbuf`. Returns
+/// `false` when the connection must be dropped immediately (chaos drop).
+fn parse_messages(conn: &mut Conn, slot: usize, shared: &Arc<Shared>) -> bool {
+    let mut pos = 0;
+    while !conn.closing {
+        let (step, used) = next_message(&conn.rbuf[pos..]);
+        pos += used;
+        match step {
+            Step::Incomplete => break,
+            Step::Blank => {}
+            Step::BadUtf8 => {
+                let seq = conn.alloc_seq();
+                let value = error_response_value(
+                    None,
+                    &ServiceError::Usage("request line is not valid UTF-8".into()),
+                );
+                conn.reply_value(seq, Wire::Json, &value);
+            }
+            Step::Line(line) => {
+                if shared.chaos.config().enabled() && shared.chaos.roll_drop() {
+                    // Injected partition: the request was accepted but the
+                    // connection dies without a reply.
+                    shared.metrics.record_chaos("drop");
+                    return false;
+                }
+                match Json::parse(&line) {
+                    Ok(value) => handle_value(conn, slot, shared, Wire::Json, value),
+                    Err(e) => {
+                        let seq = conn.alloc_seq();
+                        let id = crate::protocol::recover_id(&line);
+                        let value = error_response_value(
+                            id.as_ref(),
+                            &ServiceError::Usage(format!("invalid JSON: {e}")),
+                        );
+                        conn.reply_value(seq, Wire::Json, &value);
+                    }
+                }
+            }
+            Step::BinaryValue(value) => {
+                if shared.chaos.config().enabled() && shared.chaos.roll_drop() {
+                    shared.metrics.record_chaos("drop");
+                    return false;
+                }
+                handle_value(conn, slot, shared, Wire::Binary, value);
+            }
+            Step::Fatal(wire, message) => conn.fatal(wire, message),
+            Step::Oversize => conn
+                .fatal(Wire::Json, format!("request line exceeds {MAX_LINE_BYTES} bytes")),
+        }
+    }
+    conn.rbuf.drain(..pos);
+    if !conn.closing {
+        if conn.rbuf.is_empty() {
+            conn.partial_since = None;
+        } else if conn.read_closed {
+            // EOF mid-message is unrecoverable framing; answer a structured
+            // error and close.
+            conn.fatal(
+                Wire::Json,
+                "connection closed mid-request (premature EOF)".to_string(),
+            );
+        } else {
+            conn.partial_since.get_or_insert_with(Instant::now);
+        }
+    }
+    true
+}
+
+/// Dispatches one decoded request value: inline for `status` / `shutdown`
+/// and cache hits, queued otherwise.
+fn handle_value(
+    conn: &mut Conn,
+    slot: usize,
+    shared: &Arc<Shared>,
+    wire: Wire,
+    value: Json,
+) {
+    let arrival = Instant::now();
+    let seq = conn.alloc_seq();
+    let envelope = match parse_request_value(&value) {
+        Ok(envelope) => envelope,
+        // Echo the id even for malformed requests whenever the message was
+        // well-formed enough to carry one.
+        Err(e) => {
+            let reply = error_response_value(value.get("id"), &e);
+            conn.reply_value(seq, wire, &reply);
+            return;
+        }
+    };
+    let Envelope { id, deadline_ms, request } = envelope;
+    let kind = request.kind();
+    match request {
+        // Served inline: must keep working while the queue is saturated.
+        Request::Status => {
+            let snapshot = shared.metrics.snapshot(
+                shared.queue.len(),
+                shared.queue.capacity(),
+                shared.cache.stats(),
+            );
+            shared.metrics.record_request(kind, true, elapsed_us(arrival));
+            let reply = ok_response_value(id.as_ref(), kind, vec![("status", snapshot)]);
+            conn.reply_value(seq, wire, &reply);
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.metrics.record_request(kind, true, elapsed_us(arrival));
+            let reply = ok_response_value(
+                id.as_ref(),
+                kind,
+                vec![
+                    ("draining", Json::Bool(true)),
+                    ("queued", Json::num(shared.queue.len() as f64)),
+                ],
+            );
+            conn.reply_value(seq, wire, &reply);
+        }
+        request => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                let reply = error_response_value(id.as_ref(), &ServiceError::ShuttingDown);
+                conn.reply_value(seq, wire, &reply);
+                return;
+            }
+            // The inline fast path: a fully-warm request (trace and result
+            // memo both resident) is answered on the reactor thread with no
+            // queue round trip. Chaos mode disables it so every request
+            // stays exposed to worker-side panic/delay injection.
+            if !shared.chaos.config().enabled() {
+                if let Some(payload) = exec::try_fast(&request, shared) {
+                    shared.metrics.record_request(kind, true, elapsed_us(arrival));
+                    let reply = ok_response_value(id.as_ref(), kind, payload);
+                    conn.reply_value(seq, wire, &reply);
+                    return;
+                }
+            }
+            let deadline_budget = deadline_ms.unwrap_or(shared.default_deadline_ms);
+            let deadline = (deadline_budget > 0)
+                .then(|| arrival + Duration::from_millis(deadline_budget));
+            let job = Job {
+                envelope: Envelope { id: id.clone(), deadline_ms, request },
+                reply: ReplyTo { slot, gen: conn.gen, seq, wire },
+                enqueued: arrival,
+                job_id: shared.next_job_id.fetch_add(1, Ordering::Relaxed),
+                attempt: 0,
+                deadline,
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => {}
+                Err(PushError::Full(_)) => {
+                    shared.metrics.record_rejected();
+                    shared.metrics.record_request(kind, false, elapsed_us(arrival));
+                    let reply = error_response_value(
+                        id.as_ref(),
+                        &ServiceError::Busy { retry_after_ms: retry_hint_ms(shared, kind) },
+                    );
+                    conn.reply_value(seq, wire, &reply);
+                }
+                Err(PushError::Closed(_)) => {
+                    let reply =
+                        error_response_value(id.as_ref(), &ServiceError::ShuttingDown);
+                    conn.reply_value(seq, wire, &reply);
+                }
+            }
+        }
+    }
+}
+
+/// The reactor: accepts, reads, frames, dispatches, writes and sweeps
+/// timers — one thread, every socket.
+fn reactor_loop(listener: &TcpListener, shared: &Arc<Shared>, mut wake: WakePipe) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut next_gen: u64 = 0;
+    let mut listening = true;
+    loop {
+        let shutting = shared.shutdown.load(Ordering::SeqCst);
+        if shutting {
+            listening = false;
+        }
+
+        // Rebuild the pollfd array: [wake][listener?][one per live conn].
+        let mut fds: Vec<PollFd> = Vec::with_capacity(conns.len() + 2);
+        let mut slots: Vec<usize> = Vec::with_capacity(conns.len());
+        fds.push(PollFd::new(wake.fd(), POLLIN));
+        if listening {
+            fds.push(PollFd::new(std::os::unix::io::AsRawFd::as_raw_fd(listener), POLLIN));
+        }
+        let base = fds.len();
+        for (slot, entry) in conns.iter().enumerate() {
+            if let Some(conn) = entry {
+                let mut events = 0i16;
+                if conn.wants_read(shutting) {
+                    events |= POLLIN;
+                }
+                if conn.wpos < conn.wbuf.len() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(
+                    std::os::unix::io::AsRawFd::as_raw_fd(&conn.stream),
+                    events,
+                ));
+                slots.push(slot);
+            }
+        }
+
+        let timeout = i32::try_from(POLL.as_millis()).unwrap_or(25);
+        if poll_fds(&mut fds, timeout).is_err() {
+            // A broken poll means the loop cannot make progress; treat it
+            // as shutdown so the daemon still drains cleanly.
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        wake.drain();
+
+        // 1. Deliver finished jobs into their connections.
+        for completion in shared.take_completions() {
+            if let Some(Some(conn)) = conns.get_mut(completion.slot) {
+                if conn.gen == completion.gen {
+                    conn.finish(completion.seq, completion.bytes);
+                }
+            }
+        }
+
+        // 2. Accept new connections (up to WouldBlock).
+        if listening && fds.get(1).is_some_and(PollFd::readable) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        let gen = next_gen;
+                        next_gen += 1;
+                        let conn = Conn::new(stream, gen);
+                        match conns.iter().position(Option::is_none) {
+                            Some(slot) => conns[slot] = Some(conn),
+                            None => conns.push(Some(conn)),
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // 3. Service readable/writable connections.
+        for (i, &slot) in slots.iter().enumerate() {
+            let ready = fds[base + i];
+            let Some(conn) = conns[slot].as_mut() else { continue };
+            let mut drop_now = false;
+            if ready.readable() && conn.wants_read(shutting) {
+                if read_into(conn) {
+                    drop_now = !parse_messages(conn, slot, shared);
+                } else {
+                    drop_now = true;
+                }
+            }
+            if !drop_now && !conn.try_write() {
+                drop_now = true;
+            }
+            if drop_now {
+                conns[slot] = None;
+            }
+        }
+
+        // 4. Timer sweep and deferred closes.
+        let now = Instant::now();
+        for entry in &mut conns {
+            let Some(conn) = entry.as_mut() else { continue };
+            if conn
+                .write_stalled_since
+                .is_some_and(|since| now.duration_since(since) >= WRITE_TIMEOUT)
+            {
+                *entry = None;
+                continue;
+            }
+            if !conn.closing
+                && conn
+                    .partial_since
+                    .is_some_and(|since| now.duration_since(since) >= PARTIAL_LINE_DEADLINE)
+            {
+                conn.fatal(Wire::Json, "request line stalled; closing".to_string());
+                conn.partial_since = None;
+                let _ = conn.try_write();
+            }
+            // New replies may have landed via completions this iteration;
+            // push them out before judging quiescence.
+            if conn.wpos < conn.wbuf.len() && !conn.try_write() {
+                *entry = None;
+                continue;
+            }
+            if conn.flushed() && (conn.closing || conn.read_closed || shutting) {
+                *entry = None;
+            }
+        }
+
+        if shutting && conns.iter().all(Option::is_none) {
+            break;
+        }
+    }
+    // The reactor is the only producer; once it exits the queue contents
+    // are final and closing it lets the workers drain and stop.
     shared.drained_at_close.store(shared.queue.len(), Ordering::SeqCst);
     shared.queue.close();
 }
@@ -291,7 +866,7 @@ fn attempt_job(job: Job, shared: &Arc<Shared>) -> Option<Job> {
             &job,
             shared,
             false,
-            error_response(
+            &error_response_value(
                 job.envelope.id.as_ref(),
                 &ServiceError::Timeout { elapsed_ms: elapsed_us(job.enqueued) / 1000 },
             ),
@@ -322,19 +897,19 @@ fn attempt_job(job: Job, shared: &Arc<Shared>) -> Option<Job> {
     match outcome {
         Ok(result) => {
             shared.metrics.record_exec(kind, elapsed_us(exec_start));
-            let (ok, line) = match result {
-                Ok(payload) => (true, ok_response(id, kind, payload)),
+            let (ok, value) = match result {
+                Ok(payload) => (true, ok_response_value(id, kind, payload)),
                 Err(e) => {
                     if matches!(e, ServiceError::Timeout { .. }) {
                         shared.metrics.record_timeout();
                     }
-                    (false, error_response(id, &e))
+                    (false, error_response_value(id, &e))
                 }
             };
             if job.attempt > 0 {
                 shared.metrics.record_job_recovered();
             }
-            settle(&job, shared, ok, line);
+            settle(&job, shared, ok, &value);
             None
         }
         Err(_) if job.attempt == 0 => Some(Job { attempt: 1, ..job }),
@@ -343,7 +918,7 @@ fn attempt_job(job: Job, shared: &Arc<Shared>) -> Option<Job> {
                 &job,
                 shared,
                 false,
-                error_response(id, &ServiceError::Internal { job_id: job.job_id }),
+                &error_response_value(id, &ServiceError::Internal { job_id: job.job_id }),
             );
             None
         }
@@ -351,191 +926,25 @@ fn attempt_job(job: Job, shared: &Arc<Shared>) -> Option<Job> {
 }
 
 /// Sends the terminal outcome for a job and records its request metrics.
-/// The connection may already be gone; dropping the reply is fine.
-fn settle(job: &Job, shared: &Shared, ok: bool, line: String) {
+/// The connection may already be gone; the generation check on delivery
+/// makes dropping the reply safe.
+fn settle(job: &Job, shared: &Shared, ok: bool, value: &Json) {
     shared.metrics.record_request(
         job.envelope.request.kind(),
         ok,
         elapsed_us(job.enqueued),
     );
     shared.metrics.record_job_answered();
-    let _ = job.reply.send(line);
+    shared.push_completion(Completion {
+        slot: job.reply.slot,
+        gen: job.reply.gen,
+        seq: job.reply.seq,
+        bytes: serialize_reply(job.reply.wire, value),
+    });
 }
 
 fn elapsed_us(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
-}
-
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL));
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut buf: Vec<u8> = Vec::new();
-    let mut partial_since: Option<Instant> = None;
-    loop {
-        // Read raw bytes up to the cap: `read_line` would error out on
-        // invalid UTF-8 and buffer a newline-free flood without bound.
-        // Partial data stays in `buf` across timeouts, so retries resume
-        // mid-line; timeouts exist so the thread notices shutdown and
-        // stalled (slow-loris) senders.
-        let budget = (MAX_LINE_BYTES + 1 - buf.len()) as u64;
-        match reader.by_ref().take(budget).read_until(b'\n', &mut buf) {
-            Ok(0) if buf.is_empty() => return, // clean EOF between requests
-            Ok(_) if buf.last() == Some(&b'\n') => {
-                partial_since = None;
-                let reply = match std::str::from_utf8(&buf) {
-                    Ok(text) => {
-                        let line = text.trim();
-                        if line.is_empty() {
-                            buf.clear();
-                            continue; // blank line: no response owed
-                        }
-                        if shared.chaos.config().enabled() && shared.chaos.roll_drop() {
-                            // Injected partition: the request was accepted
-                            // but the connection dies without a reply.
-                            shared.metrics.record_chaos("drop");
-                            return;
-                        }
-                        handle_line(line, shared)
-                    }
-                    Err(_) => Some(error_response(
-                        None,
-                        &ServiceError::Usage("request line is not valid UTF-8".into()),
-                    )),
-                };
-                buf.clear();
-                if let Some(reply) = reply {
-                    if !write_reply(&mut writer, reply) {
-                        return;
-                    }
-                }
-            }
-            Ok(0) | Ok(_) => {
-                // No newline: either the cap was hit or the client hit EOF
-                // mid-line. Both are unrecoverable framing; answer a
-                // structured error and close.
-                let message = if buf.len() > MAX_LINE_BYTES {
-                    format!("request line exceeds {MAX_LINE_BYTES} bytes")
-                } else {
-                    "connection closed mid-request (premature EOF)".to_string()
-                };
-                let line = error_response(None, &ServiceError::Usage(message));
-                let _ = write_reply(&mut writer, line);
-                return;
-            }
-            Err(e)
-                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                if buf.is_empty() {
-                    partial_since = None;
-                } else {
-                    let since = *partial_since.get_or_insert_with(Instant::now);
-                    if since.elapsed() >= PARTIAL_LINE_DEADLINE {
-                        let line = error_response(
-                            None,
-                            &ServiceError::Usage("request line stalled; closing".into()),
-                        );
-                        let _ = write_reply(&mut writer, line);
-                        return;
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
-}
-
-/// One framed write per reply: a separate newline segment would trip
-/// Nagle/delayed-ACK and add ~40 ms for clients that did not disable
-/// delays. Returns `false` when the connection is unusable.
-fn write_reply(writer: &mut TcpStream, mut reply: String) -> bool {
-    reply.push('\n');
-    writer.write_all(reply.as_bytes()).is_ok()
-}
-
-/// Processes one non-blank request line.
-fn handle_line(line: &str, shared: &Arc<Shared>) -> Option<String> {
-    let arrival = Instant::now();
-    let envelope = match parse_request(line) {
-        Ok(envelope) => envelope,
-        // Echo the id even for malformed requests whenever the line was
-        // well-formed enough to carry one.
-        Err(e) => return Some(error_response(recover_id(line).as_ref(), &e)),
-    };
-    let id = envelope.id.clone();
-    let kind = envelope.request.kind();
-    match envelope.request {
-        // Served inline: must keep working while the queue is saturated.
-        Request::Status => {
-            let snapshot = shared.metrics.snapshot(
-                shared.queue.len(),
-                shared.queue.capacity(),
-                shared.cache.stats(),
-            );
-            shared.metrics.record_request(kind, true, elapsed_us(arrival));
-            Some(ok_response(id.as_ref(), kind, vec![("status", snapshot)]))
-        }
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            shared.metrics.record_request(kind, true, elapsed_us(arrival));
-            Some(ok_response(
-                id.as_ref(),
-                kind,
-                vec![
-                    ("draining", Json::Bool(true)),
-                    ("queued", Json::num(shared.queue.len() as f64)),
-                ],
-            ))
-        }
-        request => {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return Some(error_response(id.as_ref(), &ServiceError::ShuttingDown));
-            }
-            let deadline_ms = envelope.deadline_ms.unwrap_or(shared.default_deadline_ms);
-            let deadline =
-                (deadline_ms > 0).then(|| arrival + Duration::from_millis(deadline_ms));
-            let (tx, rx) = mpsc::channel();
-            let job = Job {
-                envelope: Envelope {
-                    id: id.clone(),
-                    deadline_ms: envelope.deadline_ms,
-                    request,
-                },
-                reply: tx,
-                enqueued: arrival,
-                job_id: shared.next_job_id.fetch_add(1, Ordering::Relaxed),
-                attempt: 0,
-                deadline,
-            };
-            match shared.queue.try_push(job) {
-                Ok(()) => match rx.recv() {
-                    Ok(reply) => Some(reply),
-                    Err(_) => Some(error_response(
-                        id.as_ref(),
-                        &ServiceError::Failed("worker pool exited before replying".into()),
-                    )),
-                },
-                Err(PushError::Full(_)) => {
-                    shared.metrics.record_rejected();
-                    shared.metrics.record_request(kind, false, elapsed_us(arrival));
-                    Some(error_response(
-                        id.as_ref(),
-                        &ServiceError::Busy { retry_after_ms: retry_hint_ms(shared, kind) },
-                    ))
-                }
-                Err(PushError::Closed(_)) => {
-                    Some(error_response(id.as_ref(), &ServiceError::ShuttingDown))
-                }
-            }
-        }
-    }
 }
 
 /// Suggested back-off when shedding load, derived from the current drain
@@ -547,8 +956,10 @@ fn retry_hint_ms(shared: &Shared, kind: &str) -> u64 {
 
 /// The pure hint formula, unit-testable without a server: with no
 /// execution data yet a nominal 25 ms per job applies; the result is
-/// (weakly) monotone in the backlog and clamped to [1 ms, 30 s].
-fn retry_hint_from(exec_p50_us: u64, backlog: usize, workers: usize) -> u64 {
+/// (weakly) monotone in the backlog and clamped to [1 ms, 30 s]. The shard
+/// router reuses this with the *target shard's* queue occupancy so a hot
+/// shard does not inflate hints for requests bound elsewhere.
+pub(crate) fn retry_hint_from(exec_p50_us: u64, backlog: usize, workers: usize) -> u64 {
     const NOMINAL_JOB_US: u64 = 25_000;
     let per_job_us = if exec_p50_us == 0 { NOMINAL_JOB_US } else { exec_p50_us };
     let slots_ahead = (backlog as u64).saturating_add(1).div_ceil(workers.max(1) as u64);
@@ -588,5 +999,57 @@ mod tests {
         assert_eq!(retry_hint_from(2_000_000, 1000, 2), 30_000);
         // More workers drain faster: the hint must not increase.
         assert!(retry_hint_from(50_000, 64, 8) <= retry_hint_from(50_000, 64, 2));
+    }
+
+    #[test]
+    fn reply_order_is_release_order_not_completion_order() {
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        // A TcpStream is required by the struct; fabricate one from a
+        // loopback listener purely to hold the fd.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        drop((a, client));
+        let mut conn = Conn::new(server_side, 0);
+        let s0 = conn.alloc_seq();
+        let s1 = conn.alloc_seq();
+        let s2 = conn.alloc_seq();
+        conn.finish(s2, b"C".to_vec());
+        conn.finish(s0, b"A".to_vec());
+        assert_eq!(conn.wbuf, b"A");
+        assert_eq!(conn.owed(), 2);
+        conn.finish(s1, b"B".to_vec());
+        assert_eq!(conn.wbuf, b"ABC");
+        assert_eq!(conn.owed(), 0);
+    }
+
+    #[test]
+    fn next_message_frames_lines_blanks_and_partial_tails() {
+        let buf = b"{\"op\":\"x\"}\n\n  \ntail";
+        let (step, used) = next_message(buf);
+        assert!(matches!(step, Step::Line(ref l) if l == "{\"op\":\"x\"}"));
+        assert_eq!(used, 11);
+        let (step, used) = next_message(&buf[11..]);
+        assert!(matches!(step, Step::Blank));
+        assert_eq!(used, 1);
+        let (step, used) = next_message(&buf[12..]);
+        assert!(matches!(step, Step::Blank));
+        assert_eq!(used, 3);
+        let (step, used) = next_message(&buf[15..]);
+        assert!(matches!(step, Step::Incomplete));
+        assert_eq!(used, 0);
+    }
+
+    #[test]
+    fn next_message_detects_binary_frames_and_oversize_lines() {
+        let frame = binary::encode_frame(&Json::obj(vec![("op", Json::str("status"))]));
+        let (step, used) = next_message(&frame);
+        assert!(matches!(step, Step::BinaryValue(_)));
+        assert_eq!(used, frame.len());
+        let (step, _) = next_message(&frame[..3]);
+        assert!(matches!(step, Step::Incomplete));
+        let big = vec![b'x'; MAX_LINE_BYTES + 1];
+        assert!(matches!(next_message(&big).0, Step::Oversize));
     }
 }

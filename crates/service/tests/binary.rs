@@ -1,0 +1,230 @@
+//! Binary-protocol coverage: round-trip fuzz over the value encoding and
+//! live binary-vs-JSON response equivalence per job kind.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use mbist_service::binary;
+use mbist_service::json::Json;
+use mbist_service::{Server, ServiceConfig};
+
+/// Deterministic splitmix64 — the workspace's stock test RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random value tree with randomized member orders at every level.
+fn random_value(rng: &mut Rng, depth: usize) -> Json {
+    match if depth == 0 { rng.below(5) } else { rng.below(7) } {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 0),
+        2 => {
+            // Integral f64s round-trip exactly; fractional ones use halves
+            // so text formatting is not part of this test.
+            let n = rng.below(1 << 40) as f64;
+            Json::Num(if rng.below(2) == 0 { n } else { n / 2.0 })
+        }
+        3 => Json::Num(-(rng.below(1 << 20) as f64)),
+        4 => {
+            let len = rng.below(24) as usize;
+            let s: String = (0..len)
+                .map(|_| {
+                    // Escapes, multi-byte UTF-8 and ASCII all mixed in.
+                    const POOL: &[char] =
+                        &['a', 'Z', '"', '\\', '\n', '\t', 'µ', '→', '🧪', ' ', '{', '}'];
+                    POOL[rng.below(POOL.len() as u64) as usize]
+                })
+                .collect();
+            Json::Str(s)
+        }
+        5 => {
+            let len = rng.below(5) as usize;
+            Json::Arr((0..len).map(|_| random_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.below(5) as usize;
+            Json::Obj(
+                (0..len)
+                    .map(|i| {
+                        // Shuffled, occasionally duplicated-looking keys.
+                        (
+                            format!("k{}", rng.below(16).wrapping_add(i as u64)),
+                            random_value(rng, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn fuzz_round_trip_through_frame_encode_decode() {
+    let mut rng = Rng(0x0b1_f00d);
+    for i in 0..500 {
+        let value = random_value(&mut rng, 4);
+        let frame = binary::encode_frame(&value);
+        let (decoded, used) = binary::decode_frame(&frame)
+            .unwrap_or_else(|e| panic!("iteration {i}: decode failed: {e}"))
+            .unwrap_or_else(|| panic!("iteration {i}: complete frame read as partial"));
+        assert_eq!(used, frame.len(), "iteration {i}: frame length mismatch");
+        // Equality via the canonical JSON text: order-preserving, exact.
+        assert_eq!(decoded.to_string(), value.to_string(), "iteration {i}");
+    }
+}
+
+#[test]
+fn fuzz_truncations_never_decode_to_garbage() {
+    let mut rng = Rng(0x7u64 ^ 0xdead);
+    for _ in 0..50 {
+        let value = random_value(&mut rng, 3);
+        let frame = binary::encode_frame(&value);
+        for cut in 0..frame.len() {
+            match binary::decode_frame(&frame[..cut]) {
+                Ok(None) => {}
+                Ok(Some(_)) => panic!("truncated frame decoded as complete at {cut}"),
+                Err(_) => panic!("truncated frame judged unrecoverable at {cut}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn max_size_payload_round_trips_and_one_byte_more_is_rejected() {
+    // Build a string payload that lands the frame exactly at the cap:
+    // payload = tag(1) + len(4) + bytes.
+    let max_str = binary::MAX_FRAME_BYTES - 5;
+    let value = Json::Str("x".repeat(max_str));
+    let frame = binary::encode_frame(&value);
+    assert_eq!(frame.len(), binary::MAX_FRAME_BYTES + binary::HEADER_BYTES);
+    let (decoded, _) = binary::decode_frame(&frame).expect("valid").expect("complete");
+    assert_eq!(decoded.to_string(), value.to_string());
+
+    let over = Json::Str("x".repeat(max_str + 1));
+    let frame = binary::encode_frame(&over);
+    assert!(
+        binary::decode_frame(&frame).is_err(),
+        "an oversize frame must be rejected, not buffered"
+    );
+}
+
+#[test]
+fn magic_byte_cannot_be_confused_with_partial_json() {
+    // 0xB1 is a UTF-8 continuation byte: no JSON text can start with it,
+    // so a buffer beginning with a partial JSON line is never mis-framed
+    // as binary, and vice versa.
+    let partials = ["{\"kind\":\"stat", "  {\"a\": [1, 2", "tru", "\"→🧪"];
+    for p in partials {
+        assert_ne!(p.as_bytes()[0], binary::MAGIC);
+    }
+    let frame = binary::encode_frame(&Json::obj(vec![("kind", Json::str("status"))]));
+    assert_eq!(frame[0], binary::MAGIC);
+    assert!(
+        std::str::from_utf8(&frame[..1]).is_err(),
+        "magic must not be valid UTF-8 on its own"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Live-server equivalence
+// ---------------------------------------------------------------------------
+
+fn send_json(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> String {
+    stream.write_all(format!("{line}\n").as_bytes()).expect("send json");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("json reply");
+    reply.trim_end_matches('\n').to_string()
+}
+
+fn send_binary(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    value: &Json,
+) -> Json {
+    stream.write_all(&binary::encode_frame(value)).expect("send binary");
+    let mut header = [0u8; binary::HEADER_BYTES];
+    reader.read_exact(&mut header).expect("binary header");
+    assert_eq!(header[0], binary::MAGIC, "reply must be framed binary");
+    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).expect("binary payload");
+    let mut frame = header.to_vec();
+    frame.extend_from_slice(&payload);
+    let (decoded, used) =
+        binary::decode_frame(&frame).expect("valid reply").expect("complete");
+    assert_eq!(used, frame.len());
+    decoded
+}
+
+/// For every job kind: warm the caches, then ask the same request over
+/// both framings and require the decoded binary reply to serialize to the
+/// exact bytes of the JSON reply.
+#[test]
+fn binary_and_json_replies_are_byte_identical_per_job_kind() {
+    let server =
+        Server::start("127.0.0.1:0", ServiceConfig::default()).expect("bind server");
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let requests = [
+        r#"{"id":"c","kind":"coverage","test":"march-c","words":48}"#,
+        r#"{"id":"d","kind":"detects","test":"march-c","words":48,"fault":"sa0@7"}"#,
+        r#"{"id":"s","kind":"synth","classes":"saf,tf","max_elements":4}"#,
+        r#"{"id":"a","kind":"area","table":"2"}"#,
+    ];
+    for line in requests {
+        // Warm-up: both protocol answers below come from the result memo,
+        // so their `cached` flags (and therefore bytes) agree.
+        let _ = send_json(&mut stream, &mut reader, line);
+        let json_reply = send_json(&mut stream, &mut reader, line);
+        let value = Json::parse(line).expect("request parses");
+        let binary_reply = send_binary(&mut stream, &mut reader, &value);
+        assert_eq!(binary_reply.to_string(), json_reply, "framings disagree for {line}");
+    }
+
+    // Mixed framing on one connection: replies already interleaved above;
+    // finish with a JSON shutdown to prove the line path still works.
+    let bye = send_json(&mut stream, &mut reader, r#"{"id":"bye","kind":"shutdown"}"#);
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+    let _ = server.join();
+}
+
+/// Errors speak the request's framing too: a binary usage error decodes to
+/// the same value a JSON request would get as text.
+#[test]
+fn binary_errors_match_json_errors() {
+    let server =
+        Server::start("127.0.0.1:0", ServiceConfig::default()).expect("bind server");
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let bad = r#"{"id":7,"kind":"frob"}"#;
+    let json_reply = send_json(&mut stream, &mut reader, bad);
+    let binary_reply =
+        send_binary(&mut stream, &mut reader, &Json::parse(bad).expect("parses"));
+    assert_eq!(binary_reply.to_string(), json_reply);
+    assert!(json_reply.contains("unknown kind"), "{json_reply}");
+
+    server.shutdown();
+    let _ = server.join();
+}

@@ -1,0 +1,199 @@
+//! End-to-end tests for the consistent-hash router fronting live shard
+//! daemons on ephemeral ports.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use mbist_service::binary;
+use mbist_service::json::Json;
+use mbist_service::{Router, RouterConfig, Server, ServiceConfig};
+
+fn start_fleet(shards: usize, config: RouterConfig) -> (Vec<Server>, Router) {
+    let servers: Vec<Server> = (0..shards)
+        .map(|_| Server::start("127.0.0.1:0", ServiceConfig::default()).expect("shard"))
+        .collect();
+    let addrs: Vec<SocketAddr> = servers.iter().map(Server::local_addr).collect();
+    let router = Router::start("127.0.0.1:0", RouterConfig { shards: addrs, ..config })
+        .expect("router");
+    (servers, router)
+}
+
+fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<Json> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut replies = Vec::new();
+    for line in lines {
+        stream.write_all(format!("{line}\n").as_bytes()).expect("send");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        replies.push(Json::parse(reply.trim()).expect("reply is JSON"));
+    }
+    replies
+}
+
+#[test]
+fn routed_replies_match_a_direct_shard_byte_for_byte() {
+    let (servers, router) = start_fleet(2, RouterConfig::default());
+    let requests = [
+        r#"{"id":1,"kind":"coverage","test":"march-c","words":40}"#,
+        r#"{"id":2,"kind":"detects","test":"march-c","words":40,"fault":"sa1@3"}"#,
+        r#"{"id":3,"kind":"area","table":"1"}"#,
+        r#"{"id":4,"kind":"synth","classes":"saf","max_elements":3}"#,
+    ];
+    // An identical single-shard fleet serves as the oracle: the router must
+    // not change a single reply byte.
+    let oracle = Server::start("127.0.0.1:0", ServiceConfig::default()).expect("oracle");
+    for line in requests {
+        let via_router = roundtrip(router.local_addr(), &[line]).pop().unwrap();
+        let direct = roundtrip(oracle.local_addr(), &[line]).pop().unwrap();
+        assert_eq!(via_router.to_string(), direct.to_string(), "diverged on {line}");
+    }
+    oracle.shutdown();
+    let _ = oracle.join();
+    router.shutdown();
+    let _ = router.join();
+    for s in servers {
+        let _ = s.join();
+    }
+}
+
+#[test]
+fn placement_is_sticky_and_spreads_distinct_traces() {
+    let (servers, router) = start_fleet(2, RouterConfig::default());
+    let addr = router.local_addr();
+
+    // The same (test, geometry) repeated: second answer must be a memo hit,
+    // which can only happen if both landed on the same shard.
+    let line = r#"{"kind":"coverage","test":"march-c","words":24}"#;
+    let replies = roundtrip(addr, &[line, line]);
+    assert_eq!(replies[0].get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(replies[1].get("cached").and_then(Json::as_bool), Some(true));
+
+    // Many distinct geometries: the ring must not pin everything to one
+    // shard. Check via each shard's own served counter after shutdown.
+    let lines: Vec<String> = (0..16)
+        .map(|i| format!(r#"{{"kind":"coverage","test":"mats","words":{}}}"#, 16 + i))
+        .collect();
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let _ = roundtrip(addr, &refs);
+
+    router.shutdown();
+    let _ = router.join();
+    let mut served = Vec::new();
+    for s in servers {
+        served.push(s.join().served);
+    }
+    assert!(
+        served.iter().all(|&n| n > 0),
+        "every shard should have seen traffic: {served:?}"
+    );
+}
+
+#[test]
+fn tenant_quota_zero_sheds_with_a_structured_busy() {
+    let (servers, router) =
+        start_fleet(1, RouterConfig { tenant_quota: Some(0), ..RouterConfig::default() });
+    let reply = roundtrip(
+        router.local_addr(),
+        &[r#"{"id":"q","kind":"coverage","test":"mats","words":8,"tenant":"acme"}"#],
+    )
+    .pop()
+    .unwrap();
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("q"));
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    let err = reply.get("error").expect("error object");
+    assert_eq!(err.get("class").and_then(Json::as_str), Some("busy"));
+    let hint = err.get("retry_after_ms").and_then(Json::as_u64).expect("hint");
+    assert!((1..=30_000).contains(&hint), "retry hint {hint}");
+
+    // status is answered router-locally and reports the shed.
+    let status = roundtrip(router.local_addr(), &[r#"{"kind":"status"}"#]).pop().unwrap();
+    let r = status.get("status").unwrap().get("router").expect("router status");
+    assert_eq!(r.get("shed").and_then(Json::as_u64), Some(1));
+    assert_eq!(r.get("forwarded").and_then(Json::as_u64), Some(0));
+
+    router.shutdown();
+    let _ = router.join();
+    for s in servers {
+        let _ = s.join();
+    }
+}
+
+#[test]
+fn binary_framing_passes_through_the_router_unchanged() {
+    let (servers, router) = start_fleet(2, RouterConfig::default());
+    let addr = router.local_addr();
+    let line = r#"{"id":"b","kind":"coverage","test":"march-c","words":32}"#;
+    // Warm both paths so `cached` flags agree.
+    let _ = roundtrip(addr, &[line]);
+    let json_reply = roundtrip(addr, &[line]).pop().unwrap();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let value = Json::parse(line).expect("request parses");
+    stream.write_all(&binary::encode_frame(&value)).expect("send frame");
+    let mut header = [0u8; binary::HEADER_BYTES];
+    stream.read_exact(&mut header).expect("reply header");
+    assert_eq!(header[0], binary::MAGIC);
+    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).expect("reply payload");
+    let mut frame = header.to_vec();
+    frame.extend_from_slice(&payload);
+    let (decoded, _) = binary::decode_frame(&frame).expect("valid").expect("complete");
+    assert_eq!(decoded.to_string(), json_reply.to_string());
+
+    router.shutdown();
+    let _ = router.join();
+    for s in servers {
+        let _ = s.join();
+    }
+}
+
+#[test]
+fn shutdown_through_the_router_drains_the_whole_fleet() {
+    let (servers, router) = start_fleet(2, RouterConfig::default());
+    let addr = router.local_addr();
+    let replies = roundtrip(
+        addr,
+        &[
+            r#"{"kind":"detects","test":"mats","words":16,"fault":"sa0@1"}"#,
+            r#"{"id":"bye","kind":"shutdown"}"#,
+        ],
+    );
+    assert_eq!(replies[0].get("detected").and_then(Json::as_bool), Some(true));
+    assert_eq!(replies[1].get("draining").and_then(Json::as_bool), Some(true));
+
+    let summary = router.join();
+    assert!(summary.served >= 2, "router served {}", summary.served);
+    // Every shard received the broadcast shutdown and joins cleanly.
+    for s in servers {
+        let _ = s.join();
+    }
+    // The router listener is gone.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(TcpStream::connect(addr).is_err(), "router should refuse connections");
+}
+
+#[test]
+fn router_errors_echo_ids_and_match_daemon_wording() {
+    let (servers, router) = start_fleet(1, RouterConfig::default());
+    let replies =
+        roundtrip(router.local_addr(), &["this is not json", r#"{"id":9,"kind":"frob"}"#]);
+    for r in &replies {
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{r}");
+        assert_eq!(
+            r.get("error").unwrap().get("class").and_then(Json::as_str),
+            Some("usage"),
+            "{r}"
+        );
+    }
+    assert_eq!(replies[1].get("id").and_then(Json::as_u64), Some(9), "id echoed");
+
+    router.shutdown();
+    let _ = router.join();
+    for s in servers {
+        let _ = s.join();
+    }
+}

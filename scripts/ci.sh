@@ -113,6 +113,37 @@ wait "$svc_pid" || { echo "daemon exited non-zero"; cat "$svc_log"; exit 1; }
 grep -q "drained" "$svc_log" || {
     echo "daemon did not report a clean drain"; cat "$svc_log"; exit 1; }
 
+echo "==> sharded service smoke (router + 2 shards, both protocols)"
+shard_log=/tmp/mbist_sharded_ci.log
+cargo run -q --release -p mbist-cli -- serve --addr 127.0.0.1:0 --shards 2 --workers 1 \
+    > "$shard_log" 2>&1 &
+shard_pid=$!
+i=0
+until grep -q "listening on" "$shard_log"; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "sharded fleet never came up"; cat "$shard_log"; exit 1; }
+    sleep 0.1
+done
+shard_addr=$(sed -n 's/^mbist-service listening on \([0-9.:]*\) .*/\1/p' "$shard_log")
+# line-JSON pass first (no shutdown: the binary pass reuses the fleet)...
+shard_json_out=$(cargo run -q --release -p mbist-bench --bin loadgen -- \
+    --quick --addr "$shard_addr" --out /tmp/BENCH_sharded_json_ci.json)
+echo "$shard_json_out"
+[ "$(echo "$shard_json_out" | grep -c "agreement OK")" -eq 3 ] || {
+    echo "sharded smoke (json) missing agreement lines"; exit 1; }
+# ...then the binary protocol over the same router, which drains the fleet
+shard_bin_out=$(cargo run -q --release -p mbist-bench --bin loadgen -- \
+    --quick --addr "$shard_addr" --protocol binary --shutdown \
+    --out /tmp/BENCH_sharded_binary_ci.json)
+echo "$shard_bin_out"
+[ "$(echo "$shard_bin_out" | grep -c "agreement OK")" -eq 3 ] || {
+    echo "sharded smoke (binary) missing agreement lines"; exit 1; }
+wait "$shard_pid" || { echo "sharded fleet exited non-zero"; cat "$shard_log"; exit 1; }
+grep -q "drained" "$shard_log" || {
+    echo "sharded fleet did not report a clean drain"; cat "$shard_log"; exit 1; }
+grep -q "^router: forwarded" "$shard_log" || {
+    echo "sharded fleet missing the router summary"; cat "$shard_log"; exit 1; }
+
 echo "==> chaos smoke (fault-injecting daemon + resilient loadgen)"
 chaos_log=/tmp/mbist_chaos_ci.log
 cargo run -q --release -p mbist-cli -- serve --addr 127.0.0.1:0 --workers 2 \
