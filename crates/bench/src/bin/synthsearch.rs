@@ -1,0 +1,250 @@
+//! Std-only search-synthesis benchmark.
+//!
+//! Runs both `mbist-search` strategies (the seeded evolutionary loop and
+//! the primitive composition) on the classic static fault universe
+//! (SAF/TF/CFin/CFid/CFst, stride-sampled) with the packed engine as the
+//! fitness oracle, and compares the found test's length against the
+//! classical March C / March C+ / March C++ at the coverage each achieves
+//! on the *same* sampled universe — the apples-to-apples answer to "did
+//! the search find something at least as short as the handwritten tests".
+//!
+//! Prints a human summary plus one `search OK` line per strategy that CI
+//! greps for (found coverage reaches the target AND the found test is no
+//! longer than March C), and emits `BENCH_synth.json` with found length,
+//! coverage and candidates/sec for both strategies alongside the
+//! reference rows. `--quick` shrinks the workload for smoke runs;
+//! `--out PATH` overrides the JSON path.
+//!
+//! No external crates: timing via `std::time::Instant`, JSON by hand.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use std::{env, fs};
+
+use mbist_march::{
+    expand_with, library, CompiledTrace, ExpandOptions, MarchTest, SimEngine,
+};
+use mbist_mem::{subset_universe, FaultClass, MemGeometry, UniverseSpec};
+use mbist_search::{search_march, SearchOptions, Strategy};
+
+/// The classic static classes every March C variant targets.
+const CLASSES: [FaultClass; 5] = [
+    FaultClass::StuckAt,
+    FaultClass::Transition,
+    FaultClass::CouplingInversion,
+    FaultClass::CouplingIdempotent,
+    FaultClass::CouplingState,
+];
+
+struct StrategyRow {
+    strategy: &'static str,
+    test: String,
+    ops_per_cell: usize,
+    detected: usize,
+    total: usize,
+    converged: bool,
+    evaluations: usize,
+    generations: usize,
+    wall_ns: u128,
+    candidates_per_sec: f64,
+}
+
+struct ReferenceRow {
+    name: String,
+    ops_per_cell: usize,
+    detected: usize,
+    total: usize,
+}
+
+/// A reference test's detection count on the same sampled universe the
+/// search optimizes against.
+fn reference_row(
+    test: &MarchTest,
+    geometry: &MemGeometry,
+    universe: &[mbist_mem::FaultKind],
+) -> ReferenceRow {
+    let steps = expand_with(test, geometry, &ExpandOptions::for_geometry(geometry));
+    let trace = CompiledTrace::from_steps(*geometry, &steps);
+    let flags = trace.detect_universe(universe, None, SimEngine::Packed);
+    ReferenceRow {
+        name: test.name().to_string(),
+        ops_per_cell: test.ops_per_cell(),
+        detected: flags.iter().filter(|&&d| d).count(),
+        total: universe.len(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_synth.json".to_string());
+
+    let geometry = MemGeometry::bit_oriented(if quick { 64 } else { 256 });
+    let max_faults_per_class = if quick { 128 } else { 256 };
+    let budget = if quick { 600 } else { 2000 };
+    let seed = 1u64;
+
+    let universe = subset_universe(
+        &geometry,
+        &CLASSES,
+        &UniverseSpec::default(),
+        max_faults_per_class,
+    );
+    println!(
+        "search synthesis on {geometry}: {} sampled faults (saf,tf,cfin,cfid,cfst), \
+         budget {budget}, seed {seed}",
+        universe.len()
+    );
+
+    let references: Vec<ReferenceRow> =
+        [library::march_c(), library::march_c_plus(), library::march_c_plus_plus()]
+            .iter()
+            .map(|t| reference_row(t, &geometry, &universe))
+            .collect();
+    let march_c = &references[0];
+
+    let mut rows: Vec<StrategyRow> = Vec::new();
+    for strategy in [Strategy::Evolutionary, Strategy::Composition] {
+        let options = SearchOptions {
+            geometry,
+            classes: CLASSES.to_vec(),
+            max_faults_per_class,
+            budget,
+            seed,
+            strategy,
+            ..SearchOptions::default()
+        };
+        let started = Instant::now();
+        let found = search_march("found", &options);
+        let wall_ns = started.elapsed().as_nanos();
+        let candidates_per_sec = if wall_ns == 0 {
+            0.0
+        } else {
+            found.evaluations as f64 / (wall_ns as f64 / 1e9)
+        };
+        println!(
+            "  {:<8} {}n, coverage {}/{} ({:.1}%), {} evaluations, {} generations, \
+             {:.1} candidates/sec",
+            strategy.label(),
+            found.test.ops_per_cell(),
+            found.detected,
+            found.total,
+            found.coverage() * 100.0,
+            found.evaluations,
+            found.generations,
+            candidates_per_sec,
+        );
+        rows.push(StrategyRow {
+            strategy: strategy.label(),
+            test: found.test.to_string(),
+            ops_per_cell: found.test.ops_per_cell(),
+            detected: found.detected,
+            total: found.total,
+            converged: found.converged,
+            evaluations: found.evaluations,
+            generations: found.generations,
+            wall_ns,
+            candidates_per_sec,
+        });
+    }
+
+    println!("  references on the same universe:");
+    for r in &references {
+        println!(
+            "  {:<10} {}n, coverage {}/{} ({:.1}%)",
+            r.name,
+            r.ops_per_cell,
+            r.detected,
+            r.total,
+            r.detected as f64 / r.total as f64 * 100.0
+        );
+    }
+
+    // The acceptance gate: each strategy converges on the full universe
+    // and finds a test no longer than the handwritten March C at the same
+    // (100%) coverage.
+    for row in &rows {
+        assert!(row.converged, "{} did not reach the coverage target", row.strategy);
+        assert_eq!(row.detected, row.total, "{} below 100% coverage", row.strategy);
+        assert_eq!(march_c.detected, march_c.total, "march-c below 100% on this universe");
+        assert!(
+            row.ops_per_cell <= march_c.ops_per_cell,
+            "{} found {}n, longer than march-c's {}n",
+            row.strategy,
+            row.ops_per_cell,
+            march_c.ops_per_cell
+        );
+        println!(
+            "search OK: {} {}n at 100.0% <= march-c {}n at 100.0%",
+            row.strategy, row.ops_per_cell, march_c.ops_per_cell
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"geometry\": \"{geometry}\",");
+    let _ =
+        writeln!(json, "  \"universe\": [\"saf\", \"tf\", \"cfin\", \"cfid\", \"cfst\"],");
+    let _ = writeln!(json, "  \"faults\": {},", universe.len());
+    let _ = writeln!(json, "  \"max_faults_per_class\": {max_faults_per_class},");
+    let _ = writeln!(json, "  \"budget\": {budget},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    json.push_str("  \"strategies\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"strategy\": \"{}\", \"test\": \"{}\", \"ops_per_cell\": {}, \
+             \"detected\": {}, \"total\": {}, \"coverage\": {:.6}, \"converged\": {}, \
+             \"evaluations\": {}, \"generations\": {}, \"wall_ns\": {}, \
+             \"candidates_per_sec\": {:.2}}}{}",
+            r.strategy,
+            json_escape(&r.test),
+            r.ops_per_cell,
+            r.detected,
+            r.total,
+            r.detected as f64 / r.total as f64,
+            r.converged,
+            r.evaluations,
+            r.generations,
+            r.wall_ns,
+            r.candidates_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"references\": [\n");
+    for (i, r) in references.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"test\": \"{}\", \"ops_per_cell\": {}, \"detected\": {}, \
+             \"total\": {}, \"coverage\": {:.6}}}{}",
+            json_escape(&r.name),
+            r.ops_per_cell,
+            r.detected,
+            r.total,
+            r.detected as f64 / r.total as f64,
+            if i + 1 < references.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -153,6 +153,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("area") => cmd_area(&collect(it)),
         Some("rtl") => cmd_rtl(&collect(it)),
         Some("synth") => cmd_synth(&collect(it)),
+        Some("synth-search") => cmd_synth_search(&collect(it)),
         Some("serve") => cmd_serve(&collect(it)),
         Some(other) => Err(err(format!("unknown command `{other}`; try `mbist help`"))),
     }
@@ -190,6 +191,13 @@ commands:
   synth --classes C1,C2,..            synthesize a minimal march test for a
       [--max-elements N] [--jobs J]   fault mix (saf tf af cfin cfid cfst)
       [--engine full|sliced|packed]
+  synth-search --universe C1,C2,..    search for a minimal march test hitting a
+      [--target-coverage PCT]         target coverage of the fault universe
+      [--strategy evolve|compose]     (classes: saf tf af cfin cfid cfst sof
+      [--budget B] [--seed S]         drf puf snpsf anpsf); deterministic in
+      [--words N] [--width W]         --seed, scored by the packed engine
+      [--ports P] [--max-elements N]  (default geometry 256x1, budget 2000,
+      [--jobs J] [--engine E]         seed 1, target 100%)
   serve [--addr A] [--workers W]      run the evaluation daemon (line-delimited
       [--cache-bytes B]               JSON over TCP; default 127.0.0.1:1999);
       [--queue-depth D]               send {\"kind\":\"shutdown\"} to stop;
@@ -581,18 +589,7 @@ fn cmd_synth(args: &[&str]) -> Result<String, CliError> {
     check_flags(args, &["--classes", "--max-elements", "--jobs", "--engine"])?;
     let spec = flag_value(args, "--classes")
         .ok_or_else(|| err("usage: mbist synth --classes saf,tf,af"))?;
-    let mut classes = Vec::new();
-    for name in spec.split(',') {
-        classes.push(match name.trim() {
-            "saf" => FaultClass::StuckAt,
-            "tf" => FaultClass::Transition,
-            "af" => FaultClass::AddressDecoder,
-            "cfin" => FaultClass::CouplingInversion,
-            "cfid" => FaultClass::CouplingIdempotent,
-            "cfst" => FaultClass::CouplingState,
-            other => return Err(err(format!("unknown fault class `{other}`"))),
-        });
-    }
+    let classes = FaultClass::parse_list(spec).map_err(err)?;
     let max_elements: usize = parse_flag(args, "--max-elements", 8)?;
     let mut options =
         SynthesisOptions { classes, max_elements, ..SynthesisOptions::default() };
@@ -613,6 +610,62 @@ fn cmd_synth(args: &[&str]) -> Result<String, CliError> {
         let _ = writeln!(out, "warning: coverage incomplete; raise --max-elements");
     }
     Ok(out)
+}
+
+fn cmd_synth_search(args: &[&str]) -> Result<String, CliError> {
+    use mbist_mem::FaultClass;
+    use mbist_search::{report_text, search_march, SearchOptions, Strategy};
+    check_flags(
+        args,
+        &[
+            "--universe",
+            "--words",
+            "--width",
+            "--ports",
+            "--target-coverage",
+            "--budget",
+            "--seed",
+            "--strategy",
+            "--max-elements",
+            "--jobs",
+            "--engine",
+        ],
+    )?;
+    let spec = flag_value(args, "--universe")
+        .ok_or_else(|| err("usage: mbist synth-search --universe saf,tf,cfin,cfid,cfst"))?;
+    let classes = FaultClass::parse_list(spec).map_err(err)?;
+    let words: u64 = parse_flag(args, "--words", 256)?;
+    let width: u8 = parse_flag(args, "--width", 1)?;
+    let ports: u8 = parse_flag(args, "--ports", 1)?;
+    if words == 0 || width == 0 || width > 64 || ports == 0 {
+        return Err(err("geometry out of range (words ≥ 1, 1 ≤ width ≤ 64, ports ≥ 1)"));
+    }
+    let target_pct: f64 = parse_flag(args, "--target-coverage", 100.0)?;
+    if !(0.0..=100.0).contains(&target_pct) {
+        return Err(err(format!("--target-coverage must be 0–100, got {target_pct}")));
+    }
+    let strategy = match flag_value(args, "--strategy") {
+        None => Strategy::Evolutionary,
+        Some(name) => Strategy::parse_name(name)
+            .ok_or_else(|| err(format!("unknown --strategy `{name}` (evolve|compose)")))?,
+    };
+    let options = SearchOptions {
+        geometry: MemGeometry::new(words, width, ports),
+        classes,
+        target_coverage: target_pct / 100.0,
+        budget: parse_flag(args, "--budget", 2000)?,
+        seed: parse_flag(args, "--seed", 1)?,
+        max_elements: parse_flag(args, "--max-elements", 12)?,
+        jobs: jobs_from(args)?,
+        engine: match flag_value(args, "--engine") {
+            None => SimEngine::Packed, // the search default: fastest oracle
+            Some(_) => engine_from(args)?,
+        },
+        strategy,
+        ..SearchOptions::default()
+    };
+    let found = search_march("found", &options);
+    Ok(report_text(&found, &options))
 }
 
 fn cmd_serve(args: &[&str]) -> Result<String, CliError> {
@@ -949,6 +1002,72 @@ mod tests {
             .to_string()
             .contains("unknown fault class"));
         assert!(run_err(&["synth"]).to_string().contains("--classes"));
+    }
+
+    #[test]
+    fn synth_search_converges_on_a_small_universe() {
+        let out = run_ok(&[
+            "synth-search",
+            "--universe",
+            "saf,tf",
+            "--words",
+            "32",
+            "--budget",
+            "300",
+        ]);
+        assert!(out.contains("found:"), "{out}");
+        assert!(out.contains("converged"), "{out}");
+        assert!(out.contains("strategy evolve, seed 1"), "{out}");
+    }
+
+    #[test]
+    fn synth_search_strategies_and_errors() {
+        let out = run_ok(&[
+            "synth-search",
+            "--universe",
+            "saf,af",
+            "--words",
+            "32",
+            "--strategy",
+            "compose",
+        ]);
+        assert!(out.contains("strategy compose"), "{out}");
+        assert!(run_err(&["synth-search"]).to_string().contains("--universe"));
+        assert!(run_err(&["synth-search", "--universe", "zzz"])
+            .to_string()
+            .contains("unknown fault class"));
+        let e = run_err(&["synth-search", "--universe", "saf", "--strategy", "anneal"]);
+        assert!(e.to_string().contains("unknown --strategy"), "{e}");
+        let e = run_err(&["synth-search", "--universe", "saf", "--target-coverage", "150"]);
+        assert!(e.to_string().contains("0–100"), "{e}");
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    /// Same `--seed` must print byte-identical output for every worker
+    /// count and engine — the CLI-level determinism contract.
+    #[test]
+    fn synth_search_output_is_independent_of_jobs_and_engine() {
+        let base = [
+            "synth-search",
+            "--universe",
+            "saf,tf,cfid",
+            "--words",
+            "32",
+            "--budget",
+            "300",
+            "--seed",
+            "9",
+        ];
+        let with = |extra: &[&str]| {
+            let mut args = base.to_vec();
+            args.extend_from_slice(extra);
+            run_ok(&args)
+        };
+        let reference = with(&["--jobs", "1"]);
+        assert_eq!(with(&["--jobs", "3"]), reference, "--jobs must not change output");
+        assert_eq!(with(&["--engine", "packed"]), reference);
+        assert_eq!(with(&["--engine", "sliced"]), reference, "engine must not either");
+        assert_eq!(with(&[]), reference, "defaults match too");
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use error::MarchError;
 pub use expand::{cycle_count, expand, expand_with, ExpandOptions};
 pub use op::MarchOp;
 pub use runner::{detects, fault_free_clean, run_steps, run_steps_detect, RunReport};
-pub use synth::{synthesize_march, SynthesisOptions, SynthesizedMarch};
+pub use synth::{candidate_elements, synthesize_march, SynthesisOptions, SynthesizedMarch};
 pub use test::{MarchTest, SymmetricSplit};
 pub use trace::{canonical_request_key, canonical_trace_key, CompiledTrace, SimEngine};
 pub use transparent::{is_transparent_compatible, run_transparent, TransparentOutcome};

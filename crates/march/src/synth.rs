@@ -74,8 +74,15 @@ impl SynthesizedMarch {
     }
 }
 
-/// The candidate element menu: per-cell patterns × up/down orders.
-fn candidate_elements() -> Vec<MarchElement> {
+/// The candidate element menu the greedy synthesis searches over: per-cell
+/// read/write patterns × up/down orders (20 deduplicated elements).
+///
+/// Public so search-based synthesizers (the `mbist-search` crate) draw
+/// from the exact same pool instead of a drifting copy — an element the
+/// greedy pass can pick is an element the evolutionary pass can mutate to,
+/// and vice versa.
+#[must_use]
+pub fn candidate_elements() -> Vec<MarchElement> {
     use MarchOp::{Read, Write};
     let patterns: Vec<Vec<MarchOp>> = vec![
         vec![Read(false)],

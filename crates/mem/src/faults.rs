@@ -466,6 +466,64 @@ impl FaultClass {
             FaultClass::NpsfActive => "ANPSF",
         }
     }
+
+    /// The lowercase CLI/service tag — the exact inverse of
+    /// [`FaultClass::parse_name`], used when echoing a class list back.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultClass::StuckAt => "saf",
+            FaultClass::Transition => "tf",
+            FaultClass::AddressDecoder => "af",
+            FaultClass::CouplingInversion => "cfin",
+            FaultClass::CouplingIdempotent => "cfid",
+            FaultClass::CouplingState => "cfst",
+            FaultClass::StuckOpen => "sof",
+            FaultClass::Retention => "drf",
+            FaultClass::PullOpen => "puf",
+            FaultClass::NpsfStatic => "snpsf",
+            FaultClass::NpsfActive => "anpsf",
+        }
+    }
+
+    /// Parses one lowercase class name as used by the CLI and service
+    /// (`saf`, `tf`, `af`, `cfin`, `cfid`, `cfst`, `sof`, `drf`, `puf`,
+    /// `snpsf`, `anpsf`) — the single shared spelling table, so the two
+    /// front ends cannot drift.
+    #[must_use]
+    pub fn parse_name(name: &str) -> Option<FaultClass> {
+        Some(match name {
+            "saf" => FaultClass::StuckAt,
+            "tf" => FaultClass::Transition,
+            "af" => FaultClass::AddressDecoder,
+            "cfin" => FaultClass::CouplingInversion,
+            "cfid" => FaultClass::CouplingIdempotent,
+            "cfst" => FaultClass::CouplingState,
+            "sof" => FaultClass::StuckOpen,
+            "drf" => FaultClass::Retention,
+            "puf" => FaultClass::PullOpen,
+            "snpsf" => FaultClass::NpsfStatic,
+            "anpsf" => FaultClass::NpsfActive,
+            _ => return None,
+        })
+    }
+
+    /// Parses a comma-separated class list (`"saf,tf,cfid"`), trimming
+    /// whitespace around each name. Duplicates are kept in order — callers
+    /// that need a set can dedup.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name on the first unknown entry.
+    pub fn parse_list(spec: &str) -> Result<Vec<FaultClass>, String> {
+        spec.split(',')
+            .map(|name| {
+                let name = name.trim();
+                FaultClass::parse_name(name)
+                    .ok_or_else(|| format!("unknown fault class `{name}`"))
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for FaultClass {

@@ -58,5 +58,5 @@ pub use op::{BusCycle, Miscompare, Operation, TestStep};
 pub use scramble::{BitReverseScrambler, IdentityScrambler, Scrambler, XorScrambler};
 pub use universe::{
     class_universe, class_universe_len, class_universe_sampled, coupling_pairs,
-    neighborhood, topology_cols, UniverseSpec,
+    neighborhood, subset_universe, topology_cols, UniverseSpec,
 };

@@ -491,6 +491,26 @@ pub fn class_universe_sampled(
     s.out
 }
 
+/// The concatenated universe for a class subset, each class independently
+/// stride-capped at `max_per_class` faults (`0` = uncapped) — the target
+/// fault list a march-test search optimizes against. Classes contribute in
+/// the order given, so two callers naming the same subset in the same
+/// order see the same fault list in the same order (the determinism the
+/// search-result memoization relies on).
+#[must_use]
+pub fn subset_universe(
+    g: &MemGeometry,
+    classes: &[FaultClass],
+    spec: &UniverseSpec,
+    max_per_class: usize,
+) -> Vec<FaultKind> {
+    let mut out = Vec::new();
+    for &class in classes {
+        out.extend(class_universe_sampled(g, class, spec, max_per_class));
+    }
+    out
+}
+
 /// The row width assumed for NPSF neighborhoods: words are laid out in
 /// rows of `2^⌈addr_bits/2⌉` columns (a square-ish array, the common
 /// embedded-SRAM aspect).

@@ -1,0 +1,100 @@
+//! Primitive composition: per-fault-class test primitives concatenated
+//! and greedily shrunk.
+//!
+//! Each fault class has a small set of march elements that the classical
+//! detection arguments say suffice for it (e.g. a stuck-at fault needs
+//! every cell read in both states; an idempotent coupling fault needs
+//! both transition directions swept in both address orders). Composing
+//! the primitives of the requested classes yields a test that is complete
+//! by argument but redundant by construction — the shared shrinker then
+//! removes every element and operation the sampled universe does not
+//! actually require. The whole strategy is deterministic and uses no
+//! randomness at all, which makes it the cheap, predictable half of the
+//! search: the evolutionary loop seeds from its output and only wins
+//! where stochastic rearrangement finds something composition cannot.
+
+use mbist_march::{AddressOrder, MarchElement, MarchOp};
+use mbist_mem::FaultClass;
+
+use crate::fitness::{shrink_elements, FitnessOracle};
+use crate::{canonical_elements, SearchOptions, SearchStrategy, StrategyRun};
+
+/// The composition strategy (see the module docs).
+pub struct Composition;
+
+fn el(order: AddressOrder, ops: &[MarchOp]) -> MarchElement {
+    MarchElement::new(order, ops.to_vec())
+}
+
+/// The test primitives composed for one fault class.
+///
+/// Data-retention faults are the one class element composition cannot
+/// finish: they need idle pauses, which are outside the element search
+/// space. Their primitives still read both data backgrounds so the decay
+/// is observed whenever the configured retention time elapses within the
+/// test; full DRF coverage requires the library's pause-bearing tests.
+#[must_use]
+pub fn primitives_for(class: FaultClass) -> Vec<MarchElement> {
+    use AddressOrder::{Any, Down, Up};
+    use MarchOp::{Read, Write};
+    let (r0, r1) = (Read(false), Read(true));
+    let (w0, w1) = (Write(false), Write(true));
+    match class {
+        FaultClass::StuckAt => vec![el(Up, &[r0, w1]), el(Up, &[r1, w0])],
+        FaultClass::Transition | FaultClass::Retention => {
+            vec![el(Up, &[r0, w1]), el(Up, &[r1, w0]), el(Up, &[r0])]
+        }
+        FaultClass::AddressDecoder => {
+            vec![el(Up, &[r0, w1]), el(Down, &[r1, w0]), el(Any, &[r0])]
+        }
+        FaultClass::CouplingInversion
+        | FaultClass::CouplingIdempotent
+        | FaultClass::CouplingState
+        | FaultClass::NpsfStatic
+        | FaultClass::NpsfActive => vec![
+            el(Up, &[r0, w1]),
+            el(Up, &[r1, w0]),
+            el(Down, &[r0, w1]),
+            el(Down, &[r1, w0]),
+            el(Any, &[r0]),
+        ],
+        FaultClass::StuckOpen => {
+            vec![el(Up, &[r0, w1, r1]), el(Down, &[r1, w0, r0])]
+        }
+        // Default universe spec survives two good reads, so excite with
+        // three consecutive reads before each transition.
+        FaultClass::PullOpen => vec![el(Up, &[r0, r0, r0, w1]), el(Up, &[r1, r1, r1, w0])],
+    }
+}
+
+/// Concatenates the primitives of `classes` (in the given order),
+/// dropping consecutive duplicate elements, in canonical
+/// read-expectation form.
+#[must_use]
+pub fn primitive_sequence(classes: &[FaultClass]) -> Vec<MarchElement> {
+    let mut out: Vec<MarchElement> = Vec::new();
+    for &class in classes {
+        for e in primitives_for(class) {
+            if out.last() != Some(&e) {
+                out.push(e);
+            }
+        }
+    }
+    canonical_elements(&out)
+}
+
+impl SearchStrategy for Composition {
+    fn name(&self) -> &'static str {
+        "compose"
+    }
+
+    fn search(&self, oracle: &mut FitnessOracle, options: &SearchOptions) -> StrategyRun {
+        let composed = primitive_sequence(&options.classes);
+        let fit = oracle.evaluate(&composed);
+        // Shrink preserves what was reached: the target when converged,
+        // the achieved detection count otherwise.
+        let goal = fit.detected.min(oracle.target_detected());
+        let elements = shrink_elements(oracle, &options.cancel, composed, goal);
+        StrategyRun { elements, generations: 1 }
+    }
+}

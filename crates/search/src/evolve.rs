@@ -1,0 +1,287 @@
+//! The evolutionary search loop: tournament selection, element-level
+//! crossover, pool/order/background mutation.
+//!
+//! The population is seeded, not random: the primitive composition for
+//! the requested classes, the greedy [`synthesize_march`] result on a
+//! small proxy geometry, and every classical library test (stripped of
+//! pauses and truncated to the element budget) all enter generation
+//! zero. That guarantees the search never does *worse* than the best
+//! known answer — a converged March C in the seeds is an immediate
+//! `10n`/100% floor for the classic static classes — and the loop earns
+//! its keep by rearranging below that floor. Everything stochastic draws
+//! from one `SmallRng` seeded by [`SearchOptions::seed`], and candidate
+//! scoring is engine/job-count invariant, so the whole trajectory is a
+//! pure function of (seed, options).
+
+use mbist_march::synth::candidate_elements;
+use mbist_march::{
+    library, synthesize_march, ComplementMask, CoverageOptions, MarchElement,
+    SynthesisOptions,
+};
+use mbist_mem::MemGeometry;
+use rand::{Rng, SmallRng};
+
+use crate::compose::primitive_sequence;
+use crate::fitness::{shrink_elements, Fitness, FitnessOracle};
+use crate::{canonical_elements, SearchOptions, SearchStrategy, StrategyRun};
+
+/// Population size.
+const POP: usize = 16;
+/// Individuals copied unchanged into the next generation.
+const ELITE: usize = 2;
+/// Tournament size for parent selection.
+const TOURNAMENT: usize = 3;
+/// Converged generations without improvement before stopping early.
+const STAGNATION: usize = 6;
+
+/// The evolutionary strategy (see the module docs).
+pub struct Evolutionary;
+
+type Individual = Vec<MarchElement>;
+
+/// The library tests as seed individuals: pauses stripped, leading
+/// write-only initialization dropped (the oracle adds its own), truncated
+/// to the element budget.
+fn library_seeds(max_elements: usize) -> Vec<Individual> {
+    library::all()
+        .iter()
+        .map(|t| {
+            let mut elements: Vec<MarchElement> = t.elements().cloned().collect();
+            while elements.first().is_some_and(MarchElement::is_write_only) {
+                elements.remove(0);
+            }
+            elements.truncate(max_elements);
+            elements
+        })
+        .filter(|e| !e.is_empty())
+        .collect()
+}
+
+/// The greedy synthesizer's answer on a small proxy geometry — cheap to
+/// compute and already near-minimal for the easy classes.
+fn greedy_seed(options: &SearchOptions) -> Option<Individual> {
+    let synth = synthesize_march(
+        "greedy-seed",
+        &SynthesisOptions {
+            geometry: MemGeometry::bit_oriented(16),
+            classes: options.classes.clone(),
+            coverage: CoverageOptions {
+                classes: options.classes.clone(),
+                spec: options.spec,
+                max_faults_per_class: Some(64),
+                jobs: options.jobs,
+                engine: options.engine,
+                cancel: options.cancel.clone(),
+                ..CoverageOptions::default()
+            },
+            max_elements: options.max_elements.clamp(1, 8),
+        },
+    );
+    let mut elements: Vec<MarchElement> = synth.test.elements().cloned().collect();
+    while elements.first().is_some_and(MarchElement::is_write_only) {
+        elements.remove(0);
+    }
+    if elements.is_empty() {
+        None
+    } else {
+        Some(elements)
+    }
+}
+
+/// A random individual drawn from the shared candidate pool.
+fn random_individual(
+    rng: &mut SmallRng,
+    pool: &[MarchElement],
+    max_elements: usize,
+) -> Individual {
+    let len = 1 + rng.gen_range_u64(max_elements.min(6) as u64) as usize;
+    (0..len).map(|_| pool[rng.gen_range_u64(pool.len() as u64) as usize].clone()).collect()
+}
+
+/// One-point crossover: a prefix of `a` spliced onto a suffix of `b`.
+fn crossover(
+    rng: &mut SmallRng,
+    a: &Individual,
+    b: &Individual,
+    max_elements: usize,
+) -> Individual {
+    let cut_a = rng.gen_range_u64(a.len() as u64 + 1) as usize;
+    let cut_b = rng.gen_range_u64(b.len() as u64 + 1) as usize;
+    let mut child: Individual =
+        a[..cut_a].iter().chain(b[cut_b..].iter()).cloned().collect();
+    child.truncate(max_elements);
+    if child.is_empty() {
+        child = a.clone();
+    }
+    child
+}
+
+/// Applies one random mutation in place.
+fn mutate(
+    rng: &mut SmallRng,
+    ind: &mut Individual,
+    pool: &[MarchElement],
+    max_elements: usize,
+) {
+    let pick = |rng: &mut SmallRng, n: usize| rng.gen_range_u64(n as u64) as usize;
+    match rng.gen_range_u64(6) {
+        // Replace an element with a pool element.
+        0 => {
+            let i = pick(rng, ind.len());
+            ind[i] = pool[pick(rng, pool.len())].clone();
+        }
+        // Insert a pool element.
+        1 if ind.len() < max_elements => {
+            let i = pick(rng, ind.len() + 1);
+            ind.insert(i, pool[pick(rng, pool.len())].clone());
+        }
+        // Delete an element.
+        2 if ind.len() > 1 => {
+            let i = pick(rng, ind.len());
+            ind.remove(i);
+        }
+        // Flip an element's address order.
+        3 => {
+            let i = pick(rng, ind.len());
+            ind[i] = ind[i].complemented(ComplementMask {
+                order: true,
+                data: false,
+                compare: false,
+            });
+        }
+        // Complement an element's data background (compare follows data;
+        // canonicalization re-derives the expectations anyway).
+        4 => {
+            let i = pick(rng, ind.len());
+            ind[i] = ind[i].complemented(ComplementMask {
+                order: false,
+                data: true,
+                compare: true,
+            });
+        }
+        // Swap two elements.
+        _ => {
+            let i = pick(rng, ind.len());
+            let j = pick(rng, ind.len());
+            ind.swap(i, j);
+        }
+    }
+}
+
+/// Index of the tournament winner among `scores` (first-wins tie-break,
+/// so selection is deterministic for a fixed RNG stream).
+fn tournament(rng: &mut SmallRng, scores: &[Fitness], target: usize) -> usize {
+    let mut best = rng.gen_range_u64(scores.len() as u64) as usize;
+    for _ in 1..TOURNAMENT {
+        let i = rng.gen_range_u64(scores.len() as u64) as usize;
+        if scores[i].beats(&scores[best], target) {
+            best = i;
+        }
+    }
+    best
+}
+
+impl SearchStrategy for Evolutionary {
+    fn name(&self) -> &'static str {
+        "evolve"
+    }
+
+    fn search(&self, oracle: &mut FitnessOracle, options: &SearchOptions) -> StrategyRun {
+        let mut rng = SmallRng::seed_from_u64(options.seed);
+        let pool = candidate_elements();
+        let max_elements = options.max_elements.max(1);
+        let target = oracle.target_detected();
+
+        // Seed population: composition, greedy, library, random filler —
+        // all in canonical form, deduplicated by notation.
+        let mut pop: Vec<Individual> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut push = |pop: &mut Vec<Individual>, raw: Individual| {
+            let mut ind = canonical_elements(&raw);
+            ind.truncate(max_elements);
+            if ind.is_empty() {
+                return;
+            }
+            let key: Vec<String> = ind.iter().map(MarchElement::to_string).collect();
+            if seen.insert(key.join(";")) && pop.len() < POP {
+                pop.push(ind);
+            }
+        };
+        push(&mut pop, primitive_sequence(&options.classes));
+        if let Some(greedy) = greedy_seed(options) {
+            push(&mut pop, greedy);
+        }
+        for seed in library_seeds(max_elements) {
+            push(&mut pop, seed);
+        }
+        while pop.len() < POP {
+            push(&mut pop, random_individual(&mut rng, &pool, max_elements));
+        }
+
+        let mut scores: Vec<Fitness> = pop.iter().map(|i| oracle.evaluate(i)).collect();
+        let mut best_idx = 0;
+        for i in 1..pop.len() {
+            if scores[i].beats(&scores[best_idx], target) {
+                best_idx = i;
+            }
+        }
+        let mut best = pop[best_idx].clone();
+        let mut best_fit = scores[best_idx];
+
+        let mut generations = 0usize;
+        let mut stagnant = 0usize;
+        while oracle.evaluations() < options.budget && !options.cancel.is_cancelled() {
+            if best_fit.detected >= target && stagnant >= STAGNATION {
+                break;
+            }
+            generations += 1;
+
+            // Elites: the best individuals carry over unchanged.
+            let mut order: Vec<usize> = (0..pop.len()).collect();
+            order.sort_by(|&a, &b| {
+                if scores[a].beats(&scores[b], target) {
+                    std::cmp::Ordering::Less
+                } else if scores[b].beats(&scores[a], target) {
+                    std::cmp::Ordering::Greater
+                } else {
+                    a.cmp(&b)
+                }
+            });
+            let mut next: Vec<Individual> =
+                order.iter().take(ELITE).map(|&i| pop[i].clone()).collect();
+
+            while next.len() < POP {
+                let a = tournament(&mut rng, &scores, target);
+                let b = tournament(&mut rng, &scores, target);
+                let mut child = if rng.gen_range_u64(10) < 7 {
+                    crossover(&mut rng, &pop[a], &pop[b], max_elements)
+                } else {
+                    pop[a].clone()
+                };
+                mutate(&mut rng, &mut child, &pool, max_elements);
+                if rng.gen_range_u64(10) < 3 {
+                    mutate(&mut rng, &mut child, &pool, max_elements);
+                }
+                next.push(canonical_elements(&child));
+            }
+
+            pop = next;
+            scores = pop.iter().map(|i| oracle.evaluate(i)).collect();
+            let mut improved = false;
+            for i in 0..pop.len() {
+                if scores[i].beats(&best_fit, target) {
+                    best = pop[i].clone();
+                    best_fit = scores[i];
+                    improved = true;
+                }
+            }
+            stagnant = if improved { 0 } else { stagnant + 1 };
+        }
+
+        // Final greedy polish: shed every element/op the sampled universe
+        // does not require (preserving whatever detection level we hold).
+        let goal = best_fit.detected.min(target);
+        let elements = shrink_elements(oracle, &options.cancel, best, goal);
+        StrategyRun { elements, generations }
+    }
+}

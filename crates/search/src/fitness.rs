@@ -1,0 +1,199 @@
+//! The fitness oracle: candidate march tests scored by fault simulation.
+//!
+//! One oracle instance owns the target fault universe (a user-selected
+//! class subset, deterministically stride-sampled) and scores every
+//! candidate through [`CompiledTrace::detect_universe`] — the same fan-out
+//! `evaluate_coverage` uses, so the detection flags are bit-identical for
+//! every worker count and engine, which is what makes the whole search
+//! trajectory (and therefore its output) independent of `--jobs` and of
+//! packed-vs-sliced engine choice.
+
+use std::collections::HashMap;
+
+use mbist_march::{expand_with, CompiledTrace, ExpandOptions, MarchTest, SimEngine};
+use mbist_mem::{subset_universe, FaultKind, MemGeometry};
+
+use crate::{canonical_elements, SearchOptions};
+
+/// A candidate's score: faults detected plus the length penalty input.
+///
+/// Ordering is lexicographic — more faults detected (capped at the target,
+/// so a converged candidate is not rewarded for over-covering) beats any
+/// length, then fewer operations per cell wins. This is the
+/// `(coverage, −length)` fitness every strategy optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fitness {
+    /// Faults of the target universe the candidate detects.
+    pub detected: usize,
+    /// The candidate's classical complexity figure (ops per cell).
+    pub ops_per_cell: usize,
+}
+
+impl Fitness {
+    /// Whether `self` strictly beats `other` under the
+    /// `(min(detected, target), −ops_per_cell)` lexicographic order.
+    #[must_use]
+    pub fn beats(&self, other: &Fitness, target: usize) -> bool {
+        let a = (self.detected.min(target), usize::MAX - self.ops_per_cell);
+        let b = (other.detected.min(target), usize::MAX - other.ops_per_cell);
+        a > b
+    }
+}
+
+/// Scores candidate element sequences against one fixed fault universe.
+///
+/// Evaluations are memoized on the candidate's canonical notation: a
+/// candidate revisited by mutation or shrinking costs a hash lookup, not a
+/// simulation, and does not consume budget.
+pub struct FitnessOracle {
+    geometry: MemGeometry,
+    expand: ExpandOptions,
+    universe: Vec<FaultKind>,
+    target_detected: usize,
+    jobs: Option<usize>,
+    engine: SimEngine,
+    evaluations: usize,
+    memo: HashMap<String, Fitness>,
+}
+
+impl FitnessOracle {
+    /// Builds the oracle: materializes the class-subset universe for
+    /// `options` and fixes the detection target from `target_coverage`.
+    #[must_use]
+    pub fn new(options: &SearchOptions) -> Self {
+        let universe = subset_universe(
+            &options.geometry,
+            &options.classes,
+            &options.spec,
+            options.max_faults_per_class,
+        );
+        let clamped = options.target_coverage.clamp(0.0, 1.0);
+        // ceil, so a 99.9% target on a small universe still demands the
+        // last fault; an empty universe is trivially converged.
+        let target_detected = (clamped * universe.len() as f64).ceil() as usize;
+        Self {
+            geometry: options.geometry,
+            expand: ExpandOptions::for_geometry(&options.geometry),
+            universe,
+            target_detected,
+            jobs: options.jobs,
+            engine: options.engine,
+            evaluations: 0,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Size of the target fault universe.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Faults a candidate must detect to count as converged.
+    #[must_use]
+    pub fn target_detected(&self) -> usize {
+        self.target_detected
+    }
+
+    /// Candidate evaluations that actually simulated (memo hits excluded).
+    #[must_use]
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Scores a candidate (the element sequence *after* the canonical
+    /// `⇕(w0)` initialization, in canonical read-expectation form).
+    pub fn evaluate(&mut self, elements: &[mbist_march::MarchElement]) -> Fitness {
+        let test = candidate_test("candidate", elements);
+        let key = test.to_string();
+        if let Some(&fit) = self.memo.get(&key) {
+            return fit;
+        }
+        let steps = expand_with(&test, &self.geometry, &self.expand);
+        let trace = CompiledTrace::from_steps(self.geometry, &steps);
+        let flags = trace.detect_universe(&self.universe, self.jobs, self.engine);
+        let fit = Fitness {
+            detected: flags.iter().filter(|&&d| d).count(),
+            ops_per_cell: test.ops_per_cell(),
+        };
+        self.evaluations += 1;
+        self.memo.insert(key, fit);
+        fit
+    }
+}
+
+/// A full [`MarchTest`] for a candidate: the canonical `⇕(w0)`
+/// initialization followed by the candidate elements.
+#[must_use]
+pub fn candidate_test(name: &str, elements: &[mbist_march::MarchElement]) -> MarchTest {
+    use mbist_march::{AddressOrder, MarchElement, MarchOp};
+    let mut all = vec![MarchElement::new(AddressOrder::Any, vec![MarchOp::Write(false)])];
+    all.extend(canonical_elements(elements));
+    MarchTest::from_elements(name, all)
+}
+
+/// Greedily shrinks a candidate without dropping below `goal` detected
+/// faults: repeated element-removal passes (scanning last to first, so
+/// late redundant sweeps go before early load-bearing ones), then
+/// op-removal passes inside the surviving elements. Deterministic — no
+/// randomness, fixed scan order — and cancellable between trials.
+#[must_use]
+pub fn shrink_elements(
+    oracle: &mut FitnessOracle,
+    cancel: &mbist_march::CancelToken,
+    mut best: Vec<mbist_march::MarchElement>,
+    goal: usize,
+) -> Vec<mbist_march::MarchElement> {
+    use mbist_march::MarchElement;
+    // Element-level removal, repeated to a fixed point.
+    loop {
+        let mut changed = false;
+        let mut i = best.len();
+        while i > 0 {
+            i -= 1;
+            if cancel.is_cancelled() {
+                return best;
+            }
+            let mut trial = best.clone();
+            trial.remove(i);
+            if oracle.evaluate(&trial).detected >= goal {
+                best = trial;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Op-level removal inside each surviving element (single-op elements
+    // are skipped — removing their op is element removal, already tried).
+    loop {
+        let mut changed = false;
+        let mut i = best.len();
+        while i > 0 {
+            i -= 1;
+            let mut j = best[i].ops().len();
+            while j > 0 {
+                j -= 1;
+                if best[i].ops().len() == 1 {
+                    break;
+                }
+                if cancel.is_cancelled() {
+                    return best;
+                }
+                let mut ops = best[i].ops().to_vec();
+                ops.remove(j);
+                let mut trial = best.clone();
+                trial[i] = MarchElement::new(best[i].order(), ops);
+                if oracle.evaluate(&trial).detected >= goal {
+                    best = trial;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    best
+}

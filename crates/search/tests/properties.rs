@@ -1,0 +1,75 @@
+//! Property tests: any searched test round-trips through the notation,
+//! and canonicalization always yields fault-free-clean candidates.
+
+use proptest::prelude::*;
+
+use mbist_march::{fault_free_clean, synth::candidate_elements, MarchTest};
+use mbist_mem::{FaultClass, MemGeometry};
+use mbist_search::{
+    candidate_test, canonical_elements, search_march, SearchOptions, Strategy,
+};
+
+/// The selectable class subsets a property case searches over.
+const CLASS_MENU: [FaultClass; 6] = [
+    FaultClass::StuckAt,
+    FaultClass::Transition,
+    FaultClass::AddressDecoder,
+    FaultClass::CouplingIdempotent,
+    FaultClass::StuckOpen,
+    FaultClass::PullOpen,
+];
+
+fn roundtrip(test: &MarchTest) -> MarchTest {
+    let printed = test.to_string();
+    let (name, notation) = printed.split_once(": ").expect("display is `name: notation`");
+    MarchTest::parse(name, notation).expect("searched test must re-parse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite: searched tests pretty-print through the notation and
+    /// re-parse to an equivalent element list, for both strategies and
+    /// arbitrary seeds / class subsets.
+    #[test]
+    fn searched_tests_round_trip_through_notation(
+        seed in any::<u64>(),
+        class_bits in 1u8..64,
+        evolve in any::<bool>(),
+    ) {
+        let classes: Vec<FaultClass> = CLASS_MENU
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| class_bits & (1 << i) != 0)
+            .map(|(_, &c)| c)
+            .collect();
+        let options = SearchOptions {
+            geometry: MemGeometry::bit_oriented(16),
+            classes,
+            max_faults_per_class: 32,
+            budget: 120,
+            seed,
+            strategy: if evolve { Strategy::Evolutionary } else { Strategy::Composition },
+            ..SearchOptions::default()
+        };
+        let found = search_march("prop", &options);
+        let reparsed = roundtrip(&found.test);
+        prop_assert_eq!(reparsed.items(), found.test.items());
+        prop_assert_eq!(reparsed.ops_per_cell(), found.test.ops_per_cell());
+    }
+
+    /// Any random draw from the shared candidate pool becomes a clean,
+    /// round-trippable test after canonicalization — the invariant that
+    /// lets mutation and crossover recombine freely.
+    #[test]
+    fn canonicalized_candidates_are_clean_and_round_trip(
+        picks in prop::collection::vec(0usize..20, 1..10),
+    ) {
+        let pool = candidate_elements();
+        let raw: Vec<_> = picks.iter().map(|&i| pool[i].clone()).collect();
+        let test = candidate_test("cand", &canonical_elements(&raw));
+        prop_assert!(fault_free_clean(&test, &MemGeometry::bit_oriented(16)));
+        let reparsed = roundtrip(&test);
+        prop_assert_eq!(reparsed.items(), test.items());
+    }
+}

@@ -16,6 +16,7 @@ use mbist_march::{
     MarchTest, SimEngine, SynthesisOptions,
 };
 use mbist_mem::{FaultClass, FaultKind, MemGeometry};
+use mbist_search::{report_text, search_march, SearchOptions, Strategy};
 
 use crate::json::Json;
 use crate::protocol::{Request, ServiceError};
@@ -38,11 +39,18 @@ impl ExecCtx {
     /// place that discards it.
     fn check(&self) -> Result<(), ServiceError> {
         if self.cancel.is_cancelled() {
-            let elapsed_ms =
-                u64::try_from(self.arrival.elapsed().as_millis()).unwrap_or(u64::MAX);
-            return Err(ServiceError::Timeout { elapsed_ms });
+            return Err(self.timeout(None));
         }
         Ok(())
+    }
+
+    /// The structured timeout error, optionally carrying a best-so-far
+    /// partial answer (`synth_search` reports the best candidate found
+    /// before the deadline hit instead of discarding the whole run).
+    fn timeout(&self, partial: Option<String>) -> ServiceError {
+        let elapsed_ms =
+            u64::try_from(self.arrival.elapsed().as_millis()).unwrap_or(u64::MAX);
+        ServiceError::Timeout { elapsed_ms, partial }
     }
 }
 
@@ -221,6 +229,58 @@ pub(crate) fn execute(
             shared.cache.insert_result(memo_key, &text);
             Ok(text_payload(text, false))
         }
+        Request::SynthSearch {
+            universe,
+            geometry,
+            target_coverage,
+            budget,
+            seed,
+            strategy,
+            max_elements,
+            jobs,
+            engine,
+        } => {
+            let parsed = parse_classes(universe)?;
+            ctx.check()?;
+            let memo_key = synth_search_key(
+                &parsed,
+                geometry,
+                *target_coverage,
+                *budget,
+                *seed,
+                *strategy,
+                *max_elements,
+                *engine,
+            );
+            if let Some(text) = shared.cache.get_result(memo_key) {
+                shared.metrics.record_result_lookup(true);
+                return Ok(text_payload(text, true));
+            }
+            shared.metrics.record_result_lookup(false);
+            shared.metrics.record_engine(*engine);
+            let options = SearchOptions {
+                geometry: *geometry,
+                classes: parsed,
+                target_coverage: *target_coverage / 100.0,
+                budget: *budget,
+                seed: *seed,
+                max_elements: *max_elements,
+                jobs: *jobs,
+                engine: *engine,
+                cancel: ctx.cancel.clone(),
+                strategy: *strategy,
+                ..SearchOptions::default()
+            };
+            let found = search_march("found", &options);
+            // A blown deadline returns the best-so-far candidate: surface
+            // it in the structured timeout, never memoize it.
+            if ctx.cancel.is_cancelled() {
+                return Err(ctx.timeout(Some(found.test.to_string())));
+            }
+            let text = report_text(&found, &options);
+            shared.cache.insert_result(memo_key, &text);
+            Ok(text_payload(text, false))
+        }
         Request::Area { table } => {
             let tag = match table.as_deref() {
                 None => 0,
@@ -311,6 +371,32 @@ pub(crate) fn try_fast(
             shared.metrics.record_result_lookup(true);
             Some(text_payload(text, true))
         }
+        Request::SynthSearch {
+            universe,
+            geometry,
+            target_coverage,
+            budget,
+            seed,
+            strategy,
+            max_elements,
+            engine,
+            ..
+        } => {
+            let parsed = parse_classes(universe).ok()?;
+            let memo_key = synth_search_key(
+                &parsed,
+                geometry,
+                *target_coverage,
+                *budget,
+                *seed,
+                *strategy,
+                *max_elements,
+                *engine,
+            );
+            let text = shared.cache.get_result(memo_key)?;
+            shared.metrics.record_result_lookup(true);
+            Some(text_payload(text, true))
+        }
         Request::Area { table } => {
             let tag = match table.as_deref() {
                 None => 0,
@@ -344,19 +430,40 @@ fn text_payload(text: String, cached: bool) -> Vec<(&'static str, Json)> {
 }
 
 fn parse_classes(spec: &str) -> Result<Vec<FaultClass>, ServiceError> {
-    let mut classes = Vec::new();
-    for name in spec.split(',') {
-        classes.push(match name.trim() {
-            "saf" => FaultClass::StuckAt,
-            "tf" => FaultClass::Transition,
-            "af" => FaultClass::AddressDecoder,
-            "cfin" => FaultClass::CouplingInversion,
-            "cfid" => FaultClass::CouplingIdempotent,
-            "cfst" => FaultClass::CouplingState,
-            other => return Err(usage(format!("unknown fault class `{other}`"))),
-        });
-    }
-    Ok(classes)
+    FaultClass::parse_list(spec).map_err(usage)
+}
+
+/// The `synth_search` result-memo key. Like every result key, `jobs` is
+/// excluded — the search trajectory is bit-identical for every worker
+/// count and engine, but the engine stays in the key to mirror the other
+/// kinds' conservative keying (a memo hit must answer the exact request).
+#[allow(clippy::too_many_arguments)]
+fn synth_search_key(
+    classes: &[FaultClass],
+    geometry: &MemGeometry,
+    target_coverage: f64,
+    budget: usize,
+    seed: u64,
+    strategy: Strategy,
+    max_elements: usize,
+    engine: SimEngine,
+) -> u64 {
+    let strategy_tag = match strategy {
+        Strategy::Evolutionary => 0,
+        Strategy::Composition => 1,
+    };
+    let mut params = vec![
+        geometry.words(),
+        u64::from(geometry.width()),
+        u64::from(geometry.ports()),
+        target_coverage.to_bits(),
+        budget as u64,
+        strategy_tag,
+        max_elements as u64,
+        engine_tag(engine),
+    ];
+    params.extend(classes.iter().map(|c| c.label().bytes().map(u64::from).sum::<u64>()));
+    result_key(seed, "synth_search", &params)
 }
 
 /// The CLI `synth` output, byte for byte.

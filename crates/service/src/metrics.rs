@@ -16,7 +16,8 @@ use crate::cache::CacheStats;
 use crate::json::Json;
 
 /// Request kinds with dedicated counter/histogram rows, in wire order.
-pub const KINDS: [&str; 6] = ["coverage", "detects", "synth", "area", "status", "shutdown"];
+pub const KINDS: [&str; 7] =
+    ["coverage", "detects", "synth", "synth_search", "area", "status", "shutdown"];
 
 /// Simulation engines with dedicated job counters, in wire order (index =
 /// [`engine_index`] of the corresponding [`SimEngine`]).

@@ -8,6 +8,7 @@
 //! | `coverage` | `test`, `words` [, `width`, `ports`, `max_faults`, `jobs`, `engine`] |
 //! | `detects`  | `test`, `words`, `fault` [, `width`, `ports`]                 |
 //! | `synth`    | `classes` [, `max_elements`, `jobs`, `engine`]                |
+//! | `synth_search` | `universe` [, `words`, `width`, `ports`, `target_coverage`, `budget`, `seed`, `strategy`, `max_elements`, `jobs`, `engine`] |
 //! | `area`     | [`table`]                                                     |
 //! | `status`   | —                                                             |
 //! | `shutdown` | —                                                             |
@@ -28,7 +29,8 @@
 //! (`usage`, `failed`, `busy`, `shutdown`, `timeout`, `internal`) and
 //! `message`; `busy` adds `retry_after_ms` (explicit backpressure — the
 //! server never blocks a client on a full queue), `timeout` adds
-//! `elapsed_ms`, and `internal` adds the `job_id` whose worker died twice
+//! `elapsed_ms` (plus `partial` — the best-so-far test — when a cancelled
+//! `synth_search` had one), and `internal` adds the `job_id` whose worker died twice
 //! (a job is re-dispatched once after a worker panic, then failed — never
 //! dropped, never double-answered).
 
@@ -74,6 +76,29 @@ pub enum Request {
         /// Fault-simulation engine.
         engine: SimEngine,
     },
+    /// Search-based march-test synthesis — the CLI's `synth-search`.
+    SynthSearch {
+        /// Comma-separated class names (the CLI's `--universe` list).
+        universe: String,
+        /// Memory organization the fitness oracle simulates on
+        /// (`words` defaults to 256, bit-oriented single-port).
+        geometry: MemGeometry,
+        /// Required coverage, in percent (0–100; default 100).
+        target_coverage: f64,
+        /// Candidate-evaluation budget.
+        budget: usize,
+        /// Search seed — same seed, same response bytes.
+        seed: u64,
+        /// Search strategy (`evolve` or `compose`).
+        strategy: mbist_search::Strategy,
+        /// Upper bound on march elements per candidate.
+        max_elements: usize,
+        /// Fan-out threads within the request (see [`Request::Coverage`]).
+        jobs: Option<usize>,
+        /// Fault-simulation engine scoring candidates (packed by default —
+        /// this kind exists to exercise the packed oracle).
+        engine: SimEngine,
+    },
     /// The paper's area tables — the CLI's `area`.
     Area {
         /// `"1"`, `"2"`, `"3"`, or `None` for all three.
@@ -94,6 +119,7 @@ impl Request {
             Request::Coverage { .. } => "coverage",
             Request::Detects { .. } => "detects",
             Request::Synth { .. } => "synth",
+            Request::SynthSearch { .. } => "synth_search",
             Request::Area { .. } => "area",
             Request::Status => "status",
             Request::Shutdown => "shutdown",
@@ -133,6 +159,11 @@ pub enum ServiceError {
     Timeout {
         /// Milliseconds actually spent before the cancellation took hold.
         elapsed_ms: u64,
+        /// Best-so-far answer a cancelled search could still report
+        /// (`synth_search` only): the march test found before the deadline
+        /// hit, as notation text. Never a complete result — partial
+        /// answers are not memoized and not `ok`.
+        partial: Option<String>,
     },
     /// The job's worker panicked twice (once on dispatch, once on the
     /// single re-dispatch); the request is failed, not dropped.
@@ -213,6 +244,40 @@ pub fn parse_request_value(value: &Json) -> Result<Envelope, ServiceError> {
             jobs: jobs_from(value)?,
             engine: engine_from(value)?,
         },
+        "synth_search" => {
+            let target_coverage = opt_f64(value, "target_coverage")?.unwrap_or(100.0);
+            if !(0.0..=100.0).contains(&target_coverage) {
+                return Err(usage("`target_coverage` must be 0–100"));
+            }
+            Request::SynthSearch {
+                universe: required_str(value, "universe")?,
+                geometry: geometry_with_words(
+                    value,
+                    opt_u64(value, "words")?.unwrap_or(256),
+                )?,
+                target_coverage,
+                budget: usize::try_from(opt_u64(value, "budget")?.unwrap_or(2000))
+                    .expect("u64 fits usize"),
+                seed: opt_u64(value, "seed")?.unwrap_or(1),
+                strategy: match value.get("strategy") {
+                    None | Some(Json::Null) => mbist_search::Strategy::Evolutionary,
+                    Some(v) => {
+                        v.as_str().and_then(mbist_search::Strategy::parse_name).ok_or_else(
+                            || usage("`strategy` must be \"evolve\" or \"compose\""),
+                        )?
+                    }
+                },
+                max_elements: usize::try_from(
+                    opt_u64(value, "max_elements")?.unwrap_or(12),
+                )
+                .expect("u64 fits usize"),
+                jobs: jobs_from(value)?,
+                engine: match value.get("engine") {
+                    None | Some(Json::Null) => SimEngine::Packed,
+                    Some(_) => engine_from(value)?,
+                },
+            }
+        }
         "area" => Request::Area {
             table: match value.get("table") {
                 None | Some(Json::Null) => None,
@@ -228,7 +293,8 @@ pub fn parse_request_value(value: &Json) -> Result<Envelope, ServiceError> {
         "shutdown" => Request::Shutdown,
         other => {
             return Err(usage(format!(
-                "unknown kind `{other}` (coverage|detects|synth|area|status|shutdown)"
+                "unknown kind `{other}` \
+                 (coverage|detects|synth|synth_search|area|status|shutdown)"
             )))
         }
     };
@@ -249,6 +315,14 @@ fn required_str(value: &Json, field: &str) -> Result<String, ServiceError> {
         .and_then(Json::as_str)
         .map(ToString::to_string)
         .ok_or_else(|| usage(format!("missing string field `{field}`")))
+}
+
+fn opt_f64(value: &Json, field: &str) -> Result<Option<f64>, ServiceError> {
+    match value.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(usage(format!("`{field}` must be a number"))),
+    }
 }
 
 fn opt_u64(value: &Json, field: &str) -> Result<Option<u64>, ServiceError> {
@@ -287,6 +361,12 @@ fn engine_from(value: &Json) -> Result<SimEngine, ServiceError> {
 fn geometry_from(value: &Json) -> Result<MemGeometry, ServiceError> {
     let words =
         opt_u64(value, "words")?.ok_or_else(|| usage("missing integer field `words`"))?;
+    geometry_with_words(value, words)
+}
+
+/// Geometry whose word count is already resolved (required for most kinds,
+/// defaulted for `synth_search`).
+fn geometry_with_words(value: &Json, words: u64) -> Result<MemGeometry, ServiceError> {
     let width = opt_u64(value, "width")?.unwrap_or(1);
     let ports = opt_u64(value, "ports")?.unwrap_or(1);
     if words == 0 || width == 0 || width > 64 || ports == 0 || ports > u64::from(u8::MAX) {
@@ -338,8 +418,11 @@ pub fn error_response_value(id: Option<&Json>, error: &ServiceError) -> Json {
             "job queue full; retry after the hinted back-off".to_string()
         }
         ServiceError::ShuttingDown => "server is draining; no new work accepted".into(),
-        ServiceError::Timeout { elapsed_ms } => {
+        ServiceError::Timeout { elapsed_ms, partial } => {
             error_members.push(("elapsed_ms".to_string(), Json::num(*elapsed_ms as f64)));
+            if let Some(best) = partial {
+                error_members.push(("partial".to_string(), Json::str(best.clone())));
+            }
             "deadline exceeded; simulation cancelled".to_string()
         }
         ServiceError::Internal { job_id } => {
@@ -501,13 +584,25 @@ mod tests {
     fn timeout_and_internal_errors_carry_their_members() {
         let timeout = error_response(
             Some(&Json::Num(7.0)),
-            &ServiceError::Timeout { elapsed_ms: 512 },
+            &ServiceError::Timeout { elapsed_ms: 512, partial: None },
         );
         let v = Json::parse(&timeout).unwrap();
         assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
         let err = v.get("error").unwrap();
         assert_eq!(err.get("class").unwrap().as_str(), Some("timeout"));
         assert_eq!(err.get("elapsed_ms").unwrap().as_u64(), Some(512));
+        assert!(err.get("partial").is_none(), "no member when there is no partial");
+
+        let with_partial = error_response(
+            None,
+            &ServiceError::Timeout {
+                elapsed_ms: 90,
+                partial: Some("best: ⇕(w0); ⇑(r0,w1)".into()),
+            },
+        );
+        let v = Json::parse(&with_partial).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("partial").unwrap().as_str(), Some("best: ⇕(w0); ⇑(r0,w1)"));
 
         let internal = error_response(None, &ServiceError::Internal { job_id: 41 });
         let v = Json::parse(&internal).unwrap();
@@ -527,6 +622,68 @@ mod tests {
         // Unparseable line or no id: nothing to echo.
         assert_eq!(recover_id("not json"), None);
         assert_eq!(recover_id(r#"{"kind":"frob"}"#), None);
+    }
+
+    #[test]
+    fn parses_synth_search_with_defaults_and_rejects_bad_values() {
+        let e = parse_request(r#"{"kind":"synth_search","universe":"saf,tf"}"#).unwrap();
+        match e.request {
+            Request::SynthSearch {
+                universe,
+                geometry,
+                target_coverage,
+                budget,
+                seed,
+                strategy,
+                max_elements,
+                jobs,
+                engine,
+            } => {
+                assert_eq!(universe, "saf,tf");
+                assert_eq!(geometry, MemGeometry::bit_oriented(256));
+                assert!((target_coverage - 100.0).abs() < f64::EPSILON);
+                assert_eq!(budget, 2000);
+                assert_eq!(seed, 1);
+                assert_eq!(strategy, mbist_search::Strategy::Evolutionary);
+                assert_eq!(max_elements, 12);
+                assert_eq!(jobs, Some(1));
+                // synth_search defaults to the packed fitness oracle, not
+                // the coverage default of sliced.
+                assert_eq!(engine, SimEngine::Packed);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        let e = parse_request(
+            r#"{"kind":"synth_search","universe":"saf","strategy":"compose","target_coverage":95.5,"seed":9,"engine":"sliced"}"#,
+        )
+        .unwrap();
+        match e.request {
+            Request::SynthSearch { strategy, target_coverage, seed, engine, .. } => {
+                assert_eq!(strategy, mbist_search::Strategy::Composition);
+                assert!((target_coverage - 95.5).abs() < f64::EPSILON);
+                assert_eq!(seed, 9);
+                assert_eq!(engine, SimEngine::Sliced);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"kind":"synth_search"}"#),
+            Err(ServiceError::Usage(m)) if m.contains("universe")
+        ));
+        assert!(matches!(
+            parse_request(r#"{"kind":"synth_search","universe":"saf","strategy":"anneal"}"#),
+            Err(ServiceError::Usage(m)) if m.contains("evolve")
+        ));
+        assert!(matches!(
+            parse_request(
+                r#"{"kind":"synth_search","universe":"saf","target_coverage":101}"#
+            ),
+            Err(ServiceError::Usage(m)) if m.contains("0–100")
+        ));
+        assert!(matches!(
+            parse_request(r#"{"kind":"synth_search","universe":"saf","target_coverage":"high"}"#),
+            Err(ServiceError::Usage(m)) if m.contains("number")
+        ));
     }
 
     #[test]

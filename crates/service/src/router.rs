@@ -443,6 +443,27 @@ pub fn placement_key_of(request: &Request) -> u64 {
         Request::Synth { classes, max_elements, .. } => {
             fnv(&[b"synth", classes.as_bytes(), &(*max_elements as u64).to_le_bytes()])
         }
+        Request::SynthSearch {
+            universe,
+            geometry,
+            target_coverage,
+            budget,
+            seed,
+            strategy,
+            max_elements,
+            ..
+        } => fnv(&[
+            b"synth_search",
+            universe.as_bytes(),
+            &geometry.words().to_le_bytes(),
+            &u64::from(geometry.width()).to_le_bytes(),
+            &u64::from(geometry.ports()).to_le_bytes(),
+            &target_coverage.to_bits().to_le_bytes(),
+            &(*budget as u64).to_le_bytes(),
+            &seed.to_le_bytes(),
+            strategy.label().as_bytes(),
+            &(*max_elements as u64).to_le_bytes(),
+        ]),
         Request::Area { table } => {
             fnv(&[b"area", table.as_deref().unwrap_or("all").as_bytes()])
         }

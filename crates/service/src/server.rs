@@ -868,7 +868,10 @@ fn attempt_job(job: Job, shared: &Arc<Shared>) -> Option<Job> {
             false,
             &error_response_value(
                 job.envelope.id.as_ref(),
-                &ServiceError::Timeout { elapsed_ms: elapsed_us(job.enqueued) / 1000 },
+                &ServiceError::Timeout {
+                    elapsed_ms: elapsed_us(job.enqueued) / 1000,
+                    partial: None,
+                },
             ),
         );
         shared.metrics.record_timeout();

@@ -74,6 +74,40 @@ fn blown_deadline_times_out_mid_simulation_within_twice_the_budget() {
 }
 
 #[test]
+fn synth_search_deadline_returns_the_best_so_far_and_never_memoizes_it() {
+    let server = start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let addr = server.local_addr();
+    let (mut stream, mut reader) = connect(addr);
+
+    // A geometry big enough that one generation of candidates takes far
+    // longer than the deadline in a debug build: the search must stop at a
+    // generation boundary and surface its best-so-far candidate.
+    let line = r#"{"id":"s1","kind":"synth_search","universe":"saf,tf,cfin,cfid,cfst","words":8192,"budget":100000,"seed":1,"deadline_ms":300}"#;
+    let reply = ask(&mut stream, &mut reader, line);
+    assert_eq!(error_class(&reply), "timeout", "{reply}");
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("s1"), "id echoed");
+    let err = reply.get("error").unwrap();
+    assert!(err.get("elapsed_ms").unwrap().as_u64().unwrap() >= 300);
+    // The structured timeout carries the best candidate found so far — a
+    // parseable march test, not a fragment.
+    let partial = err.get("partial").and_then(Json::as_str).expect("partial candidate");
+    let (name, notation) = partial.split_once(": ").expect("march notation");
+    mbist_march::MarchTest::parse(name, notation).expect("partial parses");
+
+    // Nothing partial was memoized: the result cache is still empty.
+    let status = ask(&mut stream, &mut reader, r#"{"kind":"status"}"#);
+    let cache = status.get("status").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("results").unwrap().as_u64(), Some(0), "partial memoized");
+
+    server.shutdown();
+    let summary = server.join();
+    let jobs = summary.metrics.get("jobs").unwrap();
+    assert_eq!(jobs.get("timeouts").unwrap().as_u64(), Some(1));
+    let row = summary.metrics.get("kinds").unwrap().get("synth_search").unwrap();
+    assert_eq!(row.get("errors").unwrap().as_u64(), Some(1));
+}
+
+#[test]
 fn always_panicking_worker_fails_the_job_with_internal_after_one_retry() {
     let config = ServiceConfig {
         workers: 1,

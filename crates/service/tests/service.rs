@@ -119,6 +119,54 @@ fn exact_repeats_hit_the_result_memo_and_orderings_unify() {
 }
 
 #[test]
+fn synth_search_matches_the_offline_report_and_memoizes_across_jobs() {
+    let server = start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+    let addr = server.local_addr();
+
+    // The offline report the service response must match byte for byte.
+    let options = mbist_search::SearchOptions {
+        geometry: MemGeometry::bit_oriented(64),
+        classes: vec![mbist_mem::FaultClass::StuckAt, mbist_mem::FaultClass::Transition],
+        budget: 400,
+        seed: 3,
+        jobs: Some(1),
+        ..mbist_search::SearchOptions::default()
+    };
+    let expected =
+        mbist_search::report_text(&mbist_search::search_march("found", &options), &options);
+
+    let replies = roundtrip(
+        addr,
+        &[
+            // Cold: runs the search.
+            r#"{"kind":"synth_search","universe":"saf,tf","words":64,"budget":400,"seed":3}"#,
+            // Exact repeat: full memo hit.
+            r#"{"kind":"synth_search","universe":"saf,tf","words":64,"budget":400,"seed":3}"#,
+            // Different jobs setting: bit-identical output, so the memo key
+            // deliberately ignores it — still a hit.
+            r#"{"kind":"synth_search","universe":"saf,tf","words":64,"budget":400,"seed":3,"jobs":3}"#,
+            // Different seed: a different search; must not collide.
+            r#"{"kind":"synth_search","universe":"saf,tf","words":64,"budget":400,"seed":4}"#,
+        ],
+    );
+    assert_eq!(replies[0].get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(replies[1].get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(replies[2].get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(replies[3].get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(text_of(&replies[0]), expected, "service diverged from offline");
+    assert_eq!(text_of(&replies[1]), expected);
+    assert_eq!(text_of(&replies[2]), expected);
+    assert!(text_of(&replies[0]).contains("converged"), "easy universe converges");
+
+    server.shutdown();
+    let summary = server.join();
+    let kinds = summary.metrics.get("kinds").expect("kinds");
+    let row = kinds.get("synth_search").expect("synth_search counters");
+    assert_eq!(row.get("requests").unwrap().as_u64(), Some(4));
+    assert_eq!(row.get("errors").unwrap().as_u64(), Some(0));
+}
+
+#[test]
 fn saturated_queue_returns_busy_instead_of_hanging() {
     // One worker, queue depth 1: with six slow full-replay requests in
     // flight at once, at least one must be shed with a `busy` error.

@@ -68,6 +68,35 @@ echo "$packed_out"
 echo "$packed_out" | grep -q "batchable subset: packed_vs_sliced_batchable" || {
     echo "packed smoke missing the batchable-subset comparison"; exit 1; }
 
+echo "==> search-synthesis smoke (fixed seed: converges, no longer than march-c)"
+synth_out=$(cargo run --release -p mbist-bench --bin synthsearch -- \
+    --quick --out /tmp/BENCH_synth_ci.json)
+echo "$synth_out"
+# both strategies must converge at 100% with a test no longer than the
+# handwritten march-c on the same sampled universe
+[ "$(echo "$synth_out" | grep -c "^search OK:")" -eq 2 ] || {
+    echo "search smoke missing per-strategy OK lines"; exit 1; }
+# determinism: the same fixed seed must reproduce the identical result
+# (test, coverage, evaluation count) on a re-run; wall-clock timing
+# fields are the only legitimately nondeterministic content, so strip
+# them before comparing
+strip_timing='s/"wall_ns": [0-9]+, "candidates_per_sec": [0-9.]+/<timing>/g'
+cargo run -q --release -p mbist-bench --bin synthsearch -- \
+    --quick --out /tmp/BENCH_synth_ci2.json > /dev/null
+sed -E "$strip_timing" /tmp/BENCH_synth_ci.json > /tmp/BENCH_synth_ci.stable
+sed -E "$strip_timing" /tmp/BENCH_synth_ci2.json > /tmp/BENCH_synth_ci2.stable
+diff /tmp/BENCH_synth_ci.stable /tmp/BENCH_synth_ci2.stable > /dev/null || {
+    echo "search re-run with the same seed diverged"; exit 1; }
+# ...and the CLI front-end honors the same determinism across --jobs
+cli_a=$(cargo run -q --release -p mbist-cli -- synth-search \
+    --universe saf,tf,cfid --words 32 --budget 300 --seed 9 --jobs 1)
+cli_b=$(cargo run -q --release -p mbist-cli -- synth-search \
+    --universe saf,tf,cfid --words 32 --budget 300 --seed 9 --jobs 3)
+[ "$cli_a" = "$cli_b" ] || {
+    echo "synth-search output differs across --jobs"; exit 1; }
+echo "$cli_a" | grep -q "converged" || {
+    echo "synth-search smoke did not converge"; exit 1; }
+
 echo "==> fault-injection smoke (one SEU per architecture: detect + recover)"
 for arch in microcode progfsm; do
     out=$(cargo run -q --release -p mbist-cli -- \
