@@ -16,7 +16,7 @@
 //! itself — [`CoverageReport`](crate::CoverageReport) values produced
 //! under a tripped token are unspecified.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,6 +30,9 @@ pub const CANCEL_CHECK_STRIDE: usize = 64;
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Remaining [`CancelToken::is_cancelled`] calls before the token
+    /// self-trips (see [`CancelToken::after_checks`]).
+    check_budget: Option<AtomicU64>,
 }
 
 /// A cloneable cooperative cancellation handle.
@@ -53,7 +56,11 @@ impl CancelToken {
     /// [`CancelToken::cancel`].
     #[must_use]
     pub fn manual() -> Self {
-        Self(Some(Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None })))
+        Self(Some(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            deadline: None,
+            check_budget: None,
+        })))
     }
 
     /// A token that trips once the wall clock reaches `deadline` (and can
@@ -63,6 +70,23 @@ impl CancelToken {
         Self(Some(Arc::new(Inner {
             cancelled: AtomicBool::new(false),
             deadline: Some(deadline),
+            check_budget: None,
+        })))
+    }
+
+    /// A token whose first `checks` polls of [`CancelToken::is_cancelled`]
+    /// return `false`, after which it stays tripped.
+    ///
+    /// Unlike a deadline this is wall-clock independent, so a test can
+    /// land cancellation at an exact point of a deterministic cooperative
+    /// loop (e.g. mid-way through a shrinking pass) and get the same
+    /// trajectory on every run. Polls from any clone share one budget.
+    #[must_use]
+    pub fn after_checks(checks: u64) -> Self {
+        Self(Some(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            deadline: None,
+            check_budget: Some(AtomicU64::new(checks)),
         })))
     }
 
@@ -85,6 +109,16 @@ impl CancelToken {
         let Some(inner) = &self.0 else { return false };
         if inner.cancelled.load(Ordering::Relaxed) {
             return true;
+        }
+        if let Some(budget) = &inner.check_budget {
+            let decremented = budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_ok();
+            if !decremented {
+                // Budget exhausted: latch like an expired deadline.
+                inner.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
         }
         match inner.deadline {
             Some(deadline) if Instant::now() >= deadline => {
@@ -139,6 +173,22 @@ mod tests {
         assert!(!later.is_cancelled(), "distant deadline is live");
         later.cancel();
         assert!(later.is_cancelled(), "manual cancel beats the deadline");
+    }
+
+    #[test]
+    fn check_budget_token_trips_at_the_exact_poll() {
+        let t = CancelToken::after_checks(3);
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!clone.is_cancelled(), "clones share the budget");
+        assert!(!t.is_cancelled());
+        assert!(t.is_cancelled(), "fourth poll exhausts a budget of 3");
+        assert!(clone.is_cancelled(), "and the trip is latched");
+        assert!(CancelToken::after_checks(0).is_cancelled(), "zero budget trips at once");
+        let live = CancelToken::after_checks(u64::MAX);
+        assert!(!live.is_cancelled());
+        live.cancel();
+        assert!(live.is_cancelled(), "manual cancel beats the budget");
     }
 
     #[test]

@@ -75,6 +75,24 @@ pub fn expand_with(
     geometry: &MemGeometry,
     options: &ExpandOptions,
 ) -> Vec<TestStep> {
+    let mut steps = Vec::new();
+    expand_into(test, geometry, options, &mut steps);
+    steps
+}
+
+/// [`expand_with`] into a caller-owned buffer: the buffer is cleared and
+/// refilled, so a scoring loop expanding thousands of candidates reuses
+/// one allocation instead of growing a fresh `Vec` per candidate.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`expand_with`].
+pub fn expand_into(
+    test: &MarchTest,
+    geometry: &MemGeometry,
+    options: &ExpandOptions,
+    steps: &mut Vec<TestStep>,
+) {
     for bg in &options.backgrounds {
         assert_eq!(bg.width(), geometry.width(), "background width mismatch");
     }
@@ -87,13 +105,13 @@ pub fn expand_with(
         test.items().iter().filter(|i| matches!(i, MarchItem::Pause { .. })).count();
     let cycles = usize::try_from(cycle_count(test, geometry, options))
         .expect("cycle count fits usize");
-    let mut steps = Vec::with_capacity(cycles + pauses * passes);
+    steps.clear();
+    steps.reserve(cycles + pauses * passes);
     for &port in &options.ports {
         for &bg in &options.backgrounds {
-            expand_one_pass(test, geometry, port, bg, &mut steps);
+            expand_one_pass(test, geometry, port, bg, steps);
         }
     }
-    steps
 }
 
 fn expand_one_pass(
@@ -211,6 +229,18 @@ mod tests {
         let steps = expand_with(&library::march_a(), &g, &opts);
         let bus = steps.iter().filter(|s| s.as_bus().is_some()).count() as u64;
         assert_eq!(bus, cycle_count(&library::march_a(), &g, &opts));
+    }
+
+    #[test]
+    fn expand_into_reuses_the_buffer_and_matches_expand_with() {
+        let g = MemGeometry::bit_oriented(8);
+        let opts = ExpandOptions::for_geometry(&g);
+        let mut buf = Vec::new();
+        expand_into(&library::march_c(), &g, &opts, &mut buf);
+        assert_eq!(buf, expand_with(&library::march_c(), &g, &opts));
+        // Refill with a different test: old content fully replaced.
+        expand_into(&library::mats(), &g, &opts, &mut buf);
+        assert_eq!(buf, expand_with(&library::mats(), &g, &opts));
     }
 
     #[test]

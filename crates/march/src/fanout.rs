@@ -58,6 +58,11 @@ const MIN_FAULTS_PER_WORKER: usize = 256;
 /// twice).
 const MIN_FAULTS_PER_PACKED_WORKER: usize = 1024;
 
+/// Candidate-batch analogue of the fault floors ([`crate::score`]): one
+/// candidate is a whole compile+simulate unit (tens of microseconds), so
+/// the break-even batch size per worker is far smaller than for faults.
+pub(crate) const MIN_CANDIDATES_PER_WORKER: usize = 4;
+
 /// The engine-aware fan-out floor. Worker count is clamped to
 /// `universe.len() / floor`, so every spawned worker simulates at least a
 /// floor's worth — jobs=1 and jobs=N stay bit-identical either way; the

@@ -48,6 +48,7 @@ mod notation;
 mod op;
 mod packed;
 mod runner;
+mod score;
 mod sliced;
 pub mod synth;
 mod test;
@@ -63,10 +64,13 @@ pub use coverage::{
 };
 pub use element::{AddressOrder, ComplementMask, MarchElement, MarchItem};
 pub use error::MarchError;
-pub use expand::{cycle_count, expand, expand_with, ExpandOptions};
+pub use expand::{cycle_count, expand, expand_into, expand_with, ExpandOptions};
 pub use op::MarchOp;
 pub use runner::{detects, fault_free_clean, run_steps, run_steps_detect, RunReport};
+pub use score::CandidateBatchScorer;
 pub use synth::{candidate_elements, synthesize_march, SynthesisOptions, SynthesizedMarch};
 pub use test::{MarchTest, SymmetricSplit};
-pub use trace::{canonical_request_key, canonical_trace_key, CompiledTrace, SimEngine};
+pub use trace::{
+    canonical_request_key, canonical_trace_key, CompiledTrace, SimEngine, TraceArena,
+};
 pub use transparent::{is_transparent_compatible, run_transparent, TransparentOutcome};

@@ -111,6 +111,11 @@ impl Lanes {
     fn get(self, lane: usize) -> bool {
         self.0[lane / 64] >> (lane % 64) & 1 == 1
     }
+
+    /// Population count across all blocks (detected-lane tallies).
+    fn count(self) -> usize {
+        self.0.iter().map(|b| b.count_ones() as usize).sum()
+    }
 }
 
 impl BitAnd for Lanes {
@@ -275,6 +280,15 @@ struct LaneSpec {
     when: bool,
 }
 
+/// Whether the packed engine simulates `fault` in a bit lane, as opposed
+/// to the per-fault sliced/full fallback. The fallback replays the flat
+/// step stream, so a scoring loop may compile steps-free traces
+/// ([`crate::trace::TraceArena::set_skip_steps`]) only when every universe
+/// fault is lane-packable.
+pub(crate) fn lane_packable(fault: FaultKind) -> bool {
+    lane_spec(fault).is_some()
+}
+
 /// Lowers a fault to lane form, or `None` when it must take the per-fault
 /// fallback (decoder faults, and hand-made NPSF neighborhoods whose five
 /// support cells do not land in five distinct words).
@@ -383,15 +397,16 @@ pub(crate) fn batchable(fault: FaultKind) -> bool {
     lane_spec(fault).is_some()
 }
 
-/// An open batch: up to [`LANES`] same-class faults sharing one canonical
-/// program.
-struct Batch {
+/// The per-lane state of a batch — live lane count, class and constant
+/// masks (bit `i` = lane `i`'s constant) — separated from the per-fault
+/// index bookkeeping so a precomputed [`UniversePlan`] can drive
+/// [`run_batch`] without materializing index vectors per candidate.
+#[derive(Debug, Clone, Copy)]
+struct LaneMasks {
     class: LaneClass,
-    program: usize,
-    /// Index into the caller's fault slice, per lane.
-    faults: Vec<usize>,
-    /// Per-lane constant masks (bit `i` = lane `i`'s constant), already in
-    /// canonical (flip-corrected) space.
+    /// Live lanes (the rest of the vector is confined by the live mask).
+    lanes: usize,
+    /// Constant masks, already in canonical (flip-corrected) space.
     stuck: Lanes,
     rising: Lanes,
     forced: Lanes,
@@ -405,12 +420,11 @@ struct Batch {
     pre_detected: Lanes,
 }
 
-impl Batch {
-    fn new(class: LaneClass, program: usize) -> Self {
+impl LaneMasks {
+    fn new(class: LaneClass) -> Self {
         Self {
             class,
-            program,
-            faults: Vec::with_capacity(LANES),
+            lanes: 0,
             stuck: Lanes::ZERO,
             rising: Lanes::ZERO,
             forced: Lanes::ZERO,
@@ -420,9 +434,10 @@ impl Batch {
         }
     }
 
-    fn push(&mut self, index: usize, spec: &LaneSpec, flipped: bool, pre_detected: bool) {
-        let lane = self.faults.len();
-        self.faults.push(index);
+    /// Appends one lane holding `spec`'s constants, flip-corrected.
+    fn push(&mut self, spec: &LaneSpec, flipped: bool, pre_detected: bool) {
+        let lane = self.lanes;
+        self.lanes += 1;
         if spec.stuck ^ flipped {
             self.stuck.set(lane);
         }
@@ -441,6 +456,41 @@ impl Batch {
         if pre_detected {
             self.pre_detected.set(lane);
         }
+    }
+
+    /// Re-bases raw (never-flipped) masks into `flipped` canonical space —
+    /// the whole batch shares one flip because its lanes share one route
+    /// key, so the correction is a uniform XOR.
+    fn flip_corrected(mut self, flipped: bool) -> Self {
+        if flipped {
+            let all = Lanes::splat(true);
+            self.stuck = self.stuck ^ all;
+            self.rising = self.rising ^ all;
+            self.forced = self.forced ^ all;
+            self.when = self.when ^ all;
+            self.flip = all;
+        }
+        self
+    }
+}
+
+/// An open batch: up to [`LANES`] same-class faults sharing one canonical
+/// program.
+struct Batch {
+    program: usize,
+    /// Index into the caller's fault slice, per lane.
+    faults: Vec<usize>,
+    masks: LaneMasks,
+}
+
+impl Batch {
+    fn new(class: LaneClass, program: usize) -> Self {
+        Self { program, faults: Vec::with_capacity(LANES), masks: LaneMasks::new(class) }
+    }
+
+    fn push(&mut self, index: usize, spec: &LaneSpec, flipped: bool, pre_detected: bool) {
+        self.faults.push(index);
+        self.masks.push(spec, flipped, pre_detected);
     }
 }
 
@@ -720,8 +770,8 @@ fn canonicalize(program: &mut [SigOp]) -> bool {
 /// the fault's support bits, in canonical space — the lane's real state is
 /// the canonical state XOR its flip bit, and the XOR cancels out of every
 /// detection comparison.
-fn run_batch(program: &[SigOp], batch: &Batch, ports: u8) -> Lanes {
-    let live = Lanes::first(batch.faults.len());
+fn run_batch(program: &[SigOp], batch: &LaneMasks, ports: u8) -> Lanes {
+    let live = Lanes::first(batch.lanes);
     let splat = Lanes::splat;
     // SAF injection clamps the stored value immediately; everything else
     // powers up 0 like the array — whose canonical image is the flip mask.
@@ -1097,7 +1147,7 @@ pub(crate) fn detect_chunk(
         if cancel.is_cancelled() {
             return Vec::new();
         }
-        let detected = run_batch(&programs.store[batch.program], batch, ports);
+        let detected = run_batch(&programs.store[batch.program], &batch.masks, ports);
         for (lane, &index) in batch.faults.iter().enumerate() {
             flags[index] = detected.get(lane);
         }
@@ -1114,6 +1164,247 @@ fn refill(batches: &mut Vec<Batch>, slot: &mut usize, class: LaneClass) -> usize
         *slot = batches.len() - 1;
     }
     *slot
+}
+
+/// The trace-independent batch route of a fault under the *planned
+/// signature* — address-uniform interleave, one word-content class,
+/// clean golden replay. Every word class is provably 0 then, so the route
+/// key [`route_of`] would compute is a function of the fault alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PlanKey {
+    Plain(RouteKey),
+    Npsf(NpsfRouteKey),
+}
+
+/// [`route_of`] specialized to the planned signature (`word_class ≡ 0`,
+/// `uniform = true`), computable without a trace. Returns `None` for
+/// faults the plan scores through [`detect_chunk`] instead: decoder
+/// faults, overlapping NPSF shapes, and the stuck-open/decay families
+/// (their programs fold by content, not by a trace-independent key).
+fn plan_route(spec: &LaneSpec) -> Option<PlanKey> {
+    match spec.class {
+        LaneClass::StuckAt
+        | LaneClass::Transition
+        | LaneClass::CouplingInversion
+        | LaneClass::CouplingIdempotent
+        | LaneClass::CouplingState => {
+            let key = match spec.agg {
+                None => RouteKey {
+                    class: spec.class,
+                    shape: 0,
+                    vic_class: 0,
+                    vic_bit: spec.vic.bit,
+                    agg_class: 0,
+                    agg_bit: 0,
+                },
+                Some(a) if a.word == spec.vic.word => RouteKey {
+                    class: spec.class,
+                    shape: 1,
+                    vic_class: 0,
+                    vic_bit: spec.vic.bit,
+                    agg_class: 0,
+                    agg_bit: a.bit,
+                },
+                Some(a) => RouteKey {
+                    class: spec.class,
+                    shape: if spec.vic.word < a.word { 2 } else { 3 },
+                    vic_class: 0,
+                    vic_bit: spec.vic.bit,
+                    agg_class: 0,
+                    agg_bit: a.bit,
+                },
+            };
+            Some(PlanKey::Plain(key))
+        }
+        LaneClass::NpsfStatic | LaneClass::NpsfActive => {
+            let shape = spec.npsf.as_ref().expect("npsf shape");
+            let mut bits = [0u8; 5];
+            let mut rank = [0u8; 5];
+            for (i, c) in shape.cells.iter().enumerate() {
+                bits[i] = c.bit;
+                rank[i] = shape.cells.iter().filter(|o| o.word < c.word).count() as u8;
+            }
+            Some(PlanKey::Npsf(NpsfRouteKey {
+                class: spec.class,
+                classes: [0; 5],
+                bits,
+                rank,
+                pattern: shape.pattern,
+                rising: shape.rising,
+            }))
+        }
+        LaneClass::StuckOpen | LaneClass::Decay => None,
+    }
+}
+
+/// One batch of a [`UniversePlan`]: raw (never-flipped) lane masks, ready
+/// to be re-based by the group's canonicalization flip at scoring time.
+struct PlanSlot {
+    masks: LaneMasks,
+}
+
+/// A route-key group of a [`UniversePlan`]: every member provably shares
+/// one canonical program on any trace satisfying the planned signature, so
+/// one representative build serves every slot.
+struct PlanGroup {
+    /// First member in universe order — the build representative.
+    rep: FaultKind,
+    slots: Vec<PlanSlot>,
+}
+
+/// A fault universe pre-batched for repeated scoring against many traces
+/// of one shape — the synthesis hot path, where thousands of candidate
+/// traces are scored against one fixed universe.
+///
+/// [`detect_chunk`] spends most of a scoring call on per-fault routing
+/// (a `lane_spec` lowering plus a hash lookup per fault) and per-call map
+/// allocation, all of which produce the *same* grouping for every
+/// candidate: search candidates expand to single-background single-port
+/// march streams, which are address-uniform with one word-content class
+/// and a clean golden replay. Under that signature (checked by
+/// [`Self::applies`]) the batch route of every plain and NPSF fault is a
+/// function of the fault alone, so the grouping — lane order, per-lane
+/// constant masks, batch membership — is computed once here and replayed
+/// against each candidate with just one program build per group and one
+/// [`run_batch`] per slot.
+///
+/// Stuck-open, decay, decoder and overlapping-NPSF faults keep their
+/// exact per-trace routing through [`detect_chunk`] (the `rest` list);
+/// verdicts are identical either way — per-lane updates never depend on
+/// batch composition — so a planned count always equals the engine count.
+pub(crate) struct UniversePlan {
+    geometry: mbist_mem::MemGeometry,
+    groups: Vec<PlanGroup>,
+    /// Faults scored through [`detect_chunk`] (in universe order).
+    rest: Vec<FaultKind>,
+}
+
+impl UniversePlan {
+    /// Pre-batches `universe` for traces on `geometry` satisfying the
+    /// planned signature.
+    pub(crate) fn new(geometry: mbist_mem::MemGeometry, universe: &[FaultKind]) -> Self {
+        let mut groups: Vec<PlanGroup> = Vec::new();
+        let mut by_key: HashMap<PlanKey, usize, FnvBuild> = HashMap::with_hasher(FnvBuild);
+        let mut rest = Vec::new();
+        for &fault in universe {
+            let Some(spec) = lane_spec(fault) else {
+                rest.push(fault);
+                continue;
+            };
+            let Some(key) = plan_route(&spec) else {
+                rest.push(fault);
+                continue;
+            };
+            let gi = match by_key.entry(key) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    groups.push(PlanGroup { rep: fault, slots: Vec::new() });
+                    *e.insert(groups.len() - 1)
+                }
+            };
+            let group = &mut groups[gi];
+            if group.slots.last().is_none_or(|s| s.masks.lanes == LANES) {
+                group.slots.push(PlanSlot { masks: LaneMasks::new(spec.class) });
+            }
+            let slot = group.slots.last_mut().expect("slot just ensured");
+            // Raw space: flip correction is applied per trace at scoring
+            // time, pre-detection is impossible under a clean golden replay.
+            slot.masks.push(&spec, false, false);
+        }
+        Self { geometry, groups, rest }
+    }
+
+    /// Which words' per-word op lists [`Self::count_detected`] reads: the
+    /// support cells of each group's representative (programs are built
+    /// once per group from the representative's cells) plus every cell of
+    /// the ungrouped rest. A scoring loop may compile traces with only
+    /// these words' op lists populated
+    /// ([`crate::trace::TraceArena::set_word_support`]) — but such traces
+    /// are valid ONLY for [`Self::count_detected`], never for the general
+    /// per-fault engines, which read arbitrary fault cells.
+    pub(crate) fn support_mask(&self) -> Vec<bool> {
+        let words = usize::try_from(self.geometry.words()).expect("words fit usize");
+        let mut mask = vec![false; words];
+        let mark = |mask: &mut Vec<bool>, fault: FaultKind| match lane_spec(fault) {
+            Some(spec) => {
+                mask[usize::try_from(spec.vic.word).expect("word fits usize")] = true;
+                if let Some(agg) = spec.agg {
+                    mask[usize::try_from(agg.word).expect("word fits usize")] = true;
+                }
+                if let Some(shape) = spec.npsf {
+                    for cell in shape.cells {
+                        mask[usize::try_from(cell.word).expect("word fits usize")] = true;
+                    }
+                }
+                false
+            }
+            // Non-packable faults take the per-fault fallback, which
+            // replays arbitrary words: the whole array is support.
+            None => true,
+        };
+        for group in &self.groups {
+            let _ = mark(&mut mask, group.rep);
+        }
+        for &fault in &self.rest {
+            if mark(&mut mask, fault) {
+                return vec![true; words];
+            }
+        }
+        mask
+    }
+
+    /// Whether the plan's soundness preconditions hold for `trace` (same
+    /// geometry, address-uniform, one content class, clean golden replay).
+    pub(crate) fn applies(&self, trace: &CompiledTrace) -> bool {
+        trace.geometry() == self.geometry
+            && trace.uniform_interleave()
+            && trace.monoclass()
+            && trace.golden_miscompares().is_empty()
+    }
+
+    /// Counts the universe's detected faults against `trace` using the
+    /// precomputed batching, with the same early-exit cap semantics as
+    /// [`CompiledTrace::count_detected`]: a reached cap returns exactly
+    /// `stop_after`, otherwise the exact total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::applies`] is false for `trace`.
+    pub(crate) fn count_detected(
+        &self,
+        trace: &CompiledTrace,
+        stop_after: Option<usize>,
+        scratch: &mut WorkerScratch,
+    ) -> usize {
+        assert!(self.applies(trace), "universe plan preconditions violated");
+        let stop = stop_after.unwrap_or(usize::MAX);
+        if stop == 0 {
+            return 0;
+        }
+        let ports = trace.geometry().ports();
+        let mut programs = Programs::default();
+        let mut count = 0usize;
+        for group in &self.groups {
+            let spec = lane_spec(group.rep).expect("plan groups are lane-packable");
+            let (pid, flipped) = programs.id_for_content(trace, &spec);
+            let program = &programs.store[pid];
+            for slot in &group.slots {
+                let masks = slot.masks.flip_corrected(flipped);
+                count += run_batch(program, &masks, ports).count();
+                if count >= stop {
+                    return stop;
+                }
+            }
+        }
+        for chunk in self.rest.chunks(LANES) {
+            let flags = detect_chunk(trace, chunk, scratch, &CancelToken::none());
+            count += flags.iter().filter(|&&f| f).count();
+            if count >= stop {
+                return stop;
+            }
+        }
+        count
+    }
 }
 
 #[cfg(test)]
@@ -1361,5 +1652,96 @@ mod tests {
             forced: true,
         };
         assert!(!batchable(overlapping));
+    }
+
+    #[test]
+    fn universe_plan_matches_engine_counts_exactly() {
+        use crate::trace::SimEngine;
+        use mbist_mem::subset_universe;
+        // Every class — including the rest-list families (stuck-open,
+        // decay, decoder) — across several library tests: the planned count
+        // must equal the engine count, capped and uncapped.
+        let g = MemGeometry::bit_oriented(24);
+        let spec = UniverseSpec::default();
+        let universe = subset_universe(&g, &FaultClass::ALL, &spec, 64);
+        let plan = UniversePlan::new(g, &universe);
+        for test in [library::mats(), library::march_c(), library::march_b()] {
+            let steps = expand_with(&test, &g, &ExpandOptions::for_geometry(&g));
+            let trace = CompiledTrace::from_steps(g, &steps);
+            assert!(plan.applies(&trace), "{}: signature must hold", test.name());
+            let total = trace.count_detected(&universe, SimEngine::Packed, None);
+            let mut scratch = WorkerScratch::default();
+            assert_eq!(
+                plan.count_detected(&trace, None, &mut scratch),
+                total,
+                "{}: planned total diverges",
+                test.name()
+            );
+            for cap in [0, 1, total.saturating_sub(1), total, total + 10] {
+                assert_eq!(
+                    plan.count_detected(&trace, Some(cap), &mut scratch),
+                    total.min(cap),
+                    "{}: cap {cap}",
+                    test.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn universe_plan_declines_non_conforming_traces() {
+        let g = MemGeometry::bit_oriented(4);
+        let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+        let plan = UniversePlan::new(g, &universe);
+        let w = |addr, bit| {
+            TestStep::Bus(BusCycle {
+                port: PortId(0),
+                addr,
+                op: Operation::Write(Bits::bit1(bit)),
+                expected: None,
+            })
+        };
+        use mbist_mem::{BusCycle, Operation, TestStep};
+        // Non-monotone address order: no uniform certificate.
+        let scrambled =
+            CompiledTrace::from_steps(g, &[w(0, true), w(2, true), w(1, true), w(3, true)]);
+        assert!(!plan.applies(&scrambled));
+        // Uniform order but mixed data: more than one content class.
+        let mixed = CompiledTrace::from_steps(
+            g,
+            &[w(0, true), w(1, false), w(2, true), w(3, true)],
+        );
+        assert!(!plan.applies(&mixed));
+        // Wrong geometry.
+        let g2 = MemGeometry::bit_oriented(8);
+        let t2 = CompiledTrace::from_steps(
+            g2,
+            &expand_with(&library::mats(), &g2, &ExpandOptions::for_geometry(&g2)),
+        );
+        assert!(!plan.applies(&t2));
+    }
+
+    #[test]
+    fn universe_plan_groups_stay_small_on_reference_config() {
+        // The whole point: a 256-word 5-class universe collapses to a
+        // handful of groups, so per-candidate routing work vanishes.
+        use mbist_mem::subset_universe;
+        let g = MemGeometry::bit_oriented(256);
+        let classes = [
+            FaultClass::StuckAt,
+            FaultClass::Transition,
+            FaultClass::CouplingInversion,
+            FaultClass::CouplingIdempotent,
+            FaultClass::CouplingState,
+        ];
+        let universe = subset_universe(&g, &classes, &UniverseSpec::default(), 256);
+        let plan = UniversePlan::new(g, &universe);
+        assert!(plan.rest.is_empty(), "all five classes are plan-routable");
+        assert!(
+            plan.groups.len() <= 16,
+            "{} groups for {} faults",
+            plan.groups.len(),
+            universe.len()
+        );
     }
 }

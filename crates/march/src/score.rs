@@ -1,0 +1,466 @@
+//! Population-batched candidate scoring for march-test synthesis.
+//!
+//! A synthesis search scores thousands of *candidate tests* against one
+//! fixed fault universe — the transpose of the coverage workload
+//! ([`crate::fanout`]), which scores one test against many faults. This
+//! module owns the per-candidate hot path and fans *candidates* across
+//! workers:
+//!
+//! - each worker keeps a [`TraceArena`] (allocation-free recompilation
+//!   with element-prefix reuse) and a simulation scratch;
+//! - the packed engine scores through a [`UniversePlan`]
+//!   (`crate::packed`): the universe's batch grouping is precomputed once
+//!   and replayed per candidate, so per-candidate routing work vanishes;
+//! - scoring stops early once `stop_after` detections are decided (the
+//!   lexicographic fitness only compares `min(detected, target)`).
+//!
+//! Results are joined **in candidate order** — never first-finished-wins —
+//! so a search trajectory is byte-identical across worker counts: worker
+//! `i` scores the `i`-th contiguous chunk of the batch, each candidate's
+//! score is a pure function of `(candidate, universe, engine)`, and the
+//! output slot is fixed by the candidate's index.
+
+use std::time::Instant;
+
+use mbist_mem::{FaultKind, MemGeometry};
+
+use crate::cancel::CancelToken;
+use crate::expand::ExpandOptions;
+use crate::fanout::{resolve_jobs, WorkerScratch, MIN_CANDIDATES_PER_WORKER};
+use crate::packed::UniversePlan;
+use crate::test::MarchTest;
+use crate::trace::{SimEngine, TraceArena};
+
+/// Per-worker scoring state: the reusable compile arena, the simulation
+/// scratch, and the worker's share of the compile/simulate time split.
+#[derive(Default)]
+struct EvalWorker {
+    arena: TraceArena,
+    scratch: WorkerScratch,
+    compile_ns: u64,
+    simulate_ns: u64,
+}
+
+/// Scores batches of candidate march tests against one fixed universe.
+///
+/// Construction precomputes everything reusable across candidates (the
+/// packed engine's [`UniversePlan`]); scoring reuses per-worker arenas, so
+/// steady-state evaluation allocates nothing. One scorer serves one
+/// `(geometry, expand options, universe, engine)` configuration.
+///
+/// # Examples
+///
+/// ```
+/// use mbist_march::{library, CandidateBatchScorer, CancelToken, ExpandOptions, SimEngine};
+/// use mbist_mem::{class_universe, FaultClass, MemGeometry, UniverseSpec};
+///
+/// let g = MemGeometry::bit_oriented(16);
+/// let universe = class_universe(&g, FaultClass::StuckAt, &UniverseSpec::default());
+/// let mut scorer = CandidateBatchScorer::new(
+///     g,
+///     ExpandOptions::minimal(&g),
+///     universe,
+///     SimEngine::Packed,
+/// );
+/// let batch = [library::mats(), library::march_c()];
+/// let scores = scorer.score_batch(&batch, Some(1), None, &CancelToken::none());
+/// assert_eq!(scores.len(), 2);
+/// assert!(scores[1].unwrap() >= scores[0].unwrap(), "march-c dominates mats");
+/// ```
+pub struct CandidateBatchScorer {
+    geometry: MemGeometry,
+    expand: ExpandOptions,
+    universe: Vec<FaultKind>,
+    engine: SimEngine,
+    /// Precomputed packed batching (`None` for the sliced/full engines —
+    /// per-trace eligibility is still re-checked per candidate).
+    plan: Option<UniversePlan>,
+    /// Whether worker arenas may skip the flat step stream: only the
+    /// packed engine with a fully lane-packable universe never replays it.
+    steps_free: bool,
+    /// Words whose per-word op lists the plan actually reads
+    /// ([`UniversePlan::support_mask`]); worker arenas compile only these
+    /// when the plan path is taken, and densely recompile for the rare
+    /// candidate the plan declines.
+    support: Option<Vec<bool>>,
+    workers: Vec<EvalWorker>,
+}
+
+impl CandidateBatchScorer {
+    /// Builds a scorer for one search configuration.
+    #[must_use]
+    pub fn new(
+        geometry: MemGeometry,
+        expand: ExpandOptions,
+        universe: Vec<FaultKind>,
+        engine: SimEngine,
+    ) -> Self {
+        let plan = match engine {
+            SimEngine::Packed => Some(UniversePlan::new(geometry, &universe)),
+            _ => None,
+        };
+        let steps_free = engine == SimEngine::Packed
+            && universe.iter().all(|&f| crate::packed::lane_packable(f));
+        let support = match (&plan, steps_free) {
+            (Some(plan), true) => Some(plan.support_mask()),
+            _ => None,
+        };
+        Self {
+            geometry,
+            expand,
+            universe,
+            engine,
+            plan,
+            steps_free,
+            support,
+            workers: Vec::new(),
+        }
+    }
+
+    /// The fault universe candidates are scored against.
+    #[must_use]
+    pub fn universe(&self) -> &[FaultKind] {
+        &self.universe
+    }
+
+    /// The memory geometry candidates are expanded on.
+    #[must_use]
+    pub fn geometry(&self) -> MemGeometry {
+        self.geometry
+    }
+
+    /// The expansion options candidates are expanded with.
+    #[must_use]
+    pub fn expand_options(&self) -> &ExpandOptions {
+        &self.expand
+    }
+
+    /// The simulation engine scores are computed with.
+    #[must_use]
+    pub fn engine(&self) -> SimEngine {
+        self.engine
+    }
+
+    /// Accumulated `(compile_ns, simulate_ns)` across all workers and
+    /// calls — the bench's compile-vs-simulate time split.
+    #[must_use]
+    pub fn timing(&self) -> (u64, u64) {
+        self.workers.iter().fold((0, 0), |(c, s), w| (c + w.compile_ns, s + w.simulate_ns))
+    }
+
+    /// Scores one candidate inline (worker 0): the number of universe
+    /// faults it detects, capped at `stop_after` (see
+    /// [`CompiledTrace::count_detected`] for the cap rule).
+    pub fn score_one(&mut self, test: &MarchTest, stop_after: Option<usize>) -> usize {
+        self.ensure_workers(1);
+        score_candidate(
+            test,
+            &self.geometry,
+            &self.expand,
+            &self.universe,
+            self.engine,
+            self.plan.as_ref(),
+            self.support.as_deref(),
+            stop_after,
+            &mut self.workers[0],
+        )
+    }
+
+    /// Scores a whole batch, fanning candidates across `jobs` workers, and
+    /// returns one slot per candidate **in batch order**.
+    ///
+    /// Internally candidates are processed in a sorted order that puts
+    /// structurally similar candidates next to each other, so sibling
+    /// mutations of one parent recompile only their differing suffix in
+    /// the worker's arena. The processing order is invisible in the
+    /// results: each candidate's score is a pure function of
+    /// `(candidate, universe, engine)` — independent of the worker that
+    /// computed it and of its neighbors — and lands in the slot fixed by
+    /// its batch index, which is what keeps `--jobs 1` and `--jobs N`
+    /// trajectories byte-identical.
+    ///
+    /// `None` slots are candidates left unscored by cancellation: each
+    /// worker checks `cancel` before every candidate and stops its chunk
+    /// when tripped.
+    pub fn score_batch(
+        &mut self,
+        tests: &[MarchTest],
+        jobs: Option<usize>,
+        stop_after: Option<usize>,
+        cancel: &CancelToken,
+    ) -> Vec<Option<usize>> {
+        let mut results: Vec<Option<usize>> = vec![None; tests.len()];
+        if tests.is_empty() {
+            return results;
+        }
+        // Prefix-sharing order: lexicographic on item structure, so
+        // candidates with equal leading elements become neighbors and the
+        // arena's element checkpoints carry across them.
+        let mut order: Vec<usize> = (0..tests.len()).collect();
+        order.sort_by_cached_key(|&i| structural_key(&tests[i]));
+        let workers =
+            resolve_jobs(jobs).min(tests.len() / MIN_CANDIDATES_PER_WORKER).max(1);
+        self.ensure_workers(workers);
+        let Self {
+            geometry, expand, universe, engine, plan, support, workers: pool, ..
+        } = self;
+        let (geometry, expand, universe) = (&*geometry, &*expand, &universe[..]);
+        let (engine, plan, support) = (*engine, plan.as_ref(), support.as_deref());
+        if workers == 1 {
+            let worker = &mut pool[0];
+            for &idx in &order {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                results[idx] = Some(score_candidate(
+                    &tests[idx],
+                    geometry,
+                    expand,
+                    universe,
+                    engine,
+                    plan,
+                    support,
+                    stop_after,
+                    worker,
+                ));
+            }
+            return results;
+        }
+        let chunk = tests.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = order
+                .chunks(chunk)
+                .zip(pool.iter_mut())
+                .map(|(indices, worker)| {
+                    let handle = scope.spawn(move || {
+                        let mut scored: Vec<Option<usize>> = vec![None; indices.len()];
+                        for (&idx, slot) in indices.iter().zip(&mut scored) {
+                            if cancel.is_cancelled() {
+                                break;
+                            }
+                            *slot = Some(score_candidate(
+                                &tests[idx],
+                                geometry,
+                                expand,
+                                universe,
+                                engine,
+                                plan,
+                                support,
+                                stop_after,
+                                worker,
+                            ));
+                        }
+                        scored
+                    });
+                    (indices, handle)
+                })
+                .collect();
+            for (indices, handle) in handles {
+                let scored = handle.join().expect("scoring worker panicked");
+                for (&idx, score) in indices.iter().zip(scored) {
+                    results[idx] = score;
+                }
+            }
+        });
+        results
+    }
+
+    fn ensure_workers(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let mut worker = EvalWorker::default();
+            worker.arena.set_skip_steps(self.steps_free);
+            worker.arena.set_word_support(self.support.clone());
+            self.workers.push(worker);
+        }
+    }
+}
+
+/// A lexicographic byte key over a candidate's item structure, used only
+/// to sort a batch so candidates sharing leading elements are processed
+/// consecutively (maximizing arena prefix reuse). Keys need not be
+/// injective — an imperfect sort costs speed, never correctness.
+fn structural_key(test: &MarchTest) -> Vec<u8> {
+    use crate::element::{AddressOrder, MarchItem};
+    use crate::op::MarchOp;
+    let mut key = Vec::with_capacity(test.ops_per_cell() + 2 * test.items().len());
+    for item in test.items() {
+        match item {
+            MarchItem::Pause { ns } => {
+                key.push(3);
+                key.extend_from_slice(&ns.to_bits().to_be_bytes());
+            }
+            MarchItem::Element(e) => {
+                key.push(match e.order() {
+                    AddressOrder::Up => 0,
+                    AddressOrder::Down => 1,
+                    AddressOrder::Any => 2,
+                });
+                for op in e.ops() {
+                    key.push(match op {
+                        MarchOp::Write(false) => 0x10,
+                        MarchOp::Write(true) => 0x11,
+                        MarchOp::Read(false) => 0x12,
+                        MarchOp::Read(true) => 0x13,
+                    });
+                }
+                key.push(0xff);
+            }
+        }
+    }
+    key
+}
+
+/// The per-candidate hot path: arena recompile, then a capped count
+/// through the planned packed path when its signature holds, the general
+/// engine path otherwise.
+#[allow(clippy::too_many_arguments)]
+fn score_candidate(
+    test: &MarchTest,
+    geometry: &MemGeometry,
+    expand: &ExpandOptions,
+    universe: &[FaultKind],
+    engine: SimEngine,
+    plan: Option<&UniversePlan>,
+    support: Option<&[bool]>,
+    stop_after: Option<usize>,
+    worker: &mut EvalWorker,
+) -> usize {
+    let t0 = Instant::now();
+    let trace = worker.arena.compile(test, geometry, expand);
+    let t1 = Instant::now();
+    let detected = match plan {
+        Some(plan) if plan.applies(trace) => {
+            plan.count_detected(trace, stop_after, &mut worker.scratch)
+        }
+        _ if support.is_some() => {
+            // The arena compiled a support-restricted trace, but this
+            // candidate declined the plan (golden miscompares, or a
+            // geometry too small for the uniform certificate): the general
+            // engine reads arbitrary words, so recompile complete. The
+            // search never produces such candidates (canonical tests
+            // replay clean), so the double compile stays off the hot path.
+            worker.arena.set_word_support(None);
+            let dense = worker.arena.compile(test, geometry, expand);
+            let detected = dense.count_detected_with(
+                universe,
+                engine,
+                stop_after,
+                &mut worker.scratch,
+            );
+            worker.arena.set_word_support(support.map(<[bool]>::to_vec));
+            detected
+        }
+        _ => trace.count_detected_with(universe, engine, stop_after, &mut worker.scratch),
+    };
+    worker.compile_ns += u64::try_from((t1 - t0).as_nanos()).unwrap_or(u64::MAX);
+    worker.simulate_ns += u64::try_from(t1.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::trace::CompiledTrace;
+    use mbist_mem::{subset_universe, FaultClass, UniverseSpec};
+
+    fn scorer(engine: SimEngine, words: u64) -> CandidateBatchScorer {
+        let g = MemGeometry::bit_oriented(words);
+        let universe = subset_universe(&g, &FaultClass::ALL, &UniverseSpec::default(), 48);
+        CandidateBatchScorer::new(g, ExpandOptions::minimal(&g), universe, engine)
+    }
+
+    #[test]
+    fn batch_scores_equal_serial_reference_for_every_engine() {
+        let batch: Vec<MarchTest> = library::all();
+        for engine in [SimEngine::Full, SimEngine::Sliced, SimEngine::Packed] {
+            let mut s = scorer(engine, 16);
+            let reference: Vec<usize> = batch
+                .iter()
+                .map(|t| {
+                    let trace =
+                        CompiledTrace::compile(t, &s.geometry(), s.expand_options());
+                    trace.count_detected(s.universe(), engine, None)
+                })
+                .collect();
+            for jobs in [Some(1), Some(3), Some(16)] {
+                let got = s.score_batch(&batch, jobs, None, &CancelToken::none());
+                let got: Vec<usize> = got.into_iter().map(|s| s.unwrap()).collect();
+                assert_eq!(got, reference, "{engine:?} jobs {jobs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_one_and_batch_agree_with_caps() {
+        let mut s = scorer(SimEngine::Packed, 16);
+        let test = library::march_c();
+        let full = s.score_one(&test, None);
+        assert!(full > 4);
+        for cap in [0, 1, full - 1, full, full + 7] {
+            assert_eq!(s.score_one(&test, Some(cap)), full.min(cap));
+            let batch = s.score_batch(
+                std::slice::from_ref(&test),
+                Some(2),
+                Some(cap),
+                &CancelToken::none(),
+            );
+            assert_eq!(batch[0], Some(full.min(cap)));
+        }
+    }
+
+    #[test]
+    fn sparse_compile_falls_back_densely_when_the_plan_declines() {
+        use crate::element::{AddressOrder, MarchElement, MarchItem};
+        use crate::op::MarchOp;
+        // A read expecting `1` against a zeroed array replays with golden
+        // miscompares, so the packed plan declines the candidate and the
+        // scorer must recompile reference-complete for the general engine
+        // — interleaved with clean candidates to exercise the support
+        // restore in between.
+        let dirty = MarchTest::new(
+            "dirty",
+            vec![MarchItem::Element(MarchElement::new(
+                AddressOrder::Up,
+                vec![MarchOp::Read(true), MarchOp::Write(true)],
+            ))],
+        );
+        for words in [2, 16] {
+            let mut s = scorer(SimEngine::Packed, words);
+            let batch =
+                vec![library::march_c(), dirty.clone(), library::mats(), dirty.clone()];
+            let reference: Vec<usize> = batch
+                .iter()
+                .map(|t| {
+                    let trace =
+                        CompiledTrace::compile(t, &s.geometry(), s.expand_options());
+                    trace.count_detected(s.universe(), SimEngine::Packed, None)
+                })
+                .collect();
+            let got = s.score_batch(&batch, Some(1), None, &CancelToken::none());
+            let got: Vec<usize> = got.into_iter().map(|s| s.unwrap()).collect();
+            assert_eq!(got, reference, "{words} words");
+        }
+    }
+
+    #[test]
+    fn cancellation_leaves_unscored_slots_none() {
+        let mut s = scorer(SimEngine::Packed, 16);
+        let batch: Vec<MarchTest> = library::all();
+        let cancel = CancelToken::manual();
+        cancel.cancel();
+        let got = s.score_batch(&batch, Some(2), None, &cancel);
+        assert_eq!(got.len(), batch.len());
+        assert!(got.iter().all(Option::is_none), "pre-cancelled batch scores nothing");
+    }
+
+    #[test]
+    fn timing_split_accumulates() {
+        let mut s = scorer(SimEngine::Packed, 32);
+        let batch: Vec<MarchTest> = library::all();
+        let _ = s.score_batch(&batch, Some(1), None, &CancelToken::none());
+        let (compile, simulate) = s.timing();
+        assert!(compile > 0, "compile time must be attributed");
+        assert!(simulate > 0, "simulate time must be attributed");
+    }
+}

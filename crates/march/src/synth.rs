@@ -16,9 +16,11 @@ use crate::coverage::{stride_sample, CoverageOptions};
 use crate::element::{AddressOrder, MarchElement, MarchItem};
 use crate::expand::{expand_with, ExpandOptions};
 use crate::fanout::detect_universe;
+use crate::fanout::WorkerScratch;
 use crate::op::MarchOp;
 use crate::runner::run_steps_detect;
 use crate::test::MarchTest;
+use crate::trace::TraceArena;
 
 /// Options for the synthesis search.
 #[derive(Debug, Clone)]
@@ -146,6 +148,21 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
         let mut mem = MemoryArray::new(g);
         !run_steps_detect(&mut mem, &expand_with(test, &g, &expand_opts))
     };
+    // Per-trial scoring goes through an arena: consecutive trials share
+    // the accepted `items` prefix, so each trial recompiles only its new
+    // tail element, and one compile answers both the cleanliness check
+    // (golden-replay miscompares) and the incremental gain. Counts equal
+    // the legacy expand→compile→detect round trip exactly, so the greedy
+    // decisions — and the synthesized test — are unchanged.
+    let mut arena = TraceArena::new();
+    let mut scratch = WorkerScratch::default();
+    let mut trial_gain = |test: &MarchTest, list: &[FaultKind]| -> Option<usize> {
+        let trace = arena.compile(test, &g, &expand_opts);
+        if !trace.golden_miscompares().is_empty() {
+            return None; // read expectations inconsistent with state
+        }
+        Some(trace.count_detected_with(list, engine, None, &mut scratch))
+    };
     let survivors = |list: &[FaultKind], flags: &[bool]| -> Vec<FaultKind> {
         list.iter().zip(flags).filter(|&(_, &d)| !d).map(|(&f, _)| f).collect()
     };
@@ -170,10 +187,9 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
             let mut trial_items = items.clone();
             trial_items.push(cand.clone().into());
             let trial = MarchTest::new(name, trial_items);
-            if !clean(&trial) {
-                continue; // read expectations inconsistent with state
-            }
-            let gain = detect_flags(&trial, &undetected).iter().filter(|&&d| d).count();
+            let Some(gain) = trial_gain(&trial, &undetected) else {
+                continue;
+            };
             evaluations += undetected.len();
             if gain > 0 && best.is_none_or(|(_, g0)| gain > g0) {
                 best = Some((k, gain));
@@ -200,10 +216,9 @@ pub fn synthesize_march(name: &str, options: &SynthesisOptions) -> SynthesizedMa
                 trial_items.push(ca.clone().into());
                 trial_items.push(cb.clone().into());
                 let trial = MarchTest::new(name, trial_items);
-                if !clean(&trial) {
+                let Some(gain) = trial_gain(&trial, &undetected) else {
                     continue;
-                }
-                let gain = detect_flags(&trial, &undetected).iter().filter(|&&d| d).count();
+                };
                 evaluations += undetected.len();
                 if gain > 0 && best_pair.is_none_or(|(_, _, g0)| gain > g0) {
                     best_pair = Some((a, b, gain));

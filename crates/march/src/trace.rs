@@ -22,9 +22,15 @@
 
 use std::collections::HashMap;
 
-use mbist_mem::{FaultKind, MemGeometry, MemoryArray, Operation, PortId, TestStep};
+use mbist_mem::{
+    BusCycle, FaultKind, MemGeometry, MemoryArray, Operation, PortId, TestStep,
+    DEFAULT_CYCLE_NS,
+};
 
-use crate::expand::{expand_with, ExpandOptions};
+use mbist_rtl::Bits;
+
+use crate::element::{MarchElement, MarchItem};
+use crate::expand::{expand_into, expand_with, ExpandOptions};
 use crate::runner::run_steps_detect;
 use crate::sliced;
 use crate::test::MarchTest;
@@ -213,28 +219,72 @@ impl std::hash::Hasher for FnvHasher {
     }
 }
 
-/// Interns each word's op-list content — the `(kind, data, expected,
-/// golden)` sequence, exactly the projection `packed::build_program`
-/// reads — into a dense class id. Two words with the same id provably
-/// yield identical packed access programs for any bit position.
-fn intern_word_classes(per_word: &[Vec<TraceOp>]) -> Vec<u32> {
-    let mut intern: HashMap<Vec<(u8, u64, u64)>, u32, FnvBuild> =
-        HashMap::with_hasher(FnvBuild);
-    per_word
-        .iter()
-        .map(|ops| {
-            let key: Vec<(u8, u64, u64)> = ops
-                .iter()
-                .map(|op| match op.kind {
-                    TraceOpKind::Write(data) => (0u8, data, 0),
-                    TraceOpKind::Read { expected: None, golden, .. } => (1u8, 0, golden),
-                    TraceOpKind::Read { expected: Some(e), golden, .. } => (2u8, e, golden),
-                })
-                .collect();
-            let next = u32::try_from(intern.len()).expect("class count fits u32");
-            *intern.entry(key).or_insert(next)
+/// Folds one op's content projection — the `(kind, data, expected,
+/// golden)` tuple, exactly what `packed::build_program` reads — into a
+/// running FNV word-content hash. Tags make the framing unambiguous.
+#[inline]
+fn mix_op_content(h: &mut u64, kind: &TraceOpKind) {
+    let mut mix = |v: u64| *h = (*h ^ v).wrapping_mul(Fnv1a::PRIME);
+    match *kind {
+        TraceOpKind::Write(data) => {
+            mix(0);
+            mix(data);
+        }
+        TraceOpKind::Read { expected: None, golden, .. } => {
+            mix(1);
+            mix(golden);
+        }
+        TraceOpKind::Read { expected: Some(e), golden, .. } => {
+            mix(2);
+            mix(e);
+            mix(golden);
+        }
+    }
+}
+
+/// Whether two op lists carry the identical content projection (the exact
+/// congruence the word-class ids certify — timestamps, ports and sense
+/// history are deliberately not part of it).
+fn projection_eq(a: &[TraceOp], b: &[TraceOp]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x.kind, y.kind) {
+            (TraceOpKind::Write(da), TraceOpKind::Write(db)) => da == db,
+            (
+                TraceOpKind::Read { expected: ea, golden: ga, .. },
+                TraceOpKind::Read { expected: eb, golden: gb, .. },
+            ) => ea == eb && ga == gb,
+            _ => false,
         })
-        .collect()
+}
+
+/// Interns each word's op-list content into a dense class id (ids in
+/// first-occurrence order). Two words with the same id provably yield
+/// identical packed access programs for any bit position: the incremental
+/// content hashes only bucket candidates — congruence always comes from
+/// the full [`projection_eq`] comparison, so hash quality can never
+/// change a class assignment.
+fn intern_word_classes(per_word: &[Vec<TraceOp>], hashes: &[u64]) -> Vec<u32> {
+    let mut buckets: HashMap<u64, Vec<(u32, usize)>, FnvBuild> =
+        HashMap::with_hasher(FnvBuild);
+    let mut classes = Vec::with_capacity(per_word.len());
+    let mut next = 0u32;
+    for (w, ops) in per_word.iter().enumerate() {
+        let bucket = buckets.entry(hashes[w]).or_default();
+        let found = bucket
+            .iter()
+            .find_map(|&(id, rep)| projection_eq(ops, &per_word[rep]).then_some(id));
+        let id = match found {
+            Some(id) => id,
+            None => {
+                let id = next;
+                next = next.checked_add(1).expect("class count fits u32");
+                bucket.push((id, w));
+                id
+            }
+        };
+        classes.push(id);
+    }
+    classes
 }
 
 /// Checks the address-uniform-march shape (see the
@@ -252,13 +302,23 @@ fn intern_word_classes(per_word: &[Vec<TraceOp>]) -> Vec<u32> {
 /// memoization already covers them (and the two-word parse would need
 /// lookahead to split shared boundary visits).
 fn certify_uniform_interleave(words: u64, steps: &[TestStep]) -> bool {
+    certify_uniform_interleave_with(words, steps, &mut Vec::new())
+}
+
+/// [`certify_uniform_interleave`] into a caller-owned visit buffer, so a
+/// hot recompile loop ([`TraceArena`]) certifies without allocating.
+fn certify_uniform_interleave_with(
+    words: u64,
+    steps: &[TestStep],
+    visits: &mut Vec<(u64, u32)>,
+) -> bool {
     let n = usize::try_from(words).expect("words fit usize");
     if n < 3 {
         return false;
     }
     // Collapse the op stream to word visits: consecutive ops on one
     // address (pauses don't access, so they split nothing).
-    let mut visits: Vec<(u64, u32)> = Vec::new();
+    visits.clear();
     for step in steps {
         if let TestStep::Bus(cycle) = step {
             match visits.last_mut() {
@@ -418,6 +478,7 @@ impl CompiledTrace {
         }
         let mut per_word: Vec<Vec<TraceOp>> =
             counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        let mut word_hash = vec![Fnv1a::OFFSET; words];
         let mut golden_miscompares = Vec::new();
         let mut mem = MemoryArray::new(geometry);
         let mut last_read: Vec<Option<PrevRead>> =
@@ -429,13 +490,15 @@ impl CompiledTrace {
                 TestStep::Bus(cycle) => match cycle.op {
                     Operation::Write(data) => {
                         mem.write(cycle.port, cycle.addr, data);
-                        per_word[usize::try_from(cycle.addr).expect("addr fits usize")]
-                            .push(TraceOp {
-                                step: step_no,
-                                port: cycle.port,
-                                now_ns: mem.now_ns(),
-                                kind: TraceOpKind::Write(data.value()),
-                            });
+                        let addr = usize::try_from(cycle.addr).expect("addr fits usize");
+                        let kind = TraceOpKind::Write(data.value());
+                        mix_op_content(&mut word_hash[addr], &kind);
+                        per_word[addr].push(TraceOp {
+                            step: step_no,
+                            port: cycle.port,
+                            now_ns: mem.now_ns(),
+                            kind,
+                        });
                     }
                     Operation::Read => {
                         let observed = mem.read(cycle.port, cycle.addr);
@@ -451,24 +514,26 @@ impl CompiledTrace {
                             golden_miscompares.push((step_no, cycle.addr));
                         }
                         let port = usize::from(cycle.port.0);
-                        per_word[usize::try_from(cycle.addr).expect("addr fits usize")]
-                            .push(TraceOp {
-                                step: step_no,
-                                port: cycle.port,
-                                now_ns: mem.now_ns(),
-                                kind: TraceOpKind::Read {
-                                    expected,
-                                    golden: observed.value(),
-                                    prev_read: last_read[port],
-                                },
-                            });
+                        let addr = usize::try_from(cycle.addr).expect("addr fits usize");
+                        let kind = TraceOpKind::Read {
+                            expected,
+                            golden: observed.value(),
+                            prev_read: last_read[port],
+                        };
+                        mix_op_content(&mut word_hash[addr], &kind);
+                        per_word[addr].push(TraceOp {
+                            step: step_no,
+                            port: cycle.port,
+                            now_ns: mem.now_ns(),
+                            kind,
+                        });
                         last_read[port] =
                             Some(PrevRead { step: step_no, golden: observed.value() });
                     }
                 },
             }
         }
-        let word_class = intern_word_classes(&per_word);
+        let word_class = intern_word_classes(&per_word, &word_hash);
         let uniform_interleave = certify_uniform_interleave(geometry.words(), &steps);
         Self {
             geometry,
@@ -627,14 +692,486 @@ impl CompiledTrace {
         self.word_class[usize::try_from(word).expect("addr fits usize")]
     }
 
+    /// Counts how many faults of `universe` the trace detects, with an
+    /// optional early-exit cap: once `stop_after` detections are seen the
+    /// scan quits and returns exactly `stop_after`. A lexicographic
+    /// fitness comparing `min(detected, target)` only needs the capped
+    /// value, so a synthesis loop saves the tail of the universe for every
+    /// candidate that already met its target.
+    ///
+    /// The result is engine- and chunking-independent: with no cap (or an
+    /// unreached cap) the exact total is returned; a reached cap returns
+    /// the cap itself, never "cap plus however many the last chunk held".
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault in `universe` does not fit the trace geometry.
+    #[must_use]
+    pub fn count_detected(
+        &self,
+        universe: &[FaultKind],
+        engine: SimEngine,
+        stop_after: Option<usize>,
+    ) -> usize {
+        let mut scratch = crate::fanout::WorkerScratch::default();
+        self.count_detected_with(universe, engine, stop_after, &mut scratch)
+    }
+
+    /// [`Self::count_detected`] with a caller-owned scratch, so a scoring
+    /// loop keeps one simulation scratch hot instead of reallocating per
+    /// candidate.
+    pub(crate) fn count_detected_with(
+        &self,
+        universe: &[FaultKind],
+        engine: SimEngine,
+        stop_after: Option<usize>,
+        scratch: &mut crate::fanout::WorkerScratch,
+    ) -> usize {
+        for fault in universe {
+            assert!(
+                fault.is_valid_for(&self.geometry),
+                "fault {fault} does not fit trace geometry {}",
+                self.geometry
+            );
+        }
+        let stop = stop_after.unwrap_or(usize::MAX);
+        if stop == 0 {
+            return 0;
+        }
+        let mut count = 0usize;
+        match engine {
+            SimEngine::Packed => {
+                // Chunk granularity trades batch fullness (big chunks keep
+                // the 256 lanes packed) against cap responsiveness (small
+                // chunks exit sooner once the cap is reached).
+                const CAPPED_PACKED_CHUNK: usize = 1024;
+                for chunk in universe.chunks(CAPPED_PACKED_CHUNK) {
+                    let flags = crate::packed::detect_chunk(
+                        self,
+                        chunk,
+                        scratch,
+                        &crate::cancel::CancelToken::none(),
+                    );
+                    count += flags.iter().filter(|&&f| f).count();
+                    if count >= stop {
+                        return stop;
+                    }
+                }
+            }
+            _ => {
+                for &fault in universe {
+                    if crate::fanout::detect_one(self, fault, engine, scratch) {
+                        count += 1;
+                        if count >= stop {
+                            return stop;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+
     /// Whether the address-uniform-march certificate holds (see the field
     /// doc).
     pub(crate) fn uniform_interleave(&self) -> bool {
         self.uniform_interleave
     }
 
+    /// Whether every word shares one content class (class ids are dense in
+    /// first-occurrence order, so "all zero" means "all identical") — with
+    /// [`Self::uniform_interleave`] and clean golden replay, the signature
+    /// under which the packed planner's precomputed routing is sound.
+    pub(crate) fn monoclass(&self) -> bool {
+        self.word_class.iter().all(|&c| c == 0)
+    }
+
     pub(crate) fn golden_miscompares(&self) -> &[(u32, u64)] {
         &self.golden_miscompares
+    }
+}
+
+/// Replay state snapshot at an element boundary: everything a resumed
+/// compile needs to continue as if it had replayed the prefix itself.
+#[derive(Default)]
+struct Checkpoint {
+    /// Steps compiled so far (prefix length in the step stream).
+    steps: u32,
+    /// Simulated time after the prefix.
+    now_ns: f64,
+    /// Golden miscompares recorded so far (prefix length).
+    miscompares: u32,
+    /// Fault-free word values after the prefix.
+    values: Vec<u64>,
+    /// Last read per port after the prefix.
+    last_read: Vec<Option<PrevRead>>,
+    /// Incremental word-content hashes after the prefix.
+    word_hash: Vec<u64>,
+}
+
+/// Reusable compilation arena for hot candidate-scoring loops.
+///
+/// One arena owns a [`CompiledTrace`] slot plus every scratch buffer a
+/// compile needs, so recompiling a stream of similar candidates reaches an
+/// allocation-free steady state: the step stream, per-word op lists,
+/// content hashes and certificate scratch all keep their capacity across
+/// compiles, and the fault-free golden replay runs against a raw value
+/// array instead of a freshly allocated [`MemoryArray`].
+///
+/// On single-pass expansions (one port × one background, no pauses — the
+/// shape every synthesis candidate has) the arena also snapshots replay
+/// state at every element boundary: a candidate sharing an element prefix
+/// with the previously compiled one resumes from the last shared
+/// checkpoint instead of replaying from power-up. Shrink loops, whose
+/// trial candidates share almost their whole prefix with the incumbent,
+/// recompile in near-constant time.
+///
+/// The produced trace is bit-identical to [`CompiledTrace::compile`] on
+/// the same inputs (pinned by tests); only the wall-clock cost changes.
+#[derive(Default)]
+pub struct TraceArena {
+    trace: Option<CompiledTrace>,
+    /// Live replay state (fault-free word values, simulated time, per-port
+    /// sense history, per-word content hashes).
+    values: Vec<u64>,
+    now_ns: f64,
+    last_read: Vec<Option<PrevRead>>,
+    word_hash: Vec<u64>,
+    /// One snapshot per compiled element of the previous candidate.
+    checkpoints: Vec<Checkpoint>,
+    /// Retired checkpoints, recycled to keep steady state allocation-free.
+    spare: Vec<Checkpoint>,
+    /// Elements of the previously compiled candidate (the prefix key).
+    prev_elements: Vec<MarchElement>,
+    /// Expansion config the checkpoints are valid under.
+    prev_config: Option<(MemGeometry, ExpandOptions)>,
+    /// Whether the checkpoint state describes `trace` (false after a
+    /// slow-path compile or on a fresh arena).
+    prev_valid: bool,
+    /// Certificate scratch ([`certify_uniform_interleave_with`]).
+    visits: Vec<(u64, u32)>,
+    /// Per-element decoded ops — `(is_write, bus word, word value)` — so
+    /// the replay loop resolves data backgrounds once per element instead
+    /// of once per access.
+    decoded: Vec<(bool, Bits, u64)>,
+    /// Skip recording the flat step stream on the fast path (see
+    /// [`Self::set_skip_steps`]).
+    skip_steps: bool,
+    /// When set, only these words' per-word op lists are populated on the
+    /// fast path (see [`Self::set_word_support`]).
+    word_support: Option<Vec<bool>>,
+}
+
+impl TraceArena {
+    /// A fresh arena: buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Skips recording the flat [`TestStep`] stream on the element fast
+    /// path: compiled traces come back with empty `steps`, while the
+    /// per-word op lists still carry the true global step indices. The
+    /// packed engine detects purely from the per-word lists, so a
+    /// packed-only scoring loop saves one push per access; the sliced and
+    /// full engines replay the step stream and MUST NOT consume traces
+    /// compiled this way. Toggling invalidates any cached prefix state.
+    pub(crate) fn set_skip_steps(&mut self, skip: bool) {
+        if self.skip_steps != skip {
+            self.skip_steps = skip;
+            self.prev_valid = false;
+        }
+    }
+
+    /// Restricts fast-path compilation to populate per-word op lists only
+    /// for words marked in `support` (untracked words come back with empty
+    /// lists; golden replay — values, timing, miscompares — still covers
+    /// the whole array exactly). The produced traces are valid solely for
+    /// consumers that declared the support set, e.g.
+    /// [`UniversePlan::count_detected`](crate::packed::UniversePlan) via
+    /// its `support_mask`. `None` restores reference-complete compiles.
+    /// Changing the support invalidates any cached prefix state.
+    pub(crate) fn set_word_support(&mut self, support: Option<Vec<bool>>) {
+        if self.word_support != support {
+            self.word_support = support;
+            self.prev_valid = false;
+        }
+    }
+
+    /// Compiles `test` exactly like [`CompiledTrace::compile`], reusing
+    /// the arena's buffers and any element-prefix overlap with the
+    /// previous compile. The returned trace borrows the arena and is
+    /// valid until the next `compile` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CompiledTrace::compile`]
+    /// (background width mismatch, port out of range, invalid stream).
+    pub fn compile(
+        &mut self,
+        test: &MarchTest,
+        geometry: &MemGeometry,
+        options: &ExpandOptions,
+    ) -> &CompiledTrace {
+        let fast = options.ports.len() == 1
+            && options.backgrounds.len() == 1
+            && test.items().iter().all(|i| matches!(i, MarchItem::Element(_)));
+        if fast {
+            self.compile_elements(test, geometry, options);
+        } else {
+            self.compile_slow(test, geometry, options);
+        }
+        self.trace.as_ref().expect("compile populates the trace")
+    }
+
+    /// Cold path for multi-pass or pause-carrying tests: full recompile
+    /// through the reference pipeline, reusing only the step buffer.
+    fn compile_slow(
+        &mut self,
+        test: &MarchTest,
+        geometry: &MemGeometry,
+        options: &ExpandOptions,
+    ) {
+        let mut steps = self.trace.take().map(|t| t.steps).unwrap_or_default();
+        expand_into(test, geometry, options, &mut steps);
+        self.trace = Some(CompiledTrace::from_steps_owned(*geometry, steps));
+        self.retire_checkpoints(0);
+        self.prev_valid = false;
+    }
+
+    /// Hot path: replay only the elements past the shared prefix.
+    fn compile_elements(
+        &mut self,
+        test: &MarchTest,
+        geometry: &MemGeometry,
+        options: &ExpandOptions,
+    ) {
+        let words = usize::try_from(geometry.words()).expect("words fit usize");
+        let ports = usize::from(geometry.ports());
+        let port = options.ports[0];
+        let bg = options.backgrounds[0];
+        assert_eq!(bg.width(), geometry.width(), "background width mismatch");
+        assert!(port.0 < geometry.ports(), "port {port} out of range");
+
+        let config_matches =
+            self.prev_config.as_ref().is_some_and(|(g, o)| g == geometry && o == options);
+        if !config_matches {
+            self.prev_config = Some((*geometry, options.clone()));
+        }
+        let items = test.items();
+        let shared = if self.prev_valid && config_matches && self.trace.is_some() {
+            items
+                .iter()
+                .zip(&self.prev_elements)
+                .take_while(|(item, prev)| item.as_element() == Some(prev))
+                .count()
+        } else {
+            self.reset_skeleton(geometry, words);
+            0
+        };
+
+        // Roll the live state back to the last shared element boundary.
+        self.retire_checkpoints(shared);
+        let (steps_keep, misc_keep) = match self.checkpoints.last() {
+            Some(ck) => {
+                self.now_ns = ck.now_ns;
+                self.values.clone_from(&ck.values);
+                self.last_read.clone_from(&ck.last_read);
+                self.word_hash.clone_from(&ck.word_hash);
+                (ck.steps as usize, ck.miscompares as usize)
+            }
+            None => {
+                self.now_ns = 0.0;
+                self.values.clear();
+                self.values.resize(words, 0);
+                self.last_read.clear();
+                self.last_read.resize(ports, None);
+                self.word_hash.clear();
+                self.word_hash.resize(words, Fnv1a::OFFSET);
+                (0, 0)
+            }
+        };
+        {
+            let trace = self.trace.as_mut().expect("skeleton exists");
+            trace.steps.truncate(steps_keep);
+            trace.golden_miscompares.truncate(misc_keep);
+            let cut = u32::try_from(steps_keep).expect("step count fits u32");
+            for ops in &mut trace.per_word {
+                ops.truncate(ops.partition_point(|op| op.step < cut));
+            }
+        }
+
+        // Replay the unshared tail, mirroring `expand_one_pass` +
+        // `from_steps_owned` exactly: cycle time advances before the access
+        // is recorded, reads observe the stored fault-free word.
+        let n = geometry.words();
+        let p = usize::from(port.0);
+        let skip_steps = self.skip_steps;
+        // Moved out for the loop (`push_checkpoint` reborrows `self`) and
+        // restored right after it.
+        let support_owned = self.word_support.take();
+        let support = support_owned.as_deref();
+        let mut step_no = u32::try_from(steps_keep).expect("step count fits u32");
+        for item in &items[shared..] {
+            let e = item.as_element().expect("fast path is element-only");
+            let up = matches!(e.order().direction(), mbist_rtl::Direction::Up);
+            self.decoded.clear();
+            self.decoded.extend(e.ops().iter().map(|op| {
+                let word = if op.data() { !bg } else { bg };
+                (op.is_write(), word, word.value())
+            }));
+            let trace = self.trace.as_mut().expect("skeleton exists");
+            for i in 0..n {
+                let addr = if up { i } else { n - 1 - i };
+                let w = usize::try_from(addr).expect("addr fits usize");
+                // Untracked words keep exact golden state (values, timing,
+                // miscompares, sense history) but skip the op-list record.
+                let tracked = support.is_none_or(|s| s[w]);
+                for &(is_write, word, value) in &self.decoded {
+                    self.now_ns += DEFAULT_CYCLE_NS;
+                    if is_write {
+                        if !skip_steps {
+                            trace
+                                .steps
+                                .push(TestStep::Bus(BusCycle::write(port, addr, word)));
+                        }
+                        self.values[w] = value;
+                        if tracked {
+                            let kind = TraceOpKind::Write(value);
+                            mix_op_content(&mut self.word_hash[w], &kind);
+                            trace.per_word[w].push(TraceOp {
+                                step: step_no,
+                                port,
+                                now_ns: self.now_ns,
+                                kind,
+                            });
+                        }
+                    } else {
+                        if !skip_steps {
+                            trace
+                                .steps
+                                .push(TestStep::Bus(BusCycle::read(port, addr, word)));
+                        }
+                        let observed = self.values[w];
+                        if value != observed {
+                            trace.golden_miscompares.push((step_no, addr));
+                        }
+                        if tracked {
+                            let kind = TraceOpKind::Read {
+                                expected: Some(value),
+                                golden: observed,
+                                prev_read: self.last_read[p],
+                            };
+                            mix_op_content(&mut self.word_hash[w], &kind);
+                            trace.per_word[w].push(TraceOp {
+                                step: step_no,
+                                port,
+                                now_ns: self.now_ns,
+                                kind,
+                            });
+                        }
+                        self.last_read[p] =
+                            Some(PrevRead { step: step_no, golden: observed });
+                    }
+                    step_no += 1;
+                }
+            }
+            let misc_len = u32::try_from(trace.golden_miscompares.len())
+                .expect("miscompare count fits u32");
+            self.push_checkpoint(step_no, misc_len);
+        }
+        let sparse = support_owned.is_some();
+        self.word_support = support_owned;
+
+        // The fast path constructs the stream itself, so both certificates
+        // are known without a pass over it: every element visits every
+        // word exactly once in monotone order with a uniform op count
+        // (address-uniform by construction, with direction-reversal
+        // boundary visits exactly the shape the parser's `carry` admits),
+        // and every write puts the same value at every address, so `values`
+        // stays address-uniform and all words carry the identical content
+        // projection — one class. The debug assertions re-derive both
+        // through the reference certifiers.
+        let trace = self.trace.as_mut().expect("skeleton exists");
+        trace.word_class.clear();
+        trace.word_class.resize(words, 0);
+        trace.uniform_interleave = geometry.words() >= 3;
+        debug_assert!(
+            sparse
+                || trace.word_class
+                    == intern_word_classes(&trace.per_word, &self.word_hash),
+            "fast-path streams must be monoclass by construction"
+        );
+        debug_assert!(
+            skip_steps
+                || certify_uniform_interleave_with(
+                    geometry.words(),
+                    &trace.steps,
+                    &mut self.visits,
+                ) == trace.uniform_interleave,
+            "fast-path streams must be address-uniform exactly when words >= 3"
+        );
+
+        self.prev_elements.clear();
+        self.prev_elements.extend(
+            items
+                .iter()
+                .map(|i| i.as_element().expect("fast path is element-only").clone()),
+        );
+        self.prev_valid = true;
+    }
+
+    /// Resets the trace slot to an empty skeleton for `geometry`, keeping
+    /// whatever buffer capacity the previous trace had.
+    fn reset_skeleton(&mut self, geometry: &MemGeometry, words: usize) {
+        let trace = match self.trace.take() {
+            Some(mut t) => {
+                t.geometry = *geometry;
+                t.steps.clear();
+                if t.per_word.len() == words {
+                    for ops in &mut t.per_word {
+                        ops.clear();
+                    }
+                } else {
+                    t.per_word.clear();
+                    t.per_word.resize_with(words, Vec::new);
+                }
+                t.golden_miscompares.clear();
+                t.word_class.clear();
+                t.uniform_interleave = false;
+                t
+            }
+            None => CompiledTrace {
+                geometry: *geometry,
+                steps: Vec::new(),
+                per_word: vec![Vec::new(); words],
+                golden_miscompares: Vec::new(),
+                word_class: Vec::new(),
+                uniform_interleave: false,
+            },
+        };
+        self.trace = Some(trace);
+    }
+
+    /// Moves checkpoints past `keep` into the spare pool (their buffers
+    /// are recycled by the next [`Self::push_checkpoint`]).
+    fn retire_checkpoints(&mut self, keep: usize) {
+        while self.checkpoints.len() > keep {
+            self.spare.push(self.checkpoints.pop().expect("len checked"));
+        }
+    }
+
+    /// Snapshots the live replay state as the checkpoint after the element
+    /// just compiled.
+    fn push_checkpoint(&mut self, steps: u32, miscompares: u32) {
+        let mut ck = self.spare.pop().unwrap_or_default();
+        ck.steps = steps;
+        ck.now_ns = self.now_ns;
+        ck.miscompares = miscompares;
+        ck.values.clone_from(&self.values);
+        ck.last_read.clone_from(&self.last_read);
+        ck.word_hash.clone_from(&self.word_hash);
+        self.checkpoints.push(ck);
     }
 }
 
@@ -816,5 +1353,144 @@ mod tests {
         let trace = CompiledTrace::from_steps(g, &expand(&library::mats(), &g));
         let _ =
             trace.detect(FaultKind::StuckAt { cell: CellId::bit_oriented(9), value: true });
+    }
+
+    /// Field-by-field equality of two compiled traces, including the op
+    /// projections the engines consume (`Debug` renders `f64` timestamps
+    /// with round-trip precision, so this is bit-exact).
+    fn assert_trace_eq(a: &CompiledTrace, b: &CompiledTrace, what: &str) {
+        assert_eq!(a.geometry, b.geometry, "{what}: geometry");
+        assert_eq!(a.steps, b.steps, "{what}: steps");
+        assert_eq!(
+            format!("{:?}", a.per_word),
+            format!("{:?}", b.per_word),
+            "{what}: per-word ops"
+        );
+        assert_eq!(a.golden_miscompares, b.golden_miscompares, "{what}: miscompares");
+        assert_eq!(a.word_class, b.word_class, "{what}: word classes");
+        assert_eq!(a.uniform_interleave, b.uniform_interleave, "{what}: certificate");
+    }
+
+    #[test]
+    fn arena_matches_reference_compile_across_shapes() {
+        // One arena compiles a mixed stream of tests — single-pass
+        // (fast path), pause-carrying and multi-background/multi-port
+        // (slow path) — and every result must be bit-identical to a cold
+        // reference compile. Interleaving shapes also proves fast→slow→fast
+        // transitions never leak state.
+        let bit = MemGeometry::bit_oriented(8);
+        let word = MemGeometry::word_oriented(8, 4);
+        let multi = MemGeometry::new(8, 1, 2);
+        let cases: Vec<(MarchTest, MemGeometry)> = vec![
+            (library::mats(), bit),
+            (library::march_c(), bit),
+            (library::march_c_plus(), bit), // pauses: slow path
+            (library::march_c(), word),     // 3 backgrounds: slow path
+            (library::march_b(), bit),
+            (library::mats_plus(), multi), // 2 ports: slow path
+            (library::march_c(), bit),     // back to the fast path
+        ];
+        let mut arena = TraceArena::new();
+        for (test, g) in &cases {
+            let opts = ExpandOptions::for_geometry(g);
+            let got = arena.compile(test, g, &opts);
+            let want = CompiledTrace::compile(test, g, &opts);
+            assert_trace_eq(got, &want, test.name());
+        }
+    }
+
+    #[test]
+    fn arena_prefix_reuse_is_exact() {
+        // Candidate-style recompiles that exercise every prefix-sharing
+        // case: tail mutation, mid-element removal (shrink), pure prefix
+        // (tail removal), growth, and a full rewrite.
+        use crate::element::AddressOrder;
+        use crate::op::MarchOp;
+        let g = MemGeometry::bit_oriented(8);
+        let opts = ExpandOptions::minimal(&g);
+        let e = |order, ops: &[MarchOp]| MarchElement::new(order, ops.to_vec());
+        let w0 = MarchOp::Write(false);
+        let w1 = MarchOp::Write(true);
+        let r0 = MarchOp::Read(false);
+        let r1 = MarchOp::Read(true);
+        let base = vec![
+            e(AddressOrder::Any, &[w0]),
+            e(AddressOrder::Up, &[r0, w1]),
+            e(AddressOrder::Up, &[r1, w0]),
+            e(AddressOrder::Down, &[r0, w1]),
+            e(AddressOrder::Down, &[r1, w0]),
+            e(AddressOrder::Any, &[r0]),
+        ];
+        let variants: Vec<Vec<MarchElement>> = vec![
+            base.clone(),
+            // tail mutation
+            {
+                let mut v = base.clone();
+                v[5] = e(AddressOrder::Down, &[r0]);
+                v
+            },
+            // shrink: drop a middle element
+            {
+                let mut v = base.clone();
+                v.remove(3);
+                v
+            },
+            // pure prefix of the previous candidate
+            base[..4].to_vec(),
+            // growth past the previous length
+            {
+                let mut v = base.clone();
+                v.push(e(AddressOrder::Up, &[r0, w1, r1]));
+                v
+            },
+            // full rewrite: nothing shared
+            vec![e(AddressOrder::Down, &[w1]), e(AddressOrder::Up, &[r1])],
+            // identical recompile
+            vec![e(AddressOrder::Down, &[w1]), e(AddressOrder::Up, &[r1])],
+        ];
+        let mut arena = TraceArena::new();
+        for (i, elements) in variants.iter().enumerate() {
+            let test = MarchTest::new(
+                format!("cand-{i}"),
+                elements.clone().into_iter().map(MarchItem::Element).collect(),
+            );
+            let got = arena.compile(&test, &g, &opts);
+            let want = CompiledTrace::compile(&test, &g, &opts);
+            assert_trace_eq(got, &want, test.name());
+        }
+    }
+
+    #[test]
+    fn arena_survives_geometry_and_option_switches() {
+        let mut arena = TraceArena::new();
+        for g in [MemGeometry::bit_oriented(4), MemGeometry::bit_oriented(16)] {
+            for opts in [ExpandOptions::minimal(&g), ExpandOptions::for_geometry(&g)] {
+                let got = arena.compile(&library::march_c(), &g, &opts);
+                let want = CompiledTrace::compile(&library::march_c(), &g, &opts);
+                assert_trace_eq(got, &want, "geometry/options switch");
+            }
+        }
+    }
+
+    #[test]
+    fn count_detected_matches_flags_and_caps_exactly() {
+        use mbist_mem::{subset_universe, FaultClass, UniverseSpec};
+        let g = MemGeometry::bit_oriented(16);
+        let trace = CompiledTrace::from_steps(g, &expand(&library::march_c(), &g));
+        let classes =
+            [FaultClass::StuckAt, FaultClass::Transition, FaultClass::CouplingIdempotent];
+        let universe = subset_universe(&g, &classes, &UniverseSpec::default(), 64);
+        let flags = trace.detect_universe(&universe, Some(1), SimEngine::Packed);
+        let total = flags.iter().filter(|&&f| f).count();
+        assert!(total > 2, "universe too easy to exercise caps");
+        for engine in [SimEngine::Full, SimEngine::Sliced, SimEngine::Packed] {
+            assert_eq!(trace.count_detected(&universe, engine, None), total);
+            assert_eq!(trace.count_detected(&universe, engine, Some(usize::MAX)), total);
+            // A reached cap returns exactly the cap, chunking-independent.
+            assert_eq!(trace.count_detected(&universe, engine, Some(1)), 1);
+            assert_eq!(trace.count_detected(&universe, engine, Some(total - 1)), total - 1);
+            assert_eq!(trace.count_detected(&universe, engine, Some(total)), total);
+            assert_eq!(trace.count_detected(&universe, engine, Some(0)), 0);
+        }
     }
 }

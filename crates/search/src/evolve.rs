@@ -218,7 +218,10 @@ impl SearchStrategy for Evolutionary {
             push(&mut pop, random_individual(&mut rng, &pool, max_elements));
         }
 
-        let mut scores: Vec<Fitness> = pop.iter().map(|i| oracle.evaluate(i)).collect();
+        // Whole generations go to the oracle as one batch: candidates fan
+        // out across workers, results commit in candidate order, so the
+        // trajectory is exactly the one-by-one evaluation's.
+        let mut scores: Vec<Fitness> = oracle.evaluate_batch(&pop);
         let mut best_idx = 0;
         for i in 1..pop.len() {
             if scores[i].beats(&scores[best_idx], target) {
@@ -266,7 +269,7 @@ impl SearchStrategy for Evolutionary {
             }
 
             pop = next;
-            scores = pop.iter().map(|i| oracle.evaluate(i)).collect();
+            scores = oracle.evaluate_batch(&pop);
             let mut improved = false;
             for i in 0..pop.len() {
                 if scores[i].beats(&best_fit, target) {

@@ -17,10 +17,11 @@
 //! `(min(detected, target), −ops_per_cell)`: reach the coverage target
 //! first, then shed length. Every run is deterministic in
 //! ([`SearchOptions::seed`], options): candidate scoring goes through
-//! [`CompiledTrace::detect_universe`](mbist_march::CompiledTrace::detect_universe),
-//! whose detection flags are bit-identical across worker counts and
-//! engines, so `--jobs` and packed-vs-sliced cannot perturb the search
-//! trajectory.
+//! [`CandidateBatchScorer`](mbist_march::CandidateBatchScorer), which fans
+//! *candidates* across workers but joins results in candidate order —
+//! never first-finished-wins — and whose per-candidate counts are
+//! bit-identical across worker counts and engines, so `--jobs` and
+//! packed-vs-sliced cannot perturb the search trajectory.
 //!
 //! # Examples
 //!
@@ -52,7 +53,7 @@ use mbist_mem::{FaultClass, MemGeometry, UniverseSpec};
 
 pub use compose::{primitive_sequence, primitives_for, Composition};
 pub use evolve::Evolutionary;
-pub use fitness::{candidate_test, shrink_elements, Fitness, FitnessOracle};
+pub use fitness::{candidate_test, canonical_key, shrink_elements, Fitness, FitnessOracle};
 
 /// Which search strategy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -165,6 +166,14 @@ pub struct SearchOutcome {
     pub converged: bool,
     /// The strategy that produced the result.
     pub strategy: Strategy,
+    /// Wall-clock nanoseconds the oracle spent compiling candidates into
+    /// traces (summed across workers, so it can exceed elapsed time).
+    pub compile_ns: u64,
+    /// Wall-clock nanoseconds the oracle spent simulating faults against
+    /// compiled candidates (summed across workers).
+    pub simulate_ns: u64,
+    /// Evaluations answered from the fitness memo instead of simulation.
+    pub memo_hits: usize,
 }
 
 impl SearchOutcome {
@@ -212,7 +221,10 @@ pub fn search_march(name: &str, options: &SearchOptions) -> SearchOutcome {
         Strategy::Evolutionary => Evolutionary.search(&mut oracle, options),
         Strategy::Composition => Composition.search(&mut oracle, options),
     };
-    let fit = oracle.evaluate(&run.elements);
+    // Exact final count: the search's internal scores early-exit at the
+    // target, but the reported coverage is the uncapped truth.
+    let fit = oracle.evaluate_exact(&run.elements);
+    let (compile_ns, simulate_ns) = oracle.timing();
     SearchOutcome {
         test: candidate_test(name, &run.elements),
         detected: fit.detected,
@@ -222,6 +234,9 @@ pub fn search_march(name: &str, options: &SearchOptions) -> SearchOutcome {
         generations: run.generations,
         converged: fit.detected >= oracle.target_detected(),
         strategy: options.strategy,
+        compile_ns,
+        simulate_ns,
+        memo_hits: oracle.memo_hits(),
     }
 }
 

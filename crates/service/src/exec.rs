@@ -272,6 +272,14 @@ pub(crate) fn execute(
                 ..SearchOptions::default()
             };
             let found = search_march("found", &options);
+            // The oracle's throughput counters are recorded whether or not
+            // the deadline held: the simulation work happened either way.
+            shared.metrics.record_search(
+                found.evaluations as u64,
+                found.memo_hits as u64,
+                found.compile_ns,
+                found.simulate_ns,
+            );
             // A blown deadline returns the best-so-far candidate: surface
             // it in the structured timeout, never memoize it.
             if ctx.cancel.is_cancelled() {

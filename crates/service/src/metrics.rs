@@ -133,6 +133,19 @@ struct ChaosCounters {
     drops: u64,
 }
 
+/// Search-oracle throughput counters, accumulated over every `synth_search`
+/// run that actually searched (memo hits answer from the result cache and
+/// record nothing). `evaluations` counts candidates that really simulated;
+/// answers served by the fitness memo are in `memo_hits`, never both.
+#[derive(Debug, Default)]
+struct SearchCounters {
+    runs: u64,
+    evaluations: u64,
+    memo_hits: u64,
+    compile_ns: u64,
+    simulate_ns: u64,
+}
+
 /// Per-class `[packed, sliced, full]` routing counters, rows in
 /// [`FaultClass::ALL`] order.
 #[derive(Debug)]
@@ -157,6 +170,7 @@ struct Inner {
     jobs: JobCounters,
     chaos: ChaosCounters,
     timeouts: u64,
+    search: SearchCounters,
 }
 
 /// Shared metrics registry (one per server).
@@ -272,6 +286,25 @@ impl Metrics {
         }
     }
 
+    /// Records one `synth_search` run that actually searched: candidates
+    /// simulated, fitness-memo hits, and the oracle's compile/simulate
+    /// wall-clock split. Cancelled (partial) runs record too — the work
+    /// happened; only the *result* is kept out of the memo.
+    pub fn record_search(
+        &self,
+        evaluations: u64,
+        memo_hits: u64,
+        compile_ns: u64,
+        simulate_ns: u64,
+    ) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.search.runs += 1;
+        inner.search.evaluations += evaluations;
+        inner.search.memo_hits += memo_hits;
+        inner.search.compile_ns += compile_ns;
+        inner.search.simulate_ns += simulate_ns;
+    }
+
     /// Records a trace-cache lookup outcome.
     pub fn record_trace_lookup(&self, hit: bool) {
         let mut inner = self.inner.lock().expect("metrics lock");
@@ -381,6 +414,7 @@ impl Metrics {
                     ("injected_drops", Json::num(inner.chaos.drops as f64)),
                 ]),
             ),
+            ("search", search_json(&inner.search)),
             ("kinds", Json::Obj(kinds)),
             (
                 "engines",
@@ -395,6 +429,41 @@ impl Metrics {
             ("routing", routing_json(&inner.routing)),
         ])
     }
+}
+
+/// The `status` view of the search-oracle counters. The derived figures
+/// (`oracle_ns_per_candidate`, `memo_hit_ratio`) are `null` until a search
+/// actually ran — never fabricated. `oracle_ns_per_candidate` divides only
+/// the oracle's own compile+simulate time, so it measures the batched hot
+/// path, not queue wait or strategy orchestration.
+fn search_json(search: &SearchCounters) -> Json {
+    let lookups = search.evaluations + search.memo_hits;
+    Json::obj(vec![
+        ("runs", Json::num(search.runs as f64)),
+        ("candidates_evaluated", Json::num(search.evaluations as f64)),
+        ("memo_hits", Json::num(search.memo_hits as f64)),
+        ("compile_ns", Json::num(search.compile_ns as f64)),
+        ("simulate_ns", Json::num(search.simulate_ns as f64)),
+        (
+            "oracle_ns_per_candidate",
+            if search.evaluations == 0 {
+                Json::Null
+            } else {
+                Json::Num(
+                    (search.compile_ns + search.simulate_ns) as f64
+                        / search.evaluations as f64,
+                )
+            },
+        ),
+        (
+            "memo_hit_ratio",
+            if lookups == 0 {
+                Json::Null
+            } else {
+                Json::Num(search.memo_hits as f64 / lookups as f64)
+            },
+        ),
+    ])
 }
 
 /// The `status` view of the routing counters: per-class
@@ -535,6 +604,32 @@ mod tests {
         assert_eq!(m.exec_p50_us("synth"), 0, "unobserved kinds report 0");
         let cov = snap.get("kinds").unwrap().get("coverage").unwrap();
         assert_eq!(cov.get("exec").unwrap().get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn search_counters_accumulate_and_derive_honestly() {
+        let m = Metrics::new();
+        let cache = CacheStats { traces: 0, results: 0, bytes: 0, capacity_bytes: 0 };
+        // Before any search ran the derived figures are null, not zero.
+        let snap = m.snapshot(0, 64, cache);
+        let search = snap.get("search").unwrap();
+        assert_eq!(search.get("runs").unwrap().as_u64(), Some(0));
+        assert!(matches!(search.get("oracle_ns_per_candidate"), Some(Json::Null)));
+        assert!(matches!(search.get("memo_hit_ratio"), Some(Json::Null)));
+
+        m.record_search(100, 20, 1_000_000, 500_000);
+        m.record_search(50, 40, 500_000, 250_000);
+        let snap = m.snapshot(0, 64, cache);
+        let search = snap.get("search").unwrap();
+        assert_eq!(search.get("runs").unwrap().as_u64(), Some(2));
+        assert_eq!(search.get("candidates_evaluated").unwrap().as_u64(), Some(150));
+        assert_eq!(search.get("memo_hits").unwrap().as_u64(), Some(60));
+        assert_eq!(search.get("compile_ns").unwrap().as_u64(), Some(1_500_000));
+        assert_eq!(search.get("simulate_ns").unwrap().as_u64(), Some(750_000));
+        let per = search.get("oracle_ns_per_candidate").unwrap().as_f64().unwrap();
+        assert!((per - 2_250_000.0 / 150.0).abs() < 1e-9);
+        let ratio = search.get("memo_hit_ratio").unwrap().as_f64().unwrap();
+        assert!((ratio - 60.0 / 210.0).abs() < 1e-12);
     }
 
     #[test]

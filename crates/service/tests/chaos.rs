@@ -79,10 +79,10 @@ fn synth_search_deadline_returns_the_best_so_far_and_never_memoizes_it() {
     let addr = server.local_addr();
     let (mut stream, mut reader) = connect(addr);
 
-    // A geometry big enough that one generation of candidates takes far
-    // longer than the deadline in a debug build: the search must stop at a
-    // generation boundary and surface its best-so-far candidate.
-    let line = r#"{"id":"s1","kind":"synth_search","universe":"saf,tf,cfin,cfid,cfst","words":8192,"budget":100000,"seed":1,"deadline_ms":300}"#;
+    // A geometry big enough that the search takes far longer than the
+    // deadline in a debug build even with the batched oracle: the search
+    // must stop at a batch boundary and surface its best-so-far candidate.
+    let line = r#"{"id":"s1","kind":"synth_search","universe":"saf,tf,cfin,cfid,cfst","words":262144,"budget":100000,"seed":1,"deadline_ms":300}"#;
     let reply = ask(&mut stream, &mut reader, line);
     assert_eq!(error_class(&reply), "timeout", "{reply}");
     assert_eq!(reply.get("id").and_then(Json::as_str), Some("s1"), "id echoed");

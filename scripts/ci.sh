@@ -76,11 +76,19 @@ echo "$synth_out"
 # handwritten march-c on the same sampled universe
 [ "$(echo "$synth_out" | grep -c "^search OK:")" -eq 2 ] || {
     echo "search smoke missing per-strategy OK lines"; exit 1; }
+# the batched oracle must beat the serial legacy path head-to-head on the
+# same candidates by at least 4x even on the quick configuration
+batched_ratio=$(echo "$synth_out" \
+    | sed -n 's/.*batched_vs_serial \([0-9.]*\)x.*/\1/p')
+[ -n "$batched_ratio" ] || {
+    echo "search smoke missing the batched_vs_serial line"; exit 1; }
+awk -v r="$batched_ratio" 'BEGIN { exit (r >= 4.0) ? 0 : 1 }' || {
+    echo "batched_vs_serial speedup $batched_ratio below 4.0x floor"; exit 1; }
 # determinism: the same fixed seed must reproduce the identical result
-# (test, coverage, evaluation count) on a re-run; wall-clock timing
-# fields are the only legitimately nondeterministic content, so strip
-# them before comparing
-strip_timing='s/"wall_ns": [0-9]+, "candidates_per_sec": [0-9.]+/<timing>/g'
+# (test, coverage, evaluation count) on a re-run; the nested "timing"
+# objects are the only legitimately nondeterministic content, so strip
+# them wholesale before comparing
+strip_timing='s/"timing": \{[^}]*\}/"timing": null/g'
 cargo run -q --release -p mbist-bench --bin synthsearch -- \
     --quick --out /tmp/BENCH_synth_ci2.json > /dev/null
 sed -E "$strip_timing" /tmp/BENCH_synth_ci.json > /tmp/BENCH_synth_ci.stable
@@ -88,12 +96,18 @@ sed -E "$strip_timing" /tmp/BENCH_synth_ci2.json > /tmp/BENCH_synth_ci2.stable
 diff /tmp/BENCH_synth_ci.stable /tmp/BENCH_synth_ci2.stable > /dev/null || {
     echo "search re-run with the same seed diverged"; exit 1; }
 # ...and the CLI front-end honors the same determinism across --jobs
+# (batched speculation joins in candidate order) and across engines
+# (packed fast paths and the sliced reference count identically)
 cli_a=$(cargo run -q --release -p mbist-cli -- synth-search \
     --universe saf,tf,cfid --words 32 --budget 300 --seed 9 --jobs 1)
 cli_b=$(cargo run -q --release -p mbist-cli -- synth-search \
     --universe saf,tf,cfid --words 32 --budget 300 --seed 9 --jobs 3)
 [ "$cli_a" = "$cli_b" ] || {
     echo "synth-search output differs across --jobs"; exit 1; }
+cli_sliced=$(cargo run -q --release -p mbist-cli -- synth-search \
+    --universe saf,tf,cfid --words 32 --budget 300 --seed 9 --engine sliced)
+[ "$cli_a" = "$cli_sliced" ] || {
+    echo "synth-search output differs between packed and sliced engines"; exit 1; }
 echo "$cli_a" | grep -q "converged" || {
     echo "synth-search smoke did not converge"; exit 1; }
 
